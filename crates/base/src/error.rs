@@ -1,0 +1,111 @@
+//! Common error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised by Fenestra components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An expression referenced a field or variable that is not bound.
+    UnboundName(String),
+    /// An operation was applied to operands of the wrong type.
+    Type {
+        /// What was being evaluated.
+        context: String,
+        /// Description of the offending operand types.
+        detail: String,
+    },
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// A DSL / query text failed to parse.
+    Parse {
+        /// 1-based line of the offending token.
+        line: u32,
+        /// 1-based column of the offending token.
+        col: u32,
+        /// What went wrong.
+        message: String,
+    },
+    /// A rule, query, or schema failed validation.
+    Invalid(String),
+    /// The state store rejected an operation (e.g. retracting a fact
+    /// that was never asserted).
+    Store(String),
+    /// I/O error (persistence, WAL).
+    Io(String),
+    /// Corrupt or incompatible persisted data.
+    Corrupt(String),
+}
+
+impl Error {
+    /// Shorthand for a parse error.
+    pub fn parse(line: u32, col: u32, message: impl Into<String>) -> Error {
+        Error::Parse {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a type error.
+    pub fn type_err(context: impl Into<String>, detail: impl Into<String>) -> Error {
+        Error::Type {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnboundName(n) => write!(f, "unbound name `{n}`"),
+            Error::Type { context, detail } => write!(f, "type error in {context}: {detail}"),
+            Error::DivisionByZero => write!(f, "division by zero"),
+            Error::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            Error::Invalid(m) => write!(f, "invalid: {m}"),
+            Error::Store(m) => write!(f, "store error: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Error::UnboundName("x".into()).to_string(),
+            "unbound name `x`"
+        );
+        assert_eq!(
+            Error::parse(3, 7, "expected `)`").to_string(),
+            "parse error at 3:7: expected `)`"
+        );
+        assert_eq!(Error::DivisionByZero.to_string(), "division by zero");
+        assert!(Error::type_err("add", "int + string")
+            .to_string()
+            .contains("int + string"));
+    }
+
+    #[test]
+    fn from_io() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

@@ -1,0 +1,254 @@
+//! Stream records and events.
+//!
+//! A [`Record`] is a small, sorted association of interned field names
+//! to [`Value`]s — the payload of a stream element. An [`Event`] is a
+//! record stamped with its event time and source stream.
+
+use crate::symbol::Symbol;
+use crate::time::Timestamp;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Interned field name.
+pub type FieldId = Symbol;
+/// Interned stream name.
+pub type StreamId = Symbol;
+
+/// A compact record: fields kept sorted by symbol index for O(log n)
+/// lookup and canonical equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Record {
+    fields: Vec<(FieldId, Value)>,
+}
+
+impl Record {
+    /// The empty record.
+    pub fn new() -> Record {
+        Record::default()
+    }
+
+    /// Build a record from `(name, value)` pairs. Later duplicates of a
+    /// field name overwrite earlier ones.
+    pub fn from_pairs<I, N, V>(pairs: I) -> Record
+    where
+        I: IntoIterator<Item = (N, V)>,
+        N: Into<Symbol>,
+        V: Into<Value>,
+    {
+        let mut r = Record::new();
+        for (n, v) in pairs {
+            r.set(n.into(), v.into());
+        }
+        r
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Set `field` to `value`, replacing any existing value.
+    pub fn set(&mut self, field: impl Into<FieldId>, value: impl Into<Value>) -> &mut Self {
+        let field = field.into();
+        let value = value.into();
+        match self.fields.binary_search_by_key(&field, |(f, _)| *f) {
+            Ok(i) => self.fields[i].1 = value,
+            Err(i) => self.fields.insert(i, (field, value)),
+        }
+        self
+    }
+
+    /// Builder-style [`Record::set`].
+    pub fn with(mut self, field: impl Into<FieldId>, value: impl Into<Value>) -> Self {
+        self.set(field, value);
+        self
+    }
+
+    /// Look up a field. Returns `None` if absent.
+    pub fn get(&self, field: impl Into<FieldId>) -> Option<&Value> {
+        let field = field.into();
+        self.fields
+            .binary_search_by_key(&field, |(f, _)| *f)
+            .ok()
+            .map(|i| &self.fields[i].1)
+    }
+
+    /// Look up a field, yielding [`Value::Null`] if absent.
+    pub fn get_or_null(&self, field: impl Into<FieldId>) -> Value {
+        self.get(field).copied().unwrap_or(Value::Null)
+    }
+
+    /// Remove a field, returning its value if present.
+    pub fn remove(&mut self, field: impl Into<FieldId>) -> Option<Value> {
+        let field = field.into();
+        self.fields
+            .binary_search_by_key(&field, |(f, _)| *f)
+            .ok()
+            .map(|i| self.fields.remove(i).1)
+    }
+
+    /// Iterate fields in canonical (symbol-index) order.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, &Value)> {
+        self.fields.iter().map(|(f, v)| (*f, v))
+    }
+
+    /// Keep only the named fields (projection).
+    pub fn project(&self, fields: &[FieldId]) -> Record {
+        let mut out = Record::new();
+        for f in fields {
+            if let Some(v) = self.get(*f) {
+                out.set(*f, *v);
+            }
+        }
+        out
+    }
+
+    /// Merge `other` into `self`; `other`'s fields win on conflict.
+    pub fn merge(&mut self, other: &Record) {
+        for (f, v) in other.iter() {
+            self.set(f, *v);
+        }
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<N: Into<Symbol>, V: Into<Value>> FromIterator<(N, V)> for Record {
+    fn from_iter<I: IntoIterator<Item = (N, V)>>(iter: I) -> Self {
+        Record::from_pairs(iter)
+    }
+}
+
+/// A stream element: a record stamped with event time and provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Event time (application time, not arrival time).
+    pub ts: Timestamp,
+    /// The stream this element arrived on.
+    pub stream: StreamId,
+    /// Payload.
+    pub record: Record,
+}
+
+impl Event {
+    /// Construct an event.
+    pub fn new(stream: impl Into<StreamId>, ts: impl Into<Timestamp>, record: Record) -> Event {
+        Event {
+            ts: ts.into(),
+            stream: stream.into(),
+            record,
+        }
+    }
+
+    /// Shorthand: build the payload from pairs.
+    pub fn from_pairs<I, N, V>(stream: impl Into<StreamId>, ts: impl Into<Timestamp>, pairs: I) -> Event
+    where
+        I: IntoIterator<Item = (N, V)>,
+        N: Into<Symbol>,
+        V: Into<Value>,
+    {
+        Event::new(stream, ts, Record::from_pairs(pairs))
+    }
+
+    /// Field accessor on the payload.
+    pub fn get(&self, field: impl Into<FieldId>) -> Option<&Value> {
+        self.record.get(field)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} {}", self.stream, self.ts, self.record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut r = Record::new();
+        assert!(r.is_empty());
+        r.set("user", "alice").set("count", 3i64);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("user"), Some(&Value::str("alice")));
+        assert_eq!(r.get("count"), Some(&Value::Int(3)));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.get_or_null("missing"), Value::Null);
+        assert_eq!(r.remove("user"), Some(Value::str("alice")));
+        assert_eq!(r.get("user"), None);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_single_entry() {
+        let mut r = Record::new();
+        r.set("x", 1i64);
+        r.set("x", 2i64);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get("x"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn canonical_equality_ignores_insertion_order() {
+        let a = Record::from_pairs([("b", 2i64), ("a", 1i64)]);
+        let b = Record::from_pairs([("a", 1i64), ("b", 2i64)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_pairs_duplicate_last_wins() {
+        let r = Record::from_pairs([("k", 1i64), ("k", 9i64)]);
+        assert_eq!(r.get("k"), Some(&Value::Int(9)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn projection_and_merge() {
+        let r = Record::from_pairs([("a", 1i64), ("b", 2i64), ("c", 3i64)]);
+        let p = r.project(&[Symbol::intern("a"), Symbol::intern("c"), Symbol::intern("zz")]);
+        assert_eq!(p, Record::from_pairs([("a", 1i64), ("c", 3i64)]));
+
+        let mut m = Record::from_pairs([("a", 0i64), ("d", 4i64)]);
+        m.merge(&r);
+        assert_eq!(m.get("a"), Some(&Value::Int(1)), "merge overwrites");
+        assert_eq!(m.get("d"), Some(&Value::Int(4)));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_symbol_index() {
+        let r = Record::from_pairs([("z-rec", 1i64), ("a-rec", 2i64), ("m-rec", 3i64)]);
+        let ids: Vec<u32> = r.iter().map(|(f, _)| f.index()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn event_basics() {
+        let e = Event::from_pairs("clicks", 42u64, [("user", "u1")]);
+        assert_eq!(e.ts, Timestamp::new(42));
+        assert_eq!(e.stream, Symbol::intern("clicks"));
+        assert_eq!(e.get("user"), Some(&Value::str("u1")));
+        assert_eq!(e.to_string(), "clicks@t42 {user: \"u1\"}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Global thread-safe string interner.
+//!
+//! Attribute names, stream names, field names, and string values are
+//! interned once and referenced by a compact [`Symbol`] (a `u32`).
+//! Interning makes equality and hashing O(1), keeps [`crate::Value`]
+//! `Copy`-sized, and lets indexes key on integers.
+//!
+//! The interner is a process-global append-only table guarded by a
+//! `parking_lot::RwLock`; resolution of an existing symbol takes the
+//! read lock only.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize, Serializer};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string. Cheap to copy, compare, and hash.
+///
+/// Two `Symbol`s are equal iff their strings are equal. The ordering of
+/// `Symbol` itself is *interning order*, not lexicographic; use
+/// [`Symbol::as_str`] when lexicographic order matters.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    lookup: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            lookup: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn intern(s: &str) -> Symbol {
+        {
+            let g = interner().read();
+            if let Some(&id) = g.lookup.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut g = interner().write();
+        if let Some(&id) = g.lookup.get(s) {
+            return Symbol(id);
+        }
+        // Leaking is deliberate: the interner is append-only and global
+        // for the process lifetime, mirroring rustc's string interner.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = g.strings.len() as u32;
+        g.strings.push(leaked);
+        g.lookup.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// The raw interner index (stable for the process lifetime only —
+    /// never persist it; persist [`Symbol::as_str`] instead).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+// Symbols serialize as their string so persisted data survives process
+// restarts (raw indices would not).
+impl Serialize for Symbol {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Symbol::intern(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let a = Symbol::intern("sym-test-alpha");
+        let b = Symbol::intern("sym-test-beta");
+        assert_ne!(a, b);
+        assert_ne!(a.as_str(), b.as_str());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::intern("room");
+        assert_eq!(s.to_string(), "room");
+        assert_eq!(format!("{s:?}"), "\"room\"");
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    for j in 0..100 {
+                        out.push(Symbol::intern(&format!("concurrent-{}", (i * j) % 50)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let all: Vec<Symbol> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        for s in all {
+            assert!(s.as_str().starts_with("concurrent-"));
+            assert_eq!(Symbol::intern(s.as_str()), s);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Logical time: timestamps, durations, and half-open validity intervals.
+//!
+//! The paper models state as "a collection of data elements annotated
+//! with their time of validity". We use a discrete logical clock
+//! (milliseconds by convention, but nothing depends on the unit): a
+//! [`Timestamp`] is a point, an [`Interval`] is a half-open span
+//! `[start, end)` whose `end` may be absent (the element is still
+//! valid).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the logical event-time axis (milliseconds by convention).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The origin of the time axis.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The greatest representable instant.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Construct from a raw millisecond count.
+    #[inline]
+    pub const fn new(millis: u64) -> Self {
+        Timestamp(millis)
+    }
+
+    /// The raw millisecond count.
+    #[inline]
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating subtraction of a duration (floors at time zero).
+    #[inline]
+    pub fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// The timestamp immediately after `self`, saturating at [`Timestamp::MAX`].
+    #[inline]
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0.saturating_add(1))
+    }
+
+    /// Align down to a multiple of `step` (window bucketing helper).
+    ///
+    /// `step` must be non-zero.
+    #[inline]
+    pub fn align_down(self, step: Duration) -> Timestamp {
+        debug_assert!(step.0 > 0, "align_down with zero step");
+        Timestamp(self.0 - self.0 % step.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    /// Distance between two instants. Panics in debug builds if
+    /// `rhs > self`.
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> Duration {
+        debug_assert!(rhs.0 <= self.0, "negative duration");
+        Duration(self.0 - rhs.0)
+    }
+}
+
+/// A span of logical time (milliseconds by convention).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// `n` milliseconds.
+    #[inline]
+    pub const fn millis(n: u64) -> Duration {
+        Duration(n)
+    }
+
+    /// `n` seconds.
+    #[inline]
+    pub const fn secs(n: u64) -> Duration {
+        Duration(n * 1_000)
+    }
+
+    /// `n` minutes.
+    #[inline]
+    pub const fn minutes(n: u64) -> Duration {
+        Duration(n * 60_000)
+    }
+
+    /// `n` hours.
+    #[inline]
+    pub const fn hours(n: u64) -> Duration {
+        Duration(n * 3_600_000)
+    }
+
+    /// The raw millisecond count.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this span is zero-length.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+/// A half-open validity interval `[start, end)`.
+///
+/// `end == None` means the interval is *open*: the annotated element is
+/// still valid "now" and into the future until retracted. This is the
+/// paper's "time of validity" annotation on state elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub start: Timestamp,
+    /// Exclusive upper bound; `None` = still valid.
+    pub end: Option<Timestamp>,
+}
+
+impl Interval {
+    /// An interval open toward the future: `[start, ∞)`.
+    #[inline]
+    pub const fn open(start: Timestamp) -> Interval {
+        Interval { start, end: None }
+    }
+
+    /// A closed interval `[start, end)`. Panics in debug builds if
+    /// `end < start` (empty intervals with `end == start` are allowed
+    /// and contain no instant).
+    #[inline]
+    pub fn closed(start: Timestamp, end: Timestamp) -> Interval {
+        debug_assert!(start <= end, "interval end before start");
+        Interval {
+            start,
+            end: Some(end),
+        }
+    }
+
+    /// Whether the interval is still open toward the future.
+    #[inline]
+    pub const fn is_open(&self) -> bool {
+        self.end.is_none()
+    }
+
+    /// Whether the interval contains no instant at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        matches!(self.end, Some(e) if e <= self.start)
+    }
+
+    /// Whether the instant `t` falls inside `[start, end)`.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && self.end.is_none_or(|e| t < e)
+    }
+
+    /// Whether this interval and `other` share at least one instant.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        let self_ends_after = self.end.is_none_or(|e| e > other.start);
+        let other_ends_after = other.end.is_none_or(|e| e > self.start);
+        self_ends_after && other_ends_after && !self.is_empty() && !other.is_empty()
+    }
+
+    /// Whether this interval shares at least one instant with `[from, to)`.
+    #[inline]
+    pub fn overlaps_range(&self, from: Timestamp, to: Timestamp) -> bool {
+        self.overlaps(&Interval::closed(from, to))
+    }
+
+    /// Close an open interval at `end`. Returns `false` (leaving the
+    /// interval untouched) if it is already closed or if `end` precedes
+    /// the start.
+    #[inline]
+    pub fn close_at(&mut self, end: Timestamp) -> bool {
+        if self.end.is_some() || end < self.start {
+            return false;
+        }
+        self.end = Some(end);
+        true
+    }
+
+    /// Length of the interval, if closed.
+    #[inline]
+    pub fn length(&self) -> Option<Duration> {
+        self.end.map(|e| e - self.start)
+    }
+
+    /// The intersection of two intervals, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = match (self.end, other.end) {
+            (None, None) => None,
+            (Some(e), None) | (None, Some(e)) => Some(e),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        };
+        let out = Interval { start, end };
+        if out.is_empty() && out.end.is_some() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.end {
+            Some(e) => write!(f, "[{}, {})", self.start, e),
+            None => write!(f, "[{}, ∞)", self.start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arith() {
+        let t = Timestamp::new(100);
+        assert_eq!(t + Duration::millis(50), Timestamp::new(150));
+        assert_eq!(Timestamp::new(150) - t, Duration::millis(50));
+        assert_eq!(t.saturating_sub(Duration::millis(200)), Timestamp::ZERO);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::millis(1)),
+            Timestamp::MAX
+        );
+        assert_eq!(t.next(), Timestamp::new(101));
+    }
+
+    #[test]
+    fn align_down_buckets() {
+        let step = Duration::millis(10);
+        assert_eq!(Timestamp::new(0).align_down(step), Timestamp::new(0));
+        assert_eq!(Timestamp::new(9).align_down(step), Timestamp::new(0));
+        assert_eq!(Timestamp::new(10).align_down(step), Timestamp::new(10));
+        assert_eq!(Timestamp::new(25).align_down(step), Timestamp::new(20));
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(Duration::secs(2), Duration::millis(2000));
+        assert_eq!(Duration::minutes(1), Duration::secs(60));
+        assert_eq!(Duration::hours(1), Duration::minutes(60));
+        assert!(Duration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn interval_contains() {
+        let i = Interval::closed(Timestamp::new(10), Timestamp::new(20));
+        assert!(!i.contains(Timestamp::new(9)));
+        assert!(i.contains(Timestamp::new(10)));
+        assert!(i.contains(Timestamp::new(19)));
+        assert!(!i.contains(Timestamp::new(20)));
+
+        let open = Interval::open(Timestamp::new(5));
+        assert!(open.contains(Timestamp::new(5)));
+        assert!(open.contains(Timestamp::MAX));
+        assert!(!open.contains(Timestamp::new(4)));
+    }
+
+    #[test]
+    fn interval_empty() {
+        let e = Interval::closed(Timestamp::new(5), Timestamp::new(5));
+        assert!(e.is_empty());
+        assert!(!e.contains(Timestamp::new(5)));
+        assert!(!Interval::open(Timestamp::new(5)).is_empty());
+    }
+
+    #[test]
+    fn interval_overlaps() {
+        let a = Interval::closed(Timestamp::new(0), Timestamp::new(10));
+        let b = Interval::closed(Timestamp::new(10), Timestamp::new(20));
+        let c = Interval::closed(Timestamp::new(5), Timestamp::new(15));
+        assert!(!a.overlaps(&b), "half-open adjacency does not overlap");
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        let open = Interval::open(Timestamp::new(8));
+        assert!(open.overlaps(&a));
+        assert!(open.overlaps(&b));
+        let empty = Interval::closed(Timestamp::new(3), Timestamp::new(3));
+        assert!(!empty.overlaps(&a));
+    }
+
+    #[test]
+    fn interval_close() {
+        let mut i = Interval::open(Timestamp::new(10));
+        assert!(!i.close_at(Timestamp::new(9)), "cannot close before start");
+        assert!(i.close_at(Timestamp::new(15)));
+        assert_eq!(i, Interval::closed(Timestamp::new(10), Timestamp::new(15)));
+        assert!(!i.close_at(Timestamp::new(20)), "already closed");
+    }
+
+    #[test]
+    fn interval_intersect() {
+        let a = Interval::closed(Timestamp::new(0), Timestamp::new(10));
+        let b = Interval::closed(Timestamp::new(5), Timestamp::new(15));
+        assert_eq!(
+            a.intersect(&b),
+            Some(Interval::closed(Timestamp::new(5), Timestamp::new(10)))
+        );
+        let c = Interval::closed(Timestamp::new(10), Timestamp::new(15));
+        assert_eq!(a.intersect(&c), None);
+        let open = Interval::open(Timestamp::new(3));
+        assert_eq!(
+            open.intersect(&a),
+            Some(Interval::closed(Timestamp::new(3), Timestamp::new(10)))
+        );
+    }
+
+    #[test]
+    fn interval_length() {
+        assert_eq!(
+            Interval::closed(Timestamp::new(3), Timestamp::new(10)).length(),
+            Some(Duration::millis(7))
+        );
+        assert_eq!(Interval::open(Timestamp::new(3)).length(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Timestamp::new(7).to_string(), "t7");
+        assert_eq!(Duration::millis(7).to_string(), "7ms");
+        assert_eq!(
+            Interval::closed(Timestamp::new(1), Timestamp::new(2)).to_string(),
+            "[t1, t2)"
+        );
+        assert_eq!(Interval::open(Timestamp::new(1)).to_string(), "[t1, ∞)");
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the shared substrate: expression print→parse
+//! round-trips, evaluation determinism, record canonicalization, and
+//! interval algebra.
+
+use fenestra_base::expr::{BinOp, EmptyScope, Expr, Func, UnOp};
+use fenestra_base::parse::parse_expr;
+use fenestra_base::record::Record;
+use fenestra_base::time::{Interval, Timestamp};
+use fenestra_base::value::Value;
+use proptest::prelude::*;
+
+/// Random expressions over a printable subset of values (no `Time`/`Id`
+/// literals — the DSL has no literal syntax for those).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Expr::lit),
+        (-100.0f64..100.0).prop_map(|f| Expr::lit((f * 4.0).round() / 4.0)),
+        prop_oneof![Just("alpha"), Just("beta"), Just("s_1")]
+            .prop_map(|s| Expr::Lit(Value::str(s))),
+        any::<bool>().prop_map(Expr::lit),
+        Just(Expr::Lit(Value::Null)),
+        prop_oneof![Just("x"), Just("y"), Just("a.field")]
+            .prop_map(Expr::name),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
+                Just(BinOp::Div), Just(BinOp::Mod), Just(BinOp::Eq),
+                Just(BinOp::Ne), Just(BinOp::Lt), Just(BinOp::Le),
+                Just(BinOp::Gt), Just(BinOp::Ge), Just(BinOp::And),
+                Just(BinOp::Or),
+            ])
+                .prop_map(|(a, b, op)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(Func::Min, vec![a, b])),
+            inner.clone().prop_map(|e| Expr::Call(Func::Abs, vec![e])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing an expression and re-parsing it yields an expression
+    /// that evaluates identically (the ASTs may differ in `not`
+    /// encoding, so we compare behaviour, not structure).
+    #[test]
+    fn expr_print_parse_round_trip(e in expr_strategy()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse `{printed}`: {err}"));
+        let scope = EmptyScope;
+        let a = e.eval(&scope);
+        let b = reparsed.eval(&scope);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "printed: {}", printed),
+            (Err(_), Err(_)) => {} // both error (unbound names etc.)
+            (x, y) => prop_assert!(false, "divergent: {:?} vs {:?} for `{}`", x, y, printed),
+        }
+    }
+
+    /// Evaluation is deterministic.
+    #[test]
+    fn expr_eval_deterministic(e in expr_strategy()) {
+        let scope = EmptyScope;
+        prop_assert_eq!(e.eval(&scope).ok(), e.eval(&scope).ok());
+    }
+
+    /// Record canonicalization: insertion order never matters.
+    #[test]
+    fn record_order_canonical(pairs in prop::collection::vec(
+        (prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], -10i64..10), 0..12)
+    ) {
+        let forward = Record::from_pairs(pairs.clone());
+        // Reversing changes which duplicate wins, so dedup keeping the
+        // last occurrence first.
+        let mut dedup: Vec<(&str, i64)> = Vec::new();
+        for (k, v) in &pairs {
+            dedup.retain(|(k2, _)| k2 != k);
+            dedup.push((k, *v));
+        }
+        let mut shuffled = dedup.clone();
+        shuffled.reverse();
+        let a = Record::from_pairs(dedup);
+        let b = Record::from_pairs(shuffled);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &forward);
+    }
+
+    /// Interval intersection is commutative and contained in both.
+    #[test]
+    fn interval_intersection_props(
+        a_start in 0u64..100, a_len in 1u64..50,
+        b_start in 0u64..100, b_len in 1u64..50,
+        open_a in any::<bool>(), open_b in any::<bool>(),
+    ) {
+        let a = if open_a {
+            Interval::open(Timestamp::new(a_start))
+        } else {
+            Interval::closed(Timestamp::new(a_start), Timestamp::new(a_start + a_len))
+        };
+        let b = if open_b {
+            Interval::open(Timestamp::new(b_start))
+        } else {
+            Interval::closed(Timestamp::new(b_start), Timestamp::new(b_start + b_len))
+        };
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.is_some(), a.overlaps(&b), "{} vs {}", a, b);
+        if let Some(i) = ab {
+            for probe in 0..220u64 {
+                let t = Timestamp::new(probe);
+                prop_assert_eq!(i.contains(t), a.contains(t) && b.contains(t));
+            }
+        }
+    }
+
+    /// `contains` agrees with `overlaps` against a degenerate
+    /// one-instant interval.
+    #[test]
+    fn contains_is_point_overlap(start in 0u64..50, len in 1u64..30, probe in 0u64..100) {
+        let iv = Interval::closed(Timestamp::new(start), Timestamp::new(start + len));
+        let point = Interval::closed(Timestamp::new(probe), Timestamp::new(probe + 1));
+        prop_assert_eq!(iv.contains(Timestamp::new(probe)), iv.overlaps(&point));
+    }
+}
+
+mod fuzz {
+    use fenestra_base::parse::{lex, parse_expr};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The lexer never panics on arbitrary input — it either
+        /// tokenizes or reports a positioned error.
+        #[test]
+        fn lexer_total_on_arbitrary_strings(s in "\\PC*") {
+            let _ = lex(&s);
+        }
+
+        /// Same for the expression parser.
+        #[test]
+        fn expr_parser_total_on_arbitrary_strings(s in "\\PC*") {
+            let _ = parse_expr(&s);
+        }
+
+        /// And on token-soup built from DSL-plausible fragments.
+        #[test]
+        fn expr_parser_total_on_token_soup(
+            parts in prop::collection::vec(
+                prop_oneof![
+                    Just("("), Just(")"), Just("+"), Just("=="), Just("and"),
+                    Just("not"), Just("1"), Just("2.5"), Just("\"s\""),
+                    Just("name"), Just("a.b"), Just("min"), Just(","),
+                    Just("5s"), Just("null"),
+                ],
+                0..24,
+            )
+        ) {
+            let s = parts.join(" ");
+            let _ = parse_expr(&s);
+        }
+    }
+}
+
+mod rules_fuzz_support {
+    // The rules/query parser fuzz lives in their own crates' test
+    // suites; this module just pins the shared lexer used by both.
+    #[test]
+    fn lexer_handles_unicode_and_controls() {
+        for s in ["\u{0}", "🦀🦀", "a\tb\r\nc", "\"\\u0041\"", "𝕊 ≤ 𝕋"] {
+            let _ = fenestra_base::parse::lex(s);
+        }
+    }
+}

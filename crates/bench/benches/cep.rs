@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the CEP matcher (experiment E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fenestra_base::expr::Expr;
+use fenestra_base::record::Event;
+use fenestra_base::time::Duration;
+use fenestra_base::value::Value;
+use fenestra_cep::{EventPattern, Matcher, Pattern, PatternSpec};
+
+fn events(n: u64) -> Vec<Event> {
+    (0..n)
+        .map(|i| {
+            let kind = ["a", "b", "c", "d", "e"][(i % 5) as usize];
+            Event::from_pairs(
+                "s",
+                i + 1,
+                [
+                    ("kind", Value::str(kind)),
+                    ("user", Value::str(&format!("u{}", (i / 5) % 50))),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn seq_pattern(len: usize) -> PatternSpec {
+    let kinds = ["a", "b", "c", "d", "e"];
+    let atoms: Vec<Pattern> = (0..len)
+        .map(|i| {
+            let mut atom = EventPattern::on("s", kinds[i])
+                .filter(Expr::name("kind").eq(Expr::lit(kinds[i])));
+            if i > 0 {
+                atom = atom
+                    .filter(Expr::name("user").eq(Expr::name(format!("{}.user", kinds[0]).as_str())));
+            }
+            Pattern::atom(atom)
+        })
+        .collect();
+    PatternSpec::new(Pattern::seq(atoms), Duration::millis(50))
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let evs = events(5_000);
+    let mut g = c.benchmark_group("cep/sequence_matching");
+    g.sample_size(10);
+    for len in [2usize, 3, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                let mut m = Matcher::new(seq_pattern(len)).unwrap();
+                let mut n = 0usize;
+                for e in &evs {
+                    n += m.on_event(e).len();
+                }
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benchmarks for the integrated engine: end-to-end event
+//! throughput with rules and a state-gated pipeline (experiments
+//! E4/E5 companions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fenestra_base::time::Duration;
+use fenestra_core::Engine;
+use fenestra_stream::aggregate::AggSpec;
+use fenestra_stream::graph::Graph;
+use fenestra_stream::ops::state::StateGate;
+use fenestra_stream::window::time::TimeWindowOp;
+use fenestra_temporal::AttrSchema;
+use fenestra_workloads::{ClickstreamConfig, ClickstreamWorkload};
+
+const RULES: &str = r#"
+    rule enter:
+      on clicks where action == "enter"
+      replace $(user).status = "active"
+    rule leave:
+      on clicks where action == "leave"
+      if state($(user)).status == "active"
+      retract $(user).status = "active"
+"#;
+
+fn workload() -> ClickstreamWorkload {
+    ClickstreamWorkload::generate(&ClickstreamConfig {
+        users: 50,
+        sessions: 200,
+        ..Default::default()
+    })
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("engine/end_to_end");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(w.events.len() as u64));
+
+    g.bench_function("rules_only", |b| {
+        b.iter(|| {
+            let mut engine = Engine::with_defaults();
+            engine.declare_attr("status", AttrSchema::one());
+            engine.add_rules_text(RULES).unwrap();
+            engine.run(w.events.iter().cloned());
+            engine.finish();
+            engine.metrics().transitions
+        })
+    });
+
+    g.bench_function("rules_plus_gated_pipeline", |b| {
+        b.iter(|| {
+            let mut engine = Engine::with_defaults();
+            engine.declare_attr("status", AttrSchema::one());
+            engine.add_rules_text(RULES).unwrap();
+            let store = engine.shared_store();
+            let mut graph = Graph::new();
+            let gate = graph.add_op(StateGate::new(store, "user", "status", "active"));
+            graph.connect_source("clicks", gate);
+            let win = graph.add_op(
+                TimeWindowOp::tumbling(Duration::secs(30))
+                    .group_by(["user"])
+                    .aggregate(AggSpec::count("n")),
+            );
+            graph.connect(gate, win);
+            let sink = graph.add_sink();
+            graph.connect(win, sink.node);
+            engine.set_graph(graph).unwrap();
+            engine.run(w.events.iter().cloned());
+            engine.finish();
+            sink.len()
+        })
+    });
+
+    g.finish();
+
+    // As-of query latency over the populated store (E4 companion).
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("status", AttrSchema::one());
+    engine.add_rules_text(RULES).unwrap();
+    engine.run(w.events.iter().cloned());
+    engine.finish();
+    let mut g = c.benchmark_group("engine/query");
+    g.sample_size(30);
+    g.bench_function("asof_select", |b| {
+        b.iter(|| {
+            engine
+                .query("select ?u where { ?u status \"active\" } asof 60000")
+                .unwrap()
+                .len()
+        })
+    });
+    g.bench_function("current_select", |b| {
+        b.iter(|| {
+            engine
+                .query("select ?u where { ?u status \"active\" }")
+                .unwrap()
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

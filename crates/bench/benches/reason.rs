@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the reasoner (experiment E8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fenestra_base::value::{EntityId, Value};
+use fenestra_reason::materialize::{naive, seminaive};
+use fenestra_reason::triple::{id_resolver, Triple};
+use fenestra_reason::{Axiom, IncrementalMaterializer, Ontology};
+
+fn taxonomy(depth: usize) -> Ontology {
+    let mut axioms = Vec::new();
+    for d in 0..depth {
+        for w in 0..4 {
+            axioms.push(Axiom::SubClassOf(
+                Value::str(&format!("c{d}_{w}")),
+                Value::str(&format!("c{}_{}", d + 1, w / 2)),
+            ));
+        }
+    }
+    Ontology::from_axioms(axioms)
+}
+
+fn base(products: usize) -> Vec<Triple> {
+    (0..products)
+        .map(|p| Triple::new(EntityId(p as u64), "type", Value::str(&format!("c0_{}", p % 4))))
+        .collect()
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reason/closure");
+    g.sample_size(10);
+    for depth in [4usize, 8] {
+        let ont = taxonomy(depth);
+        let facts = base(1_000);
+        g.bench_with_input(BenchmarkId::new("naive", depth), &depth, |b, _| {
+            b.iter(|| naive(&facts, &ont, &id_resolver).len())
+        });
+        g.bench_with_input(BenchmarkId::new("seminaive", depth), &depth, |b, _| {
+            b.iter(|| seminaive(&facts, &ont, &id_resolver).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reason/incremental_update");
+    g.sample_size(20);
+    let ont = taxonomy(8);
+    let facts = base(1_000);
+    let mut inc = IncrementalMaterializer::new(ont.clone(), Box::new(id_resolver));
+    for f in &facts {
+        inc.insert(*f);
+    }
+    let victim = facts[0];
+    let replacement = Triple::new(victim.s, "type", Value::str("c0_3"));
+    g.bench_function("dred_reclassify_one", |b| {
+        b.iter(|| {
+            inc.remove(&victim);
+            inc.insert(victim);
+            inc.remove(&replacement); // no-op (absent)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_closure, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the temporal store (experiment E7).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use fenestra_base::time::Timestamp;
+use fenestra_temporal::{AttrSchema, TemporalStore};
+
+fn populated(n: u64, visitors: u64) -> TemporalStore {
+    let mut s = TemporalStore::without_wal();
+    s.declare_attr("room", AttrSchema::one());
+    let ids: Vec<_> = (0..visitors)
+        .map(|v| s.named_entity(format!("v{v}").as_str()))
+        .collect();
+    for i in 0..n {
+        s.replace_at(
+            ids[(i % visitors) as usize],
+            "room",
+            format!("room{}", i % 17).as_str(),
+            Timestamp::new(i + 1),
+        )
+        .unwrap();
+    }
+    s
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/writes");
+    g.sample_size(20);
+    g.bench_function("replace_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut s = TemporalStore::without_wal();
+                s.declare_attr("room", AttrSchema::one());
+                let e = s.named_entity("v");
+                (s, e)
+            },
+            |(mut s, e)| {
+                for i in 0..1_000u64 {
+                    s.replace_at(e, "room", format!("r{}", i % 9).as_str(), Timestamp::new(i + 1))
+                        .unwrap();
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("assert_many_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut s = TemporalStore::without_wal();
+                let e = s.named_entity("v");
+                (s, e)
+            },
+            |(mut s, e)| {
+                for i in 0..1_000u64 {
+                    s.assert_at(e, "tag", i as i64, Timestamp::new(i + 1)).unwrap();
+                }
+                s
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/reads");
+    g.sample_size(30);
+    for n in [10_000u64, 100_000] {
+        let store = populated(n, 100);
+        let e = store.lookup_entity("v0").unwrap();
+        g.bench_with_input(BenchmarkId::new("current_point", n), &n, |b, _| {
+            b.iter(|| store.current().value(e, "room"))
+        });
+        let probe = Timestamp::new(n / 2);
+        g.bench_with_input(BenchmarkId::new("asof_point", n), &n, |b, _| {
+            b.iter(|| store.as_of(probe).value(e, "room"))
+        });
+        g.bench_with_input(BenchmarkId::new("history_scan", n), &n, |b, _| {
+            b.iter(|| store.history(e, "room").len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_writes, bench_reads);
+criterion_main!(benches);

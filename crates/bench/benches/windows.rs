@@ -1,0 +1,56 @@
+//! Criterion benchmarks for sliding-window aggregation strategies
+//! (experiment E9 — Li et al. panes vs incremental vs recompute).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fenestra_base::record::Event;
+use fenestra_base::time::Duration;
+use fenestra_stream::aggregate::AggSpec;
+use fenestra_stream::executor::Executor;
+use fenestra_stream::graph::Graph;
+use fenestra_stream::window::time::{SlidingStrategy, TimeWindowOp};
+
+fn events(n: u64) -> Vec<Event> {
+    (0..n)
+        .map(|i| Event::from_pairs("s", i * 10, [("v", ((i * 31) % 1000) as i64)]))
+        .collect()
+}
+
+fn run(evs: &[Event], size: u64, slide: u64, strat: SlidingStrategy) -> usize {
+    let mut g = Graph::new();
+    let win = g.add_op(
+        TimeWindowOp::sliding(Duration::millis(size), Duration::millis(slide))
+            .strategy(strat)
+            .aggregate(AggSpec::sum("v", "total")),
+    );
+    g.connect_source("s", win);
+    let sink = g.add_sink();
+    g.connect(win, sink.node);
+    let mut ex = Executor::new(g);
+    ex.run(evs.iter().cloned());
+    ex.finish();
+    sink.take().len()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let evs = events(20_000);
+    let mut g = c.benchmark_group("windows/sliding_20x_overlap");
+    g.sample_size(10);
+    for (name, strat) in [
+        ("recompute", SlidingStrategy::Recompute),
+        ("incremental", SlidingStrategy::Incremental),
+        ("panes", SlidingStrategy::Panes),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &strat, |b, &s| {
+            b.iter(|| run(&evs, 20_000, 1_000, s))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("windows/tumbling");
+    g.sample_size(10);
+    g.bench_function("tumbling_1s", |b| b.iter(|| run(&evs, 1_000, 1_000, SlidingStrategy::Panes)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Experiment runner: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p fenestra-bench --release --bin experiments            # all
+//! cargo run -p fenestra-bench --release --bin experiments -- e3 e4  # some
+//! cargo run -p fenestra-bench --release --bin experiments -- --md   # markdown
+//! ```
+
+use fenestra_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--md");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|s| s.as_str())
+        .collect();
+    for (id, title, run) in all_experiments() {
+        if !wanted.is_empty() && !wanted.contains(&id) {
+            continue;
+        }
+        eprintln!("running {id}: {title} ...");
+        let table = run();
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            println!("{table}");
+        }
+    }
+}

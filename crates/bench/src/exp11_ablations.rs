@@ -1,0 +1,242 @@
+//! E11 — ablations over Fenestra's own design choices (not a paper
+//! claim; DESIGN.md calls these out as knobs worth quantifying):
+//!
+//! * WAL journaling on/off (durability tax on the store hot path);
+//! * interaction semantics (`StateFirst` / `StreamFirst` / `Snapshot`);
+//! * lateness bound (reorder-buffer cost when input is in order);
+//! * single-threaded vs pipelined executor on a window pipeline;
+//! * auto-reasoning on/off under classification churn.
+
+use crate::table::{fmt_f, Table};
+use crate::time_it;
+use fenestra_base::record::Event;
+use fenestra_base::time::{Duration, Timestamp};
+use fenestra_core::{Engine, EngineConfig, Semantics};
+use fenestra_reason::{Axiom, Ontology};
+use fenestra_stream::aggregate::AggSpec;
+use fenestra_stream::executor::Executor;
+use fenestra_stream::graph::Graph;
+use fenestra_stream::ops::filter::Filter;
+use fenestra_stream::parallel::ParallelExecutor;
+use fenestra_stream::watermark::WatermarkPolicy;
+use fenestra_stream::window::time::TimeWindowOp;
+use fenestra_base::expr::Expr;
+use fenestra_base::value::Value;
+use fenestra_temporal::{AttrSchema, TemporalStore};
+use fenestra_workloads::{ClickstreamConfig, ClickstreamWorkload};
+
+const RULES: &str = r#"
+    rule enter:
+      on clicks where action == "enter"
+      replace $(user).status = "active"
+    rule leave:
+      on clicks where action == "leave"
+      if state($(user)).status == "active"
+      retract $(user).status = "active"
+"#;
+
+fn engine_throughput(events: &[Event], cfg: EngineConfig) -> f64 {
+    let mut engine = Engine::new(cfg);
+    engine.declare_attr("status", AttrSchema::one());
+    engine.add_rules_text(RULES).unwrap();
+    let (_, secs) = time_it(|| {
+        engine.run(events.iter().cloned());
+        engine.finish();
+    });
+    events.len() as f64 / secs
+}
+
+/// Run E11.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E11: ablations over Fenestra design choices",
+        &["knob", "setting", "metric", "value"],
+    );
+
+    // --- WAL on/off on the store hot path. ---------------------------------
+    let n = 100_000u64;
+    for wal in [true, false] {
+        let mut store = if wal {
+            TemporalStore::new()
+        } else {
+            TemporalStore::without_wal()
+        };
+        store.declare_attr("room", AttrSchema::one());
+        let ids: Vec<_> = (0..500u64)
+            .map(|v| store.named_entity(format!("v{v}").as_str()))
+            .collect();
+        let (_, secs) = time_it(|| {
+            for i in 0..n {
+                store
+                    .replace_at(
+                        ids[(i % 500) as usize],
+                        "room",
+                        format!("r{}", i % 13).as_str(),
+                        Timestamp::new(i + 1),
+                    )
+                    .unwrap();
+            }
+        });
+        t.row(vec![
+            "WAL journaling".into(),
+            if wal { "on" } else { "off" }.into(),
+            "replace ops/s".into(),
+            fmt_f(n as f64 / secs),
+        ]);
+    }
+
+    // --- Interaction semantics. --------------------------------------------
+    let w = ClickstreamWorkload::generate(&ClickstreamConfig {
+        users: 50,
+        sessions: 400,
+        ..Default::default()
+    });
+    for (name, sem) in [
+        ("StateFirst", Semantics::StateFirst),
+        ("StreamFirst", Semantics::StreamFirst),
+        ("Snapshot", Semantics::Snapshot),
+    ] {
+        let tput = engine_throughput(
+            &w.events,
+            EngineConfig {
+                semantics: sem,
+                ..EngineConfig::default()
+            },
+        );
+        t.row(vec![
+            "semantics".into(),
+            name.into(),
+            "events/s".into(),
+            fmt_f(tput),
+        ]);
+    }
+
+    // --- Lateness bound (in-order input pays the buffer anyway). ------------
+    for lateness in [0u64, 1_000, 60_000] {
+        let tput = engine_throughput(
+            &w.events,
+            EngineConfig {
+                max_lateness: Duration::millis(lateness),
+                ..EngineConfig::default()
+            },
+        );
+        t.row(vec![
+            "lateness bound".into(),
+            format!("{lateness}ms"),
+            "events/s".into(),
+            fmt_f(tput),
+        ]);
+    }
+
+    // --- Executor: single-threaded vs pipelined. -----------------------------
+    let events: Vec<Event> = (0..80_000u64)
+        .map(|i| Event::from_pairs("s", i, [("v", (i % 97) as i64)]))
+        .collect();
+    let make_graph = || {
+        let mut g = Graph::new();
+        let f = g.add_op(Filter::new(Expr::name("v").ge(Expr::lit(0i64))));
+        g.connect_source("s", f);
+        let win = g.add_op(
+            TimeWindowOp::tumbling(Duration::millis(1000)).aggregate(AggSpec::sum("v", "total")),
+        );
+        g.connect(f, win);
+        let sink = g.add_sink();
+        g.connect(win, sink.node);
+        (g, sink)
+    };
+    {
+        let (g, sink) = make_graph();
+        let mut ex = Executor::new(g);
+        let (_, secs) = time_it(|| {
+            ex.run(events.iter().cloned());
+            ex.finish();
+        });
+        let _ = sink.take();
+        t.row(vec![
+            "executor".into(),
+            "single-threaded".into(),
+            "events/s".into(),
+            fmt_f(events.len() as f64 / secs),
+        ]);
+    }
+    {
+        let (g, sink) = make_graph();
+        let mut ex = ParallelExecutor::new(g, WatermarkPolicy::strict()).unwrap();
+        let (_, secs) = time_it(|| {
+            ex.run(events.iter().cloned());
+            ex.finish();
+        });
+        let _ = sink.take();
+        t.row(vec![
+            "executor".into(),
+            "pipelined".into(),
+            "events/s".into(),
+            fmt_f(events.len() as f64 / secs),
+        ]);
+    }
+
+    // --- Auto-reasoning under churn. -----------------------------------------
+    let churn: Vec<Event> = (0..2_000u64)
+        .map(|i| {
+            Event::from_pairs(
+                "catalog",
+                i + 1,
+                [
+                    ("product", Value::str(&format!("p{}", i % 100))),
+                    ("class", Value::str(&format!("c0_{}", i % 4))),
+                ],
+            )
+        })
+        .collect();
+    let taxonomy = {
+        let mut axioms = Vec::new();
+        for d in 0..4 {
+            for w in 0..4 {
+                axioms.push(Axiom::SubClassOf(
+                    Value::str(&format!("c{d}_{w}")),
+                    Value::str(&format!("c{}_{}", d + 1, w / 2)),
+                ));
+            }
+        }
+        Ontology::from_axioms(axioms)
+    };
+    for auto in [false, true] {
+        let mut engine = Engine::new(EngineConfig {
+            auto_reason: auto,
+            ..EngineConfig::default()
+        });
+        engine.declare_attr("type", AttrSchema::one());
+        engine.set_ontology(taxonomy.clone());
+        engine
+            .add_rules_text("rule cls:\n on catalog\n replace $(product).type = class")
+            .unwrap();
+        let (_, secs) = time_it(|| {
+            engine.run(churn.iter().cloned());
+            engine.finish();
+            if !auto {
+                engine.reason_now().unwrap();
+            }
+        });
+        t.row(vec![
+            "reasoning".into(),
+            if auto { "per-transition" } else { "once-at-end" }.into(),
+            "events/s".into(),
+            fmt_f(churn.len() as f64 / secs),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e11_runs() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 12);
+        // WAL-off must not be slower than WAL-on (modulo noise: allow
+        // 20% slack).
+        let on: f64 = t.rows[0][3].parse().unwrap();
+        let off: f64 = t.rows[1][3].parse().unwrap();
+        assert!(off > on * 0.8, "wal-off {off} vs wal-on {on}");
+    }
+}

@@ -1,0 +1,141 @@
+//! E2 — §1 claim: with a fixed window over the security service's
+//! sensor stream, "it is possible that a visitor moves through
+//! multiple rooms within the scope of a single window … the erroneous
+//! conclusion that the visitor is simultaneously in multiple rooms."
+//!
+//! We probe the building trace once per minute. The windowed view
+//! treats every position event in the window as valid; the state view
+//! asks `as_of(probe)`. Metrics: contradiction rate (fraction of
+//! visible visitors with >1 room) and position accuracy vs the oracle.
+
+use crate::table::{fmt_f, Table};
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use fenestra_core::Engine;
+use fenestra_temporal::AttrSchema;
+use fenestra_workloads::{BuildingConfig, BuildingWorkload};
+use std::collections::HashMap;
+
+fn workload() -> BuildingWorkload {
+    BuildingWorkload::generate(&BuildingConfig {
+        visitors: 30,
+        rooms: 12,
+        mean_dwell_ms: 90_000,
+        duration_ms: 3_600_000,
+        seed: 77,
+    })
+}
+
+/// Run E2.
+pub fn run() -> Table {
+    let w = workload();
+    let probes: Vec<Timestamp> = (300_000..3_600_000u64)
+        .step_by(60_000)
+        .map(Timestamp::new)
+        .collect();
+    let mut t = Table::new(
+        format!(
+            "E2: contradictory state ({} moves, 30 visitors, probes each minute)",
+            w.events.len()
+        ),
+        &[
+            "approach",
+            "window",
+            "contradiction_rate",
+            "accuracy",
+            "visible_visitors",
+        ],
+    );
+
+    for window_s in [60u64, 300, 900, 3600] {
+        let window_ms = window_s * 1000;
+        let mut contradicted = 0usize;
+        let mut visible = 0usize;
+        let mut correct = 0usize;
+        for &probe in &probes {
+            let mut rooms: HashMap<&str, Vec<&str>> = HashMap::new();
+            for e in &w.events {
+                if e.ts <= probe && e.ts.millis() + window_ms > probe.millis() {
+                    rooms
+                        .entry(e.get("visitor").unwrap().as_str().unwrap())
+                        .or_default()
+                        .push(e.get("room").unwrap().as_str().unwrap());
+                }
+            }
+            for (v, rs) in &rooms {
+                visible += 1;
+                if rs.len() > 1 {
+                    contradicted += 1;
+                }
+                // Windowed "answer": most recent event in window — even
+                // giving the baseline this best-case disambiguation.
+                let answer = rs.last().copied();
+                if answer == w.true_room_at(v, probe) {
+                    correct += 1;
+                }
+            }
+        }
+        t.row(vec![
+            "window".into(),
+            format!("{window_s}s"),
+            fmt_f(contradicted as f64 / visible.max(1) as f64),
+            fmt_f(correct as f64 / visible.max(1) as f64),
+            format!("{:.1}/probe", visible as f64 / probes.len() as f64),
+        ]);
+    }
+
+    // Explicit state.
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("room", AttrSchema::one());
+    engine
+        .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+        .unwrap();
+    engine.run(w.events.iter().cloned());
+    engine.finish();
+    let store = engine.store();
+    let mut visible = 0usize;
+    let mut correct = 0usize;
+    let contradicted = 0usize; // cardinality-one: impossible by construction
+    for &probe in &probes {
+        for v in 0..30 {
+            let name = format!("v{v}");
+            let Some(e) = store.lookup_entity(name.as_str()) else {
+                continue;
+            };
+            let rooms = store.as_of(probe).values(e, "room");
+            assert!(rooms.len() <= 1, "store contradiction — impossible");
+            if let Some(r) = rooms.first() {
+                visible += 1;
+                if Some(*r) == w.true_room_at(&name, probe).map(Value::str) {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    t.row(vec![
+        "explicit-state".into(),
+        "replace rule".into(),
+        fmt_f(contradicted as f64),
+        fmt_f(correct as f64 / visible.max(1) as f64),
+        format!("{:.1}/probe", visible as f64 / probes.len() as f64),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e2_shape_holds() {
+        let t = super::run();
+        let state = t.rows.last().unwrap();
+        assert_eq!(state[2], "0", "state never contradicts");
+        assert_eq!(state[3], "1.00", "state positions exact");
+        // Large windows contradict heavily.
+        let w3600 = &t.rows[3];
+        assert!(
+            w3600[2].parse::<f64>().unwrap() > 0.5,
+            "hour-long window should contradict most visitors: {}",
+            w3600[2]
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! E4 — §3.2 claim: "queryable state … enables the users to query the
+//! state on-demand, potentially referring to historical data. This
+//! would not be possible using only stream processing technologies."
+//!
+//! The stream-only way to answer "where was everyone at time T?" is to
+//! replay the event log up to T. The state repository answers from its
+//! timelines. We sweep history length and compare per-query latency.
+
+use crate::table::{fmt_f, Table};
+use crate::time_it;
+use fenestra_base::time::Timestamp;
+use fenestra_temporal::{AttrSchema, TemporalStore};
+
+/// Build a store with `n` replace transitions over `visitors` visitors,
+/// returning it (WAL enabled so the replay baseline can use it).
+fn build(n: u64, visitors: u64) -> TemporalStore {
+    let mut s = TemporalStore::new();
+    s.declare_attr("room", AttrSchema::one());
+    let ids: Vec<_> = (0..visitors)
+        .map(|v| s.named_entity(format!("v{v}").as_str()))
+        .collect();
+    for i in 0..n {
+        let v = ids[(i % visitors) as usize];
+        let room = format!("room{}", (i * 7) % 20);
+        s.replace_at(v, "room", room.as_str(), Timestamp::new(i + 1))
+            .unwrap();
+    }
+    s
+}
+
+/// Run E4.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E4: historical point query — as-of vs log replay",
+        &[
+            "history_len",
+            "asof_us",
+            "replay_ms",
+            "speedup",
+            "store_facts",
+        ],
+    );
+    let visitors = 50;
+    for n in [1_000u64, 10_000, 50_000, 200_000] {
+        let store = build(n, visitors);
+        let probe = Timestamp::new(n / 2);
+        let queries = 200u64;
+        // As-of queries against the store.
+        let (_, asof_secs) = time_it(|| {
+            let mut acc = 0usize;
+            for q in 0..queries {
+                let e = store
+                    .lookup_entity(format!("v{}", q % visitors).as_str())
+                    .unwrap();
+                if store.as_of(probe).value(e, "room").is_some() {
+                    acc += 1;
+                }
+            }
+            acc
+        });
+        // Replay baseline: rebuild the prefix of the journal up to the
+        // probe, then read current state (what a stream-only system
+        // must do). One replay serves one query batch at one instant.
+        let (_, replay_secs) = time_it(|| {
+            let cut = store
+                .wal()
+                .iter()
+                .position(|op| match op {
+                    fenestra_temporal::WalOp::Replace { t, .. } => *t > probe,
+                    _ => false,
+                })
+                .unwrap_or(store.wal().len());
+            let prefix = &store.wal()[..cut];
+            let replayed = TemporalStore::replay(prefix).unwrap();
+            let mut acc = 0usize;
+            for q in 0..queries {
+                if let Some(e) = replayed.lookup_entity(format!("v{}", q % visitors).as_str()) {
+                    if replayed.current().value(e, "room").is_some() {
+                        acc += 1;
+                    }
+                }
+            }
+            acc
+        });
+        let asof_us = asof_secs * 1e6 / queries as f64;
+        let replay_ms = replay_secs * 1e3;
+        t.row(vec![
+            n.to_string(),
+            fmt_f(asof_us),
+            fmt_f(replay_ms),
+            format!("{:.0}x", (replay_secs / queries as f64) / (asof_secs / queries as f64)),
+            store.stored_fact_count().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e4_shape_holds() {
+        let t = super::run();
+        // At the largest history, as-of must beat replay by a wide
+        // margin per query.
+        let last = t.rows.last().unwrap();
+        let speedup: f64 = last[3].trim_end_matches('x').parse().unwrap();
+        assert!(speedup > 10.0, "as-of should dominate replay: {speedup}x");
+    }
+}

@@ -1,0 +1,143 @@
+//! E7 — §3 feasibility: "we envision the possibility to implement the
+//! state component as a temporal database."
+//!
+//! Microbenchmark of the temporal store's core operations, the
+//! foundation everything else stands on. (Criterion variants live in
+//! `benches/store.rs`; this harness prints one-shot throughput so the
+//! table in EXPERIMENTS.md can be regenerated without criterion.)
+
+use crate::table::{fmt_f, Table};
+use crate::time_it;
+use fenestra_base::time::Timestamp;
+use fenestra_temporal::{AttrSchema, TemporalStore};
+
+/// Run E7.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E7: temporal store microbenchmarks",
+        &["operation", "n", "wall_ms", "ops_per_sec"],
+    );
+    let n: u64 = 100_000;
+    let visitors = 1_000u64;
+
+    // assert (cardinality-many)
+    let mut store = TemporalStore::without_wal();
+    let ids: Vec<_> = (0..visitors)
+        .map(|v| store.named_entity(format!("e{v}").as_str()))
+        .collect();
+    let (_, secs) = time_it(|| {
+        for i in 0..n {
+            store
+                .assert_at(ids[(i % visitors) as usize], "tag", i as i64, Timestamp::new(i + 1))
+                .unwrap();
+        }
+    });
+    t.row(vec![
+        "assert (many)".into(),
+        n.to_string(),
+        fmt_f(secs * 1e3),
+        fmt_f(n as f64 / secs),
+    ]);
+
+    // replace (cardinality-one) — the paper's hot path
+    let mut store = TemporalStore::without_wal();
+    store.declare_attr("room", AttrSchema::one());
+    let ids: Vec<_> = (0..visitors)
+        .map(|v| store.named_entity(format!("v{v}").as_str()))
+        .collect();
+    let (_, secs) = time_it(|| {
+        for i in 0..n {
+            store
+                .replace_at(
+                    ids[(i % visitors) as usize],
+                    "room",
+                    format!("room{}", i % 17).as_str(),
+                    Timestamp::new(i + 1),
+                )
+                .unwrap();
+        }
+    });
+    t.row(vec![
+        "replace (one)".into(),
+        n.to_string(),
+        fmt_f(secs * 1e3),
+        fmt_f(n as f64 / secs),
+    ]);
+
+    // current-state point reads on that store
+    let reads = 200_000u64;
+    let (_, secs) = time_it(|| {
+        let mut acc = 0usize;
+        for i in 0..reads {
+            if store
+                .current()
+                .value(ids[(i % visitors) as usize], "room")
+                .is_some()
+            {
+                acc += 1;
+            }
+        }
+        acc
+    });
+    t.row(vec![
+        "current point read".into(),
+        reads.to_string(),
+        fmt_f(secs * 1e3),
+        fmt_f(reads as f64 / secs),
+    ]);
+
+    // as-of point reads (half-way probe over deep history)
+    let probe = Timestamp::new(n / 2);
+    let (_, secs) = time_it(|| {
+        let mut acc = 0usize;
+        for i in 0..reads {
+            if store
+                .as_of(probe)
+                .value(ids[(i % visitors) as usize], "room")
+                .is_some()
+            {
+                acc += 1;
+            }
+        }
+        acc
+    });
+    t.row(vec![
+        "as-of point read".into(),
+        reads.to_string(),
+        fmt_f(secs * 1e3),
+        fmt_f(reads as f64 / secs),
+    ]);
+
+    // full current snapshot scan
+    let (count, secs) = time_it(|| store.current().facts().count());
+    t.row(vec![
+        "current full scan".into(),
+        count.to_string(),
+        fmt_f(secs * 1e3),
+        fmt_f(count as f64 / secs),
+    ]);
+
+    // GC of closed history
+    let before = store.stored_fact_count();
+    let (reclaimed, secs) = time_it(|| store.gc(Timestamp::new(n)));
+    t.row(vec![
+        format!("gc ({before} facts)"),
+        reclaimed.to_string(),
+        fmt_f(secs * 1e3),
+        fmt_f(reclaimed as f64 / secs.max(1e-9)),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e7_runs_and_reports_sane_throughput() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 6);
+        // Replace throughput should comfortably exceed 100k ops/s in
+        // debug... keep the bar low for CI machines: > 10k.
+        let replace_ops: f64 = t.rows[1][3].parse().unwrap();
+        assert!(replace_ops > 10_000.0, "replace {replace_ops} ops/s");
+    }
+}

@@ -1,0 +1,121 @@
+//! E8 — §3 claim: "the state component can exploit domain information
+//! — for instance in the form of ontologies — to derive new knowledge
+//! from the explicit information it stores" (and §3.1: "a taxonomy to
+//! organize the products … automatically derive sub-classes
+//! relations").
+//!
+//! Closure cost over a product taxonomy, sweeping taxonomy depth, for
+//! naive vs semi-naive evaluation; plus the latency of maintaining the
+//! materialization under a single reclassification, incremental (DRed)
+//! vs full recompute.
+
+use crate::table::{fmt_f, Table};
+use crate::time_it;
+use fenestra_base::value::{EntityId, Value};
+use fenestra_reason::materialize::{naive, seminaive};
+use fenestra_reason::triple::{id_resolver, Triple};
+use fenestra_reason::{Axiom, IncrementalMaterializer, Ontology};
+
+/// A `depth`-deep chain taxonomy with `width` leaf classes per level.
+fn taxonomy(depth: usize) -> Ontology {
+    let mut axioms = Vec::new();
+    for d in 0..depth {
+        for w in 0..4 {
+            // level d class w ⊑ level d+1 class w/2
+            axioms.push(Axiom::SubClassOf(
+                Value::str(&format!("c{d}_{w}")),
+                Value::str(&format!("c{}_{}", d + 1, w / 2)),
+            ));
+        }
+    }
+    Ontology::from_axioms(axioms)
+}
+
+fn base_facts(products: usize, depth: usize) -> Vec<Triple> {
+    let _ = depth;
+    (0..products)
+        .map(|p| {
+            Triple::new(
+                EntityId(p as u64),
+                "type",
+                Value::str(&format!("c0_{}", p % 4)),
+            )
+        })
+        .collect()
+}
+
+/// Run E8.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E8: taxonomy reasoning — closure and incremental maintenance",
+        &[
+            "depth",
+            "base_facts",
+            "derived",
+            "naive_ms",
+            "seminaive_ms",
+            "incr_update_us",
+            "recompute_ms",
+        ],
+    );
+    for depth in [2usize, 4, 8, 16] {
+        let ont = taxonomy(depth);
+        let base = base_facts(2_000, depth);
+        let (derived_naive, naive_s) = time_it(|| naive(&base, &ont, &id_resolver));
+        let (derived_semi, semi_s) = time_it(|| seminaive(&base, &ont, &id_resolver));
+        assert_eq!(derived_naive, derived_semi, "strategies must agree");
+
+        // Incremental: reclassify one product.
+        let mut inc = IncrementalMaterializer::new(ont.clone(), Box::new(id_resolver));
+        for f in &base {
+            inc.insert(*f);
+        }
+        let victim = base[0];
+        let (_, incr_s) = time_it(|| {
+            inc.remove(&victim);
+            inc.insert(Triple::new(victim.s, "type", Value::str("c0_3")));
+        });
+        // Recompute baseline for the same update.
+        let mut base2 = base.clone();
+        base2[0] = Triple::new(victim.s, "type", Value::str("c0_3"));
+        let (_, recompute_s) = time_it(|| seminaive(&base2, &ont, &id_resolver));
+
+        t.row(vec![
+            depth.to_string(),
+            base.len().to_string(),
+            derived_semi.len().to_string(),
+            fmt_f(naive_s * 1e3),
+            fmt_f(semi_s * 1e3),
+            fmt_f(incr_s * 1e6),
+            fmt_f(recompute_s * 1e3),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e8_shape_holds() {
+        let t = super::run();
+        for r in &t.rows {
+            let naive_ms: f64 = r[3].parse().unwrap();
+            let semi_ms: f64 = r[4].parse().unwrap();
+            let incr_us: f64 = r[5].parse().unwrap();
+            let recompute_ms: f64 = r[6].parse().unwrap();
+            // Semi-naive should not be dramatically slower than naive
+            // (both reach the same fixpoint; semi-naive avoids
+            // re-deriving).
+            assert!(semi_ms <= naive_ms * 2.0, "semi {semi_ms} vs naive {naive_ms}");
+            // The incremental update should beat recomputation.
+            assert!(
+                incr_us / 1e3 < recompute_ms,
+                "incremental {incr_us}us vs recompute {recompute_ms}ms"
+            );
+        }
+        // Derived facts grow with depth.
+        let d0: usize = t.rows[0][2].parse().unwrap();
+        let d3: usize = t.rows[3][2].parse().unwrap();
+        assert!(d3 > d0);
+    }
+}

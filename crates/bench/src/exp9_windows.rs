@@ -1,0 +1,105 @@
+//! E9 — baseline fidelity: the window substrate Fenestra is compared
+//! against must itself be competently implemented, or every
+//! state-vs-window comparison is a strawman. This experiment
+//! reproduces the classic result of Li et al. (SIGMOD'05, cited as
+//! \[10\] by the paper): pane-based sliding aggregation beats both
+//! per-window recomputation and, for cheap aggregates, incremental
+//! add/evict — with the gap growing as size/slide grows.
+
+use crate::table::{fmt_f, Table};
+use crate::time_it;
+use fenestra_base::record::Event;
+use fenestra_base::time::Duration;
+use fenestra_stream::aggregate::AggSpec;
+use fenestra_stream::executor::Executor;
+use fenestra_stream::graph::Graph;
+use fenestra_stream::window::time::{SlidingStrategy, TimeWindowOp};
+
+fn events(n: u64) -> Vec<Event> {
+    (0..n)
+        .map(|i| {
+            Event::from_pairs(
+                "s",
+                i * 10,
+                [("v", ((i * 31) % 1000) as i64), ("k", (i % 8) as i64)],
+            )
+        })
+        .collect()
+}
+
+fn run_strategy(evs: &[Event], size: u64, slide: u64, strat: SlidingStrategy) -> (usize, f64) {
+    let mut g = Graph::new();
+    let win = g.add_op(
+        TimeWindowOp::sliding(Duration::millis(size), Duration::millis(slide))
+            .strategy(strat)
+            .group_by(["k"])
+            .aggregate(AggSpec::sum("v", "total"))
+            .aggregate(AggSpec::count("n")),
+    );
+    g.connect_source("s", win);
+    let sink = g.add_sink();
+    g.connect(win, sink.node);
+    let mut ex = Executor::new(g);
+    let (_, secs) = time_it(|| {
+        ex.run(evs.iter().cloned());
+        ex.finish();
+    });
+    (sink.take().len(), secs)
+}
+
+/// Run E9.
+pub fn run() -> Table {
+    let evs = events(60_000);
+    let mut t = Table::new(
+        "E9: sliding aggregation strategies (60k events, grouped sum+count)",
+        &[
+            "size/slide",
+            "overlap",
+            "recompute_ms",
+            "incremental_ms",
+            "panes_ms",
+            "rows",
+        ],
+    );
+    for (size, slide) in [(1_000u64, 1_000u64), (5_000, 1_000), (20_000, 1_000), (60_000, 2_000)] {
+        let mut results = Vec::new();
+        let mut rows = Vec::new();
+        for strat in [
+            SlidingStrategy::Recompute,
+            SlidingStrategy::Incremental,
+            SlidingStrategy::Panes,
+        ] {
+            let (n, secs) = run_strategy(&evs, size, slide, strat);
+            results.push(secs);
+            rows.push(n);
+        }
+        assert_eq!(rows[0], rows[1]);
+        assert_eq!(rows[1], rows[2]);
+        t.row(vec![
+            format!("{size}/{slide}"),
+            format!("{}x", size / slide),
+            fmt_f(results[0] * 1e3),
+            fmt_f(results[1] * 1e3),
+            fmt_f(results[2] * 1e3),
+            rows[0].to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e9_shape_holds() {
+        let t = super::run();
+        // At the highest overlap, recomputation must be the slowest
+        // strategy.
+        let high = &t.rows[2];
+        let recompute: f64 = high[2].parse().unwrap();
+        let panes: f64 = high[4].parse().unwrap();
+        assert!(
+            recompute > panes,
+            "recompute {recompute}ms should exceed panes {panes}ms at 20x overlap"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! # fenestra-bench
+//!
+//! The experiment harness. The reproduced paper is a vision paper with
+//! no evaluation section, so each experiment here operationalizes one
+//! of its *claims* (see DESIGN.md §5 for the index and EXPERIMENTS.md
+//! for measured results):
+//!
+//! | Exp | Claim |
+//! |-----|-------|
+//! | E1  | fixed windows are inadequate for sessions (§1) |
+//! | E2  | windows yield contradictory state (§1) |
+//! | E3  | windows lose old-but-valid classifications (§3.1) |
+//! | E4  | explicit state makes history queryable (§3.2) |
+//! | E5  | state-gating reduces processing (§1/§5) |
+//! | E6  | separation of concerns simplifies rules (§3.2) |
+//! | E7  | the temporal store is feasible as a state repository (§3) |
+//! | E8  | reasoning over state is maintainable (§3) |
+//! | E9  | the window substrate is a fair baseline (Li et al. panes) |
+//! | E10 | multi-event transitions via CEP triggers (§3.3 Q1) |
+//! | E11 | ablations over Fenestra's own design knobs |
+//!
+//! Each `expN` module exposes `run() -> Table`; the `experiments`
+//! binary prints one or all. Criterion microbenches live in
+//! `benches/`.
+
+pub mod exp1_sessions;
+pub mod exp2_contradictions;
+pub mod exp3_classification;
+pub mod exp4_asof;
+pub mod exp5_gating;
+pub mod exp6_separation;
+pub mod exp7_store;
+pub mod exp8_reasoning;
+pub mod exp9_windows;
+pub mod exp10_patterns;
+pub mod exp11_ablations;
+pub mod table;
+
+pub use table::Table;
+
+use std::time::Instant;
+
+/// An experiment entry: `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn() -> Table);
+
+/// Wall-clock a closure, returning `(result, elapsed_seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// All experiments in order, as `(id, title, runner)`.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("e1", "Session detection vs fixed windows", exp1_sessions::run),
+        ("e2", "Contradictions in windowed state", exp2_contradictions::run),
+        ("e3", "Classification joins: window vs state", exp3_classification::run),
+        ("e4", "Historical queries: as-of vs replay", exp4_asof::run),
+        ("e5", "State-gated processing", exp5_gating::run),
+        ("e6", "Separation of concerns", exp6_separation::run),
+        ("e7", "Temporal store microbenchmarks", exp7_store::run),
+        ("e8", "Reasoning maintenance strategies", exp8_reasoning::run),
+        ("e9", "Sliding-window aggregation strategies", exp9_windows::run),
+        ("e10", "Multi-event rule triggers (CEP)", exp10_patterns::run),
+        ("e11", "Design-choice ablations", exp11_ablations::run),
+    ]
+}

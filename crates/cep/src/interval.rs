@@ -1,0 +1,183 @@
+//! Allen's interval algebra over validity intervals.
+//!
+//! Detected situations carry intervals (interval time semantics); these
+//! relations let downstream logic compose situations temporally
+//! ("alarm during maintenance", "login before purchase"). Open
+//! intervals (`end = None`) are treated as extending to the end of
+//! time.
+
+use fenestra_base::time::{Interval, Timestamp};
+
+fn end_of(i: &Interval) -> Timestamp {
+    i.end.unwrap_or(Timestamp::MAX)
+}
+
+/// `a` ends strictly before `b` starts (with a gap).
+pub fn before(a: &Interval, b: &Interval) -> bool {
+    end_of(a) < b.start
+}
+
+/// `a` ends exactly where `b` starts.
+pub fn meets(a: &Interval, b: &Interval) -> bool {
+    end_of(a) == b.start
+}
+
+/// `a` starts first, they overlap, and `a` ends first.
+pub fn overlaps(a: &Interval, b: &Interval) -> bool {
+    a.start < b.start && end_of(a) > b.start && end_of(a) < end_of(b)
+}
+
+/// `a` lies strictly inside `b`.
+pub fn during(a: &Interval, b: &Interval) -> bool {
+    a.start > b.start && end_of(a) < end_of(b)
+}
+
+/// `a` and `b` start together, `a` ends first.
+pub fn starts(a: &Interval, b: &Interval) -> bool {
+    a.start == b.start && end_of(a) < end_of(b)
+}
+
+/// `a` and `b` end together, `a` starts later.
+pub fn finishes(a: &Interval, b: &Interval) -> bool {
+    a.start > b.start && end_of(a) == end_of(b)
+}
+
+/// Identical intervals.
+pub fn equals(a: &Interval, b: &Interval) -> bool {
+    a.start == b.start && end_of(a) == end_of(b)
+}
+
+/// The thirteen Allen relations, as a symmetric classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllenRelation {
+    /// `a` before `b`.
+    Before,
+    /// `a` after `b`.
+    After,
+    /// `a` meets `b`.
+    Meets,
+    /// `a` met-by `b`.
+    MetBy,
+    /// `a` overlaps `b`.
+    Overlaps,
+    /// `a` overlapped-by `b`.
+    OverlappedBy,
+    /// `a` during `b`.
+    During,
+    /// `a` contains `b`.
+    Contains,
+    /// `a` starts `b`.
+    Starts,
+    /// `a` started-by `b`.
+    StartedBy,
+    /// `a` finishes `b`.
+    Finishes,
+    /// `a` finished-by `b`.
+    FinishedBy,
+    /// `a` equals `b`.
+    Equals,
+}
+
+/// Classify the relation between `a` and `b`.
+pub fn classify(a: &Interval, b: &Interval) -> AllenRelation {
+    use AllenRelation::*;
+    if equals(a, b) {
+        Equals
+    } else if before(a, b) {
+        Before
+    } else if before(b, a) {
+        After
+    } else if meets(a, b) {
+        Meets
+    } else if meets(b, a) {
+        MetBy
+    } else if overlaps(a, b) {
+        Overlaps
+    } else if overlaps(b, a) {
+        OverlappedBy
+    } else if during(a, b) {
+        During
+    } else if during(b, a) {
+        Contains
+    } else if starts(a, b) {
+        Starts
+    } else if starts(b, a) {
+        StartedBy
+    } else if finishes(a, b) {
+        Finishes
+    } else {
+        debug_assert!(finishes(b, a));
+        FinishedBy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::closed(Timestamp::new(s), Timestamp::new(e))
+    }
+
+    #[test]
+    fn relations() {
+        assert_eq!(classify(&iv(0, 5), &iv(10, 20)), AllenRelation::Before);
+        assert_eq!(classify(&iv(10, 20), &iv(0, 5)), AllenRelation::After);
+        assert_eq!(classify(&iv(0, 10), &iv(10, 20)), AllenRelation::Meets);
+        assert_eq!(classify(&iv(10, 20), &iv(0, 10)), AllenRelation::MetBy);
+        assert_eq!(classify(&iv(0, 15), &iv(10, 20)), AllenRelation::Overlaps);
+        assert_eq!(classify(&iv(10, 20), &iv(0, 15)), AllenRelation::OverlappedBy);
+        assert_eq!(classify(&iv(12, 15), &iv(10, 20)), AllenRelation::During);
+        assert_eq!(classify(&iv(10, 20), &iv(12, 15)), AllenRelation::Contains);
+        assert_eq!(classify(&iv(10, 15), &iv(10, 20)), AllenRelation::Starts);
+        assert_eq!(classify(&iv(10, 20), &iv(10, 15)), AllenRelation::StartedBy);
+        assert_eq!(classify(&iv(15, 20), &iv(10, 20)), AllenRelation::Finishes);
+        assert_eq!(classify(&iv(10, 20), &iv(15, 20)), AllenRelation::FinishedBy);
+        assert_eq!(classify(&iv(10, 20), &iv(10, 20)), AllenRelation::Equals);
+    }
+
+    #[test]
+    fn exhaustive_classification_over_small_grid() {
+        // Every pair of non-empty intervals over a small grid must fall
+        // into exactly one relation (classify must never panic, and the
+        // inverse pair must classify to the mirrored relation).
+        let mirror = |r: AllenRelation| -> AllenRelation {
+            use AllenRelation::*;
+            match r {
+                Before => After,
+                After => Before,
+                Meets => MetBy,
+                MetBy => Meets,
+                Overlaps => OverlappedBy,
+                OverlappedBy => Overlaps,
+                During => Contains,
+                Contains => During,
+                Starts => StartedBy,
+                StartedBy => Starts,
+                Finishes => FinishedBy,
+                FinishedBy => Finishes,
+                Equals => Equals,
+            }
+        };
+        for a1 in 0..5u64 {
+            for a2 in a1 + 1..6 {
+                for b1 in 0..5u64 {
+                    for b2 in b1 + 1..6 {
+                        let (a, b) = (iv(a1, a2), iv(b1, b2));
+                        let r = classify(&a, &b);
+                        assert_eq!(classify(&b, &a), mirror(r), "{a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_intervals_extend_to_end_of_time() {
+        let open = Interval::open(Timestamp::new(10));
+        assert_eq!(classify(&iv(0, 5), &open), AllenRelation::Before);
+        assert_eq!(classify(&iv(12, 20), &open), AllenRelation::During);
+        let open2 = Interval::open(Timestamp::new(0));
+        assert_eq!(classify(&open, &open2), AllenRelation::Finishes);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! # fenestra-cep
+//!
+//! Complex event processing for Fenestra: temporal patterns over event
+//! streams, with **interval time semantics** for detected situations
+//! (after EP-SPARQL / ETALIS, which the paper cites as the CEP systems
+//! whose "situations encode the current state of the application
+//! environment").
+//!
+//! Patterns ([`pattern::Pattern`]) compose single-event atoms into
+//! sequences, alternations, conjunctions, and bounded/unbounded
+//! repetitions, constrained by a `within` window and optional negated
+//! atoms ("no X between the first and last element"). The
+//! [`matcher::Matcher`] compiles a pattern to a Thompson-style NFA
+//! ([`nfa`]) and feeds events through it, producing
+//! [`matcher::Match`]es that carry a validity interval `[first, last]`
+//! and the bound events.
+//!
+//! In the Fenestra architecture, CEP patterns serve two roles:
+//!
+//! 1. standalone situation detection (classic CEP), and
+//! 2. *multi-event triggers* for state-management rules — the paper's
+//!    open research question 1 ("a state transition determined by
+//!    multiple streaming elements") — see `fenestra-rules`.
+
+pub mod interval;
+pub mod matcher;
+pub mod nfa;
+pub mod pattern;
+
+pub use matcher::{Match, Matcher, MatcherConfig};
+pub use pattern::{EventPattern, Pattern, PatternSpec};

@@ -1,0 +1,418 @@
+//! The runtime matcher: feeds events through the compiled NFA.
+
+use crate::nfa::Nfa;
+use crate::pattern::{EventPattern, PatternSpec};
+use fenestra_base::expr::Scope;
+use fenestra_base::record::Event;
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::{Interval, Timestamp};
+use fenestra_base::value::Value;
+use std::collections::VecDeque;
+
+/// A completed pattern match: the bound events and the interval they
+/// span (interval time semantics — the detected situation is valid
+/// over `[first, last]`, encoded half-open as `[first, last+1)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// `(alias, event)` in binding order; repeated aliases appear once
+    /// per repetition.
+    pub bindings: Vec<(Symbol, Event)>,
+    /// Validity interval of the detected situation.
+    pub interval: Interval,
+}
+
+impl Match {
+    /// The first bound event with this alias.
+    pub fn get(&self, alias: impl Into<Symbol>) -> Option<&Event> {
+        let alias = alias.into();
+        self.bindings.iter().find(|(a, _)| *a == alias).map(|(_, e)| e)
+    }
+
+    /// All bound events with this alias (repetitions).
+    pub fn get_all(&self, alias: impl Into<Symbol>) -> Vec<&Event> {
+        let alias = alias.into();
+        self.bindings
+            .iter()
+            .filter(|(a, _)| *a == alias)
+            .map(|(_, e)| e)
+            .collect()
+    }
+}
+
+/// Resource limits and selection behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct MatcherConfig {
+    /// Maximum simultaneously tracked partial matches; the oldest are
+    /// evicted beyond this (counted in [`Matcher::evicted`]).
+    pub max_partials: usize,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig {
+            max_partials: 10_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    state: usize,
+    bindings: Vec<(Symbol, Event)>,
+    first_ts: Timestamp,
+    last_ts: Timestamp,
+}
+
+/// Scope for atom predicates: the candidate event's own fields (plus
+/// `ts`, `stream`) and dotted references to earlier bindings
+/// (`alias.field`, `alias.ts`).
+struct MatchScope<'a> {
+    ev: &'a Event,
+    bindings: &'a [(Symbol, Event)],
+}
+
+impl Scope for MatchScope<'_> {
+    fn lookup(&self, name: Symbol) -> Option<Value> {
+        let s = name.as_str();
+        if let Some((alias, field)) = s.split_once('.') {
+            let alias = Symbol::intern(alias);
+            let bound = self
+                .bindings
+                .iter()
+                .rev()
+                .find(|(a, _)| *a == alias)
+                .map(|(_, e)| e)?;
+            return match field {
+                "ts" => Some(Value::Time(bound.ts)),
+                "stream" => Some(Value::Str(bound.stream)),
+                _ => bound.record.get(Symbol::intern(field)).copied(),
+            };
+        }
+        if let Some(v) = self.ev.record.get(name) {
+            return Some(*v);
+        }
+        match s {
+            "ts" => Some(Value::Time(self.ev.ts)),
+            "stream" => Some(Value::Str(self.ev.stream)),
+            _ => None,
+        }
+    }
+}
+
+fn atom_matches(atom: &EventPattern, ev: &Event, bindings: &[(Symbol, Event)]) -> bool {
+    if let Some(s) = atom.stream {
+        if ev.stream != s {
+            return false;
+        }
+    }
+    atom.pred
+        .eval_bool(&MatchScope { ev, bindings })
+        .unwrap_or(false)
+}
+
+/// Incremental pattern matcher with skip-till-any-match semantics:
+/// every partial match survives non-matching events, and a matching
+/// event both extends existing partials and starts new ones.
+pub struct Matcher {
+    spec: PatternSpec,
+    nfa: Nfa,
+    partials: VecDeque<Partial>,
+    config: MatcherConfig,
+    /// Partials dropped due to the `max_partials` cap.
+    pub evicted: u64,
+    /// Partials dropped because their window expired.
+    pub timed_out: u64,
+    /// Partials killed by a negated atom.
+    pub negated_kills: u64,
+}
+
+impl Matcher {
+    /// Compile `spec` into a matcher.
+    pub fn new(spec: PatternSpec) -> fenestra_base::error::Result<Matcher> {
+        let nfa = Nfa::compile(&spec.pattern)?;
+        Ok(Matcher {
+            spec,
+            nfa,
+            partials: VecDeque::new(),
+            config: MatcherConfig::default(),
+            evicted: 0,
+            timed_out: 0,
+            negated_kills: 0,
+        })
+    }
+
+    /// Override resource limits (chainable).
+    pub fn with_config(mut self, config: MatcherConfig) -> Matcher {
+        self.config = config;
+        self
+    }
+
+    /// Number of live partial matches.
+    pub fn partial_count(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Feed one event; returns the matches it completes.
+    pub fn on_event(&mut self, ev: &Event) -> Vec<Match> {
+        // Expire partials whose window has passed.
+        let within = self.spec.within;
+        let before = self.partials.len();
+        self.partials
+            .retain(|p| ev.ts.saturating_sub(within) <= p.first_ts);
+        self.timed_out += (before - self.partials.len()) as u64;
+
+        // Negated atoms kill any partial whose span the event falls into
+        // (the event is after the partial's first element by arrival).
+        if !self.spec.negated.is_empty() {
+            let negated = std::mem::take(&mut self.spec.negated);
+            let before = self.partials.len();
+            self.partials
+                .retain(|p| !negated.iter().any(|n| atom_matches(n, ev, &p.bindings)));
+            self.negated_kills += (before - self.partials.len()) as u64;
+            self.spec.negated = negated;
+        }
+
+        let mut completed = Vec::new();
+        let mut spawned: Vec<Partial> = Vec::new();
+
+        // Extend existing partials (skip-till-any-match: the original
+        // partial also survives unchanged).
+        for i in 0..self.partials.len() {
+            let p = &self.partials[i];
+            // Strictly increasing time within a match keeps sequence
+            // semantics sane under simultaneous events.
+            if ev.ts <= p.last_ts {
+                continue;
+            }
+            let transitions: Vec<(usize, Symbol)> = self
+                .nfa
+                .consuming_from(p.state)
+                .into_iter()
+                .filter(|(atom, _)| atom_matches(atom, ev, &p.bindings))
+                .map(|(atom, next)| (next, atom.alias))
+                .collect();
+            for (next, alias) in transitions {
+                let p = &self.partials[i];
+                let mut bindings = p.bindings.clone();
+                bindings.push((alias, ev.clone()));
+                let np = Partial {
+                    state: next,
+                    bindings,
+                    first_ts: p.first_ts,
+                    last_ts: ev.ts,
+                };
+                if self.nfa.is_accepting(np.state) {
+                    completed.push(Match {
+                        bindings: np.bindings.clone(),
+                        interval: Interval::closed(np.first_ts, np.last_ts.next()),
+                    });
+                }
+                // Keep the partial alive too: it may extend further
+                // (e.g. unbounded repeats) unless it has no outgoing
+                // consuming transitions.
+                if !self.nfa.consuming_from(np.state).is_empty() {
+                    spawned.push(np);
+                }
+            }
+        }
+
+        // Start new partials at this event.
+        let initial: Vec<(usize, Symbol)> = self
+            .nfa
+            .consuming_from(self.nfa.start)
+            .into_iter()
+            .filter(|(atom, _)| atom_matches(atom, ev, &[]))
+            .map(|(atom, next)| (next, atom.alias))
+            .collect();
+        for (next, alias) in initial {
+            let np = Partial {
+                state: next,
+                bindings: vec![(alias, ev.clone())],
+                first_ts: ev.ts,
+                last_ts: ev.ts,
+            };
+            if self.nfa.is_accepting(np.state) {
+                completed.push(Match {
+                    bindings: np.bindings.clone(),
+                    interval: Interval::closed(np.first_ts, np.last_ts.next()),
+                });
+            }
+            if !self.nfa.consuming_from(np.state).is_empty() {
+                spawned.push(np);
+            }
+        }
+
+        self.partials.extend(spawned);
+        while self.partials.len() > self.config.max_partials {
+            self.partials.pop_front();
+            self.evicted += 1;
+        }
+        completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use fenestra_base::expr::Expr;
+    use fenestra_base::time::Duration;
+
+    fn ev(stream: &str, ts: u64, pairs: Vec<(&str, Value)>) -> Event {
+        Event::from_pairs(stream, ts, pairs)
+    }
+
+    fn seq_ab(within: u64) -> Matcher {
+        let spec = PatternSpec::new(
+            Pattern::seq([
+                Pattern::atom(EventPattern::on("s", "a").filter(Expr::name("k").eq(Expr::lit("a")))),
+                Pattern::atom(EventPattern::on("s", "b").filter(Expr::name("k").eq(Expr::lit("b")))),
+            ]),
+            Duration::millis(within),
+        );
+        Matcher::new(spec).unwrap()
+    }
+
+    #[test]
+    fn sequence_matches_in_order() {
+        let mut m = seq_ab(100);
+        assert!(m.on_event(&ev("s", 1, vec![("k", Value::str("a"))])).is_empty());
+        let matches = m.on_event(&ev("s", 5, vec![("k", Value::str("b"))]));
+        assert_eq!(matches.len(), 1);
+        let mt = &matches[0];
+        assert_eq!(mt.get("a").unwrap().ts, Timestamp::new(1));
+        assert_eq!(mt.get("b").unwrap().ts, Timestamp::new(5));
+        assert_eq!(
+            mt.interval,
+            Interval::closed(Timestamp::new(1), Timestamp::new(6))
+        );
+    }
+
+    #[test]
+    fn wrong_order_does_not_match() {
+        let mut m = seq_ab(100);
+        assert!(m.on_event(&ev("s", 1, vec![("k", Value::str("b"))])).is_empty());
+        assert!(m.on_event(&ev("s", 2, vec![("k", Value::str("a"))])).is_empty());
+    }
+
+    #[test]
+    fn window_expiry() {
+        let mut m = seq_ab(10);
+        m.on_event(&ev("s", 1, vec![("k", Value::str("a"))]));
+        let matches = m.on_event(&ev("s", 50, vec![("k", Value::str("b"))]));
+        assert!(matches.is_empty(), "a expired before b arrived");
+        assert_eq!(m.timed_out, 1);
+    }
+
+    #[test]
+    fn skip_till_any_match_finds_all_combinations() {
+        let mut m = seq_ab(100);
+        m.on_event(&ev("s", 1, vec![("k", Value::str("a"))]));
+        m.on_event(&ev("s", 2, vec![("k", Value::str("a"))]));
+        let matches = m.on_event(&ev("s", 3, vec![("k", Value::str("b"))]));
+        assert_eq!(matches.len(), 2, "both a's pair with the b");
+    }
+
+    #[test]
+    fn cross_binding_predicate() {
+        // b must carry the same user as a.
+        let spec = PatternSpec::new(
+            Pattern::seq([
+                Pattern::atom(
+                    EventPattern::on("s", "a").filter(Expr::name("kind").eq(Expr::lit("login"))),
+                ),
+                Pattern::atom(
+                    EventPattern::on("s", "b")
+                        .filter(Expr::name("kind").eq(Expr::lit("purchase")))
+                        .filter(Expr::name("user").eq(Expr::name("a.user"))),
+                ),
+            ]),
+            Duration::millis(100),
+        );
+        let mut m = Matcher::new(spec).unwrap();
+        m.on_event(&ev("s", 1, vec![("kind", Value::str("login")), ("user", Value::str("u1"))]));
+        let other = m.on_event(&ev(
+            "s",
+            2,
+            vec![("kind", Value::str("purchase")), ("user", Value::str("u2"))],
+        ));
+        assert!(other.is_empty(), "different user must not match");
+        let same = m.on_event(&ev(
+            "s",
+            3,
+            vec![("kind", Value::str("purchase")), ("user", Value::str("u1"))],
+        ));
+        assert_eq!(same.len(), 1);
+    }
+
+    #[test]
+    fn negation_kills_partials() {
+        let spec = PatternSpec::new(
+            Pattern::seq([
+                Pattern::atom(EventPattern::on("s", "a").filter(Expr::name("k").eq(Expr::lit("a")))),
+                Pattern::atom(EventPattern::on("s", "b").filter(Expr::name("k").eq(Expr::lit("b")))),
+            ]),
+            Duration::millis(100),
+        )
+        .without(EventPattern::on("s", "n").filter(Expr::name("k").eq(Expr::lit("cancel"))));
+        let mut m = Matcher::new(spec).unwrap();
+        m.on_event(&ev("s", 1, vec![("k", Value::str("a"))]));
+        m.on_event(&ev("s", 2, vec![("k", Value::str("cancel"))]));
+        let matches = m.on_event(&ev("s", 3, vec![("k", Value::str("b"))]));
+        assert!(matches.is_empty(), "cancel between a and b kills the match");
+        assert_eq!(m.negated_kills, 1);
+    }
+
+    #[test]
+    fn unbounded_repeat_collects_all() {
+        // a+ b : every prefix of a's produces a match when b arrives.
+        let spec = PatternSpec::new(
+            Pattern::seq([
+                Pattern::repeat(
+                    Pattern::atom(
+                        EventPattern::on("s", "a").filter(Expr::name("k").eq(Expr::lit("a"))),
+                    ),
+                    1,
+                    None,
+                ),
+                Pattern::atom(EventPattern::on("s", "b").filter(Expr::name("k").eq(Expr::lit("b")))),
+            ]),
+            Duration::millis(100),
+        );
+        let mut m = Matcher::new(spec).unwrap();
+        m.on_event(&ev("s", 1, vec![("k", Value::str("a"))]));
+        m.on_event(&ev("s", 2, vec![("k", Value::str("a"))]));
+        let matches = m.on_event(&ev("s", 3, vec![("k", Value::str("b"))]));
+        // Runs: [a1 b], [a2 b], [a1 a2 b].
+        assert_eq!(matches.len(), 3);
+        let max_as = matches.iter().map(|m| m.get_all("a").len()).max().unwrap();
+        assert_eq!(max_as, 2);
+    }
+
+    #[test]
+    fn partial_cap_evicts_oldest() {
+        let spec = PatternSpec::new(
+            Pattern::seq([
+                Pattern::atom(EventPattern::on("s", "a")),
+                Pattern::atom(EventPattern::on("s", "b").filter(Expr::lit(false))),
+            ]),
+            Duration::millis(1_000_000),
+        );
+        let mut m = Matcher::new(spec)
+            .unwrap()
+            .with_config(MatcherConfig { max_partials: 5 });
+        for t in 0..20u64 {
+            m.on_event(&ev("s", t, vec![]));
+        }
+        assert_eq!(m.partial_count(), 5);
+        assert_eq!(m.evicted, 15);
+    }
+
+    #[test]
+    fn simultaneous_events_do_not_form_sequence() {
+        let mut m = seq_ab(100);
+        m.on_event(&ev("s", 5, vec![("k", Value::str("a"))]));
+        let matches = m.on_event(&ev("s", 5, vec![("k", Value::str("b"))]));
+        assert!(matches.is_empty(), "sequence requires strictly later time");
+    }
+}

@@ -1,0 +1,323 @@
+//! Thompson-style NFA compiled from a [`Pattern`].
+//!
+//! States are connected by epsilon transitions and *consuming*
+//! transitions labelled with an [`EventPattern`]. `All` (conjunction)
+//! is expanded to the alternation of all orderings of its children,
+//! with an arity cap; bounded `Repeat` is expanded by copying;
+//! unbounded `Repeat` uses a back-edge.
+
+use crate::pattern::{EventPattern, Pattern};
+use fenestra_base::error::{Error, Result};
+
+/// Maximum `All` arity (expanded to `arity!` orderings).
+pub const MAX_ALL_ARITY: usize = 4;
+
+/// A transition out of a state.
+#[derive(Debug, Clone)]
+pub enum Trans {
+    /// Spontaneous move.
+    Eps(usize),
+    /// Consume an event matching the pattern, then move.
+    Consume(Box<EventPattern>, usize),
+}
+
+/// One NFA state.
+#[derive(Debug, Clone, Default)]
+pub struct State {
+    /// Outgoing transitions.
+    pub trans: Vec<Trans>,
+}
+
+/// The compiled automaton.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// All states; indexes are state ids.
+    pub states: Vec<State>,
+    /// Initial state.
+    pub start: usize,
+    /// Accepting state (single, by construction).
+    pub accept: usize,
+}
+
+impl Nfa {
+    /// Compile a pattern.
+    pub fn compile(pattern: &Pattern) -> Result<Nfa> {
+        let mut b = Builder { states: Vec::new() };
+        let (start, accept) = b.fragment(pattern)?;
+        Ok(Nfa {
+            states: b.states,
+            start,
+            accept,
+        })
+    }
+
+    /// The epsilon-closure of a state.
+    pub fn eps_closure(&self, state: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![state];
+        let mut out = Vec::new();
+        while let Some(s) = stack.pop() {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            out.push(s);
+            for t in &self.states[s].trans {
+                if let Trans::Eps(n) = t {
+                    stack.push(*n);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The consuming transitions reachable (via epsilon) from `state`.
+    pub fn consuming_from(&self, state: usize) -> Vec<(&EventPattern, usize)> {
+        let mut out = Vec::new();
+        for s in self.eps_closure(state) {
+            for t in &self.states[s].trans {
+                if let Trans::Consume(p, n) = t {
+                    out.push((p.as_ref(), *n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `state` can reach the accept state via epsilon moves.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.eps_closure(state).contains(&self.accept)
+    }
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn new_state(&mut self) -> usize {
+        self.states.push(State::default());
+        self.states.len() - 1
+    }
+
+    fn eps(&mut self, from: usize, to: usize) {
+        self.states[from].trans.push(Trans::Eps(to));
+    }
+
+    fn consume(&mut self, from: usize, pat: EventPattern, to: usize) {
+        self.states[from].trans.push(Trans::Consume(Box::new(pat), to));
+    }
+
+    /// Build a fragment; returns (entry, exit).
+    fn fragment(&mut self, pattern: &Pattern) -> Result<(usize, usize)> {
+        match pattern {
+            Pattern::Atom(a) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.consume(s, a.clone(), e);
+                Ok((s, e))
+            }
+            Pattern::Seq(ps) => {
+                if ps.is_empty() {
+                    return Err(Error::Invalid("empty sequence pattern".into()));
+                }
+                let mut entry = None;
+                let mut prev_exit: Option<usize> = None;
+                for p in ps {
+                    let (s, e) = self.fragment(p)?;
+                    if let Some(pe) = prev_exit {
+                        self.eps(pe, s);
+                    } else {
+                        entry = Some(s);
+                    }
+                    prev_exit = Some(e);
+                }
+                Ok((entry.expect("non-empty"), prev_exit.expect("non-empty")))
+            }
+            Pattern::Any(ps) => {
+                if ps.is_empty() {
+                    return Err(Error::Invalid("empty alternation pattern".into()));
+                }
+                let s = self.new_state();
+                let e = self.new_state();
+                for p in ps {
+                    let (ps_, pe) = self.fragment(p)?;
+                    self.eps(s, ps_);
+                    self.eps(pe, e);
+                }
+                Ok((s, e))
+            }
+            Pattern::All(ps) => {
+                if ps.is_empty() {
+                    return Err(Error::Invalid("empty conjunction pattern".into()));
+                }
+                if ps.len() > MAX_ALL_ARITY {
+                    return Err(Error::Invalid(format!(
+                        "conjunction arity {} exceeds the maximum {} (it expands to arity! orderings)",
+                        ps.len(),
+                        MAX_ALL_ARITY
+                    )));
+                }
+                // Expand to Any over all orderings.
+                let mut orderings: Vec<Pattern> = Vec::new();
+                let idx: Vec<usize> = (0..ps.len()).collect();
+                permute(&idx, &mut |perm| {
+                    orderings.push(Pattern::Seq(perm.iter().map(|&i| ps[i].clone()).collect()));
+                });
+                self.fragment(&Pattern::Any(orderings))
+            }
+            Pattern::Repeat { pat, min, max } => {
+                if let Some(max) = max {
+                    if max < min || *max == 0 {
+                        return Err(Error::Invalid(format!("bad repeat bounds {min}..={max}")));
+                    }
+                }
+                let s = self.new_state();
+                let e = self.new_state();
+                // `min` mandatory copies.
+                let mut cursor = s;
+                for _ in 0..*min {
+                    let (ps_, pe) = self.fragment(pat)?;
+                    self.eps(cursor, ps_);
+                    cursor = pe;
+                }
+                self.eps(cursor, e);
+                match max {
+                    Some(max) => {
+                        // Optional copies up to max.
+                        for _ in *min..*max {
+                            let (ps_, pe) = self.fragment(pat)?;
+                            self.eps(cursor, ps_);
+                            self.eps(pe, e);
+                            cursor = pe;
+                        }
+                    }
+                    None => {
+                        // Unbounded: loop one more copy back.
+                        let (ps_, pe) = self.fragment(pat)?;
+                        self.eps(cursor, ps_);
+                        self.eps(pe, ps_);
+                        self.eps(pe, e);
+                    }
+                }
+                Ok((s, e))
+            }
+        }
+    }
+}
+
+fn permute(items: &[usize], f: &mut impl FnMut(&[usize])) {
+    let mut v: Vec<usize> = items.to_vec();
+    permute_rec(&mut v, 0, f);
+}
+
+fn permute_rec(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute_rec(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(name: &str) -> Pattern {
+        Pattern::Atom(EventPattern::on(name, name))
+    }
+
+    #[test]
+    fn atom_nfa() {
+        let n = Nfa::compile(&atom("a")).unwrap();
+        assert!(!n.is_accepting(n.start));
+        let cons = n.consuming_from(n.start);
+        assert_eq!(cons.len(), 1);
+        assert!(n.is_accepting(cons[0].1));
+    }
+
+    #[test]
+    fn seq_requires_order() {
+        let n = Nfa::compile(&Pattern::seq([atom("a"), atom("b")])).unwrap();
+        let first = n.consuming_from(n.start);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].0.alias.as_str(), "a");
+        let second = n.consuming_from(first[0].1);
+        assert_eq!(second[0].0.alias.as_str(), "b");
+        assert!(n.is_accepting(second[0].1));
+    }
+
+    #[test]
+    fn any_offers_both_branches() {
+        let n = Nfa::compile(&Pattern::any_of([atom("a"), atom("b")])).unwrap();
+        let firsts: Vec<&str> = n
+            .consuming_from(n.start)
+            .iter()
+            .map(|(p, _)| p.alias.as_str())
+            .collect();
+        assert_eq!(firsts.len(), 2);
+        assert!(firsts.contains(&"a") && firsts.contains(&"b"));
+    }
+
+    #[test]
+    fn all_expands_orderings() {
+        let n = Nfa::compile(&Pattern::all_of([atom("a"), atom("b")])).unwrap();
+        let firsts: Vec<&str> = n
+            .consuming_from(n.start)
+            .iter()
+            .map(|(p, _)| p.alias.as_str())
+            .collect();
+        assert!(firsts.contains(&"a") && firsts.contains(&"b"));
+    }
+
+    #[test]
+    fn all_arity_capped() {
+        let big: Vec<Pattern> = (0..5).map(|i| atom(&format!("x{i}"))).collect();
+        assert!(Nfa::compile(&Pattern::all_of(big)).is_err());
+    }
+
+    #[test]
+    fn repeat_bounded() {
+        // a{2,3}
+        let n = Nfa::compile(&Pattern::repeat(atom("a"), 2, Some(3))).unwrap();
+        // After one 'a': not accepting.
+        let s1 = n.consuming_from(n.start)[0].1;
+        assert!(!n.is_accepting(s1));
+        let s2 = n.consuming_from(s1)[0].1;
+        assert!(n.is_accepting(s2), "two copies suffice");
+        let s3 = n.consuming_from(s2)[0].1;
+        assert!(n.is_accepting(s3), "three copies also accepted");
+        assert!(n.consuming_from(s3).is_empty(), "no fourth copy");
+    }
+
+    #[test]
+    fn repeat_unbounded_loops() {
+        // a{1,}
+        let n = Nfa::compile(&Pattern::repeat(atom("a"), 1, None)).unwrap();
+        let mut s = n.start;
+        for i in 0..5 {
+            let cons = n.consuming_from(s);
+            assert!(!cons.is_empty(), "iteration {i} must offer another a");
+            s = cons[0].1;
+            assert!(n.is_accepting(s));
+        }
+    }
+
+    #[test]
+    fn repeat_zero_min_accepts_immediately() {
+        let n = Nfa::compile(&Pattern::repeat(atom("a"), 0, Some(2))).unwrap();
+        assert!(n.is_accepting(n.start));
+    }
+
+    #[test]
+    fn invalid_patterns_rejected() {
+        assert!(Nfa::compile(&Pattern::Seq(vec![])).is_err());
+        assert!(Nfa::compile(&Pattern::Any(vec![])).is_err());
+        assert!(Nfa::compile(&Pattern::repeat(atom("a"), 3, Some(2))).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Pattern AST for complex event detection.
+
+use fenestra_base::expr::Expr;
+use fenestra_base::record::StreamId;
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Duration;
+
+/// A single-event pattern: stream constraint, content predicate, and an
+/// alias under which the matched event is bound.
+///
+/// Predicates may reference the candidate event's fields directly
+/// (`amount > 100`), the special names `ts` / `stream`, and fields of
+/// *previously bound* events with dotted names (`a.user`).
+#[derive(Debug, Clone)]
+pub struct EventPattern {
+    /// Restrict to this stream (`None` = any stream).
+    pub stream: Option<StreamId>,
+    /// Content predicate (truthy = match). `Expr::lit(true)` matches
+    /// everything.
+    pub pred: Expr,
+    /// Binding alias for the matched event.
+    pub alias: Symbol,
+}
+
+impl EventPattern {
+    /// Any event on `stream`, bound as `alias`.
+    pub fn on(stream: impl Into<Symbol>, alias: impl Into<Symbol>) -> EventPattern {
+        EventPattern {
+            stream: Some(stream.into()),
+            pred: Expr::lit(true),
+            alias: alias.into(),
+        }
+    }
+
+    /// Any event on any stream, bound as `alias`.
+    pub fn any(alias: impl Into<Symbol>) -> EventPattern {
+        EventPattern {
+            stream: None,
+            pred: Expr::lit(true),
+            alias: alias.into(),
+        }
+    }
+
+    /// Add a content predicate (chainable; conjoined with any existing
+    /// predicate).
+    pub fn filter(mut self, pred: Expr) -> EventPattern {
+        self.pred = match self.pred {
+            Expr::Lit(v) if v.is_truthy() => pred,
+            p => p.and(pred),
+        };
+        self
+    }
+}
+
+/// A composite temporal pattern.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// One event.
+    Atom(EventPattern),
+    /// Each sub-pattern in order, with strictly increasing time.
+    Seq(Vec<Pattern>),
+    /// Any one of the alternatives.
+    Any(Vec<Pattern>),
+    /// All sub-patterns, in any order. Expanded to the alternation of
+    /// all orderings at compile time, so keep the arity small (≤ 4 is
+    /// enforced by the compiler).
+    All(Vec<Pattern>),
+    /// `min..=max` repetitions of the sub-pattern (`max = None` =
+    /// unbounded, Kleene).
+    Repeat {
+        /// Repeated sub-pattern.
+        pat: Box<Pattern>,
+        /// Minimum repetitions (may be 0).
+        min: u32,
+        /// Maximum repetitions (`None` = unbounded).
+        max: Option<u32>,
+    },
+}
+
+impl Pattern {
+    /// Single-atom helper.
+    pub fn atom(a: EventPattern) -> Pattern {
+        Pattern::Atom(a)
+    }
+
+    /// Sequence helper.
+    pub fn seq(pats: impl IntoIterator<Item = Pattern>) -> Pattern {
+        Pattern::Seq(pats.into_iter().collect())
+    }
+
+    /// Alternation helper.
+    pub fn any_of(pats: impl IntoIterator<Item = Pattern>) -> Pattern {
+        Pattern::Any(pats.into_iter().collect())
+    }
+
+    /// Conjunction helper.
+    pub fn all_of(pats: impl IntoIterator<Item = Pattern>) -> Pattern {
+        Pattern::All(pats.into_iter().collect())
+    }
+
+    /// `pat{min,}` / `pat{min,max}` helper.
+    pub fn repeat(pat: Pattern, min: u32, max: Option<u32>) -> Pattern {
+        Pattern::Repeat {
+            pat: Box::new(pat),
+            min,
+            max,
+        }
+    }
+
+    /// The aliases bound anywhere in the pattern, in syntactic order
+    /// (duplicates possible under `Repeat`).
+    pub fn aliases(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_aliases(&mut out);
+        out
+    }
+
+    fn collect_aliases(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Pattern::Atom(a) => out.push(a.alias),
+            Pattern::Seq(ps) | Pattern::Any(ps) | Pattern::All(ps) => {
+                for p in ps {
+                    p.collect_aliases(out);
+                }
+            }
+            Pattern::Repeat { pat, .. } => pat.collect_aliases(out),
+        }
+    }
+}
+
+/// A complete pattern specification: the pattern, its time window, and
+/// negated atoms that must *not* occur within a match's span.
+#[derive(Debug, Clone)]
+pub struct PatternSpec {
+    /// The positive pattern.
+    pub pattern: Pattern,
+    /// Matches must complete within this span of the first element.
+    pub within: Duration,
+    /// Atoms whose occurrence anywhere between a partial match's first
+    /// and last event kills the match (absence constraints).
+    pub negated: Vec<EventPattern>,
+}
+
+impl PatternSpec {
+    /// A spec with the given pattern and window, no negations.
+    pub fn new(pattern: Pattern, within: Duration) -> PatternSpec {
+        PatternSpec {
+            pattern,
+            within,
+            negated: Vec::new(),
+        }
+    }
+
+    /// Add an absence constraint (chainable).
+    pub fn without(mut self, atom: EventPattern) -> PatternSpec {
+        self.negated.push(atom);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shapes() {
+        let p = Pattern::seq([
+            Pattern::atom(EventPattern::on("a-str", "a")),
+            Pattern::any_of([
+                Pattern::atom(EventPattern::on("b-str", "b")),
+                Pattern::atom(EventPattern::on("c-str", "c")),
+            ]),
+        ]);
+        let aliases: Vec<&str> = p.aliases().iter().map(|s| s.as_str()).collect();
+        assert_eq!(aliases, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn filter_conjoins() {
+        let a = EventPattern::on("s", "x")
+            .filter(Expr::name("v").gt(Expr::lit(1i64)))
+            .filter(Expr::name("v").lt(Expr::lit(10i64)));
+        // First filter replaces the default `true`, second conjoins.
+        match a.pred {
+            Expr::Binary(fenestra_base::expr::BinOp::And, _, _) => {}
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_negations_accumulate() {
+        let spec = PatternSpec::new(
+            Pattern::atom(EventPattern::on("s", "a")),
+            Duration::millis(100),
+        )
+        .without(EventPattern::on("s", "n1"))
+        .without(EventPattern::on("s", "n2"));
+        assert_eq!(spec.negated.len(), 2);
+    }
+}

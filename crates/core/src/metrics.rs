@@ -1,0 +1,53 @@
+//! Engine-level counters.
+
+/// Counters describing an engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Events accepted (on time or within the lateness bound).
+    pub events: u64,
+    /// Events dropped as late.
+    pub late_dropped: u64,
+    /// Rule firings whose actions ran.
+    pub rule_fired: u64,
+    /// State transitions applied.
+    pub transitions: u64,
+    /// Rule firings suppressed by guards.
+    pub guard_blocked: u64,
+    /// Rule evaluation / store errors.
+    pub rule_errors: u64,
+    /// Facts asserted by the reasoner.
+    pub reason_asserted: u64,
+    /// Facts retracted by the reasoner.
+    pub reason_retracted: u64,
+    /// Reasoner sync passes executed.
+    pub reason_syncs: u64,
+    /// Open facts expired by attribute TTLs.
+    pub ttl_expired: u64,
+}
+
+impl EngineMetrics {
+    /// Transitions per accepted event (state churn).
+    pub fn transitions_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.transitions as f64 / self.events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn() {
+        let m = EngineMetrics {
+            events: 4,
+            transitions: 2,
+            ..Default::default()
+        };
+        assert!((m.transitions_per_event() - 0.5).abs() < 1e-12);
+        assert_eq!(EngineMetrics::default().transitions_per_event(), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Standing state queries (subscriptions).
+//!
+//! The paper's "queryable state" (§3.2) extends naturally to
+//! *subscribable* state: a registered watch re-evaluates its query
+//! whenever the state repository changes and publishes the row-level
+//! differences as events — a stream of view updates that the dataflow
+//! (or an external consumer) can react to.
+//!
+//! Maintenance is re-evaluate-and-diff, gated on the store's revision
+//! counter (no re-evaluation while the state is untouched). This is
+//! deliberate: exact incremental view maintenance for conjunctive
+//! queries is the reasoner's territory (see `fenestra-reason`), while
+//! watches favor predictability — the diff semantics are trivially
+//! correct for any query the engine can run.
+
+use fenestra_base::record::Record;
+use fenestra_base::symbol::Symbol;
+use fenestra_base::value::Value;
+use fenestra_query::{Bindings, Query};
+use std::collections::BTreeSet;
+
+/// A registered standing query.
+pub struct Watch {
+    /// Subscription name; published events carry it in the `watch`
+    /// field and arrive on the engine's watch stream.
+    pub name: Symbol,
+    /// The query (its temporal qualifier is evaluated as written, so
+    /// `current` queries track the live state).
+    pub query: Query,
+    /// Store revision at the last evaluation.
+    pub last_revision: u64,
+    /// Rows at the last evaluation.
+    pub last_rows: BTreeSet<Bindings>,
+}
+
+/// One change to a watched view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchDelta {
+    /// The subscription.
+    pub watch: Symbol,
+    /// `+1` for a row entering the view, `-1` for a row leaving it.
+    pub sign: i64,
+    /// The row.
+    pub row: Bindings,
+}
+
+impl Watch {
+    /// Create a watch over `query`.
+    pub fn new(name: impl Into<Symbol>, query: Query) -> Watch {
+        Watch {
+            name: name.into(),
+            query,
+            last_revision: u64::MAX, // force first evaluation
+            last_rows: BTreeSet::new(),
+        }
+    }
+
+    /// Re-evaluate against the store if its revision moved; returns the
+    /// row deltas since the previous evaluation.
+    pub fn poll(&mut self, store: &fenestra_temporal::TemporalStore) -> Vec<WatchDelta> {
+        let rev = store.revision();
+        if self.last_revision == rev {
+            return Vec::new();
+        }
+        self.last_revision = rev;
+        let rows: BTreeSet<Bindings> = match fenestra_query::execute(store, &self.query) {
+            Ok(rows) => rows.into_iter().collect(),
+            // Query errors (e.g. type errors against evolving data)
+            // leave the view unchanged.
+            Err(_) => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for gone in self.last_rows.difference(&rows) {
+            out.push(WatchDelta {
+                watch: self.name,
+                sign: -1,
+                row: gone.clone(),
+            });
+        }
+        for new in rows.difference(&self.last_rows) {
+            out.push(WatchDelta {
+                watch: self.name,
+                sign: 1,
+                row: new.clone(),
+            });
+        }
+        self.last_rows = rows;
+        out
+    }
+}
+
+/// Render a delta as an event record: the row's variables become
+/// fields, plus `watch` and `sign`.
+pub fn delta_record(d: &WatchDelta) -> Record {
+    let mut rec = Record::new();
+    for (name, v) in &d.row {
+        rec.set(*name, *v);
+    }
+    rec.set("watch", Value::Str(d.watch));
+    rec.set("sign", Value::Int(d.sign));
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_base::time::Timestamp;
+    use fenestra_query::Term;
+    use fenestra_temporal::{AttrSchema, TemporalStore};
+
+    fn active_query() -> Query {
+        Query::new().pattern(Term::var("u"), "status", Term::val("active"))
+    }
+
+    #[test]
+    fn first_poll_emits_initial_rows() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("status", AttrSchema::one());
+        let a = s.named_entity("a");
+        s.replace_at(a, "status", "active", Timestamp::new(1)).unwrap();
+        let mut w = Watch::new("actives", active_query());
+        let deltas = w.poll(&s);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].sign, 1);
+    }
+
+    #[test]
+    fn unchanged_revision_is_free() {
+        let mut s = TemporalStore::new();
+        let a = s.named_entity("a");
+        s.assert_at(a, "status", "active", Timestamp::new(1)).unwrap();
+        let mut w = Watch::new("actives", active_query());
+        assert_eq!(w.poll(&s).len(), 1);
+        assert!(w.poll(&s).is_empty(), "no revision change, no work");
+    }
+
+    #[test]
+    fn deltas_track_enter_and_leave() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("status", AttrSchema::one());
+        let a = s.named_entity("a");
+        let b = s.named_entity("b");
+        let mut w = Watch::new("actives", active_query());
+        s.replace_at(a, "status", "active", Timestamp::new(1)).unwrap();
+        assert_eq!(w.poll(&s).len(), 1);
+        s.replace_at(b, "status", "active", Timestamp::new(2)).unwrap();
+        s.replace_at(a, "status", "idle", Timestamp::new(2)).unwrap();
+        let deltas = w.poll(&s);
+        assert_eq!(deltas.len(), 2, "a left, b entered");
+        let signs: Vec<i64> = deltas.iter().map(|d| d.sign).collect();
+        assert!(signs.contains(&1) && signs.contains(&-1));
+    }
+
+    #[test]
+    fn delta_record_shape() {
+        let d = WatchDelta {
+            watch: Symbol::intern("w"),
+            sign: -1,
+            row: vec![(Symbol::intern("u"), Value::str("alice"))],
+        };
+        let rec = delta_record(&d);
+        assert_eq!(rec.get("u"), Some(&Value::str("alice")));
+        assert_eq!(rec.get("watch"), Some(&Value::str("w")));
+        assert_eq!(rec.get("sign"), Some(&Value::Int(-1)));
+    }
+}

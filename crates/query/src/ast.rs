@@ -1,0 +1,169 @@
+//! Query AST.
+
+use fenestra_base::expr::Expr;
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use fenestra_temporal::AttrId;
+
+/// A term in a triple pattern: a variable or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A variable (`?x`).
+    Var(Symbol),
+    /// A constant value. In entity position, a `Value::Str` constant
+    /// names an entity through the store's directory; a `Value::Id`
+    /// references it directly.
+    Const(Value),
+}
+
+impl Term {
+    /// Variable helper.
+    pub fn var(name: impl Into<Symbol>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Constant helper.
+    pub fn val(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(s) => Some(*s),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// One conjunct: `entity attr value` with variables in entity/value
+/// position (attributes are fixed — they select the index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Entity term.
+    pub e: Term,
+    /// Attribute (fixed).
+    pub a: AttrId,
+    /// Value term.
+    pub v: Term,
+}
+
+impl TriplePattern {
+    /// Construct a pattern.
+    pub fn new(e: Term, a: impl Into<Symbol>, v: Term) -> TriplePattern {
+        TriplePattern {
+            e,
+            a: a.into(),
+            v,
+        }
+    }
+}
+
+/// The temporal qualifier of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeSpec {
+    /// The currently valid state (default).
+    #[default]
+    Current,
+    /// The state valid at one past instant.
+    AsOf(Timestamp),
+    /// Bindings whose facts' validity overlaps `[from, to)`.
+    During(Timestamp, Timestamp),
+}
+
+/// A conjunctive query over the state repository.
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Triple patterns (conjunctive).
+    pub patterns: Vec<TriplePattern>,
+    /// Filters over the bindings.
+    pub filters: Vec<Expr>,
+    /// Projected variables (empty = all, in first-mention order).
+    pub select: Vec<Symbol>,
+    /// Temporal qualifier.
+    pub time: TimeSpec,
+    /// Return only the number of (distinct, projected) rows instead of
+    /// the rows themselves.
+    pub count_only: bool,
+    /// Keep at most this many rows (applied after sorting/dedup).
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// Start an empty query.
+    pub fn new() -> Query {
+        Query::default()
+    }
+
+    /// Add a pattern (chainable).
+    pub fn pattern(mut self, e: Term, a: impl Into<Symbol>, v: Term) -> Query {
+        self.patterns.push(TriplePattern::new(e, a, v));
+        self
+    }
+
+    /// Add a filter (chainable).
+    pub fn filter(mut self, f: Expr) -> Query {
+        self.filters.push(f);
+        self
+    }
+
+    /// Project these variables (chainable).
+    pub fn select_vars(mut self, vars: impl IntoIterator<Item = impl Into<Symbol>>) -> Query {
+        self.select = vars.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Set the temporal qualifier (chainable).
+    pub fn at(mut self, time: TimeSpec) -> Query {
+        self.time = time;
+        self
+    }
+
+    /// Return a count instead of rows (chainable).
+    pub fn count(mut self) -> Query {
+        self.count_only = true;
+        self
+    }
+
+    /// Keep at most `n` rows (chainable).
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// All variables, in first-mention order.
+    pub fn variables(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        for p in &self.patterns {
+            for t in [&p.e, &p.v] {
+                if let Some(v) = t.as_var() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_in_order() {
+        let q = Query::new()
+            .pattern(Term::var("u"), "status", Term::val("active"))
+            .pattern(Term::var("u"), "room", Term::var("r"));
+        let vars: Vec<&str> = q.variables().iter().map(|s| s.as_str()).collect();
+        assert_eq!(vars, vec!["u", "r"]);
+    }
+
+    #[test]
+    fn term_helpers() {
+        assert_eq!(Term::var("x").as_var().unwrap().as_str(), "x");
+        assert_eq!(Term::val(3i64).as_var(), None);
+    }
+}

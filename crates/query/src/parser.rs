@@ -1,0 +1,242 @@
+//! Textual query language.
+//!
+//! ```text
+//! query   := "select" ["count"] var+ "where" "{" pattern ("." pattern)* "}"
+//!            ("filter" expr)* [timespec] ["limit" INT]
+//!          | "history" term IDENT
+//! pattern := term IDENT term
+//! term    := "?" IDENT | literal
+//! timespec:= "asof" instant | "during" instant instant | "current"
+//! instant := INT | DURATION     # durations read as ms since epoch
+//! ```
+//!
+//! Variables in filters are referenced *without* the `?` sigil:
+//! `filter room != "lobby"`.
+
+use crate::ast::{Query, Term, TimeSpec};
+use fenestra_base::error::{Error, Result};
+use fenestra_base::parse::{lex, Cursor, Tok};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+
+/// A parsed query text: a select query or a history lookup.
+#[derive(Debug, Clone)]
+pub enum ParsedQuery {
+    /// Conjunctive select query.
+    Select(Query),
+    /// Timeline of one `(entity, attribute)`.
+    History {
+        /// Entity name.
+        entity: Symbol,
+        /// Attribute.
+        attr: Symbol,
+    },
+}
+
+/// Parse a query text.
+pub fn parse_query(src: &str) -> Result<ParsedQuery> {
+    let toks = lex(src)?;
+    let mut c = Cursor::new(&toks);
+    if c.eat_kw("history") {
+        let entity = match c.next() {
+            Some(Tok::Str(s)) => *s,
+            Some(Tok::Ident(s)) => Symbol::intern(s),
+            other => return Err(c.error(format!("expected entity name, found {other:?}"))),
+        };
+        let attr = Symbol::intern(&c.expect_ident()?);
+        if !c.at_end() {
+            return Err(c.error("trailing input after history query"));
+        }
+        return Ok(ParsedQuery::History { entity, attr });
+    }
+    c.expect_kw("select")?;
+    let mut q = Query::new();
+    if c.eat_kw("count") {
+        q.count_only = true;
+    }
+    let mut select = Vec::new();
+    while c.eat_punct("?") {
+        select.push(Symbol::intern(&c.expect_ident()?));
+    }
+    if select.is_empty() {
+        return Err(c.error("select needs at least one variable"));
+    }
+    q.select = select;
+    c.expect_kw("where")?;
+    c.expect_punct("{")?;
+    loop {
+        let e = parse_term(&mut c)?;
+        let a = Symbol::intern(&c.expect_ident()?);
+        let v = parse_term(&mut c)?;
+        q.patterns.push(crate::ast::TriplePattern { e, a, v });
+        if c.eat_punct(".") {
+            if c.eat_punct("}") {
+                break; // trailing dot
+            }
+            continue;
+        }
+        c.expect_punct("}")?;
+        break;
+    }
+    while c.eat_kw("filter") {
+        q.filters.push(c.expression()?);
+    }
+    if c.eat_kw("asof") {
+        q.time = TimeSpec::AsOf(parse_instant(&mut c)?);
+    } else if c.eat_kw("during") {
+        let from = parse_instant(&mut c)?;
+        let to = parse_instant(&mut c)?;
+        if to <= from {
+            return Err(Error::Invalid("during range is empty".into()));
+        }
+        q.time = TimeSpec::During(from, to);
+    } else if c.eat_kw("current") {
+        q.time = TimeSpec::Current;
+    }
+    if c.eat_kw("limit") {
+        match c.next() {
+            Some(Tok::Int(n)) if *n > 0 => q.limit = Some(*n as usize),
+            other => return Err(c.error(format!("expected positive limit, found {other:?}"))),
+        }
+    }
+    if !c.at_end() {
+        return Err(c.error("trailing input after query"));
+    }
+    // Every selected variable must occur in a pattern.
+    let vars = q.variables();
+    for s in &q.select {
+        if !vars.contains(s) {
+            return Err(Error::Invalid(format!("selected variable ?{s} is not bound by any pattern")));
+        }
+    }
+    Ok(ParsedQuery::Select(q))
+}
+
+fn parse_term(c: &mut Cursor<'_>) -> Result<Term> {
+    if c.eat_punct("?") {
+        return Ok(Term::var(c.expect_ident()?.as_str()));
+    }
+    match c.next() {
+        Some(Tok::Str(s)) => Ok(Term::Const(Value::Str(*s))),
+        Some(Tok::Int(i)) => Ok(Term::Const(Value::Int(*i))),
+        Some(Tok::Float(f)) => Ok(Term::Const(Value::Float(*f))),
+        Some(Tok::Ident(s)) if s == "true" => Ok(Term::Const(Value::Bool(true))),
+        Some(Tok::Ident(s)) if s == "false" => Ok(Term::Const(Value::Bool(false))),
+        Some(Tok::Ident(s)) if s == "null" => Ok(Term::Const(Value::Null)),
+        Some(Tok::Duration(ms)) => Ok(Term::Const(Value::Int(*ms as i64))),
+        other => Err(c.error(format!("expected term, found {other:?}"))),
+    }
+}
+
+fn parse_instant(c: &mut Cursor<'_>) -> Result<Timestamp> {
+    match c.next() {
+        Some(Tok::Int(i)) if *i >= 0 => Ok(Timestamp::new(*i as u64)),
+        Some(Tok::Duration(ms)) => Ok(Timestamp::new(*ms)),
+        other => Err(c.error(format!("expected instant, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use fenestra_base::time::Timestamp;
+    use fenestra_temporal::{AttrSchema, TemporalStore};
+
+    fn store() -> TemporalStore {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v1 = s.named_entity("v1");
+        let v2 = s.named_entity("v2");
+        s.replace_at(v1, "room", "lobby", Timestamp::new(10)).unwrap();
+        s.replace_at(v2, "room", "lab", Timestamp::new(10)).unwrap();
+        s.replace_at(v1, "room", "lab", Timestamp::new(20)).unwrap();
+        s
+    }
+
+    fn run(src: &str, s: &TemporalStore) -> Vec<crate::exec::Bindings> {
+        match parse_query(src).unwrap() {
+            ParsedQuery::Select(q) => execute(s, &q).unwrap(),
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_and_run_select() {
+        let s = store();
+        let rows = run("select ?v where { ?v room \"lab\" }", &s);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn parse_asof() {
+        let s = store();
+        let rows = run("select ?v where { ?v room \"lobby\" } asof 15", &s);
+        assert_eq!(rows.len(), 1);
+        let rows = run("select ?v where { ?v room \"lobby\" } asof 15s", &s);
+        assert!(rows.is_empty(), "asof 15000: nobody in lobby");
+    }
+
+    #[test]
+    fn parse_during_and_filter() {
+        let s = store();
+        let rows = run(
+            "select ?r where { \"v1\" room ?r } filter r != \"lobby\" during 0 100",
+            &s,
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].1, fenestra_base::value::Value::str("lab"));
+    }
+
+    #[test]
+    fn parse_multi_pattern_with_dots() {
+        let s = store();
+        let rows = run(
+            "select ?x ?y where { ?x room ?r . ?y room ?r . }",
+            &s,
+        );
+        // Now both v1 and v2 are in the lab: pairs (v1,v1),(v1,v2),(v2,v1),(v2,v2).
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn parse_history() {
+        match parse_query("history \"v1\" room").unwrap() {
+            ParsedQuery::History { entity, attr } => {
+                assert_eq!(entity.as_str(), "v1");
+                assert_eq!(attr.as_str(), "room");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Bare identifier entity also accepted.
+        assert!(matches!(
+            parse_query("history v1 room").unwrap(),
+            ParsedQuery::History { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_count_and_limit() {
+        let s = store();
+        let rows = run("select count ?v where { ?v room ?r }", &s);
+        assert_eq!(rows[0][0].1, fenestra_base::value::Value::Int(2));
+        let rows = run("select ?v where { ?v room ?r } limit 1", &s);
+        assert_eq!(rows.len(), 1);
+        assert!(parse_query("select ?v where { ?v room ?r } limit 0").is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "select where { ?v room \"x\" }",      // no vars
+            "select ?v where { }",                   // no patterns
+            "select ?v where { ?v room }",           // incomplete pattern
+            "select ?v where { ?x room \"l\" }",    // unbound select var
+            "select ?v where { ?v room \"l\" } during 5 5", // empty range
+            "select ?v where { ?v room \"l\" } garbage",    // trailing
+        ] {
+            assert!(parse_query(bad).is_err(), "should fail: {bad}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Robustness: the query parser is total (never panics) on arbitrary
+//! and DSL-plausible inputs.
+
+use fenestra_query::parse_query;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_total_on_arbitrary_strings(s in "\\PC*") {
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn parser_total_on_token_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("select"), Just("count"), Just("where"), Just("{"),
+                Just("}"), Just("?"), Just("."), Just("filter"), Just("asof"),
+                Just("during"), Just("current"), Just("limit"), Just("history"),
+                Just("x"), Just("attr"), Just("\"v\""), Just("1"), Just("5s"),
+            ],
+            0..28,
+        )
+    ) {
+        let s = parts.join(" ");
+        let _ = parse_query(&s);
+    }
+}

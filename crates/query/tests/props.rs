@@ -1,0 +1,136 @@
+//! Property tests for the query engine: results are independent of
+//! syntactic pattern order (the planner may reorder joins freely), and
+//! temporal qualifiers agree with the store's own views.
+
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use fenestra_query::{execute, Query, Term, TimeSpec};
+use fenestra_temporal::{AttrSchema, TemporalStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Replace { e: u8, attr: u8, v: u8 },
+    Retract { e: u8, attr: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..5u8, 0..2u8, 0..4u8).prop_map(|(e, attr, v)| Op::Replace { e, attr, v }),
+        (0..5u8, 0..2u8).prop_map(|(e, attr)| Op::Retract { e, attr }),
+    ]
+}
+
+const ATTRS: [&str; 2] = ["room", "badge"];
+
+fn build(ops: &[Op]) -> TemporalStore {
+    let mut s = TemporalStore::new();
+    for a in ATTRS {
+        s.declare_attr(a, AttrSchema::one());
+    }
+    let mut t = 0u64;
+    for op in ops {
+        t += 1;
+        match op {
+            Op::Replace { e, attr, v } => {
+                let ent = s.named_entity(format!("e{e}").as_str());
+                s.replace_at(ent, ATTRS[*attr as usize], format!("v{v}").as_str(), Timestamp::new(t))
+                    .unwrap();
+            }
+            Op::Retract { e, attr } => {
+                let ent = s.named_entity(format!("e{e}").as_str());
+                let cur = s.current().value(ent, ATTRS[*attr as usize]);
+                if let Some(v) = cur {
+                    s.retract_at(ent, ATTRS[*attr as usize], v, Timestamp::new(t)).unwrap();
+                }
+            }
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pattern order never changes the result set.
+    #[test]
+    fn join_order_invariance(ops in prop::collection::vec(op_strategy(), 1..40), v in 0..4u8) {
+        let store = build(&ops);
+        let val = format!("v{v}");
+        let forward = Query::new()
+            .pattern(Term::var("x"), "room", Term::var("r"))
+            .pattern(Term::var("x"), "badge", Term::val(val.as_str()))
+            .pattern(Term::var("y"), "room", Term::var("r"));
+        let backward = Query::new()
+            .pattern(Term::var("y"), "room", Term::var("r"))
+            .pattern(Term::var("x"), "badge", Term::val(val.as_str()))
+            .pattern(Term::var("x"), "room", Term::var("r"));
+        let a = execute(&store, &forward).unwrap();
+        let b = execute(&store, &backward).unwrap();
+        // Same variables in different first-mention order: normalize
+        // each row into a sorted map before comparing.
+        let norm = |rows: Vec<Vec<(fenestra_base::symbol::Symbol, Value)>>| {
+            let mut out: Vec<Vec<(String, Value)>> = rows
+                .into_iter()
+                .map(|r| {
+                    let mut r: Vec<(String, Value)> =
+                        r.into_iter().map(|(n, v)| (n.as_str().to_owned(), v)).collect();
+                    r.sort();
+                    r
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        prop_assert_eq!(norm(a), norm(b));
+    }
+
+    /// `current` equals `asof` at any time at or past the last
+    /// transition.
+    #[test]
+    fn current_equals_asof_now(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let store = build(&ops);
+        let now = store.last_transition();
+        for attr in ATTRS {
+            let q_cur = Query::new().pattern(Term::var("x"), attr, Term::var("v"));
+            let q_asof = Query::new()
+                .pattern(Term::var("x"), attr, Term::var("v"))
+                .at(TimeSpec::AsOf(now));
+            let a = execute(&store, &q_cur).unwrap();
+            let b = execute(&store, &q_asof).unwrap();
+            prop_assert_eq!(a, b, "attr {}", attr);
+        }
+    }
+
+    /// A `during` query over the full trace covers every row any
+    /// `asof` probe inside the range returns.
+    #[test]
+    fn during_covers_every_asof(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let store = build(&ops);
+        let end = store.last_transition().millis() + 1;
+        let during = execute(
+            &store,
+            &Query::new()
+                .pattern(Term::var("x"), "room", Term::var("v"))
+                .at(TimeSpec::During(Timestamp::new(0), Timestamp::new(end))),
+        )
+        .unwrap();
+        for t in 0..end {
+            let at = execute(
+                &store,
+                &Query::new()
+                    .pattern(Term::var("x"), "room", Term::var("v"))
+                    .at(TimeSpec::AsOf(Timestamp::new(t))),
+            )
+            .unwrap();
+            for row in at {
+                prop_assert!(
+                    during.contains(&row),
+                    "asof({}) row {:?} missing from during",
+                    t,
+                    row
+                );
+            }
+        }
+    }
+}

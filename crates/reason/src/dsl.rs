@@ -1,0 +1,145 @@
+//! Textual ontology format.
+//!
+//! ```text
+//! # taxonomy
+//! class toy_cars < toys
+//! class toys < products
+//!
+//! # property axioms
+//! property part_of transitive
+//! property adjacent symmetric
+//! property part_of inverse has_part
+//! property sells domain shop
+//! property sells range product
+//! subproperty manages < works_with
+//! ```
+//!
+//! One axiom per declaration; `#` comments and blank lines are
+//! ignored.
+
+use crate::ontology::{Axiom, Ontology};
+use fenestra_base::error::Result;
+use fenestra_base::parse::{lex, Cursor};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::value::Value;
+
+/// Parse an ontology program.
+pub fn parse_ontology(src: &str) -> Result<Ontology> {
+    Ok(Ontology::from_axioms(parse_axioms(src)?))
+}
+
+/// Parse the axiom list (useful for merging).
+pub fn parse_axioms(src: &str) -> Result<Vec<Axiom>> {
+    let toks = lex(src)?;
+    let mut c = Cursor::new(&toks);
+    let mut out = Vec::new();
+    while !c.at_end() {
+        if c.eat_kw("class") {
+            let sub = c.expect_ident()?;
+            c.expect_punct("<")?;
+            let sup = c.expect_ident()?;
+            out.push(Axiom::SubClassOf(
+                Value::str(&sub),
+                Value::str(&sup),
+            ));
+        } else if c.eat_kw("subproperty") {
+            let sub = Symbol::intern(&c.expect_ident()?);
+            c.expect_punct("<")?;
+            let sup = Symbol::intern(&c.expect_ident()?);
+            out.push(Axiom::SubPropertyOf(sub, sup));
+        } else if c.eat_kw("property") {
+            let p = Symbol::intern(&c.expect_ident()?);
+            if c.eat_kw("transitive") {
+                out.push(Axiom::Transitive(p));
+            } else if c.eat_kw("symmetric") {
+                out.push(Axiom::Symmetric(p));
+            } else if c.eat_kw("inverse") {
+                let q = Symbol::intern(&c.expect_ident()?);
+                out.push(Axiom::InverseOf(p, q));
+            } else if c.eat_kw("domain") {
+                let cl = c.expect_ident()?;
+                out.push(Axiom::Domain(p, Value::str(&cl)));
+            } else if c.eat_kw("range") {
+                let cl = c.expect_ident()?;
+                out.push(Axiom::Range(p, Value::str(&cl)));
+            } else {
+                return Err(c.error(
+                    "expected transitive | symmetric | inverse P | domain C | range C",
+                ));
+            }
+        } else {
+            return Err(c.error("expected `class`, `subproperty`, or `property`"));
+        }
+    }
+    Ok(out)
+}
+
+/// Render axioms back to the textual format.
+pub fn print_ontology(ont: &Ontology) -> String {
+    let mut out = String::new();
+    for a in ont.axioms() {
+        let line = match a {
+            Axiom::SubClassOf(sub, sup) => format!(
+                "class {} < {}",
+                sub.as_str().unwrap_or("?"),
+                sup.as_str().unwrap_or("?")
+            ),
+            Axiom::SubPropertyOf(sub, sup) => format!("subproperty {sub} < {sup}"),
+            Axiom::Domain(p, c) => format!("property {p} domain {}", c.as_str().unwrap_or("?")),
+            Axiom::Range(p, c) => format!("property {p} range {}", c.as_str().unwrap_or("?")),
+            Axiom::Transitive(p) => format!("property {p} transitive"),
+            Axiom::Symmetric(p) => format!("property {p} symmetric"),
+            Axiom::InverseOf(p, q) => format!("property {p} inverse {q}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        # taxonomy
+        class toy_cars < toys
+        class toys < products
+
+        property part_of transitive
+        property adjacent symmetric
+        property part_of inverse has_part
+        property sells domain shop
+        property sells range product
+        subproperty manages < works_with
+    "#;
+
+    #[test]
+    fn parse_all_axiom_kinds() {
+        let axioms = parse_axioms(SAMPLE).unwrap();
+        assert_eq!(axioms.len(), 8);
+        let ont = Ontology::from_axioms(axioms);
+        assert!(ont.is_subclass(&Value::str("toy_cars"), &Value::str("products")));
+        assert!(ont.is_transitive(Symbol::intern("part_of")));
+        assert!(ont.is_symmetric(Symbol::intern("adjacent")));
+        assert_eq!(ont.inverse_pairs().len(), 1);
+        assert_eq!(ont.domains().len(), 1);
+        assert_eq!(ont.ranges().len(), 1);
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let ont = parse_ontology(SAMPLE).unwrap();
+        let printed = print_ontology(&ont);
+        let back = parse_ontology(&printed).unwrap();
+        assert_eq!(back.axioms(), ont.axioms());
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_axioms("class a").is_err());
+        assert!(parse_axioms("class a > b").is_err());
+        assert!(parse_axioms("property p frobnicate").is_err());
+        assert!(parse_axioms("bogus x < y").is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! Incremental materialization maintenance (delete-and-rederive).
+//!
+//! Maintains `base ∪ derived` under single-fact insertions and
+//! deletions:
+//!
+//! * **insert** — semi-naive propagation from the new fact only;
+//! * **delete** — DRed: overdelete everything transitively supported
+//!   by the deleted fact, then rederive overdeleted facts that remain
+//!   derivable from the surviving facts. DRed is exact even for
+//!   recursive rules (transitivity over cycles), where counting-based
+//!   maintenance is not.
+
+use crate::materialize::{derivable_one_step, derive_from};
+use crate::ontology::Ontology;
+use crate::triple::{Triple, TripleIndex};
+use fenestra_base::value::{EntityId, Value};
+use std::collections::HashSet;
+
+/// Shared resolver type (boxed so the materializer is storable).
+pub type BoxedResolver = Box<dyn Fn(Value) -> Option<EntityId> + Send + Sync>;
+
+/// Incrementally maintained materialization.
+pub struct IncrementalMaterializer {
+    ont: Ontology,
+    resolve: BoxedResolver,
+    base: HashSet<Triple>,
+    derived: HashSet<Triple>,
+    idx: TripleIndex,
+}
+
+impl IncrementalMaterializer {
+    /// Empty materializer over `ont`, resolving entity references with
+    /// `resolve` (use `Box::new(fenestra_reason::triple::id_resolver)`
+    /// when only `Value::Id` references entities).
+    pub fn new(ont: Ontology, resolve: BoxedResolver) -> IncrementalMaterializer {
+        IncrementalMaterializer {
+            ont,
+            resolve,
+            base: HashSet::new(),
+            derived: HashSet::new(),
+            idx: TripleIndex::new(),
+        }
+    }
+
+    /// The base facts.
+    pub fn base(&self) -> &HashSet<Triple> {
+        &self.base
+    }
+
+    /// The currently derived facts (excluding base).
+    pub fn derived(&self) -> &HashSet<Triple> {
+        &self.derived
+    }
+
+    /// Whether the fact holds (base or derived).
+    pub fn holds(&self, t: &Triple) -> bool {
+        self.idx.contains(t)
+    }
+
+    /// Insert a base fact; returns the newly derived facts.
+    pub fn insert(&mut self, t: Triple) -> Vec<Triple> {
+        if !self.base.insert(t) {
+            return Vec::new();
+        }
+        // If it was previously derived, it is now (also) base; no new
+        // derivations need computing beyond the ordinary propagation.
+        self.derived.remove(&t);
+        let newly_indexed = self.idx.insert(t, &*self.resolve);
+        let mut added = Vec::new();
+        if newly_indexed {
+            self.propagate(vec![t], &mut added);
+        }
+        added
+    }
+
+    /// Remove a base fact; returns the derived facts that were
+    /// retracted as a consequence.
+    pub fn remove(&mut self, t: &Triple) -> Vec<Triple> {
+        if !self.base.remove(t) {
+            return Vec::new();
+        }
+        // Overdelete: everything transitively supported by t.
+        let mut over: HashSet<Triple> = HashSet::new();
+        let mut frontier = vec![*t];
+        while let Some(f) = frontier.pop() {
+            for d in derive_from(&f, &self.idx, &self.ont, &*self.resolve) {
+                if self.derived.contains(&d) && !over.contains(&d) && d != *t {
+                    over.insert(d);
+                    frontier.push(d);
+                }
+            }
+        }
+        // Remove t and the overdeleted facts from the index.
+        if !self.derived.contains(t) {
+            self.idx.remove(t, &*self.resolve);
+        }
+        for f in &over {
+            self.idx.remove(f, &*self.resolve);
+            self.derived.remove(f);
+        }
+        // Rederive: overdeleted facts — and the removed base fact
+        // itself, which may still be entailed by the remainder — that
+        // survive as derivations.
+        let mut candidates: HashSet<Triple> = over.clone();
+        candidates.insert(*t);
+        loop {
+            let mut progress = false;
+            let still_missing: Vec<Triple> = candidates
+                .iter()
+                .filter(|f| !self.idx.contains(f))
+                .copied()
+                .collect();
+            for f in still_missing {
+                if derivable_one_step(&f, &self.idx, &self.ont, &*self.resolve) {
+                    self.idx.insert(f, &*self.resolve);
+                    self.derived.insert(f);
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        // Anything a rederived fact supports was either never deleted
+        // or sits inside `candidates` and was handled by the loop.
+        let retracted: Vec<Triple> = over
+            .into_iter()
+            .filter(|f| !self.idx.contains(f))
+            .collect();
+        retracted
+    }
+
+    fn propagate(&mut self, seed: Vec<Triple>, added: &mut Vec<Triple>) {
+        let mut delta = seed;
+        while !delta.is_empty() {
+            let mut next = Vec::new();
+            for t in &delta {
+                for d in derive_from(t, &self.idx, &self.ont, &*self.resolve) {
+                    if !self.idx.contains(&d) {
+                        self.idx.insert(d, &*self.resolve);
+                        self.derived.insert(d);
+                        added.push(d);
+                        next.push(d);
+                    }
+                }
+            }
+            delta = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materialize::naive;
+    use crate::ontology::Axiom;
+    use crate::triple::id_resolver;
+    use fenestra_base::symbol::Symbol;
+
+    fn e(n: u64) -> EntityId {
+        EntityId(n)
+    }
+
+    fn mk(ont: Ontology) -> IncrementalMaterializer {
+        IncrementalMaterializer::new(ont, Box::new(id_resolver))
+    }
+
+    fn check_consistency(m: &IncrementalMaterializer, ont: &Ontology) {
+        let base: Vec<Triple> = m.base().iter().copied().collect();
+        let expected = naive(&base, ont, &id_resolver);
+        assert_eq!(
+            m.derived(),
+            &expected,
+            "incremental materialization drifted from recompute"
+        );
+    }
+
+    #[test]
+    fn insert_propagates() {
+        let ont = Ontology::from_axioms([
+            Axiom::SubClassOf(Value::str("toys"), Value::str("products")),
+        ]);
+        let mut m = mk(ont.clone());
+        let added = m.insert(Triple::new(e(1), "type", "toys"));
+        assert_eq!(added, vec![Triple::new(e(1), "type", "products")]);
+        assert!(m.holds(&Triple::new(e(1), "type", "products")));
+        check_consistency(&m, &ont);
+    }
+
+    #[test]
+    fn delete_retracts_unsupported() {
+        let ont = Ontology::from_axioms([
+            Axiom::SubClassOf(Value::str("toys"), Value::str("products")),
+        ]);
+        let mut m = mk(ont.clone());
+        let t = Triple::new(e(1), "type", "toys");
+        m.insert(t);
+        let retracted = m.remove(&t);
+        assert_eq!(retracted, vec![Triple::new(e(1), "type", "products")]);
+        assert!(m.derived().is_empty());
+        check_consistency(&m, &ont);
+    }
+
+    #[test]
+    fn delete_keeps_alternatively_supported() {
+        // Two subclass paths to "products": deleting one keeps the
+        // derived membership alive.
+        let ont = Ontology::from_axioms([
+            Axiom::SubClassOf(Value::str("toys"), Value::str("products")),
+            Axiom::SubClassOf(Value::str("games"), Value::str("products")),
+        ]);
+        let mut m = mk(ont.clone());
+        m.insert(Triple::new(e(1), "type", "toys"));
+        m.insert(Triple::new(e(1), "type", "games"));
+        let retracted = m.remove(&Triple::new(e(1), "type", "toys"));
+        assert!(retracted.is_empty(), "products membership still supported");
+        assert!(m.holds(&Triple::new(e(1), "type", "products")));
+        check_consistency(&m, &ont);
+    }
+
+    #[test]
+    fn transitive_cycle_delete_is_exact() {
+        // Counting-based maintenance famously fails here; DRed must not.
+        let p = Symbol::intern("linked");
+        let ont = Ontology::from_axioms([Axiom::Transitive(p)]);
+        let mut m = mk(ont.clone());
+        let edges = [
+            Triple::new(e(1), p, Value::Id(e(2))),
+            Triple::new(e(2), p, Value::Id(e(3))),
+            Triple::new(e(3), p, Value::Id(e(1))),
+        ];
+        for t in edges {
+            m.insert(t);
+        }
+        check_consistency(&m, &ont);
+        m.remove(&edges[0]);
+        check_consistency(&m, &ont);
+        // Path 2→3→1 survives.
+        assert!(m.holds(&Triple::new(e(2), p, Value::Id(e(1)))));
+        assert!(!m.holds(&Triple::new(e(1), p, Value::Id(e(3)))));
+    }
+
+    #[test]
+    fn base_fact_that_is_also_derived_survives_deletion_of_support() {
+        let ont = Ontology::from_axioms([
+            Axiom::SubClassOf(Value::str("a"), Value::str("b")),
+        ]);
+        let mut m = mk(ont.clone());
+        m.insert(Triple::new(e(1), "type", "a"));
+        // (1, type, b) is derived; now also assert it as base.
+        m.insert(Triple::new(e(1), "type", "b"));
+        m.remove(&Triple::new(e(1), "type", "a"));
+        assert!(
+            m.holds(&Triple::new(e(1), "type", "b")),
+            "explicit base fact must survive"
+        );
+        check_consistency(&m, &ont);
+    }
+
+    #[test]
+    fn randomized_ops_stay_consistent() {
+        let p = Symbol::intern("part_of");
+        let ont = Ontology::from_axioms([
+            Axiom::Transitive(p),
+            Axiom::SubClassOf(Value::str("c1"), Value::str("c2")),
+            Axiom::SubClassOf(Value::str("c2"), Value::str("c3")),
+            Axiom::Domain(p, Value::str("c1")),
+        ]);
+        let mut m = mk(ont.clone());
+        // Deterministic pseudo-random walk.
+        let mut x: u64 = 12345;
+        let mut step = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut pool: Vec<Triple> = Vec::new();
+        for i in 0..120 {
+            let a = step() % 5;
+            let b = step() % 5;
+            let t = if step() % 3 == 0 {
+                Triple::new(e(a), "type", "c1")
+            } else {
+                Triple::new(e(a), p, Value::Id(e(b)))
+            };
+            if step() % 4 == 0 && !pool.is_empty() {
+                let victim = pool[(step() as usize) % pool.len()];
+                m.remove(&victim);
+                pool.retain(|x| *x != victim);
+            } else {
+                m.insert(t);
+                if !pool.contains(&t) {
+                    pool.push(t);
+                }
+            }
+            if i % 10 == 9 {
+                check_consistency(&m, &ont);
+            }
+        }
+        check_consistency(&m, &ont);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! # fenestra-reason
+//!
+//! The **reasoning component** of Fenestra: derives implicit knowledge
+//! from the explicit state using domain ontologies (paper §3: "the
+//! state component can exploit domain information — for instance in
+//! the form of ontologies — to derive new knowledge from the explicit
+//! information it stores").
+//!
+//! The ontology language is RDFS-plus ([`ontology::Axiom`]): subclass,
+//! subproperty, domain, range, transitive, symmetric, and inverse
+//! axioms over the store's EAV facts (an EAV fact *is* a triple). The
+//! e-commerce case study's product taxonomy — "automatically derive
+//! sub-class relations" — is the canonical use.
+//!
+//! Three evaluation strategies, compared in experiment E8:
+//!
+//! * [`materialize::naive`] — iterate all rules over all facts to
+//!   fixpoint;
+//! * [`materialize::seminaive`] — delta iteration (only new facts feed
+//!   the next round);
+//! * [`incremental::IncrementalMaterializer`] — maintains the
+//!   materialization under single-fact insertions and deletions using
+//!   delete-and-rederive (DRed), which is exact even for recursive
+//!   rules such as transitivity.
+//!
+//! [`store_sync::sync_store`] pushes the derived facts into a
+//! [`fenestra_temporal::TemporalStore`] with `Derived` provenance, so
+//! queries see inferred state exactly like asserted state.
+
+pub mod dsl;
+pub mod incremental;
+pub mod materialize;
+pub mod ontology;
+pub mod store_sync;
+pub mod triple;
+
+pub use dsl::{parse_ontology, print_ontology};
+pub use incremental::IncrementalMaterializer;
+pub use ontology::{Axiom, Ontology};
+pub use triple::Triple;

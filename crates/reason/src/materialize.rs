@@ -1,0 +1,325 @@
+//! Fixpoint materialization: naive and semi-naive evaluation.
+
+use crate::ontology::Ontology;
+use crate::triple::{type_attr, Resolver, Triple, TripleIndex};
+use fenestra_base::value::Value;
+use std::collections::HashSet;
+
+/// All facts derivable *in one step* from premise `t` (joining against
+/// `idx` for the two-premise transitivity rule).
+pub fn derive_from(
+    t: &Triple,
+    idx: &TripleIndex,
+    ont: &Ontology,
+    resolve: Resolver<'_>,
+) -> Vec<Triple> {
+    let mut out = Vec::new();
+    let ty = type_attr();
+    if t.p == ty {
+        for sup in ont.superclasses_of(&t.o) {
+            out.push(Triple::new(t.s, ty, *sup));
+        }
+    }
+    for supp in ont.superproperties_of(t.p) {
+        out.push(Triple::new(t.s, *supp, t.o));
+    }
+    for (p, c) in ont.domains() {
+        if *p == t.p {
+            out.push(Triple::new(t.s, ty, *c));
+        }
+    }
+    let oe = resolve(t.o);
+    if let Some(oe) = oe {
+        for (p, c) in ont.ranges() {
+            if *p == t.p {
+                out.push(Triple::new(oe, ty, *c));
+            }
+        }
+        if ont.is_symmetric(t.p) {
+            out.push(Triple::new(oe, t.p, Value::Id(t.s)));
+        }
+        for (p, q) in ont.inverse_pairs() {
+            if t.p == *p {
+                out.push(Triple::new(oe, *q, Value::Id(t.s)));
+            }
+            if t.p == *q {
+                out.push(Triple::new(oe, *p, Value::Id(t.s)));
+            }
+        }
+        if ont.is_transitive(t.p) {
+            // (t.s, p, t.o) ⋈ (oe, p, z) → (t.s, p, z)
+            for z in idx.objects(t.p, oe) {
+                out.push(Triple::new(t.s, t.p, *z));
+            }
+        }
+    }
+    if ont.is_transitive(t.p) {
+        // (x, p, y→t.s) ⋈ (t.s, p, t.o) → (x, p, t.o)
+        for x in idx.subjects(t.p, t.s) {
+            out.push(Triple::new(*x, t.p, t.o));
+        }
+    }
+    out
+}
+
+/// Whether `f` is derivable in one step from the facts in `idx`
+/// (excluding `f` itself as its own premise is irrelevant: no rule
+/// concludes its own premise).
+pub fn derivable_one_step(
+    f: &Triple,
+    idx: &TripleIndex,
+    ont: &Ontology,
+    resolve: Resolver<'_>,
+) -> bool {
+    let ty = type_attr();
+    if f.p == ty {
+        // Subclass: some (f.s, type, sub) with f.o a superclass of sub.
+        for sub in idx.objects(ty, f.s) {
+            if *sub != f.o && ont.is_subclass(sub, &f.o) {
+                return true;
+            }
+        }
+        // Domain: some (f.s, p, _) with Domain(p, f.o).
+        for (p, c) in ont.domains() {
+            if *c == f.o && !idx.objects(*p, f.s).is_empty() {
+                return true;
+            }
+        }
+        // Range: some (_, p, o→f.s) with Range(p, f.o).
+        for (p, c) in ont.ranges() {
+            if *c == f.o && !idx.subjects(*p, f.s).is_empty() {
+                return true;
+            }
+        }
+        return false;
+    }
+    // Subproperty: some (f.s, sub, f.o) with f.p a superproperty.
+    for a in ont.axioms() {
+        if let crate::ontology::Axiom::SubPropertyOf(sub, _) = a {
+            if ont.superproperties_of(*sub).any(|p| *p == f.p)
+                && idx.objects(*sub, f.s).contains(&f.o)
+            {
+                return true;
+            }
+        }
+    }
+    let fo = resolve(f.o);
+    // Symmetric: (o, p, s') with s' resolving to f.s.
+    if ont.is_symmetric(f.p) {
+        if let Some(oe) = fo {
+            if idx
+                .objects(f.p, oe)
+                .iter()
+                .any(|v| resolve(*v) == Some(f.s))
+            {
+                return true;
+            }
+        }
+    }
+    // Inverse: (o, q, s') for either orientation.
+    for (p, q) in ont.inverse_pairs() {
+        let counterpart = if f.p == *p {
+            Some(*q)
+        } else if f.p == *q {
+            Some(*p)
+        } else {
+            None
+        };
+        if let (Some(cp), Some(oe)) = (counterpart, fo) {
+            if idx
+                .objects(cp, oe)
+                .iter()
+                .any(|v| resolve(*v) == Some(f.s))
+            {
+                return true;
+            }
+        }
+    }
+    // Transitive: (f.s, p, y) and (y, p, f.o) with y ≠ f.o and y ≠ f.s
+    // (self-joins through f itself are fine — both premises must exist
+    // in idx, which no longer contains overdeleted facts).
+    if ont.is_transitive(f.p) {
+        for y in idx.objects(f.p, f.s) {
+            if let Some(ye) = resolve(*y) {
+                if idx.objects(f.p, ye).contains(&f.o) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Naive fixpoint: apply every rule to every fact until nothing new.
+/// Returns only the *derived* facts (base excluded).
+pub fn naive(base: &[Triple], ont: &Ontology, resolve: Resolver<'_>) -> HashSet<Triple> {
+    let mut idx = TripleIndex::new();
+    for t in base {
+        idx.insert(*t, resolve);
+    }
+    loop {
+        let mut new = Vec::new();
+        for t in idx.all.iter() {
+            for d in derive_from(t, &idx, ont, resolve) {
+                if !idx.contains(&d) {
+                    new.push(d);
+                }
+            }
+        }
+        if new.is_empty() {
+            break;
+        }
+        for d in new {
+            idx.insert(d, resolve);
+        }
+    }
+    let base_set: HashSet<Triple> = base.iter().copied().collect();
+    idx.all.difference(&base_set).copied().collect()
+}
+
+/// Semi-naive fixpoint: only facts new in the previous round feed the
+/// next. Returns only the derived facts.
+pub fn seminaive(base: &[Triple], ont: &Ontology, resolve: Resolver<'_>) -> HashSet<Triple> {
+    let mut idx = TripleIndex::new();
+    let mut delta: Vec<Triple> = Vec::new();
+    for t in base {
+        if idx.insert(*t, resolve) {
+            delta.push(*t);
+        }
+    }
+    while !delta.is_empty() {
+        let mut next: HashSet<Triple> = HashSet::new();
+        for t in &delta {
+            for d in derive_from(t, &idx, ont, resolve) {
+                if !idx.contains(&d) {
+                    next.insert(d);
+                }
+            }
+        }
+        for d in &next {
+            idx.insert(*d, resolve);
+        }
+        delta = next.into_iter().collect();
+    }
+    let base_set: HashSet<Triple> = base.iter().copied().collect();
+    idx.all.difference(&base_set).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::Axiom;
+    use crate::triple::id_resolver;
+    use fenestra_base::symbol::Symbol;
+    use fenestra_base::value::EntityId;
+
+    fn e(n: u64) -> EntityId {
+        EntityId(n)
+    }
+
+    fn taxonomy() -> Ontology {
+        Ontology::from_axioms([
+            Axiom::SubClassOf(Value::str("toy_cars"), Value::str("toys")),
+            Axiom::SubClassOf(Value::str("toys"), Value::str("products")),
+        ])
+    }
+
+    #[test]
+    fn subclass_derivation() {
+        let base = vec![Triple::new(e(1), "type", "toy_cars")];
+        let derived = naive(&base, &taxonomy(), &id_resolver);
+        assert_eq!(derived.len(), 2);
+        assert!(derived.contains(&Triple::new(e(1), "type", "toys")));
+        assert!(derived.contains(&Triple::new(e(1), "type", "products")));
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let p = Symbol::intern("part_of");
+        let ont = Ontology::from_axioms([Axiom::Transitive(p)]);
+        let base: Vec<Triple> = (1..5)
+            .map(|i| Triple::new(e(i), p, Value::Id(e(i + 1))))
+            .collect();
+        let derived = naive(&base, &ont, &id_resolver);
+        // Chain of 4 edges: closure has C(4,2)+... pairs (i<j): 10 total,
+        // 4 base → 6 derived.
+        assert_eq!(derived.len(), 6);
+        assert!(derived.contains(&Triple::new(e(1), p, Value::Id(e(5)))));
+    }
+
+    #[test]
+    fn symmetric_and_inverse() {
+        let adj = Symbol::intern("adjacent");
+        let part = Symbol::intern("part_of");
+        let has = Symbol::intern("has_part");
+        let ont = Ontology::from_axioms([Axiom::Symmetric(adj), Axiom::InverseOf(part, has)]);
+        let base = vec![
+            Triple::new(e(1), adj, Value::Id(e(2))),
+            Triple::new(e(3), part, Value::Id(e(4))),
+            Triple::new(e(5), has, Value::Id(e(6))),
+        ];
+        let derived = naive(&base, &ont, &id_resolver);
+        assert!(derived.contains(&Triple::new(e(2), adj, Value::Id(e(1)))));
+        assert!(derived.contains(&Triple::new(e(4), has, Value::Id(e(3)))));
+        assert!(derived.contains(&Triple::new(e(6), part, Value::Id(e(5)))));
+    }
+
+    #[test]
+    fn domain_and_range() {
+        let sells = Symbol::intern("sells");
+        let ont = Ontology::from_axioms([
+            Axiom::Domain(sells, Value::str("shop")),
+            Axiom::Range(sells, Value::str("product")),
+        ]);
+        let base = vec![Triple::new(e(1), sells, Value::Id(e(2)))];
+        let derived = naive(&base, &ont, &id_resolver);
+        assert!(derived.contains(&Triple::new(e(1), "type", "shop")));
+        assert!(derived.contains(&Triple::new(e(2), "type", "product")));
+    }
+
+    #[test]
+    fn subproperty_lifts_facts() {
+        let p = Symbol::intern("manages");
+        let q = Symbol::intern("works_with");
+        let ont = Ontology::from_axioms([Axiom::SubPropertyOf(p, q)]);
+        let base = vec![Triple::new(e(1), p, Value::Id(e(2)))];
+        let derived = naive(&base, &ont, &id_resolver);
+        assert!(derived.contains(&Triple::new(e(1), q, Value::Id(e(2)))));
+    }
+
+    #[test]
+    fn seminaive_equals_naive() {
+        let p = Symbol::intern("part_of");
+        let ont = Ontology::from_axioms([
+            Axiom::Transitive(p),
+            Axiom::SubClassOf(Value::str("a"), Value::str("b")),
+            Axiom::Domain(p, Value::str("component")),
+        ]);
+        let base = vec![
+            Triple::new(e(1), p, Value::Id(e(2))),
+            Triple::new(e(2), p, Value::Id(e(3))),
+            Triple::new(e(3), p, Value::Id(e(1))), // cycle!
+            Triple::new(e(7), "type", "a"),
+        ];
+        let a = naive(&base, &ont, &id_resolver);
+        let b = seminaive(&base, &ont, &id_resolver);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn derivable_one_step_agrees_with_membership() {
+        let ont = taxonomy();
+        let base = vec![Triple::new(e(1), "type", "toy_cars")];
+        let derived = seminaive(&base, &ont, &id_resolver);
+        let mut idx = TripleIndex::new();
+        for t in base.iter().chain(derived.iter()) {
+            idx.insert(*t, &id_resolver);
+        }
+        for d in &derived {
+            assert!(derivable_one_step(d, &idx, &ont, &id_resolver), "{d:?}");
+        }
+        let bogus = Triple::new(e(2), "type", "products");
+        assert!(!derivable_one_step(&bogus, &idx, &ont, &id_resolver));
+    }
+}

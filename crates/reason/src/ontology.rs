@@ -1,0 +1,246 @@
+//! RDFS-plus ontology axioms.
+
+use fenestra_base::symbol::Symbol;
+use fenestra_base::value::Value;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// An ontology axiom. Classes are identified by values (typically
+/// interned strings), properties by attribute symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Axiom {
+    /// `sub ⊑ sup`: membership in `sub` implies membership in `sup`.
+    SubClassOf(Value, Value),
+    /// `(x sub y) → (x sup y)`.
+    SubPropertyOf(Symbol, Symbol),
+    /// `(x p y) → (x type c)`.
+    Domain(Symbol, Value),
+    /// `(x p y) → (y type c)` when `y` resolves to an entity.
+    Range(Symbol, Value),
+    /// `(x p y), (y p z) → (x p z)` when `y` resolves to an entity.
+    Transitive(Symbol),
+    /// `(x p y) → (y p x)` when `y` resolves to an entity.
+    Symmetric(Symbol),
+    /// `(x p y) → (y q x)` when `y` resolves to an entity.
+    InverseOf(Symbol, Symbol),
+}
+
+/// A set of axioms with precomputed subclass / subproperty closures.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    axioms: Vec<Axiom>,
+    /// Reflexive-transitive closure: class → all superclasses
+    /// (excluding itself).
+    superclasses: HashMap<Value, BTreeSet<Value>>,
+    /// Property → all superproperties (excluding itself).
+    superprops: HashMap<Symbol, BTreeSet<Symbol>>,
+    transitive: HashSet<Symbol>,
+    symmetric: HashSet<Symbol>,
+    inverses: Vec<(Symbol, Symbol)>,
+    domains: Vec<(Symbol, Value)>,
+    ranges: Vec<(Symbol, Value)>,
+}
+
+impl Ontology {
+    /// An empty ontology.
+    pub fn new() -> Ontology {
+        Ontology::default()
+    }
+
+    /// Build from axioms.
+    pub fn from_axioms(axioms: impl IntoIterator<Item = Axiom>) -> Ontology {
+        let mut o = Ontology::new();
+        for a in axioms {
+            o.add(a);
+        }
+        o
+    }
+
+    /// Add one axiom, updating closures.
+    pub fn add(&mut self, axiom: Axiom) {
+        match &axiom {
+            Axiom::Transitive(p) => {
+                self.transitive.insert(*p);
+            }
+            Axiom::Symmetric(p) => {
+                self.symmetric.insert(*p);
+            }
+            Axiom::InverseOf(p, q) => {
+                self.inverses.push((*p, *q));
+            }
+            Axiom::Domain(p, c) => {
+                self.domains.push((*p, *c));
+            }
+            Axiom::Range(p, c) => {
+                self.ranges.push((*p, *c));
+            }
+            Axiom::SubClassOf(..) | Axiom::SubPropertyOf(..) => {}
+        }
+        self.axioms.push(axiom);
+        self.rebuild_closures();
+    }
+
+    fn rebuild_closures(&mut self) {
+        // Subclass closure by BFS from each declared class.
+        let mut direct_c: HashMap<Value, Vec<Value>> = HashMap::new();
+        let mut direct_p: HashMap<Symbol, Vec<Symbol>> = HashMap::new();
+        for a in &self.axioms {
+            match a {
+                Axiom::SubClassOf(sub, sup) => direct_c.entry(*sub).or_default().push(*sup),
+                Axiom::SubPropertyOf(sub, sup) => direct_p.entry(*sub).or_default().push(*sup),
+                _ => {}
+            }
+        }
+        self.superclasses = closure(&direct_c);
+        self.superprops = closure(&direct_p);
+    }
+
+    /// All strict superclasses of `c` (transitive).
+    pub fn superclasses_of(&self, c: &Value) -> impl Iterator<Item = &Value> {
+        self.superclasses.get(c).into_iter().flatten()
+    }
+
+    /// All strict superproperties of `p` (transitive).
+    pub fn superproperties_of(&self, p: Symbol) -> impl Iterator<Item = &Symbol> {
+        self.superprops.get(&p).into_iter().flatten()
+    }
+
+    /// Whether `sub` is a (possibly indirect) subclass of `sup`.
+    pub fn is_subclass(&self, sub: &Value, sup: &Value) -> bool {
+        sub == sup
+            || self
+                .superclasses
+                .get(sub)
+                .is_some_and(|s| s.contains(sup))
+    }
+
+    /// Whether `p` is declared transitive.
+    pub fn is_transitive(&self, p: Symbol) -> bool {
+        self.transitive.contains(&p)
+    }
+
+    /// Whether `p` is declared symmetric.
+    pub fn is_symmetric(&self, p: Symbol) -> bool {
+        self.symmetric.contains(&p)
+    }
+
+    /// Declared inverse pairs (both directions are applied).
+    pub fn inverse_pairs(&self) -> &[(Symbol, Symbol)] {
+        &self.inverses
+    }
+
+    /// Declared domains.
+    pub fn domains(&self) -> &[(Symbol, Value)] {
+        &self.domains
+    }
+
+    /// Declared ranges.
+    pub fn ranges(&self) -> &[(Symbol, Value)] {
+        &self.ranges
+    }
+
+    /// The raw axioms.
+    pub fn axioms(&self) -> &[Axiom] {
+        &self.axioms
+    }
+
+    /// Every property mentioned by any axiom (used to decide which
+    /// base facts are reasoning-relevant).
+    pub fn relevant_properties(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        for a in &self.axioms {
+            match a {
+                Axiom::SubPropertyOf(p, q) | Axiom::InverseOf(p, q) => {
+                    out.insert(*p);
+                    out.insert(*q);
+                }
+                Axiom::Domain(p, _) | Axiom::Range(p, _) | Axiom::Transitive(p)
+                | Axiom::Symmetric(p) => {
+                    out.insert(*p);
+                }
+                Axiom::SubClassOf(..) => {
+                    out.insert(crate::triple::type_attr());
+                }
+            }
+        }
+        out
+    }
+}
+
+fn closure<K: Copy + Eq + std::hash::Hash + Ord>(
+    direct: &HashMap<K, Vec<K>>,
+) -> HashMap<K, BTreeSet<K>> {
+    let mut out: HashMap<K, BTreeSet<K>> = HashMap::new();
+    for &start in direct.keys() {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<K> = direct.get(&start).cloned().unwrap_or_default();
+        while let Some(k) = stack.pop() {
+            if k != start && seen.insert(k) {
+                if let Some(next) = direct.get(&k) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        out.insert(start, seen);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::str(s)
+    }
+
+    #[test]
+    fn subclass_closure_is_transitive() {
+        let o = Ontology::from_axioms([
+            Axiom::SubClassOf(v("toy_cars"), v("toys")),
+            Axiom::SubClassOf(v("toys"), v("products")),
+            Axiom::SubClassOf(v("books"), v("products")),
+        ]);
+        assert!(o.is_subclass(&v("toy_cars"), &v("products")));
+        assert!(o.is_subclass(&v("toy_cars"), &v("toys")));
+        assert!(o.is_subclass(&v("toys"), &v("toys")), "reflexive");
+        assert!(!o.is_subclass(&v("books"), &v("toys")));
+        let supers: Vec<&Value> = o.superclasses_of(&v("toy_cars")).collect();
+        assert_eq!(supers.len(), 2);
+    }
+
+    #[test]
+    fn cyclic_subclass_terminates() {
+        let o = Ontology::from_axioms([
+            Axiom::SubClassOf(v("a"), v("b")),
+            Axiom::SubClassOf(v("b"), v("a")),
+        ]);
+        assert!(o.is_subclass(&v("a"), &v("b")));
+        assert!(o.is_subclass(&v("b"), &v("a")));
+    }
+
+    #[test]
+    fn property_flags() {
+        let p = Symbol::intern("part_of");
+        let q = Symbol::intern("has_part");
+        let o = Ontology::from_axioms([
+            Axiom::Transitive(p),
+            Axiom::InverseOf(p, q),
+            Axiom::Symmetric(Symbol::intern("adjacent")),
+        ]);
+        assert!(o.is_transitive(p));
+        assert!(!o.is_transitive(q));
+        assert!(o.is_symmetric(Symbol::intern("adjacent")));
+        assert_eq!(o.inverse_pairs(), &[(p, q)]);
+    }
+
+    #[test]
+    fn relevant_properties_cover_axioms() {
+        let o = Ontology::from_axioms([
+            Axiom::SubClassOf(v("a"), v("b")),
+            Axiom::Domain(Symbol::intern("sells"), v("shop")),
+        ]);
+        let rel = o.relevant_properties();
+        assert!(rel.contains(&Symbol::intern("type")));
+        assert!(rel.contains(&Symbol::intern("sells")));
+    }
+}

@@ -1,0 +1,188 @@
+//! Synchronizing derived facts into the temporal store.
+//!
+//! The paper's reasoner "augments the answers to both stream processing
+//! rules and one-time queries": we realize this by materializing the
+//! ontology's consequences *into the store itself*, tagged with
+//! `Provenance::Derived`, so every consumer (queries, stream–state
+//! operators) sees inferred facts alongside asserted ones — with their
+//! own validity intervals.
+
+use crate::materialize::seminaive;
+use crate::ontology::Ontology;
+use crate::triple::{Triple, type_attr};
+use fenestra_base::error::Result;
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use fenestra_temporal::{Provenance, TemporalStore};
+use std::collections::HashSet;
+
+/// Provenance tag for facts written by the reasoner.
+pub fn derived_provenance() -> Provenance {
+    Provenance::Derived(Symbol::intern("ontology"))
+}
+
+/// Extract the reasoning-relevant base triples from the store's
+/// current state (facts whose attribute an axiom mentions, excluding
+/// previously derived facts).
+pub fn base_triples(store: &TemporalStore, ont: &Ontology) -> Vec<Triple> {
+    let relevant = ont.relevant_properties();
+    let mut out = Vec::new();
+    for attr in &relevant {
+        for f in store.current().attr_facts(*attr) {
+            if !f.provenance.is_derived() {
+                out.push(Triple::new(f.fact.entity, f.fact.attr, f.fact.value));
+            }
+        }
+    }
+    out
+}
+
+/// Materialize the ontology's consequences into the store at time `t`:
+/// newly entailed facts are asserted (with derived provenance, valid
+/// from `t`), and previously derived facts that are no longer entailed
+/// are retracted (their validity closed at `t`).
+///
+/// Returns `(asserted, retracted)` counts. Idempotent: a second sync
+/// with unchanged state does nothing.
+pub fn sync_store(store: &mut TemporalStore, ont: &Ontology, t: Timestamp) -> Result<(usize, usize)> {
+    // Resolve string-valued entity references through the directory.
+    let names: std::collections::HashMap<Symbol, fenestra_base::value::EntityId> = {
+        let mut m = std::collections::HashMap::new();
+        let relevant = ont.relevant_properties();
+        for attr in &relevant {
+            for f in store.current().attr_facts(*attr) {
+                if let Value::Str(s) = f.fact.value {
+                    if let Some(e) = store.lookup_entity(s) {
+                        m.insert(s, e);
+                    }
+                }
+            }
+        }
+        m
+    };
+    let resolve = move |v: Value| match v {
+        Value::Id(e) => Some(e),
+        Value::Str(s) => names.get(&s).copied(),
+        _ => None,
+    };
+
+    let base = base_triples(store, ont);
+    let entailed: HashSet<Triple> = seminaive(&base, ont, &resolve)
+        .into_iter()
+        // Don't re-derive facts that are explicitly asserted.
+        .filter(|d| !base.contains(d))
+        .collect();
+
+    // Current derived facts in the store.
+    let mut existing: HashSet<Triple> = HashSet::new();
+    let relevant = ont.relevant_properties();
+    let mut derived_attrs: Vec<Symbol> = relevant.iter().copied().collect();
+    if !derived_attrs.contains(&type_attr()) {
+        derived_attrs.push(type_attr());
+    }
+    for attr in &derived_attrs {
+        for f in store.current().attr_facts(*attr) {
+            if f.provenance.is_derived() {
+                existing.insert(Triple::new(f.fact.entity, f.fact.attr, f.fact.value));
+            }
+        }
+    }
+
+    let mut asserted = 0;
+    for d in entailed.difference(&existing) {
+        store.assert_with(d.s, d.p, d.o, t, derived_provenance())?;
+        asserted += 1;
+    }
+    let mut retracted = 0;
+    for d in existing.difference(&entailed) {
+        store.retract_at(d.s, d.p, d.o, t)?;
+        retracted += 1;
+    }
+    Ok((asserted, retracted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::Axiom;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    fn taxonomy() -> Ontology {
+        Ontology::from_axioms([
+            Axiom::SubClassOf(Value::str("toy_cars"), Value::str("toys")),
+            Axiom::SubClassOf(Value::str("toys"), Value::str("products")),
+        ])
+    }
+
+    #[test]
+    fn sync_asserts_derived_memberships() {
+        let mut store = TemporalStore::new();
+        let p1 = store.named_entity("p1");
+        store.assert_at(p1, "type", "toy_cars", ts(1)).unwrap();
+        let (a, r) = sync_store(&mut store, &taxonomy(), ts(2)).unwrap();
+        assert_eq!((a, r), (2, 0));
+        assert!(store.current().holds(p1, "type", "toys"));
+        assert!(store.current().holds(p1, "type", "products"));
+        // Derived provenance.
+        let derived: Vec<_> = store
+            .current()
+            .attr_facts("type")
+            .filter(|f| f.provenance.is_derived())
+            .collect();
+        assert_eq!(derived.len(), 2);
+        // Idempotent.
+        let (a, r) = sync_store(&mut store, &taxonomy(), ts(3)).unwrap();
+        assert_eq!((a, r), (0, 0));
+    }
+
+    #[test]
+    fn sync_retracts_when_support_disappears() {
+        let mut store = TemporalStore::new();
+        let p1 = store.named_entity("p1");
+        store.assert_at(p1, "type", "toy_cars", ts(1)).unwrap();
+        sync_store(&mut store, &taxonomy(), ts(2)).unwrap();
+        // Reclassify: no longer a toy car.
+        store.retract_at(p1, "type", "toy_cars", ts(5)).unwrap();
+        let (a, r) = sync_store(&mut store, &taxonomy(), ts(5)).unwrap();
+        assert_eq!((a, r), (0, 2));
+        assert!(!store.current().holds(p1, "type", "toys"));
+        // But history remembers the derived memberships' validity.
+        assert!(store.as_of(ts(3)).holds(p1, "type", "products"));
+        let h = store.history(p1, "type");
+        assert_eq!(h.len(), 3, "one asserted + two derived intervals");
+    }
+
+    #[test]
+    fn string_object_references_resolve_via_directory() {
+        // part_of with string-named rooms: transitive closure through
+        // the entity directory.
+        let part = Symbol::intern("part_of");
+        let ont = Ontology::from_axioms([Axiom::Transitive(part)]);
+        let mut store = TemporalStore::new();
+        let wing = store.named_entity("wing");
+        let building = store.named_entity("building");
+        let room = store.named_entity("room1");
+        let _ = building;
+        store.assert_at(room, "part_of", "wing", ts(1)).unwrap();
+        store
+            .assert_at(wing, "part_of", "building", ts(1))
+            .unwrap();
+        sync_store(&mut store, &ont, ts(2)).unwrap();
+        assert!(store.current().holds(room, "part_of", "building"));
+    }
+
+    #[test]
+    fn explicit_facts_not_duplicated() {
+        let mut store = TemporalStore::new();
+        let p1 = store.named_entity("p1");
+        store.assert_at(p1, "type", "toy_cars", ts(1)).unwrap();
+        // Explicitly assert what would be derived.
+        store.assert_at(p1, "type", "toys", ts(1)).unwrap();
+        let (a, _r) = sync_store(&mut store, &taxonomy(), ts(2)).unwrap();
+        assert_eq!(a, 1, "only `products` needed deriving");
+    }
+}

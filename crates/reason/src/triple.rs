@@ -1,0 +1,153 @@
+//! Triples and the index the reasoner joins over.
+
+use fenestra_base::symbol::Symbol;
+use fenestra_base::value::{EntityId, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A reasoning triple: exactly an EAV fact without temporal annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject.
+    pub s: EntityId,
+    /// Predicate (attribute).
+    pub p: Symbol,
+    /// Object.
+    pub o: Value,
+}
+
+impl Triple {
+    /// Construct a triple.
+    pub fn new(s: EntityId, p: impl Into<Symbol>, o: impl Into<Value>) -> Triple {
+        Triple {
+            s,
+            p: p.into(),
+            o: o.into(),
+        }
+    }
+}
+
+/// The reserved predicate for class membership.
+pub fn type_attr() -> Symbol {
+    Symbol::intern("type")
+}
+
+/// Resolves an object value to the entity it references, if any.
+/// `Value::Id` resolves directly; hosts may also resolve `Value::Str`
+/// through their entity directory.
+pub type Resolver<'a> = &'a dyn Fn(Value) -> Option<EntityId>;
+
+/// The trivial resolver: only `Value::Id` references entities.
+pub fn id_resolver(v: Value) -> Option<EntityId> {
+    v.as_id()
+}
+
+/// Join index over a set of triples.
+#[derive(Debug, Default)]
+pub struct TripleIndex {
+    /// All triples.
+    pub all: HashSet<Triple>,
+    /// `(p, s) → objects`.
+    by_ps: HashMap<(Symbol, EntityId), Vec<Value>>,
+    /// `(p, object-entity) → subjects` (object resolved to an entity).
+    by_po: HashMap<(Symbol, EntityId), Vec<EntityId>>,
+}
+
+impl TripleIndex {
+    /// Empty index.
+    pub fn new() -> TripleIndex {
+        TripleIndex::default()
+    }
+
+    /// Insert a triple; returns `false` if it was already present.
+    pub fn insert(&mut self, t: Triple, resolve: Resolver<'_>) -> bool {
+        if !self.all.insert(t) {
+            return false;
+        }
+        self.by_ps.entry((t.p, t.s)).or_default().push(t.o);
+        if let Some(oe) = resolve(t.o) {
+            self.by_po.entry((t.p, oe)).or_default().push(t.s);
+        }
+        true
+    }
+
+    /// Remove a triple; returns `false` if absent.
+    pub fn remove(&mut self, t: &Triple, resolve: Resolver<'_>) -> bool {
+        if !self.all.remove(t) {
+            return false;
+        }
+        if let Some(v) = self.by_ps.get_mut(&(t.p, t.s)) {
+            if let Some(i) = v.iter().position(|x| *x == t.o) {
+                v.swap_remove(i);
+            }
+            if v.is_empty() {
+                self.by_ps.remove(&(t.p, t.s));
+            }
+        }
+        if let Some(oe) = resolve(t.o) {
+            if let Some(v) = self.by_po.get_mut(&(t.p, oe)) {
+                if let Some(i) = v.iter().position(|x| *x == t.s) {
+                    v.swap_remove(i);
+                }
+                if v.is_empty() {
+                    self.by_po.remove(&(t.p, oe));
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the triple is present.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.all.contains(t)
+    }
+
+    /// Objects of `(s, p, ?)`.
+    pub fn objects(&self, p: Symbol, s: EntityId) -> &[Value] {
+        self.by_ps.get(&(p, s)).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Subjects of `(?, p, o)` where `o` resolves to entity `oe`.
+    pub fn subjects(&self, p: Symbol, oe: EntityId) -> &[EntityId] {
+        self.by_po.get(&(p, oe)).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut idx = TripleIndex::new();
+        let t = Triple::new(EntityId(1), "p", Value::Id(EntityId(2)));
+        assert!(idx.insert(t, &id_resolver));
+        assert!(!idx.insert(t, &id_resolver), "duplicate");
+        assert!(idx.contains(&t));
+        assert_eq!(idx.objects(Symbol::intern("p"), EntityId(1)).len(), 1);
+        assert_eq!(idx.subjects(Symbol::intern("p"), EntityId(2)), &[EntityId(1)]);
+        assert!(idx.remove(&t, &id_resolver));
+        assert!(!idx.remove(&t, &id_resolver));
+        assert!(idx.is_empty());
+        assert!(idx.subjects(Symbol::intern("p"), EntityId(2)).is_empty());
+    }
+
+    #[test]
+    fn non_entity_objects_skip_po_index() {
+        let mut idx = TripleIndex::new();
+        let t = Triple::new(EntityId(1), "name", "alice");
+        idx.insert(t, &id_resolver);
+        assert_eq!(idx.objects(Symbol::intern("name"), EntityId(1)).len(), 1);
+        // No subject index entry since "alice" is not an entity ref.
+        assert_eq!(idx.len(), 1);
+    }
+}

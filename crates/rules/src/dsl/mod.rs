@@ -1,0 +1,404 @@
+//! The textual rule language.
+//!
+//! ```text
+//! # Comments run to end of line.
+//! rule visitor_moves:
+//!   on sensors where kind == "enter"
+//!   replace $(visitor).room = room
+//!
+//! rule session_opens:
+//!   on clicks where action == "enter"
+//!   if absent state($(user)).status
+//!   assert $(user).status = "active"
+//!
+//! rule order_flow:
+//!   on pattern (o: orders where kind == "placed")
+//!      then (p: payments where order == o.order)
+//!      within 1h
+//!      without (c: cancels where order == o.order)
+//!   replace $(o.user).last_paid = p.order
+//!
+//! rule cleanup:
+//!   on exits
+//!   clear $(visitor)
+//! ```
+//!
+//! Grammar:
+//!
+//! ```text
+//! program   := rule*
+//! rule      := "rule" IDENT ":" trigger guard* action+
+//! trigger   := "on" IDENT ["where" expr]
+//!            | "on" "pattern" atom ("then" atom)* "within" DURATION
+//!              ("without" atom)*
+//! atom      := "(" IDENT ":" IDENT ["where" expr] ")"
+//! guard     := "if" ("exists"|"absent") stateref
+//!            | "if" stateref "==" expr
+//!            | "if" expr
+//! stateref  := "state" "(" entityref ")" "." IDENT
+//! action    := ("assert"|"replace"|"retract") entityref "." IDENT "=" expr
+//!            | "clear" entityref
+//! entityref := "$" "(" expr ")" | "@" IDENT
+//! ```
+
+pub mod print;
+
+pub use print::{print_rule, print_rules};
+
+use crate::rule::{Action, EntityRef, Guard, StateRule, Trigger};
+use fenestra_base::error::Result;
+use fenestra_base::parse::{lex, Cursor, Tok};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Duration;
+use fenestra_cep::{EventPattern, Pattern, PatternSpec};
+
+/// Parse a rule program: zero or more `rule` definitions.
+pub fn parse_rules(src: &str) -> Result<Vec<StateRule>> {
+    let toks = lex(src)?;
+    let mut c = Cursor::new(&toks);
+    let mut out = Vec::new();
+    while !c.at_end() {
+        out.push(parse_rule(&mut c)?);
+    }
+    Ok(out)
+}
+
+/// Parse exactly one rule.
+pub fn parse_rule_text(src: &str) -> Result<StateRule> {
+    let rules = parse_rules(src)?;
+    match rules.len() {
+        1 => Ok(rules.into_iter().next().expect("len checked")),
+        n => Err(fenestra_base::error::Error::Invalid(format!(
+            "expected exactly one rule, found {n}"
+        ))),
+    }
+}
+
+fn parse_rule(c: &mut Cursor<'_>) -> Result<StateRule> {
+    c.expect_kw("rule")?;
+    let name = c.expect_ident()?;
+    c.expect_punct(":")?;
+    let trigger = parse_trigger(c)?;
+    let mut rule = StateRule::new(name.as_str(), trigger);
+    while c.eat_kw("if") {
+        rule.guards.push(parse_guard(c)?);
+    }
+    loop {
+        match c.peek() {
+            Some(Tok::Ident(kw))
+                if matches!(kw.as_str(), "assert" | "replace" | "retract" | "clear") =>
+            {
+                rule.actions.push(parse_action(c)?);
+            }
+            _ => break,
+        }
+    }
+    rule.validate()?;
+    Ok(rule)
+}
+
+fn parse_trigger(c: &mut Cursor<'_>) -> Result<Trigger> {
+    c.expect_kw("on")?;
+    if c.eat_kw("pattern") {
+        let mut atoms = vec![parse_atom(c)?];
+        while c.eat_kw("then") {
+            atoms.push(parse_atom(c)?);
+        }
+        c.expect_kw("within")?;
+        let within = match c.next() {
+            Some(Tok::Duration(ms)) => Duration::millis(*ms),
+            other => return Err(c.error(format!("expected duration, found {other:?}"))),
+        };
+        let pattern = if atoms.len() == 1 {
+            Pattern::Atom(atoms.into_iter().next().expect("len checked"))
+        } else {
+            Pattern::Seq(atoms.into_iter().map(Pattern::Atom).collect())
+        };
+        let mut spec = PatternSpec::new(pattern, within);
+        while c.eat_kw("without") {
+            spec = spec.without(parse_atom(c)?);
+        }
+        Ok(Trigger::pattern(spec))
+    } else {
+        let stream = c.expect_ident()?;
+        let filter = if c.eat_kw("where") {
+            Some(c.expression()?)
+        } else {
+            None
+        };
+        Ok(Trigger::Event {
+            stream: Symbol::intern(&stream),
+            filter,
+        })
+    }
+}
+
+fn parse_atom(c: &mut Cursor<'_>) -> Result<EventPattern> {
+    c.expect_punct("(")?;
+    let alias = c.expect_ident()?;
+    c.expect_punct(":")?;
+    let stream = c.expect_ident()?;
+    let mut atom = EventPattern::on(stream.as_str(), alias.as_str());
+    if c.eat_kw("where") {
+        atom = atom.filter(c.expression()?);
+    }
+    c.expect_punct(")")?;
+    Ok(atom)
+}
+
+fn parse_guard(c: &mut Cursor<'_>) -> Result<Guard> {
+    if c.eat_kw("exists") {
+        let (entity, attr) = parse_stateref(c)?;
+        return Ok(Guard::StateExists { entity, attr });
+    }
+    if c.eat_kw("absent") {
+        let (entity, attr) = parse_stateref(c)?;
+        return Ok(Guard::StateAbsent { entity, attr });
+    }
+    if matches!(c.peek(), Some(Tok::Ident(s)) if s == "state") {
+        let (entity, attr) = parse_stateref(c)?;
+        c.expect_punct("==")
+            .or_else(|_| c.expect_punct("="))?;
+        let value = c.expression()?;
+        return Ok(Guard::StateEquals { entity, attr, value });
+    }
+    Ok(Guard::Expr(c.expression()?))
+}
+
+fn parse_stateref(c: &mut Cursor<'_>) -> Result<(EntityRef, Symbol)> {
+    c.expect_kw("state")?;
+    c.expect_punct("(")?;
+    let entity = parse_entityref(c)?;
+    c.expect_punct(")")?;
+    c.expect_punct(".")?;
+    let attr = c.expect_ident()?;
+    Ok((entity, Symbol::intern(&attr)))
+}
+
+fn parse_action(c: &mut Cursor<'_>) -> Result<Action> {
+    let kw = c.expect_ident()?;
+    if kw == "clear" {
+        let entity = parse_entityref(c)?;
+        return Ok(Action::RetractEntity { entity });
+    }
+    let entity = parse_entityref(c)?;
+    c.expect_punct(".")?;
+    let attr = Symbol::intern(&c.expect_ident()?);
+    c.expect_punct("=")?;
+    let value = c.expression()?;
+    Ok(match kw.as_str() {
+        "assert" => Action::Assert { entity, attr, value },
+        "replace" => Action::Replace { entity, attr, value },
+        "retract" => Action::Retract { entity, attr, value },
+        other => return Err(c.error(format!("unknown action `{other}`"))),
+    })
+}
+
+fn parse_entityref(c: &mut Cursor<'_>) -> Result<EntityRef> {
+    if c.eat_punct("$") {
+        c.expect_punct("(")?;
+        let e = c.expression()?;
+        c.expect_punct(")")?;
+        Ok(EntityRef::Expr(e))
+    } else if c.eat_punct("@") {
+        let name = c.expect_ident()?;
+        Ok(EntityRef::named(name.as_str()))
+    } else {
+        Err(c.error("expected entity reference `$(expr)` or `@name`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_base::expr::Expr;
+    use fenestra_base::record::Event;
+    use fenestra_base::value::Value;
+    use fenestra_temporal::{AttrSchema, TemporalStore};
+
+    #[test]
+    fn parse_simple_replace_rule() {
+        let r = parse_rule_text(
+            r#"
+            rule visitor_moves:
+              on sensors where kind == "enter"
+              replace $(visitor).room = room
+            "#,
+        )
+        .unwrap();
+        assert_eq!(r.name.as_str(), "visitor_moves");
+        match &r.trigger {
+            Trigger::Event { stream, filter } => {
+                assert_eq!(stream.as_str(), "sensors");
+                assert!(filter.is_some());
+            }
+            other => panic!("wrong trigger {other:?}"),
+        }
+        assert_eq!(r.actions.len(), 1);
+        assert!(matches!(r.actions[0], Action::Replace { .. }));
+    }
+
+    #[test]
+    fn parse_guards() {
+        let r = parse_rule_text(
+            r#"
+            rule leave:
+              on clicks where action == "leave"
+              if state($(user)).status == "active"
+              if amount > 0
+              retract $(user).status = "active"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(r.guards.len(), 2);
+        assert!(matches!(r.guards[0], Guard::StateEquals { .. }));
+        assert!(matches!(r.guards[1], Guard::Expr(_)));
+    }
+
+    #[test]
+    fn parse_exists_absent_guards() {
+        let r = parse_rule_text(
+            r#"
+            rule first:
+              on clicks
+              if absent state($(user)).first_ts
+              assert $(user).first_ts = ts
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(r.guards[0], Guard::StateAbsent { .. }));
+        let r = parse_rule_text(
+            r#"
+            rule seen:
+              on clicks
+              if exists state($(user)).first_ts
+              replace $(user).returning = true
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(r.guards[0], Guard::StateExists { .. }));
+    }
+
+    #[test]
+    fn parse_pattern_trigger_with_negation() {
+        let r = parse_rule_text(
+            r#"
+            rule order_flow:
+              on pattern (o: orders where kind == "placed")
+                 then (p: payments where order == o.order)
+                 within 1h
+                 without (c: cancels where order == o.order)
+              replace $(o.user).last_paid = p.order
+            "#,
+        )
+        .unwrap();
+        match &r.trigger {
+            Trigger::Pattern(spec) => {
+                assert_eq!(spec.within, Duration::hours(1));
+                assert_eq!(spec.negated.len(), 1);
+                assert_eq!(spec.pattern.aliases().len(), 2);
+            }
+            other => panic!("wrong trigger {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_clear_and_fixed_entity() {
+        let rules = parse_rules(
+            r#"
+            rule cleanup:
+              on exits
+              clear $(visitor)
+
+            rule heartbeat:
+              on ticks
+              replace @system.last_tick = ts
+            "#,
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert!(matches!(rules[0].actions[0], Action::RetractEntity { .. }));
+        match &rules[1].actions[0] {
+            Action::Replace { entity: EntityRef::Named(n), .. } => {
+                assert_eq!(n.as_str(), "system");
+            }
+            other => panic!("wrong action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn computed_entity_reference() {
+        let r = parse_rule_text(
+            r#"
+            rule composite:
+              on s
+              replace $("user:" + user).seen = true
+            "#,
+        )
+        .unwrap();
+        match &r.actions[0] {
+            Action::Replace { entity: EntityRef::Expr(e), .. } => {
+                assert!(matches!(e, Expr::Binary(..)));
+            }
+            other => panic!("wrong action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        for bad in [
+            "rule x\n on s\n assert $(u).a = 1", // missing colon
+            "rule x: on s",                       // no actions
+            "rule x: on s assert u.a = 1",        // bad entityref
+            "rule x: on pattern (a: s) within 5q assert $(u).a = 1", // bad duration
+            "rule x: on s frobnicate $(u).a = 1", // unknown action
+        ] {
+            assert!(parse_rules(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn parsed_rules_execute_end_to_end() {
+        let rules = parse_rules(
+            r#"
+            rule enter:
+              on clicks where action == "enter"
+              replace $(user).status = "active"
+
+            rule leave:
+              on clicks where action == "leave"
+              if state($(user)).status == "active"
+              retract $(user).status = "active"
+            "#,
+        )
+        .unwrap();
+        let mut store = TemporalStore::new();
+        store.declare_attr("status", AttrSchema::one());
+        let mut eng = crate::engine::RuleEngine::new();
+        for r in rules {
+            eng.add_rule(r).unwrap();
+        }
+        let ev = |ts: u64, user: &str, action: &str| {
+            Event::from_pairs(
+                "clicks",
+                ts,
+                [("user", Value::str(user)), ("action", Value::str(action))],
+            )
+        };
+        eng.on_event(&ev(1, "u1", "enter"), &mut store);
+        let u1 = store.lookup_entity("u1").unwrap();
+        assert_eq!(store.current().value(u1, "status"), Some(Value::str("active")));
+        eng.on_event(&ev(5, "u1", "leave"), &mut store);
+        assert_eq!(store.current().value(u1, "status"), None);
+        // Session validity recorded as [1, 5).
+        let h = store.history(u1, "status");
+        assert_eq!(h.len(), 1);
+        assert_eq!(
+            h[0].0,
+            fenestra_base::time::Interval::closed(
+                fenestra_base::time::Timestamp::new(1),
+                fenestra_base::time::Timestamp::new(5)
+            )
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Pretty-printer for rules: the inverse of the parser, used for
+//! introspection tooling and round-trip testing.
+
+use crate::rule::{Action, EntityRef, Guard, StateRule, Trigger};
+use fenestra_base::expr::Expr;
+use fenestra_base::time::Duration;
+use fenestra_cep::{EventPattern, Pattern};
+use std::fmt::Write;
+
+/// Render a rule in the DSL syntax. `parse_rule_text(print_rule(r))`
+/// accepts the output for every rule the parser can produce (sequence
+/// patterns; nested `Any`/`All`/`Repeat` are a builder-API-only
+/// extension and render as a comment).
+pub fn print_rule(rule: &StateRule) -> String {
+    let mut out = String::new();
+    writeln!(out, "rule {}:", rule.name).expect("write to string");
+    print_trigger(&mut out, &rule.trigger);
+    for g in &rule.guards {
+        print_guard(&mut out, g);
+    }
+    for a in &rule.actions {
+        print_action(&mut out, a);
+    }
+    out
+}
+
+/// Render a whole rule program.
+pub fn print_rules(rules: &[StateRule]) -> String {
+    rules.iter().map(print_rule).collect::<Vec<_>>().join("\n")
+}
+
+fn print_trigger(out: &mut String, t: &Trigger) {
+    match t {
+        Trigger::Event { stream, filter } => {
+            match filter {
+                Some(f) => writeln!(out, "  on {stream} where {f}"),
+                None => writeln!(out, "  on {stream}"),
+            }
+            .expect("write to string");
+        }
+        Trigger::Pattern(spec) => {
+            write!(out, "  on pattern ").expect("write to string");
+            match &spec.pattern {
+                Pattern::Atom(a) => print_atom(out, a),
+                Pattern::Seq(ps) => {
+                    for (i, p) in ps.iter().enumerate() {
+                        if i > 0 {
+                            write!(out, " then ").expect("write to string");
+                        }
+                        match p {
+                            Pattern::Atom(a) => print_atom(out, a),
+                            other => {
+                                write!(out, "# unsupported sub-pattern {other:?}")
+                                    .expect("write to string")
+                            }
+                        }
+                    }
+                }
+                other => {
+                    write!(out, "# unsupported pattern {other:?}").expect("write to string")
+                }
+            }
+            writeln!(out, " within {}", print_duration(spec.within)).expect("write to string");
+            for n in &spec.negated {
+                write!(out, "     without ").expect("write to string");
+                print_atom(out, n);
+                writeln!(out).expect("write to string");
+            }
+        }
+    }
+}
+
+fn print_atom(out: &mut String, a: &EventPattern) {
+    let stream = a
+        .stream
+        .map(|s| s.as_str().to_owned())
+        .unwrap_or_else(|| "_".into());
+    match &a.pred {
+        Expr::Lit(v) if v.is_truthy() => {
+            write!(out, "({}: {stream})", a.alias).expect("write to string")
+        }
+        pred => write!(out, "({}: {stream} where {pred})", a.alias).expect("write to string"),
+    }
+}
+
+fn print_duration(d: Duration) -> String {
+    let ms = d.as_millis();
+    if ms.is_multiple_of(3_600_000) && ms > 0 {
+        format!("{}h", ms / 3_600_000)
+    } else if ms.is_multiple_of(60_000) && ms > 0 {
+        format!("{}m", ms / 60_000)
+    } else if ms.is_multiple_of(1_000) && ms > 0 {
+        format!("{}s", ms / 1_000)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+fn print_entityref(e: &EntityRef) -> String {
+    match e {
+        EntityRef::Expr(expr) => format!("$({expr})"),
+        EntityRef::Named(n) => format!("@{n}"),
+    }
+}
+
+fn print_guard(out: &mut String, g: &Guard) {
+    match g {
+        Guard::Expr(e) => writeln!(out, "  if {e}"),
+        Guard::StateEquals { entity, attr, value } => writeln!(
+            out,
+            "  if state({}).{attr} == {value}",
+            print_entityref(entity)
+        ),
+        Guard::StateExists { entity, attr } => {
+            writeln!(out, "  if exists state({}).{attr}", print_entityref(entity))
+        }
+        Guard::StateAbsent { entity, attr } => {
+            writeln!(out, "  if absent state({}).{attr}", print_entityref(entity))
+        }
+    }
+    .expect("write to string");
+}
+
+fn print_action(out: &mut String, a: &Action) {
+    match a {
+        Action::Assert { entity, attr, value } => writeln!(
+            out,
+            "  assert {}.{attr} = {value}",
+            print_entityref(entity)
+        ),
+        Action::Replace { entity, attr, value } => writeln!(
+            out,
+            "  replace {}.{attr} = {value}",
+            print_entityref(entity)
+        ),
+        Action::Retract { entity, attr, value } => writeln!(
+            out,
+            "  retract {}.{attr} = {value}",
+            print_entityref(entity)
+        ),
+        Action::RetractEntity { entity } => {
+            writeln!(out, "  clear {}", print_entityref(entity))
+        }
+    }
+    .expect("write to string");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{parse_rule_text, parse_rules};
+
+    const PROGRAMS: &[&str] = &[
+        r#"
+        rule visitor_moves:
+          on sensors where kind == "enter"
+          replace $(visitor).room = room
+        "#,
+        r#"
+        rule leave:
+          on clicks where action == "leave"
+          if state($(user)).status == "active"
+          if amount > 0 and not (flag)
+          retract $(user).status = "active"
+        "#,
+        r#"
+        rule first_seen:
+          on clicks
+          if absent state($(user)).first_ts
+          assert $(user).first_ts = ts
+        "#,
+        r#"
+        rule funnel:
+          on pattern (o: orders where kind == "placed")
+             then (p: payments where order == o.order)
+             within 1h
+             without (c: cancels where order == o.order)
+          replace $(o.user).last_paid = p.order
+          clear @scratch
+        "#,
+        r#"
+        rule exists_guard:
+          on s
+          if exists state(@global).flag
+          replace @global.counter = counter + 1
+        "#,
+    ];
+
+    #[test]
+    fn print_parse_round_trip_preserves_behaviour() {
+        for src in PROGRAMS {
+            let rule = parse_rule_text(src).unwrap();
+            let printed = print_rule(&rule);
+            let reparsed = parse_rule_text(&printed)
+                .unwrap_or_else(|e| panic!("failed to reparse:\n{printed}\nerror: {e}"));
+            // Compare by printing again: fixpoint after one round.
+            let printed2 = print_rule(&reparsed);
+            assert_eq!(printed, printed2, "print→parse→print not stable");
+        }
+    }
+
+    #[test]
+    fn program_printer_joins_rules() {
+        let rules = parse_rules(
+            "rule a:\n on s\n assert $(u).x = 1\nrule b:\n on s\n assert $(u).y = 2",
+        )
+        .unwrap();
+        let text = print_rules(&rules);
+        assert!(text.contains("rule a:"));
+        assert!(text.contains("rule b:"));
+        let back = parse_rules(&text).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn duration_rendering() {
+        assert_eq!(print_duration(Duration::hours(2)), "2h");
+        assert_eq!(print_duration(Duration::minutes(5)), "5m");
+        assert_eq!(print_duration(Duration::secs(30)), "30s");
+        assert_eq!(print_duration(Duration::millis(250)), "250ms");
+    }
+}

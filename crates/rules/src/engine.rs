@@ -1,0 +1,618 @@
+//! The state management component: applies rules to events, writing
+//! transitions into the temporal store.
+
+use crate::rule::{Action, EntityRef, Guard, StateRule, Trigger};
+use fenestra_base::error::{Error, Result};
+use fenestra_base::expr::Scope;
+use fenestra_base::record::Event;
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::{EntityId, Value};
+use fenestra_cep::{Match, Matcher};
+use fenestra_temporal::{AttrId, Provenance, TemporalStore};
+
+/// The kind of state change a transition applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// A fact became valid.
+    Assert,
+    /// A fact stopped being valid.
+    Retract,
+    /// Invalidate-and-update (old value closed, new value opened).
+    Replace,
+    /// All of an entity's facts were closed.
+    Clear,
+}
+
+impl TransitionKind {
+    /// Lower-case name, used as the `op` field of published
+    /// state-change events.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransitionKind::Assert => "assert",
+            TransitionKind::Retract => "retract",
+            TransitionKind::Replace => "replace",
+            TransitionKind::Clear => "clear",
+        }
+    }
+}
+
+/// One applied state transition, with enough detail to republish the
+/// change as a stream element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// The rule that fired.
+    pub rule: Symbol,
+    /// What happened.
+    pub kind: TransitionKind,
+    /// The entity.
+    pub entity: EntityId,
+    /// The attribute (for `Clear`, the reserved name `*`).
+    pub attr: AttrId,
+    /// The new value (`Assert`/`Replace`) or retracted value
+    /// (`Retract`); `Null` for `Clear`.
+    pub value: Value,
+    /// The transition time.
+    pub t: Timestamp,
+}
+
+/// Outcome of delivering one event to the engine.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct FireReport {
+    /// Rule firings whose actions ran.
+    pub fired: u64,
+    /// State transitions actually applied (changed the store).
+    pub transitions: u64,
+    /// Firings suppressed by a failing guard.
+    pub guard_blocked: u64,
+    /// Action/guard evaluation or store errors: `(rule, message)`.
+    pub errors: Vec<(Symbol, String)>,
+    /// The applied transitions, in application order.
+    pub applied: Vec<Transition>,
+}
+
+impl FireReport {
+    fn absorb(&mut self, other: FireReport) {
+        self.fired += other.fired;
+        self.transitions += other.transitions;
+        self.guard_blocked += other.guard_blocked;
+        self.errors.extend(other.errors);
+        self.applied.extend(other.applied);
+    }
+}
+
+enum CompiledTrigger {
+    Event,
+    Pattern(Matcher),
+}
+
+struct CompiledRule {
+    rule: StateRule,
+    trigger: CompiledTrigger,
+}
+
+/// The firing scope: either a single event or a pattern match.
+enum FiringScope<'a> {
+    Event(&'a Event),
+    Match(&'a Match),
+}
+
+impl Scope for FiringScope<'_> {
+    fn lookup(&self, name: Symbol) -> Option<Value> {
+        match self {
+            FiringScope::Event(ev) => {
+                if let Some(v) = ev.record.get(name) {
+                    return Some(*v);
+                }
+                match name.as_str() {
+                    "ts" => Some(Value::Time(ev.ts)),
+                    "stream" => Some(Value::Str(ev.stream)),
+                    _ => None,
+                }
+            }
+            FiringScope::Match(m) => {
+                let s = name.as_str();
+                if let Some((alias, field)) = s.split_once('.') {
+                    let ev = m
+                        .bindings
+                        .iter()
+                        .rev()
+                        .find(|(a, _)| a.as_str() == alias)
+                        .map(|(_, e)| e)?;
+                    return match field {
+                        "ts" => Some(Value::Time(ev.ts)),
+                        "stream" => Some(Value::Str(ev.stream)),
+                        _ => ev.record.get(Symbol::intern(field)).copied(),
+                    };
+                }
+                // Unprefixed names resolve against the *last* bound
+                // event, which is usually the triggering one.
+                let last = m.bindings.last().map(|(_, e)| e)?;
+                if let Some(v) = last.record.get(name) {
+                    return Some(*v);
+                }
+                match s {
+                    "ts" => Some(Value::Time(last.ts)),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates state-management rules against an event stream.
+#[derive(Default)]
+pub struct RuleEngine {
+    rules: Vec<CompiledRule>,
+}
+
+impl RuleEngine {
+    /// An engine with no rules.
+    pub fn new() -> RuleEngine {
+        RuleEngine::default()
+    }
+
+    /// Register a rule (validates it and compiles its pattern, if any).
+    pub fn add_rule(&mut self, rule: StateRule) -> Result<()> {
+        rule.validate()?;
+        let trigger = match &rule.trigger {
+            Trigger::Event { .. } => CompiledTrigger::Event,
+            Trigger::Pattern(spec) => CompiledTrigger::Pattern(Matcher::new((**spec).clone())?),
+        };
+        self.rules.push(CompiledRule { rule, trigger });
+        Ok(())
+    }
+
+    /// Number of registered rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether no rule is registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The registered rule names, in registration order.
+    pub fn rule_names(&self) -> Vec<Symbol> {
+        self.rules.iter().map(|c| c.rule.name).collect()
+    }
+
+    /// Deliver one event: evaluate every rule's trigger, guards, and
+    /// actions. Transitions are applied at the event's timestamp (for
+    /// pattern triggers, the completing event's timestamp).
+    pub fn on_event(&mut self, ev: &Event, store: &mut TemporalStore) -> FireReport {
+        let mut report = FireReport::default();
+        for cr in &mut self.rules {
+            match &mut cr.trigger {
+                CompiledTrigger::Event => {
+                    let Trigger::Event { stream, filter } = &cr.rule.trigger else {
+                        unreachable!("compiled trigger matches rule trigger");
+                    };
+                    if ev.stream != *stream {
+                        continue;
+                    }
+                    let scope = FiringScope::Event(ev);
+                    if let Some(f) = filter {
+                        match f.eval_bool(&scope) {
+                            Ok(true) => {}
+                            Ok(false) => continue,
+                            Err(e) => {
+                                report.errors.push((cr.rule.name, e.to_string()));
+                                continue;
+                            }
+                        }
+                    }
+                    report.absorb(fire(&cr.rule, &scope, ev.ts, store));
+                }
+                CompiledTrigger::Pattern(matcher) => {
+                    for m in matcher.on_event(ev) {
+                        let scope = FiringScope::Match(&m);
+                        report.absorb(fire(&cr.rule, &scope, ev.ts, store));
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+fn fire(rule: &StateRule, scope: &FiringScope<'_>, t: Timestamp, store: &mut TemporalStore) -> FireReport {
+    let mut report = FireReport::default();
+    // Guards.
+    for g in &rule.guards {
+        match eval_guard(g, scope, store) {
+            Ok(true) => {}
+            Ok(false) => {
+                report.guard_blocked += 1;
+                return report;
+            }
+            Err(e) => {
+                report.errors.push((rule.name, e.to_string()));
+                return report;
+            }
+        }
+    }
+    report.fired += 1;
+    let prov = Provenance::Rule(rule.name);
+    for action in &rule.actions {
+        if let Err(e) = run_action(action, rule.name, scope, t, prov, store, &mut report) {
+            report.errors.push((rule.name, e.to_string()));
+        }
+    }
+    report
+}
+
+fn eval_guard(g: &Guard, scope: &FiringScope<'_>, store: &TemporalStore) -> Result<bool> {
+    match g {
+        Guard::Expr(e) => e.eval_bool(scope),
+        Guard::StateEquals { entity, attr, value } => {
+            let Some(e) = lookup_entity(entity, scope, store)? else {
+                return Ok(false);
+            };
+            let v = value.eval(scope)?;
+            Ok(store.current().holds(e, *attr, v))
+        }
+        Guard::StateExists { entity, attr } => {
+            let Some(e) = lookup_entity(entity, scope, store)? else {
+                return Ok(false);
+            };
+            Ok(!store.current().values(e, *attr).is_empty())
+        }
+        Guard::StateAbsent { entity, attr } => {
+            let Some(e) = lookup_entity(entity, scope, store)? else {
+                return Ok(true);
+            };
+            Ok(store.current().values(e, *attr).is_empty())
+        }
+    }
+}
+
+/// Resolve an entity reference without creating it (guards).
+fn lookup_entity(
+    er: &EntityRef,
+    scope: &FiringScope<'_>,
+    store: &TemporalStore,
+) -> Result<Option<EntityId>> {
+    match entity_value(er, scope)? {
+        Value::Str(name) => Ok(store.lookup_entity(name)),
+        Value::Id(e) => Ok(Some(e)),
+        other => Err(Error::Invalid(format!(
+            "entity reference must be a name or id, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+/// Resolve an entity reference, creating named entities on demand
+/// (actions).
+fn resolve_entity(
+    er: &EntityRef,
+    scope: &FiringScope<'_>,
+    store: &mut TemporalStore,
+) -> Result<EntityId> {
+    match entity_value(er, scope)? {
+        Value::Str(name) => Ok(store.named_entity(name)),
+        Value::Id(e) => Ok(e),
+        other => Err(Error::Invalid(format!(
+            "entity reference must be a name or id, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn entity_value(er: &EntityRef, scope: &FiringScope<'_>) -> Result<Value> {
+    match er {
+        EntityRef::Expr(e) => e.eval(scope),
+        EntityRef::Named(n) => Ok(Value::Str(*n)),
+    }
+}
+
+fn run_action(
+    action: &Action,
+    _rule: Symbol,
+    scope: &FiringScope<'_>,
+    t: Timestamp,
+    prov: Provenance,
+    store: &mut TemporalStore,
+    report: &mut FireReport,
+) -> Result<()> {
+    match action {
+        Action::Assert { entity, attr, value } => {
+            let e = resolve_entity(entity, scope, store)?;
+            let v = value.eval(scope)?;
+            let before = store.revision();
+            store.assert_with(e, *attr, v, t, prov)?;
+            if store.revision() > before {
+                report.transitions += 1;
+                report.applied.push(Transition {
+                    rule: _rule,
+                    kind: TransitionKind::Assert,
+                    entity: e,
+                    attr: *attr,
+                    value: v,
+                    t,
+                });
+            }
+        }
+        Action::Retract { entity, attr, value } => {
+            let e = resolve_entity(entity, scope, store)?;
+            let v = value.eval(scope)?;
+            store.retract_at(e, *attr, v, t)?;
+            report.transitions += 1;
+            report.applied.push(Transition {
+                rule: _rule,
+                kind: TransitionKind::Retract,
+                entity: e,
+                attr: *attr,
+                value: v,
+                t,
+            });
+        }
+        Action::Replace { entity, attr, value } => {
+            let e = resolve_entity(entity, scope, store)?;
+            let v = value.eval(scope)?;
+            let out = store.replace_with(e, *attr, v, t, prov)?;
+            if out.changed {
+                report.transitions += 1;
+                report.applied.push(Transition {
+                    rule: _rule,
+                    kind: TransitionKind::Replace,
+                    entity: e,
+                    attr: *attr,
+                    value: v,
+                    t,
+                });
+            }
+        }
+        Action::RetractEntity { entity } => {
+            let e = resolve_entity(entity, scope, store)?;
+            let closed = store.retract_entity_at(e, t)?;
+            report.transitions += closed.len() as u64;
+            if !closed.is_empty() {
+                report.applied.push(Transition {
+                    rule: _rule,
+                    kind: TransitionKind::Clear,
+                    entity: e,
+                    attr: Symbol::intern("*"),
+                    value: Value::Null,
+                    t,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_base::expr::Expr;
+    use fenestra_base::time::Duration;
+    use fenestra_cep::{EventPattern, Pattern, PatternSpec};
+    use fenestra_temporal::AttrSchema;
+
+    fn sensor(ts: u64, visitor: &str, room: &str) -> Event {
+        Event::from_pairs(
+            "sensors",
+            ts,
+            [("visitor", Value::str(visitor)), ("room", Value::str(room))],
+        )
+    }
+
+    fn engine_with_move_rule() -> (RuleEngine, TemporalStore) {
+        let mut store = TemporalStore::new();
+        store.declare_attr("room", AttrSchema::one());
+        let mut eng = RuleEngine::new();
+        eng.add_rule(
+            StateRule::new("visitor_moves", Trigger::on("sensors"))
+                .replace_field("visitor", "room", "room"),
+        )
+        .unwrap();
+        (eng, store)
+    }
+
+    #[test]
+    fn replace_rule_tracks_position() {
+        let (mut eng, mut store) = engine_with_move_rule();
+        let r1 = eng.on_event(&sensor(10, "v1", "lobby"), &mut store);
+        assert_eq!(r1.fired, 1);
+        assert_eq!(r1.transitions, 1);
+        eng.on_event(&sensor(20, "v1", "lab"), &mut store);
+        eng.on_event(&sensor(30, "v2", "lobby"), &mut store);
+        let v1 = store.lookup_entity("v1").unwrap();
+        let v2 = store.lookup_entity("v2").unwrap();
+        assert_eq!(store.current().value(v1, "room"), Some(Value::str("lab")));
+        assert_eq!(store.current().value(v2, "room"), Some(Value::str("lobby")));
+        // History: the paper's "invalidates any previous position".
+        assert_eq!(store.history(v1, "room").len(), 2);
+        // Never simultaneously in two rooms.
+        assert_eq!(store.current().values(v1, "room").len(), 1);
+        // Provenance recorded.
+        let f = store.current().entity_facts(v1).next().unwrap();
+        assert_eq!(f.provenance, Provenance::Rule(Symbol::intern("visitor_moves")));
+    }
+
+    #[test]
+    fn idempotent_replace_counts_no_transition() {
+        let (mut eng, mut store) = engine_with_move_rule();
+        eng.on_event(&sensor(10, "v1", "lobby"), &mut store);
+        let r = eng.on_event(&sensor(20, "v1", "lobby"), &mut store);
+        assert_eq!(r.fired, 1);
+        assert_eq!(r.transitions, 0, "same room, no state change");
+    }
+
+    #[test]
+    fn filtered_trigger() {
+        let mut store = TemporalStore::new();
+        let mut eng = RuleEngine::new();
+        eng.add_rule(
+            StateRule::new(
+                "active_users",
+                Trigger::on_where("clicks", Expr::name("action").eq(Expr::lit("enter"))),
+            )
+            .action(Action::Assert {
+                entity: EntityRef::field("user"),
+                attr: Symbol::intern("status"),
+                value: Expr::lit("active"),
+            }),
+        )
+        .unwrap();
+        let enter = Event::from_pairs(
+            "clicks",
+            1u64,
+            [("user", Value::str("u1")), ("action", Value::str("enter"))],
+        );
+        let browse = Event::from_pairs(
+            "clicks",
+            2u64,
+            [("user", Value::str("u2")), ("action", Value::str("browse"))],
+        );
+        eng.on_event(&enter, &mut store);
+        eng.on_event(&browse, &mut store);
+        assert!(store.lookup_entity("u1").is_some());
+        assert!(store.lookup_entity("u2").is_none(), "filter blocked u2");
+    }
+
+    #[test]
+    fn guards_gate_actions() {
+        let mut store = TemporalStore::new();
+        let mut eng = RuleEngine::new();
+        // Retract "active" only if it is currently set.
+        eng.add_rule(
+            StateRule::new("leave", Trigger::on("leaves"))
+                .guard(Guard::StateEquals {
+                    entity: EntityRef::field("user"),
+                    attr: Symbol::intern("status"),
+                    value: Expr::lit("active"),
+                })
+                .action(Action::Retract {
+                    entity: EntityRef::field("user"),
+                    attr: Symbol::intern("status"),
+                    value: Expr::lit("active"),
+                }),
+        )
+        .unwrap();
+        let leave = Event::from_pairs("leaves", 5u64, [("user", "u1")]);
+        let r = eng.on_event(&leave, &mut store);
+        assert_eq!(r.guard_blocked, 1, "u1 not active: guard blocks");
+        assert_eq!(r.fired, 0);
+        // Now set the state and retry.
+        let u1 = store.named_entity("u1");
+        store.assert_at(u1, "status", "active", Timestamp::new(6)).unwrap();
+        let leave2 = Event::from_pairs("leaves", 7u64, [("user", "u1")]);
+        let r = eng.on_event(&leave2, &mut store);
+        assert_eq!(r.fired, 1);
+        assert_eq!(store.current().value(u1, "status"), None);
+    }
+
+    #[test]
+    fn state_exists_and_absent_guards() {
+        let mut store = TemporalStore::new();
+        let mut eng = RuleEngine::new();
+        eng.add_rule(
+            StateRule::new("first_seen", Trigger::on("clicks"))
+                .guard(Guard::StateAbsent {
+                    entity: EntityRef::field("user"),
+                    attr: Symbol::intern("first_ts"),
+                })
+                .action(Action::Assert {
+                    entity: EntityRef::field("user"),
+                    attr: Symbol::intern("first_ts"),
+                    value: Expr::name("ts"),
+                }),
+        )
+        .unwrap();
+        eng.on_event(&Event::from_pairs("clicks", 10u64, [("user", "u1")]), &mut store);
+        eng.on_event(&Event::from_pairs("clicks", 20u64, [("user", "u1")]), &mut store);
+        let u1 = store.lookup_entity("u1").unwrap();
+        assert_eq!(
+            store.current().value(u1, "first_ts"),
+            Some(Value::Time(Timestamp::new(10))),
+            "second event must not overwrite first_ts"
+        );
+    }
+
+    #[test]
+    fn pattern_trigger_multi_event_transition() {
+        // Two sensor events for the same visitor within 100ms mark the
+        // visitor as "moving fast" — a transition no single event
+        // determines (paper §3.3 Q1).
+        let spec = PatternSpec::new(
+            Pattern::seq([
+                Pattern::atom(EventPattern::on("sensors", "a")),
+                Pattern::atom(
+                    EventPattern::on("sensors", "b")
+                        .filter(fenestra_base::parse::parse_expr("visitor == a.visitor").unwrap()),
+                ),
+            ]),
+            Duration::millis(100),
+        );
+        let mut store = TemporalStore::new();
+        let mut eng = RuleEngine::new();
+        eng.add_rule(
+            StateRule::new("fast_mover", Trigger::pattern(spec)).action(Action::Replace {
+                entity: EntityRef::Expr(Expr::name("b.visitor")),
+                attr: Symbol::intern("pace"),
+                value: Expr::lit("fast"),
+            }),
+        )
+        .unwrap();
+        eng.on_event(&sensor(10, "v1", "lobby"), &mut store);
+        let r = eng.on_event(&sensor(50, "v1", "lab"), &mut store);
+        assert_eq!(r.fired, 1);
+        let v1 = store.lookup_entity("v1").unwrap();
+        assert_eq!(store.current().value(v1, "pace"), Some(Value::str("fast")));
+        // Different visitor within window: no match.
+        let r = eng.on_event(&sensor(60, "v2", "lobby"), &mut store);
+        assert_eq!(r.fired, 0);
+    }
+
+    #[test]
+    fn action_errors_are_reported_not_fatal() {
+        let mut store = TemporalStore::new();
+        let mut eng = RuleEngine::new();
+        eng.add_rule(
+            StateRule::new("bad", Trigger::on("s"))
+                .action(Action::Retract {
+                    entity: EntityRef::field("user"),
+                    attr: Symbol::intern("nope"),
+                    value: Expr::lit(1i64),
+                })
+                .action(Action::Assert {
+                    entity: EntityRef::field("user"),
+                    attr: Symbol::intern("ok"),
+                    value: Expr::lit(1i64),
+                }),
+        )
+        .unwrap();
+        let r = eng.on_event(&Event::from_pairs("s", 1u64, [("user", "u")]), &mut store);
+        assert_eq!(r.errors.len(), 1, "retract of absent fact errored");
+        let u = store.lookup_entity("u").unwrap();
+        assert_eq!(
+            store.current().value(u, "ok"),
+            Some(Value::Int(1)),
+            "later actions still ran"
+        );
+    }
+
+    #[test]
+    fn fixed_named_entity_target() {
+        let mut store = TemporalStore::new();
+        let mut eng = RuleEngine::new();
+        eng.add_rule(
+            StateRule::new("counter", Trigger::on("s")).action(Action::Replace {
+                entity: EntityRef::named("global"),
+                attr: Symbol::intern("last_event"),
+                value: Expr::name("ts"),
+            }),
+        )
+        .unwrap();
+        eng.on_event(&Event::from_pairs("s", 42u64, [("x", 1i64)]), &mut store);
+        let g = store.lookup_entity("global").unwrap();
+        assert_eq!(
+            store.current().value(g, "last_event"),
+            Some(Value::Time(Timestamp::new(42)))
+        );
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # fenestra-rules
+//!
+//! **State management rules** — the core abstraction proposed by the
+//! paper: declarative rules that "declare how the stream of input data
+//! updates the state" (§1), evaluated by the state management
+//! component against the temporal state repository.
+//!
+//! A [`rule::StateRule`] couples:
+//!
+//! * a **trigger** — a single-event selector (stream + predicate) or a
+//!   multi-event CEP pattern (the paper's open question 1:
+//!   "a state transition determined by multiple streaming elements");
+//! * optional **guards** — conditions on the current state that must
+//!   hold for the rule to fire ("activating some derivations only when
+//!   specific conditions on the state are met", §1);
+//! * **actions** — `assert` / `retract` / `replace` state transitions,
+//!   with `replace` realizing the paper's motivating semantics: "the
+//!   most recent position invalidates and updates any previous
+//!   position of the same visitor".
+//!
+//! Rules are written either through the builder API or in the textual
+//! DSL ([`dsl`]):
+//!
+//! ```text
+//! rule visitor_moves:
+//!   on sensors where kind == "enter"
+//!   replace $(visitor).room = room
+//!
+//! rule user_leaves:
+//!   on clicks where action == "leave"
+//!   if state($(user)).status == "active"
+//!   retract $(user).status = "active"
+//! ```
+//!
+//! The [`engine::RuleEngine`] applies rules to events in timestamp
+//! order, writing transitions into a
+//! [`fenestra_temporal::TemporalStore`] with per-rule provenance.
+
+pub mod dsl;
+pub mod engine;
+pub mod rule;
+
+pub use engine::{FireReport, RuleEngine, Transition, TransitionKind};
+pub use rule::{Action, EntityRef, Guard, StateRule, Trigger};

@@ -1,0 +1,221 @@
+//! The state-management rule model.
+
+use fenestra_base::expr::Expr;
+use fenestra_base::record::StreamId;
+use fenestra_base::symbol::Symbol;
+use fenestra_cep::PatternSpec;
+use fenestra_temporal::AttrId;
+
+/// What causes a rule to fire.
+#[derive(Debug, Clone)]
+pub enum Trigger {
+    /// One event on `stream` satisfying `filter`.
+    Event {
+        /// Source stream.
+        stream: StreamId,
+        /// Content predicate (`None` = every event).
+        filter: Option<Expr>,
+    },
+    /// A completed CEP pattern match (multi-event transition).
+    Pattern(Box<PatternSpec>),
+}
+
+impl Trigger {
+    /// Every event on `stream`.
+    pub fn on(stream: impl Into<Symbol>) -> Trigger {
+        Trigger::Event {
+            stream: stream.into(),
+            filter: None,
+        }
+    }
+
+    /// Events on `stream` passing `filter`.
+    pub fn on_where(stream: impl Into<Symbol>, filter: Expr) -> Trigger {
+        Trigger::Event {
+            stream: stream.into(),
+            filter: Some(filter),
+        }
+    }
+
+    /// A pattern trigger.
+    pub fn pattern(spec: PatternSpec) -> Trigger {
+        Trigger::Pattern(Box::new(spec))
+    }
+}
+
+/// How a rule names the entity an action applies to.
+#[derive(Debug, Clone)]
+pub enum EntityRef {
+    /// Evaluate an expression in the firing scope; the result must be
+    /// a string (named entity, created on demand) or an entity id.
+    Expr(Expr),
+    /// A fixed named entity (created on demand).
+    Named(Symbol),
+}
+
+impl EntityRef {
+    /// Entity named by an event field (shorthand for
+    /// `EntityRef::Expr(Expr::name(field))`).
+    pub fn field(field: impl Into<Symbol>) -> EntityRef {
+        EntityRef::Expr(Expr::name(field.into().as_str()))
+    }
+
+    /// A fixed named entity.
+    pub fn named(name: impl Into<Symbol>) -> EntityRef {
+        EntityRef::Named(name.into())
+    }
+}
+
+/// A condition on the current state, checked before actions run.
+#[derive(Debug, Clone)]
+pub enum Guard {
+    /// `state(entity).attr == value` must hold.
+    StateEquals {
+        /// The entity.
+        entity: EntityRef,
+        /// The attribute.
+        attr: AttrId,
+        /// Expected value (an expression over the firing scope).
+        value: Expr,
+    },
+    /// `(entity, attr, *)` must have at least one open fact.
+    StateExists {
+        /// The entity.
+        entity: EntityRef,
+        /// The attribute.
+        attr: AttrId,
+    },
+    /// `(entity, attr, *)` must have no open fact.
+    StateAbsent {
+        /// The entity.
+        entity: EntityRef,
+        /// The attribute.
+        attr: AttrId,
+    },
+    /// An arbitrary predicate over the firing scope (event fields /
+    /// pattern bindings).
+    Expr(Expr),
+}
+
+/// A state transition produced by a firing rule.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Assert `(entity, attr, value)` valid from the firing time.
+    Assert {
+        /// Target entity.
+        entity: EntityRef,
+        /// Attribute.
+        attr: AttrId,
+        /// Value expression.
+        value: Expr,
+    },
+    /// Close the open fact `(entity, attr, value)`.
+    Retract {
+        /// Target entity.
+        entity: EntityRef,
+        /// Attribute.
+        attr: AttrId,
+        /// Value expression.
+        value: Expr,
+    },
+    /// Close all open facts for `(entity, attr)` and assert the new
+    /// value — the invalidate-and-update primitive.
+    Replace {
+        /// Target entity.
+        entity: EntityRef,
+        /// Attribute.
+        attr: AttrId,
+        /// New value expression.
+        value: Expr,
+    },
+    /// Close every open fact about the entity.
+    RetractEntity {
+        /// Target entity.
+        entity: EntityRef,
+    },
+}
+
+/// A complete state-management rule.
+#[derive(Debug, Clone)]
+pub struct StateRule {
+    /// Rule name (becomes fact provenance).
+    pub name: Symbol,
+    /// Firing trigger.
+    pub trigger: Trigger,
+    /// Conjunctive guards.
+    pub guards: Vec<Guard>,
+    /// Actions, executed in order.
+    pub actions: Vec<Action>,
+}
+
+impl StateRule {
+    /// Start building a rule.
+    pub fn new(name: impl Into<Symbol>, trigger: Trigger) -> StateRule {
+        StateRule {
+            name: name.into(),
+            trigger,
+            guards: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Add a guard (chainable).
+    pub fn guard(mut self, g: Guard) -> StateRule {
+        self.guards.push(g);
+        self
+    }
+
+    /// Add an action (chainable).
+    pub fn action(mut self, a: Action) -> StateRule {
+        self.actions.push(a);
+        self
+    }
+
+    /// Shorthand: `replace $(entity_field).attr = value_field`.
+    pub fn replace_field(
+        self,
+        entity_field: impl Into<Symbol>,
+        attr: impl Into<Symbol>,
+        value_field: impl Into<Symbol>,
+    ) -> StateRule {
+        self.action(Action::Replace {
+            entity: EntityRef::field(entity_field),
+            attr: attr.into(),
+            value: Expr::name(value_field.into().as_str()),
+        })
+    }
+
+    /// Validate structural sanity: at least one action, and `All`/empty
+    /// pattern problems surface at compile time in the engine.
+    pub fn validate(&self) -> fenestra_base::error::Result<()> {
+        if self.actions.is_empty() {
+            return Err(fenestra_base::error::Error::Invalid(format!(
+                "rule `{}` has no actions",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let r = StateRule::new("move", Trigger::on("sensors"))
+            .guard(Guard::Expr(Expr::name("kind").eq(Expr::lit("enter"))))
+            .replace_field("visitor", "room", "room");
+        assert_eq!(r.name.as_str(), "move");
+        assert_eq!(r.guards.len(), 1);
+        assert_eq!(r.actions.len(), 1);
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_rule_invalid() {
+        let r = StateRule::new("noop", Trigger::on("s"));
+        assert!(r.validate().is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Robustness: the rule parser is total (never panics) on arbitrary
+//! and DSL-plausible inputs.
+
+use fenestra_rules::dsl::parse_rules;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_total_on_arbitrary_strings(s in "\\PC*") {
+        let _ = parse_rules(&s);
+    }
+
+    #[test]
+    fn parser_total_on_token_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("rule"), Just("on"), Just("pattern"), Just("then"),
+                Just("within"), Just("without"), Just("if"), Just("state"),
+                Just("exists"), Just("absent"), Just("assert"), Just("replace"),
+                Just("retract"), Just("clear"), Just("$"), Just("@"), Just("("),
+                Just(")"), Just("."), Just("="), Just("=="), Just(":"),
+                Just("x"), Just("s"), Just("5m"), Just("1"), Just("\"v\""),
+                Just("where"),
+            ],
+            0..32,
+        )
+    ) {
+        let s = parts.join(" ");
+        let _ = parse_rules(&s);
+    }
+}

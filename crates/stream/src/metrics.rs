@@ -1,0 +1,40 @@
+//! Executor-level counters.
+
+/// Counters describing an executor run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorMetrics {
+    /// Events accepted (not late).
+    pub events_in: u64,
+    /// Events dropped because they arrived behind the watermark.
+    pub late_dropped: u64,
+    /// Watermark advances broadcast to the graph.
+    pub watermarks: u64,
+}
+
+impl ExecutorMetrics {
+    /// Fraction of arriving events that were dropped as late.
+    pub fn late_fraction(&self) -> f64 {
+        let total = self.events_in + self.late_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.late_dropped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn late_fraction() {
+        let m = ExecutorMetrics {
+            events_in: 9,
+            late_dropped: 1,
+            watermarks: 5,
+        };
+        assert!((m.late_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(ExecutorMetrics::default().late_fraction(), 0.0);
+    }
+}

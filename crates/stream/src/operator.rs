@@ -1,0 +1,93 @@
+//! The push-based operator abstraction.
+
+use fenestra_base::record::Event;
+use fenestra_base::time::Timestamp;
+
+/// Output buffer handed to an operator invocation. Everything emitted
+/// is forwarded to the node's downstream operators by the executor.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    buf: Vec<Event>,
+}
+
+impl Emitter {
+    /// Fresh, empty emitter.
+    pub fn new() -> Emitter {
+        Emitter::default()
+    }
+
+    /// Emit one event downstream.
+    pub fn emit(&mut self, ev: Event) {
+        self.buf.push(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drain the buffered events (used by the executor).
+    pub fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// A dataflow operator: consumes events, may emit events, and reacts to
+/// event-time watermarks.
+///
+/// Contract:
+/// * `on_event` is called once per input event, in the order the
+///   executor delivers them (event-time order up to the configured
+///   lateness bound).
+/// * `on_watermark(wm)` promises no further event with `ts < wm` will
+///   arrive. Window operators fire completed windows here.
+/// * `on_flush(at)` is called once at end-of-stream; operators emit any
+///   residual state (e.g. partially filled windows) if meaningful.
+pub trait Operator: Send {
+    /// Operator name for metrics and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Process one input event.
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter);
+
+    /// Observe a watermark: no event with `ts < wm` will follow.
+    fn on_watermark(&mut self, _wm: Timestamp, _out: &mut Emitter) {}
+
+    /// End of stream; emit residual state.
+    fn on_flush(&mut self, _at: Timestamp, _out: &mut Emitter) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_base::record::Record;
+
+    struct Echo;
+    impl Operator for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+            out.emit(ev.clone());
+        }
+    }
+
+    #[test]
+    fn emitter_buffers_and_drains() {
+        let mut e = Emitter::new();
+        assert!(e.is_empty());
+        let ev = Event::new("s", 1u64, Record::new());
+        let mut op = Echo;
+        op.on_event(&ev, &mut e);
+        op.on_event(&ev, &mut e);
+        assert_eq!(e.len(), 2);
+        let drained = e.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(e.is_empty());
+    }
+}

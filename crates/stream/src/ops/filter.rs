@@ -1,0 +1,84 @@
+//! Predicate filter.
+
+use crate::operator::{Emitter, Operator};
+use crate::ops::EventScope;
+use fenestra_base::expr::Expr;
+use fenestra_base::record::Event;
+
+/// Passes events whose predicate evaluates truthy. Events whose
+/// predicate evaluation *errors* (unbound field, type mismatch) are
+/// dropped and counted in [`Filter::eval_errors`] — a silent-but-
+/// observable policy, like SQL's three-valued logic on bad rows.
+pub struct Filter {
+    pred: Expr,
+    /// Events dropped due to evaluation errors.
+    pub eval_errors: u64,
+}
+
+impl Filter {
+    /// Filter with `pred` (evaluated against the event's fields, plus
+    /// `ts` and `stream`).
+    pub fn new(pred: Expr) -> Filter {
+        Filter {
+            pred,
+            eval_errors: 0,
+        }
+    }
+}
+
+impl Operator for Filter {
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        match self.pred.eval_bool(&EventScope(ev)) {
+            Ok(true) => out.emit(ev.clone()),
+            Ok(false) => {}
+            Err(_) => self.eval_errors += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_base::value::Value;
+
+    fn ev(ts: u64, amount: i64) -> Event {
+        Event::from_pairs("s", ts, [("amount", amount)])
+    }
+
+    #[test]
+    fn passes_matching_events() {
+        let mut f = Filter::new(Expr::name("amount").gt(Expr::lit(10i64)));
+        let mut out = Emitter::new();
+        f.on_event(&ev(1, 5), &mut out);
+        f.on_event(&ev(2, 15), &mut out);
+        let got = out.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].get("amount"), Some(&Value::Int(15)));
+    }
+
+    #[test]
+    fn ts_and_stream_are_visible() {
+        let mut f = Filter::new(
+            Expr::name("ts")
+                .ge(Expr::lit(Value::Time(fenestra_base::time::Timestamp::new(5))))
+                .and(Expr::name("stream").eq(Expr::lit("s"))),
+        );
+        let mut out = Emitter::new();
+        f.on_event(&ev(4, 1), &mut out);
+        f.on_event(&ev(5, 1), &mut out);
+        assert_eq!(out.drain().len(), 1);
+    }
+
+    #[test]
+    fn errors_counted_not_propagated() {
+        let mut f = Filter::new(Expr::name("missing").gt(Expr::lit(1i64)));
+        let mut out = Emitter::new();
+        f.on_event(&ev(1, 1), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(f.eval_errors, 1);
+    }
+}

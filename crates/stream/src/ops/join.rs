@@ -1,0 +1,277 @@
+//! Windowed stream–stream equi-join.
+//!
+//! This is the operator the paper's §3.1 case study says becomes
+//! necessary (and awkward) when state-like data — e.g. product
+//! classification updates — must be processed *as a stream*: to join
+//! sales with classifications, the classification side has to be kept
+//! in a time window, and any classification older than the window is
+//! lost. Experiment E3 measures exactly that failure mode against the
+//! stream–state join in [`crate::ops::state`].
+
+use crate::operator::{Emitter, Operator};
+use fenestra_base::record::{Event, FieldId, Record, StreamId};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::{Duration, Timestamp};
+use fenestra_base::value::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// Which side of the join an input stream feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The probe side (e.g. sales).
+    Left,
+    /// The build side (e.g. classification updates).
+    Right,
+}
+
+struct SideState {
+    /// key value → (ts, seq) → record.
+    by_key: HashMap<Value, BTreeMap<(u64, u64), Record>>,
+    seq: u64,
+}
+
+impl SideState {
+    fn new() -> SideState {
+        SideState {
+            by_key: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    fn insert(&mut self, key: Value, ts: Timestamp, rec: Record) {
+        let s = self.seq;
+        self.seq += 1;
+        self.by_key.entry(key).or_default().insert((ts.millis(), s), rec);
+    }
+
+    fn evict_before(&mut self, bound: Timestamp) {
+        for m in self.by_key.values_mut() {
+            while let Some((&k, _)) = m.first_key_value() {
+                if k.0 < bound.millis() {
+                    m.remove(&k);
+                } else {
+                    break;
+                }
+            }
+        }
+        self.by_key.retain(|_, m| !m.is_empty());
+    }
+
+    fn len(&self) -> usize {
+        self.by_key.values().map(|m| m.len()).sum()
+    }
+}
+
+/// Symmetric hash join over a sliding time window: an output is
+/// produced for every pair of left/right events with equal keys whose
+/// timestamps differ by less than `window`.
+pub struct WindowJoin {
+    left_stream: StreamId,
+    right_stream: StreamId,
+    left_key: FieldId,
+    right_key: FieldId,
+    window: Duration,
+    out_stream: StreamId,
+    left: SideState,
+    right: SideState,
+    /// Events on neither input stream, or lacking the key field.
+    pub skipped: u64,
+}
+
+impl WindowJoin {
+    /// Join `left_stream.left_key == right_stream.right_key` within
+    /// `window`.
+    pub fn new(
+        left_stream: impl Into<Symbol>,
+        left_key: impl Into<Symbol>,
+        right_stream: impl Into<Symbol>,
+        right_key: impl Into<Symbol>,
+        window: Duration,
+    ) -> WindowJoin {
+        WindowJoin {
+            left_stream: left_stream.into(),
+            right_stream: right_stream.into(),
+            left_key: left_key.into(),
+            right_key: right_key.into(),
+            window,
+            out_stream: Symbol::intern("join"),
+            left: SideState::new(),
+            right: SideState::new(),
+            skipped: 0,
+        }
+    }
+
+    /// Name the output stream (chainable).
+    pub fn out_stream(mut self, stream: impl Into<Symbol>) -> WindowJoin {
+        self.out_stream = stream.into();
+        self
+    }
+
+    /// Number of buffered events (memory proxy for E3).
+    pub fn buffered(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    fn probe(
+        &self,
+        key: &Value,
+        ev: &Event,
+        side: JoinSide,
+        out: &mut Emitter,
+    ) {
+        let other = match side {
+            JoinSide::Left => &self.right,
+            JoinSide::Right => &self.left,
+        };
+        let Some(candidates) = other.by_key.get(key) else {
+            return;
+        };
+        let lo = ev.ts.saturating_sub(self.window).millis();
+        let hi = ev.ts.saturating_add(self.window).millis();
+        for ((_cts, _), crec) in candidates.range((lo, 0)..(hi.saturating_add(1), 0)) {
+            // Merge: left fields first, right fields win on conflict.
+            let (lrec, rrec) = match side {
+                JoinSide::Left => (&ev.record, crec),
+                JoinSide::Right => (crec, &ev.record),
+            };
+            let mut merged = lrec.clone();
+            merged.merge(rrec);
+            out.emit(Event::new(self.out_stream, ev.ts, merged));
+        }
+    }
+}
+
+impl Operator for WindowJoin {
+    fn name(&self) -> &'static str {
+        "window-join"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        let (side, key_field) = if ev.stream == self.left_stream {
+            (JoinSide::Left, self.left_key)
+        } else if ev.stream == self.right_stream {
+            (JoinSide::Right, self.right_key)
+        } else {
+            self.skipped += 1;
+            return;
+        };
+        let Some(&key) = ev.record.get(key_field) else {
+            self.skipped += 1;
+            return;
+        };
+        self.probe(&key, ev, side, out);
+        match side {
+            JoinSide::Left => self.left.insert(key, ev.ts, ev.record.clone()),
+            JoinSide::Right => self.right.insert(key, ev.ts, ev.record.clone()),
+        }
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Emitter) {
+        let _ = out;
+        let bound = wm.saturating_sub(self.window);
+        self.left.evict_before(bound);
+        self.right.evict_before(bound);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::graph::Graph;
+
+    fn sale(ts: u64, product: &str, qty: i64) -> Event {
+        Event::from_pairs(
+            "sales",
+            ts,
+            [("product", Value::str(product)), ("qty", Value::Int(qty))],
+        )
+    }
+
+    fn class(ts: u64, product: &str, class: &str) -> Event {
+        Event::from_pairs(
+            "classes",
+            ts,
+            [("product", Value::str(product)), ("class", Value::str(class))],
+        )
+    }
+
+    fn join_graph(window: u64) -> (Executor, crate::graph::SinkHandle) {
+        let mut g = Graph::new();
+        let j = g.add_op(WindowJoin::new(
+            "sales", "product", "classes", "product",
+            Duration::millis(window),
+        ));
+        g.connect_source("sales", j);
+        g.connect_source("classes", j);
+        let sink = g.add_sink();
+        g.connect(j, sink.node);
+        (Executor::new(g), sink)
+    }
+
+    #[test]
+    fn joins_within_window() {
+        let (mut ex, sink) = join_graph(10);
+        ex.push(class(1, "p1", "toys"));
+        ex.push(sale(5, "p1", 3));
+        ex.finish();
+        let out = sink.take();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("class"), Some(&Value::str("toys")));
+        assert_eq!(out[0].get("qty"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn misses_outside_window() {
+        let (mut ex, sink) = join_graph(10);
+        ex.push(class(1, "p1", "toys"));
+        ex.push(sale(30, "p1", 3)); // classification long expired
+        ex.finish();
+        assert!(
+            sink.take().is_empty(),
+            "window join loses old classifications — the E3 failure mode"
+        );
+    }
+
+    #[test]
+    fn symmetric_both_arrival_orders() {
+        let (mut ex, sink) = join_graph(10);
+        ex.push(sale(5, "p1", 3)); // sale arrives first
+        ex.push(class(6, "p1", "toys"));
+        ex.finish();
+        assert_eq!(sink.take().len(), 1);
+    }
+
+    #[test]
+    fn key_mismatch_produces_nothing() {
+        let (mut ex, sink) = join_graph(10);
+        ex.push(class(1, "p1", "toys"));
+        ex.push(sale(2, "p2", 3));
+        ex.finish();
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn eviction_bounds_memory() {
+        let mut j = WindowJoin::new(
+            "sales", "product", "classes", "product",
+            Duration::millis(10),
+        );
+        let mut out = Emitter::new();
+        for t in 0..100u64 {
+            j.on_event(&class(t, "p", "c"), &mut out);
+        }
+        j.on_watermark(Timestamp::new(100), &mut out);
+        assert!(j.buffered() <= 11, "only the last window's worth retained");
+    }
+
+    #[test]
+    fn multiple_matches_multiply() {
+        let (mut ex, sink) = join_graph(10);
+        ex.push(class(1, "p1", "a"));
+        ex.push(class(2, "p1", "b"));
+        ex.push(sale(3, "p1", 1));
+        ex.finish();
+        assert_eq!(sink.take().len(), 2, "both classifications in window match");
+    }
+}

@@ -1,0 +1,154 @@
+//! Record-shaping operators: projection, derivation, renaming.
+
+use crate::operator::{Emitter, Operator};
+use crate::ops::EventScope;
+use fenestra_base::expr::Expr;
+use fenestra_base::record::{Event, FieldId};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::value::Value;
+
+/// Keeps only the named fields.
+pub struct Project {
+    fields: Vec<FieldId>,
+}
+
+impl Project {
+    /// Project onto `fields`.
+    pub fn new(fields: impl IntoIterator<Item = impl Into<Symbol>>) -> Project {
+        Project {
+            fields: fields.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl Operator for Project {
+    fn name(&self) -> &'static str {
+        "project"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        let mut e = ev.clone();
+        e.record = ev.record.project(&self.fields);
+        out.emit(e);
+    }
+}
+
+/// Adds (or overwrites) a computed field. Evaluation errors yield
+/// `Null` and are counted.
+pub struct Derive {
+    field: FieldId,
+    expr: Expr,
+    /// Events whose expression failed to evaluate.
+    pub eval_errors: u64,
+}
+
+impl Derive {
+    /// `field := expr` over each event.
+    pub fn new(field: impl Into<Symbol>, expr: Expr) -> Derive {
+        Derive {
+            field: field.into(),
+            expr,
+            eval_errors: 0,
+        }
+    }
+}
+
+impl Operator for Derive {
+    fn name(&self) -> &'static str {
+        "derive"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        let v = match self.expr.eval(&EventScope(ev)) {
+            Ok(v) => v,
+            Err(_) => {
+                self.eval_errors += 1;
+                Value::Null
+            }
+        };
+        let mut e = ev.clone();
+        e.record.set(self.field, v);
+        out.emit(e);
+    }
+}
+
+/// Renames a field (no-op if the field is absent).
+pub struct Rename {
+    from: FieldId,
+    to: FieldId,
+}
+
+impl Rename {
+    /// Rename `from` to `to`.
+    pub fn new(from: impl Into<Symbol>, to: impl Into<Symbol>) -> Rename {
+        Rename {
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+}
+
+impl Operator for Rename {
+    fn name(&self) -> &'static str {
+        "rename"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        let mut e = ev.clone();
+        if let Some(v) = e.record.remove(self.from) {
+            e.record.set(self.to, v);
+        }
+        out.emit(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev() -> Event {
+        Event::from_pairs("s", 1u64, [("a", 1i64), ("b", 2i64), ("c", 3i64)])
+    }
+
+    #[test]
+    fn project_keeps_named_fields() {
+        let mut p = Project::new(["a", "c"]);
+        let mut out = Emitter::new();
+        p.on_event(&ev(), &mut out);
+        let got = out.drain();
+        assert_eq!(got[0].record.len(), 2);
+        assert_eq!(got[0].get("b"), None);
+    }
+
+    #[test]
+    fn derive_computes_field() {
+        let mut d = Derive::new("sum", Expr::name("a").add(Expr::name("b")));
+        let mut out = Emitter::new();
+        d.on_event(&ev(), &mut out);
+        assert_eq!(out.drain()[0].get("sum"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn derive_error_yields_null() {
+        let mut d = Derive::new("x", Expr::name("missing").add(Expr::lit(1i64)));
+        let mut out = Emitter::new();
+        d.on_event(&ev(), &mut out);
+        assert_eq!(out.drain()[0].get("x"), Some(&Value::Null));
+        assert_eq!(d.eval_errors, 1);
+    }
+
+    #[test]
+    fn rename_moves_value() {
+        let mut r = Rename::new("a", "alpha");
+        let mut out = Emitter::new();
+        r.on_event(&ev(), &mut out);
+        let got = out.drain();
+        assert_eq!(got[0].get("a"), None);
+        assert_eq!(got[0].get("alpha"), Some(&Value::Int(1)));
+        // Absent field: untouched record.
+        let mut r = Rename::new("zz", "yy");
+        let mut out = Emitter::new();
+        r.on_event(&ev(), &mut out);
+        assert_eq!(out.drain()[0].record.len(), 3);
+    }
+}

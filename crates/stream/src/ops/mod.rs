@@ -1,0 +1,11 @@
+//! Record-at-a-time operators: filter, map/project, union, joins, and
+//! the stream–state operators that realize the paper's "state
+//! influences the results of the processing".
+
+pub mod filter;
+pub mod join;
+pub mod map;
+pub mod state;
+pub mod union;
+
+pub use crate::window::predicate::EventScope;

@@ -1,0 +1,321 @@
+//! Stream–state operators: where "state influences the results of the
+//! processing" (paper §3).
+//!
+//! * [`StateGate`] — pass an event only if the state holds a given
+//!   fact about the entity the event refers to (e.g. "monitor only
+//!   *active* users"). This is the paper's state-conditioned
+//!   derivation, and the mechanism behind experiment E5.
+//! * [`StateEnrich`] — the stream–state join: look up attributes of
+//!   the referenced entity and append them to the record (e.g. attach
+//!   the *current* product classification to each sale), compared in
+//!   E3 against the windowed stream–stream join.
+//!
+//! Operators access state through the [`StateProvider`] trait so the
+//! engine controls the consistency mode: `at = event time` gives the
+//! paper's timestamp-synchronized semantics, `at = Timestamp::MAX`
+//! reads the live current state.
+
+use crate::operator::{Emitter, Operator};
+use fenestra_base::record::{Event, FieldId};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::{EntityId, Value};
+use fenestra_temporal::{AttrId, TemporalStore};
+use std::sync::{Arc, RwLock};
+
+/// Read access to the state repository, parameterized by probe time.
+pub trait StateProvider: Send + Sync {
+    /// Resolve a named entity.
+    fn resolve(&self, name: Symbol) -> Option<EntityId>;
+
+    /// Whether `(entity, attr, value)` is valid at `at`
+    /// (`Timestamp::MAX` = the live current state).
+    fn holds_at(&self, entity: EntityId, attr: AttrId, value: Value, at: Timestamp) -> bool;
+
+    /// The value of `(entity, attr)` at `at`.
+    fn value_at(&self, entity: EntityId, attr: AttrId, at: Timestamp) -> Option<Value>;
+}
+
+/// The canonical shared-store handle used by engines and operators.
+pub type SharedStore = Arc<RwLock<TemporalStore>>;
+
+impl StateProvider for SharedStore {
+    fn resolve(&self, name: Symbol) -> Option<EntityId> {
+        self.read().expect("store lock").lookup_entity(name)
+    }
+
+    fn holds_at(&self, entity: EntityId, attr: AttrId, value: Value, at: Timestamp) -> bool {
+        let store = self.read().expect("store lock");
+        if at == Timestamp::MAX {
+            store.current().holds(entity, attr, value)
+        } else {
+            store.as_of(at).holds(entity, attr, value)
+        }
+    }
+
+    fn value_at(&self, entity: EntityId, attr: AttrId, at: Timestamp) -> Option<Value> {
+        let store = self.read().expect("store lock");
+        if at == Timestamp::MAX {
+            store.current().value(entity, attr)
+        } else {
+            store.as_of(at).value(entity, attr)
+        }
+    }
+}
+
+/// Which state snapshot stream operators consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeRef {
+    /// The state as of the event's timestamp (the paper's synchronized
+    /// semantics; default).
+    #[default]
+    EventTime,
+    /// The live current state (eventually-consistent reads).
+    Current,
+}
+
+impl TimeRef {
+    fn probe(self, ev: &Event) -> Timestamp {
+        match self {
+            TimeRef::EventTime => ev.ts,
+            TimeRef::Current => Timestamp::MAX,
+        }
+    }
+}
+
+/// How an entity is named by an event field.
+fn entity_of(provider: &dyn StateProvider, rec_value: Option<&Value>) -> Option<EntityId> {
+    match rec_value {
+        Some(Value::Id(e)) => Some(*e),
+        Some(Value::Str(name)) => provider.resolve(*name),
+        _ => None,
+    }
+}
+
+/// Passes an event iff the state holds (or, negated, does not hold) a
+/// fact about the entity referenced by `entity_field`.
+pub struct StateGate {
+    provider: Box<dyn StateProvider>,
+    entity_field: FieldId,
+    attr: AttrId,
+    value: Value,
+    negate: bool,
+    time: TimeRef,
+    /// Events whose entity reference could not be resolved (treated as
+    /// not holding the fact).
+    pub unresolved: u64,
+}
+
+impl StateGate {
+    /// Gate on `state(entity_field).attr == value`.
+    pub fn new(
+        provider: impl StateProvider + 'static,
+        entity_field: impl Into<Symbol>,
+        attr: impl Into<Symbol>,
+        value: impl Into<Value>,
+    ) -> StateGate {
+        StateGate {
+            provider: Box::new(provider),
+            entity_field: entity_field.into(),
+            attr: attr.into(),
+            value: value.into(),
+            negate: false,
+            time: TimeRef::EventTime,
+            unresolved: 0,
+        }
+    }
+
+    /// Invert the gate (pass when the fact does *not* hold; chainable).
+    pub fn negated(mut self) -> StateGate {
+        self.negate = true;
+        self
+    }
+
+    /// Choose the snapshot semantics (chainable).
+    pub fn time_ref(mut self, time: TimeRef) -> StateGate {
+        self.time = time;
+        self
+    }
+}
+
+impl Operator for StateGate {
+    fn name(&self) -> &'static str {
+        "state-gate"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        let holds = match entity_of(self.provider.as_ref(), ev.record.get(self.entity_field)) {
+            Some(e) => self
+                .provider
+                .holds_at(e, self.attr, self.value, self.time.probe(ev)),
+            None => {
+                self.unresolved += 1;
+                false
+            }
+        };
+        if holds != self.negate {
+            out.emit(ev.clone());
+        }
+    }
+}
+
+/// Appends state attributes of the referenced entity to each record
+/// (the stream–state join). Missing attributes become `Null`.
+pub struct StateEnrich {
+    provider: Box<dyn StateProvider>,
+    entity_field: FieldId,
+    attrs: Vec<(AttrId, FieldId)>,
+    time: TimeRef,
+    /// Events whose entity reference could not be resolved.
+    pub unresolved: u64,
+}
+
+impl StateEnrich {
+    /// Enrich events with state lookups keyed by `entity_field`.
+    pub fn new(provider: impl StateProvider + 'static, entity_field: impl Into<Symbol>) -> StateEnrich {
+        StateEnrich {
+            provider: Box::new(provider),
+            entity_field: entity_field.into(),
+            attrs: Vec::new(),
+            time: TimeRef::EventTime,
+            unresolved: 0,
+        }
+    }
+
+    /// Add a lookup: state attribute `attr` lands in record field
+    /// `output` (chainable).
+    pub fn attr(mut self, attr: impl Into<Symbol>, output: impl Into<Symbol>) -> StateEnrich {
+        self.attrs.push((attr.into(), output.into()));
+        self
+    }
+
+    /// Choose the snapshot semantics (chainable).
+    pub fn time_ref(mut self, time: TimeRef) -> StateEnrich {
+        self.time = time;
+        self
+    }
+}
+
+impl Operator for StateEnrich {
+    fn name(&self) -> &'static str {
+        "state-enrich"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        let entity = entity_of(self.provider.as_ref(), ev.record.get(self.entity_field));
+        if entity.is_none() {
+            self.unresolved += 1;
+        }
+        let at = self.time.probe(ev);
+        let mut e = ev.clone();
+        for (attr, output) in &self.attrs {
+            let v = entity
+                .and_then(|ent| self.provider.value_at(ent, *attr, at))
+                .unwrap_or(Value::Null);
+            e.record.set(*output, v);
+        }
+        out.emit(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_temporal::AttrSchema;
+
+    fn store_with_users() -> SharedStore {
+        let mut s = TemporalStore::new();
+        s.declare_attr("status", AttrSchema::one());
+        s.declare_attr("tier", AttrSchema::one());
+        let a = s.named_entity("alice");
+        let b = s.named_entity("bob");
+        s.replace_at(a, "status", "active", Timestamp::new(10)).unwrap();
+        s.replace_at(a, "tier", "gold", Timestamp::new(10)).unwrap();
+        s.replace_at(b, "status", "idle", Timestamp::new(10)).unwrap();
+        // Alice goes idle at t50.
+        s.replace_at(a, "status", "idle", Timestamp::new(50)).unwrap();
+        Arc::new(RwLock::new(s))
+    }
+
+    fn click(ts: u64, user: &str) -> Event {
+        Event::from_pairs("clicks", ts, [("user", user)])
+    }
+
+    #[test]
+    fn gate_passes_only_matching_state() {
+        let store = store_with_users();
+        let mut gate = StateGate::new(store, "user", "status", "active");
+        let mut out = Emitter::new();
+        gate.on_event(&click(20, "alice"), &mut out); // active at 20
+        gate.on_event(&click(20, "bob"), &mut out); // idle
+        gate.on_event(&click(60, "alice"), &mut out); // idle at 60
+        let got = out.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].get("user"), Some(&Value::str("alice")));
+    }
+
+    #[test]
+    fn gate_event_time_vs_current() {
+        let store = store_with_users();
+        // Event at t20 when alice was active — but *current* state says idle.
+        let mut et = StateGate::new(store.clone(), "user", "status", "active");
+        let mut cur = StateGate::new(store, "user", "status", "active").time_ref(TimeRef::Current);
+        let mut out = Emitter::new();
+        et.on_event(&click(20, "alice"), &mut out);
+        assert_eq!(out.drain().len(), 1, "event-time snapshot: active");
+        cur.on_event(&click(20, "alice"), &mut out);
+        assert_eq!(out.drain().len(), 0, "current state: idle");
+    }
+
+    #[test]
+    fn gate_negation_and_unresolved() {
+        let store = store_with_users();
+        let mut gate = StateGate::new(store, "user", "status", "active").negated();
+        let mut out = Emitter::new();
+        gate.on_event(&click(20, "alice"), &mut out); // active -> blocked
+        gate.on_event(&click(20, "bob"), &mut out); // idle -> passes
+        gate.on_event(&click(20, "carol"), &mut out); // unknown -> passes (negated)
+        let got = out.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(gate.unresolved, 1);
+    }
+
+    #[test]
+    fn enrich_appends_state_attributes() {
+        let store = store_with_users();
+        let mut enrich = StateEnrich::new(store, "user")
+            .attr("status", "user_status")
+            .attr("tier", "user_tier");
+        let mut out = Emitter::new();
+        enrich.on_event(&click(20, "alice"), &mut out);
+        enrich.on_event(&click(20, "carol"), &mut out);
+        let got = out.drain();
+        assert_eq!(got[0].get("user_status"), Some(&Value::str("active")));
+        assert_eq!(got[0].get("user_tier"), Some(&Value::str("gold")));
+        assert_eq!(got[1].get("user_status"), Some(&Value::Null));
+        assert_eq!(enrich.unresolved, 1);
+    }
+
+    #[test]
+    fn enrich_sees_historical_value_at_event_time() {
+        let store = store_with_users();
+        let mut enrich = StateEnrich::new(store, "user").attr("status", "st");
+        let mut out = Emitter::new();
+        enrich.on_event(&click(20, "alice"), &mut out);
+        enrich.on_event(&click(60, "alice"), &mut out);
+        let got = out.drain();
+        assert_eq!(got[0].get("st"), Some(&Value::str("active")));
+        assert_eq!(got[1].get("st"), Some(&Value::str("idle")));
+    }
+
+    #[test]
+    fn entity_field_may_hold_raw_id() {
+        let store = store_with_users();
+        let id = store.read().unwrap().lookup_entity("alice").unwrap();
+        let mut enrich = StateEnrich::new(store, "user").attr("tier", "tier_out");
+        let mut out = Emitter::new();
+        let ev = Event::from_pairs("clicks", 20u64, [("user", Value::Id(id))]);
+        enrich.on_event(&ev, &mut out);
+        assert_eq!(out.drain()[0].get("tier_out"), Some(&Value::str("gold")));
+    }
+}

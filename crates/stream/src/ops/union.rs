@@ -1,0 +1,68 @@
+//! Stream union (merge) with optional restamping.
+
+use crate::operator::{Emitter, Operator};
+use fenestra_base::record::{Event, StreamId};
+use fenestra_base::symbol::Symbol;
+
+/// Merges whatever flows into it. Wire several upstream nodes to one
+/// `Union` node; optionally restamp the output stream name so
+/// downstream operators see a homogeneous source.
+#[derive(Default)]
+pub struct Union {
+    restamp: Option<StreamId>,
+}
+
+impl Union {
+    /// Pass events through unchanged.
+    pub fn new() -> Union {
+        Union::default()
+    }
+
+    /// Restamp merged events as `stream`.
+    pub fn restamped(stream: impl Into<Symbol>) -> Union {
+        Union {
+            restamp: Some(stream.into()),
+        }
+    }
+}
+
+impl Operator for Union {
+    fn name(&self) -> &'static str {
+        "union"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        match self.restamp {
+            Some(s) => {
+                let mut e = ev.clone();
+                e.stream = s;
+                out.emit(e);
+            }
+            None => out.emit(ev.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::graph::Graph;
+
+    #[test]
+    fn merges_two_sources() {
+        let mut g = Graph::new();
+        let u = g.add_op(Union::restamped("merged"));
+        g.connect_source("left", u);
+        g.connect_source("right", u);
+        let sink = g.add_sink();
+        g.connect(u, sink.node);
+        let mut ex = Executor::new(g);
+        ex.push(Event::from_pairs("left", 1u64, [("v", 1i64)]));
+        ex.push(Event::from_pairs("right", 2u64, [("v", 2i64)]));
+        ex.finish();
+        let out = sink.take();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| e.stream == Symbol::intern("merged")));
+    }
+}

@@ -1,0 +1,326 @@
+//! Pipelined multi-threaded executor.
+//!
+//! Each graph node runs on its own thread; events, watermarks, and
+//! flush markers flow through crossbeam channels along the graph's
+//! edges. Watermarks are *aligned*: a node with several inputs
+//! forwards the minimum watermark across them, as in Flink/Dataflow,
+//! so event-time window results are identical to the single-threaded
+//! [`crate::executor::Executor`]. Output *interleaving* across
+//! independent branches is nondeterministic (that is the point of the
+//! pipeline); per-path order is preserved by channel FIFO.
+
+use crate::graph::Graph;
+use crate::operator::{Emitter, Operator};
+use crate::watermark::{WatermarkGenerator, WatermarkPolicy};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fenestra_base::error::Result;
+use fenestra_base::record::{Event, StreamId};
+use fenestra_base::time::Timestamp;
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+enum Msg {
+    Event(Event),
+    Watermark(Timestamp),
+    Flush(Timestamp),
+}
+
+/// A sender into a node's inbox, tagged with the input-edge index the
+/// target assigned to this producer.
+type EdgeSender = (usize, Sender<(usize, Msg)>);
+
+struct NodeRuntime {
+    op: Box<dyn Operator>,
+    inbox: Receiver<(usize, Msg)>,
+    /// Downstream senders with the edge index assigned by the target.
+    outs: Vec<EdgeSender>,
+    n_inputs: usize,
+}
+
+impl NodeRuntime {
+    fn forward(&self, msg_for: impl Fn(usize) -> Msg) {
+        for (edge, tx) in &self.outs {
+            // A send failure means the downstream thread terminated
+            // early (panic); nothing sensible to do but stop sending.
+            let _ = tx.send((*edge, msg_for(*edge)));
+        }
+    }
+
+    fn run(mut self) {
+        let mut emitter = Emitter::new();
+        let mut edge_wm: Vec<Option<Timestamp>> = vec![None; self.n_inputs];
+        let mut flushed: Vec<bool> = vec![false; self.n_inputs];
+        let mut sent_wm: Option<Timestamp> = None;
+        while let Ok((edge, msg)) = self.inbox.recv() {
+            match msg {
+                Msg::Event(ev) => {
+                    self.op.on_event(&ev, &mut emitter);
+                    for out_ev in emitter.drain() {
+                        self.forward(|_| Msg::Event(out_ev.clone()));
+                    }
+                }
+                Msg::Watermark(wm) => {
+                    edge_wm[edge] = Some(edge_wm[edge].map_or(wm, |w| w.max(wm)));
+                    // Aligned watermark: min across inputs, only once
+                    // every input has reported.
+                    let aligned = edge_wm.iter().copied().collect::<Option<Vec<_>>>()
+                        .and_then(|v| v.into_iter().min());
+                    if let Some(aligned) = aligned {
+                        if sent_wm.is_none_or(|s| aligned > s) {
+                            sent_wm = Some(aligned);
+                            self.op.on_watermark(aligned, &mut emitter);
+                            for out_ev in emitter.drain() {
+                                self.forward(|_| Msg::Event(out_ev.clone()));
+                            }
+                            self.forward(|_| Msg::Watermark(aligned));
+                        }
+                    }
+                }
+                Msg::Flush(at) => {
+                    flushed[edge] = true;
+                    if flushed.iter().all(|f| *f) {
+                        self.op.on_watermark(Timestamp::MAX, &mut emitter);
+                        self.op.on_flush(at, &mut emitter);
+                        for out_ev in emitter.drain() {
+                            self.forward(|_| Msg::Event(out_ev.clone()));
+                        }
+                        self.forward(|_| Msg::Flush(at));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Multi-threaded pipeline executor. Same API shape as the
+/// single-threaded [`crate::executor::Executor`]: `push` events, then
+/// `finish` to drain and join the pipeline.
+pub struct ParallelExecutor {
+    /// Per-stream senders into source nodes (with target edge index).
+    sources: HashMap<StreamId, Vec<EdgeSender>>,
+    /// Every executor-fed edge (for watermark/flush broadcast).
+    root_edges: Vec<EdgeSender>,
+    handles: Vec<JoinHandle<()>>,
+    wm: WatermarkGenerator,
+    finished: bool,
+}
+
+impl ParallelExecutor {
+    /// Spawn one thread per node of `graph`.
+    pub fn new(graph: Graph, policy: WatermarkPolicy) -> Result<ParallelExecutor> {
+        graph.topo_order()?; // validates acyclicity
+        let n = graph.nodes.len();
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<(usize, Msg)>();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        // Assign input edge indices per target node.
+        let mut n_inputs = vec![0usize; n];
+        let mut outs: Vec<Vec<EdgeSender>> = vec![Vec::new(); n];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            for d in &node.downstream {
+                let edge = n_inputs[d.0];
+                n_inputs[d.0] += 1;
+                outs[i].push((edge, txs[d.0].clone()));
+            }
+        }
+        // Executor-fed edges: one per (stream, source-node) binding.
+        let mut sources: HashMap<StreamId, Vec<EdgeSender>> = HashMap::new();
+        let mut root_edges = Vec::new();
+        for (stream, nodes) in &graph.sources {
+            for nid in nodes {
+                let edge = n_inputs[nid.0];
+                n_inputs[nid.0] += 1;
+                sources
+                    .entry(*stream)
+                    .or_default()
+                    .push((edge, txs[nid.0].clone()));
+                root_edges.push((edge, txs[nid.0].clone()));
+            }
+        }
+        // Nodes with no inputs at all would never terminate; feed them
+        // an executor edge so flush reaches them.
+        for (i, tx) in txs.iter().enumerate() {
+            if n_inputs[i] == 0 {
+                let edge = 0;
+                n_inputs[i] = 1;
+                root_edges.push((edge, tx.clone()));
+            }
+        }
+        let mut handles = Vec::with_capacity(n);
+        for (i, node) in graph.nodes.into_iter().enumerate() {
+            let rt = NodeRuntime {
+                op: node.op,
+                inbox: rxs[i].take().expect("receiver unclaimed"),
+                outs: std::mem::take(&mut outs[i]),
+                n_inputs: n_inputs[i],
+            };
+            handles.push(std::thread::spawn(move || rt.run()));
+        }
+        Ok(ParallelExecutor {
+            sources,
+            root_edges,
+            handles,
+            wm: WatermarkGenerator::new(policy),
+            finished: false,
+        })
+    }
+
+    /// Push one event. Returns `false` if it was late and dropped.
+    pub fn push(&mut self, ev: Event) -> bool {
+        assert!(!self.finished, "push after finish()");
+        let Some(advance) = self.wm.observe(ev.ts) else {
+            // The generator counts the late event.
+            return false;
+        };
+        if let Some(targets) = self.sources.get(&ev.stream) {
+            for (edge, tx) in targets {
+                let _ = tx.send((*edge, Msg::Event(ev.clone())));
+            }
+        }
+        if let Some(wm) = advance {
+            for (edge, tx) in &self.root_edges {
+                let _ = tx.send((*edge, Msg::Watermark(wm)));
+            }
+        }
+        true
+    }
+
+    /// Push a batch.
+    pub fn run(&mut self, events: impl IntoIterator<Item = Event>) {
+        for ev in events {
+            self.push(ev);
+        }
+    }
+
+    /// Drain the pipeline and join all node threads. Idempotent.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let at = self.wm.current().unwrap_or(Timestamp::ZERO);
+        for (edge, tx) in &self.root_edges {
+            let _ = tx.send((*edge, Msg::Flush(at)));
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Events dropped as late.
+    pub fn late_dropped(&self) -> u64 {
+        self.wm.late_events
+    }
+}
+
+impl Drop for ParallelExecutor {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggSpec;
+    use crate::executor::Executor;
+    use crate::graph::Graph;
+    use crate::ops::filter::Filter;
+    use crate::window::time::TimeWindowOp;
+    use fenestra_base::expr::Expr;
+    use fenestra_base::time::Duration;
+    use fenestra_base::value::Value;
+
+    fn build_graph() -> (Graph, crate::graph::SinkHandle) {
+        let mut g = Graph::new();
+        let f = g.add_op(Filter::new(Expr::name("v").ge(Expr::lit(0i64))));
+        g.connect_source("s", f);
+        let w = g.add_op(
+            TimeWindowOp::tumbling(Duration::millis(10)).aggregate(AggSpec::sum("v", "total")),
+        );
+        g.connect(f, w);
+        let sink = g.add_sink();
+        g.connect(w, sink.node);
+        (g, sink)
+    }
+
+    fn events() -> Vec<Event> {
+        (0..100u64)
+            .map(|i| Event::from_pairs("s", i, [("v", (i % 7) as i64)]))
+            .collect()
+    }
+
+    #[test]
+    fn matches_single_threaded_results() {
+        let (g1, sink1) = build_graph();
+        let mut ex1 = Executor::new(g1);
+        ex1.run(events());
+        ex1.finish();
+        let want: Vec<(u64, Value)> = sink1
+            .take()
+            .iter()
+            .map(|e| (e.ts.millis(), *e.get("total").unwrap()))
+            .collect();
+
+        let (g2, sink2) = build_graph();
+        let mut ex2 = ParallelExecutor::new(g2, WatermarkPolicy::strict()).unwrap();
+        ex2.run(events());
+        ex2.finish();
+        let got: Vec<(u64, Value)> = sink2
+            .take()
+            .iter()
+            .map(|e| (e.ts.millis(), *e.get("total").unwrap()))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multi_input_watermark_alignment() {
+        // A union fed by two streams: the aligned watermark must not
+        // outrun the slower stream, or windows would fire early and
+        // drop the slow stream's events.
+        let mut g = Graph::new();
+        let u = g.add_op(crate::ops::union::Union::new());
+        g.connect_source("fast", u);
+        g.connect_source("slow", u);
+        let w = g.add_op(
+            TimeWindowOp::tumbling(Duration::millis(10)).aggregate(AggSpec::count("n")),
+        );
+        g.connect(u, w);
+        let sink = g.add_sink();
+        g.connect(w, sink.node);
+        let mut ex = ParallelExecutor::new(g, WatermarkPolicy::strict()).unwrap();
+        ex.push(Event::from_pairs("fast", 3u64, [("v", 1i64)]));
+        ex.push(Event::from_pairs("slow", 5u64, [("v", 1i64)]));
+        ex.push(Event::from_pairs("fast", 25u64, [("v", 1i64)]));
+        ex.finish();
+        let out = sink.take();
+        assert_eq!(out[0].get("n"), Some(&Value::Int(2)), "both events in [0,10)");
+    }
+
+    #[test]
+    fn late_events_dropped() {
+        let (g, _sink) = build_graph();
+        let mut ex = ParallelExecutor::new(g, WatermarkPolicy::strict()).unwrap();
+        ex.push(Event::from_pairs("s", 10u64, [("v", 1i64)]));
+        assert!(!ex.push(Event::from_pairs("s", 5u64, [("v", 1i64)])));
+        ex.finish();
+        assert_eq!(ex.late_dropped(), 1);
+    }
+
+    #[test]
+    fn drop_joins_threads() {
+        let (g, sink) = build_graph();
+        {
+            let mut ex = ParallelExecutor::new(g, WatermarkPolicy::strict()).unwrap();
+            ex.push(Event::from_pairs("s", 1u64, [("v", 2i64)]));
+            // Dropped without explicit finish().
+        }
+        assert_eq!(sink.len(), 1, "drop flushed the pipeline");
+    }
+}

@@ -1,0 +1,134 @@
+//! Event-time watermark generation with bounded out-of-orderness.
+
+use fenestra_base::time::{Duration, Timestamp};
+
+/// Watermark policy: how the executor derives watermarks from observed
+/// event times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatermarkPolicy {
+    /// Maximum tolerated out-of-orderness. The watermark trails the
+    /// greatest observed event time by this much; events older than the
+    /// current watermark are *late* and dropped (counted).
+    pub max_lateness: Duration,
+}
+
+impl Default for WatermarkPolicy {
+    fn default() -> Self {
+        WatermarkPolicy {
+            max_lateness: Duration::ZERO,
+        }
+    }
+}
+
+impl WatermarkPolicy {
+    /// Perfectly ordered input: watermark equals the max event time.
+    pub fn strict() -> WatermarkPolicy {
+        WatermarkPolicy::default()
+    }
+
+    /// Tolerate events up to `lateness` behind the stream head.
+    pub fn bounded(lateness: Duration) -> WatermarkPolicy {
+        WatermarkPolicy {
+            max_lateness: lateness,
+        }
+    }
+}
+
+/// Tracks observed event times and produces monotone watermarks.
+#[derive(Debug, Clone)]
+pub struct WatermarkGenerator {
+    policy: WatermarkPolicy,
+    max_seen: Option<Timestamp>,
+    current: Option<Timestamp>,
+    /// Events that arrived with `ts < watermark`.
+    pub late_events: u64,
+}
+
+impl WatermarkGenerator {
+    /// New generator under `policy`.
+    pub fn new(policy: WatermarkPolicy) -> WatermarkGenerator {
+        WatermarkGenerator {
+            policy,
+            max_seen: None,
+            current: None,
+            late_events: 0,
+        }
+    }
+
+    /// The current watermark, if any event has been observed.
+    pub fn current(&self) -> Option<Timestamp> {
+        self.current
+    }
+
+    /// Observe an event time. Returns `None` if the event is late
+    /// (should be dropped), otherwise `Some(advanced)` where `advanced`
+    /// carries a new watermark if it moved.
+    pub fn observe(&mut self, ts: Timestamp) -> Option<Option<Timestamp>> {
+        if let Some(wm) = self.current {
+            if ts < wm {
+                self.late_events += 1;
+                return None;
+            }
+        }
+        let max = match self.max_seen {
+            Some(m) if m >= ts => m,
+            _ => {
+                self.max_seen = Some(ts);
+                ts
+            }
+        };
+        let candidate = max.saturating_sub(self.policy.max_lateness);
+        if self.current.is_none_or(|c| candidate > c) {
+            self.current = Some(candidate);
+            Some(Some(candidate))
+        } else {
+            Some(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    #[test]
+    fn strict_policy_tracks_max() {
+        let mut g = WatermarkGenerator::new(WatermarkPolicy::strict());
+        assert_eq!(g.observe(ts(5)), Some(Some(ts(5))));
+        assert_eq!(g.observe(ts(9)), Some(Some(ts(9))));
+        // Equal time is not late, no watermark move.
+        assert_eq!(g.observe(ts(9)), Some(None));
+        // Older than watermark: late.
+        assert_eq!(g.observe(ts(8)), None);
+        assert_eq!(g.late_events, 1);
+    }
+
+    #[test]
+    fn bounded_policy_trails_head() {
+        let mut g = WatermarkGenerator::new(WatermarkPolicy::bounded(Duration::millis(10)));
+        assert_eq!(g.observe(ts(5)), Some(Some(ts(0))), "saturates at zero");
+        assert_eq!(g.observe(ts(25)), Some(Some(ts(15))));
+        // 17 is within lateness bound (>= wm 15): accepted, no move.
+        assert_eq!(g.observe(ts(17)), Some(None));
+        // 14 < wm 15: late.
+        assert_eq!(g.observe(ts(14)), None);
+        assert_eq!(g.current(), Some(ts(15)));
+    }
+
+    #[test]
+    fn watermark_is_monotone() {
+        let mut g = WatermarkGenerator::new(WatermarkPolicy::bounded(Duration::millis(5)));
+        let mut last = Timestamp::ZERO;
+        for t in [3u64, 10, 7, 20, 18, 30] {
+            if let Some(Some(wm)) = g.observe(ts(t)) {
+                assert!(wm >= last);
+                last = wm;
+            }
+        }
+        assert_eq!(g.current(), Some(ts(25)));
+    }
+}

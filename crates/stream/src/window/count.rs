@@ -1,0 +1,233 @@
+//! Count-based windows ("the last N elements"), tumbling and sliding.
+//!
+//! Count windows are defined over arrival order, so they fire directly
+//! on events rather than on watermarks: a tumbling count window of
+//! `size` emits after every `size`-th event of a group, a sliding
+//! window of `(size, slide)` emits the aggregate of the most recent
+//! `size` events after every `slide`-th event (once at least `size`
+//! events have arrived; an initial partial firing covers fewer).
+
+use crate::aggregate::{AccumulatorBank, AggSpec};
+use crate::operator::{Emitter, Operator};
+use crate::window::{finish_row, group_key, write_key, EmitMode, GroupKey};
+use fenestra_base::record::{Event, FieldId, Record, StreamId};
+use fenestra_base::symbol::Symbol;
+use std::collections::{HashMap, VecDeque};
+
+struct KeyState {
+    /// The most recent `size` events (ts, record).
+    buf: VecDeque<Event>,
+    /// Events seen since the last firing.
+    since_fire: u64,
+    /// Total events seen for this key.
+    total: u64,
+}
+
+/// Tumbling / sliding count window operator.
+pub struct CountWindowOp {
+    size: usize,
+    slide: usize,
+    group_by: Vec<FieldId>,
+    specs: Vec<AggSpec>,
+    out_stream: StreamId,
+    emit_partial_on_flush: bool,
+    keys: HashMap<GroupKey, KeyState>,
+}
+
+impl CountWindowOp {
+    /// A tumbling window of `size` elements.
+    pub fn tumbling(size: usize) -> CountWindowOp {
+        CountWindowOp::sliding(size, size)
+    }
+
+    /// A sliding window of `size` elements advancing every `slide`
+    /// elements.
+    ///
+    /// # Panics
+    /// Panics if `size` or `slide` is zero.
+    pub fn sliding(size: usize, slide: usize) -> CountWindowOp {
+        assert!(size > 0 && slide > 0, "zero count window size/slide");
+        CountWindowOp {
+            size,
+            slide,
+            group_by: Vec::new(),
+            specs: Vec::new(),
+            out_stream: Symbol::intern("count-window"),
+            emit_partial_on_flush: false,
+            keys: HashMap::new(),
+        }
+    }
+
+    /// Add an aggregate column (chainable).
+    pub fn aggregate(mut self, spec: AggSpec) -> CountWindowOp {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Group windows by these fields (chainable).
+    pub fn group_by(
+        mut self,
+        fields: impl IntoIterator<Item = impl Into<Symbol>>,
+    ) -> CountWindowOp {
+        self.group_by = fields.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Name the output stream (chainable).
+    pub fn out_stream(mut self, stream: impl Into<Symbol>) -> CountWindowOp {
+        self.out_stream = stream.into();
+        self
+    }
+
+    /// Emit partially filled windows at end-of-stream (chainable).
+    pub fn emit_partial_on_flush(mut self) -> CountWindowOp {
+        self.emit_partial_on_flush = true;
+        self
+    }
+
+    fn fire(&self, key: &GroupKey, st: &KeyState, out: &mut Emitter) {
+        let mut bank = AccumulatorBank::new(&self.specs);
+        for ev in &st.buf {
+            bank.add(&self.specs, &ev.record, ev.ts);
+        }
+        let mut rec = Record::new();
+        write_key(&self.group_by, key, &mut rec);
+        bank.write_outputs(&self.specs, &mut rec);
+        let first = st.buf.front().expect("non-empty window").ts;
+        let last = st.buf.back().expect("non-empty window").ts;
+        let rec = finish_row(rec, first, last, 1, EmitMode::Rows);
+        out.emit(Event::new(self.out_stream, last, rec));
+    }
+}
+
+impl Operator for CountWindowOp {
+    fn name(&self) -> &'static str {
+        "count-window"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        let key = group_key(&self.group_by, &ev.record);
+        let st = self.keys.entry(key.clone()).or_insert_with(|| KeyState {
+            buf: VecDeque::with_capacity(self.size),
+            since_fire: 0,
+            total: 0,
+        });
+        st.buf.push_back(ev.clone());
+        if st.buf.len() > self.size {
+            st.buf.pop_front();
+        }
+        st.since_fire += 1;
+        st.total += 1;
+        if st.since_fire >= self.slide as u64 {
+            st.since_fire = 0;
+            let st = &self.keys[&key];
+            self.fire(&key, st, out);
+            if self.slide == self.size {
+                // Tumbling: the window contents are consumed.
+                self.keys.get_mut(&key).expect("key present").buf.clear();
+            }
+        }
+    }
+
+    fn on_flush(&mut self, _at: fenestra_base::time::Timestamp, out: &mut Emitter) {
+        if !self.emit_partial_on_flush {
+            return;
+        }
+        let mut keys: Vec<GroupKey> = self.keys.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let st = &self.keys[&key];
+            if !st.buf.is_empty() && st.since_fire > 0 {
+                self.fire(&key, st, out);
+            }
+        }
+        self.keys.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::graph::Graph;
+    use fenestra_base::value::Value;
+
+    fn ev(ts: u64, v: i64) -> Event {
+        Event::from_pairs("s", ts, [("v", v)])
+    }
+
+    fn run(op: CountWindowOp, events: Vec<Event>) -> Vec<Event> {
+        let mut g = Graph::new();
+        let w = g.add_op(op);
+        g.connect_source("s", w);
+        let sink = g.add_sink();
+        g.connect(w, sink.node);
+        let mut ex = Executor::new(g);
+        ex.run(events);
+        ex.finish();
+        sink.take()
+    }
+
+    #[test]
+    fn tumbling_every_n_events() {
+        let op = CountWindowOp::tumbling(3).aggregate(AggSpec::sum("v", "total"));
+        let out = run(op, (1..=7u64).map(|i| ev(i, i as i64)).collect());
+        assert_eq!(out.len(), 2, "two complete windows of 3; 7th pending");
+        assert_eq!(out[0].get("total"), Some(&Value::Int(6)));
+        assert_eq!(out[1].get("total"), Some(&Value::Int(15)));
+    }
+
+    #[test]
+    fn partial_flush_option() {
+        let op = CountWindowOp::tumbling(3)
+            .aggregate(AggSpec::sum("v", "total"))
+            .emit_partial_on_flush();
+        let out = run(op, (1..=7u64).map(|i| ev(i, i as i64)).collect());
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].get("total"), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn sliding_last_n() {
+        let op = CountWindowOp::sliding(3, 1).aggregate(AggSpec::sum("v", "total"));
+        let out = run(op, (1..=5u64).map(|i| ev(i, i as i64)).collect());
+        // Fires on every event with the last ≤3 values:
+        // 1, 1+2, 1+2+3, 2+3+4, 3+4+5.
+        let sums: Vec<i64> = out
+            .iter()
+            .map(|e| e.get("total").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(sums, vec![1, 3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn grouped_count_windows() {
+        let op = CountWindowOp::tumbling(2)
+            .group_by(["u"])
+            .aggregate(AggSpec::count("n"));
+        let events = vec![
+            Event::from_pairs("s", 1u64, [("u", "a")]),
+            Event::from_pairs("s", 2u64, [("u", "b")]),
+            Event::from_pairs("s", 3u64, [("u", "a")]),
+            Event::from_pairs("s", 4u64, [("u", "a")]),
+        ];
+        let out = run(op, events);
+        assert_eq!(out.len(), 1, "only group a completed a window");
+        assert_eq!(out[0].get("u"), Some(&Value::str("a")));
+        assert_eq!(out[0].get("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn window_bounds_are_event_times() {
+        let op = CountWindowOp::tumbling(2).aggregate(AggSpec::count("n"));
+        let out = run(op, vec![ev(10, 1), ev(20, 2)]);
+        assert_eq!(
+            out[0].get("window_start"),
+            Some(&Value::Time(fenestra_base::time::Timestamp::new(10)))
+        );
+        assert_eq!(
+            out[0].get("window_end"),
+            Some(&Value::Time(fenestra_base::time::Timestamp::new(20)))
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Landmark windows: aggregates from a fixed landmark to now.
+//!
+//! The classic "running totals since midnight": the window's lower
+//! bound is pinned (globally or per period), only the upper bound
+//! moves. Reports fire at a configurable interval as the watermark
+//! advances. With a `period`, the landmark resets every period
+//! (e.g. daily totals reported every minute).
+
+use crate::aggregate::{AccumulatorBank, AggSpec};
+use crate::operator::{Emitter, Operator};
+use crate::window::{finish_row, group_key, write_key, EmitMode, GroupKey};
+use fenestra_base::record::{Event, FieldId, Record, StreamId};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::{Duration, Timestamp};
+use std::collections::HashMap;
+
+/// Landmark window operator.
+pub struct LandmarkWindowOp {
+    /// Report interval (fires at multiples of this).
+    report_every: u64,
+    /// Landmark reset period (`None` = one landmark at time zero).
+    period: Option<u64>,
+    group_by: Vec<FieldId>,
+    specs: Vec<AggSpec>,
+    out_stream: StreamId,
+    /// Accumulators per (period index, group).
+    banks: HashMap<(u64, GroupKey), AccumulatorBank>,
+    /// Events not yet folded into a bank (ts, seq) → event; folded
+    /// lazily when a report boundary passes them, so a report at
+    /// boundary B covers exactly the events with `ts < B`.
+    pending: std::collections::BTreeMap<(u64, u64), Event>,
+    seq: u64,
+    /// Next report boundary.
+    next_report: u64,
+}
+
+impl LandmarkWindowOp {
+    /// A landmark at time zero, reporting every `report_every`.
+    ///
+    /// # Panics
+    /// Panics if `report_every` is zero.
+    pub fn new(report_every: Duration) -> LandmarkWindowOp {
+        assert!(!report_every.is_zero(), "zero report interval");
+        LandmarkWindowOp {
+            report_every: report_every.as_millis(),
+            period: None,
+            group_by: Vec::new(),
+            specs: Vec::new(),
+            out_stream: Symbol::intern("landmark"),
+            banks: HashMap::new(),
+            pending: std::collections::BTreeMap::new(),
+            seq: 0,
+            next_report: report_every.as_millis(),
+        }
+    }
+
+    /// Reset the landmark every `period` (chainable). The period must
+    /// be a multiple of the report interval.
+    pub fn period(mut self, period: Duration) -> LandmarkWindowOp {
+        assert!(
+            period.as_millis().is_multiple_of(self.report_every),
+            "period must be a multiple of the report interval"
+        );
+        self.period = Some(period.as_millis());
+        self
+    }
+
+    /// Add an aggregate column (chainable).
+    pub fn aggregate(mut self, spec: AggSpec) -> LandmarkWindowOp {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Group rows by these fields (chainable).
+    pub fn group_by(
+        mut self,
+        fields: impl IntoIterator<Item = impl Into<Symbol>>,
+    ) -> LandmarkWindowOp {
+        self.group_by = fields.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Name the output stream (chainable).
+    pub fn out_stream(mut self, stream: impl Into<Symbol>) -> LandmarkWindowOp {
+        self.out_stream = stream.into();
+        self
+    }
+
+    fn period_of(&self, ts: u64) -> u64 {
+        match self.period {
+            Some(p) => ts / p,
+            None => 0,
+        }
+    }
+
+    fn landmark_of(&self, period_idx: u64) -> u64 {
+        match self.period {
+            Some(p) => period_idx * p,
+            None => 0,
+        }
+    }
+
+    fn fire(&mut self, boundary: u64, out: &mut Emitter) {
+        // Fold in every pending event before the boundary.
+        let ready: Vec<(u64, u64)> = self
+            .pending
+            .range(..(boundary, 0))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in ready {
+            let ev = self.pending.remove(&k).expect("key present");
+            let key = group_key(&self.group_by, &ev.record);
+            let period = self.period_of(ev.ts.millis());
+            self.banks
+                .entry((period, key))
+                .or_insert_with(|| AccumulatorBank::new(&self.specs))
+                .add(&self.specs, &ev.record, ev.ts);
+        }
+        // Only the current period's banks are live at this boundary;
+        // report every group in the period that ends at or spans it.
+        let period_idx = self.period_of(boundary.saturating_sub(1));
+        let mut keys: Vec<GroupKey> = self
+            .banks
+            .keys()
+            .filter(|(p, _)| *p == period_idx)
+            .map(|(_, k)| k.clone())
+            .collect();
+        keys.sort();
+        for key in keys {
+            let bank = &self.banks[&(period_idx, key.clone())];
+            let mut rec = Record::new();
+            write_key(&self.group_by, &key, &mut rec);
+            bank.write_outputs(&self.specs, &mut rec);
+            let rec = finish_row(
+                rec,
+                Timestamp::new(self.landmark_of(period_idx)),
+                Timestamp::new(boundary),
+                1,
+                EmitMode::Rows,
+            );
+            out.emit(Event::new(self.out_stream, boundary, rec));
+        }
+        // Drop banks of periods that ended strictly before this boundary.
+        if self.period.is_some() {
+            self.banks.retain(|(p, _), _| *p >= period_idx);
+        }
+    }
+}
+
+impl Operator for LandmarkWindowOp {
+    fn name(&self) -> &'static str {
+        "landmark-window"
+    }
+
+    fn on_event(&mut self, ev: &Event, _out: &mut Emitter) {
+        let s = self.seq;
+        self.seq += 1;
+        self.pending.insert((ev.ts.millis(), s), ev.clone());
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Emitter) {
+        if wm == Timestamp::MAX {
+            // Flush: one final report at the boundary past the last
+            // pending event.
+            let last = self.pending.keys().next_back().map(|(ts, _)| *ts);
+            if let Some(last) = last {
+                let boundary = (last / self.report_every + 1) * self.report_every;
+                self.next_report = self.next_report.max(boundary);
+            }
+            let boundary = self.next_report;
+            self.fire(boundary, out);
+            return;
+        }
+        while self.next_report <= wm.millis() {
+            let boundary = self.next_report;
+            self.fire(boundary, out);
+            self.next_report += self.report_every;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::graph::Graph;
+    use fenestra_base::value::Value;
+
+    fn ev(ts: u64, v: i64) -> Event {
+        Event::from_pairs("s", ts, [("v", v)])
+    }
+
+    fn run(op: LandmarkWindowOp, events: Vec<Event>) -> Vec<Event> {
+        let mut g = Graph::new();
+        let w = g.add_op(op);
+        g.connect_source("s", w);
+        let sink = g.add_sink();
+        g.connect(w, sink.node);
+        let mut ex = Executor::new(g);
+        ex.run(events);
+        ex.finish();
+        sink.take()
+    }
+
+    #[test]
+    fn running_totals_since_zero() {
+        let op = LandmarkWindowOp::new(Duration::millis(10)).aggregate(AggSpec::sum("v", "total"));
+        let out = run(op, vec![ev(1, 1), ev(5, 2), ev(12, 4), ev(25, 8)]);
+        // Reports at t10 (1+2), t20 (+4), and the flush boundary.
+        let totals: Vec<i64> = out
+            .iter()
+            .map(|e| e.get("total").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(totals[0], 3);
+        assert_eq!(totals[1], 7);
+        assert_eq!(*totals.last().unwrap(), 15, "flush reports the full total");
+        // Window start stays pinned at the landmark.
+        assert!(out
+            .iter()
+            .all(|e| e.get("window_start") == Some(&Value::Time(Timestamp::ZERO))));
+    }
+
+    #[test]
+    fn periodic_landmark_resets() {
+        let op = LandmarkWindowOp::new(Duration::millis(10))
+            .period(Duration::millis(20))
+            .aggregate(AggSpec::sum("v", "total"));
+        let out = run(op, vec![ev(1, 1), ev(11, 2), ev(21, 4), ev(31, 8), ev(40, 0)]);
+        // t10: 1 ; t20: 1+2 ; t30: 4 (new period) ; t40: 4+8.
+        let rows: Vec<(u64, i64)> = out
+            .iter()
+            .map(|e| (e.ts.millis(), e.get("total").unwrap().as_int().unwrap()))
+            .collect();
+        assert_eq!(rows[0], (10, 1));
+        assert_eq!(rows[1], (20, 3));
+        assert_eq!(rows[2], (30, 4));
+        assert_eq!(rows[3], (40, 12));
+        // Periods carry their own landmark as window_start.
+        assert_eq!(
+            out[2].get("window_start"),
+            Some(&Value::Time(Timestamp::new(20)))
+        );
+    }
+
+    #[test]
+    fn grouped_landmark() {
+        let op = LandmarkWindowOp::new(Duration::millis(10))
+            .group_by(["u"])
+            .aggregate(AggSpec::count("n"));
+        let events = vec![
+            Event::from_pairs("s", 1u64, [("u", "a")]),
+            Event::from_pairs("s", 2u64, [("u", "b")]),
+            Event::from_pairs("s", 3u64, [("u", "a")]),
+            Event::from_pairs("s", 10u64, [("u", "a")]),
+        ];
+        let out = run(op, events);
+        // First boundary (t10): a=2, b=1 (sorted by key).
+        assert_eq!(out[0].get("u"), Some(&Value::str("a")));
+        assert_eq!(out[0].get("n"), Some(&Value::Int(2)));
+        assert_eq!(out[1].get("u"), Some(&Value::str("b")));
+    }
+}

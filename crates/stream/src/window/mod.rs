@@ -1,0 +1,246 @@
+//! Window operators: shared machinery.
+//!
+//! Fenestra implements the full window-operator zoo the paper surveys,
+//! so that the explicit-state model can be compared against its best
+//! window-based alternatives:
+//!
+//! * [`time`] — tumbling & sliding event-time windows with recompute,
+//!   incremental, and pane-based aggregation strategies;
+//! * [`count`] — tumbling & sliding count windows;
+//! * [`landmark`] — landmark windows (running totals since a pinned
+//!   lower bound, optionally reset per period);
+//! * [`session`] — gap-based session windows (Google Dataflow);
+//! * [`predicate`] — predicate windows (Ghanem et al.) and frames
+//!   (Grossniklaus et al.).
+
+pub mod count;
+pub mod landmark;
+pub mod predicate;
+pub mod session;
+pub mod time;
+
+use fenestra_base::record::{FieldId, Record, StreamId};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use std::collections::HashMap;
+
+/// Relation-to-stream behaviour of a window operator, after CQL:
+/// each firing of a window produces a *relation* (one row per group);
+/// the emit mode decides how that relation becomes a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmitMode {
+    /// RStream: emit every row of every firing.
+    #[default]
+    Rows,
+    /// IStream: emit only rows that differ from the previous firing.
+    Inserts,
+    /// DStream: emit rows of the previous firing that disappeared.
+    Deletes,
+    /// IStream ∪ DStream with a `sign` field (+1 insert, -1 delete).
+    Deltas,
+}
+
+/// Field name carrying the window start in emitted rows.
+pub fn window_start_field() -> FieldId {
+    Symbol::intern("window_start")
+}
+
+/// Field name carrying the window end in emitted rows.
+pub fn window_end_field() -> FieldId {
+    Symbol::intern("window_end")
+}
+
+/// Field name carrying the delta sign under [`EmitMode::Deltas`].
+pub fn sign_field() -> FieldId {
+    Symbol::intern("sign")
+}
+
+/// Default output stream for window operators.
+pub fn default_window_stream() -> StreamId {
+    Symbol::intern("window")
+}
+
+/// A grouping key: the values of the group-by fields, in order.
+pub type GroupKey = Vec<Value>;
+
+/// Extract the grouping key of a record (missing fields become `Null`).
+pub fn group_key(group_by: &[FieldId], rec: &Record) -> GroupKey {
+    group_by.iter().map(|f| rec.get_or_null(*f)).collect()
+}
+
+/// Write the key fields back into an output record.
+pub fn write_key(group_by: &[FieldId], key: &GroupKey, rec: &mut Record) {
+    for (f, v) in group_by.iter().zip(key) {
+        rec.set(*f, *v);
+    }
+}
+
+/// Applies CQL relation-to-stream semantics across consecutive firings.
+#[derive(Debug, Default)]
+pub struct RelationDiff {
+    prev: HashMap<GroupKey, Record>,
+}
+
+impl RelationDiff {
+    /// Fresh differ with an empty previous relation.
+    pub fn new() -> RelationDiff {
+        RelationDiff::default()
+    }
+
+    /// Given the rows of the current firing (keyed by group), return the
+    /// rows to emit under `mode`, each tagged with its sign. Updates the
+    /// remembered relation.
+    pub fn apply(
+        &mut self,
+        mode: EmitMode,
+        current: Vec<(GroupKey, Record)>,
+    ) -> Vec<(Record, i64)> {
+        let cur_map: HashMap<GroupKey, Record> = current.iter().cloned().collect();
+        let mut out = Vec::new();
+        match mode {
+            EmitMode::Rows => {
+                for (_, rec) in current {
+                    out.push((rec, 1));
+                }
+            }
+            EmitMode::Inserts => {
+                for (key, rec) in &current {
+                    if self.prev.get(key) != Some(rec) {
+                        out.push((rec.clone(), 1));
+                    }
+                }
+            }
+            EmitMode::Deletes => {
+                for (key, rec) in &self.prev {
+                    if cur_map.get(key) != Some(rec) {
+                        out.push((rec.clone(), -1));
+                    }
+                }
+            }
+            EmitMode::Deltas => {
+                for (key, rec) in &self.prev {
+                    if cur_map.get(key) != Some(rec) {
+                        out.push((rec.clone(), -1));
+                    }
+                }
+                for (key, rec) in &current {
+                    if self.prev.get(key) != Some(rec) {
+                        out.push((rec.clone(), 1));
+                    }
+                }
+            }
+        }
+        self.prev = cur_map;
+        out
+    }
+}
+
+/// Stamp a window row with its bounds and (for deltas) its sign, ready
+/// for emission.
+pub fn finish_row(
+    mut rec: Record,
+    start: Timestamp,
+    end: Timestamp,
+    sign: i64,
+    mode: EmitMode,
+) -> Record {
+    rec.set(window_start_field(), Value::Time(start));
+    rec.set(window_end_field(), Value::Time(end));
+    if mode == EmitMode::Deltas {
+        rec.set(sign_field(), Value::Int(sign));
+    }
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(k: i64, v: i64) -> (GroupKey, Record) {
+        (
+            vec![Value::Int(k)],
+            Record::from_pairs([("k", k), ("v", v)]),
+        )
+    }
+
+    #[test]
+    fn rows_mode_emits_everything() {
+        let mut d = RelationDiff::new();
+        let out = d.apply(EmitMode::Rows, vec![row(1, 10), row(2, 20)]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(_, s)| *s == 1));
+        let out = d.apply(EmitMode::Rows, vec![row(1, 10)]);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn inserts_mode_emits_only_changes() {
+        let mut d = RelationDiff::new();
+        let out = d.apply(EmitMode::Inserts, vec![row(1, 10), row(2, 20)]);
+        assert_eq!(out.len(), 2, "everything is new at first");
+        let out = d.apply(EmitMode::Inserts, vec![row(1, 10), row(2, 21)]);
+        assert_eq!(out.len(), 1, "only the changed group");
+        assert_eq!(out[0].0.get("v"), Some(&Value::Int(21)));
+    }
+
+    #[test]
+    fn deletes_mode_emits_disappearances() {
+        let mut d = RelationDiff::new();
+        d.apply(EmitMode::Deletes, vec![row(1, 10), row(2, 20)]);
+        let out = d.apply(EmitMode::Deletes, vec![row(2, 20)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0.get("k"), Some(&Value::Int(1)));
+        assert_eq!(out[0].1, -1);
+    }
+
+    #[test]
+    fn deltas_mode_pairs_changes() {
+        let mut d = RelationDiff::new();
+        d.apply(EmitMode::Deltas, vec![row(1, 10)]);
+        let out = d.apply(EmitMode::Deltas, vec![row(1, 11)]);
+        assert_eq!(out.len(), 2, "old row deleted, new row inserted");
+        let signs: Vec<i64> = out.iter().map(|(_, s)| *s).collect();
+        assert!(signs.contains(&1) && signs.contains(&-1));
+    }
+
+    #[test]
+    fn group_key_and_write_back() {
+        let gb = vec![Symbol::intern("user"), Symbol::intern("page")];
+        let rec = Record::from_pairs([("user", "u1")]);
+        let key = group_key(&gb, &rec);
+        assert_eq!(key, vec![Value::str("u1"), Value::Null]);
+        let mut out = Record::new();
+        write_key(&gb, &key, &mut out);
+        assert_eq!(out.get("user"), Some(&Value::str("u1")));
+        assert_eq!(out.get("page"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn finish_row_stamps_bounds_and_sign() {
+        let rec = finish_row(
+            Record::new(),
+            Timestamp::new(10),
+            Timestamp::new(20),
+            -1,
+            EmitMode::Deltas,
+        );
+        assert_eq!(
+            rec.get(window_start_field()),
+            Some(&Value::Time(Timestamp::new(10)))
+        );
+        assert_eq!(
+            rec.get(window_end_field()),
+            Some(&Value::Time(Timestamp::new(20)))
+        );
+        assert_eq!(rec.get(sign_field()), Some(&Value::Int(-1)));
+        let rec = finish_row(
+            Record::new(),
+            Timestamp::new(10),
+            Timestamp::new(20),
+            1,
+            EmitMode::Rows,
+        );
+        assert_eq!(rec.get(sign_field()), None);
+    }
+}

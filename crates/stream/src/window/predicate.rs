@@ -1,0 +1,563 @@
+//! Content-defined windows: predicate windows and frames.
+//!
+//! * [`PredicateWindowOp`] — windows opened and closed by predicates on
+//!   event content (after Ghanem et al., *Supporting views in data
+//!   stream management systems*). A window opens for a group when the
+//!   open predicate holds and no window is open, accumulates every
+//!   event of the group, and fires when the close predicate holds.
+//! * [`FrameOp`] — data-driven frames (Grossniklaus et al., DEBS'16):
+//!   threshold frames, delta frames, and aggregate frames.
+//!
+//! Both fire *immediately* on the event that completes the window, so
+//! they are watermark-free (content defines the boundary, not time).
+
+use crate::aggregate::{AccumulatorBank, AggSpec};
+use crate::operator::{Emitter, Operator};
+use crate::window::{finish_row, group_key, write_key, EmitMode, GroupKey};
+use fenestra_base::expr::{Expr, Scope};
+use fenestra_base::record::{Event, FieldId, Record, StreamId};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use std::collections::HashMap;
+
+/// Scope exposing an event's fields plus `ts` and `stream`.
+pub struct EventScope<'a>(pub &'a Event);
+
+impl Scope for EventScope<'_> {
+    fn lookup(&self, name: Symbol) -> Option<Value> {
+        if let Some(v) = self.0.record.get(name) {
+            return Some(*v);
+        }
+        match name.as_str() {
+            "ts" => Some(Value::Time(self.0.ts)),
+            "stream" => Some(Value::Str(self.0.stream)),
+            _ => None,
+        }
+    }
+}
+
+struct OpenWindow {
+    first: Timestamp,
+    last: Timestamp,
+    bank: AccumulatorBank,
+    count: u64,
+}
+
+impl OpenWindow {
+    fn new(specs: &[AggSpec]) -> OpenWindow {
+        OpenWindow {
+            first: Timestamp::ZERO,
+            last: Timestamp::ZERO,
+            bank: AccumulatorBank::new(specs),
+            count: 0,
+        }
+    }
+}
+
+/// Predicate-delimited window operator.
+pub struct PredicateWindowOp {
+    open: Expr,
+    close: Expr,
+    include_closing_event: bool,
+    group_by: Vec<FieldId>,
+    specs: Vec<AggSpec>,
+    out_stream: StreamId,
+    emit_open_on_flush: bool,
+    windows: HashMap<GroupKey, OpenWindow>,
+    /// Events whose predicate evaluation failed (type errors etc.).
+    pub eval_errors: u64,
+}
+
+impl PredicateWindowOp {
+    /// Windows that open when `open` holds and close when `close`
+    /// holds. The closing event is included in the window by default.
+    pub fn new(open: Expr, close: Expr) -> PredicateWindowOp {
+        PredicateWindowOp {
+            open,
+            close,
+            include_closing_event: true,
+            group_by: Vec::new(),
+            specs: Vec::new(),
+            out_stream: Symbol::intern("predicate-window"),
+            emit_open_on_flush: false,
+            windows: HashMap::new(),
+            eval_errors: 0,
+        }
+    }
+
+    /// Exclude the closing event from the window (chainable).
+    pub fn exclude_closing_event(mut self) -> PredicateWindowOp {
+        self.include_closing_event = false;
+        self
+    }
+
+    /// Add an aggregate column (chainable).
+    pub fn aggregate(mut self, spec: AggSpec) -> PredicateWindowOp {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Group windows by these fields (chainable).
+    pub fn group_by(
+        mut self,
+        fields: impl IntoIterator<Item = impl Into<Symbol>>,
+    ) -> PredicateWindowOp {
+        self.group_by = fields.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Name the output stream (chainable).
+    pub fn out_stream(mut self, stream: impl Into<Symbol>) -> PredicateWindowOp {
+        self.out_stream = stream.into();
+        self
+    }
+
+    /// Emit still-open windows at end-of-stream (chainable).
+    pub fn emit_open_on_flush(mut self) -> PredicateWindowOp {
+        self.emit_open_on_flush = true;
+        self
+    }
+
+    /// Number of currently open windows.
+    pub fn open_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    fn emit_window(
+        out_stream: StreamId,
+        group_by: &[FieldId],
+        specs: &[AggSpec],
+        key: &GroupKey,
+        w: &OpenWindow,
+        out: &mut Emitter,
+    ) {
+        let mut rec = Record::new();
+        write_key(group_by, key, &mut rec);
+        w.bank.write_outputs(specs, &mut rec);
+        rec.set("window_events", Value::Int(w.count as i64));
+        let rec = finish_row(rec, w.first, w.last, 1, EmitMode::Rows);
+        out.emit(Event::new(out_stream, w.last, rec));
+    }
+}
+
+impl Operator for PredicateWindowOp {
+    fn name(&self) -> &'static str {
+        "predicate-window"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        let scope = EventScope(ev);
+        let key = group_key(&self.group_by, &ev.record);
+        let is_open_for_key = self.windows.contains_key(&key);
+        if !is_open_for_key {
+            match self.open.eval_bool(&scope) {
+                Ok(true) => {
+                    let mut w = OpenWindow::new(&self.specs);
+                    w.first = ev.ts;
+                    w.last = ev.ts;
+                    w.bank.add(&self.specs, &ev.record, ev.ts);
+                    w.count = 1;
+                    self.windows.insert(key, w);
+                }
+                Ok(false) => {}
+                Err(_) => self.eval_errors += 1,
+            }
+            return;
+        }
+        // Window open: accumulate, then check the close predicate.
+        let close = match self.close.eval_bool(&scope) {
+            Ok(b) => b,
+            Err(_) => {
+                self.eval_errors += 1;
+                false
+            }
+        };
+        let w = self.windows.get_mut(&key).expect("window open");
+        if !close || self.include_closing_event {
+            w.bank.add(&self.specs, &ev.record, ev.ts);
+            w.count += 1;
+            w.last = w.last.max(ev.ts);
+        }
+        if close {
+            let w = self.windows.remove(&key).expect("window open");
+            Self::emit_window(self.out_stream, &self.group_by, &self.specs, &key, &w, out);
+        }
+    }
+
+    fn on_flush(&mut self, _at: Timestamp, out: &mut Emitter) {
+        if !self.emit_open_on_flush {
+            return;
+        }
+        let mut keys: Vec<GroupKey> = self.windows.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let w = self.windows.remove(&key).expect("key present");
+            Self::emit_window(self.out_stream, &self.group_by, &self.specs, &key, &w, out);
+        }
+    }
+}
+
+/// The frame-boundary criterion (Grossniklaus et al.).
+#[derive(Debug, Clone)]
+pub enum FrameKind {
+    /// A frame is a maximal run of events with `field > threshold`.
+    Threshold {
+        /// Monitored field.
+        field: FieldId,
+        /// Exclusive lower bound for frame membership.
+        threshold: f64,
+    },
+    /// A frame ends when the monitored value drifts more than `delta`
+    /// from the frame's first value; the drifting event starts the next
+    /// frame.
+    Delta {
+        /// Monitored field.
+        field: FieldId,
+        /// Maximum absolute drift within one frame.
+        delta: f64,
+    },
+    /// A frame ends when the running sum of `field` reaches `bound`
+    /// (the reaching event is included).
+    Aggregate {
+        /// Summed field.
+        field: FieldId,
+        /// Inclusive sum bound that closes the frame.
+        bound: f64,
+    },
+}
+
+struct FrameState {
+    window: OpenWindow,
+    first_value: f64,
+    running_sum: f64,
+}
+
+/// Data-driven frame operator.
+pub struct FrameOp {
+    kind: FrameKind,
+    group_by: Vec<FieldId>,
+    specs: Vec<AggSpec>,
+    out_stream: StreamId,
+    emit_open_on_flush: bool,
+    frames: HashMap<GroupKey, FrameState>,
+    /// Events lacking the monitored field (or non-numeric).
+    pub skipped: u64,
+}
+
+impl FrameOp {
+    /// A frame operator with the given boundary criterion.
+    pub fn new(kind: FrameKind) -> FrameOp {
+        FrameOp {
+            kind,
+            group_by: Vec::new(),
+            specs: Vec::new(),
+            out_stream: Symbol::intern("frame"),
+            emit_open_on_flush: true,
+            frames: HashMap::new(),
+            skipped: 0,
+        }
+    }
+
+    /// Add an aggregate column (chainable).
+    pub fn aggregate(mut self, spec: AggSpec) -> FrameOp {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Group frames by these fields (chainable).
+    pub fn group_by(mut self, fields: impl IntoIterator<Item = impl Into<Symbol>>) -> FrameOp {
+        self.group_by = fields.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Name the output stream (chainable).
+    pub fn out_stream(mut self, stream: impl Into<Symbol>) -> FrameOp {
+        self.out_stream = stream.into();
+        self
+    }
+
+    /// Discard still-open frames at end-of-stream instead of emitting
+    /// them (chainable; default is to emit).
+    pub fn discard_open_on_flush(mut self) -> FrameOp {
+        self.emit_open_on_flush = false;
+        self
+    }
+
+    fn start_frame(&mut self, key: GroupKey, ev: &Event, v: f64) {
+        let mut w = OpenWindow::new(&self.specs);
+        w.first = ev.ts;
+        w.last = ev.ts;
+        w.bank.add(&self.specs, &ev.record, ev.ts);
+        w.count = 1;
+        self.frames.insert(
+            key,
+            FrameState {
+                window: w,
+                first_value: v,
+                running_sum: v,
+            },
+        );
+    }
+
+    fn extend_frame(st: &mut FrameState, specs: &[AggSpec], ev: &Event, v: f64) {
+        st.window.bank.add(specs, &ev.record, ev.ts);
+        st.window.count += 1;
+        st.window.last = st.window.last.max(ev.ts);
+        st.running_sum += v;
+    }
+
+    fn emit_frame(&self, key: &GroupKey, st: &FrameState, out: &mut Emitter) {
+        PredicateWindowOp::emit_window(
+            self.out_stream,
+            &self.group_by,
+            &self.specs,
+            key,
+            &st.window,
+            out,
+        );
+    }
+}
+
+impl Operator for FrameOp {
+    fn name(&self) -> &'static str {
+        "frame"
+    }
+
+    fn on_event(&mut self, ev: &Event, out: &mut Emitter) {
+        let field = match &self.kind {
+            FrameKind::Threshold { field, .. }
+            | FrameKind::Delta { field, .. }
+            | FrameKind::Aggregate { field, .. } => *field,
+        };
+        let Some(v) = ev.record.get(field).and_then(|v| v.as_f64()) else {
+            self.skipped += 1;
+            return;
+        };
+        let key = group_key(&self.group_by, &ev.record);
+        match self.kind {
+            FrameKind::Threshold { threshold, .. } => {
+                let open = self.frames.contains_key(&key);
+                if v > threshold {
+                    if open {
+                        let st = self.frames.get_mut(&key).expect("frame open");
+                        Self::extend_frame(st, &self.specs, ev, v);
+                    } else {
+                        self.start_frame(key, ev, v);
+                    }
+                } else if open {
+                    // The sub-threshold event closes (and is excluded
+                    // from) the frame.
+                    let st = self.frames.remove(&key).expect("frame open");
+                    self.emit_frame(&key, &st, out);
+                }
+            }
+            FrameKind::Delta { delta, .. } => {
+                if let Some(st) = self.frames.get_mut(&key) {
+                    if (v - st.first_value).abs() > delta {
+                        let st = self.frames.remove(&key).expect("frame open");
+                        self.emit_frame(&key, &st, out);
+                        self.start_frame(key, ev, v);
+                    } else {
+                        Self::extend_frame(st, &self.specs, ev, v);
+                    }
+                } else {
+                    self.start_frame(key, ev, v);
+                }
+            }
+            FrameKind::Aggregate { bound, .. } => {
+                if let Some(st) = self.frames.get_mut(&key) {
+                    Self::extend_frame(st, &self.specs, ev, v);
+                    if st.running_sum >= bound {
+                        let st = self.frames.remove(&key).expect("frame open");
+                        self.emit_frame(&key, &st, out);
+                    }
+                } else {
+                    self.start_frame(key.clone(), ev, v);
+                    let done = self.frames[&key].running_sum >= bound;
+                    if done {
+                        let st = self.frames.remove(&key).expect("frame open");
+                        self.emit_frame(&key, &st, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_flush(&mut self, _at: Timestamp, out: &mut Emitter) {
+        if !self.emit_open_on_flush {
+            return;
+        }
+        let mut keys: Vec<GroupKey> = self.frames.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let st = self.frames.remove(&key).expect("key present");
+            self.emit_frame(&key, &st, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::graph::Graph;
+
+    fn ev_kv(ts: u64, pairs: Vec<(&str, Value)>) -> Event {
+        Event::from_pairs("s", ts, pairs)
+    }
+
+    fn run_op(op: impl Operator + 'static, events: Vec<Event>) -> Vec<Event> {
+        let mut g = Graph::new();
+        let w = g.add_op(op);
+        g.connect_source("s", w);
+        let sink = g.add_sink();
+        g.connect(w, sink.node);
+        let mut ex = Executor::new(g);
+        ex.run(events);
+        ex.finish();
+        sink.take()
+    }
+
+    #[test]
+    fn predicate_window_open_close() {
+        // Track a user's site visit: opens on action=="enter", closes
+        // on action=="leave".
+        let op = PredicateWindowOp::new(
+            Expr::name("action").eq(Expr::lit("enter")),
+            Expr::name("action").eq(Expr::lit("leave")),
+        )
+        .aggregate(AggSpec::count("n"));
+        let events = vec![
+            ev_kv(1, vec![("action", Value::str("browse"))]), // ignored: no window
+            ev_kv(2, vec![("action", Value::str("enter"))]),
+            ev_kv(3, vec![("action", Value::str("click"))]),
+            ev_kv(4, vec![("action", Value::str("click"))]),
+            ev_kv(5, vec![("action", Value::str("leave"))]),
+            ev_kv(6, vec![("action", Value::str("click"))]), // after close: ignored
+        ];
+        let out = run_op(op, events);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("n"), Some(&Value::Int(4)), "enter..leave inclusive");
+        assert_eq!(
+            out[0].get("window_start"),
+            Some(&Value::Time(Timestamp::new(2)))
+        );
+        assert_eq!(
+            out[0].get("window_end"),
+            Some(&Value::Time(Timestamp::new(5)))
+        );
+    }
+
+    #[test]
+    fn predicate_window_excluding_close() {
+        let op = PredicateWindowOp::new(
+            Expr::name("action").eq(Expr::lit("enter")),
+            Expr::name("action").eq(Expr::lit("leave")),
+        )
+        .exclude_closing_event()
+        .aggregate(AggSpec::count("n"));
+        let events = vec![
+            ev_kv(2, vec![("action", Value::str("enter"))]),
+            ev_kv(3, vec![("action", Value::str("click"))]),
+            ev_kv(5, vec![("action", Value::str("leave"))]),
+        ];
+        let out = run_op(op, events);
+        assert_eq!(out[0].get("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn predicate_window_per_group() {
+        let op = PredicateWindowOp::new(
+            Expr::name("action").eq(Expr::lit("enter")),
+            Expr::name("action").eq(Expr::lit("leave")),
+        )
+        .group_by(["user"])
+        .aggregate(AggSpec::count("n"))
+        .emit_open_on_flush();
+        let events = vec![
+            ev_kv(1, vec![("user", Value::str("a")), ("action", Value::str("enter"))]),
+            ev_kv(2, vec![("user", Value::str("b")), ("action", Value::str("enter"))]),
+            ev_kv(3, vec![("user", Value::str("a")), ("action", Value::str("leave"))]),
+        ];
+        let out = run_op(op, events);
+        assert_eq!(out.len(), 2, "a closed; b flushed open");
+        assert_eq!(out[0].get("user"), Some(&Value::str("a")));
+        assert_eq!(out[0].get("n"), Some(&Value::Int(2)));
+        assert_eq!(out[1].get("user"), Some(&Value::str("b")));
+        assert_eq!(out[1].get("n"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn threshold_frames() {
+        let op = FrameOp::new(FrameKind::Threshold {
+            field: Symbol::intern("load"),
+            threshold: 50.0,
+        })
+        .aggregate(AggSpec::max("load", "peak"));
+        let events = vec![
+            ev_kv(1, vec![("load", Value::Int(10))]),
+            ev_kv(2, vec![("load", Value::Int(60))]),
+            ev_kv(3, vec![("load", Value::Int(80))]),
+            ev_kv(4, vec![("load", Value::Int(20))]), // closes frame
+            ev_kv(5, vec![("load", Value::Int(70))]), // opens new frame
+        ];
+        let out = run_op(op, events);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("peak"), Some(&Value::Int(80)));
+        assert_eq!(out[0].get("window_events"), Some(&Value::Int(2)));
+        assert_eq!(out[1].get("peak"), Some(&Value::Int(70)), "flushed open frame");
+    }
+
+    #[test]
+    fn delta_frames() {
+        let op = FrameOp::new(FrameKind::Delta {
+            field: Symbol::intern("temp"),
+            delta: 5.0,
+        })
+        .aggregate(AggSpec::avg("temp", "mean"));
+        let events = vec![
+            ev_kv(1, vec![("temp", Value::Int(20))]),
+            ev_kv(2, vec![("temp", Value::Int(22))]),
+            ev_kv(3, vec![("temp", Value::Int(24))]),
+            ev_kv(4, vec![("temp", Value::Int(30))]), // drift > 5 from 20
+            ev_kv(5, vec![("temp", Value::Int(31))]),
+        ];
+        let out = run_op(op, events);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("mean"), Some(&Value::Float(22.0)));
+        assert_eq!(out[1].get("mean"), Some(&Value::Float(30.5)));
+    }
+
+    #[test]
+    fn aggregate_frames() {
+        let op = FrameOp::new(FrameKind::Aggregate {
+            field: Symbol::intern("qty"),
+            bound: 10.0,
+        })
+        .aggregate(AggSpec::sum("qty", "batch"));
+        let events = vec![
+            ev_kv(1, vec![("qty", Value::Int(4))]),
+            ev_kv(2, vec![("qty", Value::Int(4))]),
+            ev_kv(3, vec![("qty", Value::Int(4))]), // sum 12 >= 10: close
+            ev_kv(4, vec![("qty", Value::Int(11))]), // single-event frame
+            ev_kv(5, vec![("qty", Value::Int(1))]),
+        ];
+        let out = run_op(op, events);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("batch"), Some(&Value::Int(12)));
+        assert_eq!(out[1].get("batch"), Some(&Value::Int(11)));
+        assert_eq!(out[2].get("batch"), Some(&Value::Int(1)), "flushed");
+    }
+
+    #[test]
+    fn frames_skip_events_without_field() {
+        let mut op = FrameOp::new(FrameKind::Threshold {
+            field: Symbol::intern("load"),
+            threshold: 0.0,
+        });
+        let mut em = Emitter::new();
+        op.on_event(&ev_kv(1, vec![("other", Value::Int(1))]), &mut em);
+        assert_eq!(op.skipped, 1);
+    }
+}

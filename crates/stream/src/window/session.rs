@@ -1,0 +1,280 @@
+//! Gap-based session windows (the Google Dataflow model the paper
+//! cites as the nearest windowed approximation of session state).
+//!
+//! Events with the same group key belong to one session while gaps
+//! between consecutive events stay below the configured gap. A session
+//! closes — and its aggregate row is emitted — when the watermark
+//! passes `last_event + gap`. Out-of-order events within the lateness
+//! bound may merge two provisional sessions; this operator handles the
+//! merge.
+
+use crate::aggregate::{AccumulatorBank, AggSpec};
+use crate::operator::{Emitter, Operator};
+use crate::window::{finish_row, group_key, write_key, EmitMode, GroupKey};
+use fenestra_base::record::{Event, FieldId, Record, StreamId};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::{Duration, Timestamp};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Session {
+    first: Timestamp,
+    last: Timestamp,
+    bank: AccumulatorBank,
+    count: u64,
+}
+
+/// Session window operator.
+pub struct SessionWindowOp {
+    gap: Duration,
+    group_by: Vec<FieldId>,
+    specs: Vec<AggSpec>,
+    out_stream: StreamId,
+    /// Provisional sessions per key, kept sorted by `first`.
+    sessions: HashMap<GroupKey, Vec<Session>>,
+}
+
+impl SessionWindowOp {
+    /// Sessions separated by inactivity gaps of at least `gap`.
+    ///
+    /// # Panics
+    /// Panics if `gap` is zero.
+    pub fn new(gap: Duration) -> SessionWindowOp {
+        assert!(!gap.is_zero(), "zero session gap");
+        SessionWindowOp {
+            gap,
+            group_by: Vec::new(),
+            specs: Vec::new(),
+            out_stream: Symbol::intern("session"),
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Add an aggregate column (chainable).
+    pub fn aggregate(mut self, spec: AggSpec) -> SessionWindowOp {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Group sessions by these fields (chainable).
+    pub fn group_by(
+        mut self,
+        fields: impl IntoIterator<Item = impl Into<Symbol>>,
+    ) -> SessionWindowOp {
+        self.group_by = fields.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Name the output stream (chainable).
+    pub fn out_stream(mut self, stream: impl Into<Symbol>) -> SessionWindowOp {
+        self.out_stream = stream.into();
+        self
+    }
+
+    /// Number of currently open sessions across all keys (a direct
+    /// memory proxy for experiment E1).
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.values().map(|v| v.len()).sum()
+    }
+
+    fn emit_session(&self, key: &GroupKey, s: &Session, out: &mut Emitter) {
+        let mut rec = Record::new();
+        write_key(&self.group_by, key, &mut rec);
+        s.bank.write_outputs(&self.specs, &mut rec);
+        rec.set("session_events", fenestra_base::value::Value::Int(s.count as i64));
+        let rec = finish_row(rec, s.first, s.last, 1, EmitMode::Rows);
+        out.emit(Event::new(self.out_stream, s.last, rec));
+    }
+}
+
+impl Operator for SessionWindowOp {
+    fn name(&self) -> &'static str {
+        "session-window"
+    }
+
+    fn on_event(&mut self, ev: &Event, _out: &mut Emitter) {
+        let key = group_key(&self.group_by, &ev.record);
+        let sessions = self.sessions.entry(key).or_default();
+        // Find every provisional session this event touches (within gap
+        // on either side); merge them all.
+        let gap = self.gap;
+        let mut touched: Vec<usize> = sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                // Strict gap semantics (as in Flink/Dataflow): an
+                // inactivity span of exactly `gap` already splits.
+                ev.ts.saturating_add(gap) > s.first && s.last.saturating_add(gap) > ev.ts
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if touched.is_empty() {
+            let mut bank = AccumulatorBank::new(&self.specs);
+            bank.add(&self.specs, &ev.record, ev.ts);
+            let s = Session {
+                first: ev.ts,
+                last: ev.ts,
+                bank,
+                count: 1,
+            };
+            let pos = sessions.partition_point(|x| x.first <= s.first);
+            sessions.insert(pos, s);
+            return;
+        }
+        // Merge into the first touched session; drain the rest.
+        touched.sort_unstable();
+        let base = touched[0];
+        for &i in touched[1..].iter().rev() {
+            let other = sessions.remove(i);
+            let s = &mut sessions[base];
+            s.first = s.first.min(other.first);
+            s.last = s.last.max(other.last);
+            s.bank.merge(&other.bank);
+            s.count += other.count;
+        }
+        let s = &mut sessions[base];
+        s.first = s.first.min(ev.ts);
+        s.last = s.last.max(ev.ts);
+        s.bank.add(&self.specs, &ev.record, ev.ts);
+        s.count += 1;
+    }
+
+    fn on_watermark(&mut self, wm: Timestamp, out: &mut Emitter) {
+        let gap = self.gap;
+        let mut closed: Vec<(GroupKey, Session)> = Vec::new();
+        for (key, sessions) in self.sessions.iter_mut() {
+            let mut i = 0;
+            while i < sessions.len() {
+                if sessions[i].last.saturating_add(gap) <= wm {
+                    closed.push((key.clone(), sessions.remove(i)));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.sessions.retain(|_, v| !v.is_empty());
+        // Deterministic emission order: by key, then session start.
+        closed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.first.cmp(&b.1.first)));
+        for (key, s) in closed {
+            self.emit_session(&key, &s, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::graph::Graph;
+    use crate::watermark::WatermarkPolicy;
+    use fenestra_base::value::Value;
+
+    fn ev(ts: u64, user: &str) -> Event {
+        Event::from_pairs("s", ts, [("user", user)])
+    }
+
+    fn run(op: SessionWindowOp, events: Vec<Event>, lateness: u64) -> Vec<Event> {
+        let mut g = Graph::new();
+        let w = g.add_op(op);
+        g.connect_source("s", w);
+        let sink = g.add_sink();
+        g.connect(w, sink.node);
+        let mut ex =
+            Executor::with_policy(g, WatermarkPolicy::bounded(Duration::millis(lateness)));
+        ex.run(events);
+        ex.finish();
+        sink.take()
+    }
+
+    #[test]
+    fn splits_on_gap() {
+        let op = SessionWindowOp::new(Duration::millis(10))
+            .group_by(["user"])
+            .aggregate(AggSpec::count("n"));
+        let out = run(
+            op,
+            vec![ev(0, "a"), ev(5, "a"), ev(8, "a"), ev(30, "a"), ev(35, "a")],
+            0,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("n"), Some(&Value::Int(3)));
+        assert_eq!(
+            out[0].get("window_start"),
+            Some(&Value::Time(Timestamp::new(0)))
+        );
+        assert_eq!(
+            out[0].get("window_end"),
+            Some(&Value::Time(Timestamp::new(8)))
+        );
+        assert_eq!(out[1].get("n"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn per_user_sessions_are_independent() {
+        let op = SessionWindowOp::new(Duration::millis(10))
+            .group_by(["user"])
+            .aggregate(AggSpec::count("n"));
+        let out = run(
+            op,
+            vec![ev(0, "a"), ev(4, "b"), ev(8, "a"), ev(12, "b"), ev(40, "a")],
+            0,
+        );
+        // Sessions: a[0..8] (closed at wm 18.. by event 40), b[4..12],
+        // a[40..40] closed at flush.
+        assert_eq!(out.len(), 3);
+        let users: Vec<&str> = out
+            .iter()
+            .map(|e| e.get("user").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(users, vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn session_closes_only_after_gap_passes_watermark() {
+        let op = SessionWindowOp::new(Duration::millis(10)).aggregate(AggSpec::count("n"));
+        let mut g = Graph::new();
+        let w = g.add_op(op);
+        g.connect_source("s", w);
+        let sink = g.add_sink();
+        g.connect(w, sink.node);
+        let mut ex = Executor::new(g);
+        ex.push(ev(0, "a"));
+        ex.push(ev(9, "a")); // wm 9 < 0+10: still open
+        assert_eq!(sink.len(), 0);
+        ex.push(ev(25, "a")); // wm 25 >= 9+10=19: first session closes
+        assert_eq!(sink.len(), 1);
+        ex.finish();
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_event_merges_two_sessions() {
+        // Events 0 and 14 form two provisional sessions (gap 10); the
+        // late event at 7 bridges them into one.
+        let op = SessionWindowOp::new(Duration::millis(10)).aggregate(AggSpec::count("n"));
+        let out = run(op, vec![ev(0, "a"), ev(14, "a"), ev(7, "a")], 20);
+        assert_eq!(out.len(), 1, "bridged into a single session");
+        assert_eq!(out[0].get("n"), Some(&Value::Int(3)));
+        assert_eq!(
+            out[0].get("window_start"),
+            Some(&Value::Time(Timestamp::new(0)))
+        );
+        assert_eq!(
+            out[0].get("window_end"),
+            Some(&Value::Time(Timestamp::new(14)))
+        );
+    }
+
+    #[test]
+    fn open_sessions_tracks_memory() {
+        let mut op = SessionWindowOp::new(Duration::millis(10)).group_by(["user"]);
+        let mut em = Emitter::new();
+        op.on_event(&ev(0, "a"), &mut em);
+        op.on_event(&ev(1, "b"), &mut em);
+        op.on_event(&ev(2, "c"), &mut em);
+        assert_eq!(op.open_sessions(), 3);
+        op.on_watermark(Timestamp::new(100), &mut em);
+        assert_eq!(op.open_sessions(), 0);
+        assert_eq!(em.len(), 3);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests for the stream substrate: every window operator is
+//! checked against a brute-force reference model on random event
+//! sequences, and the three sliding strategies are checked against
+//! each other.
+
+use fenestra_base::record::Event;
+use fenestra_base::time::Duration;
+use fenestra_base::value::Value;
+use fenestra_stream::aggregate::AggSpec;
+use fenestra_stream::executor::Executor;
+use fenestra_stream::graph::Graph;
+use fenestra_stream::window::time::{SlidingStrategy, TimeWindowOp};
+use proptest::prelude::*;
+
+/// Random event sequence: strictly increasing-ish timestamps, small
+/// value domain.
+fn events_strategy() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((1u64..20, -50i64..50), 1..120).prop_map(|gaps| {
+        let mut t = 0u64;
+        gaps.into_iter()
+            .map(|(gap, v)| {
+                t += gap;
+                Event::from_pairs("s", t, [("v", v)])
+            })
+            .collect()
+    })
+}
+
+fn run_op(op: TimeWindowOp, events: &[Event]) -> Vec<(u64, u64, Value, Value)> {
+    let mut g = Graph::new();
+    let w = g.add_op(op);
+    g.connect_source("s", w);
+    let sink = g.add_sink();
+    g.connect(w, sink.node);
+    let mut ex = Executor::new(g);
+    ex.run(events.iter().cloned());
+    ex.finish();
+    sink.take()
+        .iter()
+        .map(|e| {
+            (
+                e.get("window_start").unwrap().as_time().unwrap().millis(),
+                e.get("window_end").unwrap().as_time().unwrap().millis(),
+                *e.get("total").unwrap(),
+                *e.get("n").unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Brute-force reference: for every aligned window that contains at
+/// least one event, compute sum and count by scanning.
+fn reference(events: &[Event], size: u64, slide: u64) -> Vec<(u64, u64, Value, Value)> {
+    let mut out = Vec::new();
+    let max_ts = events.iter().map(|e| e.ts.millis()).max().unwrap_or(0);
+    let mut start = 0u64;
+    while start <= max_ts {
+        let end = start + size;
+        let in_window: Vec<i64> = events
+            .iter()
+            .filter(|e| e.ts.millis() >= start && e.ts.millis() < end)
+            .map(|e| e.get("v").unwrap().as_int().unwrap())
+            .collect();
+        if !in_window.is_empty() {
+            out.push((
+                start,
+                end,
+                Value::Int(in_window.iter().sum()),
+                Value::Int(in_window.len() as i64),
+            ));
+        }
+        start += slide;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tumbling windows equal the brute-force reference.
+    #[test]
+    fn tumbling_matches_reference(events in events_strategy(), size in 1u64..40) {
+        let op = TimeWindowOp::tumbling(Duration::millis(size))
+            .aggregate(AggSpec::sum("v", "total"))
+            .aggregate(AggSpec::count("n"));
+        let got = run_op(op, &events);
+        let want = reference(&events, size, size);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Sliding windows equal the brute-force reference, for every
+    /// strategy.
+    #[test]
+    fn sliding_matches_reference(
+        events in events_strategy(),
+        slide in 1u64..20,
+        factor in 1u64..5,
+    ) {
+        let size = slide * factor;
+        let want = reference(&events, size, slide);
+        for strat in [
+            SlidingStrategy::Recompute,
+            SlidingStrategy::Incremental,
+            SlidingStrategy::Panes,
+        ] {
+            let op = TimeWindowOp::sliding(Duration::millis(size), Duration::millis(slide))
+                .strategy(strat)
+                .aggregate(AggSpec::sum("v", "total"))
+                .aggregate(AggSpec::count("n"));
+            let got = run_op(op, &events);
+            prop_assert_eq!(&got, &want, "strategy {:?}", strat);
+        }
+    }
+
+    /// Min/max (non-trivially invertible aggregates) agree across
+    /// strategies on random input.
+    #[test]
+    fn min_max_strategies_agree(events in events_strategy(), slide in 1u64..15) {
+        let size = slide * 3;
+        let mk = |strat| {
+            TimeWindowOp::sliding(Duration::millis(size), Duration::millis(slide))
+                .strategy(strat)
+                .aggregate(AggSpec::min("v", "total"))
+                .aggregate(AggSpec::max("v", "n"))
+        };
+        let a = run_op(mk(SlidingStrategy::Recompute), &events);
+        let b = run_op(mk(SlidingStrategy::Incremental), &events);
+        let c = run_op(mk(SlidingStrategy::Panes), &events);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&b, &c);
+    }
+}
+
+mod session_props {
+    use super::*;
+    use fenestra_stream::window::session::SessionWindowOp;
+
+    /// Brute-force session detection: sort by ts, split wherever the
+    /// inactivity span reaches `gap` (strict semantics).
+    fn reference_sessions(events: &[Event], gap: u64) -> Vec<(u64, u64, i64)> {
+        let mut ts: Vec<u64> = events.iter().map(|e| e.ts.millis()).collect();
+        ts.sort_unstable();
+        let mut out: Vec<(u64, u64, i64)> = Vec::new();
+        for &t in &ts {
+            match out.last_mut() {
+                Some((_, last, n)) if t - *last < gap => {
+                    *last = t;
+                    *n += 1;
+                }
+                _ => out.push((t, t, 1)),
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Session windows equal the brute-force gap splitter.
+        #[test]
+        fn sessions_match_reference(events in events_strategy(), gap in 1u64..30) {
+            let op = SessionWindowOp::new(Duration::millis(gap)).aggregate(AggSpec::count("n"));
+            let mut g = Graph::new();
+            let w = g.add_op(op);
+            g.connect_source("s", w);
+            let sink = g.add_sink();
+            g.connect(w, sink.node);
+            let mut ex = Executor::new(g);
+            ex.run(events.iter().cloned());
+            ex.finish();
+            let got: Vec<(u64, u64, i64)> = sink
+                .take()
+                .iter()
+                .map(|e| {
+                    (
+                        e.get("window_start").unwrap().as_time().unwrap().millis(),
+                        e.get("window_end").unwrap().as_time().unwrap().millis(),
+                        e.get("n").unwrap().as_int().unwrap(),
+                    )
+                })
+                .collect();
+            let want = reference_sessions(&events, gap);
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+mod count_props {
+    use super::*;
+    use fenestra_stream::window::count::CountWindowOp;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Tumbling count windows partition the stream into chunks of
+        /// exactly `size` (the remainder never fires without the
+        /// partial-flush option).
+        #[test]
+        fn count_tumbling_partitions(events in events_strategy(), size in 1usize..10) {
+            let op = CountWindowOp::tumbling(size).aggregate(AggSpec::sum("v", "total"));
+            let mut g = Graph::new();
+            let w = g.add_op(op);
+            g.connect_source("s", w);
+            let sink = g.add_sink();
+            g.connect(w, sink.node);
+            let mut ex = Executor::new(g);
+            ex.run(events.iter().cloned());
+            ex.finish();
+            let rows = sink.take();
+            prop_assert_eq!(rows.len(), events.len() / size);
+            for (i, row) in rows.iter().enumerate() {
+                let want: i64 = events[i * size..(i + 1) * size]
+                    .iter()
+                    .map(|e| e.get("v").unwrap().as_int().unwrap())
+                    .sum();
+                prop_assert_eq!(row.get("total"), Some(&Value::Int(want)));
+            }
+        }
+    }
+}

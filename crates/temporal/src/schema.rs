@@ -1,0 +1,158 @@
+//! Attribute schema: cardinality declarations.
+//!
+//! The store distinguishes *cardinality-one* attributes (a visitor's
+//! current room, a product's current class) from *cardinality-many*
+//! attributes (a product's tags). The distinction drives the semantics
+//! of [`crate::TemporalStore::assert_at`] and
+//! [`crate::TemporalStore::replace_at`].
+
+use crate::fact::AttrId;
+use fenestra_base::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How many values an attribute may hold simultaneously for one entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Cardinality {
+    /// At most one open value per entity at any instant. Asserting a
+    /// different value while one is open is rejected; use `replace_at`.
+    One,
+    /// Any number of simultaneously valid values (the default).
+    #[default]
+    Many,
+}
+
+/// Declared properties of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AttrSchema {
+    /// Cardinality constraint enforced on writes.
+    pub cardinality: Cardinality,
+    /// Whether closed facts are retained for historical queries. When
+    /// `false`, [`crate::TemporalStore::gc`] may reclaim them eagerly.
+    pub keep_history: bool,
+    /// Time-to-live: open facts expire (their validity closes at
+    /// `start + ttl`) once the clock passes that instant — idle-timeout
+    /// semantics for state that is only valid while fresh.
+    ///
+    /// Note that `replace` with an *unchanged* value is idempotent and
+    /// keeps the original validity start, so it does not refresh the
+    /// TTL. To build a keep-alive, store a changing value (e.g. the
+    /// last-seen timestamp): every refresh then closes the old interval
+    /// and restarts the clock.
+    #[serde(default)]
+    pub ttl: Option<Duration>,
+}
+
+impl AttrSchema {
+    /// Cardinality-one, history kept.
+    pub fn one() -> AttrSchema {
+        AttrSchema {
+            cardinality: Cardinality::One,
+            keep_history: true,
+            ttl: None,
+        }
+    }
+
+    /// Cardinality-many, history kept.
+    pub fn many() -> AttrSchema {
+        AttrSchema {
+            cardinality: Cardinality::Many,
+            keep_history: true,
+            ttl: None,
+        }
+    }
+
+    /// Disable history retention (facts disappear from historical
+    /// queries once GC'd past them).
+    pub fn ephemeral(mut self) -> AttrSchema {
+        self.keep_history = false;
+        self
+    }
+
+    /// Expire open facts `ttl` after their validity starts (chainable).
+    pub fn with_ttl(mut self, ttl: Duration) -> AttrSchema {
+        self.ttl = Some(ttl);
+        self
+    }
+}
+
+/// The set of declared attributes. Undeclared attributes behave as
+/// [`AttrSchema::many`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: HashMap<AttrId, AttrSchema>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Declare (or redeclare) an attribute.
+    pub fn declare(&mut self, attr: impl Into<AttrId>, schema: AttrSchema) {
+        self.attrs.insert(attr.into(), schema);
+    }
+
+    /// The schema for `attr` (defaults for undeclared attributes).
+    pub fn of(&self, attr: AttrId) -> AttrSchema {
+        self.attrs.get(&attr).copied().unwrap_or(AttrSchema {
+            cardinality: Cardinality::Many,
+            keep_history: true,
+            ttl: None,
+        })
+    }
+
+    /// Iterate declared attributes.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, AttrSchema)> + '_ {
+        self.attrs.iter().map(|(a, s)| (*a, *s))
+    }
+
+    /// Number of declared attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether no attribute has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_base::symbol::Symbol;
+
+    #[test]
+    fn defaults_to_many_with_history() {
+        let s = Schema::new();
+        let a = s.of(Symbol::intern("undeclared"));
+        assert_eq!(a.cardinality, Cardinality::Many);
+        assert!(a.keep_history);
+    }
+
+    #[test]
+    fn declare_and_redeclare() {
+        let mut s = Schema::new();
+        s.declare("room", AttrSchema::one());
+        assert_eq!(s.of(Symbol::intern("room")).cardinality, Cardinality::One);
+        s.declare("room", AttrSchema::many());
+        assert_eq!(s.of(Symbol::intern("room")).cardinality, Cardinality::Many);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn ephemeral_flag() {
+        let a = AttrSchema::one().ephemeral();
+        assert!(!a.keep_history);
+        assert_eq!(a.cardinality, Cardinality::One);
+    }
+
+    #[test]
+    fn ttl_flag() {
+        let a = AttrSchema::one().with_ttl(Duration::secs(30));
+        assert_eq!(a.ttl, Some(Duration::secs(30)));
+        assert_eq!(AttrSchema::one().ttl, None);
+    }
+}

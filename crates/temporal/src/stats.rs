@@ -1,0 +1,42 @@
+//! Mutation counters for the store.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing the work a store has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Successful `assert_at` calls that created a fact.
+    pub asserts: u64,
+    /// Successful `retract_at` calls (plus per-fact entity retracts).
+    pub retracts: u64,
+    /// Successful, state-changing `replace_at` calls.
+    pub replaces: u64,
+    /// GC passes executed.
+    pub gcs: u64,
+    /// Facts reclaimed across all GC passes.
+    pub reclaimed: u64,
+}
+
+impl StoreStats {
+    /// Total state transitions (asserts + retracts + replaces).
+    pub fn transitions(&self) -> u64 {
+        self.asserts + self.retracts + self.replaces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_sum() {
+        let s = StoreStats {
+            asserts: 3,
+            retracts: 2,
+            replaces: 5,
+            gcs: 1,
+            reclaimed: 4,
+        };
+        assert_eq!(s.transitions(), 10);
+    }
+}

@@ -1,0 +1,1071 @@
+//! The temporal fact store.
+
+use crate::fact::{AttrId, Fact, FactId, Provenance, StoredFact};
+use crate::schema::{AttrSchema, Cardinality, Schema};
+use crate::snapshot::{AsOfView, CurrentView};
+use crate::stats::StoreStats;
+use crate::timeline::Timeline;
+use crate::wal::WalOp;
+use fenestra_base::error::{Error, Result};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::{Interval, Timestamp};
+use fenestra_base::value::{EntityId, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Outcome of a [`TemporalStore::replace_at`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaceOutcome {
+    /// Facts whose validity was closed by the replacement.
+    pub closed: Vec<FactId>,
+    /// The fact now holding the value (newly asserted, or the existing
+    /// one when the value was unchanged).
+    pub fact: FactId,
+    /// Whether the state actually changed.
+    pub changed: bool,
+}
+
+/// The state repository: an EAV fact store with validity intervals.
+///
+/// See the [crate docs](crate) for the model. All mutating operations
+/// take the *event time* at which the transition happens; the store
+/// never consults a wall clock.
+#[derive(Debug, Default)]
+pub struct TemporalStore {
+    /// Fact arena; `FactId` indexes it. GC tombstones slots to `None`
+    /// so ids stay stable.
+    pub(crate) arena: Vec<Option<StoredFact>>,
+    pub(crate) schema: Schema,
+    /// Open facts per entity (deterministic iteration order).
+    pub(crate) open_by_entity: BTreeMap<EntityId, BTreeSet<FactId>>,
+    /// Open facts per attribute.
+    pub(crate) open_by_attr: BTreeMap<AttrId, BTreeSet<FactId>>,
+    /// Open facts per (attribute, value) — reverse lookup.
+    pub(crate) open_by_attr_value: HashMap<(AttrId, Value), BTreeSet<FactId>>,
+    /// Open facts per (entity, attribute) — cardinality checks.
+    pub(crate) open_by_ea: HashMap<(EntityId, AttrId), Vec<FactId>>,
+    /// Full history per (entity, attribute).
+    pub(crate) timelines: BTreeMap<(EntityId, AttrId), Timeline>,
+    /// Entities that ever carried an attribute (for as-of scans).
+    pub(crate) attr_entities: BTreeMap<AttrId, BTreeSet<EntityId>>,
+    /// Greatest closed-interval end per (entity, attribute): O(1)
+    /// retroactive-overlap checks for cardinality-one attributes.
+    pub(crate) max_closed_end: HashMap<(EntityId, AttrId), Timestamp>,
+    /// Named entity directory.
+    entity_names: HashMap<Symbol, EntityId>,
+    entity_names_rev: HashMap<EntityId, Symbol>,
+    next_entity: u64,
+    /// Monotone revision counter; bumps on every state change.
+    revision: u64,
+    /// Latest transition time seen.
+    last_transition: Timestamp,
+    /// Journal of all mutations (see [`crate::wal`]).
+    wal: Vec<WalOp>,
+    wal_enabled: bool,
+    stats: StoreStats,
+}
+
+impl TemporalStore {
+    /// An empty store with WAL journaling enabled.
+    pub fn new() -> TemporalStore {
+        TemporalStore {
+            wal_enabled: true,
+            ..TemporalStore::default()
+        }
+    }
+
+    /// An empty store that does not journal (saves memory in benches).
+    pub fn without_wal() -> TemporalStore {
+        TemporalStore::default()
+    }
+
+    // ----- schema & entities ------------------------------------------------
+
+    /// Declare an attribute's schema.
+    pub fn declare_attr(&mut self, attr: impl Into<AttrId>, schema: AttrSchema) {
+        let attr = attr.into();
+        self.schema.declare(attr, schema);
+        self.journal(WalOp::DeclareAttr { attr, schema });
+    }
+
+    /// The effective schema of `attr`.
+    pub fn attr_schema(&self, attr: AttrId) -> AttrSchema {
+        self.schema.of(attr)
+    }
+
+    /// Allocate a fresh anonymous entity.
+    pub fn new_entity(&mut self) -> EntityId {
+        let e = EntityId(self.next_entity);
+        self.next_entity += 1;
+        self.journal(WalOp::NewEntity { name: None });
+        e
+    }
+
+    /// Get or create the entity registered under `name`.
+    pub fn named_entity(&mut self, name: impl Into<Symbol>) -> EntityId {
+        let name = name.into();
+        if let Some(&e) = self.entity_names.get(&name) {
+            return e;
+        }
+        let e = EntityId(self.next_entity);
+        self.next_entity += 1;
+        self.entity_names.insert(name, e);
+        self.entity_names_rev.insert(e, name);
+        self.journal(WalOp::NewEntity { name: Some(name) });
+        e
+    }
+
+    /// Look up a named entity without creating it.
+    pub fn lookup_entity(&self, name: impl Into<Symbol>) -> Option<EntityId> {
+        self.entity_names.get(&name.into()).copied()
+    }
+
+    /// The registered name of an entity, if any.
+    pub fn entity_name(&self, e: EntityId) -> Option<Symbol> {
+        self.entity_names_rev.get(&e).copied()
+    }
+
+    // ----- mutation ---------------------------------------------------------
+
+    /// Assert that `(entity, attr, value)` is valid from `t` on.
+    ///
+    /// * Cardinality-many: idempotent if an identical open fact exists.
+    /// * Cardinality-one: rejected if a *different* value is currently
+    ///   open, or if `t` would retroactively overlap a closed value —
+    ///   use [`TemporalStore::replace_at`] to transition.
+    pub fn assert_at(
+        &mut self,
+        entity: EntityId,
+        attr: impl Into<AttrId>,
+        value: impl Into<Value>,
+        t: Timestamp,
+    ) -> Result<FactId> {
+        let attr = attr.into();
+        let value = value.into();
+        self.assert_with(entity, attr, value, t, Provenance::External)
+    }
+
+    /// [`TemporalStore::assert_at`] with explicit provenance (rules and
+    /// the reasoner use this).
+    pub fn assert_with(
+        &mut self,
+        entity: EntityId,
+        attr: AttrId,
+        value: Value,
+        t: Timestamp,
+        provenance: Provenance,
+    ) -> Result<FactId> {
+        // Idempotence: identical open fact.
+        if let Some(existing) = self.open_fact_with_value(entity, attr, value) {
+            return Ok(existing);
+        }
+        if self.schema.of(attr).cardinality == Cardinality::One {
+            if let Some(ids) = self.open_by_ea.get(&(entity, attr)) {
+                if let Some(&id) = ids.first() {
+                    let f = self.arena[id.0 as usize].as_ref().expect("open fact live");
+                    return Err(Error::Store(format!(
+                        "cardinality-one conflict: {} {} already holds {} (open since {}); use replace",
+                        entity, attr, f.fact.value, f.validity.start
+                    )));
+                }
+            }
+            if let Some(&end) = self.max_closed_end.get(&(entity, attr)) {
+                if end > t {
+                    return Err(Error::Store(format!(
+                        "retroactive overlap: {} {} has history up to {} but assert at {}",
+                        entity, attr, end, t
+                    )));
+                }
+            }
+        }
+        let id = self.insert_open(Fact::new(entity, attr, value), t, provenance);
+        self.journal(WalOp::Assert {
+            entity,
+            attr,
+            value,
+            t,
+            provenance,
+        });
+        self.touch(t);
+        self.stats.asserts += 1;
+        Ok(id)
+    }
+
+    /// Close the validity of the open fact `(entity, attr, value)` at `t`.
+    pub fn retract_at(
+        &mut self,
+        entity: EntityId,
+        attr: impl Into<AttrId>,
+        value: impl Into<Value>,
+        t: Timestamp,
+    ) -> Result<FactId> {
+        let attr = attr.into();
+        let value = value.into();
+        let id = self.open_fact_with_value(entity, attr, value).ok_or_else(|| {
+            Error::Store(format!(
+                "retract of absent fact ({entity} {attr} {value})"
+            ))
+        })?;
+        self.close_fact(id, t)?;
+        self.journal(WalOp::Retract {
+            entity,
+            attr,
+            value,
+            t,
+        });
+        self.touch(t);
+        self.stats.retracts += 1;
+        Ok(id)
+    }
+
+    /// Close *all* open facts for `(entity, attr)` at `t` and assert
+    /// `value` — the paper's invalidate-and-update primitive.
+    ///
+    /// Idempotent: if the sole open value already equals `value`, the
+    /// state is untouched and `changed` is `false`.
+    pub fn replace_at(
+        &mut self,
+        entity: EntityId,
+        attr: impl Into<AttrId>,
+        value: impl Into<Value>,
+        t: Timestamp,
+    ) -> Result<ReplaceOutcome> {
+        let attr = attr.into();
+        let value = value.into();
+        self.replace_with(entity, attr, value, t, Provenance::External)
+    }
+
+    /// [`TemporalStore::replace_at`] with explicit provenance.
+    pub fn replace_with(
+        &mut self,
+        entity: EntityId,
+        attr: AttrId,
+        value: Value,
+        t: Timestamp,
+        provenance: Provenance,
+    ) -> Result<ReplaceOutcome> {
+        let open: Vec<FactId> = self
+            .open_by_ea
+            .get(&(entity, attr)).cloned()
+            .unwrap_or_default();
+        // Idempotent shortcut: single open fact with the same value.
+        if open.len() == 1 {
+            let f = self.arena[open[0].0 as usize].as_ref().expect("open fact live");
+            if f.fact.value == value {
+                return Ok(ReplaceOutcome {
+                    closed: Vec::new(),
+                    fact: open[0],
+                    changed: false,
+                });
+            }
+        }
+        // Validate all closes before mutating anything.
+        for &id in &open {
+            let f = self.arena[id.0 as usize].as_ref().expect("open fact live");
+            if t < f.validity.start {
+                return Err(Error::Store(format!(
+                    "replace at {} precedes open fact start {} for ({entity} {attr})",
+                    t, f.validity.start
+                )));
+            }
+        }
+        for &id in &open {
+            self.close_fact(id, t).expect("validated close");
+        }
+        let fact = self.insert_open(Fact::new(entity, attr, value), t, provenance);
+        self.journal(WalOp::Replace {
+            entity,
+            attr,
+            value,
+            t,
+            provenance,
+        });
+        self.touch(t);
+        self.stats.replaces += 1;
+        Ok(ReplaceOutcome {
+            closed: open,
+            fact,
+            changed: true,
+        })
+    }
+
+    /// Close every open fact about `entity` at `t` (e.g. a visitor
+    /// leaves the building). Returns the closed fact ids.
+    pub fn retract_entity_at(&mut self, entity: EntityId, t: Timestamp) -> Result<Vec<FactId>> {
+        let open: Vec<FactId> = self
+            .open_by_entity
+            .get(&entity)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for &id in &open {
+            let f = self.arena[id.0 as usize].as_ref().expect("open fact live");
+            if t < f.validity.start {
+                return Err(Error::Store(format!(
+                    "entity retract at {} precedes open fact start {}",
+                    t, f.validity.start
+                )));
+            }
+        }
+        for &id in &open {
+            self.close_fact(id, t).expect("validated close");
+        }
+        if !open.is_empty() {
+            self.journal(WalOp::RetractEntity { entity, t });
+            self.touch(t);
+        }
+        self.stats.retracts += open.len() as u64;
+        Ok(open)
+    }
+
+    // ----- reads ------------------------------------------------------------
+
+    /// A stored fact by id (`None` if GC'd).
+    pub fn get(&self, id: FactId) -> Option<&StoredFact> {
+        self.arena.get(id.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// View of the currently valid state.
+    pub fn current(&self) -> CurrentView<'_> {
+        CurrentView { store: self }
+    }
+
+    /// View of the state as it was valid at instant `t`.
+    pub fn as_of(&self, t: Timestamp) -> AsOfView<'_> {
+        AsOfView { store: self, t }
+    }
+
+    /// Full timeline of `(entity, attr)`: `(interval, value, provenance)`
+    /// in validity-start order.
+    pub fn history(
+        &self,
+        entity: EntityId,
+        attr: impl Into<AttrId>,
+    ) -> Vec<(Interval, Value, Provenance)> {
+        let attr = attr.into();
+        let Some(tl) = self.timelines.get(&(entity, attr)) else {
+            return Vec::new();
+        };
+        tl.entries()
+            .iter()
+            .filter_map(|e| self.get(e.id))
+            .map(|f| (f.validity, f.fact.value, f.provenance))
+            .collect()
+    }
+
+    /// Every stored fact whose validity overlaps `[from, to)`.
+    pub fn during(&self, from: Timestamp, to: Timestamp) -> Vec<&StoredFact> {
+        let mut out = Vec::new();
+        for tl in self.timelines.values() {
+            for id in tl.candidates_overlapping(to) {
+                if let Some(f) = self.get(id) {
+                    if f.validity.overlaps_range(from, to) {
+                        out.push(f);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of currently open facts.
+    pub fn open_fact_count(&self) -> usize {
+        self.open_by_entity.values().map(|s| s.len()).sum()
+    }
+
+    /// Number of live (non-GC'd) stored facts, open or closed.
+    pub fn stored_fact_count(&self) -> usize {
+        self.arena.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Monotone revision counter (bumps on each state change).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The latest transition time applied to the store.
+    pub fn last_transition(&self) -> Timestamp {
+        self.last_transition
+    }
+
+    /// Mutation counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Iterate the registered named entities.
+    pub fn named_entities(&self) -> impl Iterator<Item = (Symbol, EntityId)> + '_ {
+        self.entity_names.iter().map(|(n, e)| (*n, *e))
+    }
+
+    /// The attributes with at least one currently open fact, with their
+    /// open-fact counts (deterministic order).
+    pub fn open_attr_counts(&self) -> Vec<(AttrId, usize)> {
+        self.open_by_attr
+            .iter()
+            .map(|(a, ids)| (*a, ids.len()))
+            .collect()
+    }
+
+    // ----- WAL --------------------------------------------------------------
+
+    /// The journal of every mutation since creation (empty if the store
+    /// was built with [`TemporalStore::without_wal`]).
+    pub fn wal(&self) -> &[WalOp] {
+        &self.wal
+    }
+
+    /// A *fork*: an independent store reconstructing this store's state
+    /// as it stood after the last transition at or before `t` — the
+    /// basis for what-if analysis ("replay the afternoon with different
+    /// rules"). Untimed journal entries (declarations, entity
+    /// allocations) are always included; GC passes whose horizon lies
+    /// beyond `t` are skipped. Requires the WAL (empty on stores built
+    /// with [`TemporalStore::without_wal`], which yields an empty fork).
+    pub fn fork_at(&self, t: Timestamp) -> Result<TemporalStore> {
+        let prefix: Vec<WalOp> = self
+            .wal
+            .iter()
+            .filter(|op| match op {
+                WalOp::Assert { t: ot, .. }
+                | WalOp::Retract { t: ot, .. }
+                | WalOp::Replace { t: ot, .. }
+                | WalOp::RetractEntity { t: ot, .. } => *ot <= t,
+                WalOp::Gc { horizon } => *horizon <= t,
+                WalOp::DeclareAttr { .. } | WalOp::NewEntity { .. } => true,
+            })
+            .cloned()
+            .collect();
+        TemporalStore::replay(&prefix)
+    }
+
+    /// Rebuild a store by replaying a journal.
+    pub fn replay(ops: &[WalOp]) -> Result<TemporalStore> {
+        let mut s = TemporalStore::new();
+        for op in ops {
+            s.apply(op)?;
+        }
+        Ok(s)
+    }
+
+    /// Apply a single journal entry.
+    pub fn apply(&mut self, op: &WalOp) -> Result<()> {
+        match *op {
+            WalOp::DeclareAttr { attr, schema } => {
+                self.declare_attr(attr, schema);
+                Ok(())
+            }
+            WalOp::NewEntity { name } => {
+                match name {
+                    Some(n) => {
+                        self.named_entity(n);
+                    }
+                    None => {
+                        self.new_entity();
+                    }
+                }
+                Ok(())
+            }
+            WalOp::Assert {
+                entity,
+                attr,
+                value,
+                t,
+                provenance,
+            } => self.assert_with(entity, attr, value, t, provenance).map(|_| ()),
+            WalOp::Retract {
+                entity,
+                attr,
+                value,
+                t,
+            } => self.retract_at(entity, attr, value, t).map(|_| ()),
+            WalOp::Replace {
+                entity,
+                attr,
+                value,
+                t,
+                provenance,
+            } => self.replace_with(entity, attr, value, t, provenance).map(|_| ()),
+            WalOp::RetractEntity { entity, t } => {
+                self.retract_entity_at(entity, t).map(|_| ())
+            }
+            WalOp::Gc { horizon } => {
+                self.gc(horizon);
+                Ok(())
+            }
+        }
+    }
+
+    // ----- TTL expiry ---------------------------------------------------------
+
+    /// Expire open facts of TTL-declared attributes whose `start + ttl`
+    /// lies at or before `now`: their validity closes at exactly
+    /// `start + ttl`. Returns the expired facts as
+    /// `(entity, attr, value, expired_at)`.
+    ///
+    /// Idempotent per instant; the engine calls this as the watermark
+    /// advances, so expiry is driven by event time like everything
+    /// else.
+    pub fn expire_ttl(&mut self, now: Timestamp) -> Vec<(EntityId, AttrId, Value, Timestamp)> {
+        let ttl_attrs: Vec<(AttrId, fenestra_base::time::Duration)> = self
+            .schema
+            .iter()
+            .filter_map(|(a, s)| s.ttl.map(|ttl| (a, ttl)))
+            .collect();
+        let mut expired = Vec::new();
+        for (attr, ttl) in ttl_attrs {
+            let victims: Vec<(EntityId, Value, Timestamp)> = self
+                .open_by_attr
+                .get(&attr)
+                .map(|ids| {
+                    ids.iter()
+                        .filter_map(|id| self.get(*id))
+                        .filter(|f| f.validity.start.saturating_add(ttl) <= now)
+                        .map(|f| {
+                            (
+                                f.fact.entity,
+                                f.fact.value,
+                                f.validity.start.saturating_add(ttl),
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            for (e, v, at) in victims {
+                // retract_at journals the close like any retraction.
+                if self.retract_at(e, attr, v, at).is_ok() {
+                    expired.push((e, attr, v, at));
+                }
+            }
+        }
+        expired
+    }
+
+    // ----- GC ---------------------------------------------------------------
+
+    /// Reclaim closed facts whose validity ended at or before `horizon`,
+    /// plus all closed facts of attributes declared
+    /// [`AttrSchema::ephemeral`]. Open facts are never reclaimed. Fact
+    /// ids of reclaimed facts become dangling (lookups return `None`).
+    ///
+    /// Returns the number of facts reclaimed.
+    pub fn gc(&mut self, horizon: Timestamp) -> usize {
+        self.journal(WalOp::Gc { horizon });
+        let mut reclaimed = 0;
+        let victims: Vec<FactId> = self
+            .arena
+            .iter()
+            .flatten()
+            .filter(|f| {
+                let Some(end) = f.validity.end else {
+                    return false;
+                };
+                end <= horizon || !self.schema.of(f.fact.attr).keep_history
+            })
+            .map(|f| f.id)
+            .collect();
+        for id in victims {
+            let f = self.arena[id.0 as usize].take().expect("victim live");
+            let key = (f.fact.entity, f.fact.attr);
+            if let Some(tl) = self.timelines.get_mut(&key) {
+                tl.remove(id);
+                if tl.is_empty() {
+                    self.timelines.remove(&key);
+                    // Entity no longer has any record of this attribute.
+                    if let Some(set) = self.attr_entities.get_mut(&f.fact.attr) {
+                        set.remove(&f.fact.entity);
+                        if set.is_empty() {
+                            self.attr_entities.remove(&f.fact.attr);
+                        }
+                    }
+                }
+            }
+            reclaimed += 1;
+        }
+        self.stats.gcs += 1;
+        self.stats.reclaimed += reclaimed as u64;
+        reclaimed
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    fn open_fact_with_value(&self, entity: EntityId, attr: AttrId, value: Value) -> Option<FactId> {
+        let ids = self.open_by_ea.get(&(entity, attr))?;
+        ids.iter()
+            .copied()
+            .find(|id| {
+                self.arena[id.0 as usize]
+                    .as_ref()
+                    .is_some_and(|f| f.fact.value == value)
+            })
+    }
+
+    fn insert_open(&mut self, fact: Fact, t: Timestamp, provenance: Provenance) -> FactId {
+        let id = FactId(self.arena.len() as u64);
+        self.arena.push(Some(StoredFact {
+            id,
+            fact,
+            validity: Interval::open(t),
+            provenance,
+        }));
+        let (e, a, v) = (fact.entity, fact.attr, fact.value);
+        self.open_by_entity.entry(e).or_default().insert(id);
+        self.open_by_attr.entry(a).or_default().insert(id);
+        self.open_by_attr_value.entry((a, v)).or_default().insert(id);
+        self.open_by_ea.entry((e, a)).or_default().push(id);
+        self.timelines.entry((e, a)).or_default().insert(t, id);
+        self.attr_entities.entry(a).or_default().insert(e);
+        if self.next_entity <= e.0 {
+            // Entities referenced without allocation still advance the
+            // allocator so replay/new_entity never collides with them.
+            self.next_entity = e.0 + 1;
+        }
+        id
+    }
+
+    fn close_fact(&mut self, id: FactId, end: Timestamp) -> Result<()> {
+        let f = self.arena[id.0 as usize]
+            .as_mut()
+            .ok_or_else(|| Error::Store(format!("close of reclaimed fact {id}")))?;
+        if !f.validity.close_at(end) {
+            return Err(Error::Store(format!(
+                "cannot close {} at {} (starts {})",
+                id, end, f.validity.start
+            )));
+        }
+        let (e, a, v) = (f.fact.entity, f.fact.attr, f.fact.value);
+        if let Some(s) = self.open_by_entity.get_mut(&e) {
+            s.remove(&id);
+            if s.is_empty() {
+                self.open_by_entity.remove(&e);
+            }
+        }
+        if let Some(s) = self.open_by_attr.get_mut(&a) {
+            s.remove(&id);
+            if s.is_empty() {
+                self.open_by_attr.remove(&a);
+            }
+        }
+        if let Some(s) = self.open_by_attr_value.get_mut(&(a, v)) {
+            s.remove(&id);
+            if s.is_empty() {
+                self.open_by_attr_value.remove(&(a, v));
+            }
+        }
+        if let Some(s) = self.open_by_ea.get_mut(&(e, a)) {
+            s.retain(|x| *x != id);
+            if s.is_empty() {
+                self.open_by_ea.remove(&(e, a));
+            }
+        }
+        let slot = self.max_closed_end.entry((e, a)).or_insert(end);
+        if *slot < end {
+            *slot = end;
+        }
+        Ok(())
+    }
+
+    fn touch(&mut self, t: Timestamp) {
+        self.revision += 1;
+        if t > self.last_transition {
+            self.last_transition = t;
+        }
+    }
+
+    fn journal(&mut self, op: WalOp) {
+        if self.wal_enabled {
+            self.wal.push(op);
+        }
+    }
+
+    /// The declared attribute schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    #[test]
+    fn assert_and_current() {
+        let mut s = TemporalStore::new();
+        let alice = s.named_entity("alice");
+        s.assert_at(alice, "status", "active", ts(10)).unwrap();
+        let cur = s.current();
+        assert_eq!(cur.value(alice, "status"), Some(Value::str("active")));
+        assert_eq!(s.open_fact_count(), 1);
+    }
+
+    #[test]
+    fn assert_is_idempotent_for_identical_open_fact() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        let a = s.assert_at(e, "tag", "x", ts(1)).unwrap();
+        let b = s.assert_at(e, "tag", "x", ts(5)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.stored_fact_count(), 1);
+    }
+
+    #[test]
+    fn cardinality_one_rejects_conflicting_assert() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.new_entity();
+        s.assert_at(v, "room", "lobby", ts(1)).unwrap();
+        let err = s.assert_at(v, "room", "hall", ts(5)).unwrap_err();
+        assert!(matches!(err, Error::Store(_)));
+        // Same value is fine (idempotent).
+        s.assert_at(v, "room", "lobby", ts(5)).unwrap();
+    }
+
+    #[test]
+    fn cardinality_many_allows_multiple_values() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        s.assert_at(e, "tag", "a", ts(1)).unwrap();
+        s.assert_at(e, "tag", "b", ts(2)).unwrap();
+        let mut vals = s.current().values(e, "tag");
+        vals.sort();
+        assert_eq!(vals, vec![Value::str("a"), Value::str("b")]);
+    }
+
+    #[test]
+    fn replace_closes_previous_value() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.new_entity();
+        s.replace_at(v, "room", "lobby", ts(1)).unwrap();
+        let out = s.replace_at(v, "room", "hall", ts(5)).unwrap();
+        assert!(out.changed);
+        assert_eq!(out.closed.len(), 1);
+        assert_eq!(s.current().value(v, "room"), Some(Value::str("hall")));
+        // History shows both, first closed at 5.
+        let h = s.history(v, "room");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].0, Interval::closed(ts(1), ts(5)));
+        assert_eq!(h[0].1, Value::str("lobby"));
+        assert!(h[1].0.is_open());
+    }
+
+    #[test]
+    fn replace_same_value_is_noop() {
+        let mut s = TemporalStore::new();
+        let v = s.new_entity();
+        s.replace_at(v, "room", "lobby", ts(1)).unwrap();
+        let out = s.replace_at(v, "room", "lobby", ts(9)).unwrap();
+        assert!(!out.changed);
+        assert!(out.closed.is_empty());
+        assert_eq!(s.history(v, "room").len(), 1, "no new interval started");
+    }
+
+    #[test]
+    fn retract_closes_interval_and_errors_on_absent() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        s.assert_at(e, "status", "active", ts(1)).unwrap();
+        s.retract_at(e, "status", "active", ts(7)).unwrap();
+        assert_eq!(s.current().value(e, "status"), None);
+        assert_eq!(s.open_fact_count(), 0);
+        let err = s.retract_at(e, "status", "active", ts(8)).unwrap_err();
+        assert!(matches!(err, Error::Store(_)));
+    }
+
+    #[test]
+    fn close_before_start_rejected() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        s.assert_at(e, "x", 1i64, ts(10)).unwrap();
+        let err = s.retract_at(e, "x", 1i64, ts(5)).unwrap_err();
+        assert!(matches!(err, Error::Store(_)));
+        // Still open.
+        assert_eq!(s.current().value(e, "x"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn retroactive_overlap_rejected_for_cardinality_one() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.new_entity();
+        s.replace_at(v, "room", "a", ts(10)).unwrap();
+        s.replace_at(v, "room", "b", ts(20)).unwrap();
+        s.retract_at(v, "room", "b", ts(30)).unwrap();
+        // Asserting into [10,30) history would create overlap.
+        let err = s.assert_at(v, "room", "c", ts(25)).unwrap_err();
+        assert!(matches!(err, Error::Store(_)));
+        // After the history's end it's fine.
+        s.assert_at(v, "room", "c", ts(30)).unwrap();
+    }
+
+    #[test]
+    fn as_of_reads_past_state() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.named_entity("visitor1");
+        s.replace_at(v, "room", "lobby", ts(10)).unwrap();
+        s.replace_at(v, "room", "lab", ts(20)).unwrap();
+        s.replace_at(v, "room", "exit", ts(30)).unwrap();
+        assert_eq!(s.as_of(ts(5)).value(v, "room"), None);
+        assert_eq!(s.as_of(ts(10)).value(v, "room"), Some(Value::str("lobby")));
+        assert_eq!(s.as_of(ts(19)).value(v, "room"), Some(Value::str("lobby")));
+        assert_eq!(s.as_of(ts(20)).value(v, "room"), Some(Value::str("lab")));
+        assert_eq!(s.as_of(ts(99)).value(v, "room"), Some(Value::str("exit")));
+        assert_eq!(s.current().value(v, "room"), Some(Value::str("exit")));
+    }
+
+    #[test]
+    fn retract_entity_closes_everything() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        s.assert_at(e, "a", 1i64, ts(1)).unwrap();
+        s.assert_at(e, "b", 2i64, ts(2)).unwrap();
+        let closed = s.retract_entity_at(e, ts(9)).unwrap();
+        assert_eq!(closed.len(), 2);
+        assert_eq!(s.open_fact_count(), 0);
+        assert_eq!(s.as_of(ts(5)).value(e, "a"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn during_finds_overlapping_facts() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        s.assert_at(e, "x", 1i64, ts(0)).unwrap();
+        s.retract_at(e, "x", 1i64, ts(10)).unwrap();
+        s.assert_at(e, "x", 2i64, ts(10)).unwrap();
+        s.retract_at(e, "x", 2i64, ts(20)).unwrap();
+        s.assert_at(e, "x", 3i64, ts(20)).unwrap();
+        let vals: Vec<Value> = s
+            .during(ts(5), ts(15))
+            .iter()
+            .map(|f| f.fact.value)
+            .collect();
+        assert_eq!(vals.len(), 2);
+        assert!(vals.contains(&Value::Int(1)) && vals.contains(&Value::Int(2)));
+        let all = s.during(ts(0), ts(100));
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn wal_replay_reproduces_store() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.named_entity("v");
+        s.replace_at(v, "room", "a", ts(1)).unwrap();
+        s.replace_at(v, "room", "b", ts(5)).unwrap();
+        s.assert_at(v, "badge", 7i64, ts(6)).unwrap();
+        s.retract_at(v, "badge", 7i64, ts(8)).unwrap();
+
+        let r = TemporalStore::replay(s.wal()).unwrap();
+        assert_eq!(r.open_fact_count(), s.open_fact_count());
+        assert_eq!(r.stored_fact_count(), s.stored_fact_count());
+        assert_eq!(r.current().value(v, "room"), Some(Value::str("b")));
+        assert_eq!(r.history(v, "room"), s.history(v, "room"));
+        assert_eq!(r.lookup_entity("v"), Some(v));
+    }
+
+    #[test]
+    fn gc_reclaims_closed_history() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        s.replace_at(e, "room", "a", ts(1)).unwrap();
+        s.replace_at(e, "room", "b", ts(5)).unwrap();
+        s.replace_at(e, "room", "c", ts(9)).unwrap();
+        assert_eq!(s.stored_fact_count(), 3);
+        let n = s.gc(ts(6));
+        assert_eq!(n, 1, "only [1,5) ended by the t6 horizon");
+        assert_eq!(s.stored_fact_count(), 2);
+        // Current state unaffected; as-of before the horizon now empty.
+        assert_eq!(s.current().value(e, "room"), Some(Value::str("c")));
+        assert_eq!(s.as_of(ts(2)).value(e, "room"), None);
+        assert_eq!(s.as_of(ts(6)).value(e, "room"), Some(Value::str("b")));
+        assert_eq!(s.history(e, "room").len(), 2);
+        // A later horizon reclaims the rest of the closed history.
+        assert_eq!(s.gc(ts(100)), 1);
+        assert_eq!(s.stored_fact_count(), 1);
+    }
+
+    #[test]
+    fn gc_ephemeral_attrs_reclaims_regardless_of_horizon() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("ping", AttrSchema::many().ephemeral());
+        let e = s.new_entity();
+        s.assert_at(e, "ping", 1i64, ts(1)).unwrap();
+        s.retract_at(e, "ping", 1i64, ts(100)).unwrap();
+        let n = s.gc(ts(0));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn revision_and_last_transition_advance() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        assert_eq!(s.revision(), 0);
+        s.assert_at(e, "x", 1i64, ts(5)).unwrap();
+        let r1 = s.revision();
+        assert!(r1 > 0);
+        assert_eq!(s.last_transition(), ts(5));
+        s.retract_at(e, "x", 1i64, ts(9)).unwrap();
+        assert!(s.revision() > r1);
+        assert_eq!(s.last_transition(), ts(9));
+    }
+
+    #[test]
+    fn named_entities_are_stable() {
+        let mut s = TemporalStore::new();
+        let a1 = s.named_entity("alice");
+        let a2 = s.named_entity("alice");
+        assert_eq!(a1, a2);
+        assert_eq!(s.entity_name(a1), Some(Symbol::intern("alice")));
+        assert_eq!(s.lookup_entity("bob"), None);
+        let b = s.named_entity("bob");
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn external_entity_ids_advance_allocator() {
+        let mut s = TemporalStore::new();
+        s.assert_at(EntityId(100), "x", 1i64, ts(1)).unwrap();
+        let e = s.new_entity();
+        assert!(e.0 > 100, "allocator must skip externally used ids");
+    }
+}
+
+#[cfg(test)]
+mod ttl_tests {
+    use super::*;
+    use fenestra_base::time::Duration;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    #[test]
+    fn ttl_expires_open_facts_at_exact_instant() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("status", AttrSchema::one().with_ttl(Duration::millis(30)));
+        let u = s.named_entity("u");
+        s.replace_at(u, "status", "active", ts(10)).unwrap();
+        assert!(s.expire_ttl(ts(39)).is_empty(), "not yet");
+        let expired = s.expire_ttl(ts(40));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].3, ts(40), "closes at start + ttl, not at now");
+        assert_eq!(s.current().value(u, "status"), None);
+        // Validity interval ends exactly at start + ttl.
+        let h = s.history(u, "status");
+        assert_eq!(h[0].0, Interval::closed(ts(10), ts(40)));
+        // Idempotent.
+        assert!(s.expire_ttl(ts(100)).is_empty());
+    }
+
+    #[test]
+    fn refresh_via_replace_restarts_the_clock() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("status", AttrSchema::one().with_ttl(Duration::millis(30)));
+        let u = s.named_entity("u");
+        s.replace_at(u, "status", "active", ts(10)).unwrap();
+        // A refresh at t25 must restart the TTL window: close + reopen.
+        s.retract_at(u, "status", "active", ts(25)).unwrap();
+        s.replace_at(u, "status", "active", ts(25)).unwrap();
+        assert!(s.expire_ttl(ts(40)).is_empty(), "refreshed at 25, expires at 55");
+        let expired = s.expire_ttl(ts(55));
+        assert_eq!(expired.len(), 1);
+    }
+
+    #[test]
+    fn ttl_survives_wal_replay() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("ping", AttrSchema::many().with_ttl(Duration::millis(5)));
+        let u = s.named_entity("u");
+        s.assert_at(u, "ping", 1i64, ts(1)).unwrap();
+        s.expire_ttl(ts(10));
+        let r = TemporalStore::replay(s.wal()).unwrap();
+        assert_eq!(r.open_fact_count(), 0, "expiry retraction replayed");
+        assert_eq!(
+            r.schema().of(fenestra_base::symbol::Symbol::intern("ping")).ttl,
+            Some(Duration::millis(5))
+        );
+    }
+
+    #[test]
+    fn non_ttl_attrs_untouched() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let u = s.named_entity("u");
+        s.replace_at(u, "room", "lobby", ts(1)).unwrap();
+        assert!(s.expire_ttl(ts(1_000_000)).is_empty());
+        assert!(s.current().value(u, "room").is_some());
+    }
+}
+
+#[cfg(test)]
+mod fork_tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    #[test]
+    fn fork_reconstructs_past_and_diverges_independently() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.named_entity("v");
+        s.replace_at(v, "room", "a", ts(10)).unwrap();
+        s.replace_at(v, "room", "b", ts(20)).unwrap();
+        s.replace_at(v, "room", "c", ts(30)).unwrap();
+
+        let mut fork = s.fork_at(ts(25)).unwrap();
+        let fv = fork.lookup_entity("v").unwrap();
+        assert_eq!(fork.current().value(fv, "room"), Some(Value::str("b")));
+        assert_eq!(fork.history(fv, "room").len(), 2);
+
+        // The fork diverges without touching the original.
+        fork.replace_at(fv, "room", "z", ts(26)).unwrap();
+        assert_eq!(fork.current().value(fv, "room"), Some(Value::str("z")));
+        assert_eq!(s.current().value(v, "room"), Some(Value::str("c")));
+
+        // Fork at (or before) time zero is empty of facts but keeps the
+        // schema and directory prefix.
+        let empty = s.fork_at(ts(5)).unwrap();
+        assert_eq!(empty.open_fact_count(), 0);
+        assert!(empty.lookup_entity("v").is_some());
+    }
+
+    #[test]
+    fn fork_matches_as_of_for_every_instant() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.named_entity("v");
+        for i in 1..=10u64 {
+            s.replace_at(v, "room", format!("r{i}").as_str(), ts(i * 10)).unwrap();
+        }
+        for probe in (0..=110u64).step_by(7) {
+            let fork = s.fork_at(ts(probe)).unwrap();
+            let fv = fork.lookup_entity("v").unwrap();
+            assert_eq!(
+                fork.current().value(fv, "room"),
+                s.as_of(ts(probe)).value(v, "room"),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_skips_future_gc() {
+        let mut s = TemporalStore::new();
+        let v = s.new_entity();
+        s.replace_at(v, "x", 1i64, ts(10)).unwrap();
+        s.replace_at(v, "x", 2i64, ts(20)).unwrap();
+        s.gc(ts(100)); // reclaims the closed [10,20) fact
+        let fork = s.fork_at(ts(15)).unwrap();
+        assert_eq!(
+            fork.history(v, "x").len(),
+            1,
+            "fork at 15 predates the GC and sees the then-open fact"
+        );
+        assert_eq!(fork.current().value(v, "x"), Some(Value::Int(1)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-`(entity, attribute)` timelines.
+//!
+//! A timeline records, in validity-start order, every fact ever
+//! asserted for one `(entity, attribute)` pair. As-of lookups binary
+//! search the start positions and then scan the (usually tiny) run of
+//! candidates whose intervals could contain the probe instant.
+
+use crate::fact::FactId;
+use fenestra_base::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// One timeline entry: where a fact's validity starts, and which fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Validity start of the fact.
+    pub start: Timestamp,
+    /// The fact in the store arena.
+    pub id: FactId,
+}
+
+/// Ordered record of all facts for one `(entity, attribute)` pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Entries sorted by `start` (ties broken by insertion order).
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Number of facts ever recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the timeline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a fact starting at `start`, keeping start order. Most
+    /// insertions are appends (the engine feeds the store in event-time
+    /// order), so we check the tail first.
+    pub fn insert(&mut self, start: Timestamp, id: FactId) {
+        let entry = TimelineEntry { start, id };
+        match self.entries.last() {
+            Some(last) if last.start <= start => self.entries.push(entry),
+            _ => {
+                // Out-of-order insert: place after all entries with
+                // start <= new start to preserve insertion order among
+                // equal starts.
+                let pos = self.entries.partition_point(|e| e.start <= start);
+                self.entries.insert(pos, entry);
+            }
+        }
+    }
+
+    /// Remove an entry by fact id (used by GC). Returns whether it was
+    /// present.
+    pub fn remove(&mut self, id: FactId) -> bool {
+        match self.entries.iter().position(|e| e.id == id) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All entries, in start order.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Iterate the fact ids whose validity *could* contain `t`: all
+    /// entries with `start <= t`, newest first. The caller still
+    /// checks `validity.contains(t)` against the arena (intervals may
+    /// have closed before `t`). Newest-first means cardinality-one
+    /// lookups usually test a single fact.
+    pub fn candidates_at(&self, t: Timestamp) -> impl Iterator<Item = FactId> + '_ {
+        let end = self.entries.partition_point(|e| e.start <= t);
+        self.entries[..end].iter().rev().map(|e| e.id)
+    }
+
+    /// Iterate fact ids whose start lies in `[from, to)` plus all that
+    /// started before `from` (and so could overlap the range).
+    pub fn candidates_overlapping(
+        &self,
+        to: Timestamp,
+    ) -> impl Iterator<Item = FactId> + '_ {
+        let end = self.entries.partition_point(|e| e.start < to);
+        self.entries[..end].iter().map(|e| e.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    #[test]
+    fn append_in_order() {
+        let mut tl = Timeline::new();
+        tl.insert(ts(1), FactId(0));
+        tl.insert(ts(5), FactId(1));
+        tl.insert(ts(5), FactId(2));
+        tl.insert(ts(9), FactId(3));
+        let ids: Vec<u64> = tl.entries().iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_order_insert_keeps_sorted() {
+        let mut tl = Timeline::new();
+        tl.insert(ts(10), FactId(0));
+        tl.insert(ts(5), FactId(1));
+        tl.insert(ts(7), FactId(2));
+        let starts: Vec<u64> = tl.entries().iter().map(|e| e.start.0).collect();
+        assert_eq!(starts, vec![5, 7, 10]);
+    }
+
+    #[test]
+    fn candidates_at_is_newest_first_and_bounded() {
+        let mut tl = Timeline::new();
+        tl.insert(ts(1), FactId(0));
+        tl.insert(ts(5), FactId(1));
+        tl.insert(ts(9), FactId(2));
+        let c: Vec<u64> = tl.candidates_at(ts(6)).map(|f| f.0).collect();
+        assert_eq!(c, vec![1, 0], "newest first, excludes starts after t");
+        let c: Vec<u64> = tl.candidates_at(ts(0)).map(|f| f.0).collect();
+        assert!(c.is_empty());
+        let c: Vec<u64> = tl.candidates_at(ts(9)).map(|f| f.0).collect();
+        assert_eq!(c, vec![2, 1, 0], "start == t is included");
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut tl = Timeline::new();
+        tl.insert(ts(1), FactId(7));
+        assert!(tl.remove(FactId(7)));
+        assert!(!tl.remove(FactId(7)));
+        assert!(tl.is_empty());
+    }
+
+    #[test]
+    fn candidates_overlapping_excludes_later_starts() {
+        let mut tl = Timeline::new();
+        tl.insert(ts(1), FactId(0));
+        tl.insert(ts(5), FactId(1));
+        tl.insert(ts(9), FactId(2));
+        let c: Vec<u64> = tl.candidates_overlapping(ts(9)).map(|f| f.0).collect();
+        assert_eq!(c, vec![0, 1], "start >= `to` cannot overlap [from, to)");
+    }
+}

@@ -1,0 +1,490 @@
+//! Write-ahead journal of store mutations.
+//!
+//! Every mutating call on [`crate::TemporalStore`] appends a [`WalOp`].
+//! Replaying the journal reconstructs the store byte-for-byte (see
+//! `TemporalStore::replay`), which backs both durability and the
+//! replay-based baseline of experiment E4.
+//!
+//! [`WalCodec`] provides a compact length-prefixed binary encoding
+//! (via `bytes`) suitable for appending to a log file.
+
+use crate::fact::{AttrId, Provenance};
+use crate::schema::{AttrSchema, Cardinality};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fenestra_base::error::{Error, Result};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::{EntityId, Value};
+use serde::{Deserialize, Serialize};
+
+/// One journaled mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WalOp {
+    /// Attribute declaration.
+    DeclareAttr {
+        /// Attribute name.
+        attr: AttrId,
+        /// Declared schema.
+        schema: AttrSchema,
+    },
+    /// Entity allocation (named or anonymous) — recorded so replay
+    /// allocates identical ids.
+    NewEntity {
+        /// Registered name, if any.
+        name: Option<Symbol>,
+    },
+    /// Fact assertion.
+    Assert {
+        /// Entity.
+        entity: EntityId,
+        /// Attribute.
+        attr: AttrId,
+        /// Value.
+        value: Value,
+        /// Validity start.
+        t: Timestamp,
+        /// Who asserted.
+        provenance: Provenance,
+    },
+    /// Fact retraction (interval close).
+    Retract {
+        /// Entity.
+        entity: EntityId,
+        /// Attribute.
+        attr: AttrId,
+        /// Value.
+        value: Value,
+        /// Validity end.
+        t: Timestamp,
+    },
+    /// Invalidate-and-update.
+    Replace {
+        /// Entity.
+        entity: EntityId,
+        /// Attribute.
+        attr: AttrId,
+        /// New value.
+        value: Value,
+        /// Transition time.
+        t: Timestamp,
+        /// Who replaced.
+        provenance: Provenance,
+    },
+    /// Close all open facts of an entity.
+    RetractEntity {
+        /// Entity.
+        entity: EntityId,
+        /// Transition time.
+        t: Timestamp,
+    },
+    /// Garbage collection pass: closed facts ending at or before the
+    /// horizon were reclaimed. Journaled so a snapshot of a GC'd store
+    /// does not resurrect reclaimed history on load.
+    Gc {
+        /// The reclamation horizon.
+        horizon: Timestamp,
+    },
+}
+
+/// Binary encoder/decoder for WAL streams.
+pub struct WalCodec;
+
+const TAG_DECLARE: u8 = 1;
+const TAG_NEW_ENTITY: u8 = 2;
+const TAG_ASSERT: u8 = 3;
+const TAG_RETRACT: u8 = 4;
+const TAG_REPLACE: u8 = 5;
+const TAG_RETRACT_ENTITY: u8 = 6;
+const TAG_GC: u8 = 7;
+
+const VTAG_NULL: u8 = 0;
+const VTAG_BOOL: u8 = 1;
+const VTAG_INT: u8 = 2;
+const VTAG_FLOAT: u8 = 3;
+const VTAG_STR: u8 = 4;
+const VTAG_ID: u8 = 5;
+const VTAG_TIME: u8 = 6;
+
+impl WalCodec {
+    /// Encode a sequence of ops into one buffer.
+    pub fn encode(ops: &[WalOp]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(ops.len() * 32);
+        for op in ops {
+            Self::encode_op(op, &mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Append one op to `buf`.
+    pub fn encode_op(op: &WalOp, buf: &mut BytesMut) {
+        match op {
+            WalOp::DeclareAttr { attr, schema } => {
+                buf.put_u8(TAG_DECLARE);
+                put_sym(buf, *attr);
+                buf.put_u8(match schema.cardinality {
+                    Cardinality::One => 1,
+                    Cardinality::Many => 2,
+                });
+                buf.put_u8(schema.keep_history as u8);
+                // u64::MAX encodes "no TTL".
+                buf.put_u64(schema.ttl.map(|d| d.as_millis()).unwrap_or(u64::MAX));
+            }
+            WalOp::NewEntity { name } => {
+                buf.put_u8(TAG_NEW_ENTITY);
+                match name {
+                    Some(n) => {
+                        buf.put_u8(1);
+                        put_sym(buf, *n);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            WalOp::Assert {
+                entity,
+                attr,
+                value,
+                t,
+                provenance,
+            } => {
+                buf.put_u8(TAG_ASSERT);
+                buf.put_u64(entity.0);
+                put_sym(buf, *attr);
+                put_value(buf, *value);
+                buf.put_u64(t.0);
+                put_prov(buf, *provenance);
+            }
+            WalOp::Retract {
+                entity,
+                attr,
+                value,
+                t,
+            } => {
+                buf.put_u8(TAG_RETRACT);
+                buf.put_u64(entity.0);
+                put_sym(buf, *attr);
+                put_value(buf, *value);
+                buf.put_u64(t.0);
+            }
+            WalOp::Replace {
+                entity,
+                attr,
+                value,
+                t,
+                provenance,
+            } => {
+                buf.put_u8(TAG_REPLACE);
+                buf.put_u64(entity.0);
+                put_sym(buf, *attr);
+                put_value(buf, *value);
+                buf.put_u64(t.0);
+                put_prov(buf, *provenance);
+            }
+            WalOp::RetractEntity { entity, t } => {
+                buf.put_u8(TAG_RETRACT_ENTITY);
+                buf.put_u64(entity.0);
+                buf.put_u64(t.0);
+            }
+            WalOp::Gc { horizon } => {
+                buf.put_u8(TAG_GC);
+                buf.put_u64(horizon.0);
+            }
+        }
+    }
+
+    /// Decode every op from a buffer produced by [`WalCodec::encode`].
+    pub fn decode(mut data: &[u8]) -> Result<Vec<WalOp>> {
+        let mut out = Vec::new();
+        while data.has_remaining() {
+            out.push(Self::decode_op(&mut data)?);
+        }
+        Ok(out)
+    }
+
+    fn decode_op(buf: &mut &[u8]) -> Result<WalOp> {
+        let tag = get_u8(buf)?;
+        Ok(match tag {
+            TAG_DECLARE => {
+                let attr = get_sym(buf)?;
+                let card = match get_u8(buf)? {
+                    1 => Cardinality::One,
+                    2 => Cardinality::Many,
+                    x => return Err(Error::Corrupt(format!("bad cardinality tag {x}"))),
+                };
+                let keep_history = get_u8(buf)? != 0;
+                let ttl_raw = get_u64(buf)?;
+                let ttl = if ttl_raw == u64::MAX {
+                    None
+                } else {
+                    Some(fenestra_base::time::Duration::millis(ttl_raw))
+                };
+                WalOp::DeclareAttr {
+                    attr,
+                    schema: AttrSchema {
+                        cardinality: card,
+                        keep_history,
+                        ttl,
+                    },
+                }
+            }
+            TAG_NEW_ENTITY => {
+                let name = if get_u8(buf)? == 1 {
+                    Some(get_sym(buf)?)
+                } else {
+                    None
+                };
+                WalOp::NewEntity { name }
+            }
+            TAG_ASSERT => WalOp::Assert {
+                entity: EntityId(get_u64(buf)?),
+                attr: get_sym(buf)?,
+                value: get_value(buf)?,
+                t: Timestamp(get_u64(buf)?),
+                provenance: get_prov(buf)?,
+            },
+            TAG_RETRACT => WalOp::Retract {
+                entity: EntityId(get_u64(buf)?),
+                attr: get_sym(buf)?,
+                value: get_value(buf)?,
+                t: Timestamp(get_u64(buf)?),
+            },
+            TAG_REPLACE => WalOp::Replace {
+                entity: EntityId(get_u64(buf)?),
+                attr: get_sym(buf)?,
+                value: get_value(buf)?,
+                t: Timestamp(get_u64(buf)?),
+                provenance: get_prov(buf)?,
+            },
+            TAG_RETRACT_ENTITY => WalOp::RetractEntity {
+                entity: EntityId(get_u64(buf)?),
+                t: Timestamp(get_u64(buf)?),
+            },
+            TAG_GC => WalOp::Gc {
+                horizon: Timestamp(get_u64(buf)?),
+            },
+            x => return Err(Error::Corrupt(format!("unknown WAL op tag {x}"))),
+        })
+    }
+}
+
+fn put_sym(buf: &mut BytesMut, s: Symbol) {
+    let bytes = s.as_str().as_bytes();
+    buf.put_u32(bytes.len() as u32);
+    buf.put_slice(bytes);
+}
+
+fn put_value(buf: &mut BytesMut, v: Value) {
+    match v {
+        Value::Null => buf.put_u8(VTAG_NULL),
+        Value::Bool(b) => {
+            buf.put_u8(VTAG_BOOL);
+            buf.put_u8(b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(VTAG_INT);
+            buf.put_i64(i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(VTAG_FLOAT);
+            buf.put_f64(f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(VTAG_STR);
+            put_sym(buf, s);
+        }
+        Value::Id(e) => {
+            buf.put_u8(VTAG_ID);
+            buf.put_u64(e.0);
+        }
+        Value::Time(t) => {
+            buf.put_u8(VTAG_TIME);
+            buf.put_u64(t.0);
+        }
+    }
+}
+
+fn put_prov(buf: &mut BytesMut, p: Provenance) {
+    match p {
+        Provenance::External => buf.put_u8(0),
+        Provenance::Rule(r) => {
+            buf.put_u8(1);
+            put_sym(buf, r);
+        }
+        Provenance::Derived(r) => {
+            buf.put_u8(2);
+            put_sym(buf, r);
+        }
+    }
+}
+
+fn get_prov(buf: &mut &[u8]) -> Result<Provenance> {
+    Ok(match get_u8(buf)? {
+        0 => Provenance::External,
+        1 => Provenance::Rule(get_sym(buf)?),
+        2 => Provenance::Derived(get_sym(buf)?),
+        x => return Err(Error::Corrupt(format!("unknown provenance tag {x}"))),
+    })
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    if !buf.has_remaining() {
+        return Err(Error::Corrupt("truncated WAL (u8)".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(Error::Corrupt("truncated WAL (u64)".into()));
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_sym(buf: &mut &[u8]) -> Result<Symbol> {
+    if buf.remaining() < 4 {
+        return Err(Error::Corrupt("truncated WAL (sym len)".into()));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(Error::Corrupt("truncated WAL (sym body)".into()));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| Error::Corrupt("non-utf8 symbol in WAL".into()))?;
+    let sym = Symbol::intern(s);
+    buf.advance(len);
+    Ok(sym)
+}
+
+fn get_value(buf: &mut &[u8]) -> Result<Value> {
+    Ok(match get_u8(buf)? {
+        VTAG_NULL => Value::Null,
+        VTAG_BOOL => Value::Bool(get_u8(buf)? != 0),
+        VTAG_INT => {
+            if buf.remaining() < 8 {
+                return Err(Error::Corrupt("truncated WAL (int)".into()));
+            }
+            Value::Int(buf.get_i64())
+        }
+        VTAG_FLOAT => {
+            if buf.remaining() < 8 {
+                return Err(Error::Corrupt("truncated WAL (float)".into()));
+            }
+            Value::Float(buf.get_f64())
+        }
+        VTAG_STR => Value::Str(get_sym(buf)?),
+        VTAG_ID => Value::Id(EntityId(get_u64(buf)?)),
+        VTAG_TIME => Value::Time(Timestamp(get_u64(buf)?)),
+        x => return Err(Error::Corrupt(format!("unknown value tag {x}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::DeclareAttr {
+                attr: Symbol::intern("room"),
+                schema: AttrSchema::one(),
+            },
+            WalOp::NewEntity {
+                name: Some(Symbol::intern("alice")),
+            },
+            WalOp::NewEntity { name: None },
+            WalOp::Assert {
+                entity: EntityId(0),
+                attr: Symbol::intern("room"),
+                value: Value::str("lobby"),
+                t: Timestamp(10),
+                provenance: Provenance::External,
+            },
+            WalOp::Replace {
+                entity: EntityId(0),
+                attr: Symbol::intern("room"),
+                value: Value::str("lab"),
+                t: Timestamp(20),
+                provenance: Provenance::Rule(Symbol::intern("move")),
+            },
+            WalOp::Retract {
+                entity: EntityId(0),
+                attr: Symbol::intern("room"),
+                value: Value::str("lab"),
+                t: Timestamp(30),
+            },
+            WalOp::RetractEntity {
+                entity: EntityId(0),
+                t: Timestamp(40),
+            },
+            WalOp::Gc {
+                horizon: Timestamp(35),
+            },
+            WalOp::Assert {
+                entity: EntityId(1),
+                attr: Symbol::intern("score"),
+                value: Value::Float(1.5),
+                t: Timestamp(11),
+                provenance: Provenance::Derived(Symbol::intern("subclass")),
+            },
+            WalOp::Assert {
+                entity: EntityId(1),
+                attr: Symbol::intern("flag"),
+                value: Value::Bool(true),
+                t: Timestamp(12),
+                provenance: Provenance::External,
+            },
+            WalOp::Assert {
+                entity: EntityId(1),
+                attr: Symbol::intern("ref"),
+                value: Value::Id(EntityId(0)),
+                t: Timestamp(13),
+                provenance: Provenance::External,
+            },
+            WalOp::Assert {
+                entity: EntityId(1),
+                attr: Symbol::intern("when"),
+                value: Value::Time(Timestamp(99)),
+                t: Timestamp(14),
+                provenance: Provenance::External,
+            },
+            WalOp::Assert {
+                entity: EntityId(1),
+                attr: Symbol::intern("nul"),
+                value: Value::Null,
+                t: Timestamp(15),
+                provenance: Provenance::External,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ops = sample_ops();
+        let bytes = WalCodec::encode(&ops);
+        let back = WalCodec::decode(&bytes).unwrap();
+        assert_eq!(ops, back);
+    }
+
+    #[test]
+    fn truncated_input_is_corrupt_not_panic() {
+        let ops = sample_ops();
+        let bytes = WalCodec::encode(&ops);
+        for cut in [1usize, 3, 7, bytes.len() - 1] {
+            let err = WalCodec::decode(&bytes[..cut]);
+            assert!(
+                matches!(err, Err(Error::Corrupt(_))),
+                "cut at {cut} must yield Corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let err = WalCodec::decode(&[0xFF]);
+        assert!(matches!(err, Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_input_is_empty_log() {
+        assert_eq!(WalCodec::decode(&[]).unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,196 @@
+//! Building-security workload: visitors random-walk rooms; each sensor
+//! event gives a visitor's *new* room and invalidates the previous one.
+//!
+//! The oracle is each visitor's position timeline, so systems can be
+//! scored for contradictions: a fixed time window that contains two
+//! moves of the same visitor "would lead to the erroneous conclusion
+//! that the visitor is simultaneously in multiple rooms" (paper §1).
+
+use fenestra_base::record::Event;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the building generator.
+#[derive(Debug, Clone)]
+pub struct BuildingConfig {
+    /// Number of visitors.
+    pub visitors: usize,
+    /// Number of rooms.
+    pub rooms: usize,
+    /// Mean dwell time in a room before moving (ms).
+    pub mean_dwell_ms: u64,
+    /// Total duration of the trace (ms).
+    pub duration_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BuildingConfig {
+    fn default() -> Self {
+        BuildingConfig {
+            visitors: 20,
+            rooms: 10,
+            mean_dwell_ms: 60_000,
+            duration_ms: 3_600_000,
+            seed: 7,
+        }
+    }
+}
+
+/// One position interval in the ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleStay {
+    /// Visitor name (`v<i>`).
+    pub visitor: String,
+    /// Room name (`room<i>`).
+    pub room: String,
+    /// Entry time.
+    pub from: Timestamp,
+    /// Exit time (`None` = still there at trace end).
+    pub until: Option<Timestamp>,
+}
+
+/// Generated workload: sensor events plus the position ground truth.
+#[derive(Debug, Clone)]
+pub struct BuildingWorkload {
+    /// Events on stream `sensors`, sorted by timestamp; fields
+    /// `visitor`, `room`.
+    pub events: Vec<Event>,
+    /// Ground-truth stays, sorted by `from`.
+    pub stays: Vec<OracleStay>,
+    /// Trace duration.
+    pub duration: Timestamp,
+}
+
+impl BuildingWorkload {
+    /// Generate a workload.
+    pub fn generate(cfg: &BuildingConfig) -> BuildingWorkload {
+        assert!(cfg.visitors > 0 && cfg.rooms > 1 && cfg.mean_dwell_ms > 0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut events = Vec::new();
+        let mut stays = Vec::new();
+        for v in 0..cfg.visitors {
+            let visitor = format!("v{v}");
+            // Stagger arrivals through the first quarter of the trace.
+            let mut t = rng.gen_range(0..=cfg.duration_ms / 4);
+            let mut room = rng.gen_range(0..cfg.rooms);
+            loop {
+                if t >= cfg.duration_ms {
+                    break;
+                }
+                let room_name = format!("room{room}");
+                events.push(Event::from_pairs(
+                    "sensors",
+                    t,
+                    [
+                        ("visitor", Value::str(&visitor)),
+                        ("room", Value::str(&room_name)),
+                    ],
+                ));
+                let dwell = 1 + rng.gen_range(0..=cfg.mean_dwell_ms * 2);
+                let leave_at = t + dwell;
+                stays.push(OracleStay {
+                    visitor: visitor.clone(),
+                    room: room_name,
+                    from: Timestamp::new(t),
+                    until: if leave_at < cfg.duration_ms {
+                        Some(Timestamp::new(leave_at))
+                    } else {
+                        None
+                    },
+                });
+                t = leave_at;
+                // Move to a different room.
+                let next = rng.gen_range(0..cfg.rooms - 1);
+                room = if next >= room { next + 1 } else { next };
+            }
+        }
+        events.sort_by_key(|e| e.ts);
+        stays.sort_by_key(|s| s.from);
+        BuildingWorkload {
+            events,
+            stays,
+            duration: Timestamp::new(cfg.duration_ms),
+        }
+    }
+
+    /// The true room of `visitor` at instant `t` (oracle).
+    pub fn true_room_at(&self, visitor: &str, t: Timestamp) -> Option<&str> {
+        self.stays
+            .iter()
+            .find(|s| {
+                s.visitor == visitor && s.from <= t && s.until.is_none_or(|u| t < u)
+            })
+            .map(|s| s.room.as_str())
+    }
+
+    /// Number of moves (sensor events) per visitor, averaged.
+    pub fn mean_moves_per_visitor(&self) -> f64 {
+        let visitors: std::collections::HashSet<&str> = self
+            .stays
+            .iter()
+            .map(|s| s.visitor.as_str())
+            .collect();
+        if visitors.is_empty() {
+            0.0
+        } else {
+            self.events.len() as f64 / visitors.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let cfg = BuildingConfig::default();
+        let a = BuildingWorkload::generate(&cfg);
+        let b = BuildingWorkload::generate(&cfg);
+        assert_eq!(a.events, b.events);
+        assert!(a.events.windows(2).all(|p| p[0].ts <= p[1].ts));
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn stays_are_contiguous_and_exclusive_per_visitor() {
+        let w = BuildingWorkload::generate(&BuildingConfig {
+            visitors: 5,
+            duration_ms: 600_000,
+            ..Default::default()
+        });
+        for v in 0..5 {
+            let visitor = format!("v{v}");
+            let mine: Vec<_> = w.stays.iter().filter(|s| s.visitor == visitor).collect();
+            for pair in mine.windows(2) {
+                assert_eq!(
+                    pair[0].until,
+                    Some(pair[1].from),
+                    "stays must tile the timeline"
+                );
+                assert_ne!(pair[0].room, pair[1].room, "moves change rooms");
+            }
+            assert!(mine.last().unwrap().until.is_none(), "last stay open");
+        }
+    }
+
+    #[test]
+    fn oracle_lookup_matches_stays() {
+        let w = BuildingWorkload::generate(&BuildingConfig::default());
+        let s = &w.stays[0];
+        assert_eq!(w.true_room_at(&s.visitor, s.from), Some(s.room.as_str()));
+        if let Some(u) = s.until {
+            let after = w.true_room_at(&s.visitor, u);
+            assert_ne!(after, Some(s.room.as_str()), "moved away at `until`");
+        }
+    }
+
+    #[test]
+    fn one_event_per_stay() {
+        let w = BuildingWorkload::generate(&BuildingConfig::default());
+        assert_eq!(w.events.len(), w.stays.len());
+    }
+}

@@ -1,0 +1,267 @@
+//! Click-stream workload: users with lognormally distributed session
+//! lengths interacting with an e-commerce site.
+//!
+//! Every session is `enter`, a number of `browse`/`view`/`add` events,
+//! then `leave`. The oracle records the true sessions, so fixed-window
+//! session detection can be scored for recall (too-short windows split
+//! sessions) and over-retention (too-long windows hold users after
+//! they left) — the paper's §1 claim that "fixed-size windows are not
+//! always adequate".
+
+use fenestra_base::record::Event;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Zipf};
+
+/// Configuration for the click-stream generator.
+#[derive(Debug, Clone)]
+pub struct ClickstreamConfig {
+    /// Number of distinct users.
+    pub users: usize,
+    /// Total sessions to generate.
+    pub sessions: usize,
+    /// Mean of the session-length distribution (ms); lengths are
+    /// lognormal around this scale.
+    pub mean_session_ms: f64,
+    /// Sigma of the lognormal (larger = heavier tail).
+    pub session_sigma: f64,
+    /// Mean gap between consecutive events inside a session (ms).
+    pub intra_event_gap_ms: u64,
+    /// Mean gap between session starts (ms) — controls concurrency.
+    pub session_arrival_gap_ms: u64,
+    /// Number of distinct pages, browsed with Zipf popularity.
+    pub pages: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClickstreamConfig {
+    fn default() -> Self {
+        ClickstreamConfig {
+            users: 100,
+            sessions: 500,
+            mean_session_ms: 60_000.0,
+            session_sigma: 1.0,
+            intra_event_gap_ms: 5_000,
+            session_arrival_gap_ms: 500,
+            pages: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// One ground-truth session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleSession {
+    /// User name (`u<i>`).
+    pub user: String,
+    /// Timestamp of the `enter` event.
+    pub start: Timestamp,
+    /// Timestamp of the `leave` event.
+    pub end: Timestamp,
+    /// Total events in the session (including enter/leave).
+    pub events: usize,
+}
+
+/// Generated workload: the event stream plus ground truth.
+#[derive(Debug, Clone)]
+pub struct ClickstreamWorkload {
+    /// Events on stream `clicks`, sorted by timestamp.
+    pub events: Vec<Event>,
+    /// True sessions, sorted by start.
+    pub sessions: Vec<OracleSession>,
+}
+
+impl ClickstreamWorkload {
+    /// Generate a workload.
+    pub fn generate(cfg: &ClickstreamConfig) -> ClickstreamWorkload {
+        assert!(cfg.users > 0 && cfg.sessions > 0 && cfg.pages > 0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Lognormal parameterized so the mean is ~mean_session_ms.
+        let mu = cfg.mean_session_ms.ln() - cfg.session_sigma * cfg.session_sigma / 2.0;
+        let len_dist = LogNormal::new(mu, cfg.session_sigma).expect("valid lognormal");
+        let page_dist = Zipf::new(cfg.pages as u64, 1.1).expect("valid zipf");
+
+        let mut events: Vec<Event> = Vec::new();
+        let mut sessions: Vec<OracleSession> = Vec::new();
+        let mut clock: u64 = 0;
+        // A user can only have one live session at a time: track the
+        // end of each user's last session.
+        let mut busy_until: Vec<u64> = vec![0; cfg.users];
+
+        for _ in 0..cfg.sessions {
+            clock += 1 + rng.gen_range(0..=cfg.session_arrival_gap_ms * 2);
+            let user_idx = rng.gen_range(0..cfg.users);
+            let start = clock.max(busy_until[user_idx] + 1);
+            let length = (len_dist.sample(&mut rng) as u64).max(2);
+            let end = start + length;
+            busy_until[user_idx] = end;
+            let user = format!("u{user_idx}");
+
+            let mut n = 0usize;
+            let mut push = |ts: u64, action: &str, page: Option<u64>, n: &mut usize| {
+                let mut pairs = vec![
+                    ("user", Value::str(&user)),
+                    ("action", Value::str(action)),
+                ];
+                if let Some(p) = page {
+                    pairs.push(("page", Value::str(&format!("page{p}"))));
+                }
+                events.push(Event::from_pairs("clicks", ts, pairs));
+                *n += 1;
+            };
+            push(start, "enter", None, &mut n);
+            let mut t = start;
+            loop {
+                let gap = 1 + rng.gen_range(0..=cfg.intra_event_gap_ms * 2);
+                t += gap;
+                if t >= end {
+                    break;
+                }
+                let action = match rng.gen_range(0..10) {
+                    0..=5 => "browse",
+                    6..=7 => "view",
+                    8 => "add",
+                    _ => "purchase",
+                };
+                let page = page_dist.sample(&mut rng) as u64;
+                push(t, action, Some(page), &mut n);
+            }
+            push(end, "leave", None, &mut n);
+            sessions.push(OracleSession {
+                user,
+                start: Timestamp::new(start),
+                end: Timestamp::new(end),
+                events: n,
+            });
+        }
+        events.sort_by_key(|e| e.ts);
+        sessions.sort_by_key(|s| s.start);
+        ClickstreamWorkload { events, sessions }
+    }
+
+    /// Mean true session length in milliseconds.
+    pub fn mean_session_len(&self) -> f64 {
+        if self.sessions.is_empty() {
+            return 0.0;
+        }
+        self.sessions
+            .iter()
+            .map(|s| (s.end - s.start).as_millis() as f64)
+            .sum::<f64>()
+            / self.sessions.len() as f64
+    }
+
+    /// Number of users with an open session at instant `t` (oracle).
+    pub fn active_at(&self, t: Timestamp) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| s.start <= t && t < s.end)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ClickstreamConfig {
+            sessions: 50,
+            ..Default::default()
+        };
+        let a = ClickstreamWorkload::generate(&cfg);
+        let b = ClickstreamWorkload::generate(&cfg);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.sessions, b.sessions);
+        let c = ClickstreamWorkload::generate(&ClickstreamConfig {
+            seed: 43,
+            ..cfg
+        });
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn events_sorted_and_sessions_well_formed() {
+        let w = ClickstreamWorkload::generate(&ClickstreamConfig {
+            sessions: 100,
+            ..Default::default()
+        });
+        assert!(w.events.windows(2).all(|p| p[0].ts <= p[1].ts));
+        for s in &w.sessions {
+            assert!(s.start < s.end);
+            assert!(s.events >= 2, "at least enter+leave");
+        }
+        assert_eq!(w.sessions.len(), 100);
+    }
+
+    #[test]
+    fn sessions_per_user_do_not_overlap() {
+        let w = ClickstreamWorkload::generate(&ClickstreamConfig {
+            users: 5,
+            sessions: 80,
+            ..Default::default()
+        });
+        for u in 0..5 {
+            let user = format!("u{u}");
+            let mut mine: Vec<_> = w.sessions.iter().filter(|s| s.user == user).collect();
+            mine.sort_by_key(|s| s.start);
+            for pair in mine.windows(2) {
+                assert!(pair[0].end < pair[1].start, "overlap for {user}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_lengths_are_dispersed() {
+        let w = ClickstreamWorkload::generate(&ClickstreamConfig {
+            sessions: 300,
+            ..Default::default()
+        });
+        let lens: Vec<u64> = w
+            .sessions
+            .iter()
+            .map(|s| (s.end - s.start).as_millis())
+            .collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(
+            max > min * 10,
+            "lognormal tail should disperse lengths (min={min}, max={max})"
+        );
+    }
+
+    #[test]
+    fn enter_leave_bracket_every_session() {
+        let w = ClickstreamWorkload::generate(&ClickstreamConfig {
+            sessions: 30,
+            ..Default::default()
+        });
+        let enters = w
+            .events
+            .iter()
+            .filter(|e| e.get("action") == Some(&Value::str("enter")))
+            .count();
+        let leaves = w
+            .events
+            .iter()
+            .filter(|e| e.get("action") == Some(&Value::str("leave")))
+            .count();
+        assert_eq!(enters, 30);
+        assert_eq!(leaves, 30);
+    }
+
+    #[test]
+    fn active_at_oracle() {
+        let w = ClickstreamWorkload::generate(&ClickstreamConfig {
+            sessions: 50,
+            ..Default::default()
+        });
+        let s = &w.sessions[0];
+        assert!(w.active_at(s.start) >= 1);
+        assert_eq!(w.active_at(Timestamp::new(0)), 0);
+    }
+}

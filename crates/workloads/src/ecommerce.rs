@@ -1,0 +1,264 @@
+//! E-commerce decision-support workload (paper §3.1 case study):
+//! a fast `sales` stream (Zipf product popularity) interleaved with a
+//! slow `catalog` stream that (re)classifies products.
+//!
+//! The oracle is each product's classification timeline: a sale's true
+//! class is the classification valid at the sale's timestamp. A
+//! window-joined baseline loses classifications older than its window;
+//! the explicit-state system never does (experiment E3).
+
+use fenestra_base::record::Event;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Zipf};
+
+/// Configuration for the e-commerce generator.
+#[derive(Debug, Clone)]
+pub struct EcommerceConfig {
+    /// Number of products.
+    pub products: usize,
+    /// Number of classes products can belong to.
+    pub classes: usize,
+    /// Number of sale events.
+    pub sales: usize,
+    /// Mean gap between sales (ms).
+    pub sale_gap_ms: u64,
+    /// Probability that a step also emits a reclassification event.
+    pub reclass_prob: f64,
+    /// Zipf exponent for product popularity.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EcommerceConfig {
+    fn default() -> Self {
+        EcommerceConfig {
+            products: 200,
+            classes: 10,
+            sales: 2_000,
+            sale_gap_ms: 100,
+            reclass_prob: 0.02,
+            zipf_exponent: 1.1,
+            seed: 11,
+        }
+    }
+}
+
+/// One classification interval in the ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleClass {
+    /// Product name (`p<i>`).
+    pub product: String,
+    /// Class name (`class<i>`).
+    pub class: String,
+    /// Valid from.
+    pub from: Timestamp,
+    /// Valid until (`None` = current).
+    pub until: Option<Timestamp>,
+}
+
+/// Generated workload: interleaved sales + catalog events and the
+/// classification ground truth.
+#[derive(Debug, Clone)]
+pub struct EcommerceWorkload {
+    /// Events on streams `sales` (fields `product`, `qty`, `price`) and
+    /// `catalog` (fields `product`, `class`), sorted by timestamp. All
+    /// products are classified at t=0 before the first sale.
+    pub events: Vec<Event>,
+    /// Classification timeline, sorted by `from`.
+    pub classifications: Vec<OracleClass>,
+    /// Number of sale events.
+    pub sale_count: usize,
+    /// Number of catalog events (including the initial classification).
+    pub catalog_count: usize,
+}
+
+impl EcommerceWorkload {
+    /// Generate a workload.
+    pub fn generate(cfg: &EcommerceConfig) -> EcommerceWorkload {
+        assert!(cfg.products > 0 && cfg.classes > 1 && cfg.sales > 0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let product_dist = Zipf::new(cfg.products as u64, cfg.zipf_exponent).expect("valid zipf");
+        let mut events = Vec::new();
+        let mut classifications: Vec<OracleClass> = Vec::new();
+        // Open classification index per product (into classifications).
+        let mut open: Vec<usize> = Vec::with_capacity(cfg.products);
+        // Initial classification of every product at t=0.
+        for p in 0..cfg.products {
+            let class = rng.gen_range(0..cfg.classes);
+            events.push(Event::from_pairs(
+                "catalog",
+                0u64,
+                [
+                    ("product", Value::str(&format!("p{p}"))),
+                    ("class", Value::str(&format!("class{class}"))),
+                ],
+            ));
+            open.push(classifications.len());
+            classifications.push(OracleClass {
+                product: format!("p{p}"),
+                class: format!("class{class}"),
+                from: Timestamp::new(0),
+                until: None,
+            });
+        }
+        let mut catalog_count = cfg.products;
+        let mut t: u64 = 0;
+        for _ in 0..cfg.sales {
+            t += 1 + rng.gen_range(0..=cfg.sale_gap_ms * 2);
+            // Maybe reclassify a random product first.
+            if rng.gen_bool(cfg.reclass_prob) {
+                let p = rng.gen_range(0..cfg.products);
+                let current = &classifications[open[p]];
+                let mut class = rng.gen_range(0..cfg.classes);
+                if format!("class{class}") == current.class {
+                    class = (class + 1) % cfg.classes;
+                }
+                classifications[open[p]].until = Some(Timestamp::new(t));
+                events.push(Event::from_pairs(
+                    "catalog",
+                    t,
+                    [
+                        ("product", Value::str(&format!("p{p}"))),
+                        ("class", Value::str(&format!("class{class}"))),
+                    ],
+                ));
+                open[p] = classifications.len();
+                classifications.push(OracleClass {
+                    product: format!("p{p}"),
+                    class: format!("class{class}"),
+                    from: Timestamp::new(t),
+                    until: None,
+                });
+                catalog_count += 1;
+                t += 1; // sales strictly after the reclassification
+            }
+            let p = (product_dist.sample(&mut rng) as usize).saturating_sub(1);
+            let qty = rng.gen_range(1..=5i64);
+            let price = rng.gen_range(5..=500i64);
+            events.push(Event::from_pairs(
+                "sales",
+                t,
+                [
+                    ("product", Value::str(&format!("p{p}"))),
+                    ("qty", Value::Int(qty)),
+                    ("price", Value::Int(price)),
+                ],
+            ));
+        }
+        events.sort_by_key(|e| e.ts);
+        classifications.sort_by_key(|c| c.from);
+        EcommerceWorkload {
+            events,
+            classifications,
+            sale_count: cfg.sales,
+            catalog_count,
+        }
+    }
+
+    /// The true class of `product` at instant `t` (oracle).
+    pub fn true_class_at(&self, product: &str, t: Timestamp) -> Option<&str> {
+        self.classifications
+            .iter()
+            .find(|c| c.product == product && c.from <= t && c.until.is_none_or(|u| t < u))
+            .map(|c| c.class.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let cfg = EcommerceConfig {
+            sales: 300,
+            ..Default::default()
+        };
+        let a = EcommerceWorkload::generate(&cfg);
+        let b = EcommerceWorkload::generate(&cfg);
+        assert_eq!(a.events, b.events);
+        assert!(a.events.windows(2).all(|p| p[0].ts <= p[1].ts));
+        assert_eq!(a.sale_count, 300);
+    }
+
+    #[test]
+    fn every_product_classified_from_t0() {
+        let w = EcommerceWorkload::generate(&EcommerceConfig {
+            products: 20,
+            sales: 100,
+            ..Default::default()
+        });
+        for p in 0..20 {
+            assert!(
+                w.true_class_at(&format!("p{p}"), Timestamp::new(1)).is_some(),
+                "p{p} unclassified"
+            );
+        }
+    }
+
+    #[test]
+    fn classification_timeline_tiles() {
+        let w = EcommerceWorkload::generate(&EcommerceConfig {
+            products: 10,
+            sales: 500,
+            reclass_prob: 0.2,
+            ..Default::default()
+        });
+        for p in 0..10 {
+            let product = format!("p{p}");
+            let mine: Vec<_> = w
+                .classifications
+                .iter()
+                .filter(|c| c.product == product)
+                .collect();
+            for pair in mine.windows(2) {
+                assert_eq!(pair[0].until, Some(pair[1].from));
+                assert_ne!(pair[0].class, pair[1].class, "reclass changes class");
+            }
+            assert!(mine.last().unwrap().until.is_none());
+        }
+    }
+
+    #[test]
+    fn sales_reference_existing_products() {
+        let w = EcommerceWorkload::generate(&EcommerceConfig {
+            products: 15,
+            sales: 200,
+            ..Default::default()
+        });
+        for e in w.events.iter().filter(|e| e.stream.as_str() == "sales") {
+            let p = e.get("product").unwrap().as_str().unwrap();
+            let idx: usize = p[1..].parse().unwrap();
+            assert!(idx < 15, "sale for unknown product {p}");
+            assert!(
+                w.true_class_at(p, e.ts).is_some(),
+                "sale at {} for unclassified {p}",
+                e.ts
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_skews_sales() {
+        let w = EcommerceWorkload::generate(&EcommerceConfig {
+            products: 100,
+            sales: 2_000,
+            ..Default::default()
+        });
+        let mut counts = vec![0usize; 100];
+        for e in w.events.iter().filter(|e| e.stream.as_str() == "sales") {
+            let p = e.get("product").unwrap().as_str().unwrap();
+            counts[p[1..].parse::<usize>().unwrap()] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[90..].iter().sum();
+        assert!(
+            head > tail * 3,
+            "popular products should dominate (head={head}, tail={tail})"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # fenestra-workloads
+//!
+//! Seeded synthetic workload generators for the paper's three
+//! motivating scenarios (the paper has no public datasets; these
+//! generators parameterize exactly the structural properties its
+//! arguments rest on — see DESIGN.md "Substitutions"):
+//!
+//! * [`clickstream`] — e-commerce click streams with lognormal session
+//!   lengths (§1: "trace a user from the moment when she enters the
+//!   Web site to the moment when she leaves");
+//! * [`building`] — visitors random-walking rooms, each sensor event
+//!   invalidating the previous position (§1 security service);
+//! * [`ecommerce`] — sales with Zipf product popularity plus a slow
+//!   catalog-reclassification stream (§3.1 case study).
+//!
+//! Every generator is deterministic given its seed and returns both
+//! the event stream and an **oracle** (ground truth) against which
+//! window-based and state-based systems are scored. [`ooo`] perturbs
+//! any stream with bounded out-of-orderness.
+
+pub mod building;
+pub mod clickstream;
+pub mod ecommerce;
+pub mod ooo;
+
+pub use building::{BuildingConfig, BuildingWorkload};
+pub use clickstream::{ClickstreamConfig, ClickstreamWorkload};
+pub use ecommerce::{EcommerceConfig, EcommerceWorkload};

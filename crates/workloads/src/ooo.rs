@@ -1,0 +1,102 @@
+//! Bounded out-of-order perturbation of an event stream.
+//!
+//! Real feeds deliver events late; this module shuffles a sorted
+//! stream so each event is displaced by at most a bounded delay, to
+//! exercise the watermark/reorder machinery (failure-injection in the
+//! test suites, and knobs for the benchmarks).
+
+use fenestra_base::record::Event;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Perturb arrival order: each event's *arrival position* corresponds
+/// to `ts + delay` with `delay` uniform in `[0, max_delay_ms]`. The
+/// events' timestamps are unchanged; only the order they are delivered
+/// in changes.
+pub fn perturb(events: &[Event], max_delay_ms: u64, seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keyed: Vec<(u64, usize, Event)> = events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let delay = if max_delay_ms == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_delay_ms)
+            };
+            (e.ts.millis().saturating_add(delay), i, e.clone())
+        })
+        .collect();
+    keyed.sort_by_key(|(arrival, i, _)| (*arrival, *i));
+    keyed.into_iter().map(|(_, _, e)| e).collect()
+}
+
+/// Duplicate a fraction of events (at-least-once delivery simulation).
+pub fn with_duplicates(events: &[Event], dup_prob: f64, seed: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        out.push(e.clone());
+        if rng.gen_bool(dup_prob) {
+            out.push(e.clone());
+        }
+    }
+    out
+}
+
+/// Maximum displacement (in ms of event time) between the perturbed
+/// order and timestamp order — useful to pick a sufficient lateness
+/// bound in tests.
+pub fn max_disorder(events: &[Event]) -> u64 {
+    let mut max_seen = 0u64;
+    let mut worst = 0u64;
+    for e in events {
+        let t = e.ts.millis();
+        if t > max_seen {
+            max_seen = t;
+        } else {
+            worst = worst.max(max_seen - t);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_base::record::Record;
+
+    fn evs(n: u64) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::new("s", i * 10, Record::from_pairs([("i", i as i64)])))
+            .collect()
+    }
+
+    #[test]
+    fn zero_delay_is_identity() {
+        let e = evs(20);
+        assert_eq!(perturb(&e, 0, 1), e);
+        assert_eq!(max_disorder(&e), 0);
+    }
+
+    #[test]
+    fn perturbation_is_bounded() {
+        let e = evs(200);
+        let p = perturb(&e, 35, 9);
+        assert_ne!(p, e, "should actually shuffle");
+        assert!(max_disorder(&p) <= 35, "disorder bounded by max delay");
+        // Same multiset of events.
+        let mut a = e.clone();
+        let mut b = p.clone();
+        a.sort_by_key(|x| x.ts);
+        b.sort_by_key(|x| x.ts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicates_are_injected() {
+        let e = evs(100);
+        let d = with_duplicates(&e, 0.5, 3);
+        assert!(d.len() > 120 && d.len() < 180, "got {}", d.len());
+    }
+}

@@ -1,0 +1,130 @@
+//! E-commerce decision support (paper §3.1 case study).
+//!
+//! Sales trends per product class, where the classification itself
+//! evolves: catalog events reclassify products over time. The state
+//! management rules keep the classification as explicit state; the
+//! stream pipeline enriches each sale with the classification *valid
+//! at the sale's timestamp* and aggregates per class; the taxonomy
+//! ontology derives coarse-grained classes; and the management can
+//! query both current and historical classifications on demand.
+//!
+//! Run with: `cargo run --example ecommerce_dashboard`
+
+use fenestra::prelude::*;
+use fenestra::workloads::{EcommerceConfig, EcommerceWorkload};
+
+fn main() {
+    let workload = EcommerceWorkload::generate(&EcommerceConfig {
+        products: 50,
+        classes: 6,
+        sales: 1_000,
+        reclass_prob: 0.05,
+        ..Default::default()
+    });
+    println!(
+        "workload: {} sales, {} catalog updates",
+        workload.sale_count, workload.catalog_count
+    );
+
+    let mut engine = Engine::new(EngineConfig {
+        auto_reason: true,
+        ..EngineConfig::default()
+    });
+    engine.declare_attr("class", AttrSchema::one());
+    engine.declare_attr("type", AttrSchema::many());
+
+    // State management: catalog events maintain the classification, and
+    // tag each product's `type` for the taxonomy.
+    engine
+        .add_rules_text(
+            r#"
+            rule classify:
+              on catalog
+              replace $(product).class = class
+              replace $(product).type = class
+            "#,
+        )
+        .unwrap();
+
+    // Reasoning: a small taxonomy over the classes — class0/class1 are
+    // "physical", class2/class3 are "digital"; everything is "goods".
+    engine.set_ontology(Ontology::from_axioms([
+        Axiom::SubClassOf(Value::str("class0"), Value::str("physical")),
+        Axiom::SubClassOf(Value::str("class1"), Value::str("physical")),
+        Axiom::SubClassOf(Value::str("class2"), Value::str("digital")),
+        Axiom::SubClassOf(Value::str("class3"), Value::str("digital")),
+        Axiom::SubClassOf(Value::str("physical"), Value::str("goods")),
+        Axiom::SubClassOf(Value::str("digital"), Value::str("goods")),
+    ]));
+
+    // Stream processing: enrich each sale with the classification valid
+    // at the sale's event time, then revenue per class in 1-minute
+    // tumbling windows.
+    let store = engine.shared_store();
+    let mut g = Graph::new();
+    let enrich = g.add_op(StateEnrich::new(store, "product").attr("class", "class"));
+    g.connect_source("sales", enrich);
+    let revenue = g.add_op(Derive::new(
+        "revenue",
+        Expr::name("qty").mul(Expr::name("price")),
+    ));
+    g.connect(enrich, revenue);
+    let win = g.add_op(
+        TimeWindowOp::tumbling(Duration::minutes(1))
+            .group_by(["class"])
+            .aggregate(AggSpec::sum("revenue", "total"))
+            .aggregate(AggSpec::count("n_sales")),
+    );
+    g.connect(revenue, win);
+    let sink = g.add_sink();
+    g.connect(win, sink.node);
+    engine.set_graph(g).unwrap();
+
+    engine.run(workload.events.iter().cloned());
+    engine.finish();
+
+    // Dashboard: last few window rows.
+    let out = sink.take();
+    println!("\nrevenue per class, per 1-minute window (last 6 rows):");
+    for e in out.iter().rev().take(6).rev() {
+        println!(
+            "  [{}] {:10} total={:8} sales={}",
+            e.get("window_start").unwrap(),
+            e.get("class").unwrap().to_string(),
+            e.get("total").unwrap(),
+            e.get("n_sales").unwrap(),
+        );
+    }
+
+    // Queryable state: how many products are currently "digital"
+    // according to the taxonomy (derived knowledge)?
+    let digital = engine
+        .query(r#"select ?p where { ?p type "digital" }"#)
+        .unwrap();
+    let goods = engine
+        .query(r#"select ?p where { ?p type "goods" }"#)
+        .unwrap();
+    println!(
+        "\ntaxonomy: {} digital products, {} goods overall (derived by the reasoner)",
+        digital.len(),
+        goods.len()
+    );
+
+    // Historical query: what was p0's class at t=10s, and its history?
+    let past = engine
+        .query(r#"select ?c where { "p0" class ?c } asof 10000"#)
+        .unwrap();
+    println!("p0's class at t=10s: {:?}", past.rows().unwrap());
+    if let QueryResult::History(h) = engine.query("history p0 class").unwrap() {
+        println!("p0's classification history ({} intervals):", h.len());
+        for (interval, class, _) in h.iter().take(4) {
+            println!("  {} {}", interval, class);
+        }
+    }
+
+    let m = engine.metrics();
+    println!(
+        "\nmetrics: {} events, {} transitions, reasoner asserted {} / retracted {}",
+        m.events, m.transitions, m.reason_asserted, m.reason_retracted
+    );
+}

@@ -1,0 +1,142 @@
+//! Fraud monitoring: multi-event state transitions (paper §3.3, open
+//! question 1 — "a state transition determined by multiple streaming
+//! elements").
+//!
+//! Three card transactions from *different* cities within 2 minutes,
+//! with no intervening identity check, flag the card as suspicious —
+//! a condition no single event determines. The flag is explicit state:
+//! it gates further processing, is queryable on demand, and every flag
+//! transition is republished on a `state_changes` stream that feeds an
+//! alerting window.
+//!
+//! Run with: `cargo run --example fraud_monitor`
+
+use fenestra::prelude::*;
+
+fn tx(ts: u64, card: &str, city: &str, amount: i64) -> Event {
+    Event::from_pairs(
+        "transactions",
+        ts,
+        [
+            ("card", Value::str(card)),
+            ("city", Value::str(city)),
+            ("amount", Value::Int(amount)),
+        ],
+    )
+}
+
+fn check(ts: u64, card: &str) -> Event {
+    Event::from_pairs("id_checks", ts, [("card", card)])
+}
+
+fn main() {
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("status", AttrSchema::one());
+
+    engine
+        .add_rules_text(
+            r#"
+            # Three transactions on the same card from three cities
+            # within two minutes, with no identity check in between.
+            rule velocity_fraud:
+              on pattern (a: transactions)
+                 then (b: transactions where card == a.card and city != a.city)
+                 then (c: transactions where card == a.card
+                                          and city != a.city and city != b.city)
+                 within 2m
+                 without (k: id_checks where card == a.card)
+              replace $(a.card).status = "suspicious"
+
+            # An identity check clears the flag.
+            rule cleared:
+              on id_checks
+              if state($(card)).status == "suspicious"
+              replace $(card).status = "cleared"
+            "#,
+        )
+        .expect("valid rules");
+
+    // Every flag transition becomes an alert event; count alerts in
+    // 5-minute windows.
+    engine.publish_transitions("state_changes");
+    let mut g = Graph::new();
+    let alerts = g.add_op(Filter::new(
+        Expr::name("op")
+            .eq(Expr::lit("replace"))
+            .and(Expr::name("value").eq(Expr::lit("suspicious"))),
+    ));
+    g.connect_source("state_changes", alerts);
+    let win = g.add_op(
+        TimeWindowOp::tumbling(Duration::minutes(5)).aggregate(AggSpec::count("alerts")),
+    );
+    g.connect(alerts, win);
+    let sink = g.add_sink();
+    g.connect(win, sink.node);
+    engine.set_graph(g).unwrap();
+
+    // A normal customer, a checked traveller, and a cloned card.
+    engine.run([
+        // card A: same city, fine.
+        tx(10_000, "cardA", "zurich", 40),
+        tx(20_000, "cardA", "zurich", 15),
+        tx(30_000, "cardA", "zurich", 25),
+        // card B: travels fast but passes an identity check.
+        tx(40_000, "cardB", "zurich", 120),
+        tx(60_000, "cardB", "milan", 80),
+        check(70_000, "cardB"),
+        tx(80_000, "cardB", "paris", 300),
+        // card C: three cities in 70 seconds, no check.
+        tx(100_000, "cardC", "zurich", 500),
+        tx(130_000, "cardC", "milan", 700),
+        tx(170_000, "cardC", "lagos", 900),
+        // card C gets checked later and is cleared.
+        check(400_000, "cardC"),
+    ]);
+    engine.finish();
+
+    let now = engine
+        .query(r#"select ?c where { ?c status "suspicious" }"#)
+        .unwrap();
+    let at_200s = engine
+        .query(r#"select ?c where { ?c status "suspicious" } asof 200000"#)
+        .unwrap();
+    println!(
+        "suspicious cards: {} now, {} as of t=200s (cardC was flagged, then cleared)",
+        now.len(),
+        at_200s.len()
+    );
+    assert_eq!(at_200s.len(), 1);
+
+    println!("\ncardC's flag history:");
+    if let QueryResult::History(h) = engine.query("history cardC status").unwrap() {
+        for (iv, v, prov) in &h {
+            println!("  {iv} {v} [{prov}]");
+        }
+    }
+
+    println!("\nalert windows:");
+    for e in sink.take() {
+        println!(
+            "  [{} .. {}] {} alert(s)",
+            e.get("window_start").unwrap(),
+            e.get("window_end").unwrap(),
+            e.get("alerts").unwrap()
+        );
+    }
+
+    let m = engine.metrics();
+    println!(
+        "\nmetrics: {} events, {} rule firings, {} transitions",
+        m.events, m.rule_fired, m.transitions
+    );
+    assert_eq!(
+        engine
+            .query(r#"select count ?c where { ?c status "cleared" }"#)
+            .unwrap()
+            .rows()
+            .unwrap()[0][0]
+            .1,
+        Value::Int(1),
+        "card-C was flagged then cleared"
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: explicit state in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fenestra::prelude::*;
+
+fn main() {
+    // 1. An engine with a temporal state repository.
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("room", AttrSchema::one()); // one room at a time
+
+    // 2. A state management rule: every sensor event *replaces* the
+    //    visitor's position — the previous room is invalidated, not
+    //    forgotten (its validity interval is closed).
+    engine
+        .add_rules_text(
+            r#"
+            rule visitor_moves:
+              on sensors
+              replace $(visitor).room = room
+            "#,
+        )
+        .expect("valid rule");
+
+    // 3. Feed events (logical time in milliseconds).
+    for (ts, visitor, room) in [
+        (10u64, "alice", "lobby"),
+        (15, "bob", "lobby"),
+        (20, "alice", "lab"),
+        (30, "alice", "server-room"),
+        (35, "bob", "cafeteria"),
+    ] {
+        engine.push(Event::from_pairs(
+            "sensors",
+            ts,
+            [("visitor", visitor), ("room", room)],
+        ));
+    }
+    engine.finish();
+
+    // 4. Query the *current* state.
+    println!("Who is where now?");
+    let rows = engine
+        .query("select ?v ?r where { ?v room ?r }")
+        .expect("valid query");
+    for row in rows.rows().expect("select result") {
+        println!("  {:?}", row);
+    }
+
+    // 5. Query the past: who was in the lobby at t=17?
+    let rows = engine
+        .query(r#"select ?v where { ?v room "lobby" } asof 17"#)
+        .expect("valid query");
+    println!("In the lobby at t17: {} visitor(s)", rows.len());
+    assert_eq!(rows.len(), 2, "alice and bob were both in the lobby");
+
+    // 6. Full history of one visitor.
+    println!("alice's movement history:");
+    if let QueryResult::History(h) = engine.query("history alice room").expect("valid") {
+        for (interval, room, _prov) in h {
+            println!("  {} in {}", interval, room);
+        }
+    }
+
+    let m = engine.metrics();
+    println!(
+        "processed {} events, {} state transitions",
+        m.events, m.transitions
+    );
+}

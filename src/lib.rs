@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+//! # Fenestra
+//!
+//! *Break the windows*: explicit state management for stream
+//! processing — a complete prototype of the model proposed by Margara,
+//! Dell'Aglio & Bernstein (EDBT 2017).
+//!
+//! Instead of forcing every computation through fixed-size windows,
+//! Fenestra makes state a first-class object:
+//!
+//! * **state repository** — a temporal fact store where every element
+//!   carries its time of validity ([`temporal`]);
+//! * **state management rules** — declarative rules (single-event or
+//!   CEP-pattern triggers) that translate streams into state
+//!   transitions, including invalidate-and-update ([`rules`],
+//!   [`cep`]);
+//! * **stream processing** — a CQL-style window dataflow that can
+//!   *also* read state (gates, enrichment joins) ([`stream`]);
+//! * **queryable state** — on-demand queries over current and
+//!   historical state ([`query`]);
+//! * **reasoning** — RDFS-plus ontologies materialized into the store
+//!   ([`reason`]);
+//! * **the engine** — all of the above wired per the paper's Figure 1,
+//!   with configurable state/stream interaction semantics ([`core`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fenestra::prelude::*;
+//!
+//! let mut engine = Engine::with_defaults();
+//! engine.declare_attr("room", AttrSchema::one());
+//! engine.add_rules_text(r#"
+//!     rule visitor_moves:
+//!       on sensors
+//!       replace $(visitor).room = room
+//! "#).unwrap();
+//!
+//! engine.push(Event::from_pairs("sensors", 10u64,
+//!     [("visitor", "alice"), ("room", "lobby")]));
+//! engine.push(Event::from_pairs("sensors", 20u64,
+//!     [("visitor", "alice"), ("room", "lab")]));
+//! engine.finish();
+//!
+//! // Current state: alice is in the lab (the lobby fact was
+//! // invalidated, not forgotten).
+//! let rows = engine.query(r#"select ?v where { ?v room "lab" }"#).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! // Historical state: where was alice at t15?
+//! let rows = engine.query(r#"select ?v where { ?v room "lobby" } asof 15"#).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub mod io;
+
+pub use fenestra_base as base;
+pub use fenestra_cep as cep;
+pub use fenestra_core as core;
+pub use fenestra_query as query;
+pub use fenestra_reason as reason;
+pub use fenestra_rules as rules;
+pub use fenestra_stream as stream;
+pub use fenestra_temporal as temporal;
+pub use fenestra_workloads as workloads;
+
+/// The most commonly used names, re-exported flat.
+pub mod prelude {
+    pub use fenestra_base::expr::Expr;
+    pub use fenestra_base::record::{Event, Record};
+    pub use fenestra_base::time::{Duration, Interval, Timestamp};
+    pub use fenestra_base::value::{EntityId, Value};
+    pub use fenestra_core::{Engine, EngineConfig, EngineMetrics, QueryResult, Semantics};
+    pub use fenestra_query::{parse_query, Query, QueryOptions, Term, TimeSpec};
+    pub use fenestra_reason::{Axiom, Ontology};
+    pub use fenestra_rules::{Action, EntityRef, Guard, StateRule, Trigger};
+    pub use fenestra_stream::prelude::*;
+    pub use fenestra_temporal::{AttrSchema, Cardinality, Provenance, TemporalStore};
+}

@@ -1,0 +1,89 @@
+//! Persistence integration: the state repository survives restarts,
+//! via JSON snapshots and via the binary WAL.
+
+use fenestra::prelude::*;
+use fenestra::temporal::persist;
+use fenestra::workloads::{BuildingConfig, BuildingWorkload};
+
+fn populated_engine() -> (Engine, BuildingWorkload) {
+    let workload = BuildingWorkload::generate(&BuildingConfig {
+        visitors: 8,
+        rooms: 5,
+        mean_dwell_ms: 15_000,
+        duration_ms: 200_000,
+        seed: 17,
+    });
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("room", AttrSchema::one());
+    engine
+        .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+        .unwrap();
+    engine.run(workload.events.iter().cloned());
+    engine.finish();
+    (engine, workload)
+}
+
+#[test]
+fn json_snapshot_round_trip_preserves_history_and_queries() {
+    let (engine, workload) = populated_engine();
+    let dir = std::env::temp_dir().join("fenestra-it-persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("state.json");
+    {
+        let store = engine.store();
+        persist::save(&store, &path).unwrap();
+    }
+    let restored = persist::load(&path).unwrap();
+    let store = engine.store();
+    assert_eq!(restored.stored_fact_count(), store.stored_fact_count());
+    assert_eq!(restored.open_fact_count(), store.open_fact_count());
+    // Historical queries on the restored store agree with the oracle.
+    let probe = Timestamp::new(100_000);
+    for v in 0..8 {
+        let name = format!("v{v}");
+        let Some(e) = restored.lookup_entity(name.as_str()) else {
+            continue;
+        };
+        let got = restored.as_of(probe).value(e, "room");
+        let truth = workload
+            .true_room_at(&name, probe)
+            .map(Value::str);
+        assert_eq!(got, truth, "{name} at {probe}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn binary_wal_round_trip() {
+    let (engine, _) = populated_engine();
+    let dir = std::env::temp_dir().join("fenestra-it-persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("state.wal");
+    {
+        let store = engine.store();
+        persist::save_wal(&store, &path).unwrap();
+    }
+    let restored = persist::load_wal(&path).unwrap();
+    let store = engine.store();
+    assert_eq!(restored.stored_fact_count(), store.stored_fact_count());
+    assert_eq!(restored.revision(), store.revision());
+    // WAL is substantially smaller than JSON for the same history.
+    let json_len = persist::to_json(&store).unwrap().len();
+    let wal_len = std::fs::metadata(&path).unwrap().len() as usize;
+    assert!(wal_len < json_len, "binary WAL should be compact");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_files_are_rejected() {
+    let dir = std::env::temp_dir().join("fenestra-it-persist");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt.json");
+    std::fs::write(&path, "{\"version\": 1, \"ops\": [{\"bogus\": 1}]}").unwrap();
+    assert!(persist::load(&path).is_err());
+    let path2 = dir.join("corrupt.wal");
+    std::fs::write(&path2, [0xFFu8, 0x01, 0x02]).unwrap();
+    assert!(persist::load_wal(&path2).is_err());
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&path2).ok();
+}

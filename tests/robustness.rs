@@ -1,0 +1,175 @@
+//! Failure-injection integration tests: out-of-order delivery,
+//! duplicates, late data, malformed inputs.
+
+use fenestra::prelude::*;
+use fenestra::workloads::ooo;
+use fenestra::workloads::{BuildingConfig, BuildingWorkload};
+
+fn move_rule_engine(lateness_ms: u64) -> Engine {
+    let mut engine = Engine::new(EngineConfig {
+        max_lateness: Duration::millis(lateness_ms),
+        ..EngineConfig::default()
+    });
+    engine.declare_attr("room", AttrSchema::one());
+    engine
+        .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+        .unwrap();
+    engine
+}
+
+/// Bounded out-of-order delivery with a sufficient lateness bound is
+/// fully reordered: the final state equals in-order processing.
+#[test]
+fn out_of_order_delivery_is_transparent_within_bound() {
+    let workload = BuildingWorkload::generate(&BuildingConfig {
+        visitors: 10,
+        rooms: 6,
+        mean_dwell_ms: 10_000,
+        duration_ms: 300_000,
+        seed: 9,
+    });
+    let shuffled = ooo::perturb(&workload.events, 5_000, 21);
+    assert!(ooo::max_disorder(&shuffled) > 0, "perturbation effective");
+
+    let mut ordered = move_rule_engine(0);
+    ordered.run(workload.events.iter().cloned());
+    ordered.finish();
+
+    let mut disordered = move_rule_engine(5_000);
+    disordered.run(shuffled);
+    disordered.finish();
+    assert_eq!(disordered.metrics().late_dropped, 0);
+
+    let a = ordered.store();
+    let b = disordered.store();
+    for v in 0..10 {
+        let name = format!("v{v}");
+        let ea = a.lookup_entity(name.as_str()).unwrap();
+        let eb = b.lookup_entity(name.as_str()).unwrap();
+        assert_eq!(a.history(ea, "room"), b.history(eb, "room"), "{name}");
+    }
+}
+
+/// Beyond the lateness bound, events are dropped and counted — never
+/// applied retroactively.
+#[test]
+fn late_events_beyond_bound_are_dropped_not_misapplied() {
+    let workload = BuildingWorkload::generate(&BuildingConfig {
+        visitors: 5,
+        rooms: 4,
+        mean_dwell_ms: 5_000,
+        duration_ms: 100_000,
+        seed: 2,
+    });
+    let shuffled = ooo::perturb(&workload.events, 20_000, 4);
+    let mut engine = move_rule_engine(1_000); // bound far below disorder
+    engine.run(shuffled);
+    engine.finish();
+    let m = engine.metrics();
+    assert!(m.late_dropped > 0, "some events must be late");
+    assert_eq!(m.events + m.late_dropped, workload.events.len() as u64);
+    // Remaining history is still temporally sane: intervals per
+    // visitor never overlap.
+    let store = engine.store();
+    for v in 0..5 {
+        let name = format!("v{v}");
+        let Some(e) = store.lookup_entity(name.as_str()) else {
+            continue;
+        };
+        let h = store.history(e, "room");
+        for w in h.windows(2) {
+            assert!(
+                w[0].0.end.is_some_and(|end| end <= w[1].0.start),
+                "overlapping intervals for {name}"
+            );
+        }
+    }
+}
+
+/// At-least-once delivery: duplicated events do not duplicate state
+/// (replace is idempotent on identical values).
+#[test]
+fn duplicate_events_are_idempotent_on_state() {
+    let workload = BuildingWorkload::generate(&BuildingConfig {
+        visitors: 6,
+        rooms: 5,
+        mean_dwell_ms: 8_000,
+        duration_ms: 150_000,
+        seed: 13,
+    });
+    let dup = ooo::with_duplicates(&workload.events, 0.3, 8);
+    assert!(dup.len() > workload.events.len());
+
+    let mut clean = move_rule_engine(0);
+    clean.run(workload.events.iter().cloned());
+    clean.finish();
+    let mut dirty = move_rule_engine(0);
+    dirty.run(dup);
+    dirty.finish();
+
+    let a = clean.store();
+    let b = dirty.store();
+    assert_eq!(a.stored_fact_count(), b.stored_fact_count());
+    for v in 0..6 {
+        let name = format!("v{v}");
+        let ea = a.lookup_entity(name.as_str()).unwrap();
+        let eb = b.lookup_entity(name.as_str()).unwrap();
+        assert_eq!(a.history(ea, "room"), b.history(eb, "room"));
+    }
+    // The duplicates fired rules but changed nothing.
+    assert!(dirty.metrics().rule_fired > clean.metrics().rule_fired);
+    assert_eq!(dirty.metrics().transitions, clean.metrics().transitions);
+}
+
+/// Malformed rule/query texts produce parse errors with positions, and
+/// never panic.
+#[test]
+fn malformed_inputs_error_cleanly() {
+    let mut engine = Engine::with_defaults();
+    for bad_rule in [
+        "rule:",
+        "rule x on s assert $(u).a = 1",
+        "rule x: on s assert $(u).a =",
+        "rule x: on pattern within 5s assert $(u).a = 1",
+        "완전히 잘못된 입력",
+    ] {
+        assert!(engine.add_rules_text(bad_rule).is_err(), "{bad_rule}");
+    }
+    for bad_query in [
+        "select",
+        "select ?x where { }",
+        "history",
+        "select ?x where { ?x a \"b\" } asof -5",
+    ] {
+        assert!(engine.query(bad_query).is_err(), "{bad_query}");
+    }
+    // Engine still usable afterwards.
+    engine
+        .add_rules_text("rule ok:\n on s\n replace $(u).a = 1")
+        .unwrap();
+    engine.push(Event::from_pairs("s", 1u64, [("u", "x")]));
+    engine.finish();
+    assert_eq!(engine.metrics().transitions, 1);
+}
+
+/// Rule actions that hit store errors surface in metrics but do not
+/// poison the engine.
+#[test]
+fn store_level_errors_are_contained() {
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("slot", AttrSchema::one());
+    // Bad rule: asserts into a cardinality-one attribute without
+    // replace; second event conflicts.
+    engine
+        .add_rules_text("rule bad:\n on s\n assert $(u).slot = v")
+        .unwrap();
+    engine.push(Event::from_pairs("s", 1u64, [("u", "x"), ("v", "a")]));
+    engine.push(Event::from_pairs("s", 2u64, [("u", "x"), ("v", "b")]));
+    engine.finish();
+    let m = engine.metrics();
+    assert_eq!(m.rule_errors, 1, "cardinality conflict reported");
+    assert_eq!(m.transitions, 1, "first assert applied");
+    let store = engine.store();
+    let e = store.lookup_entity("x").unwrap();
+    assert_eq!(store.current().value(e, "slot"), Some(Value::str("a")));
+}

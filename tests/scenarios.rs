@@ -1,0 +1,220 @@
+//! End-to-end integration tests: the paper's three scenarios run
+//! through the full engine, scored against workload oracles.
+
+use fenestra::prelude::*;
+use fenestra::workloads::{
+    BuildingConfig, BuildingWorkload, ClickstreamConfig, ClickstreamWorkload, EcommerceConfig,
+    EcommerceWorkload,
+};
+use std::collections::HashMap;
+
+/// §1 scenario 1: explicit state recovers every session exactly.
+#[test]
+fn clickstream_sessions_match_oracle_exactly() {
+    let workload = ClickstreamWorkload::generate(&ClickstreamConfig {
+        users: 20,
+        sessions: 100,
+        ..Default::default()
+    });
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("status", AttrSchema::one());
+    engine
+        .add_rules_text(
+            r#"
+            rule enter:
+              on clicks where action == "enter"
+              replace $(user).status = "active"
+            rule leave:
+              on clicks where action == "leave"
+              if state($(user)).status == "active"
+              retract $(user).status = "active"
+            "#,
+        )
+        .unwrap();
+    engine.run(workload.events.iter().cloned());
+    engine.finish();
+
+    let store = engine.store();
+    let mut matched = 0;
+    for s in &workload.sessions {
+        let u = store.lookup_entity(s.user.as_str()).expect("user exists");
+        let found = store.history(u, "status").iter().any(|(iv, _, _)| {
+            iv.start == s.start && iv.end == Some(s.end)
+        });
+        if found {
+            matched += 1;
+        }
+    }
+    assert_eq!(matched, workload.sessions.len(), "every session exact");
+}
+
+/// §1 scenario 2: windows contradict, state never does.
+#[test]
+fn building_state_has_zero_contradictions() {
+    let workload = BuildingWorkload::generate(&BuildingConfig {
+        visitors: 15,
+        rooms: 8,
+        mean_dwell_ms: 30_000,
+        duration_ms: 900_000,
+        seed: 3,
+    });
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("room", AttrSchema::one());
+    engine
+        .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+        .unwrap();
+    engine.run(workload.events.iter().cloned());
+    engine.finish();
+
+    let store = engine.store();
+    // At every probe instant, each visitor has at most one valid room,
+    // and it matches the oracle.
+    for probe in (0..900_000u64).step_by(90_000) {
+        let t = Timestamp::new(probe);
+        let view = store.as_of(t);
+        for v in 0..15 {
+            let name = format!("v{v}");
+            let Some(e) = store.lookup_entity(name.as_str()) else {
+                continue;
+            };
+            let rooms = view.values(e, "room");
+            assert!(rooms.len() <= 1, "contradiction at {t} for {name}");
+            let truth = workload.true_room_at(&name, t);
+            let got = rooms.first().and_then(|r| r.as_str());
+            assert_eq!(got, truth, "wrong room at {t} for {name}");
+        }
+    }
+
+    // Window-based baseline on the same trace DOES contradict: count
+    // visitors with >1 room inside a 5-minute window.
+    let window = 300_000u64;
+    let probe = Timestamp::new(600_000);
+    let mut rooms_in_window: HashMap<&str, Vec<&str>> = HashMap::new();
+    for ev in &workload.events {
+        if ev.ts <= probe && ev.ts.millis() + window > probe.millis() {
+            rooms_in_window
+                .entry(ev.get("visitor").unwrap().as_str().unwrap())
+                .or_default()
+                .push(ev.get("room").unwrap().as_str().unwrap());
+        }
+    }
+    let contradicted = rooms_in_window.values().filter(|r| r.len() > 1).count();
+    assert!(
+        contradicted > 0,
+        "the windowed view should exhibit the paper's contradiction"
+    );
+}
+
+/// §3.1 case study: the stream–state join classifies every sale
+/// correctly; a windowed join misclassifies (or drops) stale products.
+#[test]
+fn ecommerce_state_join_beats_window_join() {
+    let workload = EcommerceWorkload::generate(&EcommerceConfig {
+        products: 60,
+        classes: 5,
+        sales: 800,
+        reclass_prob: 0.05,
+        ..Default::default()
+    });
+
+    // --- explicit state path ---
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("class", AttrSchema::one());
+    engine
+        .add_rules_text("rule cls:\n on catalog\n replace $(product).class = class")
+        .unwrap();
+    let store = engine.shared_store();
+    let mut g = Graph::new();
+    let enrich = g.add_op(StateEnrich::new(store, "product").attr("class", "class"));
+    g.connect_source("sales", enrich);
+    let sink = g.add_sink();
+    g.connect(enrich, sink.node);
+    engine.set_graph(g).unwrap();
+    engine.run(workload.events.iter().cloned());
+    engine.finish();
+    let enriched = sink.take();
+    assert_eq!(enriched.len(), workload.sale_count);
+    let mut correct = 0;
+    for e in &enriched {
+        let p = e.get("product").unwrap().as_str().unwrap();
+        let truth = workload.true_class_at(p, e.ts).unwrap();
+        if e.get("class").unwrap().as_str() == Some(truth) {
+            correct += 1;
+        }
+    }
+    assert_eq!(correct, enriched.len(), "state join: zero misclassified");
+
+    // --- window-join baseline ---
+    let mut g = Graph::new();
+    let join = g.add_op(WindowJoin::new(
+        "sales",
+        "product",
+        "catalog",
+        "product",
+        Duration::secs(10),
+    ));
+    g.connect_source("sales", join);
+    g.connect_source("catalog", join);
+    let sink = g.add_sink();
+    g.connect(join, sink.node);
+    let mut ex = Executor::new(g);
+    ex.run(workload.events.iter().cloned());
+    ex.finish();
+    let joined = sink.take();
+    // Sales whose classification left the window never join.
+    assert!(
+        joined.len() < workload.sale_count,
+        "window join must drop stale-classified sales ({} vs {})",
+        joined.len(),
+        workload.sale_count
+    );
+}
+
+/// Queryable-state deliverable: as-of answers equal a replayed store's
+/// current answers at that instant.
+#[test]
+fn as_of_equals_replay_prefix() {
+    let workload = BuildingWorkload::generate(&BuildingConfig {
+        visitors: 8,
+        rooms: 5,
+        mean_dwell_ms: 20_000,
+        duration_ms: 400_000,
+        seed: 5,
+    });
+    let mut engine = Engine::with_defaults();
+    engine.declare_attr("room", AttrSchema::one());
+    engine
+        .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+        .unwrap();
+    engine.run(workload.events.iter().cloned());
+    engine.finish();
+
+    let probe = Timestamp::new(200_000);
+    let store = engine.store();
+    // Replay baseline: rebuild a store from only the events <= probe.
+    let mut replay_engine = Engine::with_defaults();
+    replay_engine.declare_attr("room", AttrSchema::one());
+    replay_engine
+        .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+        .unwrap();
+    replay_engine.run(
+        workload
+            .events
+            .iter()
+            .filter(|e| e.ts <= probe)
+            .cloned(),
+    );
+    replay_engine.finish();
+    let replayed = replay_engine.store();
+
+    for v in 0..8 {
+        let name = format!("v{v}");
+        let full = store
+            .lookup_entity(name.as_str())
+            .map(|e| store.as_of(probe).value(e, "room"));
+        let replay = replayed
+            .lookup_entity(name.as_str())
+            .map(|e| replayed.current().value(e, "room"));
+        assert_eq!(full.flatten(), replay.flatten(), "mismatch for {name}");
+    }
+}
