@@ -47,7 +47,11 @@ pub struct SliceScope<'a>(pub &'a [(Symbol, Value)]);
 
 impl Scope for SliceScope<'_> {
     fn lookup(&self, name: Symbol) -> Option<Value> {
-        self.0.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| *v)
+        self.0
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -467,7 +471,11 @@ fn eval_call(f: Func, args: &[Value]) -> Result<Value> {
             let ord = a.partial_cmp_numeric(&b).ok_or_else(|| {
                 Error::type_err(f.name(), format!("{} vs {}", a.type_name(), b.type_name()))
             })?;
-            let take_a = if f == Func::Min { ord.is_le() } else { ord.is_ge() };
+            let take_a = if f == Func::Min {
+                ord.is_le()
+            } else {
+                ord.is_ge()
+            };
             Ok(if take_a { a } else { b })
         }
         Func::Contains | Func::StartsWith => match (args[0], args[1]) {
@@ -602,7 +610,10 @@ mod tests {
     fn null_propagation() {
         let s = EmptyScope;
         assert_eq!(
-            Expr::lit(Value::Null).add(Expr::lit(1i64)).eval(&s).unwrap(),
+            Expr::lit(Value::Null)
+                .add(Expr::lit(1i64))
+                .eval(&s)
+                .unwrap(),
             Value::Null
         );
         // Null comparisons are false, equality with Null only for Null.
@@ -655,16 +666,17 @@ mod tests {
         let e = Expr::lit(true).or(Expr::name("nope"));
         assert_eq!(e.eval(&s).unwrap(), Value::Bool(true));
         let e = Expr::lit(true).and(Expr::lit(0i64));
-        assert_eq!(e.eval(&s).unwrap(), Value::Bool(true), "truthiness of Int(0)");
+        assert_eq!(
+            e.eval(&s).unwrap(),
+            Value::Bool(true),
+            "truthiness of Int(0)"
+        );
     }
 
     #[test]
     fn not_and_neg() {
         let s = EmptyScope;
-        assert_eq!(
-            Expr::lit(true).not().eval(&s).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(Expr::lit(true).not().eval(&s).unwrap(), Value::Bool(false));
         assert_eq!(
             Expr::Unary(UnOp::Neg, Box::new(Expr::lit(3i64)))
                 .eval(&s)
@@ -696,7 +708,9 @@ mod tests {
             Value::Bool(true)
         );
         assert_eq!(
-            Expr::Call(Func::Len, vec![Expr::lit("héllo")]).eval(&s).unwrap(),
+            Expr::Call(Func::Len, vec![Expr::lit("héllo")])
+                .eval(&s)
+                .unwrap(),
             Value::Int(6),
             "len counts bytes"
         );
@@ -706,7 +720,9 @@ mod tests {
     fn functions() {
         let s = EmptyScope;
         assert_eq!(
-            Expr::Call(Func::Abs, vec![Expr::lit(-4i64)]).eval(&s).unwrap(),
+            Expr::Call(Func::Abs, vec![Expr::lit(-4i64)])
+                .eval(&s)
+                .unwrap(),
             Value::Int(4)
         );
         assert_eq!(
@@ -724,7 +740,11 @@ mod tests {
         assert_eq!(
             Expr::Call(
                 Func::Coalesce,
-                vec![Expr::lit(Value::Null), Expr::lit(Value::Null), Expr::lit(7i64)]
+                vec![
+                    Expr::lit(Value::Null),
+                    Expr::lit(Value::Null),
+                    Expr::lit(7i64)
+                ]
             )
             .eval(&s)
             .unwrap(),
@@ -738,9 +758,10 @@ mod tests {
 
     #[test]
     fn free_names_collected() {
-        let e = Expr::name("a")
-            .add(Expr::name("b"))
-            .lt(Expr::Call(Func::Min, vec![Expr::name("a"), Expr::lit(1i64)]));
+        let e = Expr::name("a").add(Expr::name("b")).lt(Expr::Call(
+            Func::Min,
+            vec![Expr::name("a"), Expr::lit(1i64)],
+        ));
         let names: Vec<&str> = e.free_names().iter().map(|s| s.as_str()).collect();
         let mut expected = vec!["a", "b"];
         expected.sort_unstable_by_key(|n| Symbol::intern(n).index());

@@ -231,7 +231,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
         }
         let Some(p) = matched else {
-            return Err(Error::parse(tline, tcol, format!("unexpected character `{c}`")));
+            return Err(Error::parse(
+                tline,
+                tcol,
+                format!("unexpected character `{c}`"),
+            ));
         };
         i += p.len();
         col += p.len() as u32;

@@ -7,7 +7,6 @@
 use crate::symbol::Symbol;
 use crate::time::Timestamp;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Interned field name.
@@ -17,7 +16,7 @@ pub type StreamId = Symbol;
 
 /// A compact record: fields kept sorted by symbol index for O(log n)
 /// lookup and canonical equality.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Record {
     fields: Vec<(FieldId, Value)>,
 }
@@ -137,7 +136,7 @@ impl<N: Into<Symbol>, V: Into<Value>> FromIterator<(N, V)> for Record {
 }
 
 /// A stream element: a record stamped with event time and provenance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// Event time (application time, not arrival time).
     pub ts: Timestamp,
@@ -158,7 +157,11 @@ impl Event {
     }
 
     /// Shorthand: build the payload from pairs.
-    pub fn from_pairs<I, N, V>(stream: impl Into<StreamId>, ts: impl Into<Timestamp>, pairs: I) -> Event
+    pub fn from_pairs<I, N, V>(
+        stream: impl Into<StreamId>,
+        ts: impl Into<Timestamp>,
+        pairs: I,
+    ) -> Event
     where
         I: IntoIterator<Item = (N, V)>,
         N: Into<Symbol>,
@@ -224,7 +227,11 @@ mod tests {
     #[test]
     fn projection_and_merge() {
         let r = Record::from_pairs([("a", 1i64), ("b", 2i64), ("c", 3i64)]);
-        let p = r.project(&[Symbol::intern("a"), Symbol::intern("c"), Symbol::intern("zz")]);
+        let p = r.project(&[
+            Symbol::intern("a"),
+            Symbol::intern("c"),
+            Symbol::intern("zz"),
+        ]);
         assert_eq!(p, Record::from_pairs([("a", 1i64), ("c", 3i64)]));
 
         let mut m = Record::from_pairs([("a", 0i64), ("d", 4i64)]);

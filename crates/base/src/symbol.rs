@@ -10,7 +10,6 @@
 //! read lock only.
 
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize, Serializer};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
@@ -96,21 +95,6 @@ impl From<String> for Symbol {
     }
 }
 
-// Symbols serialize as their string so persisted data survives process
-// restarts (raw indices would not).
-impl Serialize for Symbol {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.as_str())
-    }
-}
-
-impl<'de> Deserialize<'de> for Symbol {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(Symbol::intern(&s))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,7 +136,10 @@ mod tests {
                 })
             })
             .collect();
-        let all: Vec<Symbol> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let all: Vec<Symbol> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         for s in all {
             assert!(s.as_str().starts_with("concurrent-"));
             assert_eq!(Symbol::intern(s.as_str()), s);

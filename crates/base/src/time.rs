@@ -7,14 +7,11 @@
 //! `[start, end)` whose `end` may be absent (the element is still
 //! valid).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point on the logical event-time axis (milliseconds by convention).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -102,9 +99,7 @@ impl Sub<Timestamp> for Timestamp {
 }
 
 /// A span of logical time (milliseconds by convention).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(pub u64);
 
 impl Duration {
@@ -167,7 +162,7 @@ impl Add for Duration {
 /// `end == None` means the interval is *open*: the annotated element is
 /// still valid "now" and into the future until retracted. This is the
 /// paper's "time of validity" annotation on state elements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interval {
     /// Inclusive lower bound.
     pub start: Timestamp,

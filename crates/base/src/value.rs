@@ -7,15 +7,12 @@
 
 use crate::symbol::Symbol;
 use crate::time::Timestamp;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// Identifier of an entity in the state repository (EAV model).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EntityId(pub u64);
 
 impl fmt::Display for EntityId {
@@ -25,7 +22,7 @@ impl fmt::Display for EntityId {
 }
 
 /// A dynamically typed scalar value.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub enum Value {
     /// Absence of a value.
     Null,
@@ -325,7 +322,10 @@ mod tests {
             (Value::str("x"), Value::str("x")),
             (Value::Bool(true), Value::Bool(true)),
             (Value::Float(1.5), Value::Float(1.5)),
-            (Value::Time(Timestamp::new(9)), Value::Time(Timestamp::new(9))),
+            (
+                Value::Time(Timestamp::new(9)),
+                Value::Time(Timestamp::new(9)),
+            ),
         ];
         for (a, b) in pairs {
             assert_eq!(a, b);
@@ -344,13 +344,15 @@ mod tests {
 
     #[test]
     fn cross_type_order_is_stable() {
-        let mut vals = [Value::str("z"),
+        let mut vals = [
+            Value::str("z"),
             Value::Int(1),
             Value::Null,
             Value::Bool(true),
             Value::Float(0.5),
             Value::Id(EntityId(2)),
-            Value::Time(Timestamp::new(1))];
+            Value::Time(Timestamp::new(1)),
+        ];
         vals.sort();
         let ranks: Vec<u8> = vals.iter().map(|v| v.type_rank()).collect();
         let mut sorted = ranks.clone();

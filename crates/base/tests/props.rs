@@ -19,21 +19,36 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             .prop_map(|s| Expr::Lit(Value::str(s))),
         any::<bool>().prop_map(Expr::lit),
         Just(Expr::Lit(Value::Null)),
-        prop_oneof![Just("x"), Just("y"), Just("a.field")]
-            .prop_map(Expr::name),
+        prop_oneof![Just("x"), Just("y"), Just("a.field")].prop_map(Expr::name),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
-                Just(BinOp::Div), Just(BinOp::Mod), Just(BinOp::Eq),
-                Just(BinOp::Ne), Just(BinOp::Lt), Just(BinOp::Le),
-                Just(BinOp::Gt), Just(BinOp::Ge), Just(BinOp::And),
-                Just(BinOp::Or),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ]
+            )
                 .prop_map(|(a, b, op)| Expr::Binary(op, Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(Func::Min, vec![a, b])),
             inner.clone().prop_map(|e| Expr::Call(Func::Abs, vec![e])),
         ]

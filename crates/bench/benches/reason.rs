@@ -21,7 +21,13 @@ fn taxonomy(depth: usize) -> Ontology {
 
 fn base(products: usize) -> Vec<Triple> {
     (0..products)
-        .map(|p| Triple::new(EntityId(p as u64), "type", Value::str(&format!("c0_{}", p % 4))))
+        .map(|p| {
+            Triple::new(
+                EntityId(p as u64),
+                "type",
+                Value::str(&format!("c0_{}", p % 4)),
+            )
+        })
         .collect()
 }
 

@@ -35,8 +35,13 @@ fn bench_writes(c: &mut Criterion) {
             },
             |(mut s, e)| {
                 for i in 0..1_000u64 {
-                    s.replace_at(e, "room", format!("r{}", i % 9).as_str(), Timestamp::new(i + 1))
-                        .unwrap();
+                    s.replace_at(
+                        e,
+                        "room",
+                        format!("r{}", i % 9).as_str(),
+                        Timestamp::new(i + 1),
+                    )
+                    .unwrap();
                 }
                 s
             },
@@ -52,7 +57,8 @@ fn bench_writes(c: &mut Criterion) {
             },
             |(mut s, e)| {
                 for i in 0..1_000u64 {
-                    s.assert_at(e, "tag", i as i64, Timestamp::new(i + 1)).unwrap();
+                    s.assert_at(e, "tag", i as i64, Timestamp::new(i + 1))
+                        .unwrap();
                 }
                 s
             },

@@ -48,7 +48,9 @@ fn bench_strategies(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("windows/tumbling");
     g.sample_size(10);
-    g.bench_function("tumbling_1s", |b| b.iter(|| run(&evs, 1_000, 1_000, SlidingStrategy::Panes)));
+    g.bench_function("tumbling_1s", |b| {
+        b.iter(|| run(&evs, 1_000, 1_000, SlidingStrategy::Panes))
+    });
     g.finish();
 }
 

@@ -43,12 +43,12 @@ fn seq_pattern(len: usize, within_ms: u64) -> PatternSpec {
     let kinds = ["a", "b", "c", "d", "e"];
     let atoms: Vec<Pattern> = (0..len)
         .map(|i| {
-            let mut atom = EventPattern::on("s", kinds[i])
-                .filter(Expr::name("kind").eq(Expr::lit(kinds[i])));
+            let mut atom =
+                EventPattern::on("s", kinds[i]).filter(Expr::name("kind").eq(Expr::lit(kinds[i])));
             if i > 0 {
-                atom = atom.filter(Expr::name("user").eq(Expr::name(
-                    format!("{}.user", kinds[0]).as_str(),
-                )));
+                atom = atom.filter(
+                    Expr::name("user").eq(Expr::name(format!("{}.user", kinds[0]).as_str())),
+                );
             }
             Pattern::atom(atom)
         })

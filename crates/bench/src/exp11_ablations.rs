@@ -9,8 +9,10 @@
 
 use crate::table::{fmt_f, Table};
 use crate::time_it;
+use fenestra_base::expr::Expr;
 use fenestra_base::record::Event;
 use fenestra_base::time::{Duration, Timestamp};
+use fenestra_base::value::Value;
 use fenestra_core::{Engine, EngineConfig, Semantics};
 use fenestra_reason::{Axiom, Ontology};
 use fenestra_stream::aggregate::AggSpec;
@@ -20,8 +22,6 @@ use fenestra_stream::ops::filter::Filter;
 use fenestra_stream::parallel::ParallelExecutor;
 use fenestra_stream::watermark::WatermarkPolicy;
 use fenestra_stream::window::time::TimeWindowOp;
-use fenestra_base::expr::Expr;
-use fenestra_base::value::Value;
 use fenestra_temporal::{AttrSchema, TemporalStore};
 use fenestra_workloads::{ClickstreamConfig, ClickstreamWorkload};
 
@@ -219,7 +219,12 @@ pub fn run() -> Table {
         });
         t.row(vec![
             "reasoning".into(),
-            if auto { "per-transition" } else { "once-at-end" }.into(),
+            if auto {
+                "per-transition"
+            } else {
+                "once-at-end"
+            }
+            .into(),
             "events/s".into(),
             fmt_f(churn.len() as f64 / secs),
         ]);

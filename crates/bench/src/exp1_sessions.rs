@@ -36,10 +36,7 @@ fn workload() -> ClickstreamWorkload {
 
 /// Fraction of true sessions whose (user, start, end) is recovered
 /// exactly by `(user, start, end)` rows.
-fn exact_fraction(
-    truth: &ClickstreamWorkload,
-    detected: &[(String, Timestamp, Timestamp)],
-) -> f64 {
+fn exact_fraction(truth: &ClickstreamWorkload, detected: &[(String, Timestamp, Timestamp)]) -> f64 {
     let hits = truth
         .sessions
         .iter()

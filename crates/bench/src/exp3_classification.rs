@@ -40,7 +40,13 @@ pub fn run() -> Table {
             "E3: sale classification ({} sales, {} catalog updates)",
             w.sale_count, w.catalog_count
         ),
-        &["approach", "window", "join_rows_per_sale", "correct", "mem_proxy"],
+        &[
+            "approach",
+            "window",
+            "join_rows_per_sale",
+            "correct",
+            "mem_proxy",
+        ],
     );
 
     for window_s in [10u64, 60, 300, 1800] {

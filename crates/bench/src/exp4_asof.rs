@@ -88,7 +88,10 @@ pub fn run() -> Table {
             n.to_string(),
             fmt_f(asof_us),
             fmt_f(replay_ms),
-            format!("{:.0}x", (replay_secs / queries as f64) / (asof_secs / queries as f64)),
+            format!(
+                "{:.0}x",
+                (replay_secs / queries as f64) / (asof_secs / queries as f64)
+            ),
             store.stored_fact_count().to_string(),
         ]);
     }

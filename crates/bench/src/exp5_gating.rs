@@ -35,11 +35,11 @@ const RULES: &str = r#"
 
 /// An "expensive" analysis stage: several derived columns plus a
 /// grouped window — enough work that skipping it matters.
-fn analysis_stage(g: &mut Graph, input: fenestra_stream::graph::NodeId) -> fenestra_stream::graph::SinkHandle {
-    let d1 = g.add_op(Derive::new(
-        "score",
-        Expr::name("ts").add(Expr::lit(1i64)),
-    ));
+fn analysis_stage(
+    g: &mut Graph,
+    input: fenestra_stream::graph::NodeId,
+) -> fenestra_stream::graph::SinkHandle {
+    let d1 = g.add_op(Derive::new("score", Expr::name("ts").add(Expr::lit(1i64))));
     g.connect(input, d1);
     let d2 = g.add_op(Derive::new(
         "score2",
@@ -103,12 +103,7 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "E5: state-gated processing (only active-session events analyzed)",
         &[
-            "workload",
-            "events",
-            "variant",
-            "analyzed",
-            "wall_ms",
-            "out_rows",
+            "workload", "events", "variant", "analyzed", "wall_ms", "out_rows",
         ],
     );
     // Sparse sessions (few users active at once) vs dense.
@@ -131,7 +126,13 @@ pub fn run() -> Table {
                     "clicks",
                     e.ts.millis(),
                     [
-                        ("user", fenestra_base::value::Value::str(&format!("ghost{}", (i as u64 * 2 + k) % 500))),
+                        (
+                            "user",
+                            fenestra_base::value::Value::str(&format!(
+                                "ghost{}",
+                                (i as u64 * 2 + k) % 500
+                            )),
+                        ),
                         ("action", fenestra_base::value::Value::str("browse")),
                         ("page", fenestra_base::value::Value::str("page0")),
                     ],

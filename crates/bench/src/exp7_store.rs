@@ -28,7 +28,12 @@ pub fn run() -> Table {
     let (_, secs) = time_it(|| {
         for i in 0..n {
             store
-                .assert_at(ids[(i % visitors) as usize], "tag", i as i64, Timestamp::new(i + 1))
+                .assert_at(
+                    ids[(i % visitors) as usize],
+                    "tag",
+                    i as i64,
+                    Timestamp::new(i + 1),
+                )
                 .unwrap();
         }
     });

@@ -106,7 +106,10 @@ mod tests {
             // Semi-naive should not be dramatically slower than naive
             // (both reach the same fixpoint; semi-naive avoids
             // re-deriving).
-            assert!(semi_ms <= naive_ms * 2.0, "semi {semi_ms} vs naive {naive_ms}");
+            assert!(
+                semi_ms <= naive_ms * 2.0,
+                "semi {semi_ms} vs naive {naive_ms}"
+            );
             // The incremental update should beat recomputation.
             assert!(
                 incr_us / 1e3 < recompute_ms,

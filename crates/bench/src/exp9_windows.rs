@@ -61,7 +61,12 @@ pub fn run() -> Table {
             "rows",
         ],
     );
-    for (size, slide) in [(1_000u64, 1_000u64), (5_000, 1_000), (20_000, 1_000), (60_000, 2_000)] {
+    for (size, slide) in [
+        (1_000u64, 1_000u64),
+        (5_000, 1_000),
+        (20_000, 1_000),
+        (60_000, 2_000),
+    ] {
         let mut results = Vec::new();
         let mut rows = Vec::new();
         for strat in [

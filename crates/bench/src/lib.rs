@@ -23,6 +23,8 @@
 //! binary prints one or all. Criterion microbenches live in
 //! `benches/`.
 
+pub mod exp10_patterns;
+pub mod exp11_ablations;
 pub mod exp1_sessions;
 pub mod exp2_contradictions;
 pub mod exp3_classification;
@@ -32,8 +34,6 @@ pub mod exp6_separation;
 pub mod exp7_store;
 pub mod exp8_reasoning;
 pub mod exp9_windows;
-pub mod exp10_patterns;
-pub mod exp11_ablations;
 pub mod table;
 
 pub use table::Table;
@@ -53,16 +53,40 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// All experiments in order, as `(id, title, runner)`.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        ("e1", "Session detection vs fixed windows", exp1_sessions::run),
-        ("e2", "Contradictions in windowed state", exp2_contradictions::run),
-        ("e3", "Classification joins: window vs state", exp3_classification::run),
+        (
+            "e1",
+            "Session detection vs fixed windows",
+            exp1_sessions::run,
+        ),
+        (
+            "e2",
+            "Contradictions in windowed state",
+            exp2_contradictions::run,
+        ),
+        (
+            "e3",
+            "Classification joins: window vs state",
+            exp3_classification::run,
+        ),
         ("e4", "Historical queries: as-of vs replay", exp4_asof::run),
         ("e5", "State-gated processing", exp5_gating::run),
         ("e6", "Separation of concerns", exp6_separation::run),
         ("e7", "Temporal store microbenchmarks", exp7_store::run),
-        ("e8", "Reasoning maintenance strategies", exp8_reasoning::run),
-        ("e9", "Sliding-window aggregation strategies", exp9_windows::run),
-        ("e10", "Multi-event rule triggers (CEP)", exp10_patterns::run),
+        (
+            "e8",
+            "Reasoning maintenance strategies",
+            exp8_reasoning::run,
+        ),
+        (
+            "e9",
+            "Sliding-window aggregation strategies",
+            exp9_windows::run,
+        ),
+        (
+            "e10",
+            "Multi-event rule triggers (CEP)",
+            exp10_patterns::run,
+        ),
         ("e11", "Design-choice ablations", exp11_ablations::run),
     ]
 }

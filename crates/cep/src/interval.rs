@@ -126,13 +126,19 @@ mod tests {
         assert_eq!(classify(&iv(0, 10), &iv(10, 20)), AllenRelation::Meets);
         assert_eq!(classify(&iv(10, 20), &iv(0, 10)), AllenRelation::MetBy);
         assert_eq!(classify(&iv(0, 15), &iv(10, 20)), AllenRelation::Overlaps);
-        assert_eq!(classify(&iv(10, 20), &iv(0, 15)), AllenRelation::OverlappedBy);
+        assert_eq!(
+            classify(&iv(10, 20), &iv(0, 15)),
+            AllenRelation::OverlappedBy
+        );
         assert_eq!(classify(&iv(12, 15), &iv(10, 20)), AllenRelation::During);
         assert_eq!(classify(&iv(10, 20), &iv(12, 15)), AllenRelation::Contains);
         assert_eq!(classify(&iv(10, 15), &iv(10, 20)), AllenRelation::Starts);
         assert_eq!(classify(&iv(10, 20), &iv(10, 15)), AllenRelation::StartedBy);
         assert_eq!(classify(&iv(15, 20), &iv(10, 20)), AllenRelation::Finishes);
-        assert_eq!(classify(&iv(10, 20), &iv(15, 20)), AllenRelation::FinishedBy);
+        assert_eq!(
+            classify(&iv(10, 20), &iv(15, 20)),
+            AllenRelation::FinishedBy
+        );
         assert_eq!(classify(&iv(10, 20), &iv(10, 20)), AllenRelation::Equals);
     }
 

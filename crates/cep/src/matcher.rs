@@ -25,7 +25,10 @@ impl Match {
     /// The first bound event with this alias.
     pub fn get(&self, alias: impl Into<Symbol>) -> Option<&Event> {
         let alias = alias.into();
-        self.bindings.iter().find(|(a, _)| *a == alias).map(|(_, e)| e)
+        self.bindings
+            .iter()
+            .find(|(a, _)| *a == alias)
+            .map(|(_, e)| e)
     }
 
     /// All bound events with this alias (repetitions).
@@ -265,8 +268,12 @@ mod tests {
     fn seq_ab(within: u64) -> Matcher {
         let spec = PatternSpec::new(
             Pattern::seq([
-                Pattern::atom(EventPattern::on("s", "a").filter(Expr::name("k").eq(Expr::lit("a")))),
-                Pattern::atom(EventPattern::on("s", "b").filter(Expr::name("k").eq(Expr::lit("b")))),
+                Pattern::atom(
+                    EventPattern::on("s", "a").filter(Expr::name("k").eq(Expr::lit("a"))),
+                ),
+                Pattern::atom(
+                    EventPattern::on("s", "b").filter(Expr::name("k").eq(Expr::lit("b"))),
+                ),
             ]),
             Duration::millis(within),
         );
@@ -276,7 +283,9 @@ mod tests {
     #[test]
     fn sequence_matches_in_order() {
         let mut m = seq_ab(100);
-        assert!(m.on_event(&ev("s", 1, vec![("k", Value::str("a"))])).is_empty());
+        assert!(m
+            .on_event(&ev("s", 1, vec![("k", Value::str("a"))]))
+            .is_empty());
         let matches = m.on_event(&ev("s", 5, vec![("k", Value::str("b"))]));
         assert_eq!(matches.len(), 1);
         let mt = &matches[0];
@@ -291,8 +300,12 @@ mod tests {
     #[test]
     fn wrong_order_does_not_match() {
         let mut m = seq_ab(100);
-        assert!(m.on_event(&ev("s", 1, vec![("k", Value::str("b"))])).is_empty());
-        assert!(m.on_event(&ev("s", 2, vec![("k", Value::str("a"))])).is_empty());
+        assert!(m
+            .on_event(&ev("s", 1, vec![("k", Value::str("b"))]))
+            .is_empty());
+        assert!(m
+            .on_event(&ev("s", 2, vec![("k", Value::str("a"))]))
+            .is_empty());
     }
 
     #[test]
@@ -330,7 +343,11 @@ mod tests {
             Duration::millis(100),
         );
         let mut m = Matcher::new(spec).unwrap();
-        m.on_event(&ev("s", 1, vec![("kind", Value::str("login")), ("user", Value::str("u1"))]));
+        m.on_event(&ev(
+            "s",
+            1,
+            vec![("kind", Value::str("login")), ("user", Value::str("u1"))],
+        ));
         let other = m.on_event(&ev(
             "s",
             2,
@@ -349,8 +366,12 @@ mod tests {
     fn negation_kills_partials() {
         let spec = PatternSpec::new(
             Pattern::seq([
-                Pattern::atom(EventPattern::on("s", "a").filter(Expr::name("k").eq(Expr::lit("a")))),
-                Pattern::atom(EventPattern::on("s", "b").filter(Expr::name("k").eq(Expr::lit("b")))),
+                Pattern::atom(
+                    EventPattern::on("s", "a").filter(Expr::name("k").eq(Expr::lit("a"))),
+                ),
+                Pattern::atom(
+                    EventPattern::on("s", "b").filter(Expr::name("k").eq(Expr::lit("b"))),
+                ),
             ]),
             Duration::millis(100),
         )
@@ -375,7 +396,9 @@ mod tests {
                     1,
                     None,
                 ),
-                Pattern::atom(EventPattern::on("s", "b").filter(Expr::name("k").eq(Expr::lit("b")))),
+                Pattern::atom(
+                    EventPattern::on("s", "b").filter(Expr::name("k").eq(Expr::lit("b"))),
+                ),
             ]),
             Duration::millis(100),
         );

@@ -106,7 +106,9 @@ impl Builder {
     }
 
     fn consume(&mut self, from: usize, pat: EventPattern, to: usize) {
-        self.states[from].trans.push(Trans::Consume(Box::new(pat), to));
+        self.states[from]
+            .trans
+            .push(Trans::Consume(Box::new(pat), to));
     }
 
     /// Build a fragment; returns (entry, exit).

@@ -175,5 +175,9 @@ fn brute_force_self_check() {
         .map(|(k, t)| Event::from_pairs("s", *t, [("kind", Value::str(k))]))
         .collect();
     assert_eq!(brute_force_seq(&evs, &["a", "b"], 100), 2);
-    assert_eq!(brute_force_seq(&evs, &["a", "b"], 1), 1, "window excludes a1");
+    assert_eq!(
+        brute_force_seq(&evs, &["a", "b"], 1),
+        1,
+        "window excludes a1"
+    );
 }

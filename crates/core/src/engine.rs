@@ -103,7 +103,10 @@ impl Engine {
 
     /// Declare an attribute on the state repository.
     pub fn declare_attr(&mut self, attr: impl Into<Symbol>, schema: AttrSchema) {
-        self.store.write().expect("store lock").declare_attr(attr, schema);
+        self.store
+            .write()
+            .expect("store lock")
+            .declare_attr(attr, schema);
     }
 
     /// Register a state-management rule.
@@ -342,7 +345,10 @@ impl Engine {
             for (e, attr, v, at) in &expired {
                 let entity_val = {
                     let store = self.store.read().expect("store lock");
-                    store.entity_name(*e).map(Value::Str).unwrap_or(Value::Id(*e))
+                    store
+                        .entity_name(*e)
+                        .map(Value::Str)
+                        .unwrap_or(Value::Id(*e))
                 };
                 let rec = fenestra_base::record::Record::from_pairs([
                     ("entity", entity_val),
@@ -505,7 +511,9 @@ mod tests {
             click(5, "u1", "leave"),
         ]);
         eng.finish();
-        let res = eng.query("select ?u where { ?u status \"active\" }").unwrap();
+        let res = eng
+            .query("select ?u where { ?u status \"active\" }")
+            .unwrap();
         assert_eq!(res.len(), 1, "only u2 still active");
         let hist = eng.query("history u1 status").unwrap();
         match hist {
@@ -606,9 +614,8 @@ mod tests {
         eng.add_rules_text(SESSION_RULES).unwrap();
         let store = eng.shared_store();
         let mut g = Graph::new();
-        let gate = g.add_op(
-            StateGate::new(store, "user", "status", "active").time_ref(TimeRef::Current),
-        );
+        let gate =
+            g.add_op(StateGate::new(store, "user", "status", "active").time_ref(TimeRef::Current));
         g.connect_source("clicks", gate);
         let sink = g.add_sink();
         g.connect(gate, sink.node);
@@ -688,7 +695,10 @@ mod tests {
         eng.push(Event::from_pairs(
             "catalog",
             1u64,
-            [("product", Value::str("p1")), ("class", Value::str("toy_cars"))],
+            [
+                ("product", Value::str("p1")),
+                ("class", Value::str("toy_cars")),
+            ],
         ));
         eng.finish();
         let res = eng
@@ -721,7 +731,11 @@ mod retention_tests {
     use fenestra_base::time::Duration;
 
     fn sensor(ts: u64, room: &str) -> Event {
-        Event::from_pairs("sensors", ts, [("visitor", Value::str("v")), ("room", Value::str(room))])
+        Event::from_pairs(
+            "sensors",
+            ts,
+            [("visitor", Value::str("v")), ("room", Value::str(room))],
+        )
     }
 
     #[test]
@@ -742,10 +756,17 @@ mod retention_tests {
         // History trimmed: far fewer than 50 intervals survive, but
         // the current room is intact.
         let h = store.history(v, "room");
-        assert!(h.len() < 20, "retention should have trimmed history: {}", h.len());
+        assert!(
+            h.len() < 20,
+            "retention should have trimmed history: {}",
+            h.len()
+        );
         assert!(store.current().value(v, "room").is_some());
         // Recent past still answerable.
-        assert!(store.as_of(Timestamp::new(49 * 20)).value(v, "room").is_some());
+        assert!(store
+            .as_of(Timestamp::new(49 * 20))
+            .value(v, "room")
+            .is_some());
     }
 
     #[test]
@@ -783,9 +804,9 @@ mod retention_tests {
 #[cfg(test)]
 mod transition_stream_tests {
     use super::*;
+    use fenestra_base::time::Duration;
     use fenestra_stream::aggregate::AggSpec;
     use fenestra_stream::window::time::TimeWindowOp;
-    use fenestra_base::time::Duration;
 
     /// The dataflow can consume the state-change stream: count room
     /// changes per visitor without touching the sensor stream at all.
@@ -827,7 +848,11 @@ mod transition_stream_tests {
             .iter()
             .find(|e| e.get("entity") == Some(&Value::str("a")))
             .unwrap();
-        assert_eq!(a.get("changes"), Some(&Value::Int(2)), "idempotent move not republished");
+        assert_eq!(
+            a.get("changes"),
+            Some(&Value::Int(2)),
+            "idempotent move not republished"
+        );
         let b = rows
             .iter()
             .find(|e| e.get("entity") == Some(&Value::str("b")))
@@ -898,7 +923,7 @@ mod ttl_engine_tests {
         let click = |ts: u64, u: &str| Event::from_pairs("clicks", ts, [("user", u)]);
         eng.run([
             click(10, "a"),
-            click(50, "a"),  // refresh: ttl restarts at 50
+            click(50, "a"), // refresh: ttl restarts at 50
             click(60, "b"),
             click(300, "c"), // watermark 300 expires a (at 150) and b (at 160)
         ]);
@@ -907,7 +932,11 @@ mod ttl_engine_tests {
         let a = store.lookup_entity("a").unwrap();
         let b = store.lookup_entity("b").unwrap();
         let c = store.lookup_entity("c").unwrap();
-        assert_eq!(store.current().value(a, "last_seen"), None, "a idle since 50");
+        assert_eq!(
+            store.current().value(a, "last_seen"),
+            None,
+            "a idle since 50"
+        );
         assert_eq!(store.current().value(b, "last_seen"), None);
         assert!(store.current().value(c, "last_seen").is_some(), "c fresh");
         // a's session recorded as [10,50) + [50,150).
@@ -946,8 +975,12 @@ mod watch_tests {
             "#,
         )
         .unwrap();
-        eng.watch("actives", r#"select ?u where { ?u status "active" }"#, "view_updates")
-            .unwrap();
+        eng.watch(
+            "actives",
+            r#"select ?u where { ?u status "active" }"#,
+            "view_updates",
+        )
+        .unwrap();
         let mut g = Graph::new();
         let sink = g.add_sink();
         g.connect_source("view_updates", sink.node);
@@ -971,7 +1004,9 @@ mod watch_tests {
             .collect();
         assert_eq!(signs.iter().filter(|s| **s == 1).count(), 2);
         assert_eq!(signs.iter().filter(|s| **s == -1).count(), 1);
-        assert!(out.iter().all(|e| e.get("watch") == Some(&Value::str("actives"))));
+        assert!(out
+            .iter()
+            .all(|e| e.get("watch") == Some(&Value::str("actives"))));
         // The leave delta is stamped at its batch's watermark.
         assert_eq!(out[2].ts, Timestamp::new(5));
     }

@@ -117,7 +117,8 @@ mod tests {
         let mut s = TemporalStore::new();
         s.declare_attr("status", AttrSchema::one());
         let a = s.named_entity("a");
-        s.replace_at(a, "status", "active", Timestamp::new(1)).unwrap();
+        s.replace_at(a, "status", "active", Timestamp::new(1))
+            .unwrap();
         let mut w = Watch::new("actives", active_query());
         let deltas = w.poll(&s);
         assert_eq!(deltas.len(), 1);
@@ -128,7 +129,8 @@ mod tests {
     fn unchanged_revision_is_free() {
         let mut s = TemporalStore::new();
         let a = s.named_entity("a");
-        s.assert_at(a, "status", "active", Timestamp::new(1)).unwrap();
+        s.assert_at(a, "status", "active", Timestamp::new(1))
+            .unwrap();
         let mut w = Watch::new("actives", active_query());
         assert_eq!(w.poll(&s).len(), 1);
         assert!(w.poll(&s).is_empty(), "no revision change, no work");
@@ -141,10 +143,13 @@ mod tests {
         let a = s.named_entity("a");
         let b = s.named_entity("b");
         let mut w = Watch::new("actives", active_query());
-        s.replace_at(a, "status", "active", Timestamp::new(1)).unwrap();
+        s.replace_at(a, "status", "active", Timestamp::new(1))
+            .unwrap();
         assert_eq!(w.poll(&s).len(), 1);
-        s.replace_at(b, "status", "active", Timestamp::new(2)).unwrap();
-        s.replace_at(a, "status", "idle", Timestamp::new(2)).unwrap();
+        s.replace_at(b, "status", "active", Timestamp::new(2))
+            .unwrap();
+        s.replace_at(a, "status", "idle", Timestamp::new(2))
+            .unwrap();
         let deltas = w.poll(&s);
         assert_eq!(deltas.len(), 2, "a left, b entered");
         let signs: Vec<i64> = deltas.iter().map(|d| d.sign).collect();

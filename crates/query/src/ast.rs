@@ -52,11 +52,7 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// Construct a pattern.
     pub fn new(e: Term, a: impl Into<Symbol>, v: Term) -> TriplePattern {
-        TriplePattern {
-            e,
-            a: a.into(),
-            v,
-        }
+        TriplePattern { e, a: a.into(), v }
     }
 }
 

@@ -359,10 +359,7 @@ mod tests {
             .pattern(Term::var("v"), "badge", Term::var("b"))
             .limit(2)
             .count();
-        assert_eq!(
-            execute(&s, &q).unwrap()[0][0].1,
-            Value::Int(2)
-        );
+        assert_eq!(execute(&s, &q).unwrap()[0][0].1, Value::Int(2));
     }
 
     #[test]

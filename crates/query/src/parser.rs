@@ -107,7 +107,9 @@ pub fn parse_query(src: &str) -> Result<ParsedQuery> {
     let vars = q.variables();
     for s in &q.select {
         if !vars.contains(s) {
-            return Err(Error::Invalid(format!("selected variable ?{s} is not bound by any pattern")));
+            return Err(Error::Invalid(format!(
+                "selected variable ?{s} is not bound by any pattern"
+            )));
         }
     }
     Ok(ParsedQuery::Select(q))
@@ -149,7 +151,8 @@ mod tests {
         s.declare_attr("room", AttrSchema::one());
         let v1 = s.named_entity("v1");
         let v2 = s.named_entity("v2");
-        s.replace_at(v1, "room", "lobby", Timestamp::new(10)).unwrap();
+        s.replace_at(v1, "room", "lobby", Timestamp::new(10))
+            .unwrap();
         s.replace_at(v2, "room", "lab", Timestamp::new(10)).unwrap();
         s.replace_at(v1, "room", "lab", Timestamp::new(20)).unwrap();
         s
@@ -192,10 +195,7 @@ mod tests {
     #[test]
     fn parse_multi_pattern_with_dots() {
         let s = store();
-        let rows = run(
-            "select ?x ?y where { ?x room ?r . ?y room ?r . }",
-            &s,
-        );
+        let rows = run("select ?x ?y where { ?x room ?r . ?y room ?r . }", &s);
         // Now both v1 and v2 are in the lab: pairs (v1,v1),(v1,v2),(v2,v1),(v2,v2).
         assert_eq!(rows.len(), 4);
     }
@@ -229,10 +229,10 @@ mod tests {
     #[test]
     fn parse_errors() {
         for bad in [
-            "select where { ?v room \"x\" }",      // no vars
-            "select ?v where { }",                   // no patterns
-            "select ?v where { ?v room }",           // incomplete pattern
-            "select ?v where { ?x room \"l\" }",    // unbound select var
+            "select where { ?v room \"x\" }",               // no vars
+            "select ?v where { }",                          // no patterns
+            "select ?v where { ?v room }",                  // incomplete pattern
+            "select ?v where { ?x room \"l\" }",            // unbound select var
             "select ?v where { ?v room \"l\" } during 5 5", // empty range
             "select ?v where { ?v room \"l\" } garbage",    // trailing
         ] {

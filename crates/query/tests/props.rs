@@ -34,14 +34,20 @@ fn build(ops: &[Op]) -> TemporalStore {
         match op {
             Op::Replace { e, attr, v } => {
                 let ent = s.named_entity(format!("e{e}").as_str());
-                s.replace_at(ent, ATTRS[*attr as usize], format!("v{v}").as_str(), Timestamp::new(t))
-                    .unwrap();
+                s.replace_at(
+                    ent,
+                    ATTRS[*attr as usize],
+                    format!("v{v}").as_str(),
+                    Timestamp::new(t),
+                )
+                .unwrap();
             }
             Op::Retract { e, attr } => {
                 let ent = s.named_entity(format!("e{e}").as_str());
                 let cur = s.current().value(ent, ATTRS[*attr as usize]);
                 if let Some(v) = cur {
-                    s.retract_at(ent, ATTRS[*attr as usize], v, Timestamp::new(t)).unwrap();
+                    s.retract_at(ent, ATTRS[*attr as usize], v, Timestamp::new(t))
+                        .unwrap();
                 }
             }
         }

@@ -38,10 +38,7 @@ pub fn parse_axioms(src: &str) -> Result<Vec<Axiom>> {
             let sub = c.expect_ident()?;
             c.expect_punct("<")?;
             let sup = c.expect_ident()?;
-            out.push(Axiom::SubClassOf(
-                Value::str(&sub),
-                Value::str(&sup),
-            ));
+            out.push(Axiom::SubClassOf(Value::str(&sub), Value::str(&sup)));
         } else if c.eat_kw("subproperty") {
             let sub = Symbol::intern(&c.expect_ident()?);
             c.expect_punct("<")?;
@@ -63,9 +60,9 @@ pub fn parse_axioms(src: &str) -> Result<Vec<Axiom>> {
                 let cl = c.expect_ident()?;
                 out.push(Axiom::Range(p, Value::str(&cl)));
             } else {
-                return Err(c.error(
-                    "expected transitive | symmetric | inverse P | domain C | range C",
-                ));
+                return Err(
+                    c.error("expected transitive | symmetric | inverse P | domain C | range C")
+                );
             }
         } else {
             return Err(c.error("expected `class`, `subproperty`, or `property`"));

@@ -123,10 +123,7 @@ impl IncrementalMaterializer {
         }
         // Anything a rederived fact supports was either never deleted
         // or sits inside `candidates` and was handled by the loop.
-        let retracted: Vec<Triple> = over
-            .into_iter()
-            .filter(|f| !self.idx.contains(f))
-            .collect();
+        let retracted: Vec<Triple> = over.into_iter().filter(|f| !self.idx.contains(f)).collect();
         retracted
     }
 
@@ -177,9 +174,10 @@ mod tests {
 
     #[test]
     fn insert_propagates() {
-        let ont = Ontology::from_axioms([
-            Axiom::SubClassOf(Value::str("toys"), Value::str("products")),
-        ]);
+        let ont = Ontology::from_axioms([Axiom::SubClassOf(
+            Value::str("toys"),
+            Value::str("products"),
+        )]);
         let mut m = mk(ont.clone());
         let added = m.insert(Triple::new(e(1), "type", "toys"));
         assert_eq!(added, vec![Triple::new(e(1), "type", "products")]);
@@ -189,9 +187,10 @@ mod tests {
 
     #[test]
     fn delete_retracts_unsupported() {
-        let ont = Ontology::from_axioms([
-            Axiom::SubClassOf(Value::str("toys"), Value::str("products")),
-        ]);
+        let ont = Ontology::from_axioms([Axiom::SubClassOf(
+            Value::str("toys"),
+            Value::str("products"),
+        )]);
         let mut m = mk(ont.clone());
         let t = Triple::new(e(1), "type", "toys");
         m.insert(t);
@@ -242,9 +241,7 @@ mod tests {
 
     #[test]
     fn base_fact_that_is_also_derived_survives_deletion_of_support() {
-        let ont = Ontology::from_axioms([
-            Axiom::SubClassOf(Value::str("a"), Value::str("b")),
-        ]);
+        let ont = Ontology::from_axioms([Axiom::SubClassOf(Value::str("a"), Value::str("b"))]);
         let mut m = mk(ont.clone());
         m.insert(Triple::new(e(1), "type", "a"));
         // (1, type, b) is derived; now also assert it as base.
@@ -270,7 +267,9 @@ mod tests {
         // Deterministic pseudo-random walk.
         let mut x: u64 = 12345;
         let mut step = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 33
         };
         let mut pool: Vec<Triple> = Vec::new();

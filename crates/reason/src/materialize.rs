@@ -126,11 +126,7 @@ pub fn derivable_one_step(
             None
         };
         if let (Some(cp), Some(oe)) = (counterpart, fo) {
-            if idx
-                .objects(cp, oe)
-                .iter()
-                .any(|v| resolve(*v) == Some(f.s))
-            {
+            if idx.objects(cp, oe).iter().any(|v| resolve(*v) == Some(f.s)) {
                 return true;
             }
         }

@@ -106,11 +106,7 @@ impl Ontology {
 
     /// Whether `sub` is a (possibly indirect) subclass of `sup`.
     pub fn is_subclass(&self, sub: &Value, sup: &Value) -> bool {
-        sub == sup
-            || self
-                .superclasses
-                .get(sub)
-                .is_some_and(|s| s.contains(sup))
+        sub == sup || self.superclasses.get(sub).is_some_and(|s| s.contains(sup))
     }
 
     /// Whether `p` is declared transitive.
@@ -153,7 +149,9 @@ impl Ontology {
                     out.insert(*p);
                     out.insert(*q);
                 }
-                Axiom::Domain(p, _) | Axiom::Range(p, _) | Axiom::Transitive(p)
+                Axiom::Domain(p, _)
+                | Axiom::Range(p, _)
+                | Axiom::Transitive(p)
                 | Axiom::Symmetric(p) => {
                     out.insert(*p);
                 }

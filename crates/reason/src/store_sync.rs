@@ -9,7 +9,7 @@
 
 use crate::materialize::seminaive;
 use crate::ontology::Ontology;
-use crate::triple::{Triple, type_attr};
+use crate::triple::{type_attr, Triple};
 use fenestra_base::error::Result;
 use fenestra_base::symbol::Symbol;
 use fenestra_base::time::Timestamp;
@@ -45,7 +45,11 @@ pub fn base_triples(store: &TemporalStore, ont: &Ontology) -> Vec<Triple> {
 ///
 /// Returns `(asserted, retracted)` counts. Idempotent: a second sync
 /// with unchanged state does nothing.
-pub fn sync_store(store: &mut TemporalStore, ont: &Ontology, t: Timestamp) -> Result<(usize, usize)> {
+pub fn sync_store(
+    store: &mut TemporalStore,
+    ont: &Ontology,
+    t: Timestamp,
+) -> Result<(usize, usize)> {
     // Resolve string-valued entity references through the directory.
     let names: std::collections::HashMap<Symbol, fenestra_base::value::EntityId> = {
         let mut m = std::collections::HashMap::new();
@@ -168,9 +172,7 @@ mod tests {
         let room = store.named_entity("room1");
         let _ = building;
         store.assert_at(room, "part_of", "wing", ts(1)).unwrap();
-        store
-            .assert_at(wing, "part_of", "building", ts(1))
-            .unwrap();
+        store.assert_at(wing, "part_of", "building", ts(1)).unwrap();
         sync_store(&mut store, &ont, ts(2)).unwrap();
         assert!(store.current().holds(room, "part_of", "building"));
     }

@@ -108,7 +108,10 @@ impl TripleIndex {
 
     /// Subjects of `(?, p, o)` where `o` resolves to entity `oe`.
     pub fn subjects(&self, p: Symbol, oe: EntityId) -> &[EntityId] {
-        self.by_po.get(&(p, oe)).map(|v| v.as_slice()).unwrap_or(&[])
+        self.by_po
+            .get(&(p, oe))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of triples.
@@ -134,7 +137,10 @@ mod tests {
         assert!(!idx.insert(t, &id_resolver), "duplicate");
         assert!(idx.contains(&t));
         assert_eq!(idx.objects(Symbol::intern("p"), EntityId(1)).len(), 1);
-        assert_eq!(idx.subjects(Symbol::intern("p"), EntityId(2)), &[EntityId(1)]);
+        assert_eq!(
+            idx.subjects(Symbol::intern("p"), EntityId(2)),
+            &[EntityId(1)]
+        );
         assert!(idx.remove(&t, &id_resolver));
         assert!(!idx.remove(&t, &id_resolver));
         assert!(idx.is_empty());

@@ -33,8 +33,11 @@ fn axiom_strategy() -> impl Strategy<Value = Axiom> {
 fn triple_strategy() -> impl Strategy<Value = Triple> {
     prop_oneof![
         (0..5u64, 0..6u8).prop_map(|(e, c)| Triple::new(EntityId(e), "type", class(c))),
-        (0..5u64, 0..3u8, 0..5u64)
-            .prop_map(|(s, p, o)| Triple { s: EntityId(s), p: prop_sym(p), o: Value::Id(EntityId(o)) }),
+        (0..5u64, 0..3u8, 0..5u64).prop_map(|(s, p, o)| Triple {
+            s: EntityId(s),
+            p: prop_sym(p),
+            o: Value::Id(EntityId(o))
+        }),
     ]
 }
 

@@ -157,10 +157,13 @@ fn parse_guard(c: &mut Cursor<'_>) -> Result<Guard> {
     }
     if matches!(c.peek(), Some(Tok::Ident(s)) if s == "state") {
         let (entity, attr) = parse_stateref(c)?;
-        c.expect_punct("==")
-            .or_else(|_| c.expect_punct("="))?;
+        c.expect_punct("==").or_else(|_| c.expect_punct("="))?;
         let value = c.expression()?;
-        return Ok(Guard::StateEquals { entity, attr, value });
+        return Ok(Guard::StateEquals {
+            entity,
+            attr,
+            value,
+        });
     }
     Ok(Guard::Expr(c.expression()?))
 }
@@ -187,9 +190,21 @@ fn parse_action(c: &mut Cursor<'_>) -> Result<Action> {
     c.expect_punct("=")?;
     let value = c.expression()?;
     Ok(match kw.as_str() {
-        "assert" => Action::Assert { entity, attr, value },
-        "replace" => Action::Replace { entity, attr, value },
-        "retract" => Action::Retract { entity, attr, value },
+        "assert" => Action::Assert {
+            entity,
+            attr,
+            value,
+        },
+        "replace" => Action::Replace {
+            entity,
+            attr,
+            value,
+        },
+        "retract" => Action::Retract {
+            entity,
+            attr,
+            value,
+        },
         other => return Err(c.error(format!("unknown action `{other}`"))),
     })
 }
@@ -319,7 +334,10 @@ mod tests {
         assert_eq!(rules.len(), 2);
         assert!(matches!(rules[0].actions[0], Action::RetractEntity { .. }));
         match &rules[1].actions[0] {
-            Action::Replace { entity: EntityRef::Named(n), .. } => {
+            Action::Replace {
+                entity: EntityRef::Named(n),
+                ..
+            } => {
                 assert_eq!(n.as_str(), "system");
             }
             other => panic!("wrong action {other:?}"),
@@ -337,7 +355,10 @@ mod tests {
         )
         .unwrap();
         match &r.actions[0] {
-            Action::Replace { entity: EntityRef::Expr(e), .. } => {
+            Action::Replace {
+                entity: EntityRef::Expr(e),
+                ..
+            } => {
                 assert!(matches!(e, Expr::Binary(..)));
             }
             other => panic!("wrong action {other:?}"),
@@ -348,8 +369,8 @@ mod tests {
     fn parse_errors_have_positions() {
         for bad in [
             "rule x\n on s\n assert $(u).a = 1", // missing colon
-            "rule x: on s",                       // no actions
-            "rule x: on s assert u.a = 1",        // bad entityref
+            "rule x: on s",                      // no actions
+            "rule x: on s assert u.a = 1",       // bad entityref
             "rule x: on pattern (a: s) within 5q assert $(u).a = 1", // bad duration
             "rule x: on s frobnicate $(u).a = 1", // unknown action
         ] {
@@ -387,7 +408,10 @@ mod tests {
         };
         eng.on_event(&ev(1, "u1", "enter"), &mut store);
         let u1 = store.lookup_entity("u1").unwrap();
-        assert_eq!(store.current().value(u1, "status"), Some(Value::str("active")));
+        assert_eq!(
+            store.current().value(u1, "status"),
+            Some(Value::str("active"))
+        );
         eng.on_event(&ev(5, "u1", "leave"), &mut store);
         assert_eq!(store.current().value(u1, "status"), None);
         // Session validity recorded as [1, 5).

@@ -49,16 +49,12 @@ fn print_trigger(out: &mut String, t: &Trigger) {
                         }
                         match p {
                             Pattern::Atom(a) => print_atom(out, a),
-                            other => {
-                                write!(out, "# unsupported sub-pattern {other:?}")
-                                    .expect("write to string")
-                            }
+                            other => write!(out, "# unsupported sub-pattern {other:?}")
+                                .expect("write to string"),
                         }
                     }
                 }
-                other => {
-                    write!(out, "# unsupported pattern {other:?}").expect("write to string")
-                }
+                other => write!(out, "# unsupported pattern {other:?}").expect("write to string"),
             }
             writeln!(out, " within {}", print_duration(spec.within)).expect("write to string");
             for n in &spec.negated {
@@ -106,7 +102,11 @@ fn print_entityref(e: &EntityRef) -> String {
 fn print_guard(out: &mut String, g: &Guard) {
     match g {
         Guard::Expr(e) => writeln!(out, "  if {e}"),
-        Guard::StateEquals { entity, attr, value } => writeln!(
+        Guard::StateEquals {
+            entity,
+            attr,
+            value,
+        } => writeln!(
             out,
             "  if state({}).{attr} == {value}",
             print_entityref(entity)
@@ -123,17 +123,25 @@ fn print_guard(out: &mut String, g: &Guard) {
 
 fn print_action(out: &mut String, a: &Action) {
     match a {
-        Action::Assert { entity, attr, value } => writeln!(
-            out,
-            "  assert {}.{attr} = {value}",
-            print_entityref(entity)
-        ),
-        Action::Replace { entity, attr, value } => writeln!(
+        Action::Assert {
+            entity,
+            attr,
+            value,
+        } => writeln!(out, "  assert {}.{attr} = {value}", print_entityref(entity)),
+        Action::Replace {
+            entity,
+            attr,
+            value,
+        } => writeln!(
             out,
             "  replace {}.{attr} = {value}",
             print_entityref(entity)
         ),
-        Action::Retract { entity, attr, value } => writeln!(
+        Action::Retract {
+            entity,
+            attr,
+            value,
+        } => writeln!(
             out,
             "  retract {}.{attr} = {value}",
             print_entityref(entity)
@@ -201,10 +209,9 @@ mod tests {
 
     #[test]
     fn program_printer_joins_rules() {
-        let rules = parse_rules(
-            "rule a:\n on s\n assert $(u).x = 1\nrule b:\n on s\n assert $(u).y = 2",
-        )
-        .unwrap();
+        let rules =
+            parse_rules("rule a:\n on s\n assert $(u).x = 1\nrule b:\n on s\n assert $(u).y = 2")
+                .unwrap();
         let text = print_rules(&rules);
         assert!(text.contains("rule a:"));
         assert!(text.contains("rule b:"));

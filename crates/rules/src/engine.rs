@@ -217,7 +217,12 @@ impl RuleEngine {
     }
 }
 
-fn fire(rule: &StateRule, scope: &FiringScope<'_>, t: Timestamp, store: &mut TemporalStore) -> FireReport {
+fn fire(
+    rule: &StateRule,
+    scope: &FiringScope<'_>,
+    t: Timestamp,
+    store: &mut TemporalStore,
+) -> FireReport {
     let mut report = FireReport::default();
     // Guards.
     for g in &rule.guards {
@@ -246,7 +251,11 @@ fn fire(rule: &StateRule, scope: &FiringScope<'_>, t: Timestamp, store: &mut Tem
 fn eval_guard(g: &Guard, scope: &FiringScope<'_>, store: &TemporalStore) -> Result<bool> {
     match g {
         Guard::Expr(e) => e.eval_bool(scope),
-        Guard::StateEquals { entity, attr, value } => {
+        Guard::StateEquals {
+            entity,
+            attr,
+            value,
+        } => {
             let Some(e) = lookup_entity(entity, scope, store)? else {
                 return Ok(false);
             };
@@ -318,7 +327,11 @@ fn run_action(
     report: &mut FireReport,
 ) -> Result<()> {
     match action {
-        Action::Assert { entity, attr, value } => {
+        Action::Assert {
+            entity,
+            attr,
+            value,
+        } => {
             let e = resolve_entity(entity, scope, store)?;
             let v = value.eval(scope)?;
             let before = store.revision();
@@ -335,7 +348,11 @@ fn run_action(
                 });
             }
         }
-        Action::Retract { entity, attr, value } => {
+        Action::Retract {
+            entity,
+            attr,
+            value,
+        } => {
             let e = resolve_entity(entity, scope, store)?;
             let v = value.eval(scope)?;
             store.retract_at(e, *attr, v, t)?;
@@ -349,7 +366,11 @@ fn run_action(
                 t,
             });
         }
-        Action::Replace { entity, attr, value } => {
+        Action::Replace {
+            entity,
+            attr,
+            value,
+        } => {
             let e = resolve_entity(entity, scope, store)?;
             let v = value.eval(scope)?;
             let out = store.replace_with(e, *attr, v, t, prov)?;
@@ -430,7 +451,10 @@ mod tests {
         assert_eq!(store.current().values(v1, "room").len(), 1);
         // Provenance recorded.
         let f = store.current().entity_facts(v1).next().unwrap();
-        assert_eq!(f.provenance, Provenance::Rule(Symbol::intern("visitor_moves")));
+        assert_eq!(
+            f.provenance,
+            Provenance::Rule(Symbol::intern("visitor_moves"))
+        );
     }
 
     #[test]
@@ -499,7 +523,9 @@ mod tests {
         assert_eq!(r.fired, 0);
         // Now set the state and retry.
         let u1 = store.named_entity("u1");
-        store.assert_at(u1, "status", "active", Timestamp::new(6)).unwrap();
+        store
+            .assert_at(u1, "status", "active", Timestamp::new(6))
+            .unwrap();
         let leave2 = Event::from_pairs("leaves", 7u64, [("user", "u1")]);
         let r = eng.on_event(&leave2, &mut store);
         assert_eq!(r.fired, 1);
@@ -523,8 +549,14 @@ mod tests {
                 }),
         )
         .unwrap();
-        eng.on_event(&Event::from_pairs("clicks", 10u64, [("user", "u1")]), &mut store);
-        eng.on_event(&Event::from_pairs("clicks", 20u64, [("user", "u1")]), &mut store);
+        eng.on_event(
+            &Event::from_pairs("clicks", 10u64, [("user", "u1")]),
+            &mut store,
+        );
+        eng.on_event(
+            &Event::from_pairs("clicks", 20u64, [("user", "u1")]),
+            &mut store,
+        );
         let u1 = store.lookup_entity("u1").unwrap();
         assert_eq!(
             store.current().value(u1, "first_ts"),
@@ -550,13 +582,13 @@ mod tests {
         );
         let mut store = TemporalStore::new();
         let mut eng = RuleEngine::new();
-        eng.add_rule(
-            StateRule::new("fast_mover", Trigger::pattern(spec)).action(Action::Replace {
+        eng.add_rule(StateRule::new("fast_mover", Trigger::pattern(spec)).action(
+            Action::Replace {
                 entity: EntityRef::Expr(Expr::name("b.visitor")),
                 attr: Symbol::intern("pace"),
                 value: Expr::lit("fast"),
-            }),
-        )
+            },
+        ))
         .unwrap();
         eng.on_event(&sensor(10, "v1", "lobby"), &mut store);
         let r = eng.on_event(&sensor(50, "v1", "lab"), &mut store);

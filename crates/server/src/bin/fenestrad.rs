@@ -1,0 +1,171 @@
+//! `fenestrad` — run the Fenestra engine as a long-lived network
+//! service. See `fenestra-server`'s crate docs for the wire protocol.
+
+use fenestra_base::time::Duration;
+use fenestra_core::Semantics;
+use fenestra_server::{Backpressure, Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fenestrad — Fenestra network server (ingest / query / watch over TCP)
+
+USAGE:
+    fenestrad [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT        listen address           [default: 127.0.0.1:7878]
+    --queue N               ingest queue capacity    [default: 1024]
+    --shed                  shed events when the queue is full
+                            (default: block the sending connection)
+    --snapshot PATH         persist state to PATH on shutdown
+    --snapshot-every-ms N   also snapshot every N ms (needs --snapshot)
+    --rules FILE            load a rules file at startup
+    --max-lateness-ms N     out-of-orderness bound   [default: 0]
+    --retention-ms N        GC closed history older than N ms behind
+                            the watermark            [default: keep forever]
+    --semantics MODE        state-first | stream-first | snapshot
+    -h, --help              print this help
+
+PROTOCOL (line-delimited JSON on one socket):
+    {\"stream\":\"s\",\"ts\":10,\"k\":\"v\"}     ingest one event -> {\"ok\":true,\"seq\":1}
+    {\"cmd\":\"query\",\"q\":\"select ...\"}   run a query
+    {\"cmd\":\"watch\",\"name\":\"w\",\"q\":\"select ...\"}   push view diffs
+    {\"cmd\":\"stats\"}                    engine + server counters
+    {\"cmd\":\"shutdown\"}                 drain, snapshot, exit
+";
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut rules_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed = match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--addr" => value("--addr").map(|v| config.addr = v),
+            "--queue" => parse_num(value("--queue"), "--queue")
+                .map(|n| config.queue_capacity = (n as usize).max(1)),
+            "--shed" => {
+                config.backpressure = Backpressure::Shed;
+                Ok(())
+            }
+            "--snapshot" => value("--snapshot").map(|v| config.snapshot_path = Some(v.into())),
+            "--snapshot-every-ms" => parse_num(value("--snapshot-every-ms"), "--snapshot-every-ms")
+                .map(|n| config.snapshot_every = Some(Duration::millis(n))),
+            "--rules" => value("--rules").map(|v| rules_file = Some(v)),
+            "--max-lateness-ms" => parse_num(value("--max-lateness-ms"), "--max-lateness-ms")
+                .map(|n| config.engine.max_lateness = Duration::millis(n)),
+            "--retention-ms" => parse_num(value("--retention-ms"), "--retention-ms")
+                .map(|n| config.engine.retention = Some(Duration::millis(n))),
+            "--semantics" => value("--semantics").and_then(|v| match v.as_str() {
+                "state-first" => {
+                    config.engine.semantics = Semantics::StateFirst;
+                    Ok(())
+                }
+                "stream-first" => {
+                    config.engine.semantics = Semantics::StreamFirst;
+                    Ok(())
+                }
+                "snapshot" => {
+                    config.engine.semantics = Semantics::Snapshot;
+                    Ok(())
+                }
+                other => Err(format!("unknown semantics `{other}`")),
+            }),
+            other => Err(format!("unknown option `{other}` (try --help)")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("fenestrad: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = rules_file {
+        let src = match std::fs::read_to_string(&path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("fenestrad: cannot read rules file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let path_for_msg = path.clone();
+        config = config.setup(move |engine| match engine.add_rules_text(&src) {
+            Ok(n) => eprintln!("fenestrad: loaded {n} rule(s) from {path_for_msg}"),
+            Err(e) => eprintln!("fenestrad: rules file {path_for_msg} rejected: {e}"),
+        });
+    }
+
+    sig::install();
+    let mut handle = match Server::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fenestrad: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("fenestrad: listening on {}", handle.local_addr());
+
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if sig::termed() {
+            eprintln!("fenestrad: signal received, draining and shutting down");
+            handle.shutdown();
+            break;
+        }
+        if handle.is_shutting_down() {
+            handle.join();
+            eprintln!("fenestrad: shutdown requested over the wire, bye");
+            break;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_num(v: Result<String, String>, flag: &str) -> Result<u64, String> {
+    v.and_then(|s| {
+        s.parse::<u64>()
+            .map_err(|_| format!("{flag} needs a non-negative integer, got `{s}`"))
+    })
+}
+
+#[cfg(unix)]
+mod sig {
+    //! SIGTERM/SIGINT → graceful drain, via a raw `signal(2)` binding
+    //! (std links libc already; no crate dependency needed).
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_term);
+            signal(SIGTERM, on_term);
+        }
+    }
+
+    pub fn termed() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn termed() -> bool {
+        false
+    }
+}

@@ -1,0 +1,124 @@
+//! Server configuration.
+
+use fenestra_base::time::Duration;
+use fenestra_core::{Engine, EngineConfig};
+use std::path::PathBuf;
+
+/// One-shot engine initialization hook (see [`ServerConfig::setup`]).
+pub type SetupFn = Box<dyn FnOnce(&mut Engine) + Send>;
+
+/// What to do when the ingest queue is full and a connection keeps
+/// sending events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Block the sending connection until the engine catches up
+    /// (lossless; slow consumers slow their producers).
+    #[default]
+    Block,
+    /// Drop the event, count it, and tell the client
+    /// (`{"ok":false,"seq":N,"error":"shed: …"}`).
+    Shed,
+}
+
+/// Configuration for [`crate::Server::start`].
+pub struct ServerConfig {
+    /// Listen address, e.g. `"127.0.0.1:7878"`. Use port `0` for an
+    /// ephemeral port (tests); the bound address is available from
+    /// [`crate::ServerHandle::local_addr`].
+    pub addr: String,
+    /// Ingest command queue capacity (events admitted but not yet
+    /// applied by the engine thread).
+    pub queue_capacity: usize,
+    /// Policy when the ingest queue is full.
+    pub backpressure: Backpressure,
+    /// If set, the engine state is persisted here (JSON snapshot via
+    /// `fenestra_temporal::persist`) on graceful shutdown and, when
+    /// [`ServerConfig::snapshot_every`] is also set, periodically.
+    pub snapshot_path: Option<PathBuf>,
+    /// Periodic snapshot interval (requires `snapshot_path`).
+    pub snapshot_every: Option<Duration>,
+    /// Engine configuration (semantics, lateness bound, retention…).
+    pub engine: EngineConfig,
+    /// One-shot hook run against the engine before the listener opens:
+    /// declare attributes, load rules, pre-register watches.
+    pub setup: Option<SetupFn>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            queue_capacity: 1024,
+            backpressure: Backpressure::default(),
+            snapshot_path: None,
+            snapshot_every: None,
+            engine: EngineConfig::default(),
+            setup: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config listening on `addr` with defaults elsewhere.
+    pub fn new(addr: impl Into<String>) -> ServerConfig {
+        ServerConfig {
+            addr: addr.into(),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Set the ingest queue capacity.
+    pub fn queue_capacity(mut self, cap: usize) -> ServerConfig {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+
+    /// Set the backpressure policy.
+    pub fn backpressure(mut self, bp: Backpressure) -> ServerConfig {
+        self.backpressure = bp;
+        self
+    }
+
+    /// Persist state to `path` on shutdown (and periodically, if
+    /// [`ServerConfig::snapshot_every`] is set).
+    pub fn snapshot_path(mut self, path: impl Into<PathBuf>) -> ServerConfig {
+        self.snapshot_path = Some(path.into());
+        self
+    }
+
+    /// Snapshot every `every` (wall-clock), in addition to at shutdown.
+    pub fn snapshot_every(mut self, every: Duration) -> ServerConfig {
+        self.snapshot_every = Some(every);
+        self
+    }
+
+    /// Set the engine configuration.
+    pub fn engine(mut self, engine: EngineConfig) -> ServerConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// Run `f` against the engine before the listener opens.
+    pub fn setup(mut self, f: impl FnOnce(&mut Engine) + Send + 'static) -> ServerConfig {
+        self.setup = Some(Box::new(f));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = ServerConfig::new("127.0.0.1:0")
+            .queue_capacity(0)
+            .backpressure(Backpressure::Shed)
+            .snapshot_path("/tmp/x.json")
+            .snapshot_every(Duration::secs(30));
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.queue_capacity, 1, "capacity clamps to at least 1");
+        assert_eq!(cfg.backpressure, Backpressure::Shed);
+        assert!(cfg.snapshot_path.is_some() && cfg.snapshot_every.is_some());
+    }
+}

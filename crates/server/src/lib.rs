@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+//! # fenestra-server
+//!
+//! `fenestrad`: a long-running network front end for the Fenestra
+//! engine. The paper's pitch — state as an explicit, *queryable*,
+//! *subscribable* object rather than transient window contents — only
+//! pays off operationally if the state outlives a single process
+//! invocation and is reachable while ingest continues. This crate
+//! provides exactly that:
+//!
+//! * **ingest** — clients stream JSONL events (the `fenestra-wire`
+//!   format) over TCP; each accepted line is acknowledged with a
+//!   per-connection sequence number;
+//! * **query** — `select … asof …` queries run against the live state
+//!   repository while events keep flowing;
+//! * **watch** — standing queries push row-level view differences to
+//!   the subscribed connection as they happen;
+//! * **stats / shutdown** — observability counters and graceful drain
+//!   (flush + snapshot) over the same protocol.
+//!
+//! ## Architecture
+//!
+//! One engine-writer thread owns the [`fenestra_core::Engine`] and
+//! consumes a bounded MPSC command queue. Connection threads translate
+//! socket lines into commands; replies travel back over per-request
+//! channels, and watch deltas over a per-connection outbound channel
+//! drained by a dedicated writer thread. Backpressure on the ingest
+//! queue is configurable: block the producing connection, or shed the
+//! event and report it (see [`config::Backpressure`]).
+//!
+//! ## Wire protocol
+//!
+//! Line-delimited JSON, one object per line, on a single listener.
+//! Objects with a `"cmd"` key are commands (`query`, `watch`,
+//! `stats`, `shutdown`); anything else must be an event:
+//!
+//! ```text
+//! → {"stream":"sensors","ts":10,"visitor":"alice","room":"lobby"}
+//! ← {"ok":true,"seq":1}
+//! → {"cmd":"query","q":"select ?v where { ?v room \"lobby\" } asof 15"}
+//! ← {"ok":true,"rows":[{"v":"#0"}]}
+//! → {"cmd":"watch","name":"lab","q":"select ?v where { ?v room \"lab\" }"}
+//! ← {"ok":true,"watch":"lab"}
+//! ← {"watch":"lab","sign":1,"row":{"v":"#0"}}
+//! → {"cmd":"stats"}
+//! ← {"ok":true,"engine":{…},"server":{…}}
+//! → {"cmd":"shutdown"}
+//! ← {"ok":true,"bye":true}
+//! ```
+
+pub mod config;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use config::{Backpressure, ServerConfig};
+pub use metrics::ServerMetrics;
+pub use server::{Server, ServerHandle};

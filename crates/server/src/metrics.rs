@@ -1,0 +1,86 @@
+//! Server-side observability counters.
+//!
+//! Engine counters live in [`fenestra_core::EngineMetrics`]; these
+//! cover the network layer. All fields are atomics so connection
+//! threads update them without locks; the `stats` command reads a
+//! consistent-enough snapshot.
+
+use serde_json::{Map, Value as Json};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for the server's network layer.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Bytes read off sockets (including line terminators).
+    pub bytes_in: AtomicU64,
+    /// Bytes written to sockets (including line terminators).
+    pub bytes_out: AtomicU64,
+    /// High-water mark of the ingest queue depth.
+    pub queue_hwm: AtomicU64,
+    /// Queries served (`query` commands, successful or not).
+    pub queries: AtomicU64,
+    /// Events dropped by the [`crate::Backpressure::Shed`] policy.
+    pub shed: AtomicU64,
+    /// Events accepted into the ingest queue.
+    pub events: AtomicU64,
+    /// Watches registered.
+    pub watches: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Record an observed ingest queue depth, keeping the maximum.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot as a JSON object (embedded in `stats` replies).
+    pub fn json_value(&self) -> Json {
+        let mut obj = Map::new();
+        let get = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
+        obj.insert("connections".into(), get(&self.connections));
+        obj.insert("bytes_in".into(), get(&self.bytes_in));
+        obj.insert("bytes_out".into(), get(&self.bytes_out));
+        obj.insert("queue_hwm".into(), get(&self.queue_hwm));
+        obj.insert("queries".into(), get(&self.queries));
+        obj.insert("shed".into(), get(&self.shed));
+        obj.insert("events".into(), get(&self.events));
+        obj.insert("watches".into(), get(&self.watches));
+        Json::Object(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_hwm_keeps_max() {
+        let m = ServerMetrics::default();
+        m.observe_queue_depth(3);
+        m.observe_queue_depth(9);
+        m.observe_queue_depth(5);
+        assert_eq!(m.queue_hwm.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn json_has_all_counters() {
+        let m = ServerMetrics::default();
+        m.connections.fetch_add(2, Ordering::Relaxed);
+        let v = m.json_value();
+        for key in [
+            "connections",
+            "bytes_in",
+            "bytes_out",
+            "queue_hwm",
+            "queries",
+            "shed",
+            "events",
+            "watches",
+        ] {
+            assert!(v.get(key).is_some(), "{key}");
+        }
+        assert_eq!(v.get("connections").and_then(|x| x.as_u64()), Some(2));
+    }
+}

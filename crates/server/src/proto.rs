@@ -1,0 +1,310 @@
+//! Wire protocol: line-delimited JSON requests and replies.
+//!
+//! Parsing and serialization only — no I/O. The server and the
+//! integration tests share these builders so the protocol is defined
+//! in exactly one place.
+
+use fenestra_base::error::{Error, Result};
+use fenestra_base::record::Event;
+use fenestra_base::value::Value;
+use fenestra_core::{QueryResult, WatchDelta};
+use fenestra_temporal::{Provenance, TemporalStore};
+use fenestra_wire::value_to_json;
+use serde_json::{Map, Value as Json};
+
+/// One parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// An event to ingest (any object without a `"cmd"` key).
+    Event(Event),
+    /// `{"cmd":"query","q":"select …"}` — run a query, reply once.
+    Query {
+        /// Query text.
+        text: String,
+    },
+    /// `{"cmd":"watch","name":"…","q":"select …"}` — register a
+    /// standing query; deltas are pushed to this connection.
+    Watch {
+        /// Subscription name (echoed in every delta).
+        name: String,
+        /// Query text (`history` queries are rejected).
+        text: String,
+    },
+    /// `{"cmd":"stats"}` — engine + server counters.
+    Stats,
+    /// `{"cmd":"shutdown"}` — drain, snapshot, exit.
+    Shutdown,
+}
+
+/// Parse one request line. Objects carrying a `"cmd"` key are
+/// commands; everything else must parse as an event.
+pub fn parse_request(line: &str) -> Result<Request> {
+    let json: Json =
+        serde_json::from_str(line).map_err(|e| Error::Invalid(format!("bad JSON request: {e}")))?;
+    let Some(cmd) = json.get("cmd") else {
+        return fenestra_wire::event_from_json(line).map(Request::Event);
+    };
+    let Some(cmd) = cmd.as_str() else {
+        return Err(Error::Invalid("`cmd` must be a string".into()));
+    };
+    let text_field = |json: &Json| -> Result<String> {
+        json.get("q")
+            .or_else(|| json.get("query"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| Error::Invalid(format!("`{cmd}` needs a `q` field with query text")))
+    };
+    match cmd {
+        "query" => Ok(Request::Query {
+            text: text_field(&json)?,
+        }),
+        "watch" => {
+            let name = json
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| Error::Invalid("`watch` needs a `name` field".into()))?
+                .to_owned();
+            Ok(Request::Watch {
+                name,
+                text: text_field(&json)?,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(Error::Invalid(format!(
+            "unknown command `{other}` (expected query, watch, stats, or shutdown)"
+        ))),
+    }
+}
+
+// ----- reply builders -------------------------------------------------------
+
+/// `{"ok":true,"seq":N}` — event accepted into the ingest queue.
+pub fn ack(seq: u64) -> String {
+    format!("{{\"ok\":true,\"seq\":{seq}}}")
+}
+
+/// `{"ok":false,"seq":N,"error":…}` — event shed under backpressure.
+pub fn shed(seq: u64) -> String {
+    let mut obj = Map::new();
+    obj.insert("ok".into(), Json::Bool(false));
+    obj.insert("seq".into(), Json::from(seq));
+    obj.insert("error".into(), Json::from("shed: ingest queue full"));
+    Json::Object(obj).to_string()
+}
+
+/// `{"ok":false,"error":…}` — request failed.
+pub fn error(msg: &str) -> String {
+    let mut obj = Map::new();
+    obj.insert("ok".into(), Json::Bool(false));
+    obj.insert("error".into(), Json::from(msg));
+    Json::Object(obj).to_string()
+}
+
+/// `{"ok":true,"watch":NAME}` — watch registered.
+pub fn watch_ack(name: &str) -> String {
+    let mut obj = Map::new();
+    obj.insert("ok".into(), Json::Bool(true));
+    obj.insert("watch".into(), Json::from(name));
+    Json::Object(obj).to_string()
+}
+
+/// `{"ok":true,"bye":true}` — shutdown acknowledged.
+pub fn bye() -> String {
+    "{\"ok\":true,\"bye\":true}".into()
+}
+
+/// Render a value for the wire, resolving entity ids to their
+/// registered names (clients see `"a0"`, not an opaque `"#3"`).
+fn resolved(v: &Value, store: Option<&TemporalStore>) -> Json {
+    if let (Value::Id(e), Some(s)) = (v, store) {
+        if let Some(name) = s.entity_name(*e) {
+            return Json::from(name.as_str());
+        }
+    }
+    value_to_json(v)
+}
+
+/// Successful query reply: `{"ok":true,"rows":[…]}` for select
+/// queries, `{"ok":true,"history":[…]}` for timelines.
+pub fn query_reply(res: &QueryResult, store: Option<&TemporalStore>) -> String {
+    let mut obj = Map::new();
+    obj.insert("ok".into(), Json::Bool(true));
+    match res {
+        QueryResult::Rows(rows) => {
+            let rows: Vec<Json> = rows
+                .iter()
+                .map(|row| {
+                    let mut o = Map::new();
+                    for (name, v) in row {
+                        o.insert(name.as_str().into(), resolved(v, store));
+                    }
+                    Json::Object(o)
+                })
+                .collect();
+            obj.insert("rows".into(), Json::Array(rows));
+        }
+        QueryResult::History(spans) => {
+            let spans: Vec<Json> = spans
+                .iter()
+                .map(|(iv, v, prov)| {
+                    let mut o = Map::new();
+                    o.insert("start".into(), Json::from(iv.start.millis()));
+                    o.insert(
+                        "end".into(),
+                        iv.end.map_or(Json::Null, |t| Json::from(t.millis())),
+                    );
+                    o.insert("value".into(), resolved(v, store));
+                    o.insert(
+                        "provenance".into(),
+                        Json::from(match prov {
+                            Provenance::External => "external".to_string(),
+                            Provenance::Rule(r) => format!("rule:{}", r.as_str()),
+                            Provenance::Derived(r) => format!("derived:{}", r.as_str()),
+                        }),
+                    );
+                    Json::Object(o)
+                })
+                .collect();
+            obj.insert("history".into(), Json::Array(spans));
+        }
+    }
+    Json::Object(obj).to_string()
+}
+
+/// One pushed view change: `{"watch":NAME,"sign":±1,"row":{…}}`.
+pub fn delta_line(d: &WatchDelta, store: Option<&TemporalStore>) -> String {
+    let mut obj = Map::new();
+    obj.insert("watch".into(), Json::from(d.watch.as_str()));
+    obj.insert("sign".into(), Json::Number(d.sign.into()));
+    let mut row = Map::new();
+    for (name, v) in &d.row {
+        row.insert(name.as_str().into(), resolved(v, store));
+    }
+    obj.insert("row".into(), Json::Object(row));
+    Json::Object(obj).to_string()
+}
+
+/// `{"ok":true,"engine":{…},"server":{…}}`.
+pub fn stats_reply(engine: Json, server: Json) -> String {
+    let mut obj = Map::new();
+    obj.insert("ok".into(), Json::Bool(true));
+    obj.insert("engine".into(), engine);
+    obj.insert("server".into(), server);
+    Json::Object(obj).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_base::symbol::Symbol;
+    use fenestra_base::time::{Interval, Timestamp};
+    use fenestra_base::value::Value;
+
+    #[test]
+    fn events_and_commands_disambiguate() {
+        assert!(matches!(
+            parse_request(r#"{"stream":"s","ts":1,"x":2}"#).unwrap(),
+            Request::Event(_)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"stats"}"#).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        ));
+        let Request::Query { text } =
+            parse_request(r#"{"cmd":"query","q":"select ?v where { ?v a 1 }"}"#).unwrap()
+        else {
+            panic!("expected query");
+        };
+        assert!(text.starts_with("select"));
+        let Request::Watch { name, text } =
+            parse_request(r#"{"cmd":"watch","name":"w","query":"select ?v where { ?v a 1 }"}"#)
+                .unwrap()
+        else {
+            panic!("expected watch");
+        };
+        assert_eq!(name, "w");
+        assert!(text.contains("where"), "accepts `query` as alias for `q`");
+    }
+
+    #[test]
+    fn bad_requests_error() {
+        assert!(parse_request("nope").is_err());
+        assert!(parse_request(r#"{"cmd":"frobnicate"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"query"}"#).is_err(), "missing q");
+        assert!(
+            parse_request(r#"{"cmd":"watch","q":"x"}"#).is_err(),
+            "missing name"
+        );
+        assert!(parse_request(r#"{"cmd":1}"#).is_err());
+        // No `cmd` key → must be an event, and this one is invalid.
+        assert!(parse_request(r#"{"stream":"s"}"#).is_err());
+    }
+
+    #[test]
+    fn replies_are_valid_json() {
+        for line in [
+            ack(3),
+            shed(4),
+            error("boom \"quoted\""),
+            watch_ack("w"),
+            bye(),
+            stats_reply(Json::Null, Json::Null),
+        ] {
+            serde_json::from_str(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let v = serde_json::from_str(&ack(3)).unwrap();
+        assert_eq!(v.get("seq").and_then(|x| x.as_u64()), Some(3));
+    }
+
+    #[test]
+    fn query_reply_shapes() {
+        let rows = QueryResult::Rows(vec![vec![
+            (Symbol::intern("v"), Value::str("lobby")),
+            (Symbol::intern("n"), Value::Int(2)),
+        ]]);
+        let v = serde_json::from_str(&query_reply(&rows, None)).unwrap();
+        let row = &v.get("rows").and_then(|r| r.as_array()).unwrap()[0];
+        assert_eq!(row.get("v").and_then(|x| x.as_str()), Some("lobby"));
+        assert_eq!(row.get("n").and_then(|x| x.as_i64()), Some(2));
+
+        let hist = QueryResult::History(vec![(
+            Interval {
+                start: Timestamp::new(5),
+                end: None,
+            },
+            Value::Int(1),
+            Provenance::Rule(Symbol::intern("r")),
+        )]);
+        let v = serde_json::from_str(&query_reply(&hist, None)).unwrap();
+        let span = &v.get("history").and_then(|h| h.as_array()).unwrap()[0];
+        assert_eq!(span.get("start").and_then(|x| x.as_u64()), Some(5));
+        assert!(span.get("end").unwrap().is_null());
+        assert_eq!(
+            span.get("provenance").and_then(|x| x.as_str()),
+            Some("rule:r")
+        );
+    }
+
+    #[test]
+    fn delta_line_shape() {
+        let d = WatchDelta {
+            watch: Symbol::intern("lab"),
+            sign: -1,
+            row: vec![(Symbol::intern("u"), Value::str("alice"))],
+        };
+        let v = serde_json::from_str(&delta_line(&d, None)).unwrap();
+        assert_eq!(v.get("watch").and_then(|x| x.as_str()), Some("lab"));
+        assert_eq!(v.get("sign").and_then(|x| x.as_i64()), Some(-1));
+        assert_eq!(
+            v.get("row")
+                .and_then(|r| r.get("u"))
+                .and_then(|x| x.as_str()),
+            Some("alice")
+        );
+    }
+}

@@ -1,0 +1,458 @@
+//! The threaded TCP server.
+//!
+//! Threading model: one **engine thread** owns the [`Engine`] and
+//! consumes a bounded command queue (FIFO, so a `shutdown` command
+//! naturally drains every ingest admitted before it). Each accepted
+//! connection gets a **reader thread** (socket lines → commands) and a
+//! **writer thread** (outbound channel → socket), so slow clients
+//! never stall the engine — except deliberately, under the
+//! [`Backpressure::Block`] policy, where a full ingest queue blocks
+//! the *sending* connection only.
+
+use crate::config::{Backpressure, ServerConfig};
+use crate::metrics::ServerMetrics;
+use crate::proto::{self, Request};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use fenestra_base::error::{Error, Result};
+use fenestra_base::record::Event;
+use fenestra_core::{Engine, Watch};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Commands consumed by the engine thread.
+enum EngineCmd {
+    Ingest(Event),
+    Query {
+        text: String,
+        reply: Sender<String>,
+    },
+    Watch {
+        name: String,
+        text: String,
+        /// Ack/error and every subsequent delta go to the sink, so the
+        /// ack is ordered before the initial rows.
+        sink: Sender<String>,
+    },
+    Stats {
+        reply: Sender<String>,
+    },
+    Snapshot,
+    Shutdown {
+        reply: Option<Sender<String>>,
+    },
+}
+
+/// Shared context for connection threads.
+struct ConnCtx {
+    cmd_tx: Sender<EngineCmd>,
+    backpressure: Backpressure,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// The server entry point; see [`Server::start`].
+pub struct Server;
+
+/// A running server: bound address, shutdown trigger, join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    cmd_tx: Sender<EngineCmd>,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    engine_thread: Option<JoinHandle<()>>,
+    listener_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the listener, start the engine/listener/snapshot threads,
+    /// and return a handle. Events, queries, watches, stats, and
+    /// shutdown all arrive over the one listener (see [`crate::proto`]).
+    pub fn start(config: ServerConfig) -> Result<ServerHandle> {
+        let ServerConfig {
+            addr,
+            queue_capacity,
+            backpressure,
+            snapshot_path,
+            snapshot_every,
+            engine: engine_cfg,
+            setup,
+        } = config;
+        let listener = TcpListener::bind(&addr)?;
+        let addr = listener.local_addr()?;
+
+        let mut engine = Engine::new(engine_cfg);
+        if let Some(setup) = setup {
+            setup(&mut engine);
+        }
+
+        let (cmd_tx, cmd_rx) = channel::bounded(queue_capacity);
+        let metrics = Arc::new(ServerMetrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let engine_thread = {
+            let metrics = metrics.clone();
+            let shutdown = shutdown.clone();
+            thread::Builder::new()
+                .name("fenestra-engine".into())
+                .spawn(move || {
+                    engine_loop(engine, cmd_rx, snapshot_path, metrics, shutdown, addr)
+                })?
+        };
+
+        let listener_thread = {
+            let ctx = Arc::new(ConnCtx {
+                cmd_tx: cmd_tx.clone(),
+                backpressure,
+                metrics: metrics.clone(),
+                shutdown: shutdown.clone(),
+            });
+            thread::Builder::new()
+                .name("fenestra-accept".into())
+                .spawn(move || accept_loop(listener, ctx))?
+        };
+
+        if let Some(every) = snapshot_every {
+            let tx = cmd_tx.clone();
+            let stop = shutdown.clone();
+            thread::Builder::new()
+                .name("fenestra-snapshot".into())
+                .spawn(move || loop {
+                    thread::sleep(std::time::Duration::from_millis(every.as_millis().max(1)));
+                    if stop.load(Ordering::SeqCst) || tx.send(EngineCmd::Snapshot).is_err() {
+                        break;
+                    }
+                })?;
+        }
+
+        Ok(ServerHandle {
+            addr,
+            cmd_tx,
+            metrics,
+            shutdown,
+            engine_thread: Some(engine_thread),
+            listener_thread: Some(listener_thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port `0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// True once the engine thread has exited (e.g. a client issued
+    /// the wire-level `shutdown` command).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: drain the ingest queue, flush the engine,
+    /// write the snapshot (if configured), stop the threads. Same
+    /// path as the wire-level `shutdown` command. Idempotent.
+    pub fn shutdown(&mut self) {
+        let _ = self.cmd_tx.send(EngineCmd::Shutdown { reply: None });
+        self.join();
+    }
+
+    /// Wait for the engine and listener threads to exit (e.g. after a
+    /// client issued the `shutdown` command).
+    pub fn join(&mut self) {
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+// ----- engine thread --------------------------------------------------------
+
+fn engine_loop(
+    mut engine: Engine,
+    rx: Receiver<EngineCmd>,
+    snapshot_path: Option<PathBuf>,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let mut watches: Vec<(Watch, Sender<String>)> = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        let mut quit = false;
+        match cmd {
+            EngineCmd::Ingest(ev) => {
+                engine.push(ev);
+            }
+            EngineCmd::Query { text, reply } => {
+                metrics.queries.fetch_add(1, Ordering::Relaxed);
+                let line = match engine.query(&text) {
+                    Ok(res) => proto::query_reply(&res, Some(&engine.store())),
+                    Err(e) => proto::error(&e.to_string()),
+                };
+                let _ = reply.send(line);
+            }
+            EngineCmd::Watch { name, text, sink } => match parse_select(&text) {
+                Ok(q) => {
+                    metrics.watches.fetch_add(1, Ordering::Relaxed);
+                    let _ = sink.send(proto::watch_ack(&name));
+                    watches.push((Watch::new(name.as_str(), q), sink));
+                }
+                Err(e) => {
+                    let _ = sink.send(proto::error(&e.to_string()));
+                }
+            },
+            EngineCmd::Stats { reply } => {
+                let line = proto::stats_reply(
+                    fenestra_wire::metrics::metrics_json_value(&engine.metrics()),
+                    metrics.json_value(),
+                );
+                let _ = reply.send(line);
+            }
+            EngineCmd::Snapshot => snapshot(&engine, &snapshot_path),
+            EngineCmd::Shutdown { reply } => {
+                // FIFO queue: every ingest admitted before this command
+                // has already been applied. Flush and persist.
+                engine.finish();
+                snapshot(&engine, &snapshot_path);
+                if let Some(reply) = reply {
+                    let _ = reply.send(proto::bye());
+                }
+                quit = true;
+            }
+        }
+        // Push view updates for whatever the command changed; drop
+        // watches whose connection has gone away.
+        {
+            let store = engine.store();
+            watches.retain_mut(|(w, sink)| {
+                w.poll(&store)
+                    .iter()
+                    .all(|d| sink.send(proto::delta_line(d, Some(&store))).is_ok())
+            });
+        }
+        if quit {
+            break;
+        }
+    }
+    shutdown.store(true, Ordering::SeqCst);
+    // Wake the accept loop so it notices the flag.
+    let _ = TcpStream::connect(addr);
+}
+
+fn parse_select(text: &str) -> Result<fenestra_query::Query> {
+    match fenestra_query::parse_query(text)? {
+        fenestra_query::ParsedQuery::Select(q) => Ok(q),
+        fenestra_query::ParsedQuery::History { .. } => Err(Error::Invalid(
+            "history queries cannot be watched; watch a select query".into(),
+        )),
+    }
+}
+
+fn snapshot(engine: &Engine, path: &Option<PathBuf>) {
+    if let Some(p) = path {
+        if let Err(e) = engine.save_state(p) {
+            eprintln!("fenestrad: snapshot to {} failed: {e}", p.display());
+        }
+    }
+}
+
+// ----- connection threads ---------------------------------------------------
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ConnCtx>) {
+    for stream in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        ctx.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let ctx = ctx.clone();
+        let _ = thread::Builder::new()
+            .name("fenestra-conn".into())
+            .spawn(move || handle_conn(stream, ctx));
+    }
+}
+
+fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // All outbound lines — acks, replies, watch deltas — funnel
+    // through one channel so a single writer owns the socket and the
+    // per-connection ordering is explicit.
+    let (out_tx, out_rx) = channel::unbounded::<String>();
+    let writer = {
+        let metrics = ctx.metrics.clone();
+        thread::spawn(move || {
+            let mut w = BufWriter::new(write_half);
+            for line in out_rx.iter() {
+                metrics
+                    .bytes_out
+                    .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+                if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let reader = BufReader::new(stream);
+    let mut seq = 0u64;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        ctx.metrics
+            .bytes_in
+            .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let req = match proto::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = out_tx.send(proto::error(&e.to_string()));
+                continue;
+            }
+        };
+        match req {
+            Request::Event(ev) => {
+                seq += 1;
+                if !ingest(&ctx, &out_tx, ev, seq) {
+                    break;
+                }
+            }
+            Request::Query { text } => {
+                request_reply(&ctx, &out_tx, |reply| EngineCmd::Query { text, reply })
+            }
+            Request::Stats => request_reply(&ctx, &out_tx, |reply| EngineCmd::Stats { reply }),
+            Request::Watch { name, text } => {
+                let sink = out_tx.clone();
+                if ctx
+                    .cmd_tx
+                    .send(EngineCmd::Watch { name, text, sink })
+                    .is_err()
+                {
+                    let _ = out_tx.send(proto::error("server shutting down"));
+                }
+            }
+            Request::Shutdown => {
+                request_reply(&ctx, &out_tx, |reply| EngineCmd::Shutdown {
+                    reply: Some(reply),
+                });
+                break;
+            }
+        }
+    }
+    drop(out_tx);
+    let _ = writer.join();
+}
+
+/// Enqueue one event under the configured backpressure policy.
+/// Returns `false` when the server is shutting down.
+fn ingest(ctx: &ConnCtx, out_tx: &Sender<String>, ev: Event, seq: u64) -> bool {
+    let admitted = match ctx.backpressure {
+        Backpressure::Block => {
+            if ctx.cmd_tx.send(EngineCmd::Ingest(ev)).is_err() {
+                let _ = out_tx.send(proto::error("server shutting down"));
+                return false;
+            }
+            true
+        }
+        Backpressure::Shed => match ctx.cmd_tx.try_send(EngineCmd::Ingest(ev)) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                ctx.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                let _ = out_tx.send(proto::shed(seq));
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                let _ = out_tx.send(proto::error("server shutting down"));
+                return false;
+            }
+        },
+    };
+    if admitted {
+        ctx.metrics.events.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.observe_queue_depth(ctx.cmd_tx.len() as u64);
+        let _ = out_tx.send(proto::ack(seq));
+    }
+    true
+}
+
+/// Send a command carrying a one-shot reply channel and forward the
+/// reply (or a shutdown notice) to the connection's writer.
+fn request_reply(
+    ctx: &ConnCtx,
+    out_tx: &Sender<String>,
+    make: impl FnOnce(Sender<String>) -> EngineCmd,
+) {
+    let (rtx, rrx) = channel::bounded(1);
+    if ctx.cmd_tx.send(make(rtx)).is_err() {
+        let _ = out_tx.send(proto::error("server shutting down"));
+        return;
+    }
+    let line = rrx
+        .recv()
+        .unwrap_or_else(|_| proto::error("server shutting down"));
+    let _ = out_tx.send(line);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(stream: &TcpStream) -> impl Iterator<Item = String> + '_ {
+        BufReader::new(stream.try_clone().unwrap())
+            .lines()
+            .map_while(|l| l.ok())
+    }
+
+    #[test]
+    fn stats_shutdown_round_trip() {
+        let mut handle = Server::start(ServerConfig::new("127.0.0.1:0")).unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut input = stream.try_clone().unwrap();
+        let mut rx = lines(&stream);
+
+        writeln!(input, r#"{{"stream":"s","ts":1,"x":2}}"#).unwrap();
+        let ack = rx.next().unwrap();
+        assert!(ack.contains(r#""seq":1"#), "got: {ack}");
+
+        writeln!(input, r#"{{"cmd":"stats"}}"#).unwrap();
+        let stats = rx.next().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&stats).unwrap();
+        assert!(v.get("engine").is_some() && v.get("server").is_some());
+
+        writeln!(input, r#"{{"cmd":"shutdown"}}"#).unwrap();
+        let bye = rx.next().unwrap();
+        assert!(bye.contains("bye"), "got: {bye}");
+        handle.join();
+    }
+
+    #[test]
+    fn bad_lines_get_errors_not_disconnects() {
+        let mut handle = Server::start(ServerConfig::new("127.0.0.1:0")).unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut input = stream.try_clone().unwrap();
+        let mut rx = lines(&stream);
+
+        writeln!(input, "this is not json").unwrap();
+        assert!(rx.next().unwrap().contains(r#""ok":false"#));
+        writeln!(input, r#"{{"cmd":"nope"}}"#).unwrap();
+        assert!(rx.next().unwrap().contains("unknown command"));
+        // Connection still works afterwards.
+        writeln!(input, r#"{{"stream":"s","ts":1}}"#).unwrap();
+        assert!(rx.next().unwrap().contains(r#""ok":true"#));
+
+        handle.shutdown();
+    }
+}

@@ -404,18 +404,25 @@ impl Accumulator {
                     *a.entry(*v).or_insert(0) += c;
                 }
             }
-            (
-                AccState::Edge { bag: a, seq, .. },
-                AccState::Edge { bag: b, .. },
-            ) => {
+            (AccState::Edge { bag: a, seq, .. }, AccState::Edge { bag: b, .. }) => {
                 for ((t, _), v) in b {
                     a.insert((*t, *seq), *v);
                     *seq += 1;
                 }
             }
             (
-                AccState::Moments { n: an, sum: asum, sum_sq: asq, .. },
-                AccState::Moments { n: bn, sum: bsum, sum_sq: bsq, .. },
+                AccState::Moments {
+                    n: an,
+                    sum: asum,
+                    sum_sq: asq,
+                    ..
+                },
+                AccState::Moments {
+                    n: bn,
+                    sum: bsum,
+                    sum_sq: bsq,
+                    ..
+                },
             ) => {
                 *an += bn;
                 *asum += bsum;

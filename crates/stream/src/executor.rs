@@ -137,8 +137,9 @@ mod tests {
             self.held.push(ev.clone());
         }
         fn on_watermark(&mut self, wm: Timestamp, out: &mut Emitter) {
-            let (ready, keep): (Vec<_>, Vec<_>) =
-                std::mem::take(&mut self.held).into_iter().partition(|e| e.ts < wm);
+            let (ready, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.held)
+                .into_iter()
+                .partition(|e| e.ts < wm);
             self.held = keep;
             for e in ready {
                 out.emit(e);

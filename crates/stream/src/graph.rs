@@ -184,11 +184,7 @@ impl Graph {
     /// Invoke `f` on every node in topological order, forwarding
     /// whatever each node emits to its downstream nodes as ordinary
     /// events before the next node in the order is visited.
-    fn broadcast(
-        &mut self,
-        order: &[NodeId],
-        mut f: impl FnMut(&mut dyn Operator, &mut Emitter),
-    ) {
+    fn broadcast(&mut self, order: &[NodeId], mut f: impl FnMut(&mut dyn Operator, &mut Emitter)) {
         let mut emitter = Emitter::new();
         for &nid in order {
             let node = &mut self.nodes[nid.0];

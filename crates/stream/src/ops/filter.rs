@@ -64,7 +64,9 @@ mod tests {
     fn ts_and_stream_are_visible() {
         let mut f = Filter::new(
             Expr::name("ts")
-                .ge(Expr::lit(Value::Time(fenestra_base::time::Timestamp::new(5))))
+                .ge(Expr::lit(Value::Time(fenestra_base::time::Timestamp::new(
+                    5,
+                ))))
                 .and(Expr::name("stream").eq(Expr::lit("s"))),
         );
         let mut out = Emitter::new();

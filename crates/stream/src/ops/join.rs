@@ -41,7 +41,10 @@ impl SideState {
     fn insert(&mut self, key: Value, ts: Timestamp, rec: Record) {
         let s = self.seq;
         self.seq += 1;
-        self.by_key.entry(key).or_default().insert((ts.millis(), s), rec);
+        self.by_key
+            .entry(key)
+            .or_default()
+            .insert((ts.millis(), s), rec);
     }
 
     fn evict_before(&mut self, bound: Timestamp) {
@@ -112,13 +115,7 @@ impl WindowJoin {
         self.left.len() + self.right.len()
     }
 
-    fn probe(
-        &self,
-        key: &Value,
-        ev: &Event,
-        side: JoinSide,
-        out: &mut Emitter,
-    ) {
+    fn probe(&self, key: &Value, ev: &Event, side: JoinSide, out: &mut Emitter) {
         let other = match side {
             JoinSide::Left => &self.right,
             JoinSide::Right => &self.left,
@@ -192,14 +189,20 @@ mod tests {
         Event::from_pairs(
             "classes",
             ts,
-            [("product", Value::str(product)), ("class", Value::str(class))],
+            [
+                ("product", Value::str(product)),
+                ("class", Value::str(class)),
+            ],
         )
     }
 
     fn join_graph(window: u64) -> (Executor, crate::graph::SinkHandle) {
         let mut g = Graph::new();
         let j = g.add_op(WindowJoin::new(
-            "sales", "product", "classes", "product",
+            "sales",
+            "product",
+            "classes",
+            "product",
             Duration::millis(window),
         ));
         g.connect_source("sales", j);
@@ -254,7 +257,10 @@ mod tests {
     #[test]
     fn eviction_bounds_memory() {
         let mut j = WindowJoin::new(
-            "sales", "product", "classes", "product",
+            "sales",
+            "product",
+            "classes",
+            "product",
             Duration::millis(10),
         );
         let mut out = Emitter::new();

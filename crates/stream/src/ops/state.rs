@@ -172,7 +172,10 @@ pub struct StateEnrich {
 
 impl StateEnrich {
     /// Enrich events with state lookups keyed by `entity_field`.
-    pub fn new(provider: impl StateProvider + 'static, entity_field: impl Into<Symbol>) -> StateEnrich {
+    pub fn new(
+        provider: impl StateProvider + 'static,
+        entity_field: impl Into<Symbol>,
+    ) -> StateEnrich {
         StateEnrich {
             provider: Box::new(provider),
             entity_field: entity_field.into(),
@@ -229,11 +232,14 @@ mod tests {
         s.declare_attr("tier", AttrSchema::one());
         let a = s.named_entity("alice");
         let b = s.named_entity("bob");
-        s.replace_at(a, "status", "active", Timestamp::new(10)).unwrap();
+        s.replace_at(a, "status", "active", Timestamp::new(10))
+            .unwrap();
         s.replace_at(a, "tier", "gold", Timestamp::new(10)).unwrap();
-        s.replace_at(b, "status", "idle", Timestamp::new(10)).unwrap();
+        s.replace_at(b, "status", "idle", Timestamp::new(10))
+            .unwrap();
         // Alice goes idle at t50.
-        s.replace_at(a, "status", "idle", Timestamp::new(50)).unwrap();
+        s.replace_at(a, "status", "idle", Timestamp::new(50))
+            .unwrap();
         Arc::new(RwLock::new(s))
     }
 

@@ -63,7 +63,10 @@ impl NodeRuntime {
                     edge_wm[edge] = Some(edge_wm[edge].map_or(wm, |w| w.max(wm)));
                     // Aligned watermark: min across inputs, only once
                     // every input has reported.
-                    let aligned = edge_wm.iter().copied().collect::<Option<Vec<_>>>()
+                    let aligned = edge_wm
+                        .iter()
+                        .copied()
+                        .collect::<Option<Vec<_>>>()
                         .and_then(|v| v.into_iter().min());
                     if let Some(aligned) = aligned {
                         if sent_wm.is_none_or(|s| aligned > s) {
@@ -288,9 +291,8 @@ mod tests {
         let u = g.add_op(crate::ops::union::Union::new());
         g.connect_source("fast", u);
         g.connect_source("slow", u);
-        let w = g.add_op(
-            TimeWindowOp::tumbling(Duration::millis(10)).aggregate(AggSpec::count("n")),
-        );
+        let w =
+            g.add_op(TimeWindowOp::tumbling(Duration::millis(10)).aggregate(AggSpec::count("n")));
         g.connect(u, w);
         let sink = g.add_sink();
         g.connect(w, sink.node);
@@ -300,7 +302,11 @@ mod tests {
         ex.push(Event::from_pairs("fast", 25u64, [("v", 1i64)]));
         ex.finish();
         let out = sink.take();
-        assert_eq!(out[0].get("n"), Some(&Value::Int(2)), "both events in [0,10)");
+        assert_eq!(
+            out[0].get("n"),
+            Some(&Value::Int(2)),
+            "both events in [0,10)"
+        );
     }
 
     #[test]

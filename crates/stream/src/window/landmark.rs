@@ -225,7 +225,10 @@ mod tests {
         let op = LandmarkWindowOp::new(Duration::millis(10))
             .period(Duration::millis(20))
             .aggregate(AggSpec::sum("v", "total"));
-        let out = run(op, vec![ev(1, 1), ev(11, 2), ev(21, 4), ev(31, 8), ev(40, 0)]);
+        let out = run(
+            op,
+            vec![ev(1, 1), ev(11, 2), ev(21, 4), ev(31, 8), ev(40, 0)],
+        );
         // t10: 1 ; t20: 1+2 ; t30: 4 (new period) ; t40: 4+8.
         let rows: Vec<(u64, i64)> = out
             .iter()

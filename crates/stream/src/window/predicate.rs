@@ -438,7 +438,11 @@ mod tests {
         ];
         let out = run_op(op, events);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].get("n"), Some(&Value::Int(4)), "enter..leave inclusive");
+        assert_eq!(
+            out[0].get("n"),
+            Some(&Value::Int(4)),
+            "enter..leave inclusive"
+        );
         assert_eq!(
             out[0].get("window_start"),
             Some(&Value::Time(Timestamp::new(2)))
@@ -476,9 +480,18 @@ mod tests {
         .aggregate(AggSpec::count("n"))
         .emit_open_on_flush();
         let events = vec![
-            ev_kv(1, vec![("user", Value::str("a")), ("action", Value::str("enter"))]),
-            ev_kv(2, vec![("user", Value::str("b")), ("action", Value::str("enter"))]),
-            ev_kv(3, vec![("user", Value::str("a")), ("action", Value::str("leave"))]),
+            ev_kv(
+                1,
+                vec![("user", Value::str("a")), ("action", Value::str("enter"))],
+            ),
+            ev_kv(
+                2,
+                vec![("user", Value::str("b")), ("action", Value::str("enter"))],
+            ),
+            ev_kv(
+                3,
+                vec![("user", Value::str("a")), ("action", Value::str("leave"))],
+            ),
         ];
         let out = run_op(op, events);
         assert_eq!(out.len(), 2, "a closed; b flushed open");
@@ -506,7 +519,11 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].get("peak"), Some(&Value::Int(80)));
         assert_eq!(out[0].get("window_events"), Some(&Value::Int(2)));
-        assert_eq!(out[1].get("peak"), Some(&Value::Int(70)), "flushed open frame");
+        assert_eq!(
+            out[1].get("peak"),
+            Some(&Value::Int(70)),
+            "flushed open frame"
+        );
     }
 
     #[test]

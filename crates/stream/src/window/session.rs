@@ -81,7 +81,10 @@ impl SessionWindowOp {
         let mut rec = Record::new();
         write_key(&self.group_by, key, &mut rec);
         s.bank.write_outputs(&self.specs, &mut rec);
-        rec.set("session_events", fenestra_base::value::Value::Int(s.count as i64));
+        rec.set(
+            "session_events",
+            fenestra_base::value::Value::Int(s.count as i64),
+        );
         let rec = finish_row(rec, s.first, s.last, 1, EmitMode::Rows);
         out.emit(Event::new(self.out_stream, s.last, rec));
     }
@@ -179,8 +182,7 @@ mod tests {
         g.connect_source("s", w);
         let sink = g.add_sink();
         g.connect(w, sink.node);
-        let mut ex =
-            Executor::with_policy(g, WatermarkPolicy::bounded(Duration::millis(lateness)));
+        let mut ex = Executor::with_policy(g, WatermarkPolicy::bounded(Duration::millis(lateness)));
         ex.run(events);
         ex.finish();
         sink.take()

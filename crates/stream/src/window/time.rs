@@ -96,7 +96,10 @@ impl TimeWindowOp {
     /// # Panics
     /// Panics if `size` or `slide` is zero.
     pub fn sliding(size: Duration, slide: Duration) -> TimeWindowOp {
-        assert!(!size.is_zero() && !slide.is_zero(), "zero window size/slide");
+        assert!(
+            !size.is_zero() && !slide.is_zero(),
+            "zero window size/slide"
+        );
         let mut op = TimeWindowOp {
             size: size.as_millis(),
             slide: slide.as_millis(),
@@ -215,7 +218,9 @@ impl TimeWindowOp {
             StrategyState::Incremental { keys } => {
                 for (key, st) in keys.iter_mut() {
                     // Bring the bank up to this window: add [added_to, end).
-                    let bank = st.bank.get_or_insert_with(|| AccumulatorBank::new(&self.specs));
+                    let bank = st
+                        .bank
+                        .get_or_insert_with(|| AccumulatorBank::new(&self.specs));
                     if st.added_to < end {
                         for ((ts, _), rec) in st.buffer.range((st.added_to, 0)..(end, 0)) {
                             bank.add(&self.specs, rec, Timestamp::new(*ts));
@@ -223,11 +228,8 @@ impl TimeWindowOp {
                         st.added_to = end;
                     }
                     // Evict everything before the window start.
-                    let victims: Vec<(u64, u64)> = st
-                        .buffer
-                        .range(..(start, 0))
-                        .map(|(k, _)| *k)
-                        .collect();
+                    let victims: Vec<(u64, u64)> =
+                        st.buffer.range(..(start, 0)).map(|(k, _)| *k).collect();
                     let mut in_window = st.buffer.len() - victims.len();
                     for k in victims {
                         let rec = st.buffer.remove(&k).expect("victim present");
@@ -276,7 +278,13 @@ impl TimeWindowOp {
         rows.sort_by(|a, b| a.0.cmp(&b.0));
         let emitted = self.diff.apply(self.emit, rows);
         for (rec, sign) in emitted {
-            let rec = finish_row(rec, Timestamp::new(start), Timestamp::new(end), sign, self.emit);
+            let rec = finish_row(
+                rec,
+                Timestamp::new(start),
+                Timestamp::new(end),
+                sign,
+                self.emit,
+            );
             out.emit(Event::new(self.out_stream, end, rec));
         }
     }
@@ -295,7 +303,10 @@ impl Operator for TimeWindowOp {
         let key = group_key(&self.group_by, &ev.record);
         match &mut self.state {
             StrategyState::Recompute { events, seq } => {
-                events.entry(key).or_default().insert((ts, *seq), ev.record.clone());
+                events
+                    .entry(key)
+                    .or_default()
+                    .insert((ts, *seq), ev.record.clone());
                 *seq += 1;
             }
             StrategyState::Incremental { keys } => {
@@ -358,7 +369,11 @@ mod tests {
     }
 
     fn ev_user(ts: u64, user: &str, amount: i64) -> Event {
-        Event::from_pairs("s", ts, [("user", Value::str(user)), ("amount", Value::Int(amount))])
+        Event::from_pairs(
+            "s",
+            ts,
+            [("user", Value::str(user)), ("amount", Value::Int(amount))],
+        )
     }
 
     #[test]
@@ -414,7 +429,14 @@ mod tests {
     }
 
     fn sliding_events() -> Vec<Event> {
-        vec![ev(1, 1), ev(4, 2), ev(8, 4), ev(12, 8), ev(14, 16), ev(22, 32)]
+        vec![
+            ev(1, 1),
+            ev(4, 2),
+            ev(8, 4),
+            ev(12, 8),
+            ev(14, 16),
+            ev(22, 32),
+        ]
     }
 
     /// Reference output for size=10, slide=5 over `sliding_events`:
@@ -467,13 +489,7 @@ mod tests {
             let out = run_windows(op, events.clone());
             let rows: Vec<(u64, Value, Value)> = out
                 .iter()
-                .map(|e| {
-                    (
-                        e.ts.millis(),
-                        *e.get("lo").unwrap(),
-                        *e.get("hi").unwrap(),
-                    )
-                })
+                .map(|e| (e.ts.millis(), *e.get("lo").unwrap(), *e.get("hi").unwrap()))
                 .collect();
             results.push(rows);
         }
@@ -525,8 +541,8 @@ mod tests {
     #[test]
     fn out_of_order_within_lateness_is_correct() {
         use crate::watermark::WatermarkPolicy;
-        let op = TimeWindowOp::tumbling(Duration::millis(10))
-            .aggregate(AggSpec::sum("amount", "total"));
+        let op =
+            TimeWindowOp::tumbling(Duration::millis(10)).aggregate(AggSpec::sum("amount", "total"));
         let mut g = Graph::new();
         let w = g.add_op(op);
         g.connect_source("s", w);

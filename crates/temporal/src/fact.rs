@@ -3,7 +3,6 @@
 use fenestra_base::symbol::Symbol;
 use fenestra_base::time::Interval;
 use fenestra_base::value::{EntityId, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Interned attribute name.
@@ -12,9 +11,7 @@ pub type AttrId = Symbol;
 /// Identifier of a stored fact (index into the store's arena). Ids are
 /// stable for the lifetime of the store: GC tombstones reclaimed slots
 /// instead of compacting, so a reclaimed id simply resolves to `None`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FactId(pub u64);
 
 impl fmt::Display for FactId {
@@ -24,7 +21,7 @@ impl fmt::Display for FactId {
 }
 
 /// An EAV fact: the timeless part of a state element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fact {
     /// The entity the fact is about.
     pub entity: EntityId,
@@ -52,7 +49,7 @@ impl fmt::Display for Fact {
 }
 
 /// Who put a fact into the store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Provenance {
     /// Asserted directly through the store API.
     External,
@@ -84,7 +81,7 @@ impl fmt::Display for Provenance {
 ///
 /// This is exactly the paper's notion of state: "a collection of data
 /// elements annotated with their time of validity".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoredFact {
     /// The fact identifier (arena index).
     pub id: FactId,

@@ -37,7 +37,7 @@
 //!
 //! Every mutation is journaled to a write-ahead [`wal::WalOp`] log that
 //! can be encoded to bytes and replayed; full snapshots round-trip
-//! through serde ([`persist`]).
+//! through JSON ([`persist`]).
 
 pub mod fact;
 pub mod persist;

@@ -5,45 +5,57 @@
 //! the WAL; loading replays it. Since the WAL deterministically
 //! reconstructs the store, this is both simple and exactly as
 //! expressive as serializing the materialized indexes.
+//!
+//! The JSON shape is `{"version":1,"ops":[...]}` with one object per
+//! [`WalOp`], discriminated by an `"op"` field. Values are tagged
+//! single-key objects (`{"int":5}`, `{"str":"lobby"}`, …) so every
+//! variant round-trips losslessly, floats included.
 
+use crate::fact::Provenance;
+use crate::schema::{AttrSchema, Cardinality};
 use crate::store::TemporalStore;
 use crate::wal::{WalCodec, WalOp};
 use fenestra_base::error::{Error, Result};
-use serde::{Deserialize, Serialize};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::{Duration, Timestamp};
+use fenestra_base::value::{EntityId, Value};
+use serde_json::{Map, Value as Json};
 use std::fs;
 use std::path::Path;
 
-/// On-disk snapshot format.
-#[derive(Debug, Serialize, Deserialize)]
-struct SnapshotFile {
-    /// Format version for forward compatibility.
-    version: u32,
-    /// The full journal.
-    ops: Vec<WalOp>,
-}
-
-const FORMAT_VERSION: u32 = 1;
+const FORMAT_VERSION: u64 = 1;
 
 /// Serialize the store's journal to a JSON string.
 pub fn to_json(store: &TemporalStore) -> Result<String> {
-    let file = SnapshotFile {
-        version: FORMAT_VERSION,
-        ops: store.wal().to_vec(),
-    };
-    serde_json::to_string(&file).map_err(|e| Error::Io(e.to_string()))
+    let mut root = Map::new();
+    root.insert("version".into(), Json::from(FORMAT_VERSION));
+    root.insert(
+        "ops".into(),
+        Json::Array(store.wal().iter().map(op_to_json).collect()),
+    );
+    Ok(Json::Object(root).to_string())
 }
 
 /// Rebuild a store from [`to_json`] output.
 pub fn from_json(json: &str) -> Result<TemporalStore> {
-    let file: SnapshotFile =
-        serde_json::from_str(json).map_err(|e| Error::Corrupt(e.to_string()))?;
-    if file.version != FORMAT_VERSION {
+    let root = serde_json::from_str(json).map_err(|e| Error::Corrupt(e.to_string()))?;
+    let version = root
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt("snapshot missing version"))?;
+    if version != FORMAT_VERSION {
         return Err(Error::Corrupt(format!(
-            "snapshot version {} unsupported (expected {})",
-            file.version, FORMAT_VERSION
+            "snapshot version {version} unsupported (expected {FORMAT_VERSION})"
         )));
     }
-    TemporalStore::replay(&file.ops)
+    let ops = root
+        .get("ops")
+        .and_then(Json::as_array)
+        .ok_or_else(|| corrupt("snapshot missing ops array"))?
+        .iter()
+        .map(op_from_json)
+        .collect::<Result<Vec<WalOp>>>()?;
+    TemporalStore::replay(&ops)
 }
 
 /// Write a JSON snapshot to `path`.
@@ -67,6 +79,257 @@ pub fn load_wal(path: impl AsRef<Path>) -> Result<TemporalStore> {
     let data = fs::read(path)?;
     let ops = WalCodec::decode(&data)?;
     TemporalStore::replay(&ops)
+}
+
+fn corrupt(msg: &str) -> Error {
+    Error::Corrupt(msg.to_string())
+}
+
+fn op_to_json(op: &WalOp) -> Json {
+    let mut m = Map::new();
+    match op {
+        WalOp::DeclareAttr { attr, schema } => {
+            m.insert("op".into(), Json::from("declare_attr"));
+            m.insert("attr".into(), Json::from(attr.as_str()));
+            m.insert(
+                "cardinality".into(),
+                Json::from(match schema.cardinality {
+                    Cardinality::One => "one",
+                    Cardinality::Many => "many",
+                }),
+            );
+            m.insert("keep_history".into(), Json::from(schema.keep_history));
+            m.insert(
+                "ttl_ms".into(),
+                schema
+                    .ttl
+                    .map(|d| Json::from(d.as_millis()))
+                    .unwrap_or(Json::Null),
+            );
+        }
+        WalOp::NewEntity { name } => {
+            m.insert("op".into(), Json::from("new_entity"));
+            m.insert(
+                "name".into(),
+                name.map(|n| Json::from(n.as_str())).unwrap_or(Json::Null),
+            );
+        }
+        WalOp::Assert {
+            entity,
+            attr,
+            value,
+            t,
+            provenance,
+        } => {
+            m.insert("op".into(), Json::from("assert"));
+            m.insert("entity".into(), Json::from(entity.0));
+            m.insert("attr".into(), Json::from(attr.as_str()));
+            m.insert("value".into(), value_to_json(*value));
+            m.insert("t".into(), Json::from(t.0));
+            m.insert("provenance".into(), prov_to_json(*provenance));
+        }
+        WalOp::Retract {
+            entity,
+            attr,
+            value,
+            t,
+        } => {
+            m.insert("op".into(), Json::from("retract"));
+            m.insert("entity".into(), Json::from(entity.0));
+            m.insert("attr".into(), Json::from(attr.as_str()));
+            m.insert("value".into(), value_to_json(*value));
+            m.insert("t".into(), Json::from(t.0));
+        }
+        WalOp::Replace {
+            entity,
+            attr,
+            value,
+            t,
+            provenance,
+        } => {
+            m.insert("op".into(), Json::from("replace"));
+            m.insert("entity".into(), Json::from(entity.0));
+            m.insert("attr".into(), Json::from(attr.as_str()));
+            m.insert("value".into(), value_to_json(*value));
+            m.insert("t".into(), Json::from(t.0));
+            m.insert("provenance".into(), prov_to_json(*provenance));
+        }
+        WalOp::RetractEntity { entity, t } => {
+            m.insert("op".into(), Json::from("retract_entity"));
+            m.insert("entity".into(), Json::from(entity.0));
+            m.insert("t".into(), Json::from(t.0));
+        }
+        WalOp::Gc { horizon } => {
+            m.insert("op".into(), Json::from("gc"));
+            m.insert("horizon".into(), Json::from(horizon.0));
+        }
+    }
+    Json::Object(m)
+}
+
+fn op_from_json(v: &Json) -> Result<WalOp> {
+    let tag = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| corrupt("WAL op missing \"op\" tag"))?;
+    Ok(match tag {
+        "declare_attr" => {
+            let cardinality = match field_str(v, "cardinality")? {
+                "one" => Cardinality::One,
+                "many" => Cardinality::Many,
+                x => return Err(Error::Corrupt(format!("bad cardinality {x:?}"))),
+            };
+            let keep_history = v
+                .get("keep_history")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| corrupt("declare_attr missing keep_history"))?;
+            let ttl = match v.get("ttl_ms") {
+                None | Some(Json::Null) => None,
+                Some(ms) => Some(Duration::millis(
+                    ms.as_u64().ok_or_else(|| corrupt("bad ttl_ms"))?,
+                )),
+            };
+            WalOp::DeclareAttr {
+                attr: Symbol::intern(field_str(v, "attr")?),
+                schema: AttrSchema {
+                    cardinality,
+                    keep_history,
+                    ttl,
+                },
+            }
+        }
+        "new_entity" => WalOp::NewEntity {
+            name: match v.get("name") {
+                None | Some(Json::Null) => None,
+                Some(n) => Some(Symbol::intern(
+                    n.as_str().ok_or_else(|| corrupt("bad entity name"))?,
+                )),
+            },
+        },
+        "assert" => WalOp::Assert {
+            entity: EntityId(field_u64(v, "entity")?),
+            attr: Symbol::intern(field_str(v, "attr")?),
+            value: value_from_json(
+                v.get("value")
+                    .ok_or_else(|| corrupt("assert missing value"))?,
+            )?,
+            t: Timestamp(field_u64(v, "t")?),
+            provenance: prov_from_json(
+                v.get("provenance")
+                    .ok_or_else(|| corrupt("assert missing provenance"))?,
+            )?,
+        },
+        "retract" => WalOp::Retract {
+            entity: EntityId(field_u64(v, "entity")?),
+            attr: Symbol::intern(field_str(v, "attr")?),
+            value: value_from_json(
+                v.get("value")
+                    .ok_or_else(|| corrupt("retract missing value"))?,
+            )?,
+            t: Timestamp(field_u64(v, "t")?),
+        },
+        "replace" => WalOp::Replace {
+            entity: EntityId(field_u64(v, "entity")?),
+            attr: Symbol::intern(field_str(v, "attr")?),
+            value: value_from_json(
+                v.get("value")
+                    .ok_or_else(|| corrupt("replace missing value"))?,
+            )?,
+            t: Timestamp(field_u64(v, "t")?),
+            provenance: prov_from_json(
+                v.get("provenance")
+                    .ok_or_else(|| corrupt("replace missing provenance"))?,
+            )?,
+        },
+        "retract_entity" => WalOp::RetractEntity {
+            entity: EntityId(field_u64(v, "entity")?),
+            t: Timestamp(field_u64(v, "t")?),
+        },
+        "gc" => WalOp::Gc {
+            horizon: Timestamp(field_u64(v, "horizon")?),
+        },
+        x => return Err(Error::Corrupt(format!("unknown WAL op {x:?}"))),
+    })
+}
+
+fn field_str<'a>(v: &'a Json, key: &str) -> Result<&'a str> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| Error::Corrupt(format!("WAL op missing string field {key:?}")))
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| Error::Corrupt(format!("WAL op missing integer field {key:?}")))
+}
+
+fn value_to_json(v: Value) -> Json {
+    let (tag, inner) = match v {
+        Value::Null => return Json::Null,
+        Value::Bool(b) => ("bool", Json::from(b)),
+        Value::Int(i) => ("int", Json::from(i)),
+        Value::Float(f) => (
+            "float",
+            serde_json::Number::from_f64(f)
+                .map(Json::Number)
+                .unwrap_or(Json::Null),
+        ),
+        Value::Str(s) => ("str", Json::from(s.as_str())),
+        Value::Id(e) => ("id", Json::from(e.0)),
+        Value::Time(t) => ("time", Json::from(t.0)),
+    };
+    let mut m = Map::new();
+    m.insert(tag.into(), inner);
+    Json::Object(m)
+}
+
+fn value_from_json(v: &Json) -> Result<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    let m = v.as_object().ok_or_else(|| corrupt("bad value encoding"))?;
+    let (tag, inner) = m.iter().next().ok_or_else(|| corrupt("empty value tag"))?;
+    Ok(match tag.as_str() {
+        "bool" => Value::Bool(inner.as_bool().ok_or_else(|| corrupt("bad bool"))?),
+        "int" => Value::Int(inner.as_i64().ok_or_else(|| corrupt("bad int"))?),
+        "float" => Value::Float(inner.as_f64().ok_or_else(|| corrupt("bad float"))?),
+        "str" => Value::str(inner.as_str().ok_or_else(|| corrupt("bad str"))?),
+        "id" => Value::Id(EntityId(inner.as_u64().ok_or_else(|| corrupt("bad id"))?)),
+        "time" => Value::Time(Timestamp(
+            inner.as_u64().ok_or_else(|| corrupt("bad time"))?,
+        )),
+        x => return Err(Error::Corrupt(format!("unknown value tag {x:?}"))),
+    })
+}
+
+fn prov_to_json(p: Provenance) -> Json {
+    match p {
+        Provenance::External => Json::from("external"),
+        Provenance::Rule(r) => {
+            let mut m = Map::new();
+            m.insert("rule".into(), Json::from(r.as_str()));
+            Json::Object(m)
+        }
+        Provenance::Derived(r) => {
+            let mut m = Map::new();
+            m.insert("derived".into(), Json::from(r.as_str()));
+            Json::Object(m)
+        }
+    }
+}
+
+fn prov_from_json(v: &Json) -> Result<Provenance> {
+    if v.as_str() == Some("external") {
+        return Ok(Provenance::External);
+    }
+    if let Some(r) = v.get("rule").and_then(Json::as_str) {
+        return Ok(Provenance::Rule(Symbol::intern(r)));
+    }
+    if let Some(r) = v.get("derived").and_then(Json::as_str) {
+        return Ok(Provenance::Derived(Symbol::intern(r)));
+    }
+    Err(corrupt("bad provenance encoding"))
 }
 
 #[cfg(test)]
@@ -96,6 +359,21 @@ mod tests {
         assert_eq!(r.current().value(v, "badge"), Some(Value::Int(42)));
         assert_eq!(r.history(v, "room").len(), 2);
         assert_eq!(r.stored_fact_count(), s.stored_fact_count());
+    }
+
+    #[test]
+    fn all_value_and_provenance_variants_round_trip() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        s.assert_at(e, "f", 2.5f64, Timestamp::new(1)).unwrap();
+        s.assert_at(e, "b", true, Timestamp::new(2)).unwrap();
+        s.assert_at(e, "r", Value::Id(e), Timestamp::new(3))
+            .unwrap();
+        s.assert_at(e, "w", Value::Time(Timestamp::new(9)), Timestamp::new(4))
+            .unwrap();
+        s.assert_at(e, "n", Value::Null, Timestamp::new(5)).unwrap();
+        let r = from_json(&to_json(&s).unwrap()).unwrap();
+        assert_eq!(r.wal(), s.wal());
     }
 
     #[test]

@@ -8,11 +8,10 @@
 
 use crate::fact::AttrId;
 use fenestra_base::time::Duration;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How many values an attribute may hold simultaneously for one entity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Cardinality {
     /// At most one open value per entity at any instant. Asserting a
     /// different value while one is open is rejected; use `replace_at`.
@@ -23,7 +22,7 @@ pub enum Cardinality {
 }
 
 /// Declared properties of an attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AttrSchema {
     /// Cardinality constraint enforced on writes.
     pub cardinality: Cardinality,
@@ -39,7 +38,6 @@ pub struct AttrSchema {
     /// TTL. To build a keep-alive, store a changing value (e.g. the
     /// last-seen timestamp): every refresh then closes the old interval
     /// and restarts the clock.
-    #[serde(default)]
     pub ttl: Option<Duration>,
 }
 
@@ -78,7 +76,7 @@ impl AttrSchema {
 
 /// The set of declared attributes. Undeclared attributes behave as
 /// [`AttrSchema::many`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Schema {
     attrs: HashMap<AttrId, AttrSchema>,
 }

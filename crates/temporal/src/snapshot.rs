@@ -59,18 +59,20 @@ impl<'a> CurrentView<'a> {
     }
 
     /// Whether `(entity, attr, value)` is currently valid.
-    pub fn holds(&self, entity: EntityId, attr: impl Into<AttrId>, value: impl Into<Value>) -> bool {
+    pub fn holds(
+        &self,
+        entity: EntityId,
+        attr: impl Into<AttrId>,
+        value: impl Into<Value>,
+    ) -> bool {
         let attr = attr.into();
         let value = value.into();
         self.store
             .open_by_ea
             .get(&(entity, attr))
             .is_some_and(|ids| {
-                ids.iter().any(|id| {
-                    self.store
-                        .get(*id)
-                        .is_some_and(|f| f.fact.value == value)
-                })
+                ids.iter()
+                    .any(|id| self.store.get(*id).is_some_and(|f| f.fact.value == value))
             })
     }
 
@@ -98,11 +100,7 @@ impl<'a> CurrentView<'a> {
     /// Entities for which `(attr, value)` is currently valid — the
     /// reverse lookup behind state-gated processing ("only active
     /// users").
-    pub fn entities_with(
-        &self,
-        attr: impl Into<AttrId>,
-        value: impl Into<Value>,
-    ) -> Vec<EntityId> {
+    pub fn entities_with(&self, attr: impl Into<AttrId>, value: impl Into<Value>) -> Vec<EntityId> {
         let key = (attr.into(), value.into());
         self.store
             .open_by_attr_value
@@ -155,9 +153,7 @@ impl<'a> AsOfView<'a> {
     }
 
     fn valid(&self, id: FactId) -> Option<&'a StoredFact> {
-        self.store
-            .get(id)
-            .filter(|f| f.validity.contains(self.t))
+        self.store.get(id).filter(|f| f.validity.contains(self.t))
     }
 
     /// The value of `(entity, attr)` valid at `t` (newest if several).
@@ -185,17 +181,19 @@ impl<'a> AsOfView<'a> {
     }
 
     /// Whether `(entity, attr, value)` was valid at `t`.
-    pub fn holds(&self, entity: EntityId, attr: impl Into<AttrId>, value: impl Into<Value>) -> bool {
+    pub fn holds(
+        &self,
+        entity: EntityId,
+        attr: impl Into<AttrId>,
+        value: impl Into<Value>,
+    ) -> bool {
         let attr = attr.into();
         let value = value.into();
-        self.store
-            .timelines
-            .get(&(entity, attr))
-            .is_some_and(|tl| {
-                tl.candidates_at(self.t)
-                    .filter_map(|id| self.valid(id))
-                    .any(|f| f.fact.value == value)
-            })
+        self.store.timelines.get(&(entity, attr)).is_some_and(|tl| {
+            tl.candidates_at(self.t)
+                .filter_map(|id| self.valid(id))
+                .any(|f| f.fact.value == value)
+        })
     }
 
     /// Every fact valid at `t` (ordered by entity, then attribute).
@@ -230,11 +228,7 @@ impl<'a> AsOfView<'a> {
     }
 
     /// Entities for which `(attr, value)` was valid at `t`.
-    pub fn entities_with(
-        &self,
-        attr: impl Into<AttrId>,
-        value: impl Into<Value>,
-    ) -> Vec<EntityId> {
+    pub fn entities_with(&self, attr: impl Into<AttrId>, value: impl Into<Value>) -> Vec<EntityId> {
         let attr = attr.into();
         let value = value.into();
         let mut out: Vec<EntityId> = self

@@ -1,9 +1,7 @@
 //! Mutation counters for the store.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters describing the work a store has performed.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Successful `assert_at` calls that created a fact.
     pub asserts: u64,

@@ -200,11 +200,11 @@ impl TemporalStore {
     ) -> Result<FactId> {
         let attr = attr.into();
         let value = value.into();
-        let id = self.open_fact_with_value(entity, attr, value).ok_or_else(|| {
-            Error::Store(format!(
-                "retract of absent fact ({entity} {attr} {value})"
-            ))
-        })?;
+        let id = self
+            .open_fact_with_value(entity, attr, value)
+            .ok_or_else(|| {
+                Error::Store(format!("retract of absent fact ({entity} {attr} {value})"))
+            })?;
         self.close_fact(id, t)?;
         self.journal(WalOp::Retract {
             entity,
@@ -245,11 +245,14 @@ impl TemporalStore {
     ) -> Result<ReplaceOutcome> {
         let open: Vec<FactId> = self
             .open_by_ea
-            .get(&(entity, attr)).cloned()
+            .get(&(entity, attr))
+            .cloned()
             .unwrap_or_default();
         // Idempotent shortcut: single open fact with the same value.
         if open.len() == 1 {
-            let f = self.arena[open[0].0 as usize].as_ref().expect("open fact live");
+            let f = self.arena[open[0].0 as usize]
+                .as_ref()
+                .expect("open fact live");
             if f.fact.value == value {
                 return Ok(ReplaceOutcome {
                     closed: Vec::new(),
@@ -470,7 +473,9 @@ impl TemporalStore {
                 value,
                 t,
                 provenance,
-            } => self.assert_with(entity, attr, value, t, provenance).map(|_| ()),
+            } => self
+                .assert_with(entity, attr, value, t, provenance)
+                .map(|_| ()),
             WalOp::Retract {
                 entity,
                 attr,
@@ -483,10 +488,10 @@ impl TemporalStore {
                 value,
                 t,
                 provenance,
-            } => self.replace_with(entity, attr, value, t, provenance).map(|_| ()),
-            WalOp::RetractEntity { entity, t } => {
-                self.retract_entity_at(entity, t).map(|_| ())
-            }
+            } => self
+                .replace_with(entity, attr, value, t, provenance)
+                .map(|_| ()),
+            WalOp::RetractEntity { entity, t } => self.retract_entity_at(entity, t).map(|_| ()),
             WalOp::Gc { horizon } => {
                 self.gc(horizon);
                 Ok(())
@@ -589,13 +594,11 @@ impl TemporalStore {
 
     fn open_fact_with_value(&self, entity: EntityId, attr: AttrId, value: Value) -> Option<FactId> {
         let ids = self.open_by_ea.get(&(entity, attr))?;
-        ids.iter()
-            .copied()
-            .find(|id| {
-                self.arena[id.0 as usize]
-                    .as_ref()
-                    .is_some_and(|f| f.fact.value == value)
-            })
+        ids.iter().copied().find(|id| {
+            self.arena[id.0 as usize]
+                .as_ref()
+                .is_some_and(|f| f.fact.value == value)
+        })
     }
 
     fn insert_open(&mut self, fact: Fact, t: Timestamp, provenance: Provenance) -> FactId {
@@ -609,7 +612,10 @@ impl TemporalStore {
         let (e, a, v) = (fact.entity, fact.attr, fact.value);
         self.open_by_entity.entry(e).or_default().insert(id);
         self.open_by_attr.entry(a).or_default().insert(id);
-        self.open_by_attr_value.entry((a, v)).or_default().insert(id);
+        self.open_by_attr_value
+            .entry((a, v))
+            .or_default()
+            .insert(id);
         self.open_by_ea.entry((e, a)).or_default().push(id);
         self.timelines.entry((e, a)).or_default().insert(t, id);
         self.attr_entities.entry(a).or_default().insert(e);
@@ -969,7 +975,10 @@ mod ttl_tests {
         // A refresh at t25 must restart the TTL window: close + reopen.
         s.retract_at(u, "status", "active", ts(25)).unwrap();
         s.replace_at(u, "status", "active", ts(25)).unwrap();
-        assert!(s.expire_ttl(ts(40)).is_empty(), "refreshed at 25, expires at 55");
+        assert!(
+            s.expire_ttl(ts(40)).is_empty(),
+            "refreshed at 25, expires at 55"
+        );
         let expired = s.expire_ttl(ts(55));
         assert_eq!(expired.len(), 1);
     }
@@ -984,7 +993,9 @@ mod ttl_tests {
         let r = TemporalStore::replay(s.wal()).unwrap();
         assert_eq!(r.open_fact_count(), 0, "expiry retraction replayed");
         assert_eq!(
-            r.schema().of(fenestra_base::symbol::Symbol::intern("ping")).ttl,
+            r.schema()
+                .of(fenestra_base::symbol::Symbol::intern("ping"))
+                .ttl,
             Some(Duration::millis(5))
         );
     }
@@ -1040,7 +1051,8 @@ mod fork_tests {
         s.declare_attr("room", AttrSchema::one());
         let v = s.named_entity("v");
         for i in 1..=10u64 {
-            s.replace_at(v, "room", format!("r{i}").as_str(), ts(i * 10)).unwrap();
+            s.replace_at(v, "room", format!("r{i}").as_str(), ts(i * 10))
+                .unwrap();
         }
         for probe in (0..=110u64).step_by(7) {
             let fork = s.fork_at(ts(probe)).unwrap();

@@ -7,10 +7,9 @@
 
 use crate::fact::FactId;
 use fenestra_base::time::Timestamp;
-use serde::{Deserialize, Serialize};
 
 /// One timeline entry: where a fact's validity starts, and which fact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimelineEntry {
     /// Validity start of the fact.
     pub start: Timestamp,
@@ -19,7 +18,7 @@ pub struct TimelineEntry {
 }
 
 /// Ordered record of all facts for one `(entity, attribute)` pair.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timeline {
     /// Entries sorted by `start` (ties broken by insertion order).
     entries: Vec<TimelineEntry>,
@@ -87,10 +86,7 @@ impl Timeline {
 
     /// Iterate fact ids whose start lies in `[from, to)` plus all that
     /// started before `from` (and so could overlap the range).
-    pub fn candidates_overlapping(
-        &self,
-        to: Timestamp,
-    ) -> impl Iterator<Item = FactId> + '_ {
+    pub fn candidates_overlapping(&self, to: Timestamp) -> impl Iterator<Item = FactId> + '_ {
         let end = self.entries.partition_point(|e| e.start < to);
         self.entries[..end].iter().map(|e| e.id)
     }

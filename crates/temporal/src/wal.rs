@@ -15,10 +15,9 @@ use fenestra_base::error::{Error, Result};
 use fenestra_base::symbol::Symbol;
 use fenestra_base::time::Timestamp;
 use fenestra_base::value::{EntityId, Value};
-use serde::{Deserialize, Serialize};
 
 /// One journaled mutation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WalOp {
     /// Attribute declaration.
     DeclareAttr {

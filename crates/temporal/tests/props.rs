@@ -2,8 +2,8 @@
 //! naive reference implementation, WAL replay equivalence, codec
 //! round-trips, and interval invariants.
 
-use fenestra_temporal::{AttrSchema, Cardinality, EntityId, TemporalStore, WalCodec};
 use fenestra_base::time::Timestamp;
+use fenestra_temporal::{AttrSchema, Cardinality, EntityId, TemporalStore, WalCodec};
 use proptest::prelude::*;
 
 const ATTR_ONE: &str = "room"; // cardinality-one

@@ -1,0 +1,58 @@
+//! Engine metrics as JSON — one flat object, shared verbatim by
+//! `fenestra run --metrics-json` and the server's `stats` command so
+//! dashboards scrape one shape everywhere.
+
+use fenestra_core::EngineMetrics;
+use serde_json::{Map, Value as Json};
+
+/// Engine counters as a JSON object value (for embedding in larger
+/// replies, e.g. the server's `stats`).
+pub fn metrics_json_value(m: &EngineMetrics) -> Json {
+    let mut obj = Map::new();
+    obj.insert("events".into(), Json::from(m.events));
+    obj.insert("late_dropped".into(), Json::from(m.late_dropped));
+    obj.insert("rule_fired".into(), Json::from(m.rule_fired));
+    obj.insert("transitions".into(), Json::from(m.transitions));
+    obj.insert("guard_blocked".into(), Json::from(m.guard_blocked));
+    obj.insert("rule_errors".into(), Json::from(m.rule_errors));
+    obj.insert("reason_asserted".into(), Json::from(m.reason_asserted));
+    obj.insert("reason_retracted".into(), Json::from(m.reason_retracted));
+    obj.insert("reason_syncs".into(), Json::from(m.reason_syncs));
+    obj.insert("ttl_expired".into(), Json::from(m.ttl_expired));
+    Json::Object(obj)
+}
+
+/// Engine counters as a single-line JSON string.
+pub fn metrics_to_json(m: &EngineMetrics) -> String {
+    metrics_json_value(m).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_counters_present_and_parseable() {
+        let m = EngineMetrics {
+            events: 7,
+            late_dropped: 1,
+            ..Default::default()
+        };
+        let json = metrics_to_json(&m);
+        let v = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.get("events").and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(v.get("late_dropped").and_then(|x| x.as_u64()), Some(1));
+        for key in [
+            "rule_fired",
+            "transitions",
+            "guard_blocked",
+            "rule_errors",
+            "reason_asserted",
+            "reason_retracted",
+            "reason_syncs",
+            "ttl_expired",
+        ] {
+            assert_eq!(v.get(key).and_then(|x| x.as_u64()), Some(0), "{key}");
+        }
+    }
+}

@@ -120,19 +120,14 @@ impl BuildingWorkload {
     pub fn true_room_at(&self, visitor: &str, t: Timestamp) -> Option<&str> {
         self.stays
             .iter()
-            .find(|s| {
-                s.visitor == visitor && s.from <= t && s.until.is_none_or(|u| t < u)
-            })
+            .find(|s| s.visitor == visitor && s.from <= t && s.until.is_none_or(|u| t < u))
             .map(|s| s.room.as_str())
     }
 
     /// Number of moves (sensor events) per visitor, averaged.
     pub fn mean_moves_per_visitor(&self) -> f64 {
-        let visitors: std::collections::HashSet<&str> = self
-            .stays
-            .iter()
-            .map(|s| s.visitor.as_str())
-            .collect();
+        let visitors: std::collections::HashSet<&str> =
+            self.stays.iter().map(|s| s.visitor.as_str()).collect();
         if visitors.is_empty() {
             0.0
         } else {

@@ -102,10 +102,7 @@ impl ClickstreamWorkload {
 
             let mut n = 0usize;
             let mut push = |ts: u64, action: &str, page: Option<u64>, n: &mut usize| {
-                let mut pairs = vec![
-                    ("user", Value::str(&user)),
-                    ("action", Value::str(action)),
-                ];
+                let mut pairs = vec![("user", Value::str(&user)), ("action", Value::str(action))];
                 if let Some(p) = page {
                     pairs.push(("page", Value::str(&format!("page{p}"))));
                 }
@@ -177,10 +174,7 @@ mod tests {
         let b = ClickstreamWorkload::generate(&cfg);
         assert_eq!(a.events, b.events);
         assert_eq!(a.sessions, b.sessions);
-        let c = ClickstreamWorkload::generate(&ClickstreamConfig {
-            seed: 43,
-            ..cfg
-        });
+        let c = ClickstreamWorkload::generate(&ClickstreamConfig { seed: 43, ..cfg });
         assert_ne!(a.events, c.events);
     }
 

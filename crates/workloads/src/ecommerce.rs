@@ -194,7 +194,8 @@ mod tests {
         });
         for p in 0..20 {
             assert!(
-                w.true_class_at(&format!("p{p}"), Timestamp::new(1)).is_some(),
+                w.true_class_at(&format!("p{p}"), Timestamp::new(1))
+                    .is_some(),
                 "p{p} unclassified"
             );
         }

@@ -16,8 +16,8 @@ fn main() {
     let workload = BuildingWorkload::generate(&BuildingConfig {
         visitors: 10,
         rooms: 6,
-        mean_dwell_ms: 60_000,    // ~1 minute per room
-        duration_ms: 1_800_000,   // 30 minutes
+        mean_dwell_ms: 60_000,  // ~1 minute per room
+        duration_ms: 1_800_000, // 30 minutes
         seed: 7,
     });
     println!(

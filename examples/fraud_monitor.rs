@@ -66,9 +66,8 @@ fn main() {
             .and(Expr::name("value").eq(Expr::lit("suspicious"))),
     ));
     g.connect_source("state_changes", alerts);
-    let win = g.add_op(
-        TimeWindowOp::tumbling(Duration::minutes(5)).aggregate(AggSpec::count("alerts")),
-    );
+    let win =
+        g.add_op(TimeWindowOp::tumbling(Duration::minutes(5)).aggregate(AggSpec::count("alerts")));
     g.connect(alerts, win);
     let sink = g.add_sink();
     g.connect(win, sink.node);

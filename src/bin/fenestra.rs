@@ -50,7 +50,7 @@ fenestra — explicit state management for stream processing
 USAGE:
   fenestra run --rules FILE --events FILE [--attr name:one]...
                [--ontology FILE] [--save FILE] [--query TEXT]...
-               [--lateness MS]
+               [--lateness MS] [--metrics-json]
   fenestra query --state FILE QUERY
   fenestra inspect --state FILE
   fenestra demo
@@ -77,6 +77,15 @@ fn take_all(args: &mut Vec<String>, flag: &str) -> Result<Vec<String>, String> {
     Ok(out)
 }
 
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let rules_path = take_opt(&mut args, "--rules")?.ok_or("run needs --rules FILE")?;
@@ -89,6 +98,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let attrs = take_all(&mut args, "--attr")?;
     let queries = take_all(&mut args, "--query")?;
     let ontology = take_opt(&mut args, "--ontology")?;
+    let metrics_json = take_flag(&mut args, "--metrics-json");
     if !args.is_empty() {
         return Err(format!("unexpected arguments: {args:?}"));
     }
@@ -101,7 +111,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(path) = &ontology {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let ont = fenestra::reason::parse_ontology(&src).map_err(|e| format!("{path}: {e}"))?;
-        eprintln!("loaded ontology with {} axiom(s) from {path}", ont.axioms().len());
+        eprintln!(
+            "loaded ontology with {} axiom(s) from {path}",
+            ont.axioms().len()
+        );
         engine.set_ontology(ont);
     }
     for spec in attrs {
@@ -131,10 +144,16 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     engine.finish();
 
     let m = engine.metrics();
-    eprintln!(
-        "done: {} events ({} late-dropped), {} rule firings, {} transitions, {} guard-blocked, {} errors",
-        m.events, m.late_dropped, m.rule_fired, m.transitions, m.guard_blocked, m.rule_errors
-    );
+    if metrics_json {
+        // One machine-readable JSON object on stdout — same shape the
+        // fenestrad `stats` command reports under "engine".
+        println!("{}", fenestra::wire::metrics::metrics_to_json(&m));
+    } else {
+        eprintln!(
+            "done: {} events ({} late-dropped), {} rule firings, {} transitions, {} guard-blocked, {} errors",
+            m.events, m.late_dropped, m.rule_fired, m.transitions, m.guard_blocked, m.rule_errors
+        );
+    }
 
     for q in queries {
         let r = engine.query(&q).map_err(|e| e.to_string())?;
@@ -166,7 +185,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             let e = store
                 .lookup_entity(entity)
                 .ok_or_else(|| format!("unknown entity `{entity}`"))?;
-            print_result(q, QueryResult::History(store.history(e, attr)), Some(&store));
+            print_result(
+                q,
+                QueryResult::History(store.history(e, attr)),
+                Some(&store),
+            );
         }
     }
     Ok(())
@@ -248,7 +271,9 @@ fn cmd_demo() -> Result<(), String> {
     let rows = engine
         .query("select ?v ?r where { ?v room ?r }")
         .map_err(|e| e.to_string())?;
-    let hist = engine.query("history alice room").map_err(|e| e.to_string())?;
+    let hist = engine
+        .query("history alice room")
+        .map_err(|e| e.to_string())?;
     let store = engine.store();
     print_result("select ?v ?r where { ?v room ?r }", rows, Some(&store));
     print_result("history alice room", hist, Some(&store));

@@ -59,8 +59,10 @@ pub use fenestra_core as core;
 pub use fenestra_query as query;
 pub use fenestra_reason as reason;
 pub use fenestra_rules as rules;
+pub use fenestra_server as server;
 pub use fenestra_stream as stream;
 pub use fenestra_temporal as temporal;
+pub use fenestra_wire as wire;
 pub use fenestra_workloads as workloads;
 
 /// The most commonly used names, re-exported flat.

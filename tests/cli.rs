@@ -110,7 +110,12 @@ fn errors_are_reported_with_nonzero_exit() {
     assert!(!out.status.success());
 
     let out = Command::new(bin())
-        .args(["query", "--state", "/nonexistent", "select ?x where { ?x a 1 }"])
+        .args([
+            "query",
+            "--state",
+            "/nonexistent",
+            "select ?x where { ?x a 1 }",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -166,7 +171,10 @@ fn run_with_ontology() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("(2 row(s))"), "derived memberships: {stdout}");
+    assert!(
+        stdout.contains("(2 row(s))"),
+        "derived memberships: {stdout}"
+    );
 }
 
 #[test]

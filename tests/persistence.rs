@@ -45,9 +45,7 @@ fn json_snapshot_round_trip_preserves_history_and_queries() {
             continue;
         };
         let got = restored.as_of(probe).value(e, "room");
-        let truth = workload
-            .true_room_at(&name, probe)
-            .map(Value::str);
+        let truth = workload.true_room_at(&name, probe).map(Value::str);
         assert_eq!(got, truth, "{name} at {probe}");
     }
     std::fs::remove_file(&path).ok();

@@ -38,9 +38,10 @@ fn clickstream_sessions_match_oracle_exactly() {
     let mut matched = 0;
     for s in &workload.sessions {
         let u = store.lookup_entity(s.user.as_str()).expect("user exists");
-        let found = store.history(u, "status").iter().any(|(iv, _, _)| {
-            iv.start == s.start && iv.end == Some(s.end)
-        });
+        let found = store
+            .history(u, "status")
+            .iter()
+            .any(|(iv, _, _)| iv.start == s.start && iv.end == Some(s.end));
         if found {
             matched += 1;
         }
@@ -197,13 +198,7 @@ fn as_of_equals_replay_prefix() {
     replay_engine
         .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
         .unwrap();
-    replay_engine.run(
-        workload
-            .events
-            .iter()
-            .filter(|e| e.ts <= probe)
-            .cloned(),
-    );
+    replay_engine.run(workload.events.iter().filter(|e| e.ts <= probe).cloned());
     replay_engine.finish();
     let replayed = replay_engine.store();
 

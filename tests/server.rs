@@ -1,0 +1,215 @@
+//! End-to-end exercise of `fenestrad`'s wire protocol: concurrent
+//! ingest over two connections, live + historical queries mid-stream,
+//! watch pushes, stats, graceful shutdown, and snapshot replay.
+
+use fenestra::base::time::Duration;
+use fenestra::core::EngineConfig;
+use fenestra::server::{Server, ServerConfig};
+use fenestra::temporal::AttrSchema;
+use serde_json::Value as Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One protocol client: line-oriented send/receive with a read
+/// timeout so a protocol bug fails the test instead of hanging it.
+struct Client {
+    out: TcpStream,
+    lines: std::io::Lines<BufReader<TcpStream>>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let out = TcpStream::connect(addr).expect("connect");
+        out.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        let lines = BufReader::new(out.try_clone().unwrap()).lines();
+        Client { out, lines }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.out, "{line}").expect("send");
+    }
+
+    fn recv(&mut self) -> Json {
+        let line = self
+            .lines
+            .next()
+            .expect("connection closed early")
+            .expect("read");
+        serde_json::from_str(&line).unwrap_or_else(|e| panic!("bad reply `{line}`: {e}"))
+    }
+
+    /// Round-trip one request.
+    fn call(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+
+    /// Read replies until `pred` matches, returning the skipped lines
+    /// and the match (acks and watch pushes interleave on one socket).
+    fn recv_until(&mut self, pred: impl Fn(&Json) -> bool) -> (Vec<Json>, Json) {
+        let mut skipped = Vec::new();
+        for _ in 0..1000 {
+            let v = self.recv();
+            if pred(&v) {
+                return (skipped, v);
+            }
+            skipped.push(v);
+        }
+        panic!("no matching reply in 1000 lines; skipped: {skipped:?}");
+    }
+}
+
+fn ok(v: &Json) -> bool {
+    v.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn event(ts: u64, visitor: &str, room: &str) -> String {
+    format!(r#"{{"stream":"sensors","ts":{ts},"visitor":"{visitor}","room":"{room}"}}"#)
+}
+
+#[test]
+fn fenestrad_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("fenestrad-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("state.json");
+
+    // A one-hour lateness bound keeps the two connections' interleaved
+    // timestamps safe; "drain" events far in the future advance the
+    // watermark deterministically when the test needs visibility.
+    let config = ServerConfig::new("127.0.0.1:0")
+        .engine(EngineConfig {
+            max_lateness: Duration::hours(1),
+            ..EngineConfig::default()
+        })
+        .snapshot_path(&snapshot)
+        .setup(|engine| {
+            engine.declare_attr("room", AttrSchema::one());
+            engine
+                .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+                .unwrap();
+        });
+    let mut handle = Server::start(config).expect("start server");
+    let addr = handle.local_addr();
+
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+
+    // Register a watch before any data exists: ack, no initial rows.
+    let ack = a.call(r#"{"cmd":"watch","name":"lab","q":"select ?v where { ?v room \"lab\" }"}"#);
+    assert_eq!(ack.get("watch").and_then(Json::as_str), Some("lab"));
+
+    // Concurrent ingest: 150 events per connection. The `a*` visitors
+    // start in the lobby and move to the lab; the `b*` visitors stay
+    // in the lobby.
+    let send_phase = |client: &mut Client, prefix: &str, lab_after: usize| {
+        for i in 0..150usize {
+            let room = if i < lab_after { "lobby" } else { "lab" };
+            client.send(&event(1000 + i as u64, &format!("{prefix}{}", i % 5), room));
+        }
+        let mut top_seq = 0;
+        for _ in 0..150 {
+            let v = client.recv();
+            assert!(ok(&v), "ingest rejected: {v}");
+            top_seq = v.get("seq").and_then(Json::as_u64).unwrap();
+        }
+        top_seq
+    };
+    let b_thread = std::thread::spawn({
+        let mut b2 = Client::connect(addr);
+        move || {
+            send_phase(&mut b2, "b", usize::MAX);
+            b2
+        }
+    });
+    let a_seq = send_phase(&mut a, "a", 75);
+    let _b2 = b_thread.join().unwrap();
+    assert_eq!(a_seq, 150, "per-connection sequence numbers");
+
+    // Advance the watermark past the phase-1 events; the five `a*`
+    // visitors enter the watched lab view.
+    a.send(&event(4_000_000, "alice", "attic"));
+    let mut deltas = Vec::new();
+    while deltas.len() < 5 {
+        let (skipped, v) = a.recv_until(|v| v.get("watch").is_some() || ok(v));
+        assert!(skipped.is_empty(), "unexpected replies: {skipped:?}");
+        if v.get("watch").is_some() {
+            deltas.push(v);
+        }
+    }
+    for d in &deltas {
+        assert_eq!(d.get("sign").and_then(Json::as_i64), Some(1), "{d}");
+        let who = d
+            .get("row")
+            .and_then(|r| r.get("v"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(who.starts_with('a'), "only a* reached the lab: {d}");
+    }
+
+    // Live query from the other connection: lab occupancy is visible.
+    let v = b.call(r#"{"cmd":"query","q":"select ?v where { ?v room \"lab\" }"}"#);
+    assert!(ok(&v), "{v}");
+    assert_eq!(v.get("rows").and_then(Json::as_array).unwrap().len(), 5);
+
+    // Historical query mid-stream: at t=1050 everyone was in the lobby.
+    let v = b.call(r#"{"cmd":"query","q":"select ?v where { ?v room \"lobby\" } asof 1050"}"#);
+    assert_eq!(v.get("rows").and_then(Json::as_array).unwrap().len(), 10);
+
+    // Timeline of one entity over the wire.
+    let v = b.call(r#"{"cmd":"query","q":"history a0 room"}"#);
+    let spans = v.get("history").and_then(Json::as_array).unwrap();
+    assert!(spans.len() >= 2, "lobby then lab: {v}");
+
+    // A later correction pushes a0 out of the watched view (sign −1).
+    let v = b.call(&event(4_000_100, "a0", "lobby"));
+    assert!(ok(&v));
+    let v = b.call(&event(8_000_000, "alice", "attic"));
+    assert!(ok(&v));
+    let (_skipped, d) = a.recv_until(|v| v.get("watch").is_some());
+    assert_eq!(d.get("sign").and_then(Json::as_i64), Some(-1), "{d}");
+    assert_eq!(
+        d.get("row").and_then(|r| r.get("v")).and_then(Json::as_str),
+        Some("a0")
+    );
+
+    // Stats: engine and server counters over the wire.
+    let v = b.call(r#"{"cmd":"stats"}"#);
+    assert!(ok(&v), "{v}");
+    let engine = v.get("engine").unwrap();
+    let server = v.get("server").unwrap();
+    assert_eq!(engine.get("events").and_then(Json::as_u64), Some(303));
+    assert_eq!(server.get("events").and_then(Json::as_u64), Some(303));
+    assert_eq!(server.get("connections").and_then(Json::as_u64), Some(3));
+    assert_eq!(server.get("watches").and_then(Json::as_u64), Some(1));
+    assert_eq!(server.get("queries").and_then(Json::as_u64), Some(3));
+    assert!(server.get("bytes_in").and_then(Json::as_u64).unwrap() > 0);
+    assert!(server.get("bytes_out").and_then(Json::as_u64).unwrap() > 0);
+
+    // Graceful shutdown over the wire: drains, snapshots, exits.
+    let v = b.call(r#"{"cmd":"shutdown"}"#);
+    assert!(v.get("bye").is_some(), "{v}");
+    handle.join();
+
+    // The snapshot replays into an equivalent store: a0 ended in the
+    // lobby, a1..a4 in the lab.
+    let store = fenestra::temporal::persist::load(&snapshot).expect("snapshot loads");
+    let q = match fenestra::query::parse_query(r#"select ?v where { ?v room "lab" }"#).unwrap() {
+        fenestra::query::ParsedQuery::Select(q) => q,
+        _ => unreachable!(),
+    };
+    let rows = fenestra::query::execute(&store, &q).unwrap();
+    assert_eq!(rows.len(), 4, "a0 left the lab before shutdown");
+    assert!(!store.wal().is_empty(), "snapshot carries the WAL");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn watch_rejects_history_queries() {
+    let mut handle = Server::start(ServerConfig::new("127.0.0.1:0")).unwrap();
+    let mut c = Client::connect(handle.local_addr());
+    let v = c.call(r#"{"cmd":"watch","name":"h","q":"history a room"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{v}");
+    handle.shutdown();
+}

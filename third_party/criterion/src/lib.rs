@@ -1,0 +1,255 @@
+//! Vendored API-compatible subset of `criterion`.
+//!
+//! A minimal wall-clock harness: no statistics, plots, or baselines —
+//! each benchmark is timed over `sample_size` iterations and the mean
+//! is printed. When the target runs under `cargo test` (cargo passes
+//! `--test` to `harness = false` bench targets), every benchmark body
+//! executes exactly once so the suite stays fast while still
+//! exercising the bench code paths.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry and run-mode detection.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            quick,
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// Units of work per iteration, for ops/sec reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    quick: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.quick, self.sample_size);
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Run a benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.quick, self.sample_size);
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Finish the group. (All reporting already happened inline.)
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.iters == 0 {
+            return;
+        }
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        let mut line = format!("{}/{}: {:.0} ns/iter", self.name, id, per_iter);
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if count > 0 && per_iter > 0.0 {
+                let rate = count as f64 / (per_iter / 1e9);
+                line.push_str(&format!(" ({rate:.0} {unit}/s)"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility
+/// (every batch size behaves like per-iteration setup here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    fn new(quick: bool, sample_size: usize) -> Bencher {
+        Bencher {
+            quick,
+            sample_size,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    fn planned_iters(&self) -> u64 {
+        if self.quick {
+            1
+        } else {
+            self.sample_size as u64
+        }
+    }
+
+    /// Time `routine` over the planned number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let n = self.planned_iters();
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+
+    /// Time `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let n = self.planned_iters();
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = n;
+    }
+}
+
+/// Collect benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_iters() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10).throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| runs += v, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+}

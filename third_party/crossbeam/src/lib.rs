@@ -1,0 +1,9 @@
+//! Vendored API-compatible subset of `crossbeam` (the `channel`
+//! module), backed by `std::sync` primitives.
+//!
+//! Provides multi-producer multi-consumer FIFO channels with the
+//! crossbeam semantics the workspace relies on: cloneable senders *and*
+//! receivers, disconnect detection on both ends, and optionally bounded
+//! capacity with blocking or timed sends.
+
+pub mod channel;

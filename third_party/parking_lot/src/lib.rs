@@ -1,0 +1,262 @@
+//! Vendored API-compatible subset of `parking_lot`, backed by
+//! `std::sync` primitives.
+//!
+//! This workspace builds hermetically (no network, no crates.io); the
+//! `third_party/` crates provide exactly the API surface the rest of
+//! the workspace uses. Poisoning is intentionally ignored — like the
+//! real `parking_lot`, a panic while holding a lock does not poison it.
+
+use std::fmt;
+use std::sync;
+
+/// A reader-writer lock (non-poisoning facade over [`sync::RwLock`]).
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Shared read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+/// Exclusive write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a new lock around `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(match self.0.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        })
+    }
+
+    /// Acquire an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(match self.0.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        })
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A mutual-exclusion lock (non-poisoning facade over [`sync::Mutex`]).
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex around `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(match self.0.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        })
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing `guard` while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Safety of the facade: we temporarily move the inner guard
+        // out to hand it to std's wait, then put the returned one back.
+        take_mut(&mut guard.0, |g| match self.0.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+    }
+
+    /// Block until notified or `timeout` elapses. Returns `true` if the
+    /// wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let mut timed_out = false;
+        take_mut(&mut guard.0, |g| match self.0.wait_timeout(g, timeout) {
+            Ok((g, t)) => {
+                timed_out = t.timed_out();
+                g
+            }
+            Err(p) => {
+                let (g, t) = p.into_inner();
+                timed_out = t.timed_out();
+                g
+            }
+        });
+        timed_out
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// Replace `*dest` through a by-value transform. Aborts the process if
+/// `f` panics (the value would otherwise be lost); `f` here only calls
+/// `Condvar::wait`, which does not panic.
+fn take_mut<T, F: FnOnce(T) -> T>(dest: &mut T, f: F) {
+    unsafe {
+        let old = std::ptr::read(dest);
+        let new = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(old)))
+            .unwrap_or_else(|_| std::process::abort());
+        std::ptr::write(dest, new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn rwlock_basics() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn mutex_and_condvar() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        assert!(*g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(5)));
+    }
+}

@@ -1,0 +1,74 @@
+//! The [`Arbitrary`] trait and [`any`] entry point.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical default strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Uniform boolean strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty => $strat:expr),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                $strat
+            }
+        }
+    )*};
+}
+
+int_arbitrary! {
+    u8 => u8::MIN..=u8::MAX,
+    u16 => u16::MIN..=u16::MAX,
+    u32 => u32::MIN..=u32::MAX,
+    u64 => u64::MIN..=u64::MAX,
+    i8 => i8::MIN..=i8::MAX,
+    i16 => i16::MIN..=i16::MAX,
+    i32 => i32::MIN..=i32::MAX,
+    i64 => i64::MIN..=i64::MAX,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_varies() {
+        let mut rng = TestRng::new(5);
+        let strat = any::<bool>();
+        let trues = (0..100).filter(|_| strat.generate(&mut rng)).count();
+        assert!(trues > 20 && trues < 80);
+    }
+}

@@ -1,0 +1,150 @@
+//! Vendored API-compatible subset of `rand_distr`: the [`Distribution`]
+//! trait plus the two distributions the workload generators use,
+//! [`LogNormal`] (Box–Muller) and [`Zipf`] (exact inverse-CDF over a
+//! precomputed table).
+
+use rand::{Rng, RngCore};
+
+/// Types that can be sampled with an [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` for standard normal `Z`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Build from the mean and standard deviation of the underlying
+    /// normal. `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1 = 1.0 - unit(rng);
+    let u2 = unit(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Zipf distribution over `1..=n` with exponent `s`: rank `k` drawn
+/// with probability proportional to `1 / k^s`. Samples are returned as
+/// `f64` holding the integer rank, matching the real crate.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights; `cdf[k-1]` covers ranks `1..=k`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build for `n` elements with exponent `s >= 0`.
+    pub fn new(n: u64, s: f64) -> Result<Zipf, Error> {
+        if n == 0 {
+            return Err(Error("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error("Zipf requires finite s >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = *self.cdf.last().expect("n >= 1");
+        let needle = unit(rng) * total;
+        let idx = self.cdf.partition_point(|&c| c <= needle);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_rejects_bad_params() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(1.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_centered() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut sum_ln = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(x > 0.0);
+            sum_ln += x.ln();
+        }
+        // ln(X) ~ Normal(0, 0.5): the sample mean should be near 0.
+        assert!((sum_ln / n as f64).abs() < 0.05);
+    }
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let d = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut first = 0usize;
+        for _ in 0..10_000 {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&k));
+            assert_eq!(k, k.trunc());
+            if k == 1.0 {
+                first += 1;
+            }
+        }
+        // Rank 1 should dominate a uniform's 1% share by a wide margin.
+        assert!(first > 1000, "rank-1 draws: {first}");
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(1, 0.0).is_ok());
+    }
+}

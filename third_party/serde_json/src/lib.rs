@@ -1,0 +1,392 @@
+//! Vendored API-compatible subset of `serde_json`.
+//!
+//! Provides the dynamically-typed [`Value`] model with a conforming
+//! parser ([`from_str`]) and compact writer ([`Display`] /
+//! [`to_string`]). There is no `serde` data-model plumbing here — the
+//! workspace serializes via `Value` directly, which is all the real
+//! crate was used for.
+//!
+//! [`Display`]: std::fmt::Display
+
+mod de;
+mod ser;
+
+pub use de::{from_str, Error};
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (integer or float).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. Insertion-ordered.
+    Object(Map<String, Value>),
+}
+
+/// A JSON number: non-negative integer, negative integer, or float —
+/// mirroring `serde_json::Number`'s three internal representations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// As `u64` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(n) => i64::try_from(n).ok(),
+            N::NegInt(n) => Some(n),
+            N::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (always succeeds, possibly lossy for huge integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::PosInt(n) => n as f64,
+            N::NegInt(n) => n as f64,
+            N::Float(f) => f,
+        })
+    }
+
+    /// Build from a finite `f64`; `None` for NaN or infinity.
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number(N::Float(f)))
+    }
+
+    /// Whether this number is an integer representable as `u64`.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.0, N::PosInt(_))
+    }
+
+    /// Whether this number is an integer representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+}
+
+impl From<u64> for Number {
+    fn from(n: u64) -> Number {
+        Number(N::PosInt(n))
+    }
+}
+
+impl From<u32> for Number {
+    fn from(n: u32) -> Number {
+        Number(N::PosInt(n as u64))
+    }
+}
+
+impl From<usize> for Number {
+    fn from(n: usize) -> Number {
+        Number(N::PosInt(n as u64))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(n: i64) -> Number {
+        if n < 0 {
+            Number(N::NegInt(n))
+        } else {
+            Number(N::PosInt(n as u64))
+        }
+    }
+}
+
+impl From<i32> for Number {
+    fn from(n: i32) -> Number {
+        Number::from(n as i64)
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(n) => write!(f, "{n}"),
+            N::NegInt(n) => write!(f, "{n}"),
+            N::Float(x) => {
+                // Round-trippable float syntax: always keep a decimal
+                // point or exponent so the value re-parses as a float.
+                if x == x.trunc() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (linear lookup — JSON objects
+/// in this workspace are small).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert `value` under `key`, replacing (in place) any previous
+    /// value. Returns the previous value if present.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl Value {
+    /// Index into an object by key (`None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n.into())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(n.into())
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Value {
+        Value::Number(n.into())
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Value {
+        Value::Number(n.into())
+    }
+}
+
+/// Serialize a [`Value`] to a compact JSON string. Infallible for the
+/// `Value` model; the `Result` mirrors the real crate's signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::from(1u64));
+        m.insert("a".into(), Value::from(2u64));
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["z", "a"]);
+        m.insert("z".into(), Value::from(3u64));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("z").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn number_representations() {
+        assert_eq!(Number::from(5u64).as_u64(), Some(5));
+        assert_eq!(Number::from(-5i64).as_i64(), Some(-5));
+        assert_eq!(Number::from(-5i64).as_u64(), None);
+        assert!(Number::from_f64(f64::NAN).is_none());
+        assert_eq!(Number::from_f64(2.5).unwrap().as_f64(), Some(2.5));
+        assert_eq!(Number::from_f64(2.5).unwrap().as_u64(), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! Compact JSON writer: `Display` for [`Value`].
+
+use crate::Value;
+use std::fmt::{self, Write};
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(true) => f.write_str("true"),
+            Value::Bool(false) => f.write_str("false"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_char('[')?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_char(']')
+            }
+            Value::Object(map) => {
+                f.write_char('{')?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_char(',')?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_char(':')?;
+                    write!(f, "{v}")?;
+                }
+                f.write_char('}')
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{0008}' => f.write_str("\\b")?,
+            '\u{000C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{from_str, Map, Number, Value};
+
+    #[test]
+    fn writer_parser_round_trip() {
+        let mut obj = Map::new();
+        obj.insert("s".into(), Value::from("a\"b\\c\n\u{0007}🦀"));
+        obj.insert("n".into(), Value::from(-3i64));
+        obj.insert("f".into(), Value::Number(Number::from_f64(2.5).unwrap()));
+        obj.insert(
+            "whole".into(),
+            Value::Number(Number::from_f64(3.0).unwrap()),
+        );
+        obj.insert(
+            "a".into(),
+            Value::Array(vec![Value::Null, Value::Bool(true)]),
+        );
+        let v = Value::Object(obj);
+        let text = v.to_string();
+        let back = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let v = Value::Number(Number::from_f64(10.0).unwrap());
+        assert_eq!(v.to_string(), "10.0");
+        assert_eq!(from_str("10.0").unwrap().as_f64(), Some(10.0));
+        assert_eq!(from_str("10.0").unwrap().as_u64(), None);
+    }
+}
