@@ -1,0 +1,153 @@
+//! Ingest-throughput smoke benchmark: what the durable WAL costs.
+//!
+//! Pumps the same event stream through a real `fenestra-server` (TCP,
+//! line protocol, engine thread) three times — no WAL, WAL with
+//! `fsync every-64`, WAL with `fsync always` — and writes the
+//! throughput numbers to `BENCH_ingest.json` at the repository root.
+//!
+//! ```text
+//! cargo run -p fenestra-bench --release --bin ingest_smoke [-- EVENTS]
+//! ```
+//!
+//! This is a smoke benchmark (one run per config, wall-clock): it
+//! exists to catch order-of-magnitude regressions and to document the
+//! relative cost of each fsync policy, not to be a rigorous harness.
+
+use fenestra_server::{Server, ServerConfig};
+use fenestra_temporal::{AttrSchema, FsyncPolicy};
+use serde_json::{Map, Number, Value as Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct RunResult {
+    label: &'static str,
+    events: u64,
+    elapsed_ms: f64,
+    events_per_sec: f64,
+    wal_appends: u64,
+    wal_bytes: u64,
+    fsyncs: u64,
+}
+
+fn run(label: &'static str, events: u64, wal: Option<(&Path, FsyncPolicy)>) -> RunResult {
+    let mut config = ServerConfig::new("127.0.0.1:0")
+        .queue_capacity(4096)
+        .setup(|engine| {
+            engine.declare_attr("room", AttrSchema::one());
+            engine
+                .add_rules_text("rule mv:\n on s\n replace $(visitor).room = room")
+                .unwrap();
+        });
+    if let Some((base, policy)) = wal {
+        config = config.wal_path(base).fsync(policy);
+    }
+    let mut handle = Server::start(config).expect("start server");
+
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut input = stream.try_clone().expect("clone stream");
+    // Acks drain on a separate thread so the socket buffers never
+    // deadlock the sender.
+    let reader = std::thread::spawn(move || {
+        let mut acks = 0u64;
+        for line in BufReader::new(stream).lines() {
+            let line = line.expect("read reply");
+            assert!(line.contains("\"ok\":true"), "rejected: {line}");
+            acks += 1;
+            if acks == events + 1 {
+                break; // final stats reply: everything acked + applied
+            }
+        }
+        acks
+    });
+
+    let t0 = Instant::now();
+    for i in 0..events {
+        // 100 visitors cycling through 10 rooms, moving to a *new*
+        // room on every visit: every event is a real replace
+        // (close + assert), the store's hot path.
+        writeln!(
+            input,
+            r#"{{"stream":"s","ts":{},"visitor":"v{}","room":"r{}"}}"#,
+            i + 1,
+            i % 100,
+            (i / 100) % 10
+        )
+        .expect("send event");
+    }
+    // FIFO barrier: the stats reply proves every event was applied.
+    writeln!(input, r#"{{"cmd":"stats"}}"#).expect("send stats");
+    let acks = reader.join().expect("reader thread");
+    let elapsed = t0.elapsed();
+    assert_eq!(acks, events + 1, "every event acked");
+
+    let m = handle.metrics();
+    let load = |a: &std::sync::atomic::AtomicU64| a.load(std::sync::atomic::Ordering::Relaxed);
+    let result = RunResult {
+        label,
+        events,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        events_per_sec: events as f64 / elapsed.as_secs_f64(),
+        wal_appends: load(&m.wal_appends),
+        wal_bytes: load(&m.wal_bytes),
+        fsyncs: load(&m.fsyncs),
+    };
+    handle.shutdown();
+    result
+}
+
+fn main() {
+    let events: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("EVENTS must be an integer"))
+        .unwrap_or(20_000);
+
+    let dir = std::env::temp_dir().join(format!("fenestra-ingest-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let runs = [
+        run("wal-off", events, None),
+        run(
+            "wal-every-64",
+            events,
+            Some((&dir.join("every64"), FsyncPolicy::EveryN(64))),
+        ),
+        run(
+            "wal-always",
+            events,
+            Some((&dir.join("always"), FsyncPolicy::Always)),
+        ),
+    ];
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut root = Map::new();
+    root.insert("benchmark".into(), Json::from("ingest_smoke"));
+    root.insert("events".into(), Json::from(events));
+    let mut by_label = Map::new();
+    for r in &runs {
+        eprintln!(
+            "{:<14} {:>9.1} events/s  ({:.0} ms, {} appends, {} fsyncs)",
+            r.label, r.events_per_sec, r.elapsed_ms, r.wal_appends, r.fsyncs
+        );
+        let float = |f: f64| Json::Number(Number::from_f64((f * 10.0).round() / 10.0).unwrap());
+        let mut obj = Map::new();
+        obj.insert("events".into(), Json::from(r.events));
+        obj.insert("elapsed_ms".into(), float(r.elapsed_ms));
+        obj.insert("events_per_sec".into(), float(r.events_per_sec));
+        obj.insert("wal_appends".into(), Json::from(r.wal_appends));
+        obj.insert("wal_bytes".into(), Json::from(r.wal_bytes));
+        obj.insert("fsyncs".into(), Json::from(r.fsyncs));
+        by_label.insert(r.label.into(), Json::Object(obj));
+    }
+    root.insert("runs".into(), Json::Object(by_label));
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_ingest.json");
+    let mut text = Json::Object(root).to_string();
+    text.push('\n');
+    std::fs::write(&out, text).expect("write BENCH_ingest.json");
+    eprintln!("wrote {}", out.display());
+}

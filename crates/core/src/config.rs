@@ -46,6 +46,12 @@ pub struct EngineConfig {
     /// watermark; older closed facts are garbage-collected as the
     /// watermark advances. `None` (default) retains history forever.
     pub retention: Option<Duration>,
+    /// Journal mutations in the store's in-memory WAL (the source for
+    /// snapshots, forks, and the durable log). On by default; turn off
+    /// only for throughput benchmarks that measure the engine without
+    /// any durability path — with journaling off, snapshots are empty
+    /// and [`crate::Engine::take_journal`] always returns nothing.
+    pub journal: bool,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +61,7 @@ impl Default for EngineConfig {
             max_lateness: Duration::ZERO,
             auto_reason: false,
             retention: None,
+            journal: true,
         }
     }
 }
@@ -77,6 +84,7 @@ mod tests {
         assert_eq!(c.max_lateness, Duration::ZERO);
         assert!(!c.auto_reason);
         assert!(c.retention.is_none());
+        assert!(c.journal, "journaling is on unless explicitly disabled");
         assert_eq!(c.watermark_policy(), WatermarkPolicy::strict());
     }
 }

@@ -77,9 +77,14 @@ pub struct Engine {
 impl Engine {
     /// An engine with the given configuration and an empty store.
     pub fn new(config: EngineConfig) -> Engine {
+        let store = if config.journal {
+            TemporalStore::new()
+        } else {
+            TemporalStore::without_wal()
+        };
         Engine {
             config,
-            store: Arc::new(RwLock::new(TemporalStore::new())),
+            store: Arc::new(RwLock::new(store)),
             rules: RuleEngine::new(),
             ontology: None,
             executor: None,
@@ -189,7 +194,9 @@ impl Engine {
     pub fn push(&mut self, ev: Event) -> bool {
         assert!(!self.finished, "push after finish()");
         let Some(advance) = self.wm.observe(ev.ts) else {
-            self.metrics.late_dropped += 1;
+            // The watermark generator counts the drop (wm.late_events);
+            // [`Engine::metrics`] reads it from there. Counting here
+            // too would double it.
             return false;
         };
         self.metrics.events += 1;
@@ -386,18 +393,53 @@ impl Engine {
         fenestra_temporal::persist::save(&self.store(), path)
     }
 
+    /// Save a *compact* JSON snapshot: the minimal op sequence for the
+    /// current state rather than the full journal, stamped with the
+    /// WAL generation that continues it. The checkpoint format of the
+    /// durable-log path (see `fenestra_temporal::wal_file`), and the
+    /// only correct one once [`Engine::take_journal`] drains the
+    /// journal — [`Engine::save_state`] would then see only the
+    /// undrained suffix.
+    pub fn save_state_compact(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        wal_gen: u64,
+    ) -> Result<()> {
+        fenestra_temporal::persist::save_compact(&self.store(), path, wal_gen)
+    }
+
     /// Replace the state repository with a snapshot loaded from disk
     /// (rules, graph, and ontology are untouched). Fails if events have
     /// already been processed.
     pub fn load_state(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let loaded = fenestra_temporal::persist::load(path)?;
+        self.restore_state(loaded)
+    }
+
+    /// Install an already-built store (e.g. the output of crash
+    /// recovery) as the state repository. Fails if events have already
+    /// been processed.
+    pub fn restore_state(&mut self, store: TemporalStore) -> Result<()> {
         if self.metrics.events > 0 {
             return Err(Error::Invalid(
-                "load_state must precede event processing".into(),
+                "restore_state must precede event processing".into(),
             ));
         }
-        let loaded = fenestra_temporal::persist::load(path)?;
-        *self.store.write().expect("store lock") = loaded;
+        *self.store.write().expect("store lock") = store;
         Ok(())
+    }
+
+    /// Drain the store's in-memory journal: the mutations applied
+    /// since the last drain, ready to append to a durable log. Calling
+    /// this regularly is what keeps a long-running engine's memory
+    /// bounded (the journal otherwise grows with every transition).
+    pub fn take_journal(&mut self) -> Vec<fenestra_temporal::WalOp> {
+        self.store.write().expect("store lock").take_journal()
+    }
+
+    /// Number of ops buffered in the store's in-memory journal.
+    pub fn journal_len(&self) -> usize {
+        self.store().journal_len()
     }
 
     /// Run the reasoner now, maintaining derived facts at the given
@@ -672,6 +714,80 @@ mod tests {
         assert!(eng.push(Event::from_pairs("sensors", 100u64, [("x", 1i64)])));
         assert!(!eng.push(Event::from_pairs("sensors", 50u64, [("x", 1i64)])));
         assert_eq!(eng.metrics().late_dropped, 1);
+    }
+
+    #[test]
+    fn late_dropped_counts_each_drop_exactly_once() {
+        // Regression: Engine::push used to bump metrics.late_dropped
+        // directly while metrics() overwrote the field from the
+        // watermark generator — a dead store hiding a double count had
+        // the overwrite ever been removed. One source of truth now.
+        let mut eng = Engine::with_defaults();
+        let ev = |ts: u64| Event::from_pairs("s", ts, [("x", 1i64)]);
+        assert!(eng.push(ev(100)));
+        assert!(!eng.push(ev(40)), "late");
+        assert!(eng.push(ev(200)));
+        assert!(!eng.push(ev(150)), "late");
+        assert!(!eng.push(ev(10)), "late");
+        assert!(eng.push(ev(300)));
+        let m = eng.metrics();
+        assert_eq!(m.late_dropped, 3, "exactly one count per dropped event");
+        assert_eq!(m.events, 3, "on-time events counted separately");
+    }
+
+    #[test]
+    fn take_journal_keeps_engine_memory_bounded() {
+        let mut eng = Engine::with_defaults();
+        eng.declare_attr("room", AttrSchema::one());
+        eng.add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+            .unwrap();
+        let sensor = |ts: u64, room: &str| {
+            Event::from_pairs(
+                "sensors",
+                ts,
+                [("visitor", Value::str("v")), ("room", Value::str(room))],
+            )
+        };
+        let mut drained = Vec::new();
+        for i in 0..100u64 {
+            eng.push(sensor(i + 1, &format!("r{}", i % 7)));
+            let before = eng.journal_len();
+            let batch = eng.take_journal();
+            assert_eq!(batch.len(), before);
+            assert_eq!(eng.journal_len(), 0, "journal drains to zero every time");
+            drained.extend(batch);
+        }
+        // The journal never grew monotonically: each drain held at
+        // most one event's worth of ops, not the whole history.
+        assert!(drained.len() > 100, "transitions were journaled");
+        // And the concatenation of all drains still replays to the
+        // live state.
+        let replayed = fenestra_temporal::TemporalStore::replay(&drained).unwrap();
+        let store = eng.store();
+        let v = store.lookup_entity("v").unwrap();
+        assert_eq!(
+            replayed.current().value(v, "room"),
+            store.current().value(v, "room")
+        );
+        assert_eq!(replayed.history(v, "room"), store.history(v, "room"));
+    }
+
+    #[test]
+    fn journal_disabled_engine_journals_nothing() {
+        let mut eng = Engine::new(EngineConfig {
+            journal: false,
+            ..EngineConfig::default()
+        });
+        eng.declare_attr("room", AttrSchema::one());
+        eng.add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+            .unwrap();
+        eng.push(Event::from_pairs(
+            "sensors",
+            1u64,
+            [("visitor", "a"), ("room", "lab")],
+        ));
+        assert_eq!(eng.journal_len(), 0);
+        assert!(eng.take_journal().is_empty());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use fenestra_base::time::Duration;
 use fenestra_core::Semantics;
 use fenestra_server::{Backpressure, Server, ServerConfig};
+use fenestra_temporal::FsyncPolicy;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -19,6 +20,13 @@ OPTIONS:
                             (default: block the sending connection)
     --snapshot PATH         persist state to PATH on shutdown
     --snapshot-every-ms N   also snapshot every N ms (needs --snapshot)
+    --wal PATH              durable write-ahead log rooted at PATH
+                            (segments PATH.<gen>); recover on boot, and
+                            rotate at snapshot time when --snapshot is
+                            also set
+    --fsync POLICY          WAL fsync policy: always | every-N |
+                            on-snapshot              [default: always]
+                            (only `always` makes an ack crash-durable)
     --rules FILE            load a rules file at startup
     --max-lateness-ms N     out-of-orderness bound   [default: 0]
     --retention-ms N        GC closed history older than N ms behind
@@ -54,6 +62,12 @@ fn main() -> ExitCode {
                 Ok(())
             }
             "--snapshot" => value("--snapshot").map(|v| config.snapshot_path = Some(v.into())),
+            "--wal" => value("--wal").map(|v| config.wal_path = Some(v.into())),
+            "--fsync" => value("--fsync").and_then(|v| {
+                v.parse::<FsyncPolicy>()
+                    .map(|p| config.fsync = p)
+                    .map_err(|e| e.to_string())
+            }),
             "--snapshot-every-ms" => parse_num(value("--snapshot-every-ms"), "--snapshot-every-ms")
                 .map(|n| config.snapshot_every = Some(Duration::millis(n))),
             "--rules" => value("--rules").map(|v| rules_file = Some(v)),

@@ -2,6 +2,7 @@
 
 use fenestra_base::time::Duration;
 use fenestra_core::{Engine, EngineConfig};
+use fenestra_temporal::FsyncPolicy;
 use std::path::PathBuf;
 
 /// One-shot engine initialization hook (see [`ServerConfig::setup`]).
@@ -42,6 +43,15 @@ pub struct ServerConfig {
     /// One-shot hook run against the engine before the listener opens:
     /// declare attributes, load rules, pre-register watches.
     pub setup: Option<SetupFn>,
+    /// If set, every applied op batch is appended to a durable
+    /// write-ahead log rooted at this path (segments are
+    /// `<path>.<generation>`). On boot the server recovers from the
+    /// latest snapshot plus the WAL tail; on snapshot the log rotates.
+    pub wal_path: Option<PathBuf>,
+    /// Fsync policy for the durable WAL (ignored without
+    /// [`ServerConfig::wal_path`]). `Always` is the only policy under
+    /// which an ack implies the transition survives a crash.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +64,8 @@ impl Default for ServerConfig {
             snapshot_every: None,
             engine: EngineConfig::default(),
             setup: None,
+            wal_path: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 }
@@ -103,6 +115,19 @@ impl ServerConfig {
         self.setup = Some(Box::new(f));
         self
     }
+
+    /// Append applied ops to a durable WAL rooted at `path` and recover
+    /// from it on boot.
+    pub fn wal_path(mut self, path: impl Into<PathBuf>) -> ServerConfig {
+        self.wal_path = Some(path.into());
+        self
+    }
+
+    /// Set the WAL fsync policy (requires [`ServerConfig::wal_path`]).
+    pub fn fsync(mut self, policy: FsyncPolicy) -> ServerConfig {
+        self.fsync = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -115,10 +140,25 @@ mod tests {
             .queue_capacity(0)
             .backpressure(Backpressure::Shed)
             .snapshot_path("/tmp/x.json")
-            .snapshot_every(Duration::secs(30));
+            .snapshot_every(Duration::secs(30))
+            .wal_path("/tmp/x.wal")
+            .fsync(FsyncPolicy::EveryN(8));
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!(cfg.queue_capacity, 1, "capacity clamps to at least 1");
         assert_eq!(cfg.backpressure, Backpressure::Shed);
         assert!(cfg.snapshot_path.is_some() && cfg.snapshot_every.is_some());
+        assert!(cfg.wal_path.is_some());
+        assert_eq!(cfg.fsync, FsyncPolicy::EveryN(8));
+    }
+
+    #[test]
+    fn wal_defaults_off_but_fsync_always() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.wal_path.is_none(), "durable WAL is opt-in");
+        assert_eq!(
+            cfg.fsync,
+            FsyncPolicy::Always,
+            "when the WAL is enabled, durability defaults to strict"
+        );
     }
 }

@@ -47,6 +47,25 @@
 //! → {"cmd":"shutdown"}
 //! ← {"ok":true,"bye":true}
 //! ```
+//!
+//! ## Ack semantics and durability
+//!
+//! An ingest ack (`{"ok":true,"seq":N}`) means **admitted**, not
+//! *applied*: the event entered the engine's FIFO command queue. An
+//! admitted event can still be discarded if it arrives beyond the
+//! configured lateness bound — such drops are counted in the `stats`
+//! counter `server.late_dropped`. Because the queue is FIFO, a later
+//! `stats` or `shutdown` reply on the same connection proves every
+//! previously acked event has been *processed* (applied or counted as
+//! late).
+//!
+//! With a durable WAL configured ([`ServerConfig::wal_path`], fsync
+//! policy `always`), every state transition is on stable storage
+//! before the engine moves to the next command, so the same barrier —
+//! an ack followed by a `stats` round-trip — guarantees the transition
+//! survives even `kill -9`. Under `every-N` / `on-snapshot` policies a
+//! crash may lose the most recent unsynced batches (recovery truncates
+//! the torn tail and reports it in `server.wal_discarded_bytes`).
 
 pub mod config;
 pub mod metrics;

@@ -27,6 +27,24 @@ pub struct ServerMetrics {
     pub events: AtomicU64,
     /// Watches registered.
     pub watches: AtomicU64,
+    /// Events acked into the queue but dropped by the engine as beyond
+    /// the lateness bound. An ack means *admitted*, not *applied*; this
+    /// counter is how admitted-but-discarded events become visible.
+    pub late_dropped: AtomicU64,
+    /// Durable WAL: op batches appended.
+    pub wal_appends: AtomicU64,
+    /// Durable WAL: payload bytes appended (frame headers included).
+    pub wal_bytes: AtomicU64,
+    /// Durable WAL: fsync calls issued.
+    pub fsyncs: AtomicU64,
+    /// Ops replayed from snapshot + WAL tail during boot recovery.
+    pub recovered_ops: AtomicU64,
+    /// Wall-clock milliseconds spent in boot recovery.
+    pub recovery_ms: AtomicU64,
+    /// Bytes of torn/corrupt WAL tail discarded during recovery.
+    pub wal_discarded_bytes: AtomicU64,
+    /// Ops discarded during recovery (decoded but unreplayable).
+    pub wal_discarded_ops: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -47,6 +65,14 @@ impl ServerMetrics {
         obj.insert("shed".into(), get(&self.shed));
         obj.insert("events".into(), get(&self.events));
         obj.insert("watches".into(), get(&self.watches));
+        obj.insert("late_dropped".into(), get(&self.late_dropped));
+        obj.insert("wal_appends".into(), get(&self.wal_appends));
+        obj.insert("wal_bytes".into(), get(&self.wal_bytes));
+        obj.insert("fsyncs".into(), get(&self.fsyncs));
+        obj.insert("recovered_ops".into(), get(&self.recovered_ops));
+        obj.insert("recovery_ms".into(), get(&self.recovery_ms));
+        obj.insert("wal_discarded_bytes".into(), get(&self.wal_discarded_bytes));
+        obj.insert("wal_discarded_ops".into(), get(&self.wal_discarded_ops));
         Json::Object(obj)
     }
 }
@@ -78,6 +104,14 @@ mod tests {
             "shed",
             "events",
             "watches",
+            "late_dropped",
+            "wal_appends",
+            "wal_bytes",
+            "fsyncs",
+            "recovered_ops",
+            "recovery_ms",
+            "wal_discarded_bytes",
+            "wal_discarded_ops",
         ] {
             assert!(v.get(key).is_some(), "{key}");
         }

@@ -79,7 +79,14 @@ pub fn parse_request(line: &str) -> Result<Request> {
 
 // ----- reply builders -------------------------------------------------------
 
-/// `{"ok":true,"seq":N}` — event accepted into the ingest queue.
+/// `{"ok":true,"seq":N}` — event **admitted** into the ingest queue.
+///
+/// Admitted is weaker than applied: an event past the lateness bound
+/// is still acked here and then discarded by the engine (counted in
+/// the `stats` counter `server.late_dropped`). The FIFO queue makes
+/// any later reply on the same connection a processing barrier for
+/// everything acked before it; see the crate docs ("Ack semantics and
+/// durability") for what that implies with and without a WAL.
 pub fn ack(seq: u64) -> String {
     format!("{{\"ok\":true,\"seq\":{seq}}}")
 }

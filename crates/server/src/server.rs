@@ -16,6 +16,8 @@ use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use fenestra_base::error::{Error, Result};
 use fenestra_base::record::Event;
 use fenestra_core::{Engine, Watch};
+use fenestra_temporal::wal_file::{recover, segment_path};
+use fenestra_temporal::{WalWriter, WalWriterStats};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -80,17 +82,55 @@ impl Server {
             snapshot_every,
             engine: engine_cfg,
             setup,
+            wal_path,
+            fsync,
         } = config;
         let listener = TcpListener::bind(&addr)?;
         let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::default());
 
         let mut engine = Engine::new(engine_cfg);
+        // With a durable WAL configured, boot is a recovery: latest
+        // snapshot plus the WAL tail, installed *before* `setup` so the
+        // hook's declarations land on top of the recovered state.
+        let durability = match &wal_path {
+            Some(base) => {
+                let t0 = std::time::Instant::now();
+                let rec = recover(snapshot_path.as_deref(), Some(base))?;
+                metrics
+                    .recovered_ops
+                    .store(rec.snapshot_ops + rec.wal_ops, Ordering::Relaxed);
+                metrics
+                    .wal_discarded_bytes
+                    .store(rec.discarded_bytes, Ordering::Relaxed);
+                metrics
+                    .wal_discarded_ops
+                    .store(rec.discarded_ops, Ordering::Relaxed);
+                let resumed = rec.resumed();
+                engine.restore_state(rec.store)?;
+                // `open` re-truncates the same torn bytes `recover`
+                // already counted, so its torn count is not added.
+                let (writer, _torn) = WalWriter::open(&segment_path(base, rec.wal_gen), fsync)?;
+                metrics
+                    .recovery_ms
+                    .store(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+                Some(Durability {
+                    writer,
+                    base: base.clone(),
+                    gen: rec.wal_gen,
+                    snapshot_path: snapshot_path.clone(),
+                    metrics: metrics.clone(),
+                    rotated_stats: WalWriterStats::default(),
+                    boot_resumed: resumed,
+                })
+            }
+            None => None,
+        };
         if let Some(setup) = setup {
             setup(&mut engine);
         }
 
         let (cmd_tx, cmd_rx) = channel::bounded(queue_capacity);
-        let metrics = Arc::new(ServerMetrics::default());
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let engine_thread = {
@@ -99,7 +139,15 @@ impl Server {
             thread::Builder::new()
                 .name("fenestra-engine".into())
                 .spawn(move || {
-                    engine_loop(engine, cmd_rx, snapshot_path, metrics, shutdown, addr)
+                    engine_loop(
+                        engine,
+                        cmd_rx,
+                        snapshot_path,
+                        durability,
+                        metrics,
+                        shutdown,
+                        addr,
+                    )
                 })?
         };
 
@@ -178,20 +226,141 @@ impl ServerHandle {
 
 // ----- engine thread --------------------------------------------------------
 
+/// The engine thread's durable-log state: the open segment writer plus
+/// everything the snapshot-coordinated rotation needs.
+struct Durability {
+    writer: WalWriter,
+    /// Segment base path; the open segment is `segment_path(base, gen)`.
+    base: PathBuf,
+    gen: u64,
+    snapshot_path: Option<PathBuf>,
+    metrics: Arc<ServerMetrics>,
+    /// Counters accumulated by writers of already-rotated segments
+    /// (each `WalWriter` counts from zero).
+    rotated_stats: WalWriterStats,
+    /// Whether boot recovery replayed anything — if so, the loop
+    /// checkpoints immediately so the next boot starts from a snapshot
+    /// instead of re-replaying the same tail.
+    boot_resumed: bool,
+}
+
+impl Durability {
+    /// Mirror writer counters into the server metrics.
+    fn publish_stats(&self) {
+        let s = self.writer.stats();
+        let m = &self.metrics;
+        m.wal_appends
+            .store(self.rotated_stats.appends + s.appends, Ordering::Relaxed);
+        m.wal_bytes
+            .store(self.rotated_stats.bytes + s.bytes, Ordering::Relaxed);
+        m.fsyncs
+            .store(self.rotated_stats.fsyncs + s.fsyncs, Ordering::Relaxed);
+    }
+
+    /// Append the ops the engine applied since the last drain. This
+    /// runs after every ingest, which is also what keeps the engine's
+    /// in-memory journal bounded.
+    fn drain(&mut self, engine: &mut Engine) {
+        let ops = engine.take_journal();
+        if !ops.is_empty() {
+            if let Err(e) = self.writer.append(&ops) {
+                eprintln!(
+                    "fenestrad: WAL append to {} failed: {e}",
+                    self.writer.path().display()
+                );
+            }
+        }
+        self.publish_stats();
+    }
+
+    /// Drain, make the open segment durable, and — when a snapshot path
+    /// is configured — rotate: start segment `gen+1` empty, write a
+    /// compact snapshot stamped `wal_gen = gen+1`, then delete segment
+    /// `gen`. Every crash window recovers: before the snapshot rename
+    /// lands, recovery uses the old snapshot + full old segment; after,
+    /// the new snapshot + (empty or missing) new segment.
+    fn checkpoint(&mut self, engine: &mut Engine) {
+        self.drain(engine);
+        if let Err(e) = self.writer.sync() {
+            eprintln!(
+                "fenestrad: WAL sync of {} failed: {e}",
+                self.writer.path().display()
+            );
+            self.publish_stats();
+            return;
+        }
+        self.publish_stats();
+        let Some(snap) = self.snapshot_path.clone() else {
+            return; // Nothing to rotate against; the segment just grows.
+        };
+        let next_gen = self.gen + 1;
+        let next_path = segment_path(&self.base, next_gen);
+        let next_writer = match WalWriter::create(&next_path, self.writer.policy()) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!(
+                    "fenestrad: starting WAL segment {} failed: {e}",
+                    next_path.display()
+                );
+                return;
+            }
+        };
+        if let Err(e) = engine.save_state_compact(&snap, next_gen) {
+            // The snapshot still names the old generation; keep
+            // appending to the old segment and retry next checkpoint.
+            eprintln!("fenestrad: snapshot to {} failed: {e}", snap.display());
+            return;
+        }
+        let old_path = segment_path(&self.base, self.gen);
+        self.rotated_stats.appends += self.writer.stats().appends;
+        self.rotated_stats.bytes += self.writer.stats().bytes;
+        self.rotated_stats.fsyncs += self.writer.stats().fsyncs;
+        self.writer = next_writer;
+        self.gen = next_gen;
+        if let Err(e) = std::fs::remove_file(&old_path) {
+            eprintln!(
+                "fenestrad: removing rotated WAL segment {} failed: {e}",
+                old_path.display()
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn engine_loop(
     mut engine: Engine,
     rx: Receiver<EngineCmd>,
     snapshot_path: Option<PathBuf>,
+    mut durability: Option<Durability>,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
 ) {
+    if let Some(d) = durability.as_mut() {
+        if d.boot_resumed {
+            // Fold the replayed tail into a fresh snapshot so the next
+            // boot recovers from there, not from the same tail again.
+            d.checkpoint(&mut engine);
+        } else {
+            // First boot: persist whatever `setup` journaled (schema,
+            // rule side effects) before the first event.
+            d.drain(&mut engine);
+        }
+    }
     let mut watches: Vec<(Watch, Sender<String>)> = Vec::new();
     while let Ok(cmd) = rx.recv() {
         let mut quit = false;
         match cmd {
             EngineCmd::Ingest(ev) => {
-                engine.push(ev);
+                if !engine.push(ev) {
+                    // The ack the client already got meant "admitted to
+                    // the queue", not "applied": the event fell outside
+                    // the lateness bound and was discarded.
+                    metrics.late_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(d) = durability.as_mut() {
+                    d.drain(&mut engine);
+                }
             }
             EngineCmd::Query { text, reply } => {
                 metrics.queries.fetch_add(1, Ordering::Relaxed);
@@ -218,12 +387,18 @@ fn engine_loop(
                 );
                 let _ = reply.send(line);
             }
-            EngineCmd::Snapshot => snapshot(&engine, &snapshot_path),
+            EngineCmd::Snapshot => match durability.as_mut() {
+                Some(d) => d.checkpoint(&mut engine),
+                None => snapshot(&engine, &snapshot_path),
+            },
             EngineCmd::Shutdown { reply } => {
                 // FIFO queue: every ingest admitted before this command
                 // has already been applied. Flush and persist.
                 engine.finish();
-                snapshot(&engine, &snapshot_path);
+                match durability.as_mut() {
+                    Some(d) => d.checkpoint(&mut engine),
+                    None => snapshot(&engine, &snapshot_path),
+                }
                 if let Some(reply) = reply {
                     let _ = reply.send(proto::bye());
                 }
@@ -436,6 +611,66 @@ mod tests {
         let bye = rx.next().unwrap();
         assert!(bye.contains("bye"), "got: {bye}");
         handle.join();
+    }
+
+    #[test]
+    fn wal_restart_recovers_state_and_rotates_segments() {
+        let dir = std::env::temp_dir().join(format!("fenestra-srv-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("state.json");
+        let wal = dir.join("log");
+        let config = || {
+            ServerConfig::new("127.0.0.1:0")
+                .snapshot_path(&snap)
+                .wal_path(&wal)
+                .setup(|engine| {
+                    engine.declare_attr("room", fenestra_temporal::AttrSchema::one());
+                    engine
+                        .add_rules_text("rule mv:\n on s\n replace $(visitor).room = room")
+                        .unwrap();
+                })
+        };
+
+        let mut handle = Server::start(config()).unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut input = stream.try_clone().unwrap();
+        let mut rx = lines(&stream);
+        for ts in 1..=5 {
+            writeln!(
+                input,
+                r#"{{"stream":"s","ts":{ts},"visitor":"v{ts}","room":"lab"}}"#
+            )
+            .unwrap();
+            assert!(rx.next().unwrap().contains(r#""ok":true"#));
+        }
+        writeln!(input, r#"{{"cmd":"shutdown"}}"#).unwrap();
+        rx.next().unwrap();
+        handle.join();
+        // Shutdown checkpointed: snapshot exists, gen 0 rotated away.
+        assert!(snap.exists());
+        assert!(!segment_path(&wal, 0).exists());
+
+        // Restart over the same state directory and query it.
+        let mut handle = Server::start(config()).unwrap();
+        assert!(
+            handle.metrics().recovered_ops.load(Ordering::Relaxed) > 0,
+            "restart must replay the snapshot"
+        );
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut input = stream.try_clone().unwrap();
+        let mut rx = lines(&stream);
+        writeln!(
+            input,
+            r#"{{"cmd":"query","q":"select ?v where {{ ?v room \"lab\" }}"}}"#
+        )
+        .unwrap();
+        let reply = rx.next().unwrap();
+        for v in ["v1", "v2", "v3", "v4", "v5"] {
+            assert!(reply.contains(v), "missing {v} in: {reply}");
+        }
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,9 +35,13 @@
 //!
 //! ## Durability
 //!
-//! Every mutation is journaled to a write-ahead [`wal::WalOp`] log that
-//! can be encoded to bytes and replayed; full snapshots round-trip
-//! through JSON ([`persist`]).
+//! Every mutation is journaled to a write-ahead [`wal::WalOp`] log
+//! that can be encoded to bytes and replayed; full snapshots
+//! round-trip through JSON ([`persist`]). [`wal_file`] puts the
+//! journal on disk for real: CRC-framed appends with configurable
+//! fsync policy, generation-numbered segments rotated at snapshot
+//! time, and torn-tail-tolerant crash recovery
+//! ([`wal_file::recover`]).
 
 pub mod fact;
 pub mod persist;
@@ -47,6 +51,7 @@ pub mod stats;
 pub mod store;
 pub mod timeline;
 pub mod wal;
+pub mod wal_file;
 
 pub use fact::{AttrId, Fact, FactId, Provenance, StoredFact};
 pub use schema::{AttrSchema, Cardinality};
@@ -54,5 +59,6 @@ pub use snapshot::{AsOfView, CurrentView};
 pub use stats::StoreStats;
 pub use store::TemporalStore;
 pub use wal::{WalCodec, WalOp};
+pub use wal_file::{FsyncPolicy, LogTail, Recovery, WalWriter, WalWriterStats};
 
 pub use fenestra_base::value::EntityId;

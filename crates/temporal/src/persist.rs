@@ -9,7 +9,16 @@
 //! The JSON shape is `{"version":1,"ops":[...]}` with one object per
 //! [`WalOp`], discriminated by an `"op"` field. Values are tagged
 //! single-key objects (`{"int":5}`, `{"str":"lobby"}`, …) so every
-//! variant round-trips losslessly, floats included.
+//! variant round-trips losslessly, floats included. Snapshots written
+//! as part of a durable-log checkpoint additionally carry a
+//! `"wal_gen"` field naming the log generation that continues them
+//! (see [`crate::wal_file`]); readers that predate the field ignore
+//! it, and [`load`] tolerates its absence.
+//!
+//! All file writes here are *atomic*: the bytes land in a temp file in
+//! the target directory, are fsynced, and are renamed over the
+//! destination — a crash mid-write can never destroy the previous good
+//! snapshot.
 
 use crate::fact::Provenance;
 use crate::schema::{AttrSchema, Cardinality};
@@ -21,9 +30,25 @@ use fenestra_base::time::{Duration, Timestamp};
 use fenestra_base::value::{EntityId, Value};
 use serde_json::{Map, Value as Json};
 use std::fs;
+use std::io::Write;
 use std::path::Path;
 
 const FORMAT_VERSION: u64 = 1;
+
+/// Serialize a journal to the snapshot JSON string. `wal_gen` names
+/// the log generation that continues this snapshot (pass 0 when no
+/// durable log is in play; the field is always written so checkpoint
+/// provenance is inspectable).
+pub fn ops_to_json(ops: &[WalOp], wal_gen: u64) -> String {
+    let mut root = Map::new();
+    root.insert("version".into(), Json::from(FORMAT_VERSION));
+    root.insert("wal_gen".into(), Json::from(wal_gen));
+    root.insert(
+        "ops".into(),
+        Json::Array(ops.iter().map(op_to_json).collect()),
+    );
+    Json::Object(root).to_string()
+}
 
 /// Serialize the store's journal to a JSON string.
 pub fn to_json(store: &TemporalStore) -> Result<String> {
@@ -36,9 +61,20 @@ pub fn to_json(store: &TemporalStore) -> Result<String> {
     Ok(Json::Object(root).to_string())
 }
 
-/// Rebuild a store from [`to_json`] output.
-pub fn from_json(json: &str) -> Result<TemporalStore> {
-    let root = serde_json::from_str(json).map_err(|e| Error::Corrupt(e.to_string()))?;
+/// A snapshot parsed together with its metadata.
+pub struct LoadedSnapshot {
+    /// The reconstructed store.
+    pub store: TemporalStore,
+    /// The WAL generation continuing this snapshot (0 when the
+    /// snapshot predates the durable log or was written without one).
+    pub wal_gen: u64,
+    /// Number of ops replayed.
+    pub op_count: u64,
+}
+
+/// Rebuild a store from snapshot JSON, keeping the metadata.
+pub fn from_json_with_meta(json: &str) -> Result<LoadedSnapshot> {
+    let root: Json = serde_json::from_str(json).map_err(|e| Error::Corrupt(e.to_string()))?;
     let version = root
         .get("version")
         .and_then(Json::as_u64)
@@ -48,6 +84,7 @@ pub fn from_json(json: &str) -> Result<TemporalStore> {
             "snapshot version {version} unsupported (expected {FORMAT_VERSION})"
         )));
     }
+    let wal_gen = root.get("wal_gen").and_then(Json::as_u64).unwrap_or(0);
     let ops = root
         .get("ops")
         .and_then(Json::as_array)
@@ -55,12 +92,63 @@ pub fn from_json(json: &str) -> Result<TemporalStore> {
         .iter()
         .map(op_from_json)
         .collect::<Result<Vec<WalOp>>>()?;
-    TemporalStore::replay(&ops)
+    Ok(LoadedSnapshot {
+        store: TemporalStore::replay(&ops)?,
+        wal_gen,
+        op_count: ops.len() as u64,
+    })
 }
 
-/// Write a JSON snapshot to `path`.
+/// Rebuild a store from [`to_json`] output.
+pub fn from_json(json: &str) -> Result<TemporalStore> {
+    from_json_with_meta(json).map(|l| l.store)
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same
+/// directory, fsync, rename. The previous file (if any) survives any
+/// crash before the rename commits.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| Error::Invalid(format!("bad snapshot path {}", path.display())))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| -> Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+        return result;
+    }
+    // Make the rename itself durable. Not all platforms allow opening
+    // a directory for sync; failing that is not fatal.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Write a JSON snapshot to `path` (atomically).
 pub fn save(store: &TemporalStore, path: impl AsRef<Path>) -> Result<()> {
-    fs::write(path, to_json(store)?).map_err(Error::from)
+    write_atomic(path.as_ref(), to_json(store)?.as_bytes())
+}
+
+/// Write a *compact* JSON snapshot to `path` (atomically): the minimal
+/// op sequence for the current state ([`TemporalStore::compact_ops`])
+/// rather than the full journal, stamped with the WAL generation that
+/// continues it. This is the checkpoint format of the durable log.
+pub fn save_compact(store: &TemporalStore, path: impl AsRef<Path>, wal_gen: u64) -> Result<()> {
+    write_atomic(
+        path.as_ref(),
+        ops_to_json(&store.compact_ops(), wal_gen).as_bytes(),
+    )
 }
 
 /// Load a store from a JSON snapshot at `path`.
@@ -69,9 +157,15 @@ pub fn load(path: impl AsRef<Path>) -> Result<TemporalStore> {
     from_json(&json)
 }
 
-/// Write a compact binary WAL file to `path`.
+/// Load a store and its snapshot metadata from `path`.
+pub fn load_with_meta(path: impl AsRef<Path>) -> Result<LoadedSnapshot> {
+    let json = fs::read_to_string(path)?;
+    from_json_with_meta(&json)
+}
+
+/// Write a compact binary WAL file to `path` (atomically).
 pub fn save_wal(store: &TemporalStore, path: impl AsRef<Path>) -> Result<()> {
-    fs::write(path, WalCodec::encode(store.wal())).map_err(Error::from)
+    write_atomic(path.as_ref(), &WalCodec::encode(store.wal()))
 }
 
 /// Load a store from a binary WAL file at `path`.
@@ -408,6 +502,82 @@ mod tests {
             from_json("{\"version\": 99, \"ops\": []}"),
             Err(Error::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn truncated_snapshot_file_is_corrupt_not_panic() {
+        let s = sample();
+        let dir = std::env::temp_dir().join("fenestra-persist-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("truncated-{}.json", std::process::id()));
+        save(&s, &p).unwrap();
+        // A crash mid-write of a *non-atomic* writer would leave a
+        // prefix; loading one must fail cleanly.
+        let full = fs::read(&p).unwrap();
+        for cut in [1usize, full.len() / 2, full.len() - 2] {
+            fs::write(&p, &full[..cut]).unwrap();
+            assert!(
+                matches!(load(&p), Err(Error::Corrupt(_))),
+                "cut at {cut} must be Corrupt"
+            );
+        }
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn atomic_save_replaces_previous_snapshot_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join("fenestra-persist-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("atomic-{}.json", std::process::id()));
+        let old = sample();
+        save(&old, &p).unwrap();
+        let mut newer = sample();
+        let v = newer.lookup_entity("visitor").unwrap();
+        newer
+            .replace_at(v, "room", "exit", Timestamp::new(9))
+            .unwrap();
+        save(&newer, &p).unwrap();
+        let r = load(&p).unwrap();
+        let rv = r.lookup_entity("visitor").unwrap();
+        assert_eq!(r.current().value(rv, "room"), Some(Value::str("exit")));
+        // No stray temp files from the atomic protocol.
+        let strays: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(strays.is_empty(), "{strays:?}");
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn compact_snapshot_carries_wal_gen_and_round_trips() {
+        let s = sample();
+        let dir = std::env::temp_dir().join("fenestra-persist-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("compact-{}.json", std::process::id()));
+        save_compact(&s, &p, 7).unwrap();
+        let loaded = load_with_meta(&p).unwrap();
+        assert_eq!(loaded.wal_gen, 7);
+        assert!(loaded.op_count > 0);
+        let v = loaded.store.lookup_entity("visitor").unwrap();
+        assert_eq!(
+            loaded.store.current().value(v, "room"),
+            Some(Value::str("lab"))
+        );
+        assert_eq!(
+            loaded.store.history(v, "room"),
+            s.history(s.lookup_entity("visitor").unwrap(), "room")
+        );
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn legacy_snapshot_without_wal_gen_loads_as_gen_zero() {
+        let s = sample();
+        let loaded = from_json_with_meta(&to_json(&s).unwrap()).unwrap();
+        assert_eq!(loaded.wal_gen, 0);
+        assert!(loaded.op_count > 0);
     }
 }
 

@@ -410,10 +410,98 @@ impl TemporalStore {
 
     // ----- WAL --------------------------------------------------------------
 
-    /// The journal of every mutation since creation (empty if the store
-    /// was built with [`TemporalStore::without_wal`]).
+    /// The journal of every mutation since creation — or, once a log
+    /// writer is draining it via [`TemporalStore::take_journal`], since
+    /// the last drain. Empty if the store was built with
+    /// [`TemporalStore::without_wal`].
     pub fn wal(&self) -> &[WalOp] {
         &self.wal
+    }
+
+    /// Drain the in-memory journal, returning the ops accumulated since
+    /// the last drain. This is how a durable log writer keeps the
+    /// journal's memory bounded: append the returned batch to disk and
+    /// the Vec starts over empty.
+    pub fn take_journal(&mut self) -> Vec<WalOp> {
+        std::mem::take(&mut self.wal)
+    }
+
+    /// Number of ops currently buffered in the in-memory journal.
+    pub fn journal_len(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// A minimal op sequence reconstructing the *current* store —
+    /// O(live state) where the full journal is O(all history ever).
+    /// Checkpoints write this instead of the journal, so snapshot size
+    /// tracks the state, not the ingest volume.
+    ///
+    /// Replaying the sequence preserves everything observable: schema,
+    /// named-entity ids, open facts, closed history with provenance.
+    /// Not preserved: fact ids and anonymous-entity ids beyond the last
+    /// named entity (both unobservable through queries), and the
+    /// retroactive-overlap watermark of fully GC'd `(entity, attr)`
+    /// pairs.
+    pub fn compact_ops(&self) -> Vec<WalOp> {
+        let mut ops = Vec::new();
+        // Schema, in deterministic (attr-name) order.
+        let mut attrs: Vec<(AttrId, AttrSchema)> = self.schema.iter().collect();
+        attrs.sort_by_key(|(a, _)| *a);
+        for (attr, schema) in attrs {
+            ops.push(WalOp::DeclareAttr { attr, schema });
+        }
+        // Entity directory: named ids must replay identically, so
+        // allocations are emitted in id order with anonymous fillers
+        // between them.
+        let hi = self
+            .entity_names_rev
+            .keys()
+            .map(|e| e.0 + 1)
+            .max()
+            .unwrap_or(0);
+        for id in 0..hi {
+            ops.push(WalOp::NewEntity {
+                name: self.entity_names_rev.get(&EntityId(id)).copied(),
+            });
+        }
+        // Facts, one timeline at a time. Closed intervals first (each
+        // assert immediately closed, so a later identical value can
+        // never hit the open-fact idempotence shortcut and merge), then
+        // the open facts; both in validity-start order.
+        for ((e, a), tl) in &self.timelines {
+            let mut open = Vec::new();
+            for entry in tl.entries() {
+                let Some(f) = self.get(entry.id) else {
+                    continue;
+                };
+                match f.validity.end {
+                    Some(end) => {
+                        ops.push(WalOp::Assert {
+                            entity: *e,
+                            attr: *a,
+                            value: f.fact.value,
+                            t: f.validity.start,
+                            provenance: f.provenance,
+                        });
+                        ops.push(WalOp::Retract {
+                            entity: *e,
+                            attr: *a,
+                            value: f.fact.value,
+                            t: end,
+                        });
+                    }
+                    None => open.push(WalOp::Assert {
+                        entity: *e,
+                        attr: *a,
+                        value: f.fact.value,
+                        t: f.validity.start,
+                        provenance: f.provenance,
+                    }),
+                }
+            }
+            ops.extend(open);
+        }
+        ops
     }
 
     /// A *fork*: an independent store reconstructing this store's state
@@ -936,6 +1024,134 @@ mod tests {
         s.assert_at(EntityId(100), "x", 1i64, ts(1)).unwrap();
         let e = s.new_entity();
         assert!(e.0 > 100, "allocator must skip externally used ids");
+    }
+
+    #[test]
+    fn take_journal_drains_and_memory_stays_bounded() {
+        let mut s = TemporalStore::new();
+        let e = s.new_entity();
+        s.assert_at(e, "x", 1i64, ts(1)).unwrap();
+        let before = s.journal_len();
+        assert!(before > 0);
+        let drained = s.take_journal();
+        assert_eq!(drained.len(), before);
+        assert_eq!(s.journal_len(), 0, "drain resets the Vec");
+        // Subsequent mutations journal only themselves, not history.
+        s.retract_at(e, "x", 1i64, ts(5)).unwrap();
+        assert_eq!(s.journal_len(), 1);
+        assert_eq!(s.take_journal().len(), 1);
+        // The two drains concatenated replay to the same store.
+        let mut all = drained;
+        all.push(WalOp::Retract {
+            entity: e,
+            attr: crate::fact::AttrId::from("x"),
+            value: Value::Int(1),
+            t: ts(5),
+        });
+        let r = TemporalStore::replay(&all).unwrap();
+        assert_eq!(r.stored_fact_count(), s.stored_fact_count());
+        assert_eq!(r.open_fact_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod compact_tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    fn assert_equivalent(original: &TemporalStore) {
+        let compact = original.compact_ops();
+        let r = TemporalStore::replay(&compact).expect("compact ops must replay");
+        assert_eq!(r.open_fact_count(), original.open_fact_count());
+        assert_eq!(r.stored_fact_count(), original.stored_fact_count());
+        for (name, e) in original.named_entities() {
+            assert_eq!(
+                r.lookup_entity(name),
+                Some(e),
+                "named entity {name} keeps its id"
+            );
+            for (attr, _) in original.schema.iter() {
+                assert_eq!(
+                    r.history(e, attr),
+                    original.history(e, attr),
+                    "history of {name} {attr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_ops_is_o_live_state_not_o_history() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.named_entity("v");
+        for i in 1..=100u64 {
+            s.replace_at(v, "room", format!("r{i}").as_str(), ts(i))
+                .unwrap();
+        }
+        s.gc(ts(90)); // reclaim most of the closed history
+        let full = s.wal().len();
+        let compact = s.compact_ops().len();
+        assert!(
+            compact < full / 2,
+            "compact {compact} ops should be far below the {full}-op journal"
+        );
+        assert_equivalent(&s);
+    }
+
+    #[test]
+    fn compact_preserves_schema_names_history_and_provenance() {
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        s.declare_attr(
+            "last_seen",
+            AttrSchema::one().with_ttl(fenestra_base::time::Duration::millis(30)),
+        );
+        let a = s.named_entity("alice");
+        let _anon = s.new_entity();
+        let b = s.named_entity("bob");
+        s.replace_at(a, "room", "lobby", ts(1)).unwrap();
+        s.replace_with(
+            a,
+            AttrId::from("room"),
+            Value::str("lab"),
+            ts(5),
+            Provenance::Rule(Symbol::intern("mv")),
+        )
+        .unwrap();
+        s.assert_at(b, "badge", 7i64, ts(3)).unwrap();
+        s.retract_at(b, "badge", 7i64, ts(9)).unwrap();
+        assert_equivalent(&s);
+        let r = TemporalStore::replay(&s.compact_ops()).unwrap();
+        assert_eq!(
+            r.attr_schema(AttrId::from("last_seen")).ttl,
+            Some(fenestra_base::time::Duration::millis(30))
+        );
+        let h = r.history(a, "room");
+        assert_eq!(h[1].2, Provenance::Rule(Symbol::intern("mv")));
+    }
+
+    #[test]
+    fn compact_survives_identical_overlapping_intervals() {
+        // Cardinality-many allows an open fact whose interval overlaps
+        // a closed one with the same value; replay order must not merge
+        // them through the idempotence shortcut.
+        let mut s = TemporalStore::new();
+        let e = s.named_entity("e");
+        s.assert_at(e, "tag", "x", ts(20)).unwrap();
+        s.retract_at(e, "tag", "x", ts(30)).unwrap();
+        s.assert_at(e, "tag", "x", ts(10)).unwrap(); // open, starts earlier
+        assert_eq!(s.history(e, "tag").len(), 2);
+        assert_equivalent(&s);
+    }
+
+    #[test]
+    fn compact_of_empty_store_is_empty() {
+        assert!(TemporalStore::new().compact_ops().is_empty());
+        assert_equivalent(&TemporalStore::new());
     }
 }
 

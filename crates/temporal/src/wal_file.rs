@@ -1,0 +1,662 @@
+//! The on-disk write-ahead log.
+//!
+//! [`crate::wal`] defines the op vocabulary and its binary codec; this
+//! module puts those bytes on disk durably. A log file is a sequence of
+//! *frames*, one per appended batch:
+//!
+//! ```text
+//! [len: u32 BE] [crc32: u32 BE] [payload: len bytes]
+//! ```
+//!
+//! where the payload is [`WalCodec::encode`] output and the checksum is
+//! CRC-32 (IEEE) over the payload. Frames make the log self-delimiting
+//! and let recovery distinguish a *torn tail* (the crash interrupted
+//! the final write) from wholesale corruption: reading stops at the
+//! first frame whose length or checksum does not hold, everything
+//! before it is trusted, everything after it is counted and discarded.
+//!
+//! ## Segments and rotation
+//!
+//! Log files are *generation-numbered segments*: `base.0`, `base.1`, …
+//! ([`segment_path`]). A snapshot records the generation whose segment
+//! continues it, so the recovery invariant is
+//!
+//! > snapshot(gen *g*) + replay of `base.g` = the live store.
+//!
+//! Rotation (performed by the server after a successful snapshot)
+//! creates the next segment, writes the snapshot naming it, and only
+//! then deletes the old segment — every crash window in between leaves
+//! a recoverable pair on disk.
+//!
+//! ## Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for throughput: `Always` syncs
+//! every appended batch (an acked-and-applied event survives kill -9),
+//! `EveryN` amortizes the sync over n batches, `OnSnapshot` leaves
+//! syncing to checkpoints entirely.
+
+use crate::persist;
+use crate::store::TemporalStore;
+use crate::wal::{WalCodec, WalOp};
+use fenestra_base::error::{Error, Result};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// Frame header size: u32 length + u32 checksum.
+const FRAME_HEADER: usize = 8;
+
+// ----- CRC-32 (IEEE) --------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ----- fsync policy ---------------------------------------------------------
+
+/// When the log writer calls `fsync` after appending a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every appended batch: an acked-and-applied event
+    /// survives an ungraceful kill. The durable default.
+    Always,
+    /// Sync once every `n` appended batches (and at every checkpoint).
+    /// At most `n - 1` batches are exposed to an ungraceful kill.
+    EveryN(u32),
+    /// Sync only at checkpoints (snapshot / shutdown). Highest
+    /// throughput, weakest guarantee.
+    OnSnapshot,
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<FsyncPolicy> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "on-snapshot" => Ok(FsyncPolicy::OnSnapshot),
+            _ => {
+                if let Some(n) = s.strip_prefix("every-") {
+                    let n: u32 = n.parse().map_err(|_| {
+                        Error::Invalid(format!("bad fsync policy `{s}` (want every-<n>)"))
+                    })?;
+                    if n == 0 {
+                        return Err(Error::Invalid("every-0 is not a policy; use always".into()));
+                    }
+                    Ok(FsyncPolicy::EveryN(n))
+                } else {
+                    Err(Error::Invalid(format!(
+                        "unknown fsync policy `{s}` (always | every-<n> | on-snapshot)"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FsyncPolicy::OnSnapshot => write!(f, "on-snapshot"),
+        }
+    }
+}
+
+// ----- paths ----------------------------------------------------------------
+
+/// The path of generation `gen` of the log at `base`: `base.<gen>`.
+pub fn segment_path(base: &Path, gen: u64) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".{gen}"));
+    PathBuf::from(os)
+}
+
+// ----- reading --------------------------------------------------------------
+
+/// Result of scanning a log file.
+#[derive(Debug, Default)]
+pub struct LogTail {
+    /// Ops decoded from the valid frame prefix, in append order.
+    pub ops: Vec<WalOp>,
+    /// Number of valid frames.
+    pub frames: u64,
+    /// Byte length of the valid frame prefix.
+    pub valid_len: u64,
+    /// Bytes after the last valid frame (torn or corrupt), discarded.
+    pub discarded_bytes: u64,
+}
+
+/// Scan the byte image of a log file, stopping at the first torn or
+/// corrupt frame. Never fails: damage is reported, not raised.
+pub fn scan_frames(data: &[u8]) -> LogTail {
+    let mut tail = LogTail::default();
+    let mut pos = 0usize;
+    while data.len() - pos >= FRAME_HEADER {
+        let len = u32::from_be_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let Some(end) = pos
+            .checked_add(FRAME_HEADER)
+            .and_then(|p| p.checked_add(len))
+        else {
+            break;
+        };
+        if end > data.len() {
+            break; // torn: the final frame's payload never fully landed
+        }
+        let crc = u32::from_be_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let payload = &data[pos + FRAME_HEADER..end];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(mut ops) = WalCodec::decode(payload) else {
+            break;
+        };
+        tail.ops.append(&mut ops);
+        tail.frames += 1;
+        pos = end;
+    }
+    tail.valid_len = pos as u64;
+    tail.discarded_bytes = (data.len() - pos) as u64;
+    tail
+}
+
+/// Read and scan the log file at `path`. A missing file is an empty
+/// log; an unreadable file is an error.
+pub fn read_log(path: &Path) -> Result<LogTail> {
+    match fs::read(path) {
+        Ok(data) => Ok(scan_frames(&data)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(LogTail::default()),
+        Err(e) => Err(Error::from(e)),
+    }
+}
+
+// ----- writing --------------------------------------------------------------
+
+/// Cumulative writer counters (monotone across the writer's lifetime).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalWriterStats {
+    /// Frames appended.
+    pub appends: u64,
+    /// Bytes appended (headers included).
+    pub bytes: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+}
+
+/// Appends CRC-framed op batches to one log segment.
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    /// Batches appended since the last sync (drives `EveryN`).
+    unsynced_batches: u32,
+    dirty: bool,
+    stats: WalWriterStats,
+}
+
+impl WalWriter {
+    /// Open (or create) the segment at `path` for appending. An
+    /// existing file is scanned and **truncated to its valid frame
+    /// prefix** first — appending after torn bytes would make every
+    /// later frame unreachable to recovery. Returns the writer and the
+    /// number of torn bytes removed.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<(WalWriter, u64)> {
+        let tail = read_log(path)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)?;
+        file.set_len(tail.valid_len)?;
+        let mut w = WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced_batches: 0,
+            dirty: false,
+            stats: WalWriterStats::default(),
+        };
+        w.file.seek(SeekFrom::End(0))?;
+        if tail.discarded_bytes > 0 {
+            // The truncation itself must be durable before new frames
+            // land after it.
+            w.file.sync_all()?;
+            w.stats.fsyncs += 1;
+        }
+        Ok((w, tail.discarded_bytes))
+    }
+
+    /// Create the segment at `path` empty, discarding any previous
+    /// content (rotation writes each generation from scratch).
+    pub fn create(path: &Path, policy: FsyncPolicy) -> Result<WalWriter> {
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(path)?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced_batches: 0,
+            dirty: false,
+            stats: WalWriterStats::default(),
+        })
+    }
+
+    /// Append one batch of ops as a single frame, then sync according
+    /// to the policy. Returns the number of bytes appended. An empty
+    /// batch appends nothing.
+    pub fn append(&mut self, ops: &[WalOp]) -> Result<u64> {
+        if ops.is_empty() {
+            return Ok(0);
+        }
+        let payload = WalCodec::encode(ops);
+        if payload.len() > u32::MAX as usize {
+            return Err(Error::Invalid(format!(
+                "WAL batch of {} bytes exceeds the 4 GiB frame limit",
+                payload.len()
+            )));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.dirty = true;
+        self.unsynced_batches += 1;
+        self.stats.appends += 1;
+        self.stats.bytes += frame.len() as u64;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced_batches >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::OnSnapshot => {}
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Force appended frames to stable storage (no-op when clean).
+    pub fn sync(&mut self) -> Result<()> {
+        if self.dirty {
+            self.file.sync_data()?;
+            self.stats.fsyncs += 1;
+            self.dirty = false;
+            self.unsynced_batches = 0;
+        }
+        Ok(())
+    }
+
+    /// Writer counters.
+    pub fn stats(&self) -> WalWriterStats {
+        self.stats
+    }
+
+    /// The segment path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+}
+
+// ----- recovery -------------------------------------------------------------
+
+/// What [`recover`] reconstructed.
+pub struct Recovery {
+    /// The recovered store. Its in-memory journal is **empty**: every
+    /// replayed op is already durable, so draining it to the log again
+    /// would double-apply on the next recovery.
+    pub store: TemporalStore,
+    /// The WAL generation the store continues (append to
+    /// `segment_path(base, wal_gen)`).
+    pub wal_gen: u64,
+    /// Ops replayed from the snapshot.
+    pub snapshot_ops: u64,
+    /// Ops replayed from the WAL tail.
+    pub wal_ops: u64,
+    /// Torn/corrupt bytes discarded from the WAL tail.
+    pub discarded_bytes: u64,
+    /// Ops decoded from valid frames but discarded because they no
+    /// longer applied cleanly (replay stops at the first such op).
+    pub discarded_ops: u64,
+}
+
+impl Recovery {
+    /// Whether anything at all was replayed or discarded — i.e. the
+    /// process is a restart over prior state rather than a first boot.
+    pub fn resumed(&self) -> bool {
+        self.snapshot_ops > 0 || self.wal_ops > 0 || self.discarded_bytes > 0
+    }
+}
+
+/// Rebuild a store from the latest snapshot plus the WAL tail.
+///
+/// * A missing snapshot file yields a fresh store at generation 0; a
+///   *corrupt* snapshot is an error (recovery must not silently start
+///   empty over damaged state).
+/// * A missing WAL segment is an empty tail. A torn or corrupt tail is
+///   tolerated: replay stops at the damage and reports the discarded
+///   byte count; it never panics and never fails the recovery.
+pub fn recover(snapshot: Option<&Path>, wal_base: Option<&Path>) -> Result<Recovery> {
+    let (mut store, wal_gen, snapshot_ops) = match snapshot {
+        Some(p) if p.exists() => {
+            let loaded = persist::load_with_meta(p)?;
+            (loaded.store, loaded.wal_gen, loaded.op_count)
+        }
+        _ => (TemporalStore::new(), 0, 0),
+    };
+    let mut wal_ops = 0u64;
+    let mut discarded_bytes = 0u64;
+    let mut discarded_ops = 0u64;
+    if let Some(base) = wal_base {
+        let tail = read_log(&segment_path(base, wal_gen))?;
+        discarded_bytes = tail.discarded_bytes;
+        for (i, op) in tail.ops.iter().enumerate() {
+            if store.apply(op).is_err() {
+                // An op that replayed cleanly when journaled but not
+                // now means the log diverged from the snapshot (e.g.
+                // operator error mixing state directories). Keep the
+                // consistent prefix.
+                discarded_ops = (tail.ops.len() - i) as u64;
+                break;
+            }
+            wal_ops += 1;
+        }
+    }
+    // Replayed ops are already on disk; journaling them again would
+    // duplicate them in the segment.
+    store.take_journal();
+    Ok(Recovery {
+        store,
+        wal_gen,
+        snapshot_ops,
+        wal_ops,
+        discarded_bytes,
+        discarded_ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrSchema;
+    use fenestra_base::time::Timestamp;
+    use fenestra_base::value::Value;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("fenestra-wal-file-test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}", std::process::id()));
+        fs::remove_file(&p).ok();
+        p
+    }
+
+    fn sample_ops(n: u64) -> Vec<WalOp> {
+        (0..n)
+            .map(|i| WalOp::Assert {
+                entity: fenestra_base::value::EntityId(i),
+                attr: fenestra_base::symbol::Symbol::intern("x"),
+                value: Value::Int(i as i64),
+                t: Timestamp::new(i),
+                provenance: crate::fact::Provenance::External,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let p = tmp("round-trip.wal");
+        let ops = sample_ops(5);
+        {
+            let (mut w, torn) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+            assert_eq!(torn, 0);
+            w.append(&ops[..2]).unwrap();
+            w.append(&ops[2..]).unwrap();
+            assert_eq!(w.stats().appends, 2);
+            assert!(w.stats().fsyncs >= 2, "always policy syncs per batch");
+        }
+        let tail = read_log(&p).unwrap();
+        assert_eq!(tail.ops, ops);
+        assert_eq!(tail.frames, 2);
+        assert_eq!(tail.discarded_bytes, 0);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty_log() {
+        let tail = read_log(Path::new("/nonexistent/fenestra.wal")).unwrap();
+        assert_eq!(tail.frames, 0);
+        assert!(tail.ops.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_keeps_valid_prefix() {
+        let p = tmp("torn.wal");
+        let ops = sample_ops(6);
+        {
+            let (mut w, _) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+            w.append(&ops[..3]).unwrap();
+            w.append(&ops[3..]).unwrap();
+        }
+        let full = fs::metadata(&p).unwrap().len();
+        // Tear the final frame mid-payload.
+        let file = OpenOptions::new().write(true).open(&p).unwrap();
+        file.set_len(full - 5).unwrap();
+        drop(file);
+        let tail = read_log(&p).unwrap();
+        assert_eq!(tail.ops, ops[..3], "first frame survives");
+        assert_eq!(tail.frames, 1);
+        assert!(tail.discarded_bytes > 0);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_scan_without_panic() {
+        let p = tmp("crc.wal");
+        let ops = sample_ops(4);
+        {
+            let (mut w, _) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+            w.append(&ops[..2]).unwrap();
+            w.append(&ops[2..]).unwrap();
+        }
+        // Flip a byte inside the second frame's payload.
+        let mut data = fs::read(&p).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xFF;
+        fs::write(&p, &data).unwrap();
+        let tail = read_log(&p).unwrap();
+        assert_eq!(tail.ops, ops[..2]);
+        assert!(tail.discarded_bytes > 0);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_so_appends_stay_reachable() {
+        let p = tmp("reopen.wal");
+        let ops = sample_ops(4);
+        {
+            let (mut w, _) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+            w.append(&ops[..2]).unwrap();
+        }
+        // Simulate a torn append: garbage after the valid frame.
+        let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+        f.write_all(&[0xAB; 7]).unwrap();
+        drop(f);
+        let (mut w, torn) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+        assert_eq!(torn, 7);
+        w.append(&ops[2..]).unwrap();
+        drop(w);
+        let tail = read_log(&p).unwrap();
+        assert_eq!(tail.ops, ops, "post-truncation appends are readable");
+        assert_eq!(tail.discarded_bytes, 0);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn every_n_policy_amortizes_syncs() {
+        let p = tmp("every-n.wal");
+        let ops = sample_ops(1);
+        let (mut w, _) = WalWriter::open(&p, FsyncPolicy::EveryN(3)).unwrap();
+        for _ in 0..7 {
+            w.append(&ops).unwrap();
+        }
+        assert_eq!(w.stats().fsyncs, 2, "7 batches / every-3 = 2 syncs");
+        w.sync().unwrap();
+        assert_eq!(w.stats().fsyncs, 3);
+        w.sync().unwrap();
+        assert_eq!(w.stats().fsyncs, 3, "clean writer does not re-sync");
+        drop(w);
+        fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        assert_eq!(
+            "always".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::Always
+        );
+        assert_eq!(
+            "on-snapshot".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::OnSnapshot
+        );
+        assert_eq!(
+            "every-64".parse::<FsyncPolicy>().unwrap(),
+            FsyncPolicy::EveryN(64)
+        );
+        assert!("every-0".parse::<FsyncPolicy>().is_err());
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+        assert!("every-x".parse::<FsyncPolicy>().is_err());
+        assert_eq!(FsyncPolicy::EveryN(8).to_string(), "every-8");
+    }
+
+    #[test]
+    fn segment_paths_are_generation_suffixed() {
+        let base = PathBuf::from("/var/lib/fenestra/wal.log");
+        assert_eq!(
+            segment_path(&base, 0),
+            PathBuf::from("/var/lib/fenestra/wal.log.0")
+        );
+        assert_eq!(
+            segment_path(&base, 12),
+            PathBuf::from("/var/lib/fenestra/wal.log.12")
+        );
+    }
+
+    #[test]
+    fn recover_without_files_is_a_fresh_store() {
+        let base = tmp("fresh.wal");
+        let snap = tmp("fresh.json");
+        let r = recover(Some(&snap), Some(&base)).unwrap();
+        assert_eq!(r.wal_gen, 0);
+        assert!(!r.resumed());
+        assert_eq!(r.store.open_fact_count(), 0);
+    }
+
+    #[test]
+    fn recover_replays_wal_tail_and_clears_journal() {
+        let base = tmp("replay.wal");
+        let seg = segment_path(&base, 0);
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.named_entity("v");
+        s.replace_at(v, "room", "a", Timestamp::new(1)).unwrap();
+        s.replace_at(v, "room", "b", Timestamp::new(5)).unwrap();
+        {
+            let (mut w, _) = WalWriter::open(&seg, FsyncPolicy::Always).unwrap();
+            w.append(&s.take_journal()).unwrap();
+        }
+        let r = recover(None, Some(&base)).unwrap();
+        assert!(r.resumed());
+        assert_eq!(r.wal_ops, 4, "declare + entity + 2 replaces");
+        assert_eq!(r.discarded_bytes, 0);
+        let rv = r.store.lookup_entity("v").unwrap();
+        assert_eq!(r.store.current().value(rv, "room"), Some(Value::str("b")));
+        assert_eq!(r.store.history(rv, "room").len(), 2);
+        assert_eq!(
+            r.store.journal_len(),
+            0,
+            "recovered ops must not be re-journaled"
+        );
+        fs::remove_file(&seg).ok();
+    }
+
+    #[test]
+    fn recover_snapshot_plus_tail() {
+        let base = tmp("snap-tail.wal");
+        let snap = tmp("snap-tail.json");
+        let seg1 = segment_path(&base, 1);
+
+        // Snapshot at generation 1, then more ops in segment 1.
+        let mut s = TemporalStore::new();
+        s.declare_attr("room", AttrSchema::one());
+        let v = s.named_entity("v");
+        s.replace_at(v, "room", "a", Timestamp::new(1)).unwrap();
+        persist::save_compact(&s, &snap, 1).unwrap();
+        s.take_journal();
+        s.replace_at(v, "room", "b", Timestamp::new(9)).unwrap();
+        {
+            let (mut w, _) = WalWriter::open(&seg1, FsyncPolicy::Always).unwrap();
+            w.append(&s.take_journal()).unwrap();
+        }
+
+        let r = recover(Some(&snap), Some(&base)).unwrap();
+        assert_eq!(r.wal_gen, 1);
+        assert!(r.snapshot_ops > 0 && r.wal_ops > 0);
+        let rv = r.store.lookup_entity("v").unwrap();
+        assert_eq!(r.store.current().value(rv, "room"), Some(Value::str("b")));
+        assert_eq!(r.store.history(rv, "room").len(), 2);
+        fs::remove_file(&snap).ok();
+        fs::remove_file(&seg1).ok();
+    }
+
+    #[test]
+    fn recover_rejects_corrupt_snapshot() {
+        let snap = tmp("bad.json");
+        fs::write(&snap, "{\"version\":1,\"ops\":[{\"truncat").unwrap();
+        assert!(matches!(recover(Some(&snap), None), Err(Error::Corrupt(_))));
+        fs::remove_file(&snap).ok();
+    }
+}

@@ -1,5 +1,6 @@
 //! Failure-injection integration tests: out-of-order delivery,
-//! duplicates, late data, malformed inputs.
+//! duplicates, late data, malformed inputs, and process crashes
+//! (`kill -9` against a fenestrad with a durable WAL).
 
 use fenestra::prelude::*;
 use fenestra::workloads::ooo;
@@ -172,4 +173,295 @@ fn store_level_errors_are_contained() {
     let store = engine.store();
     let e = store.lookup_entity("x").unwrap();
     assert_eq!(store.current().value(e, "slot"), Some(Value::str("a")));
+}
+
+// ----- crash recovery (fenestrad subprocess, kill -9) -----------------------
+
+mod crash {
+    use serde_json::Value as Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::path::{Path, PathBuf};
+    use std::process::{Child, Command, Stdio};
+
+    /// The fenestrad binary, built on demand if this test package was
+    /// compiled without the server package's binaries.
+    fn fenestrad_bin() -> PathBuf {
+        let target_dir = Path::new(env!("CARGO_BIN_EXE_fenestra"))
+            .parent()
+            .expect("binary dir")
+            .to_path_buf();
+        let bin = target_dir.join(format!("fenestrad{}", std::env::consts::EXE_SUFFIX));
+        if !bin.exists() {
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+            let mut cmd = Command::new(cargo);
+            cmd.current_dir(env!("CARGO_MANIFEST_DIR")).args([
+                "build",
+                "-p",
+                "fenestra-server",
+                "--bin",
+                "fenestrad",
+            ]);
+            if target_dir.file_name().is_some_and(|n| n == "release") {
+                cmd.arg("--release");
+            }
+            let status = cmd.status().expect("cargo build fenestrad");
+            assert!(status.success(), "building fenestrad failed");
+        }
+        bin
+    }
+
+    /// A running fenestrad over a state directory.
+    struct Daemon {
+        child: Child,
+        addr: String,
+    }
+
+    impl Daemon {
+        fn spawn(dir: &Path, extra: &[&str]) -> Daemon {
+            let rules = dir.join("rules.txt");
+            std::fs::write(&rules, "rule mv:\n on s\n replace $(visitor).room = room\n").unwrap();
+            let mut child = Command::new(fenestrad_bin())
+                .arg("--addr")
+                .arg("127.0.0.1:0")
+                .arg("--snapshot")
+                .arg(dir.join("state.json"))
+                .arg("--wal")
+                .arg(dir.join("log"))
+                .arg("--rules")
+                .arg(&rules)
+                .args(extra)
+                .stderr(Stdio::piped())
+                .spawn()
+                .expect("spawn fenestrad");
+            // The daemon announces its bound address on stderr.
+            let stderr = child.stderr.take().unwrap();
+            let mut reader = BufReader::new(stderr);
+            let addr = loop {
+                let mut line = String::new();
+                assert!(
+                    reader.read_line(&mut line).unwrap() > 0,
+                    "fenestrad exited before announcing its address"
+                );
+                if let Some(rest) = line.trim().strip_prefix("fenestrad: listening on ") {
+                    break rest.to_string();
+                }
+            };
+            // Keep draining stderr so the child never blocks on a full
+            // pipe.
+            std::thread::spawn(move || {
+                for line in reader.lines() {
+                    if line.is_err() {
+                        break;
+                    }
+                }
+            });
+            Daemon { child, addr }
+        }
+
+        fn connect(&self) -> Conn {
+            let stream = TcpStream::connect(&self.addr).expect("connect to fenestrad");
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Conn { stream, reader }
+        }
+
+        /// SIGKILL — no drain, no snapshot, no fsync beyond what the
+        /// WAL policy already guaranteed.
+        fn kill9(mut self) {
+            self.child.kill().expect("kill -9 fenestrad");
+            self.child.wait().expect("reap fenestrad");
+        }
+
+        fn shutdown(mut self) {
+            let mut c = self.connect();
+            let v = c.call(r#"{"cmd":"shutdown"}"#);
+            assert!(v.get("bye").is_some(), "graceful shutdown: {v}");
+            self.child.wait().expect("reap fenestrad");
+        }
+    }
+
+    struct Conn {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Conn {
+        fn send(&mut self, line: &str) {
+            writeln!(self.stream, "{line}").unwrap();
+        }
+
+        fn recv(&mut self) -> Json {
+            let mut line = String::new();
+            assert!(self.reader.read_line(&mut line).unwrap() > 0, "EOF");
+            serde_json::from_str(line.trim()).expect("reply is JSON")
+        }
+
+        fn call(&mut self, line: &str) -> Json {
+            self.send(line);
+            self.recv()
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fenestra-crash-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Ingest `n` events (each moves a fresh visitor into a room), ack
+    /// every one, then issue a `stats` round-trip. The FIFO queue makes
+    /// that reply a barrier: every acked event has been applied and —
+    /// under `--fsync always` — fsynced.
+    fn ingest_acked(c: &mut Conn, n: u64) -> Json {
+        for i in 1..=n {
+            c.send(&format!(
+                r#"{{"stream":"s","ts":{i},"visitor":"v{i}","room":"r{i}"}}"#
+            ));
+        }
+        for i in 1..=n {
+            let v = c.recv();
+            assert_eq!(
+                v.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "ack {i}: {v}"
+            );
+        }
+        c.call(r#"{"cmd":"stats"}"#)
+    }
+
+    fn counter(stats: &Json, key: &str) -> u64 {
+        stats
+            .get("server")
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing server.{key} in {stats}"))
+    }
+
+    fn occupied_rooms(c: &mut Conn) -> usize {
+        let v = c.call(r#"{"cmd":"query","q":"select ?v ?r where { ?v room ?r }"}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+        v.get("rows").and_then(Json::as_array).unwrap().len()
+    }
+
+    /// kill -9 after acked ingest under `--fsync always`: every acked
+    /// transition survives the crash.
+    #[test]
+    fn kill9_loses_nothing_with_fsync_always() {
+        let dir = tmp_dir("always");
+        const N: u64 = 50;
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let mut c = daemon.connect();
+        let stats = ingest_acked(&mut c, N);
+        let fsyncs = counter(&stats, "fsyncs");
+        assert!(fsyncs >= N, "one fsync per applied batch, got {fsyncs}");
+        daemon.kill9();
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let mut c = daemon.connect();
+        assert_eq!(
+            occupied_rooms(&mut c),
+            N as usize,
+            "all acked events survive"
+        );
+        let stats = c.call(r#"{"cmd":"stats"}"#);
+        assert!(
+            counter(&stats, "recovered_ops") > 0,
+            "boot replayed the WAL: {stats}"
+        );
+        assert_eq!(counter(&stats, "wal_discarded_bytes"), 0);
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A hand-truncated WAL tail (as a crash mid-write would leave it)
+    /// recovers to the longest valid prefix, reports the damage, and
+    /// keeps serving.
+    #[test]
+    fn truncated_wal_tail_recovers_prefix_and_counts_damage() {
+        let dir = tmp_dir("torn");
+        const N: u64 = 20;
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let mut c = daemon.connect();
+        ingest_acked(&mut c, N);
+        daemon.kill9();
+
+        // No checkpoint ran, so everything lives in generation 0. Tear
+        // its final frame mid-payload.
+        let seg = dir.join("log.0");
+        let len = std::fs::metadata(&seg).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let mut c = daemon.connect();
+        assert_eq!(
+            occupied_rooms(&mut c),
+            N as usize - 1,
+            "the torn final event is gone, the prefix survives"
+        );
+        let stats = c.call(r#"{"cmd":"stats"}"#);
+        assert!(
+            counter(&stats, "wal_discarded_bytes") > 0,
+            "recovery reports the torn bytes: {stats}"
+        );
+
+        // The boot checkpoint already rotated past the damage; another
+        // restart is clean.
+        daemon.shutdown();
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let mut c = daemon.connect();
+        assert_eq!(occupied_rooms(&mut c), N as usize - 1);
+        let stats = c.call(r#"{"cmd":"stats"}"#);
+        assert_eq!(
+            counter(&stats, "wal_discarded_bytes"),
+            0,
+            "damage does not persist across checkpoints: {stats}"
+        );
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Under `--fsync on-snapshot`, a kill -9 may lose recent events
+    /// but recovery still yields a consistent prefix of acked state.
+    #[test]
+    fn kill9_with_lazy_fsync_recovers_a_consistent_prefix() {
+        let dir = tmp_dir("lazy");
+        const N: u64 = 30;
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "on-snapshot"]);
+        let mut c = daemon.connect();
+        let stats = ingest_acked(&mut c, N);
+        // Lazy policy: far fewer fsyncs than batches.
+        let fsyncs = counter(&stats, "fsyncs");
+        assert!(fsyncs < N, "on-snapshot must not fsync per batch");
+        daemon.kill9();
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "on-snapshot"]);
+        let mut c = daemon.connect();
+        let survived = occupied_rooms(&mut c);
+        assert!(survived <= N as usize, "never more state than was ingested");
+        // Whatever survived is a prefix: room r{i} occupied implies
+        // every earlier event also survived.
+        let v = c.call(r#"{"cmd":"query","q":"select ?v ?r where { ?v room ?r }"}"#);
+        let rooms: Vec<&str> = v
+            .get("rows")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(|r| r.get("r").and_then(Json::as_str))
+            .collect();
+        for i in 1..=survived {
+            assert!(
+                rooms.contains(&format!("r{i}").as_str()),
+                "gap at r{i}: recovered state is not a prefix ({rooms:?})"
+            );
+        }
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
