@@ -1,9 +1,22 @@
-//! Ingest-throughput smoke benchmark: what the durable WAL costs.
+//! Ingest-throughput smoke benchmark: what the durable WAL costs, and
+//! what group commit buys back.
 //!
 //! Pumps the same event stream through a real `fenestra-server` (TCP,
-//! line protocol, engine thread) three times — no WAL, WAL with
-//! `fsync every-64`, WAL with `fsync always` — and writes the
-//! throughput numbers to `BENCH_ingest.json` at the repository root.
+//! line protocol, engine thread) under several configurations:
+//!
+//! * the three fsync policies (no WAL, `every-64`, `always`) with
+//!   single-event lines on one connection — the headline numbers;
+//! * a client batch-frame sweep (`{"op":"ingest","events":[…]}` with
+//!   8/64/512 events per frame) under `fsync always`;
+//! * a connection-count sweep (4 and 8 pipelined connections) under
+//!   `fsync always`, where group commit coalesces across connections.
+//!
+//! Each run reports throughput, ack-latency percentiles (p50/p99 —
+//! under `fsync always` an ack is released only after the covering
+//! group commit fsyncs, so this is true commit latency), and the
+//! server's batching counters. Results go to `BENCH_ingest.json` at
+//! the repository root, with a before/after comparison against the
+//! committed numbers printed to stderr.
 //!
 //! ```text
 //! cargo run -p fenestra-bench --release --bin ingest_smoke [-- EVENTS]
@@ -11,27 +24,82 @@
 //!
 //! This is a smoke benchmark (one run per config, wall-clock): it
 //! exists to catch order-of-magnitude regressions and to document the
-//! relative cost of each fsync policy, not to be a rigorous harness.
+//! relative cost of each configuration, not to be a rigorous harness.
 
+use fenestra_base::time::Duration as EventDuration;
 use fenestra_server::{Server, ServerConfig};
 use fenestra_temporal::{AttrSchema, FsyncPolicy};
 use serde_json::{Map, Number, Value as Json};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Lateness bound for multi-connection runs: pipelined connections
+/// race to the queue, so timestamps interleave slightly out of order.
+/// The bound (in event-time ms == one unit per event) comfortably
+/// covers the in-flight window of a handful of connections.
+const CONN_SWEEP_LATENESS: u64 = 2_000;
 
 struct RunResult {
-    label: &'static str,
+    label: String,
     events: u64,
     elapsed_ms: f64,
     events_per_sec: f64,
+    ack_p50_us: f64,
+    ack_p99_us: f64,
     wal_appends: u64,
     wal_bytes: u64,
     fsyncs: u64,
+    ingest_batches: u64,
+    ingest_batch_max: u64,
+    group_commits: u64,
+    acks_deferred: u64,
+    late_dropped: u64,
 }
 
-fn run(label: &'static str, events: u64, wal: Option<(&Path, FsyncPolicy)>) -> RunResult {
+/// One event line. 100 visitors cycling through 10 rooms, moving to a
+/// *new* room on every visit: every event is a real replace
+/// (close + assert), the store's hot path.
+fn event_json(i: u64) -> String {
+    format!(
+        r#"{{"stream":"s","ts":{},"visitor":"v{}","room":"r{}"}}"#,
+        i + 1,
+        i % 100,
+        (i / 100) % 10
+    )
+}
+
+/// One wire frame covering `n` events starting at logical index
+/// `start`: a plain JSONL event when `n == 1`, a batch frame otherwise.
+fn frame(start: u64, n: u64) -> String {
+    if n == 1 {
+        let mut s = event_json(start);
+        s.push('\n');
+        s
+    } else {
+        let evs: Vec<String> = (start..start + n).map(event_json).collect();
+        format!("{{\"op\":\"ingest\",\"events\":[{}]}}\n", evs.join(","))
+    }
+}
+
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+fn run(
+    label: &str,
+    events: u64,
+    wal: Option<(&Path, FsyncPolicy)>,
+    frame_size: u64,
+    connections: u64,
+) -> RunResult {
     let mut config = ServerConfig::new("127.0.0.1:0")
         .queue_capacity(4096)
         .setup(|engine| {
@@ -40,61 +108,145 @@ fn run(label: &'static str, events: u64, wal: Option<(&Path, FsyncPolicy)>) -> R
                 .add_rules_text("rule mv:\n on s\n replace $(visitor).room = room")
                 .unwrap();
         });
+    if connections > 1 {
+        config.engine.max_lateness = EventDuration::millis(CONN_SWEEP_LATENESS);
+    }
     if let Some((base, policy)) = wal {
         config = config.wal_path(base).fsync(policy);
     }
     let mut handle = Server::start(config).expect("start server");
+    let addr = handle.local_addr();
 
-    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
-    let mut input = stream.try_clone().expect("clone stream");
-    // Acks drain on a separate thread so the socket buffers never
-    // deadlock the sender.
-    let reader = std::thread::spawn(move || {
-        let mut acks = 0u64;
-        for line in BufReader::new(stream).lines() {
-            let line = line.expect("read reply");
-            assert!(line.contains("\"ok\":true"), "rejected: {line}");
-            acks += 1;
-            if acks == events + 1 {
-                break; // final stats reply: everything acked + applied
-            }
-        }
-        acks
-    });
+    let per_conn_frames = events / (frame_size * connections);
+    let per_conn_events = per_conn_frames * frame_size;
+    let actual_events = per_conn_events * connections;
+    // Multi-connection runs draw timestamps from a shared counter so
+    // the interleaved stream stays within the lateness bound.
+    let next_ts = Arc::new(AtomicU64::new(0));
 
     let t0 = Instant::now();
-    for i in 0..events {
-        // 100 visitors cycling through 10 rooms, moving to a *new*
-        // room on every visit: every event is a real replace
-        // (close + assert), the store's hot path.
+    let workers: Vec<_> = (0..connections)
+        .map(|c| {
+            let next_ts = Arc::clone(&next_ts);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut input = stream.try_clone().expect("clone stream");
+                // Acks drain on a separate thread so the socket buffers
+                // never deadlock the sender; it stamps each arrival.
+                let reader = std::thread::spawn(move || {
+                    let mut recv_at = Vec::with_capacity(per_conn_frames as usize);
+                    let mut lines = BufReader::new(stream).lines();
+                    for i in 0..=per_conn_frames {
+                        let line = lines
+                            .next()
+                            .expect("connection closed early")
+                            .expect("read reply");
+                        assert!(line.contains("\"ok\":true"), "rejected: {line}");
+                        if i < per_conn_frames {
+                            recv_at.push(Instant::now());
+                        } // else: the final stats-barrier reply
+                    }
+                    recv_at
+                });
+                let mut sent_at = Vec::with_capacity(per_conn_frames as usize);
+                for _ in 0..per_conn_frames {
+                    let start = if connections > 1 {
+                        next_ts.fetch_add(frame_size, Ordering::Relaxed)
+                    } else {
+                        let _ = c; // single connection: same monotone stream
+                        sent_at.len() as u64 * frame_size
+                    };
+                    let line = frame(start, frame_size);
+                    sent_at.push(Instant::now());
+                    input.write_all(line.as_bytes()).expect("send frame");
+                }
+                // FIFO barrier: the stats reply proves every frame this
+                // connection sent has been processed by the engine.
+                writeln!(input, r#"{{"cmd":"stats"}}"#).expect("send stats");
+                let recv_at = reader.join().expect("reader thread");
+                sent_at
+                    .iter()
+                    .zip(&recv_at)
+                    .map(|(s, r)| *r - *s)
+                    .collect::<Vec<Duration>>()
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("worker thread"));
+    }
+    if connections > 1 {
+        // Flush the reorder buffer: one far-future event advances the
+        // watermark past everything, and its stats barrier proves the
+        // drained events were applied (and WAL'd) inside the timed
+        // window.
+        let stream = TcpStream::connect(addr).expect("connect flush");
+        let mut input = stream.try_clone().expect("clone stream");
+        let mut lines = BufReader::new(stream).lines();
+        let ts = actual_events + CONN_SWEEP_LATENESS + 1_000;
         writeln!(
             input,
-            r#"{{"stream":"s","ts":{},"visitor":"v{}","room":"r{}"}}"#,
-            i + 1,
-            i % 100,
-            (i / 100) % 10
+            r#"{{"stream":"s","ts":{ts},"visitor":"flush","room":"done"}}"#
         )
-        .expect("send event");
+        .expect("send flush");
+        writeln!(input, r#"{{"cmd":"stats"}}"#).expect("send stats");
+        for _ in 0..2 {
+            let line = lines.next().expect("flush reply").expect("read reply");
+            assert!(line.contains("\"ok\":true"), "rejected: {line}");
+        }
     }
-    // FIFO barrier: the stats reply proves every event was applied.
-    writeln!(input, r#"{{"cmd":"stats"}}"#).expect("send stats");
-    let acks = reader.join().expect("reader thread");
     let elapsed = t0.elapsed();
-    assert_eq!(acks, events + 1, "every event acked");
+    latencies.sort();
 
     let m = handle.metrics();
-    let load = |a: &std::sync::atomic::AtomicU64| a.load(std::sync::atomic::Ordering::Relaxed);
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
     let result = RunResult {
-        label,
-        events,
+        label: label.to_string(),
+        events: actual_events,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
-        events_per_sec: events as f64 / elapsed.as_secs_f64(),
+        events_per_sec: actual_events as f64 / elapsed.as_secs_f64(),
+        ack_p50_us: percentile_us(&latencies, 0.50),
+        ack_p99_us: percentile_us(&latencies, 0.99),
         wal_appends: load(&m.wal_appends),
         wal_bytes: load(&m.wal_bytes),
         fsyncs: load(&m.fsyncs),
+        ingest_batches: load(&m.ingest_batches),
+        ingest_batch_max: load(&m.ingest_batch_max),
+        group_commits: load(&m.group_commits),
+        acks_deferred: load(&m.acks_deferred),
+        late_dropped: load(&m.late_dropped),
     };
     handle.shutdown();
     result
+}
+
+fn result_json(r: &RunResult) -> Json {
+    let float = |f: f64| {
+        Json::Number(Number::from_f64((f * 10.0).round() / 10.0).unwrap_or_else(|| 0.into()))
+    };
+    let mut obj = Map::new();
+    obj.insert("events".into(), Json::from(r.events));
+    obj.insert("elapsed_ms".into(), float(r.elapsed_ms));
+    obj.insert("events_per_sec".into(), float(r.events_per_sec));
+    obj.insert("ack_p50_us".into(), float(r.ack_p50_us));
+    obj.insert("ack_p99_us".into(), float(r.ack_p99_us));
+    obj.insert("wal_appends".into(), Json::from(r.wal_appends));
+    obj.insert("wal_bytes".into(), Json::from(r.wal_bytes));
+    obj.insert("fsyncs".into(), Json::from(r.fsyncs));
+    obj.insert("ingest_batches".into(), Json::from(r.ingest_batches));
+    obj.insert("ingest_batch_max".into(), Json::from(r.ingest_batch_max));
+    obj.insert("group_commits".into(), Json::from(r.group_commits));
+    obj.insert("acks_deferred".into(), Json::from(r.acks_deferred));
+    obj.insert("late_dropped".into(), Json::from(r.late_dropped));
+    Json::Object(obj)
+}
+
+fn print_run(r: &RunResult) {
+    eprintln!(
+        "{:<14} {:>9.1} events/s  (ack p50 {:>7.0}us p99 {:>7.0}us, {} fsyncs, {} group commits)",
+        r.label, r.events_per_sec, r.ack_p50_us, r.ack_p99_us, r.fsyncs, r.group_commits
+    );
 }
 
 fn main() {
@@ -106,46 +258,127 @@ fn main() {
     let dir = std::env::temp_dir().join(format!("fenestra-ingest-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("temp dir");
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_ingest.json");
+    let committed: Option<Json> = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
 
-    let runs = [
-        run("wal-off", events, None),
+    // Headline runs: one connection, single-event lines, the three
+    // fsync policies. Group commit still engages (the engine coalesces
+    // the pipelined queue), which is exactly the production shape.
+    eprintln!("-- fsync policies (1 connection, single-event lines) --");
+    let main_runs = [
+        run("wal-off", events, None, 1, 1),
         run(
             "wal-every-64",
             events,
             Some((&dir.join("every64"), FsyncPolicy::EveryN(64))),
+            1,
+            1,
         ),
         run(
             "wal-always",
             events,
             Some((&dir.join("always"), FsyncPolicy::Always)),
+            1,
+            1,
         ),
     ];
+    for r in &main_runs {
+        print_run(r);
+    }
+
+    // Client batch-frame sweep under strict durability.
+    eprintln!("-- batch frames (1 connection, fsync always) --");
+    let batch_runs: Vec<RunResult> = [8u64, 64, 512]
+        .iter()
+        .map(|&n| {
+            run(
+                &format!("batch-{n}"),
+                events,
+                Some((&dir.join(format!("batch{n}")), FsyncPolicy::Always)),
+                n,
+                1,
+            )
+        })
+        .collect();
+    for r in &batch_runs {
+        print_run(r);
+    }
+
+    // Connection sweep under strict durability: the group commit
+    // coalesces across connections.
+    eprintln!("-- connections (single-event lines, fsync always) --");
+    let conn_runs: Vec<RunResult> = [4u64, 8]
+        .iter()
+        .map(|&n| {
+            run(
+                &format!("conns-{n}"),
+                events,
+                Some((&dir.join(format!("conns{n}")), FsyncPolicy::Always)),
+                1,
+                n,
+            )
+        })
+        .collect();
+    for r in &conn_runs {
+        print_run(r);
+    }
     let _ = std::fs::remove_dir_all(&dir);
 
     let mut root = Map::new();
     root.insert("benchmark".into(), Json::from("ingest_smoke"));
     root.insert("events".into(), Json::from(events));
     let mut by_label = Map::new();
-    for r in &runs {
-        eprintln!(
-            "{:<14} {:>9.1} events/s  ({:.0} ms, {} appends, {} fsyncs)",
-            r.label, r.events_per_sec, r.elapsed_ms, r.wal_appends, r.fsyncs
-        );
-        let float = |f: f64| Json::Number(Number::from_f64((f * 10.0).round() / 10.0).unwrap());
-        let mut obj = Map::new();
-        obj.insert("events".into(), Json::from(r.events));
-        obj.insert("elapsed_ms".into(), float(r.elapsed_ms));
-        obj.insert("events_per_sec".into(), float(r.events_per_sec));
-        obj.insert("wal_appends".into(), Json::from(r.wal_appends));
-        obj.insert("wal_bytes".into(), Json::from(r.wal_bytes));
-        obj.insert("fsyncs".into(), Json::from(r.fsyncs));
-        by_label.insert(r.label.into(), Json::Object(obj));
+    for r in &main_runs {
+        by_label.insert(r.label.clone(), result_json(r));
     }
     root.insert("runs".into(), Json::Object(by_label));
+    let mut sweeps = Map::new();
+    let mut batch = Map::new();
+    for r in &batch_runs {
+        batch.insert(r.label.clone(), result_json(r));
+    }
+    sweeps.insert("batch_frames".into(), Json::Object(batch));
+    let mut conns = Map::new();
+    for r in &conn_runs {
+        conns.insert(r.label.clone(), result_json(r));
+    }
+    sweeps.insert("connections".into(), Json::Object(conns));
+    root.insert("sweeps".into(), Json::Object(sweeps));
 
-    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_ingest.json");
+    // Before/after against the committed numbers (CI surfaces this as
+    // a non-gating signal).
+    if let Some(old) = &committed {
+        eprintln!("-- before/after vs committed BENCH_ingest.json --");
+        for r in &main_runs {
+            let before = old
+                .get("runs")
+                .and_then(|runs| runs.get(&r.label))
+                .and_then(|run| run.get("events_per_sec"))
+                .and_then(Json::as_f64);
+            match before {
+                Some(b) if b > 0.0 => eprintln!(
+                    "{:<14} {:>9.1} -> {:>9.1} events/s  ({:.2}x)",
+                    r.label,
+                    b,
+                    r.events_per_sec,
+                    r.events_per_sec / b
+                ),
+                _ => eprintln!("{:<14} (no committed baseline)", r.label),
+            }
+        }
+    }
+    let off = main_runs[0].events_per_sec;
+    let always = main_runs[2].events_per_sec;
+    eprintln!(
+        "wal-always runs at {:.1}% of wal-off ({:.1}x slowdown)",
+        always / off * 100.0,
+        off / always
+    );
+
     let mut text = Json::Object(root).to_string();
     text.push('\n');
     std::fs::write(&out, text).expect("write BENCH_ingest.json");

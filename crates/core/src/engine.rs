@@ -192,24 +192,49 @@ impl Engine {
 
     /// Push one event. Returns `false` if it was dropped as late.
     pub fn push(&mut self, ev: Event) -> bool {
+        self.push_batch(std::iter::once(ev)) == 0
+    }
+
+    /// Push a batch of events, draining the reorder buffer **once** for
+    /// the whole batch instead of once per event. Returns the number of
+    /// events dropped as late.
+    ///
+    /// State transitions are identical to pushing the same events one
+    /// at a time: buffered events are still applied in timestamp order,
+    /// TTL expirations still happen-before each event, and the
+    /// watermark observes each event individually. What changes is
+    /// watermark-batch granularity — the whole batch forms one
+    /// [`Semantics::Snapshot`] batch, and engine watches fire once,
+    /// stamped at the batch's final watermark.
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = Event>) -> u64 {
         assert!(!self.finished, "push after finish()");
-        let Some(advance) = self.wm.observe(ev.ts) else {
-            // The watermark generator counts the drop (wm.late_events);
-            // [`Engine::metrics`] reads it from there. Counting here
-            // too would double it.
-            return false;
-        };
-        self.metrics.events += 1;
-        self.buffer.insert((ev.ts.millis(), self.seq), ev);
-        self.seq += 1;
-        if let Some(wm) = advance {
+        let mut late = 0u64;
+        let mut advanced: Option<Timestamp> = None;
+        for ev in events {
+            let Some(advance) = self.wm.observe(ev.ts) else {
+                // The watermark generator counts the drop
+                // (wm.late_events); [`Engine::metrics`] reads it from
+                // there. Counting here too would double it.
+                late += 1;
+                continue;
+            };
+            self.metrics.events += 1;
+            self.buffer.insert((ev.ts.millis(), self.seq), ev);
+            self.seq += 1;
+            if let Some(wm) = advance {
+                // Watermarks are monotone: the latest advance is the max.
+                advanced = Some(wm);
+            }
+        }
+        if let Some(wm) = advanced {
             self.drain_until(wm);
             self.maybe_gc(wm);
         }
-        true
+        late
     }
 
-    /// Push a batch of events.
+    /// Push events one at a time (per-event watermark batches; use
+    /// [`Engine::push_batch`] to amortize the drain across the batch).
     pub fn run(&mut self, events: impl IntoIterator<Item = Event>) {
         for ev in events {
             self.push(ev);
@@ -254,9 +279,14 @@ impl Engine {
                 }
             }
             Semantics::StreamFirst => {
+                let has_executor = self.executor.is_some();
                 for ev in ready {
                     self.expire_ttl(ev.ts);
-                    self.stream_push(ev.clone());
+                    // Without an executor the push is a no-op; skip the
+                    // clone it would otherwise cost on every event.
+                    if has_executor {
+                        self.stream_push(ev.clone());
+                    }
                     self.apply_rules(&ev);
                 }
             }
@@ -733,6 +763,95 @@ mod tests {
         let m = eng.metrics();
         assert_eq!(m.late_dropped, 3, "exactly one count per dropped event");
         assert_eq!(m.events, 3, "on-time events counted separately");
+    }
+
+    #[test]
+    fn push_batch_matches_per_event_push() {
+        // The same stream — including out-of-order and late events —
+        // replayed one event at a time and as batches must yield the
+        // same store, the same query results, and the same counters.
+        let events: Vec<Event> = (0..200u64)
+            .map(|i| {
+                // Mild disorder: swap adjacent timestamps, plus a few
+                // events far enough back to be dropped as late.
+                let ts = match i % 10 {
+                    3 => i.saturating_sub(1),
+                    7 => i.saturating_sub(40), // beyond the bound: late
+                    _ => i,
+                };
+                Event::from_pairs(
+                    "sensors",
+                    ts + 100,
+                    [
+                        ("visitor", Value::str(&format!("v{}", i % 9))),
+                        ("room", Value::str(&format!("r{}", i % 4))),
+                    ],
+                )
+            })
+            .collect();
+        let build = || {
+            let mut eng = Engine::new(EngineConfig {
+                max_lateness: Duration::millis(5),
+                ..EngineConfig::default()
+            });
+            eng.declare_attr("room", AttrSchema::one());
+            eng.add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+                .unwrap();
+            eng
+        };
+        let mut single = build();
+        for ev in events.iter().cloned() {
+            single.push(ev);
+        }
+        single.finish();
+        let mut batched = build();
+        let mut dropped = 0u64;
+        for chunk in events.chunks(17) {
+            dropped += batched.push_batch(chunk.iter().cloned());
+        }
+        batched.finish();
+
+        assert_eq!(single.metrics().events, batched.metrics().events);
+        assert_eq!(single.metrics().late_dropped, dropped);
+        assert_eq!(
+            single.metrics().late_dropped,
+            batched.metrics().late_dropped
+        );
+        assert_eq!(single.metrics().transitions, batched.metrics().transitions);
+        let a = single.store();
+        let b = batched.store();
+        for v in 0..9 {
+            let name = format!("v{v}");
+            let ea = a.lookup_entity(name.as_str()).unwrap();
+            let eb = b.lookup_entity(name.as_str()).unwrap();
+            assert_eq!(a.history(ea, "room"), b.history(eb, "room"), "{name}");
+            assert_eq!(a.current().value(ea, "room"), b.current().value(eb, "room"));
+        }
+        drop((a, b));
+        for q in [
+            "select ?v where { ?v room \"r1\" }",
+            "select ?v ?r where { ?v room ?r }",
+        ] {
+            assert_eq!(single.query(q).unwrap(), batched.query(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn stream_first_without_executor_skips_stream_push() {
+        // Regression guard for the clone-skip: StreamFirst with no
+        // graph attached must still apply rules correctly.
+        let mut eng = Engine::new(EngineConfig {
+            semantics: Semantics::StreamFirst,
+            ..EngineConfig::default()
+        });
+        eng.declare_attr("status", AttrSchema::one());
+        eng.add_rules_text(SESSION_RULES).unwrap();
+        eng.run([click(1, "u1", "enter"), click(2, "u2", "enter")]);
+        eng.finish();
+        let res = eng
+            .query("select ?u where { ?u status \"active\" }")
+            .unwrap();
+        assert_eq!(res.len(), 2);
     }
 
     #[test]

@@ -18,6 +18,8 @@ OPTIONS:
     --queue N               ingest queue capacity    [default: 1024]
     --shed                  shed events when the queue is full
                             (default: block the sending connection)
+    --batch-max N           group-commit cap: max events coalesced into
+                            one apply+WAL+fsync pass  [default: 512]
     --snapshot PATH         persist state to PATH on shutdown
     --snapshot-every-ms N   also snapshot every N ms (needs --snapshot)
     --wal PATH              durable write-ahead log rooted at PATH
@@ -36,6 +38,7 @@ OPTIONS:
 
 PROTOCOL (line-delimited JSON on one socket):
     {\"stream\":\"s\",\"ts\":10,\"k\":\"v\"}     ingest one event -> {\"ok\":true,\"seq\":1}
+    {\"op\":\"ingest\",\"events\":[...]}      ingest a batch -> {\"ok\":true,\"seq\":N,\"count\":K}
     {\"cmd\":\"query\",\"q\":\"select ...\"}   run a query
     {\"cmd\":\"watch\",\"name\":\"w\",\"q\":\"select ...\"}   push view diffs
     {\"cmd\":\"stats\"}                    engine + server counters
@@ -61,6 +64,8 @@ fn main() -> ExitCode {
                 config.backpressure = Backpressure::Shed;
                 Ok(())
             }
+            "--batch-max" => parse_num(value("--batch-max"), "--batch-max")
+                .map(|n| config.batch_max = (n as usize).max(1)),
             "--snapshot" => value("--snapshot").map(|v| config.snapshot_path = Some(v.into())),
             "--wal" => value("--wal").map(|v| config.wal_path = Some(v.into())),
             "--fsync" => value("--fsync").and_then(|v| {

@@ -32,6 +32,13 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Policy when the ingest queue is full.
     pub backpressure: Backpressure,
+    /// Ingest group-commit cap: after taking one ingest command off the
+    /// queue, the engine thread greedily drains up to this many events
+    /// into one batch — applied together, appended to the WAL as one
+    /// frame, fsynced once, watches polled once. A batch *frame* larger
+    /// than the cap is still applied whole (frames are atomic); the cap
+    /// bounds coalescing across commands.
+    pub batch_max: usize,
     /// If set, the engine state is persisted here (JSON snapshot via
     /// `fenestra_temporal::persist`) on graceful shutdown and, when
     /// [`ServerConfig::snapshot_every`] is also set, periodically.
@@ -60,6 +67,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".into(),
             queue_capacity: 1024,
             backpressure: Backpressure::default(),
+            batch_max: 512,
             snapshot_path: None,
             snapshot_every: None,
             engine: EngineConfig::default(),
@@ -88,6 +96,12 @@ impl ServerConfig {
     /// Set the backpressure policy.
     pub fn backpressure(mut self, bp: Backpressure) -> ServerConfig {
         self.backpressure = bp;
+        self
+    }
+
+    /// Cap the number of events coalesced into one ingest group commit.
+    pub fn batch_max(mut self, cap: usize) -> ServerConfig {
+        self.batch_max = cap.max(1);
         self
     }
 
@@ -138,6 +152,7 @@ mod tests {
     fn builder_chains() {
         let cfg = ServerConfig::new("127.0.0.1:0")
             .queue_capacity(0)
+            .batch_max(0)
             .backpressure(Backpressure::Shed)
             .snapshot_path("/tmp/x.json")
             .snapshot_every(Duration::secs(30))
@@ -145,6 +160,7 @@ mod tests {
             .fsync(FsyncPolicy::EveryN(8));
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!(cfg.queue_capacity, 1, "capacity clamps to at least 1");
+        assert_eq!(cfg.batch_max, 1, "batch cap clamps to at least 1");
         assert_eq!(cfg.backpressure, Backpressure::Shed);
         assert!(cfg.snapshot_path.is_some() && cfg.snapshot_every.is_some());
         assert!(cfg.wal_path.is_some());
@@ -155,6 +171,7 @@ mod tests {
     fn wal_defaults_off_but_fsync_always() {
         let cfg = ServerConfig::default();
         assert!(cfg.wal_path.is_none(), "durable WAL is opt-in");
+        assert_eq!(cfg.batch_max, 512, "group commit is on by default");
         assert_eq!(
             cfg.fsync,
             FsyncPolicy::Always,

@@ -9,8 +9,9 @@
 //! provides exactly that:
 //!
 //! * **ingest** — clients stream JSONL events (the `fenestra-wire`
-//!   format) over TCP; each accepted line is acknowledged with a
-//!   per-connection sequence number;
+//!   format) over TCP, one per line or many per line via the batch
+//!   frame; each accepted frame is acknowledged with a per-connection
+//!   sequence number;
 //! * **query** — `select … asof …` queries run against the live state
 //!   repository while events keep flowing;
 //! * **watch** — standing queries push row-level view differences to
@@ -28,15 +29,28 @@
 //! queue is configurable: block the producing connection, or shed the
 //! event and report it (see [`config::Backpressure`]).
 //!
+//! The engine thread **group-commits** ingest: after taking one ingest
+//! command off the queue it greedily drains whatever ingest commands
+//! are already queued — across all connections, up to
+//! [`ServerConfig::batch_max`] events — and applies them as one batch:
+//! one apply pass, one WAL frame, one fsync (under `always`), one
+//! watch poll. Pure reads (`query`, `stats`) never trigger a watch
+//! poll. This is what keeps strict durability affordable: the fsync
+//! cost is amortized over the whole batch.
+//!
 //! ## Wire protocol
 //!
 //! Line-delimited JSON, one object per line, on a single listener.
 //! Objects with a `"cmd"` key are commands (`query`, `watch`,
-//! `stats`, `shutdown`); anything else must be an event:
+//! `stats`, `shutdown`); objects with `"op":"ingest"` are batch
+//! frames; anything else must be an event:
 //!
 //! ```text
 //! → {"stream":"sensors","ts":10,"visitor":"alice","room":"lobby"}
 //! ← {"ok":true,"seq":1}
+//! → {"op":"ingest","events":[{"stream":"sensors","ts":11,"visitor":"bob","room":"lab"},
+//!                            {"stream":"sensors","ts":12,"visitor":"eve","room":"lab"}]}
+//! ← {"ok":true,"seq":3,"count":2}
 //! → {"cmd":"query","q":"select ?v where { ?v room \"lobby\" } asof 15"}
 //! ← {"ok":true,"rows":[{"v":"#0"}]}
 //! → {"cmd":"watch","name":"lab","q":"select ?v where { ?v room \"lab\" }"}
@@ -50,22 +64,28 @@
 //!
 //! ## Ack semantics and durability
 //!
-//! An ingest ack (`{"ok":true,"seq":N}`) means **admitted**, not
-//! *applied*: the event entered the engine's FIFO command queue. An
-//! admitted event can still be discarded if it arrives beyond the
-//! configured lateness bound — such drops are counted in the `stats`
-//! counter `server.late_dropped`. Because the queue is FIFO, a later
-//! `stats` or `shutdown` reply on the same connection proves every
-//! previously acked event has been *processed* (applied or counted as
-//! late).
+//! What an ingest ack (`{"ok":true,"seq":N}`) promises depends on the
+//! durability configuration:
 //!
-//! With a durable WAL configured ([`ServerConfig::wal_path`], fsync
-//! policy `always`), every state transition is on stable storage
-//! before the engine moves to the next command, so the same barrier —
-//! an ack followed by a `stats` round-trip — guarantees the transition
-//! survives even `kill -9`. Under `every-N` / `on-snapshot` policies a
-//! crash may lose the most recent unsynced batches (recovery truncates
-//! the torn tail and reports it in `server.wal_discarded_bytes`).
+//! * **No WAL, or WAL with `every-N` / `on-snapshot` fsync** — the ack
+//!   means **admitted**: the frame entered the engine's FIFO command
+//!   queue and is sent back immediately. An admitted event can still
+//!   be discarded if it arrives beyond the configured lateness bound
+//!   (counted in `server.late_dropped`), and a crash can lose events
+//!   that were acked but not yet synced.
+//! * **WAL with `always` fsync** — the ack means **durable**: the
+//!   engine thread holds each frame's ack until the group commit
+//!   covering it has been appended to the WAL *and* fsynced, then
+//!   releases the held acks together. Once a client reads the ack,
+//!   the transition survives `kill -9`. Held acks are counted in
+//!   `server.acks_deferred`; commits that covered more than one event
+//!   in `server.group_commits`.
+//!
+//! In every mode the queue is FIFO, so a later `stats` or `shutdown`
+//! reply on the same connection proves every previously acked event
+//! has been *processed* (applied or counted as late). Under `every-N`
+//! / `on-snapshot` policies recovery truncates a torn WAL tail and
+//! reports it in `server.wal_discarded_bytes`.
 
 pub mod config;
 pub mod metrics;

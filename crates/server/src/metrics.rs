@@ -31,6 +31,21 @@ pub struct ServerMetrics {
     /// the lateness bound. An ack means *admitted*, not *applied*; this
     /// counter is how admitted-but-discarded events become visible.
     pub late_dropped: AtomicU64,
+    /// Ingest batches applied by the engine thread (each = one apply
+    /// pass + one WAL frame + one fsync under `always` + one watch
+    /// poll, however many events it covered).
+    pub ingest_batches: AtomicU64,
+    /// Events covered by those batches (mean batch size =
+    /// `ingest_batched_events / ingest_batches`).
+    pub ingest_batched_events: AtomicU64,
+    /// Largest single ingest batch applied.
+    pub ingest_batch_max: AtomicU64,
+    /// WAL commits that covered more than one event — true group
+    /// commits, where the fsync was amortized.
+    pub group_commits: AtomicU64,
+    /// Ingest acks held back until their group commit fsynced
+    /// (`--fsync always`), then released: "ack = durable".
+    pub acks_deferred: AtomicU64,
     /// Durable WAL: op batches appended.
     pub wal_appends: AtomicU64,
     /// Durable WAL: payload bytes appended (frame headers included).
@@ -53,6 +68,14 @@ impl ServerMetrics {
         self.queue_hwm.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Record one applied ingest batch of `events` events.
+    pub fn observe_ingest_batch(&self, events: u64) {
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        self.ingest_batched_events
+            .fetch_add(events, Ordering::Relaxed);
+        self.ingest_batch_max.fetch_max(events, Ordering::Relaxed);
+    }
+
     /// Counter snapshot as a JSON object (embedded in `stats` replies).
     pub fn json_value(&self) -> Json {
         let mut obj = Map::new();
@@ -66,6 +89,26 @@ impl ServerMetrics {
         obj.insert("events".into(), get(&self.events));
         obj.insert("watches".into(), get(&self.watches));
         obj.insert("late_dropped".into(), get(&self.late_dropped));
+        obj.insert("ingest_batches".into(), get(&self.ingest_batches));
+        obj.insert(
+            "ingest_batched_events".into(),
+            get(&self.ingest_batched_events),
+        );
+        obj.insert("ingest_batch_max".into(), get(&self.ingest_batch_max));
+        let batches = self.ingest_batches.load(Ordering::Relaxed);
+        let batch_mean = if batches > 0 {
+            self.ingest_batched_events.load(Ordering::Relaxed) as f64 / batches as f64
+        } else {
+            0.0
+        };
+        obj.insert(
+            "ingest_batch_mean".into(),
+            serde_json::Number::from_f64((batch_mean * 100.0).round() / 100.0)
+                .map(Json::Number)
+                .unwrap_or(Json::Null),
+        );
+        obj.insert("group_commits".into(), get(&self.group_commits));
+        obj.insert("acks_deferred".into(), get(&self.acks_deferred));
         obj.insert("wal_appends".into(), get(&self.wal_appends));
         obj.insert("wal_bytes".into(), get(&self.wal_bytes));
         obj.insert("fsyncs".into(), get(&self.fsyncs));
@@ -91,6 +134,22 @@ mod tests {
     }
 
     #[test]
+    fn ingest_batch_stats_track_count_sum_max_mean() {
+        let m = ServerMetrics::default();
+        m.observe_ingest_batch(1);
+        m.observe_ingest_batch(7);
+        m.observe_ingest_batch(4);
+        assert_eq!(m.ingest_batches.load(Ordering::Relaxed), 3);
+        assert_eq!(m.ingest_batched_events.load(Ordering::Relaxed), 12);
+        assert_eq!(m.ingest_batch_max.load(Ordering::Relaxed), 7);
+        let v = m.json_value();
+        assert_eq!(
+            v.get("ingest_batch_mean").and_then(|x| x.as_f64()),
+            Some(4.0)
+        );
+    }
+
+    #[test]
     fn json_has_all_counters() {
         let m = ServerMetrics::default();
         m.connections.fetch_add(2, Ordering::Relaxed);
@@ -105,6 +164,12 @@ mod tests {
             "events",
             "watches",
             "late_dropped",
+            "ingest_batches",
+            "ingest_batched_events",
+            "ingest_batch_max",
+            "ingest_batch_mean",
+            "group_commits",
+            "acks_deferred",
             "wal_appends",
             "wal_bytes",
             "fsyncs",

@@ -15,8 +15,13 @@ use serde_json::{Map, Value as Json};
 /// One parsed client request.
 #[derive(Debug)]
 pub enum Request {
-    /// An event to ingest (any object without a `"cmd"` key).
+    /// An event to ingest (any object without a `"cmd"` or `"op"` key).
     Event(Event),
+    /// `{"op":"ingest","events":[{…},…]}` — a batch of events in one
+    /// frame, acked once (`{"ok":true,"seq":L,"count":K}`). Amortizes
+    /// syscalls and JSON framing over the batch; the whole frame is
+    /// admitted (or shed) atomically.
+    Batch(Vec<Event>),
     /// `{"cmd":"query","q":"select …"}` — run a query, reply once.
     Query {
         /// Query text.
@@ -37,11 +42,15 @@ pub enum Request {
 }
 
 /// Parse one request line. Objects carrying a `"cmd"` key are
-/// commands; everything else must parse as an event.
+/// commands, `{"op":"ingest",…}` is a batch frame; everything else
+/// must parse as an event.
 pub fn parse_request(line: &str) -> Result<Request> {
     let json: Json =
         serde_json::from_str(line).map_err(|e| Error::Invalid(format!("bad JSON request: {e}")))?;
     let Some(cmd) = json.get("cmd") else {
+        if json.get("op").and_then(Json::as_str) == Some("ingest") {
+            return parse_batch(json);
+        }
         return fenestra_wire::event_from_json(line).map(Request::Event);
     };
     let Some(cmd) = cmd.as_str() else {
@@ -77,25 +86,64 @@ pub fn parse_request(line: &str) -> Result<Request> {
     }
 }
 
+/// Parse a `{"op":"ingest","events":[…]}` batch frame. Errors name the
+/// offending element so a client can find the bad event in its batch.
+fn parse_batch(json: Json) -> Result<Request> {
+    let Json::Object(mut obj) = json else {
+        unreachable!("callers check `op` on an object");
+    };
+    let events = obj
+        .remove("events")
+        .ok_or_else(|| Error::Invalid("batch ingest needs an `events` array".into()))?;
+    let Json::Array(items) = events else {
+        return Err(Error::Invalid("`events` must be an array of events".into()));
+    };
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            fenestra_wire::event_from_json_value(v)
+                .map_err(|e| Error::Invalid(format!("batch event {i}: {e}")))
+        })
+        .collect::<Result<Vec<Event>>>()
+        .map(Request::Batch)
+}
+
 // ----- reply builders -------------------------------------------------------
 
-/// `{"ok":true,"seq":N}` — event **admitted** into the ingest queue.
+/// `{"ok":true,"seq":N}` — event accepted.
 ///
-/// Admitted is weaker than applied: an event past the lateness bound
-/// is still acked here and then discarded by the engine (counted in
-/// the `stats` counter `server.late_dropped`). The FIFO queue makes
-/// any later reply on the same connection a processing barrier for
-/// everything acked before it; see the crate docs ("Ack semantics and
-/// durability") for what that implies with and without a WAL.
+/// What the ack *means* depends on the server's durability config.
+/// Without a WAL, or with a lazy fsync policy, it means **admitted**
+/// into the ingest queue — weaker than applied: an event past the
+/// lateness bound is still acked and then discarded by the engine
+/// (counted in the `stats` counter `server.late_dropped`). Under
+/// `--fsync always` the ack is deferred until the event's group commit
+/// has fsynced, so it means **durable** (though a late event is still
+/// discarded, durably so). The FIFO queue makes any later reply on the
+/// same connection a processing barrier for everything acked before
+/// it; see the crate docs ("Ack semantics and durability").
 pub fn ack(seq: u64) -> String {
     format!("{{\"ok\":true,\"seq\":{seq}}}")
 }
 
-/// `{"ok":false,"seq":N,"error":…}` — event shed under backpressure.
-pub fn shed(seq: u64) -> String {
+/// `{"ok":true,"seq":L,"count":K}` — batch frame of `count` events
+/// accepted; `seq` is the sequence number of the batch's *last* event.
+/// Same admitted-vs-durable semantics as [`ack`].
+pub fn ack_batch(last_seq: u64, count: u64) -> String {
+    format!("{{\"ok\":true,\"seq\":{last_seq},\"count\":{count}}}")
+}
+
+/// `{"ok":false,"seq":N,"error":…}` — event(s) shed under
+/// backpressure. A shed batch frame carries a `count` field; the whole
+/// frame was dropped (batch admission is atomic).
+pub fn shed(seq: u64, count: u64) -> String {
     let mut obj = Map::new();
     obj.insert("ok".into(), Json::Bool(false));
     obj.insert("seq".into(), Json::from(seq));
+    if count > 1 {
+        obj.insert("count".into(), Json::from(count));
+    }
     obj.insert("error".into(), Json::from("shed: ingest queue full"));
     Json::Object(obj).to_string()
 }
@@ -239,6 +287,44 @@ mod tests {
     }
 
     #[test]
+    fn batch_frames_parse() {
+        let Request::Batch(evs) = parse_request(
+            r#"{"op":"ingest","events":[{"stream":"s","ts":1,"x":1},{"stream":"s","ts":2,"x":2}]}"#,
+        )
+        .unwrap() else {
+            panic!("expected batch");
+        };
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].ts, fenestra_base::time::Timestamp::new(2));
+        // Empty batches are legal (acked with count 0, never enqueued).
+        let Request::Batch(evs) = parse_request(r#"{"op":"ingest","events":[]}"#).unwrap() else {
+            panic!("expected batch");
+        };
+        assert!(evs.is_empty());
+        // An event whose *field* is named `op` with a non-"ingest"
+        // value still parses as an event.
+        assert!(matches!(
+            parse_request(r#"{"stream":"s","ts":1,"op":"assert"}"#).unwrap(),
+            Request::Event(_)
+        ));
+    }
+
+    #[test]
+    fn bad_batch_frames_error_with_element_index() {
+        let err = parse_request(r#"{"op":"ingest","events":[{"stream":"s","ts":1},{"ts":2}]}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("batch event 1"), "{err}");
+        assert!(
+            parse_request(r#"{"op":"ingest"}"#).is_err(),
+            "missing events"
+        );
+        assert!(
+            parse_request(r#"{"op":"ingest","events":7}"#).is_err(),
+            "events must be an array"
+        );
+    }
+
+    #[test]
     fn bad_requests_error() {
         assert!(parse_request("nope").is_err());
         assert!(parse_request(r#"{"cmd":"frobnicate"}"#).is_err());
@@ -256,7 +342,9 @@ mod tests {
     fn replies_are_valid_json() {
         for line in [
             ack(3),
-            shed(4),
+            ack_batch(9, 4),
+            shed(4, 1),
+            shed(12, 8),
             error("boom \"quoted\""),
             watch_ack("w"),
             bye(),
@@ -266,6 +354,11 @@ mod tests {
         }
         let v = serde_json::from_str(&ack(3)).unwrap();
         assert_eq!(v.get("seq").and_then(|x| x.as_u64()), Some(3));
+        let v = serde_json::from_str(&ack_batch(9, 4)).unwrap();
+        assert_eq!(v.get("seq").and_then(|x| x.as_u64()), Some(9));
+        assert_eq!(v.get("count").and_then(|x| x.as_u64()), Some(4));
+        let v = serde_json::from_str(&shed(12, 8)).unwrap();
+        assert_eq!(v.get("count").and_then(|x| x.as_u64()), Some(8));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use fenestra_base::error::{Error, Result};
 use fenestra_base::record::Event;
 use fenestra_core::{Engine, Watch};
 use fenestra_temporal::wal_file::{recover, segment_path};
-use fenestra_temporal::{WalWriter, WalWriterStats};
+use fenestra_temporal::{FsyncPolicy, WalWriter, WalWriterStats};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -25,9 +25,22 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
+/// An ingest acknowledgement the engine thread releases only after the
+/// events' group commit reached stable storage (`--fsync always`).
+/// Without deferral the connection thread acks at admit time instead.
+struct Ack {
+    sink: Sender<String>,
+    line: String,
+}
+
 /// Commands consumed by the engine thread.
 enum EngineCmd {
-    Ingest(Event),
+    /// One event (plain event frame). The engine thread greedily
+    /// coalesces consecutive ingests into one group commit.
+    Ingest(Event, Option<Ack>),
+    /// A client-batched frame (`{"op":"ingest","events":[…]}`),
+    /// admitted atomically and acked once.
+    IngestBatch(Vec<Event>, Option<Ack>),
     Query {
         text: String,
         reply: Sender<String>,
@@ -52,6 +65,10 @@ enum EngineCmd {
 struct ConnCtx {
     cmd_tx: Sender<EngineCmd>,
     backpressure: Backpressure,
+    /// `--fsync always` with a WAL: acks ride the command into the
+    /// engine thread and are released after the group fsync, upgrading
+    /// the ack from "admitted" to "durable".
+    durable_acks: bool,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
 }
@@ -78,6 +95,7 @@ impl Server {
             addr,
             queue_capacity,
             backpressure,
+            batch_max,
             snapshot_path,
             snapshot_every,
             engine: engine_cfg,
@@ -85,6 +103,7 @@ impl Server {
             wal_path,
             fsync,
         } = config;
+        let durable_acks = wal_path.is_some() && fsync == FsyncPolicy::Always;
         let listener = TcpListener::bind(&addr)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(ServerMetrics::default());
@@ -144,6 +163,7 @@ impl Server {
                         cmd_rx,
                         snapshot_path,
                         durability,
+                        batch_max,
                         metrics,
                         shutdown,
                         addr,
@@ -155,6 +175,7 @@ impl Server {
             let ctx = Arc::new(ConnCtx {
                 cmd_tx: cmd_tx.clone(),
                 backpressure,
+                durable_acks,
                 metrics: metrics.clone(),
                 shutdown: shutdown.clone(),
             });
@@ -257,20 +278,27 @@ impl Durability {
             .store(self.rotated_stats.fsyncs + s.fsyncs, Ordering::Relaxed);
     }
 
-    /// Append the ops the engine applied since the last drain. This
-    /// runs after every ingest, which is also what keeps the engine's
-    /// in-memory journal bounded.
-    fn drain(&mut self, engine: &mut Engine) {
+    /// Append the ops the engine applied since the last drain — the
+    /// **group commit**: one frame (and, under `always`, one fsync) for
+    /// however many events the batch covered. This runs once per ingest
+    /// batch, which is also what keeps the engine's in-memory journal
+    /// bounded. Returns `Some(ops appended)` on success (0 when the
+    /// journal was empty), `None` if the append failed — callers
+    /// holding deferred acks must then report the failure, not ack.
+    fn drain(&mut self, engine: &mut Engine) -> Option<usize> {
         let ops = engine.take_journal();
+        let mut appended = Some(ops.len());
         if !ops.is_empty() {
             if let Err(e) = self.writer.append(&ops) {
                 eprintln!(
                     "fenestrad: WAL append to {} failed: {e}",
                     self.writer.path().display()
                 );
+                appended = None;
             }
         }
         self.publish_stats();
+        appended
     }
 
     /// Drain, make the open segment durable, and — when a snapshot path
@@ -280,7 +308,7 @@ impl Durability {
     /// lands, recovery uses the old snapshot + full old segment; after,
     /// the new snapshot + (empty or missing) new segment.
     fn checkpoint(&mut self, engine: &mut Engine) {
-        self.drain(engine);
+        let _ = self.drain(engine);
         if let Err(e) = self.writer.sync() {
             eprintln!(
                 "fenestrad: WAL sync of {} failed: {e}",
@@ -332,6 +360,7 @@ fn engine_loop(
     rx: Receiver<EngineCmd>,
     snapshot_path: Option<PathBuf>,
     mut durability: Option<Durability>,
+    batch_max: usize,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
@@ -344,23 +373,85 @@ fn engine_loop(
         } else {
             // First boot: persist whatever `setup` journaled (schema,
             // rule side effects) before the first event.
-            d.drain(&mut engine);
+            let _ = d.drain(&mut engine);
         }
     }
     let mut watches: Vec<(Watch, Sender<String>)> = Vec::new();
-    while let Ok(cmd) = rx.recv() {
+    // A non-ingest command pulled off the queue while coalescing an
+    // ingest batch; handled on the next iteration (FIFO preserved).
+    let mut deferred_cmd: Option<EngineCmd> = None;
+    loop {
+        let cmd = match deferred_cmd.take() {
+            Some(cmd) => cmd,
+            None => match rx.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => break,
+            },
+        };
         let mut quit = false;
+        // Whether this command may have changed queryable state. Pure
+        // reads (`Query`, `Stats`) and checkpoints leave it false, so
+        // standing watches are not re-polled (no store read lock, no
+        // re-evaluation) on their account.
+        let mut poll = false;
         match cmd {
-            EngineCmd::Ingest(ev) => {
-                if !engine.push(ev) {
-                    // The ack the client already got meant "admitted to
-                    // the queue", not "applied": the event fell outside
-                    // the lateness bound and was discarded.
-                    metrics.late_dropped.fetch_add(1, Ordering::Relaxed);
+            cmd @ (EngineCmd::Ingest(..) | EngineCmd::IngestBatch(..)) => {
+                // Group commit: greedily drain the queue into one event
+                // batch (up to `batch_max` events), apply it in one
+                // engine pass, append ONE WAL frame, fsync once, and
+                // poll watches once — instead of once per event.
+                let (mut batch, mut acks) = into_batch(cmd);
+                while batch.len() < batch_max {
+                    match rx.try_recv() {
+                        Ok(EngineCmd::Ingest(ev, ack)) => {
+                            batch.push(ev);
+                            acks.extend(ack);
+                        }
+                        Ok(EngineCmd::IngestBatch(evs, ack)) => {
+                            batch.extend(evs);
+                            acks.extend(ack);
+                        }
+                        Ok(other) => {
+                            deferred_cmd = Some(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
                 }
-                if let Some(d) = durability.as_mut() {
-                    d.drain(&mut engine);
+                let n = batch.len() as u64;
+                let late = engine.push_batch(batch);
+                if late > 0 {
+                    // Deferred or not, the ack means "accepted", not
+                    // "applied": events beyond the lateness bound are
+                    // discarded and become visible here.
+                    metrics.late_dropped.fetch_add(late, Ordering::Relaxed);
                 }
+                metrics.observe_ingest_batch(n);
+                let committed = match durability.as_mut() {
+                    Some(d) => match d.drain(&mut engine) {
+                        Some(ops) => {
+                            if ops > 0 && n > 1 {
+                                metrics.group_commits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            true
+                        }
+                        None => false,
+                    },
+                    None => true,
+                };
+                // Durable-ack mode: the group fsync (inside the append,
+                // policy `always`) has completed — release every held
+                // ack together. On append failure, report instead of
+                // lying about durability.
+                for ack in acks {
+                    let line = if committed {
+                        ack.line
+                    } else {
+                        proto::error("WAL append failed; events not durable")
+                    };
+                    let _ = ack.sink.send(line);
+                }
+                poll = n > late;
             }
             EngineCmd::Query { text, reply } => {
                 metrics.queries.fetch_add(1, Ordering::Relaxed);
@@ -375,6 +466,8 @@ fn engine_loop(
                     metrics.watches.fetch_add(1, Ordering::Relaxed);
                     let _ = sink.send(proto::watch_ack(&name));
                     watches.push((Watch::new(name.as_str(), q), sink));
+                    // Poll so the new watch delivers its initial rows.
+                    poll = true;
                 }
                 Err(e) => {
                     let _ = sink.send(proto::error(&e.to_string()));
@@ -402,12 +495,15 @@ fn engine_loop(
                 if let Some(reply) = reply {
                     let _ = reply.send(proto::bye());
                 }
+                // finish() may have drained buffered events into state.
+                poll = true;
                 quit = true;
             }
         }
         // Push view updates for whatever the command changed; drop
-        // watches whose connection has gone away.
-        {
+        // watches whose connection has gone away. Skipped entirely when
+        // no state-mutating command ran since the last poll.
+        if poll && !watches.is_empty() {
             let store = engine.store();
             watches.retain_mut(|(w, sink)| {
                 w.poll(&store)
@@ -422,6 +518,15 @@ fn engine_loop(
     shutdown.store(true, Ordering::SeqCst);
     // Wake the accept loop so it notices the flag.
     let _ = TcpStream::connect(addr);
+}
+
+/// Split an ingest command into its events and (optional) deferred ack.
+fn into_batch(cmd: EngineCmd) -> (Vec<Event>, Vec<Ack>) {
+    match cmd {
+        EngineCmd::Ingest(ev, ack) => (vec![ev], ack.into_iter().collect()),
+        EngineCmd::IngestBatch(evs, ack) => (evs, ack.into_iter().collect()),
+        _ => unreachable!("into_batch is only called on ingest commands"),
+    }
 }
 
 fn parse_select(text: &str) -> Result<fenestra_query::Query> {
@@ -501,8 +606,20 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>) {
         match req {
             Request::Event(ev) => {
                 seq += 1;
-                if !ingest(&ctx, &out_tx, ev, seq) {
+                if !ingest(&ctx, &out_tx, Frame::One(ev), seq) {
                     break;
+                }
+            }
+            Request::Batch(evs) => {
+                if evs.is_empty() {
+                    // Nothing to admit; ack the frame without an engine
+                    // round-trip.
+                    let _ = out_tx.send(proto::ack_batch(seq, 0));
+                } else {
+                    seq += evs.len() as u64;
+                    if !ingest(&ctx, &out_tx, Frame::Many(evs), seq) {
+                        break;
+                    }
                 }
             }
             Request::Query { text } => {
@@ -531,22 +648,54 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>) {
     let _ = writer.join();
 }
 
-/// Enqueue one event under the configured backpressure policy.
-/// Returns `false` when the server is shutting down.
-fn ingest(ctx: &ConnCtx, out_tx: &Sender<String>, ev: Event, seq: u64) -> bool {
+/// One ingest frame off the wire: a plain event line, or a
+/// client-batched `{"op":"ingest","events":[…]}` frame.
+enum Frame {
+    One(Event),
+    Many(Vec<Event>),
+}
+
+/// Enqueue one ingest frame under the configured backpressure policy.
+/// A batch frame is admitted (or shed) atomically: one queue slot, one
+/// ack. Under durable acks the ack line travels with the command and
+/// the engine thread releases it after the group fsync; otherwise it is
+/// sent here, at admit time. Returns `false` when the server is
+/// shutting down.
+fn ingest(ctx: &ConnCtx, out_tx: &Sender<String>, frame: Frame, last_seq: u64) -> bool {
+    let count = match &frame {
+        Frame::One(_) => 1,
+        Frame::Many(evs) => evs.len() as u64,
+    };
+    let mut immediate_ack = Some(match &frame {
+        Frame::One(_) => proto::ack(last_seq),
+        Frame::Many(_) => proto::ack_batch(last_seq, count),
+    });
+    let ack = if ctx.durable_acks {
+        ctx.metrics.acks_deferred.fetch_add(1, Ordering::Relaxed);
+        immediate_ack.take().map(|line| Ack {
+            sink: out_tx.clone(),
+            line,
+        })
+    } else {
+        None
+    };
+    let cmd = match frame {
+        Frame::One(ev) => EngineCmd::Ingest(ev, ack),
+        Frame::Many(evs) => EngineCmd::IngestBatch(evs, ack),
+    };
     let admitted = match ctx.backpressure {
         Backpressure::Block => {
-            if ctx.cmd_tx.send(EngineCmd::Ingest(ev)).is_err() {
+            if ctx.cmd_tx.send(cmd).is_err() {
                 let _ = out_tx.send(proto::error("server shutting down"));
                 return false;
             }
             true
         }
-        Backpressure::Shed => match ctx.cmd_tx.try_send(EngineCmd::Ingest(ev)) {
+        Backpressure::Shed => match ctx.cmd_tx.try_send(cmd) {
             Ok(()) => true,
             Err(TrySendError::Full(_)) => {
-                ctx.metrics.shed.fetch_add(1, Ordering::Relaxed);
-                let _ = out_tx.send(proto::shed(seq));
+                ctx.metrics.shed.fetch_add(count, Ordering::Relaxed);
+                let _ = out_tx.send(proto::shed(last_seq, count));
                 false
             }
             Err(TrySendError::Disconnected(_)) => {
@@ -556,9 +705,11 @@ fn ingest(ctx: &ConnCtx, out_tx: &Sender<String>, ev: Event, seq: u64) -> bool {
         },
     };
     if admitted {
-        ctx.metrics.events.fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.events.fetch_add(count, Ordering::Relaxed);
         ctx.metrics.observe_queue_depth(ctx.cmd_tx.len() as u64);
-        let _ = out_tx.send(proto::ack(seq));
+        if let Some(line) = immediate_ack {
+            let _ = out_tx.send(line);
+        }
     }
     true
 }

@@ -27,6 +27,12 @@ pub mod metrics;
 pub fn event_from_json(line: &str) -> Result<Event> {
     let json: Json =
         serde_json::from_str(line).map_err(|e| Error::Invalid(format!("bad JSON event: {e}")))?;
+    event_from_json_value(json)
+}
+
+/// Parse an already-decoded JSON value into an event (the batch ingest
+/// frame carries events as array elements, not as separate lines).
+pub fn event_from_json_value(json: Json) -> Result<Event> {
     let Json::Object(map) = json else {
         return Err(Error::Invalid("event must be a JSON object".into()));
     };

@@ -346,13 +346,14 @@ mod crash {
     }
 
     /// kill -9 after acked ingest under `--fsync always`: every acked
-    /// transition survives the crash.
+    /// transition survives the crash. `--batch-max 1` disables group
+    /// commit so the per-event framing assertions hold exactly.
     #[test]
     fn kill9_loses_nothing_with_fsync_always() {
         let dir = tmp_dir("always");
         const N: u64 = 50;
 
-        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always", "--batch-max", "1"]);
         let mut c = daemon.connect();
         let stats = ingest_acked(&mut c, N);
         let fsyncs = counter(&stats, "fsyncs");
@@ -378,13 +379,14 @@ mod crash {
 
     /// A hand-truncated WAL tail (as a crash mid-write would leave it)
     /// recovers to the longest valid prefix, reports the damage, and
-    /// keeps serving.
+    /// keeps serving. `--batch-max 1` keeps one event per WAL frame so
+    /// tearing the final frame loses exactly one event.
     #[test]
     fn truncated_wal_tail_recovers_prefix_and_counts_damage() {
         let dir = tmp_dir("torn");
         const N: u64 = 20;
 
-        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always", "--batch-max", "1"]);
         let mut c = daemon.connect();
         ingest_acked(&mut c, N);
         daemon.kill9();
@@ -422,6 +424,66 @@ mod crash {
             0,
             "damage does not persist across checkpoints: {stats}"
         );
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Group commit under `--fsync always`: acks are held until the
+    /// covering WAL fsync completes, so the moment a client has read a
+    /// batch ack, `kill -9` cannot lose those events — no `stats`
+    /// barrier needed, reading the ack *is* the durability barrier.
+    #[test]
+    fn kill9_after_batched_acks_loses_nothing() {
+        let dir = tmp_dir("group");
+        const BATCHES: u64 = 10;
+        const PER: u64 = 25;
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let mut c = daemon.connect();
+        // Pipeline all batch frames first so the engine can group-commit
+        // across them, then read the (deferred) acks.
+        for b in 0..BATCHES {
+            let events: Vec<String> = (1..=PER)
+                .map(|i| {
+                    let n = b * PER + i;
+                    format!(r#"{{"stream":"s","ts":{n},"visitor":"v{n}","room":"r{n}"}}"#)
+                })
+                .collect();
+            c.send(&format!(
+                r#"{{"op":"ingest","events":[{}]}}"#,
+                events.join(",")
+            ));
+        }
+        for b in 1..=BATCHES {
+            let v = c.recv();
+            assert_eq!(
+                v.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "batch {b}: {v}"
+            );
+            assert_eq!(
+                v.get("count").and_then(Json::as_u64),
+                Some(PER),
+                "batch {b}: {v}"
+            );
+            assert_eq!(v.get("seq").and_then(Json::as_u64), Some(b * PER));
+        }
+        // Kill the instant the last ack is read — no stats round-trip.
+        daemon.kill9();
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let mut c = daemon.connect();
+        assert_eq!(
+            occupied_rooms(&mut c),
+            (BATCHES * PER) as usize,
+            "every acked event survives kill -9"
+        );
+        let stats = c.call(r#"{"cmd":"stats"}"#);
+        assert!(
+            counter(&stats, "recovered_ops") > 0,
+            "boot replayed the WAL: {stats}"
+        );
+        assert_eq!(counter(&stats, "wal_discarded_bytes"), 0);
         daemon.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
