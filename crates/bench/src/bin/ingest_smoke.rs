@@ -34,13 +34,15 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// Lateness bound for multi-connection runs: pipelined connections
 /// race to the queue, so timestamps interleave slightly out of order.
 /// The bound (in event-time ms == one unit per event) comfortably
-/// covers the in-flight window of a handful of connections.
+/// covers the in-flight window of a handful of connections. Durable
+/// acks inherit it: a frame's ack is held until the watermark passes
+/// the frame, so conn-sweep ack latencies include that reorder delay.
 const CONN_SWEEP_LATENESS: u64 = 2_000;
 
 struct RunResult {
@@ -123,11 +125,22 @@ fn run(
     // Multi-connection runs draw timestamps from a shared counter so
     // the interleaved stream stays within the lateness bound.
     let next_ts = Arc::new(AtomicU64::new(0));
+    // All reader threads plus the main thread: under `fsync always`
+    // with a lateness bound the acks for the last ~bound worth of
+    // events are withheld until the watermark passes them, so the main
+    // thread must inject the watermark-advancing flush event after the
+    // engine has *processed* every connection's frames (each reader's
+    // stats barrier proves its connection's) but before the readers
+    // can drain their final held acks. Waiting on processing — not
+    // just on the senders' writes landing in socket buffers — also
+    // keeps the far-future flush from making still-queued events late.
+    let all_processed = Arc::new(Barrier::new(connections as usize + 1));
 
     let t0 = Instant::now();
     let workers: Vec<_> = (0..connections)
         .map(|c| {
             let next_ts = Arc::clone(&next_ts);
+            let all_processed = Arc::clone(&all_processed);
             std::thread::spawn(move || {
                 let stream = TcpStream::connect(addr).expect("connect");
                 let mut input = stream.try_clone().expect("clone stream");
@@ -136,15 +149,27 @@ fn run(
                 let reader = std::thread::spawn(move || {
                     let mut recv_at = Vec::with_capacity(per_conn_frames as usize);
                     let mut lines = BufReader::new(stream).lines();
-                    for i in 0..=per_conn_frames {
+                    let mut saw_barrier = false;
+                    while recv_at.len() < per_conn_frames as usize || !saw_barrier {
                         let line = lines
                             .next()
                             .expect("connection closed early")
                             .expect("read reply");
                         assert!(line.contains("\"ok\":true"), "rejected: {line}");
-                        if i < per_conn_frames {
+                        if line.contains("\"engine\"") {
+                            // The stats barrier: every frame this
+                            // connection sent is now past the engine
+                            // (applied, buffered, or counted late).
+                            // Held acks for the buffered tail arrive
+                            // after it, once the flush below advances
+                            // the watermark.
+                            saw_barrier = true;
+                            if connections > 1 {
+                                all_processed.wait();
+                            }
+                        } else {
                             recv_at.push(Instant::now());
-                        } // else: the final stats-barrier reply
+                        }
                     }
                     recv_at
                 });
@@ -172,18 +197,19 @@ fn run(
             })
         })
         .collect();
-    let mut latencies: Vec<Duration> = Vec::new();
-    for w in workers {
-        latencies.extend(w.join().expect("worker thread"));
-    }
-    if connections > 1 {
-        // Flush the reorder buffer: one far-future event advances the
-        // watermark past everything, and its stats barrier proves the
-        // drained events were applied (and WAL'd) inside the timed
-        // window.
+    let _flush_conn = if connections > 1 {
+        // Flush the reorder buffer: once the engine has processed every
+        // connection's frames, one far-future event advances the
+        // watermark past everything, draining the buffered tail
+        // (applied and WAL'd inside the timed window) and releasing its
+        // held acks so the reader threads can finish. The flush event's
+        // *own* ack stays held — nothing ever passes the watermark
+        // beyond it — so only the stats reply is read, and the
+        // connection is kept open until shutdown for the unread ack.
+        all_processed.wait();
         let stream = TcpStream::connect(addr).expect("connect flush");
         let mut input = stream.try_clone().expect("clone stream");
-        let mut lines = BufReader::new(stream).lines();
+        let mut lines = BufReader::new(stream.try_clone().expect("clone stream")).lines();
         let ts = actual_events + CONN_SWEEP_LATENESS + 1_000;
         writeln!(
             input,
@@ -191,10 +217,15 @@ fn run(
         )
         .expect("send flush");
         writeln!(input, r#"{{"cmd":"stats"}}"#).expect("send stats");
-        for _ in 0..2 {
-            let line = lines.next().expect("flush reply").expect("read reply");
-            assert!(line.contains("\"ok\":true"), "rejected: {line}");
-        }
+        let line = lines.next().expect("flush reply").expect("read reply");
+        assert!(line.contains("\"ok\":true"), "rejected: {line}");
+        Some(stream)
+    } else {
+        None
+    };
+    let mut latencies: Vec<Duration> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("worker thread"));
     }
     let elapsed = t0.elapsed();
     latencies.sort();

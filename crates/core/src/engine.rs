@@ -472,6 +472,16 @@ impl Engine {
         self.store().journal_len()
     }
 
+    /// Lowest timestamp still held in the reorder buffer — the oldest
+    /// admitted event the watermark has not yet passed (`None` when the
+    /// buffer is empty, i.e. everything admitted has been applied).
+    /// Events at or above this timestamp have produced **no** journal
+    /// ops yet; a durable-ack server uses this to know which acked
+    /// frames a fsynced WAL frame actually covers.
+    pub fn buffered_low_ts(&self) -> Option<Timestamp> {
+        self.buffer.keys().next().map(|&(ts, _)| Timestamp::new(ts))
+    }
+
     /// Run the reasoner now, maintaining derived facts at the given
     /// instant (defaults to the latest transition time).
     pub fn reason_now(&mut self) -> Result<(usize, usize)> {
@@ -735,6 +745,24 @@ mod tests {
         let h = store.history(v, "room");
         assert_eq!(h.len(), 2);
         assert_eq!(h[0].1, Value::str("a"));
+    }
+
+    #[test]
+    fn buffered_low_ts_tracks_the_reorder_buffer() {
+        let mut eng = Engine::new(EngineConfig {
+            max_lateness: Duration::millis(10),
+            ..EngineConfig::default()
+        });
+        assert_eq!(eng.buffered_low_ts(), None, "empty engine buffers nothing");
+        let ev = |ts: u64| Event::from_pairs("s", ts, [("x", 1i64)]);
+        // Watermark = 20 - 10 = 10: both events sit in the buffer.
+        eng.push_batch([ev(20), ev(15)]);
+        assert_eq!(eng.buffered_low_ts(), Some(Timestamp::new(15)));
+        // Watermark 40: both drain, the new event buffers alone.
+        eng.push(ev(50));
+        assert_eq!(eng.buffered_low_ts(), Some(Timestamp::new(50)));
+        eng.finish();
+        assert_eq!(eng.buffered_low_ts(), None, "finish drains the buffer");
     }
 
     #[test]

@@ -42,8 +42,10 @@
 //!
 //! Line-delimited JSON, one object per line, on a single listener.
 //! Objects with a `"cmd"` key are commands (`query`, `watch`,
-//! `stats`, `shutdown`); objects with `"op":"ingest"` are batch
-//! frames; anything else must be an event:
+//! `stats`, `shutdown`); objects with `"op":"ingest"` and no
+//! `"stream"` key are batch frames; anything else must be an event
+//! (events always carry `stream`, so an event field named `op` — even
+//! `"ingest"` — is not special):
 //!
 //! ```text
 //! → {"stream":"sensors","ts":10,"visitor":"alice","room":"lobby"}
@@ -74,10 +76,18 @@
 //!   (counted in `server.late_dropped`), and a crash can lose events
 //!   that were acked but not yet synced.
 //! * **WAL with `always` fsync** — the ack means **durable**: the
-//!   engine thread holds each frame's ack until the group commit
-//!   covering it has been appended to the WAL *and* fsynced, then
-//!   releases the held acks together. Once a client reads the ack,
-//!   the transition survives `kill -9`. Held acks are counted in
+//!   engine thread holds each frame's ack until every event of the
+//!   frame has been applied and the WAL commit covering it has been
+//!   appended *and* fsynced, then releases held acks — in admission
+//!   order per connection, but one connection's still-buffered frame
+//!   never holds up another connection's covered acks. Once a client
+//!   reads the ack, the transition survives `kill -9`.
+//!   With `--max-lateness-ms > 0` this includes the reorder buffer:
+//!   an event inside the lateness bound has produced no WAL ops yet,
+//!   so its ack is withheld until the watermark passes it — on an
+//!   idle stream, until the next event (or shutdown) advances the
+//!   watermark. Pair `always` with lateness `0` when per-event ack
+//!   latency matters more than reordering. Held acks are counted in
 //!   `server.acks_deferred`; commits that covered more than one event
 //!   in `server.group_commits`.
 //!

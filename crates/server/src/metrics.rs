@@ -43,8 +43,11 @@ pub struct ServerMetrics {
     /// WAL commits that covered more than one event — true group
     /// commits, where the fsync was amortized.
     pub group_commits: AtomicU64,
-    /// Ingest acks held back until their group commit fsynced
-    /// (`--fsync always`), then released: "ack = durable".
+    /// Ingest frames admitted with their ack held back until durable
+    /// (`--fsync always`): released, in per-connection FIFO order,
+    /// once a WAL fsync covers every event of the frame — with a
+    /// lateness bound, only after the watermark passes it. Shed frames
+    /// are not counted; their ack was never deferred.
     pub acks_deferred: AtomicU64,
     /// Durable WAL: op batches appended.
     pub wal_appends: AtomicU64,

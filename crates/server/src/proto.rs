@@ -20,7 +20,10 @@ pub enum Request {
     /// `{"op":"ingest","events":[{…},…]}` — a batch of events in one
     /// frame, acked once (`{"ok":true,"seq":L,"count":K}`). Amortizes
     /// syscalls and JSON framing over the batch; the whole frame is
-    /// admitted (or shed) atomically.
+    /// admitted (or shed) atomically. Only a `"op":"ingest"` object
+    /// *without* a `"stream"` key is a batch frame: an event can still
+    /// carry its own `op` field (even `"ingest"`) because an event
+    /// always carries `stream`.
     Batch(Vec<Event>),
     /// `{"cmd":"query","q":"select …"}` — run a query, reply once.
     Query {
@@ -42,13 +45,15 @@ pub enum Request {
 }
 
 /// Parse one request line. Objects carrying a `"cmd"` key are
-/// commands, `{"op":"ingest",…}` is a batch frame; everything else
-/// must parse as an event.
+/// commands; `{"op":"ingest",…}` *without* a `"stream"` key is a batch
+/// frame (an event always carries `stream`, so events keep their
+/// schema-free field namespace — including an `op` field); everything
+/// else must parse as an event.
 pub fn parse_request(line: &str) -> Result<Request> {
     let json: Json =
         serde_json::from_str(line).map_err(|e| Error::Invalid(format!("bad JSON request: {e}")))?;
     let Some(cmd) = json.get("cmd") else {
-        if json.get("op").and_then(Json::as_str) == Some("ingest") {
+        if json.get("op").and_then(Json::as_str) == Some("ingest") && json.get("stream").is_none() {
             return parse_batch(json);
         }
         return fenestra_wire::event_from_json(line).map(Request::Event);
@@ -92,9 +97,13 @@ fn parse_batch(json: Json) -> Result<Request> {
     let Json::Object(mut obj) = json else {
         unreachable!("callers check `op` on an object");
     };
-    let events = obj
-        .remove("events")
-        .ok_or_else(|| Error::Invalid("batch ingest needs an `events` array".into()))?;
+    let events = obj.remove("events").ok_or_else(|| {
+        Error::Invalid(
+            "batch ingest needs an `events` array \
+             (to ingest a plain event with an `op` field, include `stream`)"
+                .into(),
+        )
+    })?;
     let Json::Array(items) = events else {
         return Err(Error::Invalid("`events` must be an array of events".into()));
     };
@@ -118,11 +127,15 @@ fn parse_batch(json: Json) -> Result<Request> {
 /// into the ingest queue — weaker than applied: an event past the
 /// lateness bound is still acked and then discarded by the engine
 /// (counted in the `stats` counter `server.late_dropped`). Under
-/// `--fsync always` the ack is deferred until the event's group commit
-/// has fsynced, so it means **durable** (though a late event is still
-/// discarded, durably so). The FIFO queue makes any later reply on the
-/// same connection a processing barrier for everything acked before
-/// it; see the crate docs ("Ack semantics and durability").
+/// `--fsync always` the ack is deferred until a WAL fsync covers the
+/// event, so it means **durable** (though a late event is still
+/// discarded, durably so). With `--max-lateness-ms > 0` that deferral
+/// extends past the reorder buffer: the ack is withheld until the
+/// watermark passes the frame — on an idle stream, until the next
+/// event (or shutdown) advances it. The FIFO queue makes any later
+/// reply on the same connection a processing barrier for everything
+/// acked before it; see the crate docs ("Ack semantics and
+/// durability").
 pub fn ack(seq: u64) -> String {
     format!("{{\"ok\":true,\"seq\":{seq}}}")
 }
@@ -307,6 +320,17 @@ mod tests {
             parse_request(r#"{"stream":"s","ts":1,"op":"assert"}"#).unwrap(),
             Request::Event(_)
         ));
+        // Even `op == "ingest"` stays an event field when the object
+        // carries `stream`: only stream-less objects are batch frames.
+        let Request::Event(ev) =
+            parse_request(r#"{"stream":"s","ts":1,"op":"ingest"}"#).unwrap()
+        else {
+            panic!("expected event");
+        };
+        assert_eq!(
+            ev.get("op"),
+            Some(&fenestra_base::value::Value::str("ingest"))
+        );
     }
 
     #[test]

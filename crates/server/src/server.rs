@@ -15,9 +15,11 @@ use crate::proto::{self, Request};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use fenestra_base::error::{Error, Result};
 use fenestra_base::record::Event;
+use fenestra_base::time::Timestamp;
 use fenestra_core::{Engine, Watch};
 use fenestra_temporal::wal_file::{recover, segment_path};
 use fenestra_temporal::{FsyncPolicy, WalWriter, WalWriterStats};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -29,8 +31,28 @@ use std::thread::{self, JoinHandle};
 /// events' group commit reached stable storage (`--fsync always`).
 /// Without deferral the connection thread acks at admit time instead.
 struct Ack {
+    /// Which connection the ack belongs to: release keeps acks in
+    /// request order *per connection* without letting one connection's
+    /// uncovered frame starve the others.
+    conn: u64,
     sink: Sender<String>,
     line: String,
+}
+
+/// A deferred ack the engine thread is holding until it is actually
+/// durable. With `--max-lateness-ms > 0` an admitted event can sit in
+/// the engine's reorder buffer — producing **no** journal ops, hence
+/// covered by no WAL frame — until the watermark passes it. The ack is
+/// therefore releasable only once every event of its frame has left
+/// the buffer *and* a subsequent WAL append+fsync succeeded. Held acks
+/// release in FIFO order per connection, keeping each connection's ack
+/// stream monotone.
+struct PendingAck {
+    ack: Ack,
+    /// Highest event timestamp the frame carried (`None` for an empty
+    /// batch frame, which is trivially durable). The frame is covered
+    /// once the reorder buffer holds nothing at or below this.
+    max_ts: Option<Timestamp>,
 }
 
 /// Commands consumed by the engine thread.
@@ -66,8 +88,9 @@ struct ConnCtx {
     cmd_tx: Sender<EngineCmd>,
     backpressure: Backpressure,
     /// `--fsync always` with a WAL: acks ride the command into the
-    /// engine thread and are released after the group fsync, upgrading
-    /// the ack from "admitted" to "durable".
+    /// engine thread and are released once a WAL fsync covers their
+    /// events — with a lateness bound, only after the watermark passes
+    /// the frame — upgrading the ack from "admitted" to "durable".
     durable_acks: bool,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
@@ -306,20 +329,23 @@ impl Durability {
     /// compact snapshot stamped `wal_gen = gen+1`, then delete segment
     /// `gen`. Every crash window recovers: before the snapshot rename
     /// lands, recovery uses the old snapshot + full old segment; after,
-    /// the new snapshot + (empty or missing) new segment.
-    fn checkpoint(&mut self, engine: &mut Engine) {
-        let _ = self.drain(engine);
+    /// the new snapshot + (empty or missing) new segment. Returns
+    /// whether the drain and sync both succeeded (the durability
+    /// outcome deferred acks depend on; rotation failures only delay
+    /// compaction, never durability).
+    fn checkpoint(&mut self, engine: &mut Engine) -> bool {
+        let committed = self.drain(engine).is_some();
         if let Err(e) = self.writer.sync() {
             eprintln!(
                 "fenestrad: WAL sync of {} failed: {e}",
                 self.writer.path().display()
             );
             self.publish_stats();
-            return;
+            return false;
         }
         self.publish_stats();
         let Some(snap) = self.snapshot_path.clone() else {
-            return; // Nothing to rotate against; the segment just grows.
+            return committed; // Nothing to rotate against; the segment just grows.
         };
         let next_gen = self.gen + 1;
         let next_path = segment_path(&self.base, next_gen);
@@ -330,14 +356,14 @@ impl Durability {
                     "fenestrad: starting WAL segment {} failed: {e}",
                     next_path.display()
                 );
-                return;
+                return committed;
             }
         };
         if let Err(e) = engine.save_state_compact(&snap, next_gen) {
             // The snapshot still names the old generation; keep
             // appending to the old segment and retry next checkpoint.
             eprintln!("fenestrad: snapshot to {} failed: {e}", snap.display());
-            return;
+            return committed;
         }
         let old_path = segment_path(&self.base, self.gen);
         self.rotated_stats.appends += self.writer.stats().appends;
@@ -351,6 +377,7 @@ impl Durability {
                 old_path.display()
             );
         }
+        committed
     }
 }
 
@@ -369,7 +396,7 @@ fn engine_loop(
         if d.boot_resumed {
             // Fold the replayed tail into a fresh snapshot so the next
             // boot recovers from there, not from the same tail again.
-            d.checkpoint(&mut engine);
+            let _ = d.checkpoint(&mut engine);
         } else {
             // First boot: persist whatever `setup` journaled (schema,
             // rule side effects) before the first event.
@@ -377,6 +404,12 @@ fn engine_loop(
         }
     }
     let mut watches: Vec<(Watch, Sender<String>)> = Vec::new();
+    // Durable-mode acks held until their events are actually covered
+    // by a fsynced WAL frame (see [`PendingAck`]), in admission order.
+    // Release is FIFO per connection — a connection never sees a later
+    // ack overtake an earlier one — but one connection's uncovered
+    // frame does not hold up covered frames from other connections.
+    let mut pending_acks: VecDeque<PendingAck> = VecDeque::new();
     // A non-ingest command pulled off the queue while coalescing an
     // ingest batch; handled on the next iteration (FIFO preserved).
     let mut deferred_cmd: Option<EngineCmd> = None;
@@ -403,13 +436,10 @@ fn engine_loop(
                 let (mut batch, mut acks) = into_batch(cmd);
                 while batch.len() < batch_max {
                     match rx.try_recv() {
-                        Ok(EngineCmd::Ingest(ev, ack)) => {
-                            batch.push(ev);
-                            acks.extend(ack);
-                        }
-                        Ok(EngineCmd::IngestBatch(evs, ack)) => {
+                        Ok(cmd @ (EngineCmd::Ingest(..) | EngineCmd::IngestBatch(..))) => {
+                            let (evs, more) = into_batch(cmd);
                             batch.extend(evs);
-                            acks.extend(ack);
+                            acks.extend(more);
                         }
                         Ok(other) => {
                             deferred_cmd = Some(other);
@@ -426,7 +456,9 @@ fn engine_loop(
                     // discarded and become visible here.
                     metrics.late_dropped.fetch_add(late, Ordering::Relaxed);
                 }
-                metrics.observe_ingest_batch(n);
+                if n > 0 {
+                    metrics.observe_ingest_batch(n);
+                }
                 let committed = match durability.as_mut() {
                     Some(d) => match d.drain(&mut engine) {
                         Some(ops) => {
@@ -440,16 +472,17 @@ fn engine_loop(
                     None => true,
                 };
                 // Durable-ack mode: the group fsync (inside the append,
-                // policy `always`) has completed — release every held
-                // ack together. On append failure, report instead of
-                // lying about durability.
-                for ack in acks {
-                    let line = if committed {
-                        ack.line
-                    } else {
-                        proto::error("WAL append failed; events not durable")
-                    };
-                    let _ = ack.sink.send(line);
+                // policy `always`) covers exactly the events that have
+                // drained out of the reorder buffer — release, in FIFO
+                // order, every held ack whose events all have. Frames
+                // still (partly) in the buffer stay held until a later
+                // batch advances the watermark past them. On append
+                // failure, report instead of lying about durability.
+                if committed {
+                    pending_acks.extend(acks);
+                    release_covered(&mut pending_acks, &engine);
+                } else {
+                    fail_acks(pending_acks.drain(..).chain(acks));
                 }
                 poll = n > late;
             }
@@ -481,16 +514,33 @@ fn engine_loop(
                 let _ = reply.send(line);
             }
             EngineCmd::Snapshot => match durability.as_mut() {
-                Some(d) => d.checkpoint(&mut engine),
+                Some(d) => {
+                    if d.checkpoint(&mut engine) {
+                        release_covered(&mut pending_acks, &engine);
+                    } else {
+                        fail_acks(pending_acks.drain(..));
+                    }
+                }
                 None => snapshot(&engine, &snapshot_path),
             },
             EngineCmd::Shutdown { reply } => {
                 // FIFO queue: every ingest admitted before this command
-                // has already been applied. Flush and persist.
+                // has already been applied. Flush and persist —
+                // `finish` also drains the reorder buffer, so every
+                // still-held ack is releasable once the final
+                // checkpoint commits.
                 engine.finish();
-                match durability.as_mut() {
+                let committed = match durability.as_mut() {
                     Some(d) => d.checkpoint(&mut engine),
-                    None => snapshot(&engine, &snapshot_path),
+                    None => {
+                        snapshot(&engine, &snapshot_path);
+                        true
+                    }
+                };
+                if committed {
+                    release_covered(&mut pending_acks, &engine);
+                } else {
+                    fail_acks(pending_acks.drain(..));
                 }
                 if let Some(reply) = reply {
                     let _ = reply.send(proto::bye());
@@ -520,12 +570,66 @@ fn engine_loop(
     let _ = TcpStream::connect(addr);
 }
 
-/// Split an ingest command into its events and (optional) deferred ack.
-fn into_batch(cmd: EngineCmd) -> (Vec<Event>, Vec<Ack>) {
-    match cmd {
-        EngineCmd::Ingest(ev, ack) => (vec![ev], ack.into_iter().collect()),
-        EngineCmd::IngestBatch(evs, ack) => (evs, ack.into_iter().collect()),
+/// Split an ingest command into its events and (optional) deferred
+/// ack, stamped with the frame's highest event timestamp so release
+/// can wait for the reorder buffer to pass the whole frame.
+fn into_batch(cmd: EngineCmd) -> (Vec<Event>, Vec<PendingAck>) {
+    let (evs, ack) = match cmd {
+        EngineCmd::Ingest(ev, ack) => (vec![ev], ack),
+        EngineCmd::IngestBatch(evs, ack) => (evs, ack),
         _ => unreachable!("into_batch is only called on ingest commands"),
+    };
+    let max_ts = evs.iter().map(|e| e.ts).max();
+    let pending = ack.map(|ack| PendingAck { ack, max_ts });
+    (evs, pending.into_iter().collect())
+}
+
+/// Release every held ack whose events have all drained out of the
+/// reorder buffer (and were hence covered by the WAL commit that just
+/// succeeded) — including frames dropped entirely as late, which left
+/// nothing behind to persist. Release is FIFO *per connection*: a
+/// covered ack stays held while an earlier frame from the same
+/// connection is still uncovered, so each connection's ack stream is
+/// monotone — but an uncovered frame never starves other connections
+/// (the stream-head frame's ack can be held for a long time on an
+/// idle stream, and late frames admitted behind it would otherwise
+/// wait with it). With `max_lateness == 0` the buffer is always empty
+/// after a push, so every held ack releases immediately.
+fn release_covered(pending: &mut VecDeque<PendingAck>, engine: &Engine) {
+    if pending.is_empty() {
+        return;
+    }
+    let low = engine.buffered_low_ts();
+    // Connections whose oldest held frame is still uncovered; few
+    // connections ever hold uncovered frames at once, so a linear
+    // scan beats a hash set.
+    let mut blocked: Vec<u64> = Vec::new();
+    let mut kept = VecDeque::new();
+    for p in pending.drain(..) {
+        let covered = match (p.max_ts, low) {
+            (None, _) | (_, None) => true,
+            (Some(max_ts), Some(low)) => max_ts < low,
+        };
+        if covered && !blocked.contains(&p.ack.conn) {
+            let _ = p.ack.sink.send(p.ack.line);
+        } else {
+            if !blocked.contains(&p.ack.conn) {
+                blocked.push(p.ack.conn);
+            }
+            kept.push_back(p);
+        }
+    }
+    *pending = kept;
+}
+
+/// A WAL append or sync failed: the log now has a hole, so no held ack
+/// can honestly claim durability anymore. Fail them all.
+fn fail_acks(acks: impl Iterator<Item = PendingAck>) {
+    for p in acks {
+        let _ = p
+            .ack
+            .sink
+            .send(proto::error("WAL append failed; events not durable"));
     }
 }
 
@@ -554,15 +658,17 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ConnCtx>) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        ctx.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        // The connection counter doubles as the connection id held
+        // acks are keyed by (see [`Ack::conn`]).
+        let conn_id = ctx.metrics.connections.fetch_add(1, Ordering::Relaxed);
         let ctx = ctx.clone();
         let _ = thread::Builder::new()
             .name("fenestra-conn".into())
-            .spawn(move || handle_conn(stream, ctx));
+            .spawn(move || handle_conn(stream, ctx, conn_id));
     }
 }
 
-fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>) {
+fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -606,18 +712,21 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>) {
         match req {
             Request::Event(ev) => {
                 seq += 1;
-                if !ingest(&ctx, &out_tx, Frame::One(ev), seq) {
+                if !ingest(&ctx, &out_tx, conn_id, Frame::One(ev), seq) {
                     break;
                 }
             }
             Request::Batch(evs) => {
-                if evs.is_empty() {
+                if evs.is_empty() && !ctx.durable_acks {
                     // Nothing to admit; ack the frame without an engine
-                    // round-trip.
+                    // round-trip. In durable-ack mode even empty frames
+                    // travel through the engine queue so their ack
+                    // cannot overtake a held ack for an earlier frame
+                    // on the same connection.
                     let _ = out_tx.send(proto::ack_batch(seq, 0));
                 } else {
                     seq += evs.len() as u64;
-                    if !ingest(&ctx, &out_tx, Frame::Many(evs), seq) {
+                    if !ingest(&ctx, &out_tx, conn_id, Frame::Many(evs), seq) {
                         break;
                     }
                 }
@@ -658,10 +767,16 @@ enum Frame {
 /// Enqueue one ingest frame under the configured backpressure policy.
 /// A batch frame is admitted (or shed) atomically: one queue slot, one
 /// ack. Under durable acks the ack line travels with the command and
-/// the engine thread releases it after the group fsync; otherwise it is
-/// sent here, at admit time. Returns `false` when the server is
-/// shutting down.
-fn ingest(ctx: &ConnCtx, out_tx: &Sender<String>, frame: Frame, last_seq: u64) -> bool {
+/// the engine thread releases it once the frame's events are durable
+/// (see [`PendingAck`]); otherwise it is sent here, at admit time.
+/// Returns `false` when the server is shutting down.
+fn ingest(
+    ctx: &ConnCtx,
+    out_tx: &Sender<String>,
+    conn_id: u64,
+    frame: Frame,
+    last_seq: u64,
+) -> bool {
     let count = match &frame {
         Frame::One(_) => 1,
         Frame::Many(evs) => evs.len() as u64,
@@ -671,8 +786,8 @@ fn ingest(ctx: &ConnCtx, out_tx: &Sender<String>, frame: Frame, last_seq: u64) -
         Frame::Many(_) => proto::ack_batch(last_seq, count),
     });
     let ack = if ctx.durable_acks {
-        ctx.metrics.acks_deferred.fetch_add(1, Ordering::Relaxed);
         immediate_ack.take().map(|line| Ack {
+            conn: conn_id,
             sink: out_tx.clone(),
             line,
         })
@@ -706,6 +821,11 @@ fn ingest(ctx: &ConnCtx, out_tx: &Sender<String>, frame: Frame, last_seq: u64) -
     };
     if admitted {
         ctx.metrics.events.fetch_add(count, Ordering::Relaxed);
+        if ctx.durable_acks {
+            // Counted only once the frame actually entered the queue —
+            // a shed frame's ack was never deferred, it never existed.
+            ctx.metrics.acks_deferred.fetch_add(1, Ordering::Relaxed);
+        }
         ctx.metrics.observe_queue_depth(ctx.cmd_tx.len() as u64);
         if let Some(line) = immediate_ack {
             let _ = out_tx.send(line);

@@ -13,6 +13,14 @@
 //! otherwise; strings, booleans, and nulls map directly. Nested
 //! arrays/objects are rejected (stream records are flat).
 //!
+//! The `fenestrad` wire protocol adds framing-level reservations on
+//! *top-level* request objects: a `"cmd"` key marks a command, and
+//! `"op":"ingest"` **without** a `"stream"` key marks a batch ingest
+//! frame. Events always carry `stream`, so their field namespace is
+//! untouched by the latter (an event field named `op` is fine, even
+//! with the value `"ingest"`) — but an event sent to the server cannot
+//! use a field named `cmd`.
+//!
 //! Also home to the [`metrics`] serializer shared by
 //! `fenestra run --metrics-json` and the server's `stats` command.
 

@@ -488,6 +488,53 @@ mod crash {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Durable acks + a lateness bound: an event still inside the
+    /// reorder buffer has produced no WAL ops, so its ack must be
+    /// withheld until the watermark passes it. Events 10s apart with a
+    /// 5s bound mean event `i`'s arrival covers event `i-1` but never
+    /// `i` itself — so exactly N−1 acks are readable, and a `kill -9`
+    /// at that point loses only the never-acked buffered event.
+    #[test]
+    fn kill9_with_lateness_loses_no_acked_events() {
+        let dir = tmp_dir("lateness");
+        const N: u64 = 10;
+
+        let daemon = Daemon::spawn(
+            &dir,
+            &["--fsync", "always", "--max-lateness-ms", "5000"],
+        );
+        let mut c = daemon.connect();
+        for i in 1..=N {
+            c.send(&format!(
+                r#"{{"stream":"s","ts":{},"visitor":"v{i}","room":"r{i}"}}"#,
+                i * 10_000
+            ));
+        }
+        for i in 1..N {
+            let v = c.recv();
+            assert_eq!(
+                v.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "ack {i}: {v}"
+            );
+        }
+        // The Nth ack is (correctly) still held; kill without it.
+        daemon.kill9();
+
+        let daemon = Daemon::spawn(
+            &dir,
+            &["--fsync", "always", "--max-lateness-ms", "5000"],
+        );
+        let mut c = daemon.connect();
+        assert_eq!(
+            occupied_rooms(&mut c),
+            N as usize - 1,
+            "every acked event survives; only the unacked buffered one may be lost"
+        );
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Under `--fsync on-snapshot`, a kill -9 may lose recent events
     /// but recovery still yields a consistent prefix of acked state.
     #[test]

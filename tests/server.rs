@@ -336,6 +336,133 @@ fn concurrent_ingest_mixes_batch_and_single_frames() {
     handle.shutdown();
 }
 
+/// Durable-ack mode (WAL + `always` fsync) with a lateness bound: an
+/// ack is withheld until the watermark passes its events (a buffered
+/// event has produced no WAL ops, so no fsync covers it yet), and the
+/// per-connection ack stream stays in admission order — an empty batch
+/// frame's ack must not overtake the held ack of an earlier frame.
+#[test]
+fn durable_acks_release_in_order_once_covered() {
+    let dir = std::env::temp_dir().join(format!("fenestrad-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let config = ServerConfig::new("127.0.0.1:0")
+        .wal_path(dir.join("log")) // fsync defaults to `always`
+        .engine(EngineConfig {
+            max_lateness: Duration::millis(5_000),
+            ..EngineConfig::default()
+        })
+        .setup(|engine| {
+            engine.declare_attr("room", AttrSchema::one());
+            engine
+                .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+                .unwrap();
+        });
+    let mut handle = Server::start(config).expect("start server");
+    let mut c = Client::connect(handle.local_addr());
+
+    // Frame 1 buffers inside the lateness bound: its ack is held.
+    c.send(&event(10_000, "a", "lobby"));
+    // Frame 2 is an empty batch: trivially durable, but its ack must
+    // still wait behind frame 1's.
+    c.send(r#"{"op":"ingest","events":[]}"#);
+    // Frame 3 advances the watermark past frame 1 (to 15_000),
+    // releasing acks 1 then 2; frame 3 itself is now the buffered one.
+    c.send(&event(20_000, "b", "hall"));
+
+    let v1 = c.recv();
+    assert_eq!(v1.get("seq").and_then(Json::as_u64), Some(1), "{v1}");
+    assert!(
+        v1.get("count").is_none(),
+        "event ack first, empty-frame ack must not overtake it: {v1}"
+    );
+    let v2 = c.recv();
+    assert_eq!(v2.get("count").and_then(Json::as_u64), Some(0), "{v2}");
+    assert_eq!(v2.get("seq").and_then(Json::as_u64), Some(1), "{v2}");
+
+    // Shutdown drains the reorder buffer and checkpoints, releasing
+    // frame 3's held ack before the bye — still in order.
+    c.send(r#"{"cmd":"shutdown"}"#);
+    let v3 = c.recv();
+    assert_eq!(v3.get("seq").and_then(Json::as_u64), Some(2), "{v3}");
+    let v4 = c.recv();
+    assert!(v4.get("bye").is_some(), "{v4}");
+    handle.join();
+    assert_eq!(
+        handle
+            .metrics()
+            .acks_deferred
+            .load(std::sync::atomic::Ordering::Relaxed),
+        3,
+        "all three admitted frames deferred their acks"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Held acks release in admission order *per connection*, not
+/// globally: the stream-head frame's ack can stay held for a long time
+/// (nothing has passed the watermark beyond it), and a frame another
+/// connection admits behind it — here one dropped as late, which left
+/// nothing behind to persist — must still ack promptly instead of
+/// queueing behind the head forever.
+#[test]
+fn held_ack_on_one_connection_does_not_starve_others() {
+    let dir = std::env::temp_dir().join(format!("fenestrad-starve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let config = ServerConfig::new("127.0.0.1:0")
+        .wal_path(dir.join("log")) // fsync defaults to `always`
+        .engine(EngineConfig {
+            max_lateness: Duration::millis(5_000),
+            ..EngineConfig::default()
+        })
+        .setup(|engine| {
+            engine.declare_attr("room", AttrSchema::one());
+            engine
+                .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+                .unwrap();
+        });
+    let mut handle = Server::start(config).expect("start server");
+    let mut a = Client::connect(handle.local_addr());
+    let mut b = Client::connect(handle.local_addr());
+
+    // Conn A pushes the stream head: the event buffers at 10_000 with
+    // the watermark at 5_000, so its ack is held. The stats round-trip
+    // (stats replies are never held) proves the engine has processed
+    // the event before conn B sends anything.
+    a.send(&event(10_000, "a", "lobby"));
+    let s = a.call(r#"{"cmd":"stats"}"#);
+    assert!(
+        ok(&s) && s.get("engine").is_some(),
+        "expected the stats reply (the event ack must still be held): {s}"
+    );
+
+    // Conn B's event is beyond the lateness bound: dropped as late, no
+    // journal ops, nothing left to make durable. Its ack must arrive
+    // even though conn A's earlier ack is still held.
+    b.send(&event(100, "b", "hall"));
+    let vb = b.recv();
+    assert!(ok(&vb), "{vb}");
+    assert_eq!(vb.get("seq").and_then(Json::as_u64), Some(1), "{vb}");
+
+    // Shutdown drains the buffer and checkpoints, releasing conn A's
+    // held ack; the bye still follows it into conn B's stream.
+    b.send(r#"{"cmd":"shutdown"}"#);
+    let bye = b.recv();
+    assert!(bye.get("bye").is_some(), "{bye}");
+    let va = a.recv();
+    assert_eq!(va.get("seq").and_then(Json::as_u64), Some(1), "{va}");
+    handle.join();
+
+    let m = handle.metrics();
+    let load = |a: &std::sync::atomic::AtomicU64| a.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(load(&m.acks_deferred), 2, "both admitted frames deferred");
+    assert_eq!(load(&m.late_dropped), 1, "conn B's event was late");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn watch_rejects_history_queries() {
     let mut handle = Server::start(ServerConfig::new("127.0.0.1:0")).unwrap();
