@@ -9,17 +9,27 @@
 //! * a client batch-frame sweep (`{"op":"ingest","events":[…]}` with
 //!   8/64/512 events per frame) under `fsync always`;
 //! * a connection-count sweep (4 and 8 pipelined connections) under
-//!   `fsync always`, where group commit coalesces across connections.
+//!   `fsync always`, where group commit coalesces across connections;
+//! * a shard-count sweep (1/2/4/8 keyed engine shards) under `fsync
+//!   always` with group commit disabled (`batch_max 1`): per-event
+//!   durability makes the disk's flush latency the throughput floor,
+//!   and per-shard WALs overlap those fsyncs — the one cost that
+//!   parallelizes regardless of core count.
 //!
 //! Each run reports throughput, ack-latency percentiles (p50/p99 —
 //! under `fsync always` an ack is released only after the covering
 //! group commit fsyncs, so this is true commit latency), and the
 //! server's batching counters. Results go to `BENCH_ingest.json` at
 //! the repository root, with a before/after comparison against the
-//! committed numbers printed to stderr.
+//! committed numbers printed to stderr (tolerant of missing or
+//! differently-shaped committed files — new runs simply have no
+//! baseline).
 //!
 //! ```text
 //! cargo run -p fenestra-bench --release --bin ingest_smoke [-- EVENTS]
+//! # or one configuration only, merged into the committed file:
+//! cargo run -p fenestra-bench --release --bin ingest_smoke -- \
+//!     [EVENTS] --shards 4 [--fsync always]
 //! ```
 //!
 //! This is a smoke benchmark (one run per config, wall-clock): it
@@ -36,6 +46,19 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+
+/// Group-commit cap for the shard sweep: 1, i.e. group commit OFF —
+/// every event pays its own WAL append + fsync. The headline runs show
+/// group commit amortizing a single WAL's fsyncs to near zero, which
+/// leaves a single-WAL server bottlenecked elsewhere; what per-shard
+/// WALs add is *independent fsync pipelines*, and this sweep isolates
+/// exactly that: under per-event durability the disk's flush latency
+/// is the floor, and N shards overlap N flushes (they are I/O waits,
+/// so this parallelizes even on one core). One connection,
+/// single-event lines: each event routes to exactly one shard, so
+/// submission never waits on a straggler shard and the sweep stays
+/// apples-to-apples across shard counts.
+const SHARD_SWEEP_COMMIT_MAX: usize = 1;
 
 /// Lateness bound for multi-connection runs: pipelined connections
 /// race to the queue, so timestamps interleave slightly out of order.
@@ -101,9 +124,13 @@ fn run(
     wal: Option<(&Path, FsyncPolicy)>,
     frame_size: u64,
     connections: u64,
+    shards: u32,
+    batch_max: usize,
 ) -> RunResult {
     let mut config = ServerConfig::new("127.0.0.1:0")
         .queue_capacity(4096)
+        .batch_max(batch_max)
+        .shards(shards)
         .setup(|engine| {
             engine.declare_attr("room", AttrSchema::one());
             engine
@@ -198,24 +225,31 @@ fn run(
         })
         .collect();
     let _flush_conn = if connections > 1 {
-        // Flush the reorder buffer: once the engine has processed every
-        // connection's frames, one far-future event advances the
+        // Flush the reorder buffers: once the engine has processed
+        // every connection's frames, far-future events advance the
         // watermark past everything, draining the buffered tail
         // (applied and WAL'd inside the timed window) and releasing its
-        // held acks so the reader threads can finish. The flush event's
-        // *own* ack stays held — nothing ever passes the watermark
-        // beyond it — so only the stats reply is read, and the
-        // connection is kept open until shutdown for the unread ack.
+        // held acks so the reader threads can finish. One event per
+        // workload visitor, because under sharding each shard's
+        // watermark advances independently and only events keyed into
+        // a shard move it — reusing the workload's own visitors
+        // guarantees every shard that buffered anything gets flushed.
+        // The flush events' *own* acks stay held — nothing ever passes
+        // the watermark beyond them — so only the stats reply is read,
+        // and the connection is kept open until shutdown for the
+        // unread acks.
         all_processed.wait();
         let stream = TcpStream::connect(addr).expect("connect flush");
         let mut input = stream.try_clone().expect("clone stream");
         let mut lines = BufReader::new(stream.try_clone().expect("clone stream")).lines();
         let ts = actual_events + CONN_SWEEP_LATENESS + 1_000;
-        writeln!(
-            input,
-            r#"{{"stream":"s","ts":{ts},"visitor":"flush","room":"done"}}"#
-        )
-        .expect("send flush");
+        for v in 0..100 {
+            writeln!(
+                input,
+                r#"{{"stream":"s","ts":{ts},"visitor":"v{v}","room":"done"}}"#
+            )
+            .expect("send flush");
+        }
         writeln!(input, r#"{{"cmd":"stats"}}"#).expect("send stats");
         let line = lines.next().expect("flush reply").expect("read reply");
         assert!(line.contains("\"ok\":true"), "rejected: {line}");
@@ -280,11 +314,48 @@ fn print_run(r: &RunResult) {
     );
 }
 
+/// The committed number for `path.to.label.events_per_sec`, if the
+/// committed file exists and has that shape (tolerant: any mismatch is
+/// just "no baseline").
+fn committed_rate(old: &Option<Json>, path: &[&str], label: &str) -> Option<f64> {
+    let mut node = old.as_ref()?;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.get(label)?.get("events_per_sec")?.as_f64()
+}
+
+fn print_before_after(old: &Option<Json>, path: &[&str], r: &RunResult) {
+    match committed_rate(old, path, &r.label) {
+        Some(b) if b > 0.0 => eprintln!(
+            "{:<14} {:>9.1} -> {:>9.1} events/s  ({:.2}x)",
+            r.label,
+            b,
+            r.events_per_sec,
+            r.events_per_sec / b
+        ),
+        _ => eprintln!("{:<14} (no committed baseline)", r.label),
+    }
+}
+
 fn main() {
-    let events: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("EVENTS must be an integer"))
-        .unwrap_or(20_000);
+    let mut events: u64 = 20_000;
+    let mut only_shards: Option<u32> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let v = args.next().expect("--shards needs a value");
+                only_shards = Some(v.parse().expect("--shards must be an integer"));
+            }
+            "--fsync" => {
+                let v = args.next().expect("--fsync needs a value");
+                fsync = v.parse().expect("bad --fsync policy");
+            }
+            n => events = n.parse().expect("EVENTS must be an integer"),
+        }
+    }
 
     let dir = std::env::temp_dir().join(format!("fenestra-ingest-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -296,18 +367,62 @@ fn main() {
         .ok()
         .and_then(|s| serde_json::from_str(&s).ok());
 
+    // Single-configuration mode: run one shard count and merge it into
+    // the committed file without disturbing the other numbers.
+    if let Some(n) = only_shards {
+        let label = format!("shards-{n}");
+        let r = run(
+            &label,
+            events,
+            Some((&dir.join("only"), fsync)),
+            1,
+            1,
+            n.max(1),
+            SHARD_SWEEP_COMMIT_MAX,
+        );
+        print_run(&r);
+        print_before_after(&committed, &["sweeps", "shards"], &r);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut root = match committed {
+            Some(Json::Object(m)) => m,
+            _ => {
+                let mut m = Map::new();
+                m.insert("benchmark".into(), Json::from("ingest_smoke"));
+                m
+            }
+        };
+        let mut sweeps = match root.remove("sweeps") {
+            Some(Json::Object(m)) => m,
+            _ => Map::new(),
+        };
+        let mut shards = match sweeps.remove("shards") {
+            Some(Json::Object(m)) => m,
+            _ => Map::new(),
+        };
+        shards.insert(label, result_json(&r));
+        sweeps.insert("shards".into(), Json::Object(shards));
+        root.insert("sweeps".into(), Json::Object(sweeps));
+        let mut text = Json::Object(root).to_string();
+        text.push('\n');
+        std::fs::write(&out, text).expect("write BENCH_ingest.json");
+        eprintln!("merged into {}", out.display());
+        return;
+    }
+
     // Headline runs: one connection, single-event lines, the three
     // fsync policies. Group commit still engages (the engine coalesces
     // the pipelined queue), which is exactly the production shape.
     eprintln!("-- fsync policies (1 connection, single-event lines) --");
     let main_runs = [
-        run("wal-off", events, None, 1, 1),
+        run("wal-off", events, None, 1, 1, 1, 512),
         run(
             "wal-every-64",
             events,
             Some((&dir.join("every64"), FsyncPolicy::EveryN(64))),
             1,
             1,
+            1,
+            512,
         ),
         run(
             "wal-always",
@@ -315,6 +430,8 @@ fn main() {
             Some((&dir.join("always"), FsyncPolicy::Always)),
             1,
             1,
+            1,
+            512,
         ),
     ];
     for r in &main_runs {
@@ -332,6 +449,8 @@ fn main() {
                 Some((&dir.join(format!("batch{n}")), FsyncPolicy::Always)),
                 n,
                 1,
+                1,
+                512,
             )
         })
         .collect();
@@ -351,10 +470,35 @@ fn main() {
                 Some((&dir.join(format!("conns{n}")), FsyncPolicy::Always)),
                 1,
                 n,
+                1,
+                512,
             )
         })
         .collect();
     for r in &conn_runs {
+        print_run(r);
+    }
+
+    // Shard sweep under per-event durability (group commit off): each
+    // event pays a full WAL append + fsync, and per-shard WALs overlap
+    // those flushes — see SHARD_SWEEP_COMMIT_MAX for why this is the
+    // configuration where shard scaling is actually measurable.
+    eprintln!("-- shards (1 connection, per-event commit, fsync always) --");
+    let shard_runs: Vec<RunResult> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&n| {
+            run(
+                &format!("shards-{n}"),
+                events,
+                Some((&dir.join(format!("shards{n}")), FsyncPolicy::Always)),
+                1,
+                1,
+                n,
+                SHARD_SWEEP_COMMIT_MAX,
+            )
+        })
+        .collect();
+    for r in &shard_runs {
         print_run(r);
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -378,28 +522,22 @@ fn main() {
         conns.insert(r.label.clone(), result_json(r));
     }
     sweeps.insert("connections".into(), Json::Object(conns));
+    let mut shards_obj = Map::new();
+    for r in &shard_runs {
+        shards_obj.insert(r.label.clone(), result_json(r));
+    }
+    sweeps.insert("shards".into(), Json::Object(shards_obj));
     root.insert("sweeps".into(), Json::Object(sweeps));
 
     // Before/after against the committed numbers (CI surfaces this as
     // a non-gating signal).
-    if let Some(old) = &committed {
+    if committed.is_some() {
         eprintln!("-- before/after vs committed BENCH_ingest.json --");
         for r in &main_runs {
-            let before = old
-                .get("runs")
-                .and_then(|runs| runs.get(&r.label))
-                .and_then(|run| run.get("events_per_sec"))
-                .and_then(Json::as_f64);
-            match before {
-                Some(b) if b > 0.0 => eprintln!(
-                    "{:<14} {:>9.1} -> {:>9.1} events/s  ({:.2}x)",
-                    r.label,
-                    b,
-                    r.events_per_sec,
-                    r.events_per_sec / b
-                ),
-                _ => eprintln!("{:<14} (no committed baseline)", r.label),
-            }
+            print_before_after(&committed, &["runs"], r);
+        }
+        for r in &shard_runs {
+            print_before_after(&committed, &["sweeps", "shards"], r);
         }
     }
     let off = main_runs[0].events_per_sec;
@@ -408,6 +546,11 @@ fn main() {
         "wal-always runs at {:.1}% of wal-off ({:.1}x slowdown)",
         always / off * 100.0,
         off / always
+    );
+    let (s1, s4) = (shard_runs[0].events_per_sec, shard_runs[2].events_per_sec);
+    eprintln!(
+        "shards-4 runs at {:.2}x shards-1 under fsync always",
+        s4 / s1
     );
 
     let mut text = Json::Object(root).to_string();

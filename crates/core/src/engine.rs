@@ -553,6 +553,12 @@ impl Engine {
     pub fn rule_count(&self) -> usize {
         self.rules.len()
     }
+
+    /// The registered rules, in registration order (used by the
+    /// sharding layer to derive routing keys after setup).
+    pub fn state_rules(&self) -> Vec<&StateRule> {
+        self.rules.rules().collect()
+    }
 }
 
 #[cfg(test)]

@@ -34,9 +34,11 @@
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod shard;
 pub mod watch;
 
 pub use config::{EngineConfig, Semantics};
 pub use engine::{Engine, QueryResult};
 pub use metrics::EngineMetrics;
+pub use shard::{default_shards, ShardRouter, ShardedEngine};
 pub use watch::{Watch, WatchDelta};

@@ -26,6 +26,21 @@ pub struct EngineMetrics {
 }
 
 impl EngineMetrics {
+    /// Fold another engine's counters into this one (every field is a
+    /// monotone sum, so shard metrics aggregate by addition).
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.events += other.events;
+        self.late_dropped += other.late_dropped;
+        self.rule_fired += other.rule_fired;
+        self.transitions += other.transitions;
+        self.guard_blocked += other.guard_blocked;
+        self.rule_errors += other.rule_errors;
+        self.reason_asserted += other.reason_asserted;
+        self.reason_retracted += other.reason_retracted;
+        self.reason_syncs += other.reason_syncs;
+        self.ttl_expired += other.ttl_expired;
+    }
+
     /// Transitions per accepted event (state churn).
     pub fn transitions_per_event(&self) -> f64 {
         if self.events == 0 {

@@ -178,6 +178,11 @@ impl RuleEngine {
         self.rules.iter().map(|c| c.rule.name).collect()
     }
 
+    /// The registered rules, in registration order.
+    pub fn rules(&self) -> impl Iterator<Item = &StateRule> {
+        self.rules.iter().map(|c| &c.rule)
+    }
+
     /// Deliver one event: evaluate every rule's trigger, guards, and
     /// actions. Transitions are applied at the event's timestamp (for
     /// pattern triggers, the completing event's timestamp).

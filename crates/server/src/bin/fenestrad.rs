@@ -15,7 +15,14 @@ USAGE:
 
 OPTIONS:
     --addr HOST:PORT        listen address           [default: 127.0.0.1:7878]
-    --queue N               ingest queue capacity    [default: 1024]
+    --shards N              keyed engine shards, each with its own
+                            thread, state partition, and (with --wal)
+                            WAL segments + snapshot; events route by a
+                            hash of their entity key. Must match the
+                            on-disk layout across restarts.
+                            [default: min(cores, 8)]
+    --queue N               ingest queue capacity, split across shards
+                            [default: 1024]
     --shed                  shed events when the queue is full
                             (default: block the sending connection)
     --batch-max N           group-commit cap: max events coalesced into
@@ -33,6 +40,11 @@ OPTIONS:
     --max-lateness-ms N     out-of-orderness bound   [default: 0]
     --retention-ms N        GC closed history older than N ms behind
                             the watermark            [default: keep forever]
+    --gc-horizon-ms N       also GC closed history older than N ms
+                            behind each shard's latest event, on the
+                            snapshot cadence (or its own N ms ticker
+                            without --snapshot-every-ms); reclaimed
+                            facts are counted in stats `gc_removed`
     --semantics MODE        state-first | stream-first | snapshot
     -h, --help              print this help
 
@@ -46,7 +58,7 @@ PROTOCOL (line-delimited JSON on one socket):
 ";
 
 fn main() -> ExitCode {
-    let mut config = ServerConfig::default();
+    let mut config = ServerConfig::default().shards(fenestra_core::default_shards());
     let mut rules_file: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -58,6 +70,11 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--addr" => value("--addr").map(|v| config.addr = v),
+            "--shards" => {
+                parse_num(value("--shards"), "--shards").map(|n| config.shards = (n as u32).max(1))
+            }
+            "--gc-horizon-ms" => parse_num(value("--gc-horizon-ms"), "--gc-horizon-ms")
+                .map(|n| config.gc_horizon = Some(Duration::millis(n))),
             "--queue" => parse_num(value("--queue"), "--queue")
                 .map(|n| config.queue_capacity = (n as usize).max(1)),
             "--shed" => {

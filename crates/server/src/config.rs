@@ -5,8 +5,10 @@ use fenestra_core::{Engine, EngineConfig};
 use fenestra_temporal::FsyncPolicy;
 use std::path::PathBuf;
 
-/// One-shot engine initialization hook (see [`ServerConfig::setup`]).
-pub type SetupFn = Box<dyn FnOnce(&mut Engine) + Send>;
+/// Engine initialization hook (see [`ServerConfig::setup`]). Runs once
+/// per shard engine, so it must be `Fn`, not `FnOnce`: every shard
+/// needs the same attributes, rules, and watches.
+pub type SetupFn = Box<dyn Fn(&mut Engine) + Send + Sync>;
 
 /// What to do when the ingest queue is full and a connection keeps
 /// sending events.
@@ -59,6 +61,22 @@ pub struct ServerConfig {
     /// [`ServerConfig::wal_path`]). `Always` is the only policy under
     /// which an ack implies the transition survives a crash.
     pub fsync: FsyncPolicy,
+    /// Number of keyed engine shards. Events route to a shard by a
+    /// deterministic hash of their entity key (the field the stream's
+    /// rules name entities by); each shard runs on its own thread with
+    /// its own state partition and — with [`ServerConfig::wal_path`] —
+    /// its own WAL segments and snapshot file. `1` (the default) is
+    /// byte-identical to the unsharded server, including the on-disk
+    /// layout; restarting with a different count than the on-disk
+    /// state was written with is rejected at startup.
+    pub shards: u32,
+    /// If set, closed history older than this horizon behind each
+    /// shard's latest applied event is garbage-collected on the
+    /// snapshot thread's cadence (or, without
+    /// [`ServerConfig::snapshot_every`], on its own ticker at this
+    /// interval). Reclaimed facts are counted in the `gc_removed`
+    /// server stat.
+    pub gc_horizon: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +92,8 @@ impl Default for ServerConfig {
             setup: None,
             wal_path: None,
             fsync: FsyncPolicy::Always,
+            shards: 1,
+            gc_horizon: None,
         }
     }
 }
@@ -124,9 +144,22 @@ impl ServerConfig {
         self
     }
 
-    /// Run `f` against the engine before the listener opens.
-    pub fn setup(mut self, f: impl FnOnce(&mut Engine) + Send + 'static) -> ServerConfig {
+    /// Run `f` against every shard engine before the listener opens.
+    pub fn setup(mut self, f: impl Fn(&mut Engine) + Send + Sync + 'static) -> ServerConfig {
         self.setup = Some(Box::new(f));
+        self
+    }
+
+    /// Partition the engine into `n` keyed shards (clamped to ≥ 1).
+    pub fn shards(mut self, n: u32) -> ServerConfig {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// GC closed history older than `horizon` behind each shard's
+    /// latest applied event.
+    pub fn gc_horizon(mut self, horizon: Duration) -> ServerConfig {
+        self.gc_horizon = Some(horizon);
         self
     }
 
@@ -157,8 +190,12 @@ mod tests {
             .snapshot_path("/tmp/x.json")
             .snapshot_every(Duration::secs(30))
             .wal_path("/tmp/x.wal")
-            .fsync(FsyncPolicy::EveryN(8));
+            .fsync(FsyncPolicy::EveryN(8))
+            .shards(0)
+            .gc_horizon(Duration::secs(60));
         assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.shards, 1, "shard count clamps to at least 1");
+        assert_eq!(cfg.gc_horizon, Some(Duration::secs(60)));
         assert_eq!(cfg.queue_capacity, 1, "capacity clamps to at least 1");
         assert_eq!(cfg.batch_max, 1, "batch cap clamps to at least 1");
         assert_eq!(cfg.backpressure, Backpressure::Shed);
@@ -171,6 +208,8 @@ mod tests {
     fn wal_defaults_off_but_fsync_always() {
         let cfg = ServerConfig::default();
         assert!(cfg.wal_path.is_none(), "durable WAL is opt-in");
+        assert_eq!(cfg.shards, 1, "sharding is opt-in (legacy layout)");
+        assert!(cfg.gc_horizon.is_none(), "GC is opt-in");
         assert_eq!(cfg.batch_max, 512, "group commit is on by default");
         assert_eq!(
             cfg.fsync,

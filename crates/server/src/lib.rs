@@ -21,22 +21,41 @@
 //!
 //! ## Architecture
 //!
-//! One engine-writer thread owns the [`fenestra_core::Engine`] and
-//! consumes a bounded MPSC command queue. Connection threads translate
-//! socket lines into commands; replies travel back over per-request
-//! channels, and watch deltas over a per-connection outbound channel
-//! drained by a dedicated writer thread. Backpressure on the ingest
-//! queue is configurable: block the producing connection, or shed the
-//! event and report it (see [`config::Backpressure`]).
+//! N **shard threads** (one per [`ServerConfig::shards`], default 1)
+//! each own one [`fenestra_core::Engine`] partition and consume their
+//! own bounded MPSC command queue. Events route to exactly one shard
+//! by a deterministic hash of their **entity key** — the event field
+//! the stream's rules name entities by (see
+//! [`fenestra_core::ShardRouter`]); rules whose matches could span
+//! entities (fixed `@entity` targets, computed keys, pattern triggers)
+//! are rejected at startup when `shards > 1`. Connection threads
+//! translate socket lines into commands, splitting batch frames by
+//! route; replies travel back over per-request channels, and watch
+//! deltas over a per-connection outbound channel drained by a
+//! dedicated writer thread. Queries and watches fan out to every shard
+//! (selects merge rows, `count` and `limit` apply globally after the
+//! merge); `stats` aggregates engine counters and reports a per-shard
+//! breakdown. Backpressure on the shard queues is configurable: block
+//! the producing connection, or shed the frame — whole, never in part
+//! — and report it (see [`config::Backpressure`]).
 //!
-//! The engine thread **group-commits** ingest: after taking one ingest
-//! command off the queue it greedily drains whatever ingest commands
+//! With one shard (the default) the server is byte-identical to the
+//! pre-sharding releases, including the on-disk WAL/snapshot layout;
+//! with N, each shard keeps its own WAL segments
+//! (`<wal>-<shard>-<gen>.seg`) and snapshot (`<snap>.shard<i>`), boot
+//! recovery replays all shards in parallel, and a restart whose
+//! `--shards` contradicts the on-disk layout is rejected before
+//! anything is written.
+//!
+//! Each shard thread **group-commits** ingest: after taking one ingest
+//! command off its queue it greedily drains whatever ingest commands
 //! are already queued — across all connections, up to
 //! [`ServerConfig::batch_max`] events — and applies them as one batch:
 //! one apply pass, one WAL frame, one fsync (under `always`), one
 //! watch poll. Pure reads (`query`, `stats`) never trigger a watch
 //! poll. This is what keeps strict durability affordable: the fsync
-//! cost is amortized over the whole batch.
+//! cost is amortized over the whole batch, and under sharding the
+//! fsyncs themselves proceed in parallel across shards.
 //!
 //! ## Wire protocol
 //!
@@ -75,13 +94,15 @@
 //!   be discarded if it arrives beyond the configured lateness bound
 //!   (counted in `server.late_dropped`), and a crash can lose events
 //!   that were acked but not yet synced.
-//! * **WAL with `always` fsync** — the ack means **durable**: the
-//!   engine thread holds each frame's ack until every event of the
-//!   frame has been applied and the WAL commit covering it has been
-//!   appended *and* fsynced, then releases held acks — in admission
-//!   order per connection, but one connection's still-buffered frame
-//!   never holds up another connection's covered acks. Once a client
-//!   reads the ack, the transition survives `kill -9`.
+//! * **WAL with `always` fsync** — the ack means **durable**: each
+//!   shard holds its part of a frame's ack until every event of the
+//!   part has been applied and the WAL commit covering it has been
+//!   appended *and* fsynced; the ack line is released only when
+//!   **every shard the frame touched** has voted its part covered —
+//!   in admission order per connection, but one connection's
+//!   still-buffered frame never holds up another connection's covered
+//!   acks. Once a client reads the ack, the transition survives
+//!   `kill -9` on every shard.
 //!   With `--max-lateness-ms > 0` this includes the reorder buffer:
 //!   an event inside the lateness bound has produced no WAL ops yet,
 //!   so its ack is withheld until the watermark passes it — on an
@@ -91,9 +112,10 @@
 //!   `server.acks_deferred`; commits that covered more than one event
 //!   in `server.group_commits`.
 //!
-//! In every mode the queue is FIFO, so a later `stats` or `shutdown`
-//! reply on the same connection proves every previously acked event
-//! has been *processed* (applied or counted as late). Under `every-N`
+//! In every mode the shard queues are FIFO and `stats` / `shutdown`
+//! visit every shard, so a later `stats` or `shutdown` reply on the
+//! same connection proves every previously acked event has been
+//! *processed* (applied or counted as late). Under `every-N`
 //! / `on-snapshot` policies recovery truncates a torn WAL tail and
 //! reports it in `server.wal_discarded_bytes`.
 

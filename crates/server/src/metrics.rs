@@ -63,6 +63,9 @@ pub struct ServerMetrics {
     pub wal_discarded_bytes: AtomicU64,
     /// Ops discarded during recovery (decoded but unreplayable).
     pub wal_discarded_ops: AtomicU64,
+    /// Closed facts reclaimed by horizon GC (`--gc-horizon-ms`),
+    /// summed across shards.
+    pub gc_removed: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -119,6 +122,7 @@ impl ServerMetrics {
         obj.insert("recovery_ms".into(), get(&self.recovery_ms));
         obj.insert("wal_discarded_bytes".into(), get(&self.wal_discarded_bytes));
         obj.insert("wal_discarded_ops".into(), get(&self.wal_discarded_ops));
+        obj.insert("gc_removed".into(), get(&self.gc_removed));
         Json::Object(obj)
     }
 }
@@ -180,6 +184,7 @@ mod tests {
             "recovery_ms",
             "wal_discarded_bytes",
             "wal_discarded_ops",
+            "gc_removed",
         ] {
             assert!(v.get(key).is_some(), "{key}");
         }

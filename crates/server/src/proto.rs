@@ -322,8 +322,7 @@ mod tests {
         ));
         // Even `op == "ingest"` stays an event field when the object
         // carries `stream`: only stream-less objects are batch frames.
-        let Request::Event(ev) =
-            parse_request(r#"{"stream":"s","ts":1,"op":"ingest"}"#).unwrap()
+        let Request::Event(ev) = parse_request(r#"{"stream":"s","ts":1,"op":"ingest"}"#).unwrap()
         else {
             panic!("expected event");
         };

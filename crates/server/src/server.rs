@@ -1,13 +1,22 @@
 //! The threaded TCP server.
 //!
-//! Threading model: one **engine thread** owns the [`Engine`] and
-//! consumes a bounded command queue (FIFO, so a `shutdown` command
-//! naturally drains every ingest admitted before it). Each accepted
-//! connection gets a **reader thread** (socket lines → commands) and a
-//! **writer thread** (outbound channel → socket), so slow clients
-//! never stall the engine — except deliberately, under the
-//! [`Backpressure::Block`] policy, where a full ingest queue blocks
-//! the *sending* connection only.
+//! Threading model: N **shard threads** (one per `--shards`, default 1)
+//! each own one [`Engine`] partition and consume their own bounded
+//! command queue (FIFO per shard, so a `shutdown` command naturally
+//! drains every ingest admitted before it on that shard). Events route
+//! to exactly one shard by a deterministic hash of their entity key
+//! (see [`fenestra_core::ShardRouter`]); batch frames are split by
+//! route and acked only when **every** touched shard's group commit
+//! covers its part. Each accepted connection gets a **reader thread**
+//! (socket lines → commands) and a **writer thread** (outbound channel
+//! → socket), so slow clients never stall the engines — except
+//! deliberately, under the [`Backpressure::Block`] policy, where a
+//! full shard queue blocks the *sending* connection only.
+//!
+//! Queries fan out across shards and merge; `stats` aggregates engine
+//! counters and reports per-shard breakdowns. With one shard every
+//! reply — including query byte layout and the on-disk WAL/snapshot
+//! format — is identical to the pre-sharding server.
 
 use crate::config::{Backpressure, ServerConfig};
 use crate::metrics::ServerMetrics;
@@ -15,82 +24,219 @@ use crate::proto::{self, Request};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 use fenestra_base::error::{Error, Result};
 use fenestra_base::record::Event;
-use fenestra_base::time::Timestamp;
-use fenestra_core::{Engine, Watch};
-use fenestra_temporal::wal_file::{recover, segment_path};
-use fenestra_temporal::{FsyncPolicy, WalWriter, WalWriterStats};
-use std::collections::VecDeque;
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::{Duration, Interval, Timestamp};
+use fenestra_base::value::Value;
+use fenestra_core::shard::{merge_rows, partial_select};
+use fenestra_core::{Engine, EngineMetrics, QueryResult, ShardRouter, Watch};
+use fenestra_query::{Bindings, Query, QueryOptions};
+use fenestra_temporal::wal_file::{
+    recover_shards, segment_path, shard_segment_path, shard_snapshot_path,
+};
+use fenestra_temporal::{FsyncPolicy, Provenance, WalWriter, WalWriterStats};
+use serde_json::{Map, Value as Json};
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 
-/// An ingest acknowledgement the engine thread releases only after the
-/// events' group commit reached stable storage (`--fsync always`).
-/// Without deferral the connection thread acks at admit time instead.
-struct Ack {
-    /// Which connection the ack belongs to: release keeps acks in
-    /// request order *per connection* without letting one connection's
-    /// uncovered frame starve the others.
+// ----- cross-shard acks -----------------------------------------------------
+
+/// One ingest frame's acknowledgement, shared by every shard the frame
+/// touched. Under durable acks (`--fsync always` with a WAL) the ack
+/// line is released only after each touched shard **votes**: its group
+/// commit covered the frame's part — with `--max-lateness-ms > 0`,
+/// only once the shard's watermark passed the part (see the crate docs,
+/// "Ack semantics and durability"; the PR-4 contract holds per shard).
+struct FrameAck {
+    /// Connection the ack belongs to (release is FIFO per connection).
     conn: u64,
     sink: Sender<String>,
     line: String,
+    /// Touched shards that have not voted yet. At zero the frame is
+    /// complete and its line can go out (in per-connection order).
+    remaining: AtomicUsize,
+    /// Set by any shard whose WAL append/sync failed: the frame is not
+    /// durable, so completion sends an error instead of the ack.
+    failed: AtomicBool,
+    /// Completion latch, read by the per-connection FIFO drain.
+    done: AtomicBool,
 }
 
-/// A deferred ack the engine thread is holding until it is actually
-/// durable. With `--max-lateness-ms > 0` an admitted event can sit in
-/// the engine's reorder buffer — producing **no** journal ops, hence
-/// covered by no WAL frame — until the watermark passes it. The ack is
-/// therefore releasable only once every event of its frame has left
-/// the buffer *and* a subsequent WAL append+fsync succeeded. Held acks
-/// release in FIFO order per connection, keeping each connection's ack
-/// stream monotone.
-struct PendingAck {
-    ack: Ack,
-    /// Highest event timestamp the frame carried (`None` for an empty
-    /// batch frame, which is trivially durable). The frame is covered
-    /// once the reorder buffer holds nothing at or below this.
+/// Registry of in-flight durable acks, keyed by connection, in socket
+/// (admission) order. Shards vote from their own threads; the table
+/// sends each connection's ack lines strictly in admission order — a
+/// completed frame waits behind an earlier incomplete one, but one
+/// connection's stalled frame never holds up another connection.
+#[derive(Default)]
+struct AckTable {
+    conns: Mutex<HashMap<u64, VecDeque<Arc<FrameAck>>>>,
+}
+
+impl AckTable {
+    /// Register a frame in admission order. Must happen before any
+    /// shard can vote on it (i.e. before the parts are enqueued).
+    fn register(&self, frame: Arc<FrameAck>) {
+        let empty = frame.remaining.load(Ordering::Acquire) == 0;
+        if empty {
+            frame.done.store(true, Ordering::Release);
+        }
+        let conn = frame.conn;
+        self.conns
+            .lock()
+            .expect("ack table lock")
+            .entry(conn)
+            .or_default()
+            .push_back(frame);
+        if empty {
+            self.drain(conn);
+        }
+    }
+
+    /// Remove a just-registered frame that was never admitted (shed).
+    /// Only the registering connection thread calls this, and frames
+    /// register sequentially per connection, so it is the back entry.
+    fn unregister_last(&self, frame: &Arc<FrameAck>) {
+        let mut map = self.conns.lock().expect("ack table lock");
+        if let Some(q) = map.get_mut(&frame.conn) {
+            if q.back().is_some_and(|b| Arc::ptr_eq(b, frame)) {
+                q.pop_back();
+            }
+            if q.is_empty() {
+                map.remove(&frame.conn);
+            }
+        }
+    }
+
+    /// One shard's verdict on its part of the frame. Exactly one vote
+    /// per touched shard; the last vote completes the frame and flushes
+    /// the connection's sendable prefix.
+    fn vote(&self, frame: &Arc<FrameAck>, durable: bool) {
+        if !durable {
+            frame.failed.store(true, Ordering::Release);
+        }
+        if frame.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            frame.done.store(true, Ordering::Release);
+            self.drain(frame.conn);
+        }
+    }
+
+    /// Send the connection's completed-frame prefix, in order.
+    fn drain(&self, conn: u64) {
+        let mut map = self.conns.lock().expect("ack table lock");
+        let Some(q) = map.get_mut(&conn) else { return };
+        while q.front().is_some_and(|f| f.done.load(Ordering::Acquire)) {
+            let f = q.pop_front().expect("checked front");
+            let line = if f.failed.load(Ordering::Acquire) {
+                proto::error("WAL append failed; events not durable")
+            } else {
+                f.line.clone()
+            };
+            let _ = f.sink.send(line);
+        }
+        if q.is_empty() {
+            map.remove(&conn);
+        }
+    }
+
+    /// Shutdown sweep: every frame still registered (admitted behind
+    /// the shutdown command, so never applied) is failed explicitly —
+    /// no ack is left hanging, and no sink is left alive to wedge a
+    /// connection's writer thread.
+    fn fail_all(&self, msg: &str) {
+        let mut map = self.conns.lock().expect("ack table lock");
+        for (_, q) in map.drain() {
+            for f in q {
+                let _ = f.sink.send(proto::error(msg));
+            }
+        }
+    }
+}
+
+// ----- shard commands -------------------------------------------------------
+
+/// A frame part's ack bookkeeping, carried with the part to its shard.
+struct AckPart {
+    frame: Arc<FrameAck>,
+    /// Highest event timestamp in *this shard's part* (`None` never
+    /// occurs for sent parts — empty parts are not sent — but a frame
+    /// dropped entirely as late still yields a covered vote).
     max_ts: Option<Timestamp>,
 }
 
-/// Commands consumed by the engine thread.
-enum EngineCmd {
-    /// One event (plain event frame). The engine thread greedily
-    /// coalesces consecutive ingests into one group commit.
-    Ingest(Event, Option<Ack>),
-    /// A client-batched frame (`{"op":"ingest","events":[…]}`),
-    /// admitted atomically and acked once.
-    IngestBatch(Vec<Event>, Option<Ack>),
-    Query {
+/// One shard's history span list, ids already resolved.
+type HistorySpans = Vec<(Interval, Value, Provenance)>;
+
+/// Commands consumed by a shard thread.
+enum ShardCmd {
+    /// This shard's part of an ingest frame. The shard greedily
+    /// coalesces consecutive parts into one group commit and votes the
+    /// attached acks once its WAL fsync covers them.
+    Ingest(Vec<Event>, Option<AckPart>),
+    /// Single-shard deployments: the full legacy query path, returning
+    /// the exact reply line (byte-identical to the unsharded server).
+    QueryLine {
         text: String,
         reply: Sender<String>,
     },
+    /// Fan-out select: run with `limit`/`count` stripped and entity
+    /// ids resolved; the connection thread merges across shards.
+    QueryRows {
+        q: Arc<Query>,
+        reply: Sender<std::result::Result<Vec<Bindings>, String>>,
+    },
+    /// Fan-out history: the one shard that knows the entity replies
+    /// `Some`.
+    QueryHistory {
+        entity: Symbol,
+        attr: Symbol,
+        reply: Sender<Option<HistorySpans>>,
+    },
+    /// Register a standing query on this shard; deltas for this
+    /// shard's partition of the rows go to `sink`.
     Watch {
         name: String,
-        text: String,
-        /// Ack/error and every subsequent delta go to the sink, so the
-        /// ack is ordered before the initial rows.
+        q: Query,
         sink: Sender<String>,
     },
-    Stats {
+    /// Single-shard deployments: the full legacy stats reply line.
+    StatsLine {
         reply: Sender<String>,
     },
-    Snapshot,
-    Shutdown {
-        reply: Option<Sender<String>>,
+    /// Fan-out stats: this shard's counters for aggregation.
+    StatsJson {
+        reply: Sender<ShardStats>,
     },
+    Snapshot,
+    /// Horizon GC pass (`--gc-horizon-ms`), on the snapshot cadence.
+    Gc,
+    /// Drain, flush, persist, vote every held ack, then confirm.
+    Shutdown {
+        done: Sender<()>,
+    },
+}
+
+/// One shard's contribution to an aggregated `stats` reply.
+struct ShardStats {
+    shard: u32,
+    engine: EngineMetrics,
+    /// Durable acks this shard is still holding (frames admitted but
+    /// not yet covered by a fsynced WAL frame).
+    held_acks: u64,
 }
 
 /// Shared context for connection threads.
 struct ConnCtx {
-    cmd_tx: Sender<EngineCmd>,
+    shard_txs: Vec<Sender<ShardCmd>>,
+    router: Arc<ShardRouter>,
+    ack_table: Arc<AckTable>,
+    coord: Arc<ShutdownCoord>,
     backpressure: Backpressure,
-    /// `--fsync always` with a WAL: acks ride the command into the
-    /// engine thread and are released once a WAL fsync covers their
-    /// events — with a lateness bound, only after the watermark passes
-    /// the frame — upgrading the ack from "admitted" to "durable".
+    /// `--fsync always` with a WAL: acks are deferred until every
+    /// touched shard's group commit covers the frame.
     durable_acks: bool,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
@@ -102,15 +248,56 @@ pub struct Server;
 /// A running server: bound address, shutdown trigger, join.
 pub struct ServerHandle {
     addr: SocketAddr,
-    cmd_tx: Sender<EngineCmd>,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
-    engine_thread: Option<JoinHandle<()>>,
+    coord: Arc<ShutdownCoord>,
+    shard_threads: Vec<JoinHandle<()>>,
     listener_thread: Option<JoinHandle<()>>,
 }
 
+/// Coordinates the one graceful shutdown: broadcast `Shutdown` to all
+/// shards, wait until each has drained/persisted/voted, then fail any
+/// never-applied leftovers and stop the listener. Idempotent — late
+/// callers wait for the first to finish.
+struct ShutdownCoord {
+    shard_txs: Vec<Sender<ShardCmd>>,
+    ack_table: Arc<AckTable>,
+    shutdown: Arc<AtomicBool>,
+    started: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ShutdownCoord {
+    fn trigger(&self) {
+        if self.started.swap(true, Ordering::SeqCst) {
+            // Another caller is already draining; wait it out so "bye"
+            // (sent after trigger returns) still means drained.
+            while !self.shutdown.load(Ordering::SeqCst) {
+                thread::sleep(std::time::Duration::from_millis(1));
+            }
+            return;
+        }
+        let mut dones = Vec::new();
+        for tx in &self.shard_txs {
+            let (dtx, drx) = channel::bounded(1);
+            if tx.send(ShardCmd::Shutdown { done: dtx }).is_ok() {
+                dones.push(drx);
+            }
+        }
+        for d in dones {
+            let _ = d.recv();
+        }
+        // Frames admitted behind the shutdown command were never
+        // applied; resolve their acks explicitly rather than hanging.
+        self.ack_table.fail_all("server shutting down");
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it notices the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
 impl Server {
-    /// Bind the listener, start the engine/listener/snapshot threads,
+    /// Bind the listener, start the shard/listener/snapshot threads,
     /// and return a handle. Events, queries, watches, stats, and
     /// shutdown all arrive over the one listener (see [`crate::proto`]).
     pub fn start(config: ServerConfig) -> Result<ServerHandle> {
@@ -125,78 +312,125 @@ impl Server {
             setup,
             wal_path,
             fsync,
+            shards,
+            gc_horizon,
         } = config;
+        let shards = shards.max(1);
         let durable_acks = wal_path.is_some() && fsync == FsyncPolicy::Always;
         let listener = TcpListener::bind(&addr)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(ServerMetrics::default());
 
-        let mut engine = Engine::new(engine_cfg);
-        // With a durable WAL configured, boot is a recovery: latest
-        // snapshot plus the WAL tail, installed *before* `setup` so the
-        // hook's declarations land on top of the recovered state.
-        let durability = match &wal_path {
+        let mut engines: Vec<Engine> = (0..shards).map(|_| Engine::new(engine_cfg)).collect();
+        // With a durable WAL configured, boot is a recovery: each
+        // shard's latest snapshot plus its WAL tail, all shards
+        // replayed in parallel, installed *before* `setup` so the
+        // hook's declarations land on top of the recovered state. A
+        // `--shards` value contradicting the on-disk layout is
+        // rejected here, before anything is written.
+        let mut durabilities: Vec<Option<Durability>> = Vec::with_capacity(shards as usize);
+        match &wal_path {
             Some(base) => {
                 let t0 = std::time::Instant::now();
-                let rec = recover(snapshot_path.as_deref(), Some(base))?;
-                metrics
-                    .recovered_ops
-                    .store(rec.snapshot_ops + rec.wal_ops, Ordering::Relaxed);
+                let recs = recover_shards(snapshot_path.as_deref(), Some(base), shards)?;
+                let mut ops = 0u64;
+                let mut discarded_bytes = 0u64;
+                let mut discarded_ops = 0u64;
+                for (i, rec) in recs.into_iter().enumerate() {
+                    ops += rec.snapshot_ops + rec.wal_ops;
+                    discarded_bytes += rec.discarded_bytes;
+                    discarded_ops += rec.discarded_ops;
+                    let resumed = rec.resumed();
+                    engines[i].restore_state(rec.store)?;
+                    let seg = if shards == 1 {
+                        segment_path(base, rec.wal_gen)
+                    } else {
+                        shard_segment_path(base, i as u32, rec.wal_gen)
+                    };
+                    // `open` re-truncates the same torn bytes `recover`
+                    // already counted, so its torn count is not added.
+                    let (writer, _torn) = WalWriter::open(&seg, fsync)?;
+                    durabilities.push(Some(Durability {
+                        writer,
+                        base: base.clone(),
+                        gen: rec.wal_gen,
+                        snapshot_path: snapshot_path.clone(),
+                        metrics: metrics.clone(),
+                        rotated_stats: WalWriterStats::default(),
+                        published: WalWriterStats::default(),
+                        boot_resumed: resumed,
+                        shard: i as u32,
+                        shards_total: shards,
+                    }));
+                }
+                metrics.recovered_ops.store(ops, Ordering::Relaxed);
                 metrics
                     .wal_discarded_bytes
-                    .store(rec.discarded_bytes, Ordering::Relaxed);
+                    .store(discarded_bytes, Ordering::Relaxed);
                 metrics
                     .wal_discarded_ops
-                    .store(rec.discarded_ops, Ordering::Relaxed);
-                let resumed = rec.resumed();
-                engine.restore_state(rec.store)?;
-                // `open` re-truncates the same torn bytes `recover`
-                // already counted, so its torn count is not added.
-                let (writer, _torn) = WalWriter::open(&segment_path(base, rec.wal_gen), fsync)?;
+                    .store(discarded_ops, Ordering::Relaxed);
                 metrics
                     .recovery_ms
                     .store(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
-                Some(Durability {
-                    writer,
-                    base: base.clone(),
-                    gen: rec.wal_gen,
-                    snapshot_path: snapshot_path.clone(),
-                    metrics: metrics.clone(),
-                    rotated_stats: WalWriterStats::default(),
-                    boot_resumed: resumed,
-                })
             }
-            None => None,
-        };
-        if let Some(setup) = setup {
-            setup(&mut engine);
+            None => durabilities.extend((0..shards).map(|_| None)),
+        }
+        if let Some(setup) = &setup {
+            for engine in &mut engines {
+                setup(engine);
+            }
+        }
+        // Derive the routing keys from the registered rules. Rules
+        // whose matches can cross entities are rejected here, with the
+        // shard count that would accept them.
+        let mut router = ShardRouter::new(shards);
+        for rule in engines[0].state_rules() {
+            router.observe_rule(rule)?;
+        }
+        let router = Arc::new(router);
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ack_table = Arc::new(AckTable::default());
+        let per_shard_capacity = (queue_capacity / shards as usize).max(1);
+        let mut shard_txs = Vec::with_capacity(shards as usize);
+        let mut shard_threads = Vec::with_capacity(shards as usize);
+        for (i, (engine, durability)) in engines.into_iter().zip(durabilities).enumerate() {
+            let (tx, rx) = channel::bounded(per_shard_capacity);
+            shard_txs.push(tx);
+            let ctx = ShardCtx {
+                id: i as u32,
+                shards_total: shards,
+                engine,
+                rx,
+                snapshot_path: snapshot_path.clone(),
+                durability,
+                batch_max,
+                gc_horizon,
+                metrics: metrics.clone(),
+                ack_table: ack_table.clone(),
+            };
+            shard_threads.push(
+                thread::Builder::new()
+                    .name(format!("fenestra-shard-{i}"))
+                    .spawn(move || shard_loop(ctx))?,
+            );
         }
 
-        let (cmd_tx, cmd_rx) = channel::bounded(queue_capacity);
-        let shutdown = Arc::new(AtomicBool::new(false));
-
-        let engine_thread = {
-            let metrics = metrics.clone();
-            let shutdown = shutdown.clone();
-            thread::Builder::new()
-                .name("fenestra-engine".into())
-                .spawn(move || {
-                    engine_loop(
-                        engine,
-                        cmd_rx,
-                        snapshot_path,
-                        durability,
-                        batch_max,
-                        metrics,
-                        shutdown,
-                        addr,
-                    )
-                })?
-        };
+        let coord = Arc::new(ShutdownCoord {
+            shard_txs: shard_txs.clone(),
+            ack_table: ack_table.clone(),
+            shutdown: shutdown.clone(),
+            started: AtomicBool::new(false),
+            addr,
+        });
 
         let listener_thread = {
             let ctx = Arc::new(ConnCtx {
-                cmd_tx: cmd_tx.clone(),
+                shard_txs: shard_txs.clone(),
+                router,
+                ack_table,
+                coord: coord.clone(),
                 backpressure,
                 durable_acks,
                 metrics: metrics.clone(),
@@ -207,25 +441,42 @@ impl Server {
                 .spawn(move || accept_loop(listener, ctx))?
         };
 
-        if let Some(every) = snapshot_every {
-            let tx = cmd_tx.clone();
+        // Snapshot/GC cadence: the snapshot tick also runs GC when a
+        // horizon is configured; a horizon without periodic snapshots
+        // gets its own ticker at the horizon interval.
+        let tick = match (snapshot_every, gc_horizon) {
+            (Some(every), _) => Some((every, true)),
+            (None, Some(horizon)) => Some((horizon, false)),
+            (None, None) => None,
+        };
+        if let Some((every, with_snapshot)) = tick {
+            let txs = shard_txs;
             let stop = shutdown.clone();
+            let gc = gc_horizon.is_some();
             thread::Builder::new()
                 .name("fenestra-snapshot".into())
                 .spawn(move || loop {
                     thread::sleep(std::time::Duration::from_millis(every.as_millis().max(1)));
-                    if stop.load(Ordering::SeqCst) || tx.send(EngineCmd::Snapshot).is_err() {
+                    if stop.load(Ordering::SeqCst) {
                         break;
+                    }
+                    for tx in &txs {
+                        if with_snapshot && tx.send(ShardCmd::Snapshot).is_err() {
+                            return;
+                        }
+                        if gc && tx.send(ShardCmd::Gc).is_err() {
+                            return;
+                        }
                     }
                 })?;
         }
 
         Ok(ServerHandle {
             addr,
-            cmd_tx,
             metrics,
             shutdown,
-            engine_thread: Some(engine_thread),
+            coord,
+            shard_threads,
             listener_thread: Some(listener_thread),
         })
     }
@@ -242,24 +493,25 @@ impl ServerHandle {
         &self.metrics
     }
 
-    /// True once the engine thread has exited (e.g. a client issued
+    /// True once the shard threads have drained (e.g. a client issued
     /// the wire-level `shutdown` command).
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Graceful shutdown: drain the ingest queue, flush the engine,
-    /// write the snapshot (if configured), stop the threads. Same
-    /// path as the wire-level `shutdown` command. Idempotent.
+    /// Graceful shutdown: drain every shard queue, flush the engines,
+    /// write the snapshots (if configured), resolve every held ack,
+    /// stop the threads. Same path as the wire-level `shutdown`
+    /// command. Idempotent.
     pub fn shutdown(&mut self) {
-        let _ = self.cmd_tx.send(EngineCmd::Shutdown { reply: None });
+        self.coord.trigger();
         self.join();
     }
 
-    /// Wait for the engine and listener threads to exit (e.g. after a
+    /// Wait for the shard and listener threads to exit (e.g. after a
     /// client issued the `shutdown` command).
     pub fn join(&mut self) {
-        if let Some(t) = self.engine_thread.take() {
+        for t in self.shard_threads.drain(..) {
             let _ = t.join();
         }
         if let Some(t) = self.listener_thread.take() {
@@ -268,13 +520,16 @@ impl ServerHandle {
     }
 }
 
-// ----- engine thread --------------------------------------------------------
+// ----- shard threads --------------------------------------------------------
 
-/// The engine thread's durable-log state: the open segment writer plus
-/// everything the snapshot-coordinated rotation needs.
+/// A shard thread's durable-log state: the open segment writer plus
+/// everything the snapshot-coordinated rotation needs. With one shard
+/// total, file names are the legacy `base.gen` / bare snapshot path;
+/// with N, `base-{shard}-{gen}.seg` / `snapshot.shard{i}`, and the
+/// snapshot header carries the shard identity recovery validates.
 struct Durability {
     writer: WalWriter,
-    /// Segment base path; the open segment is `segment_path(base, gen)`.
+    /// Segment base path.
     base: PathBuf,
     gen: u64,
     snapshot_path: Option<PathBuf>,
@@ -282,32 +537,49 @@ struct Durability {
     /// Counters accumulated by writers of already-rotated segments
     /// (each `WalWriter` counts from zero).
     rotated_stats: WalWriterStats,
+    /// Totals already folded into the shared metrics. N shards share
+    /// the counters, so publication adds deltas instead of storing.
+    published: WalWriterStats,
     /// Whether boot recovery replayed anything — if so, the loop
     /// checkpoints immediately so the next boot starts from a snapshot
     /// instead of re-replaying the same tail.
     boot_resumed: bool,
+    shard: u32,
+    shards_total: u32,
 }
 
 impl Durability {
-    /// Mirror writer counters into the server metrics.
-    fn publish_stats(&self) {
+    fn segment(&self, gen: u64) -> PathBuf {
+        if self.shards_total == 1 {
+            segment_path(&self.base, gen)
+        } else {
+            shard_segment_path(&self.base, self.shard, gen)
+        }
+    }
+
+    /// Fold this writer's counter growth into the shared metrics.
+    fn publish_stats(&mut self) {
         let s = self.writer.stats();
+        let total = WalWriterStats {
+            appends: self.rotated_stats.appends + s.appends,
+            bytes: self.rotated_stats.bytes + s.bytes,
+            fsyncs: self.rotated_stats.fsyncs + s.fsyncs,
+        };
         let m = &self.metrics;
         m.wal_appends
-            .store(self.rotated_stats.appends + s.appends, Ordering::Relaxed);
+            .fetch_add(total.appends - self.published.appends, Ordering::Relaxed);
         m.wal_bytes
-            .store(self.rotated_stats.bytes + s.bytes, Ordering::Relaxed);
+            .fetch_add(total.bytes - self.published.bytes, Ordering::Relaxed);
         m.fsyncs
-            .store(self.rotated_stats.fsyncs + s.fsyncs, Ordering::Relaxed);
+            .fetch_add(total.fsyncs - self.published.fsyncs, Ordering::Relaxed);
+        self.published = total;
     }
 
     /// Append the ops the engine applied since the last drain — the
     /// **group commit**: one frame (and, under `always`, one fsync) for
-    /// however many events the batch covered. This runs once per ingest
-    /// batch, which is also what keeps the engine's in-memory journal
-    /// bounded. Returns `Some(ops appended)` on success (0 when the
-    /// journal was empty), `None` if the append failed — callers
-    /// holding deferred acks must then report the failure, not ack.
+    /// however many events the batch covered. Returns `Some(ops)` on
+    /// success (0 when the journal was empty), `None` if the append
+    /// failed — held acks must then report the failure, not ack.
     fn drain(&mut self, engine: &mut Engine) -> Option<usize> {
         let ops = engine.take_journal();
         let mut appended = Some(ops.len());
@@ -326,13 +598,11 @@ impl Durability {
 
     /// Drain, make the open segment durable, and — when a snapshot path
     /// is configured — rotate: start segment `gen+1` empty, write a
-    /// compact snapshot stamped `wal_gen = gen+1`, then delete segment
-    /// `gen`. Every crash window recovers: before the snapshot rename
-    /// lands, recovery uses the old snapshot + full old segment; after,
-    /// the new snapshot + (empty or missing) new segment. Returns
-    /// whether the drain and sync both succeeded (the durability
-    /// outcome deferred acks depend on; rotation failures only delay
-    /// compaction, never durability).
+    /// compact snapshot stamped `wal_gen = gen+1` (and, sharded, with
+    /// this shard's identity), then delete segment `gen`. Every crash
+    /// window recovers. Returns whether the drain and sync both
+    /// succeeded (the durability outcome held acks depend on; rotation
+    /// failures only delay compaction, never durability).
     fn checkpoint(&mut self, engine: &mut Engine) -> bool {
         let committed = self.drain(engine).is_some();
         if let Err(e) = self.writer.sync() {
@@ -348,7 +618,7 @@ impl Durability {
             return committed; // Nothing to rotate against; the segment just grows.
         };
         let next_gen = self.gen + 1;
-        let next_path = segment_path(&self.base, next_gen);
+        let next_path = self.segment(next_gen);
         let next_writer = match WalWriter::create(&next_path, self.writer.policy()) {
             Ok(w) => w,
             Err(e) => {
@@ -359,13 +629,24 @@ impl Durability {
                 return committed;
             }
         };
-        if let Err(e) = engine.save_state_compact(&snap, next_gen) {
+        let saved = if self.shards_total == 1 {
+            engine.save_state_compact(&snap, next_gen)
+        } else {
+            fenestra_temporal::persist::save_compact_sharded(
+                &engine.store(),
+                shard_snapshot_path(&snap, self.shard),
+                next_gen,
+                self.shard,
+                self.shards_total,
+            )
+        };
+        if let Err(e) = saved {
             // The snapshot still names the old generation; keep
             // appending to the old segment and retry next checkpoint.
             eprintln!("fenestrad: snapshot to {} failed: {e}", snap.display());
             return committed;
         }
-        let old_path = segment_path(&self.base, self.gen);
+        let old_path = self.segment(self.gen);
         self.rotated_stats.appends += self.writer.stats().appends;
         self.rotated_stats.bytes += self.writer.stats().bytes;
         self.rotated_stats.fsyncs += self.writer.stats().fsyncs;
@@ -381,17 +662,33 @@ impl Durability {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn engine_loop(
-    mut engine: Engine,
-    rx: Receiver<EngineCmd>,
+/// Everything one shard thread owns.
+struct ShardCtx {
+    id: u32,
+    shards_total: u32,
+    engine: Engine,
+    rx: Receiver<ShardCmd>,
     snapshot_path: Option<PathBuf>,
-    mut durability: Option<Durability>,
+    durability: Option<Durability>,
     batch_max: usize,
+    gc_horizon: Option<Duration>,
     metrics: Arc<ServerMetrics>,
-    shutdown: Arc<AtomicBool>,
-    addr: SocketAddr,
-) {
+    ack_table: Arc<AckTable>,
+}
+
+fn shard_loop(ctx: ShardCtx) {
+    let ShardCtx {
+        id,
+        shards_total,
+        mut engine,
+        rx,
+        snapshot_path,
+        mut durability,
+        batch_max,
+        gc_horizon,
+        metrics,
+        ack_table,
+    } = ctx;
     if let Some(d) = durability.as_mut() {
         if d.boot_resumed {
             // Fold the replayed tail into a fresh snapshot so the next
@@ -404,15 +701,16 @@ fn engine_loop(
         }
     }
     let mut watches: Vec<(Watch, Sender<String>)> = Vec::new();
-    // Durable-mode acks held until their events are actually covered
-    // by a fsynced WAL frame (see [`PendingAck`]), in admission order.
-    // Release is FIFO per connection — a connection never sees a later
-    // ack overtake an earlier one — but one connection's uncovered
-    // frame does not hold up covered frames from other connections.
-    let mut pending_acks: VecDeque<PendingAck> = VecDeque::new();
+    // Durable-mode ack parts held until this shard's events are
+    // actually covered by a fsynced WAL frame, in admission order.
+    let mut pending: VecDeque<AckPart> = VecDeque::new();
+    // Highest event timestamp applied on this shard (the GC horizon's
+    // reference point).
+    let mut last_ts: u64 = 0;
+    let held_acks = Arc::new(AtomicU64::new(0));
     // A non-ingest command pulled off the queue while coalescing an
     // ingest batch; handled on the next iteration (FIFO preserved).
-    let mut deferred_cmd: Option<EngineCmd> = None;
+    let mut deferred_cmd: Option<ShardCmd> = None;
     loop {
         let cmd = match deferred_cmd.take() {
             Some(cmd) => cmd,
@@ -423,23 +721,22 @@ fn engine_loop(
         };
         let mut quit = false;
         // Whether this command may have changed queryable state. Pure
-        // reads (`Query`, `Stats`) and checkpoints leave it false, so
-        // standing watches are not re-polled (no store read lock, no
-        // re-evaluation) on their account.
+        // reads (`Query*`, `Stats*`) and checkpoints leave it false, so
+        // standing watches are not re-polled on their account.
         let mut poll = false;
         match cmd {
-            cmd @ (EngineCmd::Ingest(..) | EngineCmd::IngestBatch(..)) => {
+            ShardCmd::Ingest(evs, ack) => {
                 // Group commit: greedily drain the queue into one event
                 // batch (up to `batch_max` events), apply it in one
                 // engine pass, append ONE WAL frame, fsync once, and
-                // poll watches once — instead of once per event.
-                let (mut batch, mut acks) = into_batch(cmd);
+                // poll watches once — instead of once per part.
+                let mut batch = evs;
+                let mut acks: VecDeque<AckPart> = ack.into_iter().collect();
                 while batch.len() < batch_max {
                     match rx.try_recv() {
-                        Ok(cmd @ (EngineCmd::Ingest(..) | EngineCmd::IngestBatch(..))) => {
-                            let (evs, more) = into_batch(cmd);
+                        Ok(ShardCmd::Ingest(evs, ack)) => {
                             batch.extend(evs);
-                            acks.extend(more);
+                            acks.extend(ack);
                         }
                         Ok(other) => {
                             deferred_cmd = Some(other);
@@ -449,6 +746,7 @@ fn engine_loop(
                     }
                 }
                 let n = batch.len() as u64;
+                last_ts = last_ts.max(batch.iter().map(|e| e.ts.millis()).max().unwrap_or(0));
                 let late = engine.push_batch(batch);
                 if late > 0 {
                     // Deferred or not, the ack means "accepted", not
@@ -471,83 +769,129 @@ fn engine_loop(
                     },
                     None => true,
                 };
-                // Durable-ack mode: the group fsync (inside the append,
-                // policy `always`) covers exactly the events that have
-                // drained out of the reorder buffer — release, in FIFO
-                // order, every held ack whose events all have. Frames
+                // Durable-ack mode: the group fsync covers exactly the
+                // events that have drained out of the reorder buffer —
+                // vote every held part whose events all have. Parts
                 // still (partly) in the buffer stay held until a later
-                // batch advances the watermark past them. On append
-                // failure, report instead of lying about durability.
+                // batch advances this shard's watermark past them. On
+                // append failure, report instead of lying about
+                // durability.
                 if committed {
-                    pending_acks.extend(acks);
-                    release_covered(&mut pending_acks, &engine);
+                    pending.extend(acks);
+                    release_covered(&mut pending, &engine, &ack_table);
                 } else {
-                    fail_acks(pending_acks.drain(..).chain(acks));
+                    for p in pending.drain(..).chain(acks) {
+                        ack_table.vote(&p.frame, false);
+                    }
                 }
+                held_acks.store(pending.len() as u64, Ordering::Relaxed);
                 poll = n > late;
             }
-            EngineCmd::Query { text, reply } => {
-                metrics.queries.fetch_add(1, Ordering::Relaxed);
+            ShardCmd::QueryLine { text, reply } => {
                 let line = match engine.query(&text) {
                     Ok(res) => proto::query_reply(&res, Some(&engine.store())),
                     Err(e) => proto::error(&e.to_string()),
                 };
                 let _ = reply.send(line);
             }
-            EngineCmd::Watch { name, text, sink } => match parse_select(&text) {
-                Ok(q) => {
-                    metrics.watches.fetch_add(1, Ordering::Relaxed);
-                    let _ = sink.send(proto::watch_ack(&name));
-                    watches.push((Watch::new(name.as_str(), q), sink));
-                    // Poll so the new watch delivers its initial rows.
-                    poll = true;
-                }
-                Err(e) => {
-                    let _ = sink.send(proto::error(&e.to_string()));
-                }
-            },
-            EngineCmd::Stats { reply } => {
+            ShardCmd::QueryRows { q, reply } => {
+                let res = partial_select(&engine.store(), &q, QueryOptions::default())
+                    .map_err(|e| e.to_string());
+                let _ = reply.send(res);
+            }
+            ShardCmd::QueryHistory {
+                entity,
+                attr,
+                reply,
+            } => {
+                let store = engine.store();
+                let spans = store.lookup_entity(entity).map(|e| {
+                    store
+                        .history(e, attr)
+                        .into_iter()
+                        .map(|(iv, v, prov)| {
+                            let v = match v {
+                                Value::Id(id) => store
+                                    .entity_name(id)
+                                    .map(Value::Str)
+                                    .unwrap_or(Value::Id(id)),
+                                other => other,
+                            };
+                            (iv, v, prov)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                let _ = reply.send(spans);
+            }
+            ShardCmd::Watch { name, q, sink } => {
+                watches.push((Watch::new(name.as_str(), q), sink));
+                // Poll so the new watch delivers its initial rows.
+                poll = true;
+            }
+            ShardCmd::StatsLine { reply } => {
                 let line = proto::stats_reply(
                     fenestra_wire::metrics::metrics_json_value(&engine.metrics()),
                     metrics.json_value(),
                 );
                 let _ = reply.send(line);
             }
-            EngineCmd::Snapshot => match durability.as_mut() {
+            ShardCmd::StatsJson { reply } => {
+                let _ = reply.send(ShardStats {
+                    shard: id,
+                    engine: engine.metrics(),
+                    held_acks: pending.len() as u64,
+                });
+            }
+            ShardCmd::Snapshot => match durability.as_mut() {
                 Some(d) => {
                     if d.checkpoint(&mut engine) {
-                        release_covered(&mut pending_acks, &engine);
+                        release_covered(&mut pending, &engine, &ack_table);
                     } else {
-                        fail_acks(pending_acks.drain(..));
+                        for p in pending.drain(..) {
+                            ack_table.vote(&p.frame, false);
+                        }
                     }
                 }
-                None => snapshot(&engine, &snapshot_path),
+                None => snapshot(&engine, &snapshot_path, id, shards_total),
             },
-            EngineCmd::Shutdown { reply } => {
-                // FIFO queue: every ingest admitted before this command
+            ShardCmd::Gc => {
+                if let Some(horizon) = gc_horizon {
+                    if last_ts > horizon.as_millis() {
+                        let removed = engine.gc(Timestamp::new(last_ts - horizon.as_millis()));
+                        if removed > 0 {
+                            metrics
+                                .gc_removed
+                                .fetch_add(removed as u64, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            ShardCmd::Shutdown { done } => {
+                // FIFO queue: every part admitted before this command
                 // has already been applied. Flush and persist —
-                // `finish` also drains the reorder buffer, so every
-                // still-held ack is releasable once the final
-                // checkpoint commits.
+                // `finish` drains the reorder buffer, so every still-
+                // held ack part is coverable by the final checkpoint.
                 engine.finish();
                 let committed = match durability.as_mut() {
                     Some(d) => d.checkpoint(&mut engine),
                     None => {
-                        snapshot(&engine, &snapshot_path);
+                        snapshot(&engine, &snapshot_path, id, shards_total);
                         true
                     }
                 };
                 if committed {
-                    release_covered(&mut pending_acks, &engine);
-                } else {
-                    fail_acks(pending_acks.drain(..));
+                    release_covered(&mut pending, &engine, &ack_table);
                 }
-                if let Some(reply) = reply {
-                    let _ = reply.send(proto::bye());
+                // After `finish` the buffer is empty, so a successful
+                // checkpoint covered everything; anything left (only on
+                // failure) is voted down — no ack is left hanging.
+                for p in pending.drain(..) {
+                    ack_table.vote(&p.frame, false);
                 }
                 // finish() may have drained buffered events into state.
                 poll = true;
                 quit = true;
+                let _ = done.send(());
             }
         }
         // Push view updates for whatever the command changed; drop
@@ -565,75 +909,33 @@ fn engine_loop(
             break;
         }
     }
-    shutdown.store(true, Ordering::SeqCst);
-    // Wake the accept loop so it notices the flag.
-    let _ = TcpStream::connect(addr);
 }
 
-/// Split an ingest command into its events and (optional) deferred
-/// ack, stamped with the frame's highest event timestamp so release
-/// can wait for the reorder buffer to pass the whole frame.
-fn into_batch(cmd: EngineCmd) -> (Vec<Event>, Vec<PendingAck>) {
-    let (evs, ack) = match cmd {
-        EngineCmd::Ingest(ev, ack) => (vec![ev], ack),
-        EngineCmd::IngestBatch(evs, ack) => (evs, ack),
-        _ => unreachable!("into_batch is only called on ingest commands"),
-    };
-    let max_ts = evs.iter().map(|e| e.ts).max();
-    let pending = ack.map(|ack| PendingAck { ack, max_ts });
-    (evs, pending.into_iter().collect())
-}
-
-/// Release every held ack whose events have all drained out of the
-/// reorder buffer (and were hence covered by the WAL commit that just
-/// succeeded) — including frames dropped entirely as late, which left
-/// nothing behind to persist. Release is FIFO *per connection*: a
-/// covered ack stays held while an earlier frame from the same
-/// connection is still uncovered, so each connection's ack stream is
-/// monotone — but an uncovered frame never starves other connections
-/// (the stream-head frame's ack can be held for a long time on an
-/// idle stream, and late frames admitted behind it would otherwise
-/// wait with it). With `max_lateness == 0` the buffer is always empty
-/// after a push, so every held ack releases immediately.
-fn release_covered(pending: &mut VecDeque<PendingAck>, engine: &Engine) {
+/// Vote success for every held part whose events have all drained out
+/// of this shard's reorder buffer (and were hence covered by the WAL
+/// commit that just succeeded) — including parts dropped entirely as
+/// late, which left nothing behind to persist. Votes can complete in
+/// any order here; the [`AckTable`] serializes each connection's ack
+/// lines into admission order. With `max_lateness == 0` the buffer is
+/// always empty after a push, so every held part votes immediately.
+fn release_covered(pending: &mut VecDeque<AckPart>, engine: &Engine, table: &AckTable) {
     if pending.is_empty() {
         return;
     }
     let low = engine.buffered_low_ts();
-    // Connections whose oldest held frame is still uncovered; few
-    // connections ever hold uncovered frames at once, so a linear
-    // scan beats a hash set.
-    let mut blocked: Vec<u64> = Vec::new();
-    let mut kept = VecDeque::new();
-    for p in pending.drain(..) {
+    pending.retain(|p| {
         let covered = match (p.max_ts, low) {
             (None, _) | (_, None) => true,
             (Some(max_ts), Some(low)) => max_ts < low,
         };
-        if covered && !blocked.contains(&p.ack.conn) {
-            let _ = p.ack.sink.send(p.ack.line);
-        } else {
-            if !blocked.contains(&p.ack.conn) {
-                blocked.push(p.ack.conn);
-            }
-            kept.push_back(p);
+        if covered {
+            table.vote(&p.frame, true);
         }
-    }
-    *pending = kept;
+        !covered
+    });
 }
 
-/// A WAL append or sync failed: the log now has a hole, so no held ack
-/// can honestly claim durability anymore. Fail them all.
-fn fail_acks(acks: impl Iterator<Item = PendingAck>) {
-    for p in acks {
-        let _ = p
-            .ack
-            .sink
-            .send(proto::error("WAL append failed; events not durable"));
-    }
-}
-
-fn parse_select(text: &str) -> Result<fenestra_query::Query> {
+fn parse_select(text: &str) -> Result<Query> {
     match fenestra_query::parse_query(text)? {
         fenestra_query::ParsedQuery::Select(q) => Ok(q),
         fenestra_query::ParsedQuery::History { .. } => Err(Error::Invalid(
@@ -642,11 +944,23 @@ fn parse_select(text: &str) -> Result<fenestra_query::Query> {
     }
 }
 
-fn snapshot(engine: &Engine, path: &Option<PathBuf>) {
-    if let Some(p) = path {
-        if let Err(e) = engine.save_state(p) {
-            eprintln!("fenestrad: snapshot to {} failed: {e}", p.display());
-        }
+/// Non-durable snapshot write: the legacy single file with one shard,
+/// shard-stamped `path.shard{i}` files with N.
+fn snapshot(engine: &Engine, path: &Option<PathBuf>, shard: u32, shards_total: u32) {
+    let Some(p) = path else { return };
+    let res = if shards_total == 1 {
+        engine.save_state(p)
+    } else {
+        fenestra_temporal::persist::save_compact_sharded(
+            &engine.store(),
+            shard_snapshot_path(p, shard),
+            0,
+            shard,
+            shards_total,
+        )
+    };
+    if let Err(e) = res {
+        eprintln!("fenestrad: snapshot to {} failed: {e}", p.display());
     }
 }
 
@@ -659,7 +973,7 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ConnCtx>) {
         }
         let Ok(stream) = stream else { continue };
         // The connection counter doubles as the connection id held
-        // acks are keyed by (see [`Ack::conn`]).
+        // acks are keyed by (see [`FrameAck::conn`]).
         let conn_id = ctx.metrics.connections.fetch_add(1, Ordering::Relaxed);
         let ctx = ctx.clone();
         let _ = thread::Builder::new()
@@ -718,11 +1032,11 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64) {
             }
             Request::Batch(evs) => {
                 if evs.is_empty() && !ctx.durable_acks {
-                    // Nothing to admit; ack the frame without an engine
+                    // Nothing to admit; ack the frame without a shard
                     // round-trip. In durable-ack mode even empty frames
-                    // travel through the engine queue so their ack
-                    // cannot overtake a held ack for an earlier frame
-                    // on the same connection.
+                    // register in the ack table so their ack cannot
+                    // overtake a held ack for an earlier frame on the
+                    // same connection.
                     let _ = out_tx.send(proto::ack_batch(seq, 0));
                 } else {
                     seq += evs.len() as u64;
@@ -732,29 +1046,186 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64) {
                 }
             }
             Request::Query { text } => {
-                request_reply(&ctx, &out_tx, |reply| EngineCmd::Query { text, reply })
-            }
-            Request::Stats => request_reply(&ctx, &out_tx, |reply| EngineCmd::Stats { reply }),
-            Request::Watch { name, text } => {
-                let sink = out_tx.clone();
-                if ctx
-                    .cmd_tx
-                    .send(EngineCmd::Watch { name, text, sink })
-                    .is_err()
-                {
-                    let _ = out_tx.send(proto::error("server shutting down"));
+                ctx.metrics.queries.fetch_add(1, Ordering::Relaxed);
+                if ctx.shard_txs.len() == 1 {
+                    request_reply(&ctx.shard_txs[0], &out_tx, |reply| ShardCmd::QueryLine {
+                        text,
+                        reply,
+                    });
+                } else {
+                    fan_out_query(&ctx, &out_tx, &text);
                 }
             }
+            Request::Stats => {
+                if ctx.shard_txs.len() == 1 {
+                    request_reply(&ctx.shard_txs[0], &out_tx, |reply| ShardCmd::StatsLine {
+                        reply,
+                    });
+                } else {
+                    fan_out_stats(&ctx, &out_tx);
+                }
+            }
+            Request::Watch { name, text } => match parse_select(&text) {
+                Ok(q) => {
+                    ctx.metrics.watches.fetch_add(1, Ordering::Relaxed);
+                    let _ = out_tx.send(proto::watch_ack(&name));
+                    for tx in &ctx.shard_txs {
+                        let cmd = ShardCmd::Watch {
+                            name: name.clone(),
+                            q: q.clone(),
+                            sink: out_tx.clone(),
+                        };
+                        if tx.send(cmd).is_err() {
+                            let _ = out_tx.send(proto::error("server shutting down"));
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    let _ = out_tx.send(proto::error(&e.to_string()));
+                }
+            },
             Request::Shutdown => {
-                request_reply(&ctx, &out_tx, |reply| EngineCmd::Shutdown {
-                    reply: Some(reply),
-                });
+                // Drains every shard (all parts admitted before this
+                // line on this connection are covered by FIFO shard
+                // queues), resolves every held ack, then confirms.
+                ctx.coord.trigger();
+                let _ = out_tx.send(proto::bye());
                 break;
             }
         }
     }
     drop(out_tx);
     let _ = writer.join();
+}
+
+/// Fan a query out to every shard and merge (N > 1 only; one shard
+/// uses the legacy byte-identical path). The text is parsed once here;
+/// selects merge via [`merge_rows`], history returns the one shard's
+/// timeline that knows the entity.
+fn fan_out_query(ctx: &ConnCtx, out_tx: &Sender<String>, text: &str) {
+    match fenestra_query::parse_query(text) {
+        Err(e) => {
+            let _ = out_tx.send(proto::error(&e.to_string()));
+        }
+        Ok(fenestra_query::ParsedQuery::Select(q)) => {
+            let q = Arc::new(q);
+            let mut replies = Vec::with_capacity(ctx.shard_txs.len());
+            for tx in &ctx.shard_txs {
+                let (rtx, rrx) = channel::bounded(1);
+                if tx
+                    .send(ShardCmd::QueryRows {
+                        q: q.clone(),
+                        reply: rtx,
+                    })
+                    .is_err()
+                {
+                    let _ = out_tx.send(proto::error("server shutting down"));
+                    return;
+                }
+                replies.push(rrx);
+            }
+            let mut parts = Vec::with_capacity(replies.len());
+            for rrx in replies {
+                match rrx.recv() {
+                    Ok(Ok(rows)) => parts.push(rows),
+                    Ok(Err(msg)) => {
+                        let _ = out_tx.send(proto::error(&msg));
+                        return;
+                    }
+                    Err(_) => {
+                        let _ = out_tx.send(proto::error("server shutting down"));
+                        return;
+                    }
+                }
+            }
+            let rows = merge_rows(&q, parts);
+            let _ = out_tx.send(proto::query_reply(&QueryResult::Rows(rows), None));
+        }
+        Ok(fenestra_query::ParsedQuery::History { entity, attr }) => {
+            let mut replies = Vec::with_capacity(ctx.shard_txs.len());
+            for tx in &ctx.shard_txs {
+                let (rtx, rrx) = channel::bounded(1);
+                if tx
+                    .send(ShardCmd::QueryHistory {
+                        entity,
+                        attr,
+                        reply: rtx,
+                    })
+                    .is_err()
+                {
+                    let _ = out_tx.send(proto::error("server shutting down"));
+                    return;
+                }
+                replies.push(rrx);
+            }
+            let mut found: Option<HistorySpans> = None;
+            for rrx in replies {
+                match rrx.recv() {
+                    Ok(Some(spans)) if found.is_none() => found = Some(spans),
+                    Ok(_) => {}
+                    Err(_) => {
+                        let _ = out_tx.send(proto::error("server shutting down"));
+                        return;
+                    }
+                }
+            }
+            let line = match found {
+                // Ids were resolved shard-side; no store needed here.
+                Some(spans) => proto::query_reply(&QueryResult::History(spans), None),
+                None => {
+                    proto::error(&Error::Invalid(format!("unknown entity `{entity}`")).to_string())
+                }
+            };
+            let _ = out_tx.send(line);
+        }
+    }
+}
+
+/// Aggregate `stats` across shards (N > 1 only): engine counters are
+/// summed, the shared server counters reported once, and each shard's
+/// own counters listed under `"shards"` (see `fenestra-wire`'s stats
+/// schema docs).
+fn fan_out_stats(ctx: &ConnCtx, out_tx: &Sender<String>) {
+    let mut replies = Vec::with_capacity(ctx.shard_txs.len());
+    for tx in &ctx.shard_txs {
+        let (rtx, rrx) = channel::bounded(1);
+        if tx.send(ShardCmd::StatsJson { reply: rtx }).is_err() {
+            let _ = out_tx.send(proto::error("server shutting down"));
+            return;
+        }
+        replies.push(rrx);
+    }
+    let mut merged = EngineMetrics::default();
+    let mut per_shard = Vec::with_capacity(replies.len());
+    for rrx in replies {
+        match rrx.recv() {
+            Ok(s) => {
+                merged.merge(&s.engine);
+                let mut obj = Map::new();
+                obj.insert("shard".into(), Json::from(s.shard));
+                obj.insert(
+                    "engine".into(),
+                    fenestra_wire::metrics::metrics_json_value(&s.engine),
+                );
+                obj.insert("held_acks".into(), Json::from(s.held_acks));
+                per_shard.push(Json::Object(obj));
+            }
+            Err(_) => {
+                let _ = out_tx.send(proto::error("server shutting down"));
+                return;
+            }
+        }
+    }
+    let mut obj = Map::new();
+    obj.insert("ok".into(), Json::Bool(true));
+    obj.insert(
+        "engine".into(),
+        fenestra_wire::metrics::metrics_json_value(&merged),
+    );
+    obj.insert("server".into(), ctx.metrics.json_value());
+    obj.insert("shards".into(), Json::Array(per_shard));
+    let _ = out_tx.send(Json::Object(obj).to_string());
 }
 
 /// One ingest frame off the wire: a plain event line, or a
@@ -764,12 +1235,16 @@ enum Frame {
     Many(Vec<Event>),
 }
 
-/// Enqueue one ingest frame under the configured backpressure policy.
-/// A batch frame is admitted (or shed) atomically: one queue slot, one
-/// ack. Under durable acks the ack line travels with the command and
-/// the engine thread releases it once the frame's events are durable
-/// (see [`PendingAck`]); otherwise it is sent here, at admit time.
-/// Returns `false` when the server is shutting down.
+/// Admit one ingest frame: split it by route, enqueue each part on its
+/// shard under the configured backpressure policy, and arrange the
+/// ack. A frame is admitted (or shed) atomically: under `Shed`, a
+/// frame touching several shards is shed whole if any target queue is
+/// full at admission time (the check-then-send window makes this best
+/// effort — a frame may block briefly instead of shedding — but a
+/// frame is never half-shed). Under durable acks the ack is released
+/// by the last touched shard's covering group commit (see
+/// [`AckTable`]); otherwise it is sent here, at admit time. Returns
+/// `false` when the server is shutting down.
 fn ingest(
     ctx: &ConnCtx,
     out_tx: &Sender<String>,
@@ -777,59 +1252,123 @@ fn ingest(
     frame: Frame,
     last_seq: u64,
 ) -> bool {
-    let count = match &frame {
-        Frame::One(_) => 1,
-        Frame::Many(evs) => evs.len() as u64,
+    let (evs, ack_line) = match frame {
+        Frame::One(ev) => (vec![ev], proto::ack(last_seq)),
+        Frame::Many(evs) => {
+            let n = evs.len() as u64;
+            (evs, proto::ack_batch(last_seq, n))
+        }
     };
-    let mut immediate_ack = Some(match &frame {
-        Frame::One(_) => proto::ack(last_seq),
-        Frame::Many(_) => proto::ack_batch(last_seq, count),
-    });
-    let ack = if ctx.durable_acks {
-        immediate_ack.take().map(|line| Ack {
+    let count = evs.len() as u64;
+    // Split by route, preserving arrival order within each shard.
+    let shards = ctx.shard_txs.len();
+    let mut parts: Vec<Vec<Event>> = vec![Vec::new(); shards];
+    if shards == 1 {
+        parts[0] = evs;
+    } else {
+        for ev in evs {
+            parts[ctx.router.route(&ev) as usize].push(ev);
+        }
+    }
+    let targets: Vec<usize> = (0..shards).filter(|&i| !parts[i].is_empty()).collect();
+
+    let frame_ack = if ctx.durable_acks {
+        let f = Arc::new(FrameAck {
             conn: conn_id,
             sink: out_tx.clone(),
-            line,
-        })
+            line: ack_line.clone(),
+            remaining: AtomicUsize::new(targets.len()),
+            failed: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+        });
+        // Register before any part can be voted on; an empty frame
+        // completes immediately (but still queues behind earlier
+        // frames' acks).
+        ctx.ack_table.register(f.clone());
+        Some(f)
     } else {
         None
     };
-    let cmd = match frame {
-        Frame::One(ev) => EngineCmd::Ingest(ev, ack),
-        Frame::Many(evs) => EngineCmd::IngestBatch(evs, ack),
-    };
-    let admitted = match ctx.backpressure {
-        Backpressure::Block => {
-            if ctx.cmd_tx.send(cmd).is_err() {
-                let _ = out_tx.send(proto::error("server shutting down"));
-                return false;
+
+    // Admission. Single-target frames use an atomic try_send under
+    // `Shed` (exactly the unsharded semantics); multi-target frames
+    // pre-check fullness so the frame sheds whole or not at all.
+    let admitted = if targets.is_empty() {
+        true // Empty durable frame: registered above, nothing to send.
+    } else {
+        let shed_now = ctx.backpressure == Backpressure::Shed
+            && targets.len() > 1
+            && targets.iter().any(|&i| {
+                let tx = &ctx.shard_txs[i];
+                tx.capacity().is_some_and(|cap| tx.len() >= cap)
+            });
+        if shed_now {
+            false
+        } else {
+            let mut ok = true;
+            for &i in &targets {
+                let part = std::mem::take(&mut parts[i]);
+                let max_ts = part.iter().map(|e| e.ts).max();
+                let ack = frame_ack.as_ref().map(|f| AckPart {
+                    frame: f.clone(),
+                    max_ts,
+                });
+                let cmd = ShardCmd::Ingest(part, ack);
+                let sent = match ctx.backpressure {
+                    Backpressure::Shed if targets.len() == 1 => {
+                        match ctx.shard_txs[i].try_send(cmd) {
+                            Ok(()) => true,
+                            Err(TrySendError::Full(_)) => {
+                                ok = false;
+                                false
+                            }
+                            Err(TrySendError::Disconnected(_)) => {
+                                if let Some(f) = &frame_ack {
+                                    ctx.ack_table.unregister_last(f);
+                                }
+                                let _ = out_tx.send(proto::error("server shutting down"));
+                                return false;
+                            }
+                        }
+                    }
+                    _ => {
+                        if ctx.shard_txs[i].send(cmd).is_err() {
+                            if let Some(f) = &frame_ack {
+                                ctx.ack_table.unregister_last(f);
+                            }
+                            let _ = out_tx.send(proto::error("server shutting down"));
+                            return false;
+                        }
+                        true
+                    }
+                };
+                if sent {
+                    ctx.metrics
+                        .observe_queue_depth(ctx.shard_txs[i].len() as u64);
+                }
             }
-            true
+            ok
         }
-        Backpressure::Shed => match ctx.cmd_tx.try_send(cmd) {
-            Ok(()) => true,
-            Err(TrySendError::Full(_)) => {
-                ctx.metrics.shed.fetch_add(count, Ordering::Relaxed);
-                let _ = out_tx.send(proto::shed(last_seq, count));
-                false
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                let _ = out_tx.send(proto::error("server shutting down"));
-                return false;
-            }
-        },
     };
+
     if admitted {
         ctx.metrics.events.fetch_add(count, Ordering::Relaxed);
         if ctx.durable_acks {
-            // Counted only once the frame actually entered the queue —
+            // Counted only once the frame actually entered the queues —
             // a shed frame's ack was never deferred, it never existed.
             ctx.metrics.acks_deferred.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = out_tx.send(ack_line);
         }
-        ctx.metrics.observe_queue_depth(ctx.cmd_tx.len() as u64);
-        if let Some(line) = immediate_ack {
-            let _ = out_tx.send(line);
+    } else {
+        // Shed the whole frame (only reachable under `Shed`, and only
+        // before any part was sent — single-target try_send, or the
+        // multi-target pre-check).
+        if let Some(f) = &frame_ack {
+            ctx.ack_table.unregister_last(f);
         }
+        ctx.metrics.shed.fetch_add(count, Ordering::Relaxed);
+        let _ = out_tx.send(proto::shed(last_seq, count));
     }
     true
 }
@@ -837,12 +1376,12 @@ fn ingest(
 /// Send a command carrying a one-shot reply channel and forward the
 /// reply (or a shutdown notice) to the connection's writer.
 fn request_reply(
-    ctx: &ConnCtx,
+    tx: &Sender<ShardCmd>,
     out_tx: &Sender<String>,
-    make: impl FnOnce(Sender<String>) -> EngineCmd,
+    make: impl FnOnce(Sender<String>) -> ShardCmd,
 ) {
     let (rtx, rrx) = channel::bounded(1);
-    if ctx.cmd_tx.send(make(rtx)).is_err() {
+    if tx.send(make(rtx)).is_err() {
         let _ = out_tx.send(proto::error("server shutting down"));
         return;
     }
@@ -960,5 +1499,190 @@ mod tests {
         assert!(rx.next().unwrap().contains(r#""ok":true"#));
 
         handle.shutdown();
+    }
+
+    #[test]
+    fn sharded_server_spreads_events_and_merges_queries() {
+        let dir = std::env::temp_dir().join(format!("fenestra-srv-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("state.json");
+        let wal = dir.join("log");
+        let config = || {
+            ServerConfig::new("127.0.0.1:0")
+                .shards(4)
+                .snapshot_path(&snap)
+                .wal_path(&wal)
+                .setup(|engine| {
+                    engine
+                        .add_rules_text("rule mv:\n on s\n replace $(visitor).room = room")
+                        .unwrap();
+                })
+        };
+
+        let mut handle = Server::start(config()).unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut input = stream.try_clone().unwrap();
+        let mut rx = lines(&stream);
+        for ts in 1..=16 {
+            writeln!(
+                input,
+                r#"{{"stream":"s","ts":{ts},"visitor":"v{ts}","room":"lab"}}"#
+            )
+            .unwrap();
+            assert!(rx.next().unwrap().contains(r#""ok":true"#));
+        }
+        // Fan-out select sees every entity regardless of its shard.
+        writeln!(
+            input,
+            r#"{{"cmd":"query","q":"select ?v where {{ ?v room \"lab\" }}"}}"#
+        )
+        .unwrap();
+        let reply = rx.next().unwrap();
+        for v in (1..=16).map(|i| format!("v{i}")) {
+            assert!(reply.contains(&v), "missing {v} in: {reply}");
+        }
+        // Count merges globally, not per shard.
+        writeln!(
+            input,
+            r#"{{"cmd":"query","q":"select count ?v where {{ ?v room \"lab\" }}"}}"#
+        )
+        .unwrap();
+        let reply = rx.next().unwrap();
+        assert!(reply.contains(r#""count":16"#), "got: {reply}");
+        // Stats aggregate across shards and break them out.
+        writeln!(input, r#"{{"cmd":"stats"}}"#).unwrap();
+        let stats = rx.next().unwrap();
+        let v: serde_json::Value = serde_json::from_str(&stats).unwrap();
+        let shard_events = |s: &Json| {
+            s.get("engine")
+                .and_then(|e| e.get("events"))
+                .and_then(Json::as_u64)
+        };
+        assert_eq!(shard_events(&v), Some(16), "got: {stats}");
+        let shards = v.get("shards").and_then(Json::as_array).unwrap();
+        assert_eq!(shards.len(), 4);
+        let spread: u64 = shards.iter().map(|s| shard_events(s).unwrap()).sum();
+        assert_eq!(spread, 16);
+        assert!(
+            shards.iter().filter(|s| shard_events(s) > Some(0)).count() > 1,
+            "16 distinct keys should span more than one shard: {stats}"
+        );
+
+        writeln!(input, r#"{{"cmd":"shutdown"}}"#).unwrap();
+        assert!(rx.next().unwrap().contains("bye"));
+        handle.join();
+        // Shard-addressed on-disk layout, one snapshot per shard.
+        for i in 0..4 {
+            assert!(
+                shard_snapshot_path(&snap, i).exists(),
+                "missing shard {i} snapshot"
+            );
+        }
+        assert!(!snap.exists(), "no legacy snapshot in sharded mode");
+
+        // Restarting with a contradicting shard count is refused.
+        let err = Server::start(
+            ServerConfig::new("127.0.0.1:0")
+                .shards(2)
+                .snapshot_path(&snap)
+                .wal_path(&wal),
+        );
+        assert!(err.is_err(), "shard-count mismatch must be rejected");
+
+        // Restarting with the matching count recovers everything.
+        let mut handle = Server::start(config()).unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut input = stream.try_clone().unwrap();
+        let mut rx = lines(&stream);
+        writeln!(
+            input,
+            r#"{{"cmd":"query","q":"select count ?v where {{ ?v room \"lab\" }}"}}"#
+        )
+        .unwrap();
+        assert!(rx.next().unwrap().contains(r#""count":16"#));
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_entity_rules_are_rejected_at_startup_when_sharded() {
+        let err = Server::start(ServerConfig::new("127.0.0.1:0").shards(4).setup(|engine| {
+            engine
+                .add_rules_text("rule pin:\n on s\n replace @global.last = visitor")
+                .unwrap();
+        }));
+        let msg = match err {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("fixed-entity rule must be rejected with --shards 4"),
+        };
+        assert!(msg.contains("--shards 1"), "no remedy in: {msg}");
+    }
+
+    #[test]
+    fn shutdown_mid_batch_leaves_no_ack_hanging() {
+        // Satellite: deterministic drain under sharding. Durable acks
+        // (`--fsync always` + WAL) with a lateness bound hold acks in
+        // the reorder buffer; a shutdown arriving mid-stream must
+        // release every one of them (covered by the final checkpoint)
+        // before the bye — none hanging, per-connection order intact.
+        let dir = std::env::temp_dir().join(format!("fenestra-srv-drain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine_cfg = fenestra_core::EngineConfig {
+            max_lateness: Duration::millis(60_000),
+            ..Default::default()
+        };
+        let mut handle = Server::start(
+            ServerConfig::new("127.0.0.1:0")
+                .shards(4)
+                .engine(engine_cfg)
+                .snapshot_path(dir.join("state.json"))
+                .wal_path(dir.join("log"))
+                .setup(|engine| {
+                    engine
+                        .add_rules_text("rule mv:\n on s\n replace $(visitor).room = room")
+                        .unwrap();
+                }),
+        )
+        .unwrap();
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut input = stream.try_clone().unwrap();
+        let mut rx = lines(&stream);
+        // A multi-shard batch frame plus single events, all of which
+        // sit in reorder buffers (lateness 60s, no watermark advance):
+        // every ack is held when the shutdown arrives.
+        writeln!(
+            input,
+            r#"{{"op":"ingest","events":[{{"stream":"s","ts":1000,"visitor":"a","room":"r"}},{{"stream":"s","ts":1001,"visitor":"b","room":"r"}},{{"stream":"s","ts":1002,"visitor":"c","room":"r"}},{{"stream":"s","ts":1003,"visitor":"d","room":"r"}}]}}"#
+        )
+        .unwrap();
+        for ts in 2000..2006 {
+            writeln!(
+                input,
+                r#"{{"stream":"s","ts":{ts},"visitor":"v{ts}","room":"r"}}"#
+            )
+            .unwrap();
+        }
+        writeln!(input, r#"{{"cmd":"shutdown"}}"#).unwrap();
+        // Exactly 7 acks (batch + 6 singles), in admission order, all
+        // before the bye.
+        let batch_ack = rx.next().unwrap();
+        assert!(
+            batch_ack.contains(r#""seq":4"#) && batch_ack.contains(r#""count":4"#),
+            "got: {batch_ack}"
+        );
+        for seq in 5..=10 {
+            let ack = rx.next().unwrap();
+            assert!(
+                ack.contains(r#""ok":true"#) && ack.contains(&format!(r#""seq":{seq}"#)),
+                "seq {seq} got: {ack}"
+            );
+        }
+        let bye = rx.next().unwrap();
+        assert!(bye.contains("bye"), "got: {bye}");
+        assert!(rx.next().is_none(), "no lines after bye");
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

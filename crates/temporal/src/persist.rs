@@ -40,9 +40,25 @@ const FORMAT_VERSION: u64 = 1;
 /// durable log is in play; the field is always written so checkpoint
 /// provenance is inspectable).
 pub fn ops_to_json(ops: &[WalOp], wal_gen: u64) -> String {
+    ops_to_json_inner(ops, wal_gen, None)
+}
+
+/// [`ops_to_json`] for one shard of a sharded deployment: the header
+/// additionally carries `"shard"` (this partition's index) and
+/// `"shards"` (the deployment's shard count), so recovery can reject a
+/// restart whose `--shards` does not match the files on disk.
+pub fn ops_to_json_sharded(ops: &[WalOp], wal_gen: u64, shard: u32, shards: u32) -> String {
+    ops_to_json_inner(ops, wal_gen, Some((shard, shards)))
+}
+
+fn ops_to_json_inner(ops: &[WalOp], wal_gen: u64, shard: Option<(u32, u32)>) -> String {
     let mut root = Map::new();
     root.insert("version".into(), Json::from(FORMAT_VERSION));
     root.insert("wal_gen".into(), Json::from(wal_gen));
+    if let Some((shard, shards)) = shard {
+        root.insert("shard".into(), Json::from(shard));
+        root.insert("shards".into(), Json::from(shards));
+    }
     root.insert(
         "ops".into(),
         Json::Array(ops.iter().map(op_to_json).collect()),
@@ -70,6 +86,11 @@ pub struct LoadedSnapshot {
     pub wal_gen: u64,
     /// Number of ops replayed.
     pub op_count: u64,
+    /// The shard this snapshot belongs to (`None` for single-shard /
+    /// legacy snapshots, which carry no shard header).
+    pub shard: Option<u32>,
+    /// The shard count of the deployment that wrote the snapshot.
+    pub shard_count: Option<u32>,
 }
 
 /// Rebuild a store from snapshot JSON, keeping the metadata.
@@ -85,6 +106,8 @@ pub fn from_json_with_meta(json: &str) -> Result<LoadedSnapshot> {
         )));
     }
     let wal_gen = root.get("wal_gen").and_then(Json::as_u64).unwrap_or(0);
+    let shard = root.get("shard").and_then(Json::as_u64).map(|s| s as u32);
+    let shard_count = root.get("shards").and_then(Json::as_u64).map(|s| s as u32);
     let ops = root
         .get("ops")
         .and_then(Json::as_array)
@@ -96,6 +119,8 @@ pub fn from_json_with_meta(json: &str) -> Result<LoadedSnapshot> {
         store: TemporalStore::replay(&ops)?,
         wal_gen,
         op_count: ops.len() as u64,
+        shard,
+        shard_count,
     })
 }
 
@@ -148,6 +173,22 @@ pub fn save_compact(store: &TemporalStore, path: impl AsRef<Path>, wal_gen: u64)
     write_atomic(
         path.as_ref(),
         ops_to_json(&store.compact_ops(), wal_gen).as_bytes(),
+    )
+}
+
+/// [`save_compact`] for one shard of a sharded deployment: the
+/// snapshot header carries the shard id and shard count (see
+/// [`ops_to_json_sharded`]).
+pub fn save_compact_sharded(
+    store: &TemporalStore,
+    path: impl AsRef<Path>,
+    wal_gen: u64,
+    shard: u32,
+    shards: u32,
+) -> Result<()> {
+    write_atomic(
+        path.as_ref(),
+        ops_to_json_sharded(&store.compact_ops(), wal_gen, shard, shards).as_bytes(),
     )
 }
 

@@ -43,6 +43,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::thread;
 
 /// Frame header size: u32 length + u32 checksum.
 const FRAME_HEADER: usize = 8;
@@ -135,9 +136,29 @@ impl std::fmt::Display for FsyncPolicy {
 // ----- paths ----------------------------------------------------------------
 
 /// The path of generation `gen` of the log at `base`: `base.<gen>`.
+/// This is the single-shard (legacy) layout; a sharded deployment uses
+/// [`shard_segment_path`] instead.
 pub fn segment_path(base: &Path, gen: u64) -> PathBuf {
     let mut os = base.as_os_str().to_os_string();
     os.push(format!(".{gen}"));
+    PathBuf::from(os)
+}
+
+/// The path of shard `shard`, generation `gen` of the sharded log at
+/// `base`: `base-<shard>-<gen>.seg`. Shard-addressed segments let each
+/// partition group-commit, fsync, and truncate its torn tail
+/// independently.
+pub fn shard_segment_path(base: &Path, shard: u32, gen: u64) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!("-{shard}-{gen}.seg"));
+    PathBuf::from(os)
+}
+
+/// The per-shard snapshot path for the snapshot configured at `path`:
+/// `path.shard<shard>`. A single-shard deployment writes `path` itself.
+pub fn shard_snapshot_path(path: &Path, shard: u32) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".shard{shard}"));
     PathBuf::from(os)
 }
 
@@ -338,6 +359,7 @@ impl WalWriter {
 // ----- recovery -------------------------------------------------------------
 
 /// What [`recover`] reconstructed.
+#[derive(Debug)]
 pub struct Recovery {
     /// The recovered store. Its in-memory journal is **empty**: every
     /// replayed op is already durable, so draining it to the log again
@@ -374,9 +396,36 @@ impl Recovery {
 ///   tolerated: replay stops at the damage and reports the discarded
 ///   byte count; it never panics and never fails the recovery.
 pub fn recover(snapshot: Option<&Path>, wal_base: Option<&Path>) -> Result<Recovery> {
+    recover_one(snapshot, wal_base, None)
+}
+
+/// One shard's recovery: like [`recover`] but with an optional
+/// expected `(shard, shards)` identity validated against the snapshot
+/// header (a snapshot written by a different shard, or by a deployment
+/// with a different shard count, is an error — replaying it would
+/// silently corrupt the partitioning).
+fn recover_one(
+    snapshot: Option<&Path>,
+    wal_base: Option<&Path>,
+    expect: Option<(u32, u32)>,
+) -> Result<Recovery> {
     let (mut store, wal_gen, snapshot_ops) = match snapshot {
         Some(p) if p.exists() => {
             let loaded = persist::load_with_meta(p)?;
+            if let Some((shard, shards)) = expect {
+                let (got_shard, got_count) = (
+                    loaded.shard.unwrap_or(shard),
+                    loaded.shard_count.unwrap_or(shards),
+                );
+                if got_shard != shard || got_count != shards {
+                    return Err(Error::Invalid(format!(
+                        "snapshot {} belongs to shard {got_shard} of {got_count}, \
+                         expected shard {shard} of {shards}; refusing to replay \
+                         mixed shard state",
+                        p.display()
+                    )));
+                }
+            }
             (loaded.store, loaded.wal_gen, loaded.op_count)
         }
         _ => (TemporalStore::new(), 0, 0),
@@ -385,7 +434,11 @@ pub fn recover(snapshot: Option<&Path>, wal_base: Option<&Path>) -> Result<Recov
     let mut discarded_bytes = 0u64;
     let mut discarded_ops = 0u64;
     if let Some(base) = wal_base {
-        let tail = read_log(&segment_path(base, wal_gen))?;
+        let seg = match expect {
+            Some((shard, _)) => shard_segment_path(base, shard, wal_gen),
+            None => segment_path(base, wal_gen),
+        };
+        let tail = read_log(&seg)?;
         discarded_bytes = tail.discarded_bytes;
         for (i, op) in tail.ops.iter().enumerate() {
             if store.apply(op).is_err() {
@@ -409,6 +462,153 @@ pub fn recover(snapshot: Option<&Path>, wal_base: Option<&Path>) -> Result<Recov
         wal_ops,
         discarded_bytes,
         discarded_ops,
+    })
+}
+
+/// What a state directory's file names say about the deployment that
+/// wrote them.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct DiskLayout {
+    /// Single-shard files present (`snapshot`, `base.<gen>`).
+    pub legacy: bool,
+    /// Highest shard index seen in shard-addressed files, plus one
+    /// (`base-<s>-<g>.seg`, `snapshot.shard<s>`). `None` when no
+    /// shard-addressed file exists. A lower bound on the writing
+    /// deployment's shard count: high shards that never took a write
+    /// leave no files, so equality with `--shards` is not required —
+    /// only that no file names a shard *beyond* it.
+    pub min_shards: Option<u32>,
+}
+
+/// Inspect the file names of an existing state directory to determine
+/// which layout (single-shard or shard-addressed) wrote it. Used by
+/// [`recover_shards`] to reject a restart whose `--shards` contradicts
+/// the on-disk state instead of corrupting it.
+pub fn detect_layout(snapshot: Option<&Path>, wal_base: Option<&Path>) -> Result<DiskLayout> {
+    let mut layout = DiskLayout::default();
+    let mut note_shard = |s: u32| {
+        layout.min_shards = Some(layout.min_shards.unwrap_or(0).max(s + 1));
+    };
+    if let Some(snap) = snapshot {
+        if snap.is_file() {
+            layout.legacy = true;
+        }
+        let prefix = format!("{}.shard", file_name_of(snap)?);
+        for name in dir_file_names(snap)? {
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Ok(s) = rest.parse::<u32>() {
+                    note_shard(s);
+                }
+            }
+        }
+    }
+    if let Some(base) = wal_base {
+        let base_name = file_name_of(base)?;
+        for name in dir_file_names(base)? {
+            let Some(rest) = name.strip_prefix(&base_name) else {
+                continue;
+            };
+            // Legacy segment: `<base>.<gen>`.
+            if let Some(gen) = rest.strip_prefix('.') {
+                if gen.parse::<u64>().is_ok() {
+                    layout.legacy = true;
+                }
+            }
+            // Shard segment: `<base>-<shard>-<gen>.seg`.
+            if let Some(mid) = rest.strip_prefix('-').and_then(|r| r.strip_suffix(".seg")) {
+                if let Some((s, g)) = mid.split_once('-') {
+                    if let (Ok(s), Ok(_)) = (s.parse::<u32>(), g.parse::<u64>()) {
+                        note_shard(s);
+                    }
+                }
+            }
+        }
+    }
+    Ok(layout)
+}
+
+fn file_name_of(path: &Path) -> Result<String> {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .ok_or_else(|| Error::Invalid(format!("bad state path {}", path.display())))
+}
+
+fn dir_file_names(path: &Path) -> Result<Vec<String>> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    match fs::read_dir(dir) {
+        Ok(entries) => Ok(entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(Error::from(e)),
+    }
+}
+
+/// Rebuild all `shards` partitions of a sharded deployment, replaying
+/// the shards **in parallel** (recovery time is the slowest shard, not
+/// the sum). Element `s` of the result is shard `s`, recovered from
+/// `shard_snapshot_path(snapshot, s)` + `shard_segment_path(base, s,
+/// gen)` — or, when `shards == 1`, from the single-shard layout
+/// ([`recover`]), which keeps a one-shard deployment byte-compatible
+/// with the pre-sharding format.
+///
+/// A restart whose `shards` contradicts the on-disk layout (legacy
+/// files under `shards > 1`, shard-addressed files under `shards ==
+/// 1`, or files naming a shard `>= shards`) fails with a clear error
+/// instead of quietly replaying a wrong partitioning.
+pub fn recover_shards(
+    snapshot: Option<&Path>,
+    wal_base: Option<&Path>,
+    shards: u32,
+) -> Result<Vec<Recovery>> {
+    if shards == 0 {
+        return Err(Error::Invalid("shard count must be at least 1".into()));
+    }
+    let layout = detect_layout(snapshot, wal_base)?;
+    if shards == 1 {
+        if let Some(n) = layout.min_shards {
+            return Err(Error::Invalid(format!(
+                "state directory holds shard-addressed files from a deployment of \
+                 at least {n} shards; restart with --shards {n} (or more) instead \
+                 of --shards 1"
+            )));
+        }
+        return Ok(vec![recover(snapshot, wal_base)?]);
+    }
+    if layout.legacy {
+        return Err(Error::Invalid(format!(
+            "state directory holds single-shard files (snapshot or base.<gen> \
+             segments); restart with --shards 1, or move them aside before \
+             sharding to {shards}"
+        )));
+    }
+    if let Some(n) = layout.min_shards {
+        if n > shards {
+            return Err(Error::Invalid(format!(
+                "state directory holds files for at least {n} shards but this \
+                 process was started with --shards {shards}; shard counts must \
+                 match the files on disk"
+            )));
+        }
+    }
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                let snap = snapshot.map(|p| shard_snapshot_path(p, s));
+                scope.spawn(move || recover_one(snap.as_deref(), wal_base, Some((s, shards))))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(Error::Invalid("shard recovery panicked".into())))
+            })
+            .collect()
     })
 }
 
@@ -658,5 +858,130 @@ mod tests {
         fs::write(&snap, "{\"version\":1,\"ops\":[{\"truncat").unwrap();
         assert!(matches!(recover(Some(&snap), None), Err(Error::Corrupt(_))));
         fs::remove_file(&snap).ok();
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fenestra-wal-shard-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn shard_paths_are_shard_and_generation_addressed() {
+        let base = PathBuf::from("/var/lib/fenestra/wal");
+        assert_eq!(
+            shard_segment_path(&base, 3, 7),
+            PathBuf::from("/var/lib/fenestra/wal-3-7.seg")
+        );
+        let snap = PathBuf::from("/var/lib/fenestra/state.json");
+        assert_eq!(
+            shard_snapshot_path(&snap, 2),
+            PathBuf::from("/var/lib/fenestra/state.json.shard2")
+        );
+    }
+
+    /// Write two shards' snapshots + WAL tails, recover them in
+    /// parallel, and check each partition came back with its own data.
+    #[test]
+    fn recover_shards_replays_each_partition() {
+        let dir = tmp_dir("replay");
+        let base = dir.join("wal");
+        let snap = dir.join("state.json");
+        for s in 0..2u32 {
+            let mut store = TemporalStore::new();
+            store.declare_attr("room", AttrSchema::one());
+            let v = store.named_entity(format!("v{s}").as_str());
+            store
+                .replace_at(v, "room", format!("r{s}").as_str(), Timestamp::new(1))
+                .unwrap();
+            persist::save_compact_sharded(&store, shard_snapshot_path(&snap, s), 0, s, 2).unwrap();
+            store.take_journal();
+            store
+                .replace_at(v, "room", "hall", Timestamp::new(9))
+                .unwrap();
+            let (mut w, _) =
+                WalWriter::open(&shard_segment_path(&base, s, 0), FsyncPolicy::Always).unwrap();
+            w.append(&store.take_journal()).unwrap();
+        }
+        let recs = recover_shards(Some(&snap), Some(&base), 2).unwrap();
+        assert_eq!(recs.len(), 2);
+        for (s, r) in recs.iter().enumerate() {
+            assert!(r.snapshot_ops > 0 && r.wal_ops > 0, "shard {s}");
+            let v = r.store.lookup_entity(format!("v{s}").as_str()).unwrap();
+            assert_eq!(r.store.current().value(v, "room"), Some(Value::str("hall")));
+            assert!(
+                r.store
+                    .lookup_entity(format!("v{}", 1 - s).as_str())
+                    .is_none(),
+                "shard {s} must not hold the other shard's entity"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_shards_one_uses_the_legacy_layout() {
+        let dir = tmp_dir("legacy");
+        let base = dir.join("wal");
+        let mut store = TemporalStore::new();
+        store.declare_attr("room", AttrSchema::one());
+        let v = store.named_entity("v");
+        store.replace_at(v, "room", "a", Timestamp::new(1)).unwrap();
+        {
+            let (mut w, _) = WalWriter::open(&segment_path(&base, 0), FsyncPolicy::Always).unwrap();
+            w.append(&store.take_journal()).unwrap();
+        }
+        let recs = recover_shards(None, Some(&base), 1).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].store.lookup_entity("v").is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_shards_rejects_mismatched_layouts() {
+        // Legacy files under --shards > 1.
+        let dir = tmp_dir("mismatch");
+        let base = dir.join("wal");
+        fs::write(segment_path(&base, 0), b"").unwrap();
+        let err = recover_shards(None, Some(&base), 4).unwrap_err();
+        assert!(
+            err.to_string().contains("--shards 1"),
+            "unexpected error: {err}"
+        );
+
+        // Shard files under --shards 1.
+        let dir2 = tmp_dir("mismatch2");
+        let base2 = dir2.join("wal");
+        fs::write(shard_segment_path(&base2, 3, 0), b"").unwrap();
+        let err = recover_shards(None, Some(&base2), 1).unwrap_err();
+        assert!(
+            err.to_string().contains("--shards 4"),
+            "unexpected error: {err}"
+        );
+
+        // Files naming a shard beyond the requested count.
+        let err = recover_shards(None, Some(&base2), 2).unwrap_err();
+        assert!(
+            err.to_string().contains("at least 4 shards"),
+            "unexpected error: {err}"
+        );
+        // A superset shard count is fine (high shards are just empty).
+        assert_eq!(recover_shards(None, Some(&base2), 8).unwrap().len(), 8);
+
+        // A snapshot whose header names another shard is rejected.
+        let dir3 = tmp_dir("mismatch3");
+        let snap3 = dir3.join("state.json");
+        let store = TemporalStore::new();
+        persist::save_compact_sharded(&store, shard_snapshot_path(&snap3, 0), 0, 1, 4).unwrap();
+        let err = recover_shards(Some(&snap3), None, 4).unwrap_err();
+        assert!(
+            err.to_string().contains("belongs to shard 1"),
+            "unexpected error: {err}"
+        );
+        for d in [dir, dir2, dir3] {
+            let _ = fs::remove_dir_all(&d);
+        }
     }
 }

@@ -1,6 +1,39 @@
 //! Engine metrics as JSON — one flat object, shared verbatim by
 //! `fenestra run --metrics-json` and the server's `stats` command so
 //! dashboards scrape one shape everywhere.
+//!
+//! ## The server's `stats` reply shape
+//!
+//! `fenestrad` embeds this object twice over:
+//!
+//! ```json
+//! {"ok":true, "engine":{…}, "server":{…}}
+//! ```
+//!
+//! where `engine` is the object below and `server` holds the network
+//! layer's counters. With `--shards N` (N > 1) the reply adds a
+//! per-shard breakdown:
+//!
+//! ```json
+//! {"ok":true, "engine":{…}, "server":{…},
+//!  "shards":[{"shard":0, "engine":{…}, "held_acks":0}, …]}
+//! ```
+//!
+//! * `engine` (top level) — the shard engines' counters **summed**:
+//!   the same totals a single-shard run would report.
+//! * `shards[i].shard` — the shard index (also the `-<shard>-` in that
+//!   shard's WAL segment names and the `.shard<i>` snapshot suffix).
+//! * `shards[i].engine` — that shard's own counters, same flat shape.
+//!   Uneven `events` across shards means the entity keys hash
+//!   unevenly (few distinct keys, or one hot key).
+//! * `shards[i].held_acks` — durable acks the shard is currently
+//!   holding: frames admitted but not yet covered by a fsynced WAL
+//!   commit (nonzero steady-state usually means a lateness bound is
+//!   keeping events in the reorder buffer).
+//!
+//! Server-level counters (`server.events`, `server.gc_removed`,
+//! `server.wal_appends`, …) are shared across shards and reported
+//! once, already summed.
 
 use fenestra_core::EngineMetrics;
 use serde_json::{Map, Value as Json};

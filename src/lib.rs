@@ -71,7 +71,9 @@ pub mod prelude {
     pub use fenestra_base::record::{Event, Record};
     pub use fenestra_base::time::{Duration, Interval, Timestamp};
     pub use fenestra_base::value::{EntityId, Value};
-    pub use fenestra_core::{Engine, EngineConfig, EngineMetrics, QueryResult, Semantics};
+    pub use fenestra_core::{
+        Engine, EngineConfig, EngineMetrics, QueryResult, Semantics, ShardedEngine,
+    };
     pub use fenestra_query::{parse_query, Query, QueryOptions, Term, TimeSpec};
     pub use fenestra_reason::{Axiom, Ontology};
     pub use fenestra_rules::{Action, EntityRef, Guard, StateRule, Trigger};

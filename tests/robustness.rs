@@ -386,7 +386,12 @@ mod crash {
         let dir = tmp_dir("torn");
         const N: u64 = 20;
 
-        let daemon = Daemon::spawn(&dir, &["--fsync", "always", "--batch-max", "1"]);
+        // `--shards 1` pins the legacy single-WAL layout this test
+        // tears into by file name.
+        let daemon = Daemon::spawn(
+            &dir,
+            &["--shards", "1", "--fsync", "always", "--batch-max", "1"],
+        );
         let mut c = daemon.connect();
         ingest_acked(&mut c, N);
         daemon.kill9();
@@ -399,7 +404,7 @@ mod crash {
         file.set_len(len - 3).unwrap();
         drop(file);
 
-        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let daemon = Daemon::spawn(&dir, &["--shards", "1", "--fsync", "always"]);
         let mut c = daemon.connect();
         assert_eq!(
             occupied_rooms(&mut c),
@@ -415,7 +420,7 @@ mod crash {
         // The boot checkpoint already rotated past the damage; another
         // restart is clean.
         daemon.shutdown();
-        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let daemon = Daemon::spawn(&dir, &["--shards", "1", "--fsync", "always"]);
         let mut c = daemon.connect();
         assert_eq!(occupied_rooms(&mut c), N as usize - 1);
         let stats = c.call(r#"{"cmd":"stats"}"#);
@@ -499,9 +504,21 @@ mod crash {
         let dir = tmp_dir("lateness");
         const N: u64 = 10;
 
+        // `--shards 1`: each event here is a distinct visitor, so under
+        // sharding they would land on different shards whose watermarks
+        // advance independently — the "exactly N−1 acks" arithmetic
+        // below is a single-watermark property (the sharded variant is
+        // `kill9_sharded_with_lateness_loses_no_acked_events`).
         let daemon = Daemon::spawn(
             &dir,
-            &["--fsync", "always", "--max-lateness-ms", "5000"],
+            &[
+                "--shards",
+                "1",
+                "--fsync",
+                "always",
+                "--max-lateness-ms",
+                "5000",
+            ],
         );
         let mut c = daemon.connect();
         for i in 1..=N {
@@ -523,7 +540,14 @@ mod crash {
 
         let daemon = Daemon::spawn(
             &dir,
-            &["--fsync", "always", "--max-lateness-ms", "5000"],
+            &[
+                "--shards",
+                "1",
+                "--fsync",
+                "always",
+                "--max-lateness-ms",
+                "5000",
+            ],
         );
         let mut c = daemon.connect();
         assert_eq!(
@@ -542,7 +566,10 @@ mod crash {
         let dir = tmp_dir("lazy");
         const N: u64 = 30;
 
-        let daemon = Daemon::spawn(&dir, &["--fsync", "on-snapshot"]);
+        // `--shards 1`: the "recovered state is a prefix" assertion
+        // below relies on one WAL — under sharding each shard syncs
+        // independently, so a lazy-fsync crash can keep r7 but lose r5.
+        let daemon = Daemon::spawn(&dir, &["--shards", "1", "--fsync", "on-snapshot"]);
         let mut c = daemon.connect();
         let stats = ingest_acked(&mut c, N);
         // Lazy policy: far fewer fsyncs than batches.
@@ -550,7 +577,7 @@ mod crash {
         assert!(fsyncs < N, "on-snapshot must not fsync per batch");
         daemon.kill9();
 
-        let daemon = Daemon::spawn(&dir, &["--fsync", "on-snapshot"]);
+        let daemon = Daemon::spawn(&dir, &["--shards", "1", "--fsync", "on-snapshot"]);
         let mut c = daemon.connect();
         let survived = occupied_rooms(&mut c);
         assert!(survived <= N as usize, "never more state than was ingested");
@@ -572,5 +599,325 @@ mod crash {
         }
         daemon.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Sharded durable acks + a lateness bound: 4 fixed visitors route
+    /// to (up to) 4 shards, each shard holding its parts' acks until
+    /// its own watermark passes them. Sending one event per visitor per
+    /// round (10s steps, 5s bound) means round `r+1` covers round `r`
+    /// on every shard: exactly the final round's acks stay held, in
+    /// strict per-connection FIFO order, and `kill -9` at that point
+    /// loses only the never-acked buffered round.
+    #[test]
+    fn kill9_sharded_with_lateness_loses_no_acked_events() {
+        let dir = tmp_dir("sharded-lateness");
+        const VISITORS: u64 = 4;
+        const ROUNDS: u64 = 8;
+        let flags = &[
+            "--shards",
+            "4",
+            "--fsync",
+            "always",
+            "--max-lateness-ms",
+            "5000",
+        ];
+
+        let daemon = Daemon::spawn(&dir, flags);
+        let mut c = daemon.connect();
+        for r in 1..=ROUNDS {
+            for v in 1..=VISITORS {
+                c.send(&format!(
+                    r#"{{"stream":"s","ts":{},"visitor":"w{v}","room":"r{r}"}}"#,
+                    r * 10_000
+                ));
+            }
+        }
+        // Rounds 1..ROUNDS−1 are covered (round r+1 advanced every
+        // shard's watermark past round r); the final round sits in the
+        // reorder buffers, its acks correctly held. Per-connection FIFO:
+        // the released acks carry strictly sequential seq numbers.
+        for i in 1..=VISITORS * (ROUNDS - 1) {
+            let v = c.recv();
+            assert_eq!(
+                v.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "ack {i}: {v}"
+            );
+            assert_eq!(
+                v.get("seq").and_then(Json::as_u64),
+                Some(i),
+                "acks must release in admission order: {v}"
+            );
+        }
+        daemon.kill9();
+
+        // Restart with the same shard count: every acked round is
+        // there, the buffered final round is gone.
+        let daemon = Daemon::spawn(&dir, flags);
+        let mut c = daemon.connect();
+        let v = c.call(r#"{"cmd":"query","q":"select ?v ?r where { ?v room ?r }"}"#);
+        let rows = v.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), VISITORS as usize, "{v}");
+        for row in rows {
+            assert_eq!(
+                row.get("r").and_then(Json::as_str),
+                Some(format!("r{}", ROUNDS - 1).as_str()),
+                "each visitor's last acked move survives: {v}"
+            );
+        }
+        // Every acked round survives in history, per visitor.
+        for w in 1..=VISITORS {
+            let v = c.call(&format!(r#"{{"cmd":"query","q":"history w{w} room"}}"#));
+            let spans = v
+                .get("history")
+                .and_then(Json::as_array)
+                .unwrap_or_else(|| {
+                    panic!("no history for w{w}: {v}");
+                });
+            assert_eq!(spans.len(), (ROUNDS - 1) as usize, "w{w}: {v}");
+        }
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ----- sharded/unsharded equivalence (property-based) ------------------------
+
+mod shard_equivalence {
+    use super::*;
+    use fenestra::core::shard::{merge_rows, partial_select};
+    use fenestra::query::{parse_query, ParsedQuery, QueryOptions};
+    use fenestra::temporal::wal_file::{recover_shards, shard_segment_path, WalWriter};
+    use fenestra::temporal::FsyncPolicy;
+    use proptest::prelude::*;
+
+    const SHARDS: u32 = 4;
+    const LATENESS_MS: u64 = 5_000;
+
+    fn rules() -> &'static str {
+        "rule mv:\n on s\n replace $(visitor).room = room\n"
+    }
+
+    fn single() -> Engine {
+        let mut e = Engine::new(EngineConfig {
+            max_lateness: Duration::millis(LATENESS_MS),
+            ..EngineConfig::default()
+        });
+        e.add_rules_text(rules()).unwrap();
+        e
+    }
+
+    fn sharded() -> ShardedEngine {
+        let mut e = ShardedEngine::new(
+            EngineConfig {
+                max_lateness: Duration::millis(LATENESS_MS),
+                ..EngineConfig::default()
+            },
+            SHARDS,
+        );
+        e.add_rules_text(rules()).unwrap();
+        e
+    }
+
+    /// Random workload: visitors moving between rooms, timestamps
+    /// increasing with bounded backwards jitter — always within the
+    /// lateness bound, so neither engine drops anything and the final
+    /// states must agree exactly.
+    fn workload() -> impl Strategy<Value = Vec<Event>> {
+        prop::collection::vec((0u64..6, 0u64..4, 0u64..2_000, 0u64..4_000), 1..80).prop_map(
+            |moves| {
+                let mut t = 10_000u64;
+                moves
+                    .into_iter()
+                    .map(|(v, r, gap, jitter)| {
+                        t += gap;
+                        // Jitter stays below the lateness bound.
+                        let ts = t.saturating_sub(jitter.min(LATENESS_MS - 1));
+                        Event::from_pairs(
+                            "s",
+                            ts,
+                            [
+                                ("visitor", Value::str(&format!("v{v}"))),
+                                ("room", Value::str(&format!("r{r}"))),
+                            ],
+                        )
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    /// Rows with entity ids resolved to names (ids are shard-local, so
+    /// equivalence is over resolved rows), re-sorted for comparison.
+    fn resolved_rows(engine: &Engine, text: &str) -> Vec<Vec<(String, String)>> {
+        let QueryResult::Rows(rows) = engine.query(text).unwrap() else {
+            panic!("select expected");
+        };
+        let store = engine.store();
+        let mut out: Vec<Vec<(String, String)>> = rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|(k, v)| {
+                        // Resolve shard-local entity ids to names so
+                        // both sides format identically.
+                        let v = match v {
+                            Value::Id(e) => store.entity_name(e).map(Value::Str).unwrap_or(v),
+                            other => other,
+                        };
+                        (k.as_str().to_string(), format!("{v}"))
+                    })
+                    .collect()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn sharded_rows(engine: &ShardedEngine, text: &str) -> Vec<Vec<(String, String)>> {
+        let QueryResult::Rows(rows) = engine.query(text).unwrap() else {
+            panic!("select expected");
+        };
+        let mut out: Vec<Vec<(String, String)>> = rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|(k, v)| (k.as_str().to_string(), format!("{v}")))
+                    .collect()
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// `check_metrics` only holds for live engines — a recovered
+    /// engine's state matches but its event counters start from zero.
+    fn assert_equivalent(reference: &Engine, test: &ShardedEngine, check_metrics: bool) {
+        // Full current state.
+        let all = "select ?v ?r where { ?v room ?r }";
+        prop_assert_is_eq(resolved_rows(reference, all), sharded_rows(test, all));
+        // Global count (merged across shards, not per shard).
+        let count = "select count ?v where { ?v room ?r }";
+        prop_assert_is_eq(resolved_rows(reference, count), sharded_rows(test, count));
+        // Per-entity history, wherever the entity landed.
+        for v in 0..6 {
+            let name = format!("v{v}");
+            let text = format!("history {name} room");
+            let a = reference.query(&text).ok();
+            let b = test.query(&text).ok();
+            match (a, b) {
+                (None, None) => {}
+                (Some(QueryResult::History(ha)), Some(QueryResult::History(hb))) => {
+                    prop_assert_is_eq(ha, hb);
+                }
+                (a, b) => panic!("history divergence for {name}: {a:?} vs {b:?}"),
+            }
+        }
+        // Aggregate metrics agree (no drops on either side).
+        let ma = reference.metrics();
+        prop_assert_is_eq(ma.late_dropped, 0);
+        if check_metrics {
+            let mb = test.metrics();
+            prop_assert_is_eq((ma.events, ma.transitions), (mb.events, mb.transitions));
+        }
+    }
+
+    /// `prop_assert_eq!` only works inside `proptest!`; these helpers
+    /// run inside plain fns called from it, so panic (which proptest
+    /// converts into a failing, minimizable case).
+    fn prop_assert_is_eq<T: PartialEq + std::fmt::Debug>(a: T, b: T) {
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// A 4-shard engine is observationally equivalent to a single
+        /// engine on any bounded-disorder keyed workload: same rows,
+        /// same counts, same per-entity histories, same metrics.
+        #[test]
+        fn sharded_engine_matches_single_engine(events in workload()) {
+            let mut reference = single();
+            let mut test = sharded();
+            for ev in &events {
+                reference.push(ev.clone());
+                test.push(ev.clone());
+            }
+            reference.finish();
+            test.finish();
+            assert_equivalent(&reference, &test, true);
+        }
+
+        /// Crash equivalence: write each shard's journal to its own WAL
+        /// segment, drop everything in-memory (the `kill -9`), recover
+        /// all shards in parallel via `recover_shards`, and the rebuilt
+        /// sharded engine still matches the single reference engine.
+        #[test]
+        fn sharded_wal_replay_matches_single_engine(events in workload(), case in 0u32..1_000_000) {
+            let mut reference = single();
+            let mut test = sharded();
+            for ev in &events {
+                reference.push(ev.clone());
+                test.push(ev.clone());
+            }
+            reference.finish();
+            test.finish();
+
+            let dir = std::env::temp_dir().join(format!(
+                "fenestra-shard-replay-{}-{case}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let base = dir.join("log");
+            for i in 0..SHARDS {
+                let ops = test.shard_mut(i).take_journal();
+                let mut w =
+                    WalWriter::create(&shard_segment_path(&base, i, 0), FsyncPolicy::Always)
+                        .unwrap();
+                w.append(&ops).unwrap();
+                w.sync().unwrap();
+            }
+            drop(test); // the crash: all in-memory state gone
+
+            let mut recovered = sharded();
+            let recs = recover_shards(None, Some(&base), SHARDS).unwrap();
+            for (i, rec) in recs.into_iter().enumerate() {
+                recovered.shard_mut(i as u32).restore_state(rec.store).unwrap();
+            }
+            assert_equivalent(&reference, &recovered, false);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        /// The fan-out building blocks themselves: running the partial
+        /// select on each shard store and merging must equal running the
+        /// full query on a single engine — including `count` and `limit`
+        /// applied globally after the merge.
+        #[test]
+        fn partial_select_merge_matches_full_query(events in workload()) {
+            let mut reference = single();
+            let mut test = sharded();
+            for ev in &events {
+                reference.push(ev.clone());
+                test.push(ev.clone());
+            }
+            reference.finish();
+            test.finish();
+
+            let text = "select count ?v where { ?v room ?r }";
+            let ParsedQuery::Select(q) = parse_query(text).unwrap() else {
+                panic!("select expected");
+            };
+            let parts: Vec<_> = (0..SHARDS)
+                .map(|i| {
+                    partial_select(&test.shard(i).store(), &q, QueryOptions::default()).unwrap()
+                })
+                .collect();
+            let merged = merge_rows(&q, parts);
+            let QueryResult::Rows(expect) = reference.query(text).unwrap() else {
+                panic!("select expected");
+            };
+            prop_assert_eq!(merged, expect);
+        }
     }
 }
