@@ -18,12 +18,15 @@
 //!
 //! Each run reports throughput, ack-latency percentiles (p50/p99 —
 //! under `fsync always` an ack is released only after the covering
-//! group commit fsyncs, so this is true commit latency), and the
-//! server's batching counters. Results go to `BENCH_ingest.json` at
-//! the repository root, with a before/after comparison against the
-//! committed numbers printed to stderr (tolerant of missing or
-//! differently-shaped committed files — new runs simply have no
-//! baseline).
+//! group commit fsyncs, so this is true commit latency), the server's
+//! batching counters, and a **stage breakdown**: the pipeline's
+//! per-stage latency histograms (admission, queue wait, reorder dwell,
+//! WAL append, fsync, ack hold, late margin) merged across shards and
+//! summarized as `{count, p50, p90, p99, max, mean}`. Results go to
+//! `BENCH_ingest.json` at the repository root, with a before/after
+//! comparison against the committed numbers printed to stderr
+//! (tolerant of missing or differently-shaped committed files — new
+//! runs simply have no baseline).
 //!
 //! ```text
 //! cargo run -p fenestra-bench --release --bin ingest_smoke [-- EVENTS]
@@ -83,6 +86,9 @@ struct RunResult {
     group_commits: u64,
     acks_deferred: u64,
     late_dropped: u64,
+    /// Per-stage latency summaries merged across shards
+    /// (`{stage: {count, p50, p90, p99, max, mean}}`).
+    stages: Json,
 }
 
 /// One event line. 100 visitors cycling through 10 rooms, moving to a
@@ -110,6 +116,29 @@ fn frame(start: u64, n: u64) -> String {
     }
 }
 
+/// One `GET /metrics` against the run's own listener: assert the body
+/// is Prometheus text with shard-labeled stage histograms present.
+fn scrape_metrics(maddr: std::net::SocketAddr) {
+    use std::io::Read;
+    let mut s = TcpStream::connect(maddr).expect("connect /metrics");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send scrape");
+    let mut response = String::new();
+    s.read_to_string(&mut response).expect("read scrape");
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "bad scrape status: {}",
+        response.lines().next().unwrap_or("")
+    );
+    for needle in [
+        "# TYPE fenestra_stage_queue_wait_us histogram",
+        "fenestra_stage_queue_wait_us_count{shard=\"0\"}",
+        "fenestra_engine_events_total{shard=\"0\"}",
+    ] {
+        assert!(response.contains(needle), "scrape missing `{needle}`");
+    }
+}
+
 fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -131,6 +160,7 @@ fn run(
         .queue_capacity(4096)
         .batch_max(batch_max)
         .shards(shards)
+        .metrics_addr("127.0.0.1:0")
         .setup(|engine| {
             engine.declare_attr("room", AttrSchema::one());
             engine
@@ -157,7 +187,7 @@ fn run(
     // events are withheld until the watermark passes them, so the main
     // thread must inject the watermark-advancing flush event after the
     // engine has *processed* every connection's frames (each reader's
-    // stats barrier proves its connection's) but before the readers
+    // sync barrier proves its connection's) but before the readers
     // can drain their final held acks. Waiting on processing — not
     // just on the senders' writes landing in socket buffers — also
     // keeps the far-future flush from making still-queued events late.
@@ -183,8 +213,8 @@ fn run(
                             .expect("connection closed early")
                             .expect("read reply");
                         assert!(line.contains("\"ok\":true"), "rejected: {line}");
-                        if line.contains("\"engine\"") {
-                            // The stats barrier: every frame this
+                        if line.contains("\"synced\"") {
+                            // The sync barrier: every frame this
                             // connection sent is now past the engine
                             // (applied, buffered, or counted late).
                             // Held acks for the buffered tail arrive
@@ -212,9 +242,10 @@ fn run(
                     sent_at.push(Instant::now());
                     input.write_all(line.as_bytes()).expect("send frame");
                 }
-                // FIFO barrier: the stats reply proves every frame this
-                // connection sent has been processed by the engine.
-                writeln!(input, r#"{{"cmd":"stats"}}"#).expect("send stats");
+                // Processing barrier: the sync reply proves every frame
+                // this connection sent has been processed by the engine
+                // (stats no longer round-trips through the shards).
+                writeln!(input, r#"{{"cmd":"sync"}}"#).expect("send sync");
                 let recv_at = reader.join().expect("reader thread");
                 sent_at
                     .iter()
@@ -250,7 +281,7 @@ fn run(
             )
             .expect("send flush");
         }
-        writeln!(input, r#"{{"cmd":"stats"}}"#).expect("send stats");
+        writeln!(input, r#"{{"cmd":"sync"}}"#).expect("send sync");
         let line = lines.next().expect("flush reply").expect("read reply");
         assert!(line.contains("\"ok\":true"), "rejected: {line}");
         Some(stream)
@@ -264,8 +295,15 @@ fn run(
     let elapsed = t0.elapsed();
     latencies.sort();
 
+    // Scrape the run's own Prometheus listener while the server is
+    // still up: guards the exposition wiring under real load (the
+    // integration tests do the full parsing).
+    if let Some(maddr) = handle.metrics_addr() {
+        scrape_metrics(maddr);
+    }
     let m = handle.metrics();
     let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let stages = handle.pipeline_obs().merged_stages_json();
     let result = RunResult {
         label: label.to_string(),
         events: actual_events,
@@ -281,6 +319,7 @@ fn run(
         group_commits: load(&m.group_commits),
         acks_deferred: load(&m.acks_deferred),
         late_dropped: load(&m.late_dropped),
+        stages,
     };
     handle.shutdown();
     result
@@ -304,6 +343,7 @@ fn result_json(r: &RunResult) -> Json {
     obj.insert("group_commits".into(), Json::from(r.group_commits));
     obj.insert("acks_deferred".into(), Json::from(r.acks_deferred));
     obj.insert("late_dropped".into(), Json::from(r.late_dropped));
+    obj.insert("stages".into(), r.stages.clone());
     Json::Object(obj)
 }
 
@@ -312,6 +352,28 @@ fn print_run(r: &RunResult) {
         "{:<14} {:>9.1} events/s  (ack p50 {:>7.0}us p99 {:>7.0}us, {} fsyncs, {} group commits)",
         r.label, r.events_per_sec, r.ack_p50_us, r.ack_p99_us, r.fsyncs, r.group_commits
     );
+}
+
+/// One line per pipeline stage with samples: where the time went.
+fn print_stages(r: &RunResult) {
+    let Some(stages) = r.stages.as_object() else {
+        return;
+    };
+    for (stage, s) in stages {
+        let count = s.get("count").and_then(Json::as_u64).unwrap_or(0);
+        if count == 0 {
+            continue;
+        }
+        let q = |k: &str| s.get(k).and_then(Json::as_u64).unwrap_or(0);
+        eprintln!(
+            "    {:<18} count {:>7}  p50 {:>7}  p99 {:>9}  max {:>9}",
+            stage,
+            count,
+            q("p50"),
+            q("p99"),
+            q("max")
+        );
+    }
 }
 
 /// The committed number for `path.to.label.events_per_sec`, if the
@@ -437,6 +499,8 @@ fn main() {
     for r in &main_runs {
         print_run(r);
     }
+    eprintln!("wal-always stage breakdown (µs; late_margin in ms):");
+    print_stages(&main_runs[2]);
 
     // Client batch-frame sweep under strict durability.
     eprintln!("-- batch frames (1 connection, fsync always) --");
@@ -477,6 +541,13 @@ fn main() {
         .collect();
     for r in &conn_runs {
         print_run(r);
+        if r.late_dropped > 0 {
+            eprintln!(
+                "  {} of {} events dropped late — stage breakdown:",
+                r.late_dropped, r.events
+            );
+            print_stages(r);
+        }
     }
 
     // Shard sweep under per-event durability (group commit off): each

@@ -7,6 +7,7 @@ use fenestra_base::record::Event;
 use fenestra_base::symbol::Symbol;
 use fenestra_base::time::{Duration, Interval, Timestamp};
 use fenestra_base::value::Value;
+use fenestra_obs::{EngineCounters, ShardObs};
 use fenestra_query::{ParsedQuery, QueryOptions};
 use fenestra_reason::store_sync::sync_store;
 use fenestra_reason::Ontology;
@@ -18,6 +19,7 @@ use fenestra_stream::watermark::{WatermarkGenerator, WatermarkPolicy};
 use fenestra_temporal::{AttrSchema, Provenance, TemporalStore};
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock, RwLockReadGuard};
+use std::time::Instant;
 
 /// Result of [`Engine::query`].
 #[derive(Debug, Clone, PartialEq)]
@@ -60,8 +62,9 @@ pub struct Engine {
     ontology: Option<Ontology>,
     executor: Option<Executor>,
     wm: WatermarkGenerator,
-    /// Reorder buffer: (ts, seq) → event.
-    buffer: BTreeMap<(u64, u64), Event>,
+    /// Reorder buffer: (ts, seq) → (event, admission instant). The
+    /// instant times reorder-buffer dwell when obs is attached.
+    buffer: BTreeMap<(u64, u64), (Event, Instant)>,
     seq: u64,
     metrics: EngineMetrics,
     /// Horizon of the last retention GC pass.
@@ -72,6 +75,8 @@ pub struct Engine {
     /// published on the paired stream.
     watches: Vec<(crate::watch::Watch, Symbol)>,
     finished: bool,
+    /// Optional per-shard observability (histograms + gauges).
+    obs: Option<Arc<ShardObs>>,
 }
 
 impl Engine {
@@ -96,7 +101,17 @@ impl Engine {
             publish_transitions: None,
             watches: Vec::new(),
             finished: false,
+            obs: None,
         }
+    }
+
+    /// Attach per-shard observability: the engine will record
+    /// reorder-buffer dwell and lateness margins into its histograms
+    /// and republish counters/gauges after every batch. Recording is
+    /// lock-free; attaching costs one `Instant::now()` per batch plus
+    /// relaxed atomic stores.
+    pub fn set_obs(&mut self, obs: Arc<ShardObs>) {
+        self.obs = Some(obs);
     }
 
     /// Default-configured engine.
@@ -208,6 +223,7 @@ impl Engine {
     /// stamped at the batch's final watermark.
     pub fn push_batch(&mut self, events: impl IntoIterator<Item = Event>) -> u64 {
         assert!(!self.finished, "push after finish()");
+        let admitted = Instant::now();
         let mut late = 0u64;
         let mut advanced: Option<Timestamp> = None;
         for ev in events {
@@ -216,10 +232,18 @@ impl Engine {
                 // (wm.late_events); [`Engine::metrics`] reads it from
                 // there. Counting here too would double it.
                 late += 1;
+                if let (Some(obs), Some(wm)) = (&self.obs, self.wm.current()) {
+                    // How far behind the watermark the drop was: the
+                    // lateness-margin histogram's count equals
+                    // `late_dropped` by construction.
+                    obs.late_margin_ms
+                        .record(wm.millis().saturating_sub(ev.ts.millis()));
+                }
                 continue;
             };
             self.metrics.events += 1;
-            self.buffer.insert((ev.ts.millis(), self.seq), ev);
+            self.buffer
+                .insert((ev.ts.millis(), self.seq), (ev, admitted));
             self.seq += 1;
             if let Some(wm) = advance {
                 // Watermarks are monotone: the latest advance is the max.
@@ -230,6 +254,7 @@ impl Engine {
             self.drain_until(wm);
             self.maybe_gc(wm);
         }
+        self.publish_obs();
         late
     }
 
@@ -252,10 +277,39 @@ impl Engine {
             ex.finish();
         }
         self.finished = true;
+        self.publish_obs();
+    }
+
+    /// Republish counters and reorder/watermark gauges into the
+    /// attached [`ShardObs`] (no-op without one). Relaxed stores only.
+    fn publish_obs(&self) {
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        let m = self.metrics();
+        obs.engine.store(&EngineCounters {
+            events: m.events,
+            late_dropped: m.late_dropped,
+            rule_fired: m.rule_fired,
+            transitions: m.transitions,
+            guard_blocked: m.guard_blocked,
+            rule_errors: m.rule_errors,
+            reason_asserted: m.reason_asserted,
+            reason_retracted: m.reason_retracted,
+            reason_syncs: m.reason_syncs,
+            ttl_expired: m.ttl_expired,
+        });
+        use std::sync::atomic::Ordering::Relaxed;
+        obs.reorder_depth.store(self.buffer.len() as u64, Relaxed);
+        let lag = match (self.wm.max_seen(), self.wm.current()) {
+            (Some(head), Some(wm)) => head.millis().saturating_sub(wm.millis()),
+            _ => 0,
+        };
+        obs.watermark_lag_ms.store(lag, Relaxed);
     }
 
     fn drain_until(&mut self, wm: Timestamp) {
-        let ready: Vec<Event> = {
+        let ready: Vec<(Event, Instant)> = {
             let keys: Vec<(u64, u64)> = self
                 .buffer
                 .range(..(wm.millis().saturating_add(1), 0))
@@ -268,6 +322,15 @@ impl Engine {
         if ready.is_empty() {
             return;
         }
+        if let Some(obs) = &self.obs {
+            // One clock read per drain, not per event.
+            let drained = Instant::now();
+            for (_, admitted) in &ready {
+                obs.reorder_dwell_us
+                    .record(drained.saturating_duration_since(*admitted).as_micros() as u64);
+            }
+        }
+        let ready: Vec<Event> = ready.into_iter().map(|(ev, _)| ev).collect();
         match self.config.semantics {
             Semantics::StateFirst => {
                 for ev in ready {
@@ -480,6 +543,11 @@ impl Engine {
     /// frames a fsynced WAL frame actually covers.
     pub fn buffered_low_ts(&self) -> Option<Timestamp> {
         self.buffer.keys().next().map(|&(ts, _)| Timestamp::new(ts))
+    }
+
+    /// Number of events currently held in the reorder buffer.
+    pub fn buffered_len(&self) -> usize {
+        self.buffer.len()
     }
 
     /// Run the reasoner now, maintaining derived facts at the given
@@ -991,6 +1059,34 @@ mod tests {
     fn query_unknown_history_entity_errors() {
         let eng = Engine::with_defaults();
         assert!(eng.query("history ghost room").is_err());
+    }
+
+    #[test]
+    fn obs_records_dwell_margins_and_gauges() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let obs = Arc::new(fenestra_obs::ShardObs::default());
+        let mut eng = Engine::new(EngineConfig {
+            max_lateness: Duration::millis(10),
+            ..EngineConfig::default()
+        });
+        eng.set_obs(obs.clone());
+        let ev = |ts: u64| Event::from_pairs("s", ts, [("x", 1i64)]);
+        // wm = 100 - 10 = 90; 95 buffers; 50 is 40ms late.
+        eng.push_batch([ev(100), ev(95), ev(50)]);
+        assert_eq!(obs.engine.load().events, 2);
+        assert_eq!(obs.engine.load().late_dropped, 1);
+        let margins = obs.late_margin_ms.snapshot();
+        assert_eq!(
+            margins.count, 1,
+            "margin histogram counts exactly the drops"
+        );
+        assert_eq!(margins.max, 40, "drop was 40ms behind the watermark");
+        assert_eq!(obs.reorder_depth.load(Relaxed), 2, "95 and 100 buffered");
+        assert_eq!(obs.watermark_lag_ms.load(Relaxed), 10, "lag = bound");
+        eng.finish();
+        assert_eq!(obs.reorder_depth.load(Relaxed), 0, "finish drains");
+        let dwell = obs.reorder_dwell_us.snapshot();
+        assert_eq!(dwell.count, 2, "one dwell sample per applied event");
     }
 }
 

@@ -1,0 +1,353 @@
+//! Per-shard pipeline instrumentation: stage-latency histograms and
+//! gauges threaded through the whole ingest path.
+//!
+//! One [`ShardObs`] lives per shard and is shared (via `Arc`) by the
+//! connection threads (queue depth at enqueue), the shard loop (queue
+//! wait, ack hold, gauges), the engine (reorder dwell, late margin,
+//! engine-counter gauges), and the WAL writer (append/fsync timing via
+//! the embedded [`WalObs`]). Everything inside is atomic: recording
+//! never takes a lock, and metrics readers (the `stats` command, the
+//! Prometheus endpoint) only do relaxed loads — they never enqueue
+//! through the ingest path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde_json::{Map, Value as Json};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// Stage names, in pipeline order. Each names a histogram on
+/// [`ShardObs`]; the `_us`/`_ms` suffix is the unit.
+pub const STAGES: [&str; 6] = [
+    "queue_wait_us",
+    "reorder_dwell_us",
+    "wal_append_us",
+    "fsync_us",
+    "ack_hold_us",
+    "late_margin_ms",
+];
+
+/// WAL write-path timing, owned by the shard but updated from inside
+/// the WAL writer (which is the only place that knows whether an
+/// `append` also fsynced).
+#[derive(Debug, Default)]
+pub struct WalObs {
+    /// Time spent encoding + writing a batch to the segment file (µs),
+    /// excluding any fsync the policy triggered.
+    pub append_us: Histogram,
+    /// Time spent in `fdatasync` (µs), one sample per actual sync.
+    pub fsync_us: Histogram,
+}
+
+/// Engine counters mirrored into atomics so metrics readers can see
+/// them without locking the engine or enqueueing through its queue.
+/// The shard loop publishes after every applied batch.
+#[derive(Debug, Default)]
+pub struct EngineGauges {
+    events: AtomicU64,
+    late_dropped: AtomicU64,
+    rule_fired: AtomicU64,
+    transitions: AtomicU64,
+    guard_blocked: AtomicU64,
+    rule_errors: AtomicU64,
+    reason_asserted: AtomicU64,
+    reason_retracted: AtomicU64,
+    reason_syncs: AtomicU64,
+    ttl_expired: AtomicU64,
+}
+
+/// A plain copy of the engine counters, for publishing into and
+/// loading out of [`EngineGauges`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Events admitted past the watermark and applied.
+    pub events: u64,
+    /// Events dropped as late.
+    pub late_dropped: u64,
+    /// Rule firings.
+    pub rule_fired: u64,
+    /// State transitions applied.
+    pub transitions: u64,
+    /// Rule firings blocked by guards.
+    pub guard_blocked: u64,
+    /// Rule evaluation errors.
+    pub rule_errors: u64,
+    /// Reasoner assertions.
+    pub reason_asserted: u64,
+    /// Reasoner retractions.
+    pub reason_retracted: u64,
+    /// Reasoner sync passes.
+    pub reason_syncs: u64,
+    /// Facts expired by TTL.
+    pub ttl_expired: u64,
+}
+
+impl EngineGauges {
+    /// Publish a fresh copy of the counters (relaxed stores).
+    pub fn store(&self, c: &EngineCounters) {
+        self.events.store(c.events, Ordering::Relaxed);
+        self.late_dropped.store(c.late_dropped, Ordering::Relaxed);
+        self.rule_fired.store(c.rule_fired, Ordering::Relaxed);
+        self.transitions.store(c.transitions, Ordering::Relaxed);
+        self.guard_blocked.store(c.guard_blocked, Ordering::Relaxed);
+        self.rule_errors.store(c.rule_errors, Ordering::Relaxed);
+        self.reason_asserted
+            .store(c.reason_asserted, Ordering::Relaxed);
+        self.reason_retracted
+            .store(c.reason_retracted, Ordering::Relaxed);
+        self.reason_syncs.store(c.reason_syncs, Ordering::Relaxed);
+        self.ttl_expired.store(c.ttl_expired, Ordering::Relaxed);
+    }
+
+    /// Load the last published copy.
+    pub fn load(&self) -> EngineCounters {
+        EngineCounters {
+            events: self.events.load(Ordering::Relaxed),
+            late_dropped: self.late_dropped.load(Ordering::Relaxed),
+            rule_fired: self.rule_fired.load(Ordering::Relaxed),
+            transitions: self.transitions.load(Ordering::Relaxed),
+            guard_blocked: self.guard_blocked.load(Ordering::Relaxed),
+            rule_errors: self.rule_errors.load(Ordering::Relaxed),
+            reason_asserted: self.reason_asserted.load(Ordering::Relaxed),
+            reason_retracted: self.reason_retracted.load(Ordering::Relaxed),
+            reason_syncs: self.reason_syncs.load(Ordering::Relaxed),
+            ttl_expired: self.ttl_expired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// All observability state for one shard.
+#[derive(Debug)]
+pub struct ShardObs {
+    /// Time a frame part sat in the shard's ingest queue before the
+    /// shard loop dequeued it (µs), one sample per queued command.
+    pub queue_wait_us: Histogram,
+    /// Time an event sat in the reorder buffer before the watermark
+    /// released it (µs), one sample per drained event.
+    pub reorder_dwell_us: Histogram,
+    /// Time from admission to durable-ack release (µs), one sample per
+    /// released frame part. Only recorded in durable-ack mode.
+    pub ack_hold_us: Histogram,
+    /// How late each *dropped* event was: shard watermark minus event
+    /// timestamp at admission (ms). `count` here equals the shard's
+    /// `late_dropped` counter.
+    pub late_margin_ms: Histogram,
+    /// WAL write-path timing (shared with the shard's WAL writer).
+    pub wal: Arc<WalObs>,
+    /// Current ingest-queue depth (refreshed at enqueue and dequeue).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of this shard's own queue depth.
+    pub queue_hwm: AtomicU64,
+    /// Current reorder-buffer depth (events admitted, not yet applied).
+    pub reorder_depth: AtomicU64,
+    /// Watermark lag: max event time seen minus current watermark (ms).
+    /// Equals the lateness bound once the stream is flowing.
+    pub watermark_lag_ms: AtomicU64,
+    /// Durable acks currently held awaiting WAL-covered commit.
+    pub held_acks: AtomicU64,
+    /// Bytes in the shard's current (unrotated) WAL segment.
+    pub wal_segment_bytes: AtomicU64,
+    /// Live state size: currently-open facts in the shard's store.
+    pub state_facts: AtomicU64,
+    /// Engine counters, republished after every applied batch.
+    pub engine: EngineGauges,
+}
+
+impl Default for ShardObs {
+    fn default() -> Self {
+        ShardObs {
+            queue_wait_us: Histogram::new(),
+            reorder_dwell_us: Histogram::new(),
+            ack_hold_us: Histogram::new(),
+            late_margin_ms: Histogram::new(),
+            wal: Arc::new(WalObs::default()),
+            queue_depth: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
+            reorder_depth: AtomicU64::new(0),
+            watermark_lag_ms: AtomicU64::new(0),
+            held_acks: AtomicU64::new(0),
+            wal_segment_bytes: AtomicU64::new(0),
+            state_facts: AtomicU64::new(0),
+            engine: EngineGauges::default(),
+        }
+    }
+}
+
+impl ShardObs {
+    /// The stage histogram named by one of [`STAGES`].
+    pub fn stage(&self, name: &str) -> &Histogram {
+        match name {
+            "queue_wait_us" => &self.queue_wait_us,
+            "reorder_dwell_us" => &self.reorder_dwell_us,
+            "wal_append_us" => &self.wal.append_us,
+            "fsync_us" => &self.wal.fsync_us,
+            "ack_hold_us" => &self.ack_hold_us,
+            "late_margin_ms" => &self.late_margin_ms,
+            other => panic!("unknown stage `{other}`"),
+        }
+    }
+
+    /// Record the current queue depth, tracking this shard's HWM.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Gauges as a JSON object (no histograms).
+    pub fn gauges_json(&self) -> Json {
+        let mut obj = Map::new();
+        obj.insert(
+            "queue_depth".into(),
+            Json::from(self.queue_depth.load(Ordering::Relaxed)),
+        );
+        obj.insert(
+            "queue_hwm".into(),
+            Json::from(self.queue_hwm.load(Ordering::Relaxed)),
+        );
+        obj.insert(
+            "reorder_depth".into(),
+            Json::from(self.reorder_depth.load(Ordering::Relaxed)),
+        );
+        obj.insert(
+            "watermark_lag_ms".into(),
+            Json::from(self.watermark_lag_ms.load(Ordering::Relaxed)),
+        );
+        obj.insert(
+            "held_acks".into(),
+            Json::from(self.held_acks.load(Ordering::Relaxed)),
+        );
+        obj.insert(
+            "wal_segment_bytes".into(),
+            Json::from(self.wal_segment_bytes.load(Ordering::Relaxed)),
+        );
+        obj.insert(
+            "state_facts".into(),
+            Json::from(self.state_facts.load(Ordering::Relaxed)),
+        );
+        Json::Object(obj)
+    }
+
+    /// All stage histograms as `{stage: {count, p50, …}}`.
+    pub fn stages_json(&self) -> Json {
+        let mut obj = Map::new();
+        for stage in STAGES {
+            obj.insert(stage.into(), self.stage(stage).snapshot().json_summary());
+        }
+        Json::Object(obj)
+    }
+}
+
+/// Observability for the whole pipeline: one server-level admission
+/// histogram plus one [`ShardObs`] per shard.
+#[derive(Debug)]
+pub struct PipelineObs {
+    /// Time to parse, route, and enqueue one ingest frame on the
+    /// connection thread (µs) — the "front door" before queue wait.
+    pub admit_us: Histogram,
+    /// Per-shard instrumentation, indexed by shard id.
+    pub shards: Vec<Arc<ShardObs>>,
+}
+
+impl PipelineObs {
+    /// Fresh instrumentation for `shards` shards.
+    pub fn new(shards: usize) -> PipelineObs {
+        PipelineObs {
+            admit_us: Histogram::new(),
+            shards: (0..shards).map(|_| Arc::new(ShardObs::default())).collect(),
+        }
+    }
+
+    /// Merge one stage's snapshots across every shard.
+    pub fn merged_stage(&self, name: &str) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for shard in &self.shards {
+            merged.merge(&shard.stage(name).snapshot());
+        }
+        merged
+    }
+
+    /// All stages merged across shards, plus `admit_us`, as
+    /// `{stage: {count, p50, …}}`.
+    pub fn merged_stages_json(&self) -> Json {
+        let mut obj = Map::new();
+        obj.insert("admit_us".into(), self.admit_us.snapshot().json_summary());
+        for stage in STAGES {
+            obj.insert(stage.into(), self.merged_stage(stage).json_summary());
+        }
+        Json::Object(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_stage_spans_shards() {
+        let p = PipelineObs::new(2);
+        p.shards[0].queue_wait_us.record(10);
+        p.shards[1].queue_wait_us.record(1000);
+        let m = p.merged_stage("queue_wait_us");
+        assert_eq!(m.count, 2);
+        assert_eq!(m.max, 1000);
+    }
+
+    #[test]
+    fn stage_lookup_covers_all_names() {
+        let s = ShardObs::default();
+        for stage in STAGES {
+            s.stage(stage).record(1);
+        }
+        let j = s.stages_json();
+        for stage in STAGES {
+            assert_eq!(
+                j.get(stage)
+                    .and_then(|v| v.get("count"))
+                    .and_then(|v| v.as_u64()),
+                Some(1),
+                "{stage}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_gauges_round_trip() {
+        let g = EngineGauges::default();
+        let c = EngineCounters {
+            events: 5,
+            late_dropped: 2,
+            ttl_expired: 1,
+            ..Default::default()
+        };
+        g.store(&c);
+        assert_eq!(g.load(), c);
+    }
+
+    #[test]
+    fn queue_depth_tracks_hwm() {
+        let s = ShardObs::default();
+        s.observe_queue_depth(3);
+        s.observe_queue_depth(9);
+        s.observe_queue_depth(1);
+        assert_eq!(s.queue_depth.load(Ordering::Relaxed), 1);
+        assert_eq!(s.queue_hwm.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn gauges_json_has_all_keys() {
+        let s = ShardObs::default();
+        let j = s.gauges_json();
+        for key in [
+            "queue_depth",
+            "queue_hwm",
+            "reorder_depth",
+            "watermark_lag_ms",
+            "held_acks",
+            "wal_segment_bytes",
+            "state_facts",
+        ] {
+            assert!(j.get(key).is_some(), "{key}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for histogram merging: merging per-shard snapshots
+//! must be indistinguishable from one histogram that saw every sample.
+
+use fenestra_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+proptest! {
+    /// Satellite invariant: merged per-shard snapshots == a single
+    /// histogram fed the union of the samples, bucket for bucket.
+    #[test]
+    fn merged_shards_equal_union_histogram(
+        shards in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..64),
+            1..6,
+        )
+    ) {
+        let mut merged = HistogramSnapshot::default();
+        let union = Histogram::new();
+        for samples in &shards {
+            let shard = Histogram::new();
+            for &v in samples {
+                shard.record(v);
+                union.record(v);
+            }
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged, union.snapshot());
+    }
+
+    /// Quantiles are monotone in q and bounded by the recorded max.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        samples in prop::collection::vec(any::<u64>(), 1..128)
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut last = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            prop_assert!(v >= last, "quantile({q}) regressed");
+            prop_assert!(v <= s.max);
+            last = v;
+        }
+        prop_assert_eq!(s.max, samples.iter().copied().max().unwrap());
+        prop_assert_eq!(s.count, samples.len() as u64);
+    }
+
+    /// Merge is order-independent (commutative + associative over a
+    /// fold), so fan-out order across shards can't change `stats`.
+    #[test]
+    fn merge_is_order_independent(
+        a in prop::collection::vec(any::<u64>(), 0..32),
+        b in prop::collection::vec(any::<u64>(), 0..32),
+        c in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let snap = |samples: &[u64]| {
+            let h = Histogram::new();
+            for &v in samples {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+        let mut abc = sa.clone();
+        abc.merge(&sb);
+        abc.merge(&sc);
+        let mut cba = sc;
+        cba.merge(&sb);
+        cba.merge(&sa);
+        prop_assert_eq!(abc, cba);
+    }
+}

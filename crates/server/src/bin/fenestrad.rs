@@ -46,6 +46,13 @@ OPTIONS:
                             without --snapshot-every-ms); reclaimed
                             facts are counted in stats `gc_removed`
     --semantics MODE        state-first | stream-first | snapshot
+    --metrics-addr HOST:PORT  serve Prometheus text exposition on a
+                            second listener (plain HTTP GET /metrics);
+                            scrapes read atomics only and never touch
+                            the ingest path    [default: off]
+    --slow-ms N             log any shard ingest command slower than
+                            N ms (apply + WAL commit) as one JSON line
+                            on stderr          [default: off]
     -h, --help              print this help
 
 PROTOCOL (line-delimited JSON on one socket):
@@ -53,7 +60,8 @@ PROTOCOL (line-delimited JSON on one socket):
     {\"op\":\"ingest\",\"events\":[...]}      ingest a batch -> {\"ok\":true,\"seq\":N,\"count\":K}
     {\"cmd\":\"query\",\"q\":\"select ...\"}   run a query
     {\"cmd\":\"watch\",\"name\":\"w\",\"q\":\"select ...\"}   push view diffs
-    {\"cmd\":\"stats\"}                    engine + server counters
+    {\"cmd\":\"stats\"}                    counters, gauges, stage histograms
+    {\"cmd\":\"sync\"}                     processing barrier -> {\"ok\":true,\"synced\":true}
     {\"cmd\":\"shutdown\"}                 drain, snapshot, exit
 ";
 
@@ -112,6 +120,10 @@ fn main() -> ExitCode {
                 }
                 other => Err(format!("unknown semantics `{other}`")),
             }),
+            "--metrics-addr" => value("--metrics-addr").map(|v| config.metrics_addr = Some(v)),
+            "--slow-ms" => {
+                parse_num(value("--slow-ms"), "--slow-ms").map(|n| config.slow_ms = Some(n))
+            }
             other => Err(format!("unknown option `{other}` (try --help)")),
         };
         if let Err(e) = parsed {
@@ -144,6 +156,9 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("fenestrad: listening on {}", handle.local_addr());
+    if let Some(maddr) = handle.metrics_addr() {
+        eprintln!("fenestrad: serving Prometheus metrics on http://{maddr}/metrics");
+    }
 
     loop {
         std::thread::sleep(std::time::Duration::from_millis(100));

@@ -77,6 +77,17 @@ pub struct ServerConfig {
     /// interval). Reclaimed facts are counted in the `gc_removed`
     /// server stat.
     pub gc_horizon: Option<Duration>,
+    /// If set, a second listener serves Prometheus text exposition at
+    /// `GET /metrics` on this address (e.g. `"127.0.0.1:9100"`).
+    /// Scrapes read atomics only — they never enqueue through the
+    /// ingest path. Port `0` binds an ephemeral port (tests); the
+    /// bound address is [`crate::ServerHandle::metrics_addr`].
+    pub metrics_addr: Option<String>,
+    /// If set, any shard ingest command whose apply + WAL commit takes
+    /// at least this many milliseconds is logged as one structured
+    /// JSONL line on stderr (`{"slow_op":…}`), for tail-latency
+    /// forensics without a debugger attached.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +105,8 @@ impl Default for ServerConfig {
             fsync: FsyncPolicy::Always,
             shards: 1,
             gc_horizon: None,
+            metrics_addr: None,
+            slow_ms: None,
         }
     }
 }
@@ -175,6 +188,19 @@ impl ServerConfig {
         self.fsync = policy;
         self
     }
+
+    /// Serve Prometheus text exposition at `GET /metrics` on `addr`.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> ServerConfig {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Log shard ingest commands slower than `ms` milliseconds
+    /// (apply + WAL commit) as JSONL on stderr.
+    pub fn slow_ms(mut self, ms: u64) -> ServerConfig {
+        self.slow_ms = Some(ms);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -192,8 +218,12 @@ mod tests {
             .wal_path("/tmp/x.wal")
             .fsync(FsyncPolicy::EveryN(8))
             .shards(0)
-            .gc_horizon(Duration::secs(60));
+            .gc_horizon(Duration::secs(60))
+            .metrics_addr("127.0.0.1:0")
+            .slow_ms(25);
         assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.slow_ms, Some(25));
         assert_eq!(cfg.shards, 1, "shard count clamps to at least 1");
         assert_eq!(cfg.gc_horizon, Some(Duration::secs(60)));
         assert_eq!(cfg.queue_capacity, 1, "capacity clamps to at least 1");
@@ -210,6 +240,8 @@ mod tests {
         assert!(cfg.wal_path.is_none(), "durable WAL is opt-in");
         assert_eq!(cfg.shards, 1, "sharding is opt-in (legacy layout)");
         assert!(cfg.gc_horizon.is_none(), "GC is opt-in");
+        assert!(cfg.metrics_addr.is_none(), "metrics endpoint is opt-in");
+        assert!(cfg.slow_ms.is_none(), "slow-op log is opt-in");
         assert_eq!(cfg.batch_max, 512, "group commit is on by default");
         assert_eq!(
             cfg.fsync,

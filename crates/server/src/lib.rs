@@ -16,8 +16,12 @@
 //!   repository while events keep flowing;
 //! * **watch** — standing queries push row-level view differences to
 //!   the subscribed connection as they happen;
-//! * **stats / shutdown** — observability counters and graceful drain
-//!   (flush + snapshot) over the same protocol.
+//! * **stats / sync / shutdown** — observability counters, stage
+//!   latency histograms, a processing barrier, and graceful drain
+//!   (flush + snapshot) over the same protocol;
+//! * **/metrics** — an optional second listener
+//!   ([`ServerConfig::metrics_addr`]) serving Prometheus text
+//!   exposition, rendered from the same atomics as `stats`.
 //!
 //! ## Architecture
 //!
@@ -34,8 +38,15 @@
 //! deltas over a per-connection outbound channel drained by a
 //! dedicated writer thread. Queries and watches fan out to every shard
 //! (selects merge rows, `count` and `limit` apply globally after the
-//! merge); `stats` aggregates engine counters and reports a per-shard
-//! breakdown. Backpressure on the shard queues is configurable: block
+//! merge). `stats` is served **lock-light** on the connection thread
+//! from per-shard atomics ([`fenestra_obs::ShardObs`]) that the shard
+//! loops, engines, and WAL writers publish into — engine counters
+//! merged across shards, per-shard gauges (queue depth/HWM, reorder
+//! depth, watermark lag, held acks, WAL segment bytes, open facts),
+//! and per-stage latency histograms for the whole event lifecycle
+//! (admission → queue wait → reorder dwell → WAL append → fsync → ack
+//! hold, plus a late-margin histogram over dropped events).
+//! Backpressure on the shard queues is configurable: block
 //! the producing connection, or shed the frame — whole, never in part
 //! — and report it (see [`config::Backpressure`]).
 //!
@@ -78,7 +89,9 @@
 //! ← {"ok":true,"watch":"lab"}
 //! ← {"watch":"lab","sign":1,"row":{"v":"#0"}}
 //! → {"cmd":"stats"}
-//! ← {"ok":true,"engine":{…},"server":{…}}
+//! ← {"ok":true,"engine":{…},"server":{…},"stages":{…},"shards":[{…},…]}
+//! → {"cmd":"sync"}
+//! ← {"ok":true,"synced":true}
 //! → {"cmd":"shutdown"}
 //! ← {"ok":true,"bye":true}
 //! ```
@@ -112,15 +125,19 @@
 //!   `server.acks_deferred`; commits that covered more than one event
 //!   in `server.group_commits`.
 //!
-//! In every mode the shard queues are FIFO and `stats` / `shutdown`
-//! visit every shard, so a later `stats` or `shutdown` reply on the
+//! In every mode the shard queues are FIFO and `sync` / `shutdown`
+//! visit every shard, so a later `sync` or `shutdown` reply on the
 //! same connection proves every previously acked event has been
-//! *processed* (applied or counted as late). Under `every-N`
-//! / `on-snapshot` policies recovery truncates a torn WAL tail and
-//! reports it in `server.wal_discarded_bytes`.
+//! *processed* (applied or counted as late). `stats` does **not**
+//! carry that guarantee: it reads published atomics on the connection
+//! thread — deliberately, so metrics pollers never enqueue through
+//! the ingest path — and may run slightly behind the shard loops.
+//! Under `every-N` / `on-snapshot` policies recovery truncates a torn
+//! WAL tail and reports it in `server.wal_discarded_bytes`.
 
 pub mod config;
 pub mod metrics;
+pub mod prom;
 pub mod proto;
 pub mod server;
 

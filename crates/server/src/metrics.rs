@@ -49,6 +49,11 @@ pub struct ServerMetrics {
     /// lateness bound, only after the watermark passes it. Shed frames
     /// are not counted; their ack was never deferred.
     pub acks_deferred: AtomicU64,
+    /// Deferred acks resolved: the held line (ack or, on WAL failure,
+    /// an error) was handed to its connection's writer. Steady-state,
+    /// `acks_deferred - acks_released` is the number of in-flight
+    /// held acks across all connections.
+    pub acks_released: AtomicU64,
     /// Durable WAL: op batches appended.
     pub wal_appends: AtomicU64,
     /// Durable WAL: payload bytes appended (frame headers included).
@@ -115,6 +120,7 @@ impl ServerMetrics {
         );
         obj.insert("group_commits".into(), get(&self.group_commits));
         obj.insert("acks_deferred".into(), get(&self.acks_deferred));
+        obj.insert("acks_released".into(), get(&self.acks_released));
         obj.insert("wal_appends".into(), get(&self.wal_appends));
         obj.insert("wal_bytes".into(), get(&self.wal_bytes));
         obj.insert("fsyncs".into(), get(&self.fsyncs));
@@ -177,6 +183,7 @@ mod tests {
             "ingest_batch_mean",
             "group_commits",
             "acks_deferred",
+            "acks_released",
             "wal_appends",
             "wal_bytes",
             "fsyncs",

@@ -38,8 +38,17 @@ pub enum Request {
         /// Query text (`history` queries are rejected).
         text: String,
     },
-    /// `{"cmd":"stats"}` — engine + server counters.
+    /// `{"cmd":"stats"}` — engine + server counters, stage-latency
+    /// histograms, and per-shard gauges. Served lock-light from the
+    /// connection thread (no shard round-trip), so a stats reply is
+    /// **not** a processing barrier — use [`Request::Sync`] for that.
     Stats,
+    /// `{"cmd":"sync"}` — a processing barrier: the reply
+    /// (`{"ok":true,"synced":true}`) is sent only after every shard
+    /// has processed every command admitted before this one on this
+    /// connection (FIFO shard queues make the fan-out round-trip a
+    /// proof of processing).
+    Sync,
     /// `{"cmd":"shutdown"}` — drain, snapshot, exit.
     Shutdown,
 }
@@ -84,9 +93,10 @@ pub fn parse_request(line: &str) -> Result<Request> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "sync" => Ok(Request::Sync),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(Error::Invalid(format!(
-            "unknown command `{other}` (expected query, watch, stats, or shutdown)"
+            "unknown command `{other}` (expected query, watch, stats, sync, or shutdown)"
         ))),
     }
 }
@@ -132,10 +142,11 @@ fn parse_batch(json: Json) -> Result<Request> {
 /// discarded, durably so). With `--max-lateness-ms > 0` that deferral
 /// extends past the reorder buffer: the ack is withheld until the
 /// watermark passes the frame — on an idle stream, until the next
-/// event (or shutdown) advances it. The FIFO queue makes any later
-/// reply on the same connection a processing barrier for everything
-/// acked before it; see the crate docs ("Ack semantics and
-/// durability").
+/// event (or shutdown) advances it. To *prove* everything acked so
+/// far has been processed, issue a `{"cmd":"sync"}` round-trip: its
+/// reply visits every FIFO shard queue. (`stats` is no longer a
+/// barrier — it reads atomics on the connection thread.) See the
+/// crate docs ("Ack semantics and durability").
 pub fn ack(seq: u64) -> String {
     format!("{{\"ok\":true,\"seq\":{seq}}}")
 }
@@ -180,6 +191,13 @@ pub fn watch_ack(name: &str) -> String {
 /// `{"ok":true,"bye":true}` — shutdown acknowledged.
 pub fn bye() -> String {
     "{\"ok\":true,\"bye\":true}".into()
+}
+
+/// `{"ok":true,"synced":true}` — the `sync` barrier completed: every
+/// command admitted before it (on this connection) has been processed
+/// by its shard.
+pub fn synced() -> String {
+    "{\"ok\":true,\"synced\":true}".into()
 }
 
 /// Render a value for the wire, resolving entity ids to their
@@ -283,6 +301,10 @@ mod tests {
             parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
             Request::Shutdown
         ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"sync"}"#).unwrap(),
+            Request::Sync
+        ));
         let Request::Query { text } =
             parse_request(r#"{"cmd":"query","q":"select ?v where { ?v a 1 }"}"#).unwrap()
         else {
@@ -371,6 +393,7 @@ mod tests {
             error("boom \"quoted\""),
             watch_ack("w"),
             bye(),
+            synced(),
             stats_reply(Json::Null, Json::Null),
         ] {
             serde_json::from_str(&line).unwrap_or_else(|e| panic!("{line}: {e}"));

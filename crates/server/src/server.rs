@@ -13,10 +13,16 @@
 //! deliberately, under the [`Backpressure::Block`] policy, where a
 //! full shard queue blocks the *sending* connection only.
 //!
-//! Queries fan out across shards and merge; `stats` aggregates engine
-//! counters and reports per-shard breakdowns. With one shard every
-//! reply — including query byte layout and the on-disk WAL/snapshot
-//! format — is identical to the pre-sharding server.
+//! Queries fan out across shards and merge. `stats` is served
+//! **lock-light** on the connection thread: shard loops and WAL
+//! writers publish counters, gauges, and stage-latency histograms
+//! into per-shard atomics ([`fenestra_obs::ShardObs`]) that the stats
+//! builder — and the optional Prometheus listener
+//! (`--metrics-addr`) — merely load and merge. Metrics reads never
+//! enqueue through the ingest path; the explicit `{"cmd":"sync"}`
+//! command is the processing barrier `stats` used to double as. With
+//! one shard, query byte layout and the on-disk WAL/snapshot format
+//! are identical to the pre-sharding server.
 
 use crate::config::{Backpressure, ServerConfig};
 use crate::metrics::ServerMetrics;
@@ -29,6 +35,7 @@ use fenestra_base::time::{Duration, Interval, Timestamp};
 use fenestra_base::value::Value;
 use fenestra_core::shard::{merge_rows, partial_select};
 use fenestra_core::{Engine, EngineMetrics, QueryResult, ShardRouter, Watch};
+use fenestra_obs::{EngineCounters, PipelineObs, ShardObs};
 use fenestra_query::{Bindings, Query, QueryOptions};
 use fenestra_temporal::wal_file::{
     recover_shards, segment_path, shard_segment_path, shard_snapshot_path,
@@ -39,9 +46,10 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 // ----- cross-shard acks -----------------------------------------------------
 
@@ -71,12 +79,21 @@ struct FrameAck {
 /// sends each connection's ack lines strictly in admission order — a
 /// completed frame waits behind an earlier incomplete one, but one
 /// connection's stalled frame never holds up another connection.
-#[derive(Default)]
 struct AckTable {
     conns: Mutex<HashMap<u64, VecDeque<Arc<FrameAck>>>>,
+    /// For the `acks_released` counter: every held line handed to a
+    /// writer (ack or failure) counts as one resolved deferral.
+    metrics: Arc<ServerMetrics>,
 }
 
 impl AckTable {
+    fn new(metrics: Arc<ServerMetrics>) -> AckTable {
+        AckTable {
+            conns: Mutex::new(HashMap::new()),
+            metrics,
+        }
+    }
+
     /// Register a frame in admission order. Must happen before any
     /// shard can vote on it (i.e. before the parts are enqueued).
     fn register(&self, frame: Arc<FrameAck>) {
@@ -135,6 +152,7 @@ impl AckTable {
             } else {
                 f.line.clone()
             };
+            self.metrics.acks_released.fetch_add(1, Ordering::Relaxed);
             let _ = f.sink.send(line);
         }
         if q.is_empty() {
@@ -150,6 +168,7 @@ impl AckTable {
         let mut map = self.conns.lock().expect("ack table lock");
         for (_, q) in map.drain() {
             for f in q {
+                self.metrics.acks_released.fetch_add(1, Ordering::Relaxed);
                 let _ = f.sink.send(proto::error(msg));
             }
         }
@@ -165,6 +184,9 @@ struct AckPart {
     /// occurs for sent parts — empty parts are not sent — but a frame
     /// dropped entirely as late still yields a covered vote).
     max_ts: Option<Timestamp>,
+    /// When the connection thread admitted the frame; the `ack_hold_us`
+    /// stage measures from here to the covering vote.
+    admitted: Instant,
 }
 
 /// One shard's history span list, ids already resolved.
@@ -174,8 +196,13 @@ type HistorySpans = Vec<(Interval, Value, Provenance)>;
 enum ShardCmd {
     /// This shard's part of an ingest frame. The shard greedily
     /// coalesces consecutive parts into one group commit and votes the
-    /// attached acks once its WAL fsync covers them.
-    Ingest(Vec<Event>, Option<AckPart>),
+    /// attached acks once its WAL fsync covers them. `enqueued` is when
+    /// the connection thread sent the part (the `queue_wait_us` stage).
+    Ingest {
+        evs: Vec<Event>,
+        ack: Option<AckPart>,
+        enqueued: Instant,
+    },
     /// Single-shard deployments: the full legacy query path, returning
     /// the exact reply line (byte-identical to the unsharded server).
     QueryLine {
@@ -202,13 +229,12 @@ enum ShardCmd {
         q: Query,
         sink: Sender<String>,
     },
-    /// Single-shard deployments: the full legacy stats reply line.
-    StatsLine {
-        reply: Sender<String>,
-    },
-    /// Fan-out stats: this shard's counters for aggregation.
-    StatsJson {
-        reply: Sender<ShardStats>,
+    /// Processing barrier: replies once every command admitted before
+    /// it on this shard's FIFO queue has been applied. `stats` reads
+    /// atomics on the connection thread and proves nothing; `sync`
+    /// proves everything.
+    Sync {
+        done: Sender<()>,
     },
     Snapshot,
     /// Horizon GC pass (`--gc-horizon-ms`), on the snapshot cadence.
@@ -217,15 +243,6 @@ enum ShardCmd {
     Shutdown {
         done: Sender<()>,
     },
-}
-
-/// One shard's contribution to an aggregated `stats` reply.
-struct ShardStats {
-    shard: u32,
-    engine: EngineMetrics,
-    /// Durable acks this shard is still holding (frames admitted but
-    /// not yet covered by a fsynced WAL frame).
-    held_acks: u64,
 }
 
 /// Shared context for connection threads.
@@ -239,6 +256,7 @@ struct ConnCtx {
     /// touched shard's group commit covers the frame.
     durable_acks: bool,
     metrics: Arc<ServerMetrics>,
+    obs: Arc<PipelineObs>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -248,11 +266,14 @@ pub struct Server;
 /// A running server: bound address, shutdown trigger, join.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     metrics: Arc<ServerMetrics>,
+    obs: Arc<PipelineObs>,
     shutdown: Arc<AtomicBool>,
     coord: Arc<ShutdownCoord>,
     shard_threads: Vec<JoinHandle<()>>,
     listener_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 /// Coordinates the one graceful shutdown: broadcast `Shutdown` to all
@@ -265,6 +286,7 @@ struct ShutdownCoord {
     shutdown: Arc<AtomicBool>,
     started: AtomicBool,
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl ShutdownCoord {
@@ -291,8 +313,11 @@ impl ShutdownCoord {
         // applied; resolve their acks explicitly rather than hanging.
         self.ack_table.fail_all("server shutting down");
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept loop so it notices the flag.
+        // Wake the accept loops so they notice the flag.
         let _ = TcpStream::connect(self.addr);
+        if let Some(maddr) = self.metrics_addr {
+            let _ = TcpStream::connect(maddr);
+        }
     }
 }
 
@@ -314,14 +339,28 @@ impl Server {
             fsync,
             shards,
             gc_horizon,
+            metrics_addr,
+            slow_ms,
         } = config;
         let shards = shards.max(1);
         let durable_acks = wal_path.is_some() && fsync == FsyncPolicy::Always;
         let listener = TcpListener::bind(&addr)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(ServerMetrics::default());
+        let obs = Arc::new(PipelineObs::new(shards as usize));
+        let metrics_listener = match &metrics_addr {
+            Some(maddr) => Some(TcpListener::bind(maddr)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
 
         let mut engines: Vec<Engine> = (0..shards).map(|_| Engine::new(engine_cfg)).collect();
+        for (i, engine) in engines.iter_mut().enumerate() {
+            engine.set_obs(obs.shards[i].clone());
+        }
         // With a durable WAL configured, boot is a recovery: each
         // shard's latest snapshot plus its WAL tail, all shards
         // replayed in parallel, installed *before* `setup` so the
@@ -349,13 +388,15 @@ impl Server {
                     };
                     // `open` re-truncates the same torn bytes `recover`
                     // already counted, so its torn count is not added.
-                    let (writer, _torn) = WalWriter::open(&seg, fsync)?;
+                    let (mut writer, _torn) = WalWriter::open(&seg, fsync)?;
+                    writer.set_obs(obs.shards[i].wal.clone());
                     durabilities.push(Some(Durability {
                         writer,
                         base: base.clone(),
                         gen: rec.wal_gen,
                         snapshot_path: snapshot_path.clone(),
                         metrics: metrics.clone(),
+                        obs: obs.shards[i].clone(),
                         rotated_stats: WalWriterStats::default(),
                         published: WalWriterStats::default(),
                         boot_resumed: resumed,
@@ -391,7 +432,7 @@ impl Server {
         let router = Arc::new(router);
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let ack_table = Arc::new(AckTable::default());
+        let ack_table = Arc::new(AckTable::new(metrics.clone()));
         let per_shard_capacity = (queue_capacity / shards as usize).max(1);
         let mut shard_txs = Vec::with_capacity(shards as usize);
         let mut shard_threads = Vec::with_capacity(shards as usize);
@@ -408,6 +449,8 @@ impl Server {
                 batch_max,
                 gc_horizon,
                 metrics: metrics.clone(),
+                obs: obs.shards[i].clone(),
+                slow_ms,
                 ack_table: ack_table.clone(),
             };
             shard_threads.push(
@@ -423,6 +466,7 @@ impl Server {
             shutdown: shutdown.clone(),
             started: AtomicBool::new(false),
             addr,
+            metrics_addr,
         });
 
         let listener_thread = {
@@ -434,11 +478,29 @@ impl Server {
                 backpressure,
                 durable_acks,
                 metrics: metrics.clone(),
+                obs: obs.clone(),
                 shutdown: shutdown.clone(),
             });
             thread::Builder::new()
                 .name("fenestra-accept".into())
                 .spawn(move || accept_loop(listener, ctx))?
+        };
+
+        // Prometheus exposition listener: plain HTTP, one thread,
+        // served from atomics — a scrape can never block or slow the
+        // ingest path.
+        let metrics_thread = match metrics_listener {
+            Some(l) => {
+                let metrics = metrics.clone();
+                let obs = obs.clone();
+                let stop = shutdown.clone();
+                Some(
+                    thread::Builder::new()
+                        .name("fenestra-metrics".into())
+                        .spawn(move || metrics_loop(l, metrics, obs, stop))?,
+                )
+            }
+            None => None,
         };
 
         // Snapshot/GC cadence: the snapshot tick also runs GC when a
@@ -473,11 +535,14 @@ impl Server {
 
         Ok(ServerHandle {
             addr,
+            metrics_addr,
             metrics,
+            obs,
             shutdown,
             coord,
             shard_threads,
             listener_thread: Some(listener_thread),
+            metrics_thread,
         })
     }
 }
@@ -488,9 +553,23 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The bound Prometheus listener address, when
+    /// [`crate::ServerConfig::metrics_addr`] was configured (resolves
+    /// port `0` to the real port).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// Live server counters.
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// Live pipeline instrumentation: stage histograms and per-shard
+    /// gauges. Reads are relaxed atomic loads — cheap enough for a
+    /// benchmark to snapshot mid-run.
+    pub fn pipeline_obs(&self) -> &Arc<PipelineObs> {
+        &self.obs
     }
 
     /// True once the shard threads have drained (e.g. a client issued
@@ -517,6 +596,9 @@ impl ServerHandle {
         if let Some(t) = self.listener_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.metrics_thread.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -534,6 +616,10 @@ struct Durability {
     gen: u64,
     snapshot_path: Option<PathBuf>,
     metrics: Arc<ServerMetrics>,
+    /// This shard's instrumentation: the WAL writer feeds
+    /// `wal_append_us`/`fsync_us` into `obs.wal`, and every
+    /// `publish_stats` refreshes the `wal_segment_bytes` gauge.
+    obs: Arc<ShardObs>,
     /// Counters accumulated by writers of already-rotated segments
     /// (each `WalWriter` counts from zero).
     rotated_stats: WalWriterStats,
@@ -573,6 +659,9 @@ impl Durability {
         m.fsyncs
             .fetch_add(total.fsyncs - self.published.fsyncs, Ordering::Relaxed);
         self.published = total;
+        self.obs
+            .wal_segment_bytes
+            .store(self.writer.segment_len(), Ordering::Relaxed);
     }
 
     /// Append the ops the engine applied since the last drain — the
@@ -620,7 +709,12 @@ impl Durability {
         let next_gen = self.gen + 1;
         let next_path = self.segment(next_gen);
         let next_writer = match WalWriter::create(&next_path, self.writer.policy()) {
-            Ok(w) => w,
+            Ok(mut w) => {
+                // Rotation replaces the writer; the stage histograms
+                // must keep accumulating across segments.
+                w.set_obs(self.obs.wal.clone());
+                w
+            }
             Err(e) => {
                 eprintln!(
                     "fenestrad: starting WAL segment {} failed: {e}",
@@ -673,6 +767,8 @@ struct ShardCtx {
     batch_max: usize,
     gc_horizon: Option<Duration>,
     metrics: Arc<ServerMetrics>,
+    obs: Arc<ShardObs>,
+    slow_ms: Option<u64>,
     ack_table: Arc<AckTable>,
 }
 
@@ -687,6 +783,8 @@ fn shard_loop(ctx: ShardCtx) {
         batch_max,
         gc_horizon,
         metrics,
+        obs,
+        slow_ms,
         ack_table,
     } = ctx;
     if let Some(d) = durability.as_mut() {
@@ -707,7 +805,6 @@ fn shard_loop(ctx: ShardCtx) {
     // Highest event timestamp applied on this shard (the GC horizon's
     // reference point).
     let mut last_ts: u64 = 0;
-    let held_acks = Arc::new(AtomicU64::new(0));
     // A non-ingest command pulled off the queue while coalescing an
     // ingest batch; handled on the next iteration (FIFO preserved).
     let mut deferred_cmd: Option<ShardCmd> = None;
@@ -725,7 +822,10 @@ fn shard_loop(ctx: ShardCtx) {
         // standing watches are not re-polled on their account.
         let mut poll = false;
         match cmd {
-            ShardCmd::Ingest(evs, ack) => {
+            ShardCmd::Ingest { evs, ack, enqueued } => {
+                let dequeued = Instant::now();
+                obs.queue_wait_us
+                    .record(dequeued.saturating_duration_since(enqueued).as_micros() as u64);
                 // Group commit: greedily drain the queue into one event
                 // batch (up to `batch_max` events), apply it in one
                 // engine pass, append ONE WAL frame, fsync once, and
@@ -734,7 +834,10 @@ fn shard_loop(ctx: ShardCtx) {
                 let mut acks: VecDeque<AckPart> = ack.into_iter().collect();
                 while batch.len() < batch_max {
                     match rx.try_recv() {
-                        Ok(ShardCmd::Ingest(evs, ack)) => {
+                        Ok(ShardCmd::Ingest { evs, ack, enqueued }) => {
+                            obs.queue_wait_us.record(
+                                dequeued.saturating_duration_since(enqueued).as_micros() as u64,
+                            );
                             batch.extend(evs);
                             acks.extend(ack);
                         }
@@ -748,6 +851,7 @@ fn shard_loop(ctx: ShardCtx) {
                 let n = batch.len() as u64;
                 last_ts = last_ts.max(batch.iter().map(|e| e.ts.millis()).max().unwrap_or(0));
                 let late = engine.push_batch(batch);
+                let applied = Instant::now();
                 if late > 0 {
                     // Deferred or not, the ack means "accepted", not
                     // "applied": events beyond the lateness bound are
@@ -778,13 +882,40 @@ fn shard_loop(ctx: ShardCtx) {
                 // durability.
                 if committed {
                     pending.extend(acks);
-                    release_covered(&mut pending, &engine, &ack_table);
+                    release_covered(&mut pending, &engine, &ack_table, &obs);
                 } else {
                     for p in pending.drain(..).chain(acks) {
                         ack_table.vote(&p.frame, false);
                     }
                 }
-                held_acks.store(pending.len() as u64, Ordering::Relaxed);
+                obs.held_acks.store(pending.len() as u64, Ordering::Relaxed);
+                obs.observe_queue_depth(rx.len() as u64);
+                obs.state_facts
+                    .store(engine.store().open_fact_count() as u64, Ordering::Relaxed);
+                if let Some(ms) = slow_ms {
+                    let done = Instant::now();
+                    let total_us = done.saturating_duration_since(dequeued).as_micros() as u64;
+                    if total_us >= ms.saturating_mul(1000) {
+                        let mut o = Map::new();
+                        o.insert("slow_op".into(), Json::from("ingest"));
+                        o.insert("shard".into(), Json::from(id));
+                        o.insert("events".into(), Json::from(n));
+                        o.insert("late".into(), Json::from(late));
+                        o.insert(
+                            "apply_us".into(),
+                            Json::from(
+                                applied.saturating_duration_since(dequeued).as_micros() as u64
+                            ),
+                        );
+                        o.insert(
+                            "commit_us".into(),
+                            Json::from(done.saturating_duration_since(applied).as_micros() as u64),
+                        );
+                        o.insert("total_us".into(), Json::from(total_us));
+                        o.insert("held_acks".into(), Json::from(pending.len() as u64));
+                        eprintln!("{}", Json::Object(o));
+                    }
+                }
                 poll = n > late;
             }
             ShardCmd::QueryLine { text, reply } => {
@@ -828,24 +959,16 @@ fn shard_loop(ctx: ShardCtx) {
                 // Poll so the new watch delivers its initial rows.
                 poll = true;
             }
-            ShardCmd::StatsLine { reply } => {
-                let line = proto::stats_reply(
-                    fenestra_wire::metrics::metrics_json_value(&engine.metrics()),
-                    metrics.json_value(),
-                );
-                let _ = reply.send(line);
-            }
-            ShardCmd::StatsJson { reply } => {
-                let _ = reply.send(ShardStats {
-                    shard: id,
-                    engine: engine.metrics(),
-                    held_acks: pending.len() as u64,
-                });
+            ShardCmd::Sync { done } => {
+                // FIFO queue: everything admitted before this command
+                // has been applied (and, durable, drained to the WAL)
+                // by the time we reply.
+                let _ = done.send(());
             }
             ShardCmd::Snapshot => match durability.as_mut() {
                 Some(d) => {
                     if d.checkpoint(&mut engine) {
-                        release_covered(&mut pending, &engine, &ack_table);
+                        release_covered(&mut pending, &engine, &ack_table, &obs);
                     } else {
                         for p in pending.drain(..) {
                             ack_table.vote(&p.frame, false);
@@ -880,8 +1003,9 @@ fn shard_loop(ctx: ShardCtx) {
                     }
                 };
                 if committed {
-                    release_covered(&mut pending, &engine, &ack_table);
+                    release_covered(&mut pending, &engine, &ack_table, &obs);
                 }
+                obs.held_acks.store(0, Ordering::Relaxed);
                 // After `finish` the buffer is empty, so a successful
                 // checkpoint covered everything; anything left (only on
                 // failure) is voted down — no ack is left hanging.
@@ -918,17 +1042,25 @@ fn shard_loop(ctx: ShardCtx) {
 /// any order here; the [`AckTable`] serializes each connection's ack
 /// lines into admission order. With `max_lateness == 0` the buffer is
 /// always empty after a push, so every held part votes immediately.
-fn release_covered(pending: &mut VecDeque<AckPart>, engine: &Engine, table: &AckTable) {
+fn release_covered(
+    pending: &mut VecDeque<AckPart>,
+    engine: &Engine,
+    table: &AckTable,
+    obs: &ShardObs,
+) {
     if pending.is_empty() {
         return;
     }
     let low = engine.buffered_low_ts();
+    let now = Instant::now();
     pending.retain(|p| {
         let covered = match (p.max_ts, low) {
             (None, _) | (_, None) => true,
             (Some(max_ts), Some(low)) => max_ts < low,
         };
         if covered {
+            obs.ack_hold_us
+                .record(now.saturating_duration_since(p.admitted).as_micros() as u64);
             table.vote(&p.frame, true);
         }
         !covered
@@ -1057,13 +1189,13 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64) {
                 }
             }
             Request::Stats => {
-                if ctx.shard_txs.len() == 1 {
-                    request_reply(&ctx.shard_txs[0], &out_tx, |reply| ShardCmd::StatsLine {
-                        reply,
-                    });
-                } else {
-                    fan_out_stats(&ctx, &out_tx);
-                }
+                // Lock-light: built here, on the connection thread,
+                // from published atomics. No shard round-trip — a
+                // stats poller can never slow or stall ingest.
+                let _ = out_tx.send(build_stats(&ctx));
+            }
+            Request::Sync => {
+                fan_out_sync(&ctx, &out_tx);
             }
             Request::Watch { name, text } => match parse_select(&text) {
                 Ok(q) => {
@@ -1182,40 +1314,47 @@ fn fan_out_query(ctx: &ConnCtx, out_tx: &Sender<String>, text: &str) {
     }
 }
 
-/// Aggregate `stats` across shards (N > 1 only): engine counters are
-/// summed, the shared server counters reported once, and each shard's
-/// own counters listed under `"shards"` (see `fenestra-wire`'s stats
-/// schema docs).
-fn fan_out_stats(ctx: &ConnCtx, out_tx: &Sender<String>) {
-    let mut replies = Vec::with_capacity(ctx.shard_txs.len());
-    for tx in &ctx.shard_txs {
-        let (rtx, rrx) = channel::bounded(1);
-        if tx.send(ShardCmd::StatsJson { reply: rtx }).is_err() {
-            let _ = out_tx.send(proto::error("server shutting down"));
-            return;
-        }
-        replies.push(rrx);
+/// Engine counters as published into the per-shard gauges, in
+/// [`EngineMetrics`] shape so the wire schema is unchanged.
+pub(crate) fn counters_to_metrics(c: &EngineCounters) -> EngineMetrics {
+    EngineMetrics {
+        events: c.events,
+        late_dropped: c.late_dropped,
+        rule_fired: c.rule_fired,
+        transitions: c.transitions,
+        guard_blocked: c.guard_blocked,
+        rule_errors: c.rule_errors,
+        reason_asserted: c.reason_asserted,
+        reason_retracted: c.reason_retracted,
+        reason_syncs: c.reason_syncs,
+        ttl_expired: c.ttl_expired,
     }
+}
+
+/// Build the `stats` reply from published atomics only — engine
+/// counters merged across shards, the shared server counters, merged
+/// stage-latency histograms, and a per-shard breakdown (counters,
+/// gauges, stages). No locks beyond relaxed loads, no shard
+/// round-trip; see `fenestra-wire`'s stats schema docs.
+fn build_stats(ctx: &ConnCtx) -> String {
     let mut merged = EngineMetrics::default();
-    let mut per_shard = Vec::with_capacity(replies.len());
-    for rrx in replies {
-        match rrx.recv() {
-            Ok(s) => {
-                merged.merge(&s.engine);
-                let mut obj = Map::new();
-                obj.insert("shard".into(), Json::from(s.shard));
-                obj.insert(
-                    "engine".into(),
-                    fenestra_wire::metrics::metrics_json_value(&s.engine),
-                );
-                obj.insert("held_acks".into(), Json::from(s.held_acks));
-                per_shard.push(Json::Object(obj));
-            }
-            Err(_) => {
-                let _ = out_tx.send(proto::error("server shutting down"));
-                return;
-            }
-        }
+    let mut per_shard = Vec::with_capacity(ctx.obs.shards.len());
+    for (i, sh) in ctx.obs.shards.iter().enumerate() {
+        let em = counters_to_metrics(&sh.engine.load());
+        merged.merge(&em);
+        let mut obj = Map::new();
+        obj.insert("shard".into(), Json::from(i as u32));
+        obj.insert(
+            "engine".into(),
+            fenestra_wire::metrics::metrics_json_value(&em),
+        );
+        obj.insert(
+            "held_acks".into(),
+            Json::from(sh.held_acks.load(Ordering::Relaxed)),
+        );
+        obj.insert("gauges".into(), sh.gauges_json());
+        obj.insert("stages".into(), sh.stages_json());
+        per_shard.push(Json::Object(obj));
     }
     let mut obj = Map::new();
     obj.insert("ok".into(), Json::Bool(true));
@@ -1224,8 +1363,31 @@ fn fan_out_stats(ctx: &ConnCtx, out_tx: &Sender<String>) {
         fenestra_wire::metrics::metrics_json_value(&merged),
     );
     obj.insert("server".into(), ctx.metrics.json_value());
+    obj.insert("stages".into(), ctx.obs.merged_stages_json());
     obj.insert("shards".into(), Json::Array(per_shard));
-    let _ = out_tx.send(Json::Object(obj).to_string());
+    Json::Object(obj).to_string()
+}
+
+/// Fan the `sync` barrier out to every shard and confirm once each has
+/// replied — proving every command admitted before the barrier (on any
+/// shard, by FIFO queues) has been applied.
+fn fan_out_sync(ctx: &ConnCtx, out_tx: &Sender<String>) {
+    let mut dones = Vec::with_capacity(ctx.shard_txs.len());
+    for tx in &ctx.shard_txs {
+        let (dtx, drx) = channel::bounded(1);
+        if tx.send(ShardCmd::Sync { done: dtx }).is_err() {
+            let _ = out_tx.send(proto::error("server shutting down"));
+            return;
+        }
+        dones.push(drx);
+    }
+    for drx in dones {
+        if drx.recv().is_err() {
+            let _ = out_tx.send(proto::error("server shutting down"));
+            return;
+        }
+    }
+    let _ = out_tx.send(proto::synced());
 }
 
 /// One ingest frame off the wire: a plain event line, or a
@@ -1252,6 +1414,10 @@ fn ingest(
     frame: Frame,
     last_seq: u64,
 ) -> bool {
+    // One clock read covers the whole admission: the enqueue stamp for
+    // `queue_wait_us`, the hold start for `ack_hold_us`, and the
+    // front-door `admit_us` sample at the end.
+    let t_admit = Instant::now();
     let (evs, ack_line) = match frame {
         Frame::One(ev) => (vec![ev], proto::ack(last_seq)),
         Frame::Many(evs) => {
@@ -1312,8 +1478,13 @@ fn ingest(
                 let ack = frame_ack.as_ref().map(|f| AckPart {
                     frame: f.clone(),
                     max_ts,
+                    admitted: t_admit,
                 });
-                let cmd = ShardCmd::Ingest(part, ack);
+                let cmd = ShardCmd::Ingest {
+                    evs: part,
+                    ack,
+                    enqueued: t_admit,
+                };
                 let sent = match ctx.backpressure {
                     Backpressure::Shed if targets.len() == 1 => {
                         match ctx.shard_txs[i].try_send(cmd) {
@@ -1343,8 +1514,11 @@ fn ingest(
                     }
                 };
                 if sent {
-                    ctx.metrics
-                        .observe_queue_depth(ctx.shard_txs[i].len() as u64);
+                    let depth = ctx.shard_txs[i].len() as u64;
+                    // Server-level HWM (max across shards) and this
+                    // shard's own depth/HWM (`gauges.queue_hwm`).
+                    ctx.metrics.observe_queue_depth(depth);
+                    ctx.obs.shards[i].observe_queue_depth(depth);
                 }
             }
             ok
@@ -1370,6 +1544,9 @@ fn ingest(
         ctx.metrics.shed.fetch_add(count, Ordering::Relaxed);
         let _ = out_tx.send(proto::shed(last_seq, count));
     }
+    ctx.obs
+        .admit_us
+        .record(t_admit.elapsed().as_micros() as u64);
     true
 }
 
@@ -1389,6 +1566,75 @@ fn request_reply(
         .recv()
         .unwrap_or_else(|_| proto::error("server shutting down"));
     let _ = out_tx.send(line);
+}
+
+// ----- Prometheus listener --------------------------------------------------
+
+/// Accept loop for the `--metrics-addr` listener. Scrapes are served
+/// serially on this one thread: each render is a pass over atomics, so
+/// there is nothing worth parallelizing, and a scraper can never
+/// amplify into many engine-side threads.
+fn metrics_loop(
+    listener: TcpListener,
+    metrics: Arc<ServerMetrics>,
+    obs: Arc<PipelineObs>,
+    shutdown: Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        serve_metrics_conn(stream, &metrics, &obs);
+    }
+}
+
+/// One minimal HTTP exchange: `GET /metrics` returns the Prometheus
+/// text exposition, anything else a 404. Hand-rolled on purpose — no
+/// HTTP dependency for one GET route. A read timeout bounds how long a
+/// wedged scraper can hold the (single) metrics thread.
+fn serve_metrics_conn(stream: TcpStream, metrics: &ServerMetrics, obs: &PipelineObs) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers; the reply does not depend on any of them.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut w = BufWriter::new(stream);
+    if method == "GET" && path.trim_end_matches('/') == "/metrics" {
+        let body = crate::prom::render_prometheus(metrics, obs);
+        let _ = write!(
+            w,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+    } else {
+        let body = "not found; try GET /metrics\n";
+        let _ = write!(
+            w,
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+    }
+    let _ = w.flush();
 }
 
 #[cfg(test)]

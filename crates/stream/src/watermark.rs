@@ -60,6 +60,13 @@ impl WatermarkGenerator {
         self.current
     }
 
+    /// The greatest event time observed so far (the stream head).
+    /// `max_seen - current` is the watermark lag, which settles at the
+    /// policy's lateness bound once the stream is flowing.
+    pub fn max_seen(&self) -> Option<Timestamp> {
+        self.max_seen
+    }
+
     /// Observe an event time. Returns `None` if the event is late
     /// (should be dropped), otherwise `Some(advanced)` where `advanced`
     /// carries a new watermark if it moved.

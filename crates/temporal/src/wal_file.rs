@@ -242,6 +242,12 @@ pub struct WalWriter {
     unsynced_batches: u32,
     dirty: bool,
     stats: WalWriterStats,
+    /// Bytes in the segment (valid prefix at open, grows per frame).
+    len: u64,
+    /// Optional write-path timing: append/fsync latency histograms.
+    /// The writer is the only place that knows whether an `append`
+    /// also synced, so the split is measured here.
+    obs: Option<std::sync::Arc<fenestra_obs::WalObs>>,
 }
 
 impl WalWriter {
@@ -265,6 +271,8 @@ impl WalWriter {
             unsynced_batches: 0,
             dirty: false,
             stats: WalWriterStats::default(),
+            len: tail.valid_len,
+            obs: None,
         };
         w.file.seek(SeekFrom::End(0))?;
         if tail.discarded_bytes > 0 {
@@ -291,7 +299,16 @@ impl WalWriter {
             unsynced_batches: 0,
             dirty: false,
             stats: WalWriterStats::default(),
+            len: 0,
+            obs: None,
         })
+    }
+
+    /// Attach append/fsync latency histograms. Survives until the
+    /// writer is dropped; rotation must re-attach on the new segment's
+    /// writer to keep one continuous series.
+    pub fn set_obs(&mut self, obs: std::sync::Arc<fenestra_obs::WalObs>) {
+        self.obs = Some(obs);
     }
 
     /// Append one batch of ops as a single frame, then sync according
@@ -312,11 +329,16 @@ impl WalWriter {
         frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         frame.extend_from_slice(&crc32(&payload).to_be_bytes());
         frame.extend_from_slice(&payload);
+        let started = self.obs.is_some().then(std::time::Instant::now);
         self.file.write_all(&frame)?;
+        if let (Some(obs), Some(t0)) = (&self.obs, started) {
+            obs.append_us.record(t0.elapsed().as_micros() as u64);
+        }
         self.dirty = true;
         self.unsynced_batches += 1;
         self.stats.appends += 1;
         self.stats.bytes += frame.len() as u64;
+        self.len += frame.len() as u64;
         match self.policy {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::EveryN(n) => {
@@ -332,7 +354,11 @@ impl WalWriter {
     /// Force appended frames to stable storage (no-op when clean).
     pub fn sync(&mut self) -> Result<()> {
         if self.dirty {
+            let started = self.obs.is_some().then(std::time::Instant::now);
             self.file.sync_data()?;
+            if let (Some(obs), Some(t0)) = (&self.obs, started) {
+                obs.fsync_us.record(t0.elapsed().as_micros() as u64);
+            }
             self.stats.fsyncs += 1;
             self.dirty = false;
             self.unsynced_batches = 0;
@@ -348,6 +374,12 @@ impl WalWriter {
     /// The segment path this writer appends to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Bytes currently in the segment (valid-prefix length at open
+    /// plus every frame appended since). Tracked without a stat call.
+    pub fn segment_len(&self) -> u64 {
+        self.len
     }
 
     /// The configured fsync policy.

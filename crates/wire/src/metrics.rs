@@ -4,23 +4,23 @@
 //!
 //! ## The server's `stats` reply shape
 //!
-//! `fenestrad` embeds this object twice over:
+//! `fenestrad` embeds this object once merged and once per shard:
 //!
 //! ```json
-//! {"ok":true, "engine":{…}, "server":{…}}
-//! ```
-//!
-//! where `engine` is the object below and `server` holds the network
-//! layer's counters. With `--shards N` (N > 1) the reply adds a
-//! per-shard breakdown:
-//!
-//! ```json
-//! {"ok":true, "engine":{…}, "server":{…},
-//!  "shards":[{"shard":0, "engine":{…}, "held_acks":0}, …]}
+//! {"ok":true, "engine":{…}, "server":{…}, "stages":{…},
+//!  "shards":[{"shard":0, "engine":{…}, "held_acks":0,
+//!             "gauges":{…}, "stages":{…}}, …]}
 //! ```
 //!
 //! * `engine` (top level) — the shard engines' counters **summed**:
-//!   the same totals a single-shard run would report.
+//!   the same totals a single-shard run would report. Read from
+//!   published per-shard atomics on the connection thread (`stats` is
+//!   not a processing barrier; the `sync` command is).
+//! * `stages` (top level) — per-stage latency histogram summaries
+//!   (`{count, p50, p90, p99, max, mean}`) **merged across shards**:
+//!   `admit_us`, `queue_wait_us`, `reorder_dwell_us`, `wal_append_us`,
+//!   `fsync_us`, `ack_hold_us`, and the lateness-diagnostic
+//!   `late_margin_ms` over dropped events.
 //! * `shards[i].shard` — the shard index (also the `-<shard>-` in that
 //!   shard's WAL segment names and the `.shard<i>` snapshot suffix).
 //! * `shards[i].engine` — that shard's own counters, same flat shape.
@@ -30,10 +30,18 @@
 //!   holding: frames admitted but not yet covered by a fsynced WAL
 //!   commit (nonzero steady-state usually means a lateness bound is
 //!   keeping events in the reorder buffer).
+//! * `shards[i].gauges` — point-in-time gauges: `queue_depth`,
+//!   `queue_hwm` (this shard's own high-water mark; `server.queue_hwm`
+//!   is the max over shards), `reorder_depth`, `watermark_lag_ms`,
+//!   `held_acks`, `wal_segment_bytes`, `state_facts`.
+//! * `shards[i].stages` — the same histogram summaries as the top
+//!   level, unmerged (this shard only).
 //!
 //! Server-level counters (`server.events`, `server.gc_removed`,
 //! `server.wal_appends`, …) are shared across shards and reported
-//! once, already summed.
+//! once, already summed. The same numbers are exported in Prometheus
+//! text form on `--metrics-addr` (see `fenestra-server`'s `prom`
+//! module).
 
 use fenestra_core::EngineMetrics;
 use serde_json::{Map, Value as Json};

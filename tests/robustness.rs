@@ -311,9 +311,10 @@ mod crash {
     }
 
     /// Ingest `n` events (each moves a fresh visitor into a room), ack
-    /// every one, then issue a `stats` round-trip. The FIFO queue makes
-    /// that reply a barrier: every acked event has been applied and —
-    /// under `--fsync always` — fsynced.
+    /// every one, then issue a `sync` barrier: its reply proves every
+    /// acked event has been applied and — under `--fsync always` —
+    /// fsynced. Returns a `stats` reply taken after the barrier
+    /// (`stats` itself reads atomics and is not a barrier).
     fn ingest_acked(c: &mut Conn, n: u64) -> Json {
         for i in 1..=n {
             c.send(&format!(
@@ -328,6 +329,12 @@ mod crash {
                 "ack {i}: {v}"
             );
         }
+        let v = c.call(r#"{"cmd":"sync"}"#);
+        assert_eq!(
+            v.get("synced").and_then(Json::as_bool),
+            Some(true),
+            "sync barrier: {v}"
+        );
         c.call(r#"{"cmd":"stats"}"#)
     }
 

@@ -173,6 +173,11 @@ fn fenestrad_end_to_end() {
         Some("a0")
     );
 
+    // Sync: the processing barrier (stats reads atomics and is not
+    // one); its reply proves every prior event has been applied.
+    let v = b.call(r#"{"cmd":"sync"}"#);
+    assert_eq!(v.get("synced").and_then(Json::as_bool), Some(true), "{v}");
+
     // Stats: engine and server counters over the wire.
     let v = b.call(r#"{"cmd":"stats"}"#);
     assert!(ok(&v), "{v}");
@@ -282,6 +287,10 @@ fn concurrent_ingest_mixes_batch_and_single_frames() {
     // Advance the watermark so everything is visible to queries.
     let v = c.call(&event(4_000_000, "drain", "attic"));
     assert!(ok(&v));
+    // `stats` is lock-light and not a barrier; `sync` is — its reply
+    // proves every shard has processed everything admitted above.
+    let v = c.call(r#"{"cmd":"sync"}"#);
+    assert_eq!(v.get("synced").and_then(Json::as_bool), Some(true), "{v}");
 
     let v = c.call(r#"{"cmd":"stats"}"#);
     assert!(ok(&v), "{v}");
@@ -429,14 +438,15 @@ fn held_ack_on_one_connection_does_not_starve_others() {
     let mut b = Client::connect(handle.local_addr());
 
     // Conn A pushes the stream head: the event buffers at 10_000 with
-    // the watermark at 5_000, so its ack is held. The stats round-trip
-    // (stats replies are never held) proves the engine has processed
+    // the watermark at 5_000, so its ack is held. The sync round-trip
+    // (sync replies are never held) proves the engine has processed
     // the event before conn B sends anything.
     a.send(&event(10_000, "a", "lobby"));
-    let s = a.call(r#"{"cmd":"stats"}"#);
-    assert!(
-        ok(&s) && s.get("engine").is_some(),
-        "expected the stats reply (the event ack must still be held): {s}"
+    let s = a.call(r#"{"cmd":"sync"}"#);
+    assert_eq!(
+        s.get("synced").and_then(Json::as_bool),
+        Some(true),
+        "expected the sync reply (the event ack must still be held): {s}"
     );
 
     // Conn B's event is beyond the lateness bound: dropped as late, no
@@ -461,6 +471,208 @@ fn held_ack_on_one_connection_does_not_starve_others() {
     assert_eq!(load(&m.acks_deferred), 2, "both admitted frames deferred");
     assert_eq!(load(&m.late_dropped), 1, "conn B's event was late");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Scrape the optional `/metrics` listener during a durable-ack run:
+/// the reply is Prometheus 0.0.4 text exposition, every sample line
+/// parses, per-shard stage histograms are present, and the counters
+/// obey cross-family invariants (`acks_released <= acks_deferred <=
+/// events admitted` once a `sync` has settled the sole connection).
+#[test]
+fn metrics_listener_serves_parseable_prometheus_text() {
+    let dir = std::env::temp_dir().join(format!("fenestrad-prom-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let config = ServerConfig::new("127.0.0.1:0")
+        .metrics_addr("127.0.0.1:0")
+        .shards(2)
+        .wal_path(dir.join("log")) // fsync defaults to `always`
+        .setup(|engine| {
+            engine.declare_attr("room", AttrSchema::one());
+            engine
+                .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+                .unwrap();
+        });
+    let mut handle = Server::start(config).expect("start server");
+    let maddr = handle.metrics_addr().expect("metrics listener bound");
+    let mut c = Client::connect(handle.local_addr());
+
+    // 16 durable single-event frames across many entity keys, so both
+    // shards see traffic; all acks release (lateness 0), then sync
+    // settles the deferred/released counters.
+    const N: u64 = 16;
+    for i in 0..N {
+        let v = c.call(&event(1000 + i, &format!("v{i}"), "hall"));
+        assert!(ok(&v), "{v}");
+    }
+    let v = c.call(r#"{"cmd":"sync"}"#);
+    assert_eq!(v.get("synced").and_then(Json::as_bool), Some(true), "{v}");
+
+    // Plain HTTP GET against the second listener.
+    let mut m = TcpStream::connect(maddr).expect("connect metrics");
+    m.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    write!(m, "GET /metrics HTTP/1.1\r\nHost: fenestra\r\n\r\n").unwrap();
+    let mut response = String::new();
+    use std::io::Read;
+    m.read_to_string(&mut response).expect("read response");
+
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP header/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "Prometheus content type: {head}"
+    );
+
+    // Every sample line parses as `name{labels} value` with an
+    // unsigned integer value.
+    let mut samples = std::collections::BTreeMap::new();
+    for line in body
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad line {line}"));
+        let value: u64 = value
+            .parse()
+            .unwrap_or_else(|e| panic!("bad value in `{line}`: {e}"));
+        samples.insert(series.to_string(), value);
+    }
+    let get = |series: &str| {
+        *samples
+            .get(series)
+            .unwrap_or_else(|| panic!("missing series {series} in:\n{body}"))
+    };
+
+    // Per-shard stage histograms exist for both shards, and each
+    // family's +Inf bucket equals its _count.
+    for shard in 0..2 {
+        for stage in ["queue_wait_us", "wal_append_us", "fsync_us", "ack_hold_us"] {
+            let inf = get(&format!(
+                "fenestra_stage_{stage}_bucket{{shard=\"{shard}\",le=\"+Inf\"}}"
+            ));
+            let count = get(&format!(
+                "fenestra_stage_{stage}_count{{shard=\"{shard}\"}}"
+            ));
+            assert_eq!(
+                inf, count,
+                "+Inf bucket is the total: {stage} shard {shard}"
+            );
+            assert!(count > 0, "shard {shard} saw {stage} samples");
+        }
+    }
+
+    // Cross-family invariants after the sync settled the connection.
+    let admitted = get("fenestra_server_events_total");
+    let deferred = get("fenestra_server_acks_deferred_total");
+    let released = get("fenestra_server_acks_released_total");
+    assert_eq!(admitted, N);
+    assert!(
+        released <= deferred,
+        "released {released} <= deferred {deferred}"
+    );
+    assert!(
+        deferred <= admitted + 1,
+        "one deferral per frame: {deferred}"
+    );
+    assert_eq!(released, deferred, "every held ack released (lateness 0)");
+    assert_eq!(
+        get("fenestra_engine_events_total{shard=\"0\"}")
+            + get("fenestra_engine_events_total{shard=\"1\"}"),
+        N,
+        "shard engine counters sum to the admitted total"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression for the `ingest_smoke --conns 4/8` late-drop anomaly:
+/// connections that claim timestamps from a shared counter at *send*
+/// time but deliver independently can fall behind the watermark that
+/// the fastest connection drives forward; once claim-to-apply skew
+/// exceeds the lateness bound, the slow connection's whole backlog is
+/// dropped as late. The lateness-margin histogram attributes the drops
+/// and measures how far past the bound they were.
+#[test]
+fn skewed_connection_drops_attributed_with_lateness_margins() {
+    let config = ServerConfig::new("127.0.0.1:0")
+        .engine(EngineConfig {
+            max_lateness: Duration::millis(2_000), // the smoke test's bound
+            ..EngineConfig::default()
+        })
+        .setup(|engine| {
+            engine.declare_attr("room", AttrSchema::one());
+            engine
+                .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+                .unwrap();
+        });
+    let mut handle = Server::start(config).expect("start server");
+    let mut fast = Client::connect(handle.local_addr());
+    let mut slow = Client::connect(handle.local_addr());
+
+    // The "fast" connection races ahead: its latest claim (ts 10_000)
+    // drives the watermark to 8_000. The sync proves it was applied.
+    let v = fast.call(&event(10_000, "f", "hall"));
+    assert!(ok(&v), "{v}");
+    let v = fast.call(r#"{"cmd":"sync"}"#);
+    assert_eq!(v.get("synced").and_then(Json::as_bool), Some(true), "{v}");
+
+    // The "slow" connection now delivers timestamps it claimed long
+    // ago — 7_000 and 5_000 ms behind the watermark, far beyond the
+    // 2_000 ms bound. Both are admitted (acked) but dropped as late.
+    for ts in [1_000u64, 3_000] {
+        let v = slow.call(&event(ts, "s", "hall"));
+        assert!(ok(&v), "late events are acked, then dropped: {v}");
+    }
+    let v = slow.call(r#"{"cmd":"sync"}"#);
+    assert_eq!(v.get("synced").and_then(Json::as_bool), Some(true), "{v}");
+
+    let v = slow.call(r#"{"cmd":"stats"}"#);
+    assert!(ok(&v), "{v}");
+    let server = v.get("server").unwrap();
+    assert_eq!(
+        server.get("late_dropped").and_then(Json::as_u64),
+        Some(2),
+        "the slow connection's backlog was dropped: {server}"
+    );
+    // The margin histogram counts exactly the drops and records how
+    // far behind the watermark each was (7_000 and 5_000 ms).
+    let margins = v
+        .get("stages")
+        .and_then(|s| s.get("late_margin_ms"))
+        .unwrap_or_else(|| panic!("no late_margin_ms in {v}"));
+    assert_eq!(
+        margins.get("count").and_then(Json::as_u64),
+        Some(2),
+        "{margins}"
+    );
+    assert_eq!(
+        margins.get("max").and_then(Json::as_u64),
+        Some(7_000),
+        "worst margin is the oldest claim: {margins}"
+    );
+    assert!(
+        margins.get("p50").and_then(Json::as_u64).unwrap() >= 5_000,
+        "median margin far beyond the 2_000 ms bound: {margins}"
+    );
+
+    // Per-shard attribution: the single shard owns both drops.
+    let shards = v.get("shards").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        shards[0]
+            .get("engine")
+            .and_then(|e| e.get("late_dropped"))
+            .and_then(Json::as_u64),
+        Some(2),
+        "{v}"
+    );
+
+    handle.shutdown();
 }
 
 #[test]
