@@ -71,6 +71,17 @@ const SHARD_SWEEP_COMMIT_MAX: usize = 1;
 /// the frame, so conn-sweep ack latencies include that reorder delay.
 const CONN_SWEEP_LATENESS: u64 = 2_000;
 
+/// Frames between mid-stream `sync` probes on multi-connection runs.
+/// Each reply proves everything the connection sent before it has been
+/// *processed* (applied or counted late) — proof the send window below
+/// can trust, where durable acks cannot serve: the last
+/// lateness-bound's worth of acks is withheld until the watermark
+/// advances, so an ack-based window tight enough to bound skew would
+/// deadlock against its own held tail. Sync replies are never
+/// watermark-held. Must stay below the window for the straggling
+/// connection to keep unblocking itself.
+const CONN_SWEEP_SYNC_EVERY: u64 = 64;
+
 struct RunResult {
     label: String,
     events: u64,
@@ -179,9 +190,6 @@ fn run(
     let per_conn_frames = events / (frame_size * connections);
     let per_conn_events = per_conn_frames * frame_size;
     let actual_events = per_conn_events * connections;
-    // Multi-connection runs draw timestamps from a shared counter so
-    // the interleaved stream stays within the lateness bound.
-    let next_ts = Arc::new(AtomicU64::new(0));
     // All reader threads plus the main thread: under `fsync always`
     // with a lateness bound the acks for the last ~bound worth of
     // events are withheld until the watermark passes them, so the main
@@ -192,12 +200,23 @@ fn run(
     // just on the senders' writes landing in socket buffers — also
     // keeps the far-future flush from making still-queued events late.
     let all_processed = Arc::new(Barrier::new(connections as usize + 1));
+    // Frames *proven processed* per connection, published by each
+    // reader as mid-stream sync replies come back. The send window
+    // below paces every sender against the minimum across connections.
+    let proven: Arc<Vec<AtomicU64>> =
+        Arc::new((0..connections).map(|_| AtomicU64::new(0)).collect());
+    let expected_syncs = if connections > 1 {
+        (per_conn_frames - 1) / CONN_SWEEP_SYNC_EVERY + 1
+    } else {
+        1
+    };
 
     let t0 = Instant::now();
     let workers: Vec<_> = (0..connections)
         .map(|c| {
-            let next_ts = Arc::clone(&next_ts);
             let all_processed = Arc::clone(&all_processed);
+            let proven = Arc::clone(&proven);
+            let proven_pub = Arc::clone(&proven);
             std::thread::spawn(move || {
                 let stream = TcpStream::connect(addr).expect("connect");
                 let mut input = stream.try_clone().expect("clone stream");
@@ -206,22 +225,27 @@ fn run(
                 let reader = std::thread::spawn(move || {
                     let mut recv_at = Vec::with_capacity(per_conn_frames as usize);
                     let mut lines = BufReader::new(stream).lines();
-                    let mut saw_barrier = false;
-                    while recv_at.len() < per_conn_frames as usize || !saw_barrier {
+                    let mut syncs_seen = 0u64;
+                    while recv_at.len() < per_conn_frames as usize || syncs_seen < expected_syncs {
                         let line = lines
                             .next()
                             .expect("connection closed early")
                             .expect("read reply");
                         assert!(line.contains("\"ok\":true"), "rejected: {line}");
                         if line.contains("\"synced\"") {
-                            // The sync barrier: every frame this
-                            // connection sent is now past the engine
-                            // (applied, buffered, or counted late).
-                            // Held acks for the buffered tail arrive
-                            // after it, once the flush below advances
-                            // the watermark.
-                            saw_barrier = true;
-                            if connections > 1 {
+                            // Each sync reply proves every frame this
+                            // connection sent before it is past the
+                            // engine (applied, buffered, or counted
+                            // late). The last one is the processing
+                            // barrier: held acks for the buffered tail
+                            // arrive after it, once the flush below
+                            // advances the watermark.
+                            syncs_seen += 1;
+                            proven_pub[c as usize].store(
+                                (syncs_seen * CONN_SWEEP_SYNC_EVERY).min(per_conn_frames),
+                                Ordering::Release,
+                            );
+                            if syncs_seen == expected_syncs && connections > 1 {
                                 all_processed.wait();
                             }
                         } else {
@@ -231,20 +255,58 @@ fn run(
                     recv_at
                 });
                 let mut sent_at = Vec::with_capacity(per_conn_frames as usize);
-                for _ in 0..per_conn_frames {
-                    let start = if connections > 1 {
-                        next_ts.fetch_add(frame_size, Ordering::Relaxed)
-                    } else {
-                        let _ = c; // single connection: same monotone stream
-                        sent_at.len() as u64 * frame_size
-                    };
+                // Send window for multi-connection runs, sized well
+                // under the lateness bound. Two generator artifacts
+                // would otherwise drop events as late and pollute the
+                // sweep: claiming timestamps from a shared counter at
+                // send time leaves claimed-but-unsent gaps whenever a
+                // sender is descheduled between claim and write, so
+                // instead connection `c`'s i-th frame takes the
+                // interleaved lease (i*connections + c) * frame_size
+                // from its own write-time counter; and unbounded
+                // pipelining lets a whole connection's stream sit in
+                // socket buffers while another's is applied, skewing
+                // event time across connections far beyond any fixed
+                // bound, so each sender stalls once it runs `window`
+                // frames past the *minimum* proven-processed count
+                // across all connections. Anything the engine applies
+                // was sent, and every sender stays within the window of
+                // the straggler, so no applied timestamp can lead a
+                // pending one by more than window * connections *
+                // frame_size event-time units — under the lateness
+                // bound by construction. The straggler itself always
+                // unblocks: its own sync replies lift the minimum. One
+                // connection reduces to the same monotone, unthrottled
+                // stream as before.
+                let window = (3 * CONN_SWEEP_LATENESS / 4) / (connections * frame_size);
+                for i in 0..per_conn_frames {
+                    if connections > 1 {
+                        let floor = (i + 1).saturating_sub(window);
+                        while proven
+                            .iter()
+                            .map(|p| p.load(Ordering::Acquire))
+                            .min()
+                            .unwrap_or(0)
+                            < floor
+                        {
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                    let start = (i * connections + c) * frame_size;
                     let line = frame(start, frame_size);
                     sent_at.push(Instant::now());
                     input.write_all(line.as_bytes()).expect("send frame");
+                    if connections > 1
+                        && (i + 1) % CONN_SWEEP_SYNC_EVERY == 0
+                        && i + 1 < per_conn_frames
+                    {
+                        writeln!(input, r#"{{"cmd":"sync"}}"#).expect("send sync probe");
+                    }
                 }
-                // Processing barrier: the sync reply proves every frame
-                // this connection sent has been processed by the engine
-                // (stats no longer round-trips through the shards).
+                // Processing barrier: the final sync reply proves every
+                // frame this connection sent has been processed by the
+                // engine (stats no longer round-trips through the
+                // shards).
                 writeln!(input, r#"{{"cmd":"sync"}}"#).expect("send sync");
                 let recv_at = reader.join().expect("reader thread");
                 sent_at

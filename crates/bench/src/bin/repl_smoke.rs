@@ -1,0 +1,412 @@
+//! Replication failover smoke benchmark: what WAL shipping costs on
+//! the ingest path, how far a warm follower runs behind, and what a
+//! fenced failover loses (nothing acked) and takes (promotion time).
+//!
+//! Drives real `fenestrad` subprocesses through the full drill:
+//!
+//! 1. boot a leader (`--replicate`, `--fsync always`, 2 shards,
+//!    periodic snapshots so segment rotation is exercised) and a warm
+//!    follower (`--follow`);
+//! 2. ingest N events on one pipelined connection, reading every
+//!    durable ack — the throughput number, with shipping active;
+//! 3. wait for the follower's queryable state to converge — the
+//!    catch-up number;
+//! 4. `kill -9` the leader, promote the follower
+//!    (`{"cmd":"promote"}`) — the promotion number — and assert every
+//!    durably-acked event is queryable on the new leader, which must
+//!    also accept a post-failover write under the bumped epoch.
+//!
+//! Reports ingest throughput, catch-up and promotion latency, the
+//! leader's shipping counters with the ship→apply→ack lag summary
+//! (`ack_lag_us`, from the follower's acks), and the follower's apply
+//! counters with its per-batch apply cost (`apply_us`). Results go to
+//! `BENCH_replication.json` at the repository root, with a before/after
+//! comparison against the committed numbers printed to stderr
+//! (tolerant of missing or differently-shaped committed files).
+//!
+//! ```text
+//! cargo run -p fenestra-bench --release --bin repl_smoke [-- EVENTS] \
+//!     [--fenestrad PATH]
+//! ```
+//!
+//! The `fenestrad` binary is found next to this executable (built by
+//! `cargo build --release --workspace`), built on demand if missing,
+//! or taken from `--fenestrad PATH`.
+//!
+//! This is a smoke benchmark (one run, wall-clock): it catches
+//! order-of-magnitude regressions and replication-path breakage, not
+//! small drifts. The no-acked-loss assertion is real, though — a
+//! failover that loses durably-acked events fails the run.
+
+use serde_json::{Map, Number, Value as Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The fenestrad binary: explicit `--fenestrad PATH`, else the sibling
+/// of this executable, built on demand if absent.
+fn fenestrad_bin(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(bin) = explicit {
+        assert!(bin.exists(), "--fenestrad {}: no such file", bin.display());
+        return bin;
+    }
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("binary dir").to_path_buf();
+    let bin = dir.join(format!("fenestrad{}", std::env::consts::EXE_SUFFIX));
+    if !bin.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut cmd = Command::new(cargo);
+        cmd.current_dir(env!("CARGO_MANIFEST_DIR")).args([
+            "build",
+            "-p",
+            "fenestra-server",
+            "--bin",
+            "fenestrad",
+        ]);
+        if dir.file_name().is_some_and(|n| n == "release") {
+            cmd.arg("--release");
+        }
+        let status = cmd.status().expect("cargo build fenestrad");
+        assert!(status.success(), "building fenestrad failed");
+    }
+    bin
+}
+
+/// A running fenestrad over a state directory.
+struct Daemon {
+    child: Child,
+    addr: String,
+    repl_addr: Option<String>,
+}
+
+impl Daemon {
+    /// Spawn over `dir` with a WAL, a snapshot path, durable acks, 2
+    /// shards, and a rules file (attributes and rules only — the
+    /// follower-setup contract). `extra` carries the role flags.
+    fn spawn(bin: &Path, dir: &Path, extra: &[&str]) -> Daemon {
+        let rules = dir.join("rules.txt");
+        std::fs::write(&rules, "rule mv:\n on s\n replace $(visitor).room = room\n").unwrap();
+        let mut child = Command::new(bin)
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--shards")
+            .arg("2")
+            .arg("--snapshot")
+            .arg(dir.join("state.json"))
+            .arg("--wal")
+            .arg(dir.join("log"))
+            .arg("--fsync")
+            .arg("always")
+            .arg("--rules")
+            .arg(&rules)
+            .args(extra)
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn fenestrad");
+        let expect_repl = extra.contains(&"--replicate");
+        let stderr = child.stderr.take().unwrap();
+        let mut reader = BufReader::new(stderr);
+        let mut addr = None;
+        let mut repl_addr = None;
+        while addr.is_none() || (expect_repl && repl_addr.is_none()) {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).unwrap() > 0,
+                "fenestrad exited before announcing its addresses"
+            );
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("fenestrad: listening on ") {
+                addr = Some(rest.to_string());
+            }
+            if let Some(rest) = line.strip_prefix("fenestrad: serving replication to followers on ")
+            {
+                repl_addr = Some(rest.to_string());
+            }
+        }
+        // Keep draining stderr so the child never blocks on a full
+        // pipe.
+        std::thread::spawn(move || for _line in reader.lines().map_while(Result::ok) {});
+        Daemon {
+            child,
+            addr: addr.unwrap(),
+            repl_addr,
+        }
+    }
+
+    fn connect(&self) -> Conn {
+        let stream = TcpStream::connect(&self.addr).expect("connect to fenestrad");
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Conn { stream, reader }
+    }
+
+    /// SIGKILL — no drain, no snapshot, no farewell to followers.
+    fn kill9(mut self) {
+        self.child.kill().expect("kill -9 fenestrad");
+        self.child.wait().expect("reap fenestrad");
+    }
+
+    fn shutdown(mut self) {
+        let mut c = self.connect();
+        let v = c.call(r#"{"cmd":"shutdown"}"#);
+        assert!(v.get("bye").is_some(), "graceful shutdown: {v}");
+        self.child.wait().expect("reap fenestrad");
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn send(&mut self, line: &str) {
+        writeln!(self.stream, "{line}").unwrap();
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        assert!(self.reader.read_line(&mut line).unwrap() > 0, "EOF");
+        serde_json::from_str(line.trim()).expect("reply is JSON")
+    }
+
+    fn call(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn ok(v: &Json) -> bool {
+    v.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn occupied_rooms(c: &mut Conn) -> usize {
+    let v = c.call(r#"{"cmd":"query","q":"select ?v ?r where { ?v room ?r }"}"#);
+    assert!(ok(&v), "{v}");
+    v.get("rows").and_then(Json::as_array).unwrap().len()
+}
+
+/// Poll the daemon until its queryable state holds `n` occupied rooms;
+/// returns how long that took.
+fn wait_rows(daemon: &Daemon, n: usize, why: &str) -> Duration {
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs(60);
+    let mut last = usize::MAX;
+    while Instant::now() < deadline {
+        let mut c = daemon.connect();
+        last = occupied_rooms(&mut c);
+        if last == n {
+            return t0.elapsed();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("{why}: wanted {n} rows, converged to {last}");
+}
+
+/// Ingest `n` events on one pipelined connection (acks drained on a
+/// reader thread), then a `sync` barrier; returns the wall time until
+/// every durable ack was read and the barrier replied.
+fn ingest_acked(daemon: &Daemon, n: u64) -> Duration {
+    let stream = TcpStream::connect(&daemon.addr).expect("connect for ingest");
+    let mut input = stream.try_clone().expect("clone stream");
+    let t0 = Instant::now();
+    let reader = std::thread::spawn(move || {
+        let mut lines = BufReader::new(stream).lines();
+        let mut acks = 0u64;
+        let mut synced = false;
+        while acks < n || !synced {
+            let line = lines
+                .next()
+                .expect("connection closed early")
+                .expect("read reply");
+            assert!(line.contains("\"ok\":true"), "rejected: {line}");
+            if line.contains("\"synced\"") {
+                synced = true;
+            } else {
+                acks += 1;
+            }
+        }
+    });
+    for i in 1..=n {
+        writeln!(
+            input,
+            r#"{{"stream":"s","ts":{i},"visitor":"v{i}","room":"r{i}"}}"#
+        )
+        .expect("send event");
+    }
+    writeln!(input, r#"{{"cmd":"sync"}}"#).expect("send sync");
+    reader.join().expect("reader thread");
+    t0.elapsed()
+}
+
+fn repl_section(stats: &Json) -> &Json {
+    stats
+        .get("replication")
+        .unwrap_or_else(|| panic!("no replication section in {stats}"))
+}
+
+fn stat_u64(repl: &Json, key: &str) -> u64 {
+    repl.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing replication.{key} in {repl}"))
+}
+
+fn ms(d: Duration) -> Json {
+    Json::Number(
+        Number::from_f64((d.as_secs_f64() * 1e3 * 10.0).round() / 10.0).unwrap_or_else(|| 0.into()),
+    )
+}
+
+fn main() {
+    let mut events: u64 = 10_000;
+    let mut bin_override: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fenestrad" => {
+                bin_override = Some(args.next().expect("--fenestrad needs a path").into());
+            }
+            n => events = n.parse().expect("EVENTS must be a number"),
+        }
+    }
+    let bin = fenestrad_bin(bin_override);
+
+    let base = std::env::temp_dir().join(format!("fenestra-repl-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let ldir = base.join("leader");
+    let fdir = base.join("follower");
+    std::fs::create_dir_all(&ldir).expect("leader dir");
+    std::fs::create_dir_all(&fdir).expect("follower dir");
+
+    // `--snapshot-every-ms` makes the leader rotate segments mid-run,
+    // so the follower exercises the Rotate path, not just appends.
+    let leader = Daemon::spawn(
+        &bin,
+        &ldir,
+        &["--replicate", "127.0.0.1:0", "--snapshot-every-ms", "200"],
+    );
+    let repl = leader.repl_addr.clone().unwrap();
+    let follower = Daemon::spawn(&bin, &fdir, &["--follow", &repl]);
+    eprintln!(
+        "leader {} shipping to follower {}",
+        leader.addr, follower.addr
+    );
+
+    let ingest_elapsed = ingest_acked(&leader, events);
+    let events_per_sec = events as f64 / ingest_elapsed.as_secs_f64();
+    let catch_up = wait_rows(&follower, events as usize, "follower catches up");
+    eprintln!(
+        "ingested {events} durably-acked events in {:.1}ms ({events_per_sec:.1} events/s), \
+         follower caught up {:.1}ms after the last ack",
+        ingest_elapsed.as_secs_f64() * 1e3,
+        catch_up.as_secs_f64() * 1e3,
+    );
+
+    // The leader's shipping counters and the ship→apply→ack lag, read
+    // before the crash (they die with the process).
+    let mut lc = leader.connect();
+    let ls = lc.call(r#"{"cmd":"stats"}"#);
+    let lrepl = repl_section(&ls).clone();
+    assert_eq!(stat_u64(&lrepl, "followers"), 1, "{lrepl}");
+    assert!(stat_u64(&lrepl, "ship_frames") > 0, "{lrepl}");
+    drop(lc);
+
+    leader.kill9();
+    let mut fc = follower.connect();
+    let t_promote = Instant::now();
+    let v = fc.call(r#"{"cmd":"promote"}"#);
+    let promote_elapsed = t_promote.elapsed();
+    assert!(ok(&v), "promotion: {v}");
+    let epoch = v.get("epoch").and_then(Json::as_u64).expect("epoch");
+    assert!(epoch >= 1, "promotion bumps the epoch: {v}");
+
+    // The headline guarantee: nothing durably acked is missing, and
+    // the promoted node takes writes.
+    let rows = occupied_rooms(&mut fc);
+    assert_eq!(
+        rows, events as usize,
+        "failover lost acked events: {rows} of {events} rows survive"
+    );
+    let ts = events + 1;
+    let v = fc.call(&format!(
+        r#"{{"stream":"s","ts":{ts},"visitor":"v{ts}","room":"r{ts}"}}"#
+    ));
+    assert!(ok(&v), "post-failover write: {v}");
+    let v = fc.call(r#"{"cmd":"sync"}"#);
+    assert!(ok(&v), "post-failover sync: {v}");
+    eprintln!(
+        "killed leader; promoted follower to epoch {epoch} in {:.1}ms; \
+         all {events} acked events queryable, post-failover write accepted",
+        promote_elapsed.as_secs_f64() * 1e3,
+    );
+
+    let fs = fc.call(r#"{"cmd":"stats"}"#);
+    let frepl = repl_section(&fs).clone();
+    assert!(stat_u64(&frepl, "applied_ops") >= events, "{frepl}");
+
+    let mut leader_out = Map::new();
+    for key in ["ship_frames", "ship_bytes", "snapshots_shipped"] {
+        leader_out.insert(key.into(), Json::from(stat_u64(&lrepl, key)));
+    }
+    leader_out.insert(
+        "ack_lag_us".into(),
+        lrepl.get("ack_lag_us").cloned().unwrap_or(Json::Null),
+    );
+    let mut follower_out = Map::new();
+    for key in [
+        "applied_frames",
+        "applied_ops",
+        "applied_bytes",
+        "reconnects",
+        "epoch",
+    ] {
+        follower_out.insert(key.into(), Json::from(stat_u64(&frepl, key)));
+    }
+    follower_out.insert(
+        "apply_us".into(),
+        frepl.get("apply_us").cloned().unwrap_or(Json::Null),
+    );
+
+    let mut root = Map::new();
+    root.insert("benchmark".into(), Json::from("repl_smoke"));
+    root.insert("events".into(), Json::from(events));
+    root.insert("ingest_elapsed_ms".into(), ms(ingest_elapsed));
+    root.insert(
+        "events_per_sec".into(),
+        Json::Number(Number::from_f64((events_per_sec * 10.0).round() / 10.0).unwrap()),
+    );
+    root.insert("catch_up_ms".into(), ms(catch_up));
+    root.insert("promote_ms".into(), ms(promote_elapsed));
+    root.insert("leader".into(), Json::Object(leader_out));
+    root.insert("follower".into(), Json::Object(follower_out));
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_replication.json");
+    // Before/after against the committed numbers (CI surfaces this as
+    // a non-gating signal).
+    if let Some(old) = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+    {
+        eprintln!("-- before/after vs committed BENCH_replication.json --");
+        for key in ["events_per_sec", "catch_up_ms", "promote_ms"] {
+            let was = old.get(key).and_then(Json::as_f64);
+            let now = root.get(key).and_then(Json::as_f64);
+            match (was, now) {
+                (Some(w), Some(n)) if w > 0.0 => {
+                    eprintln!("{key:<16} {w:>10.1} -> {n:>10.1}  ({:.2}x)", n / w);
+                }
+                _ => eprintln!("{key:<16} no committed baseline"),
+            }
+        }
+    }
+    let mut text = Json::Object(root).to_string();
+    text.push('\n');
+    std::fs::write(&out, text).expect("write BENCH_replication.json");
+    eprintln!("wrote {}", out.display());
+
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+}

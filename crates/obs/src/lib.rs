@@ -37,4 +37,4 @@ mod histogram;
 mod pipeline;
 
 pub use histogram::{bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
-pub use pipeline::{EngineCounters, EngineGauges, PipelineObs, ShardObs, WalObs, STAGES};
+pub use pipeline::{EngineCounters, EngineGauges, PipelineObs, ReplObs, ShardObs, WalObs, STAGES};

@@ -148,6 +148,19 @@ pub struct ShardObs {
     pub held_acks: AtomicU64,
     /// Bytes in the shard's current (unrotated) WAL segment.
     pub wal_segment_bytes: AtomicU64,
+    /// The shard's current WAL segment generation.
+    pub wal_gen: AtomicU64,
+    /// Oldest segment generation still on disk for this shard
+    /// (refreshed at boot and checkpoint — a directory scan, not a
+    /// per-batch cost). Normally equals `wal_gen`; lower means a
+    /// rotation's delete failed or is in flight.
+    pub wal_oldest_gen: AtomicU64,
+    /// Segment files on disk for this shard (same refresh cadence as
+    /// `wal_oldest_gen`). Normally 1.
+    pub wal_segments: AtomicU64,
+    /// Replication lag for this shard on a follower: leader segment
+    /// bytes not yet applied locally (0 on leaders / unreplicated).
+    pub repl_lag_bytes: AtomicU64,
     /// Live state size: currently-open facts in the shard's store.
     pub state_facts: AtomicU64,
     /// Engine counters, republished after every applied batch.
@@ -168,6 +181,10 @@ impl Default for ShardObs {
             watermark_lag_ms: AtomicU64::new(0),
             held_acks: AtomicU64::new(0),
             wal_segment_bytes: AtomicU64::new(0),
+            wal_gen: AtomicU64::new(0),
+            wal_oldest_gen: AtomicU64::new(0),
+            wal_segments: AtomicU64::new(0),
+            repl_lag_bytes: AtomicU64::new(0),
             state_facts: AtomicU64::new(0),
             engine: EngineGauges::default(),
         }
@@ -222,6 +239,22 @@ impl ShardObs {
             Json::from(self.wal_segment_bytes.load(Ordering::Relaxed)),
         );
         obj.insert(
+            "wal_gen".into(),
+            Json::from(self.wal_gen.load(Ordering::Relaxed)),
+        );
+        obj.insert(
+            "wal_oldest_gen".into(),
+            Json::from(self.wal_oldest_gen.load(Ordering::Relaxed)),
+        );
+        obj.insert(
+            "wal_segments".into(),
+            Json::from(self.wal_segments.load(Ordering::Relaxed)),
+        );
+        obj.insert(
+            "repl_lag_bytes".into(),
+            Json::from(self.repl_lag_bytes.load(Ordering::Relaxed)),
+        );
+        obj.insert(
             "state_facts".into(),
             Json::from(self.state_facts.load(Ordering::Relaxed)),
         );
@@ -238,6 +271,85 @@ impl ShardObs {
     }
 }
 
+/// Replication observability, shared by the leader's shipping threads
+/// and the follower's apply loop (a process is only ever one or the
+/// other at a time, so the two halves never contend; after promotion
+/// the follower half simply goes quiet). Same discipline as the rest
+/// of the pipeline: atomics and lock-free histograms only.
+#[derive(Debug, Default)]
+pub struct ReplObs {
+    /// Leader: follower connections currently being served.
+    pub followers: AtomicU64,
+    /// Leader: WAL frames shipped to followers (counter).
+    pub ship_frames: AtomicU64,
+    /// Leader: segment bytes shipped to followers (counter).
+    pub ship_bytes: AtomicU64,
+    /// Leader: bootstrap snapshots shipped (counter).
+    pub snapshots_shipped: AtomicU64,
+    /// Both roles: replication messages refused by epoch fencing.
+    pub fenced: AtomicU64,
+    /// Leader: ship → applied-and-durable-on-follower → ack latency
+    /// (µs), from the `sent_at_us` echo in follower acks.
+    pub ack_lag_us: Histogram,
+    /// Follower: shipped WAL frames applied locally (counter).
+    pub applied_frames: AtomicU64,
+    /// Follower: ops applied from shipped frames (counter).
+    pub applied_ops: AtomicU64,
+    /// Follower: shipped segment bytes applied locally (counter).
+    pub applied_bytes: AtomicU64,
+    /// Follower: time to apply one shipped batch — local WAL append +
+    /// fsync + store apply (µs).
+    pub apply_us: Histogram,
+    /// Follower: reconnects to the leader (counter).
+    pub reconnects: AtomicU64,
+    /// Both roles: the current fencing epoch.
+    pub epoch: AtomicU64,
+    /// 1 while following (read-only), 0 while leading. Flips at
+    /// promotion.
+    pub following: AtomicU64,
+    /// Follower: unix millis of the last frame or heartbeat from the
+    /// leader (0 before first contact). Feeds leader-death detection
+    /// and lets dashboards alert on silence.
+    pub last_leader_contact_ms: AtomicU64,
+}
+
+impl ReplObs {
+    /// Everything as one JSON object (counters plus histogram
+    /// summaries), the `stats` reply's `replication` section.
+    pub fn json(&self) -> Json {
+        let g = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
+        let mut obj = Map::new();
+        obj.insert(
+            "role".into(),
+            Json::from(if self.following.load(Ordering::Relaxed) == 1 {
+                "follower"
+            } else {
+                "leader"
+            }),
+        );
+        obj.insert("epoch".into(), g(&self.epoch));
+        obj.insert("followers".into(), g(&self.followers));
+        obj.insert("ship_frames".into(), g(&self.ship_frames));
+        obj.insert("ship_bytes".into(), g(&self.ship_bytes));
+        obj.insert("snapshots_shipped".into(), g(&self.snapshots_shipped));
+        obj.insert("fenced".into(), g(&self.fenced));
+        obj.insert(
+            "ack_lag_us".into(),
+            self.ack_lag_us.snapshot().json_summary(),
+        );
+        obj.insert("applied_frames".into(), g(&self.applied_frames));
+        obj.insert("applied_ops".into(), g(&self.applied_ops));
+        obj.insert("applied_bytes".into(), g(&self.applied_bytes));
+        obj.insert("apply_us".into(), self.apply_us.snapshot().json_summary());
+        obj.insert("reconnects".into(), g(&self.reconnects));
+        obj.insert(
+            "last_leader_contact_ms".into(),
+            g(&self.last_leader_contact_ms),
+        );
+        Json::Object(obj)
+    }
+}
+
 /// Observability for the whole pipeline: one server-level admission
 /// histogram plus one [`ShardObs`] per shard.
 #[derive(Debug)]
@@ -247,6 +359,8 @@ pub struct PipelineObs {
     pub admit_us: Histogram,
     /// Per-shard instrumentation, indexed by shard id.
     pub shards: Vec<Arc<ShardObs>>,
+    /// Replication instrumentation (quiet when not replicating).
+    pub repl: Arc<ReplObs>,
 }
 
 impl PipelineObs {
@@ -255,6 +369,7 @@ impl PipelineObs {
         PipelineObs {
             admit_us: Histogram::new(),
             shards: (0..shards).map(|_| Arc::new(ShardObs::default())).collect(),
+            repl: Arc::new(ReplObs::default()),
         }
     }
 
@@ -345,9 +460,34 @@ mod tests {
             "watermark_lag_ms",
             "held_acks",
             "wal_segment_bytes",
+            "wal_gen",
+            "wal_oldest_gen",
+            "wal_segments",
+            "repl_lag_bytes",
             "state_facts",
         ] {
             assert!(j.get(key).is_some(), "{key}");
         }
+    }
+
+    #[test]
+    fn repl_obs_json_reports_role_and_counters() {
+        let r = ReplObs::default();
+        let j = r.json();
+        assert_eq!(j.get("role").and_then(|v| v.as_str()), Some("leader"));
+        r.following.store(1, Ordering::Relaxed);
+        r.epoch.store(3, Ordering::Relaxed);
+        r.ship_bytes.store(1024, Ordering::Relaxed);
+        r.ack_lag_us.record(500);
+        let j = r.json();
+        assert_eq!(j.get("role").and_then(|v| v.as_str()), Some("follower"));
+        assert_eq!(j.get("epoch").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(j.get("ship_bytes").and_then(|v| v.as_u64()), Some(1024));
+        assert_eq!(
+            j.get("ack_lag_us")
+                .and_then(|v| v.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
     }
 }

@@ -1,0 +1,60 @@
+//! The fencing epoch's sidecar file.
+//!
+//! Promotion must survive a crash *between* bumping the epoch and the
+//! next checkpoint stamping it into every shard snapshot — otherwise a
+//! promoted node could reboot believing it is still a follower of the
+//! dead leader's epoch. The sidecar (`<wal_base>.epoch`, a one-line
+//! JSON object) is written atomically first; boot takes the max of the
+//! sidecar and every recovered snapshot's stamped epoch.
+
+use fenestra_base::error::Result;
+use fenestra_temporal::persist;
+use std::path::{Path, PathBuf};
+
+/// The sidecar path for a WAL base: `<wal_base>.epoch`.
+pub fn epoch_path(wal_base: &Path) -> PathBuf {
+    let mut s = wal_base.as_os_str().to_os_string();
+    s.push(".epoch");
+    PathBuf::from(s)
+}
+
+/// Read the persisted epoch. Missing or unreadable sidecars are epoch
+/// 0 — a node that has never been promoted — never an error: fencing
+/// only needs the *promoted* side's bump to be durable, and
+/// [`store_epoch`] writes atomically.
+pub fn load_epoch(wal_base: &Path) -> u64 {
+    let Ok(text) = std::fs::read_to_string(epoch_path(wal_base)) else {
+        return 0;
+    };
+    serde_json::from_str(&text)
+        .ok()
+        .and_then(|v| v.get("epoch").and_then(|e| e.as_u64()))
+        .unwrap_or(0)
+}
+
+/// Persist the epoch (atomic write-then-rename, fsynced).
+pub fn store_epoch(wal_base: &Path, epoch: u64) -> Result<()> {
+    let bytes = format!("{{\"epoch\":{epoch}}}\n");
+    persist::write_atomic(&epoch_path(wal_base), bytes.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_sidecar_round_trips_and_defaults_to_zero() {
+        let dir = std::env::temp_dir().join(format!("fenestra-epoch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("log");
+        assert_eq!(load_epoch(&base), 0, "missing sidecar is epoch 0");
+        store_epoch(&base, 3).unwrap();
+        assert_eq!(load_epoch(&base), 3);
+        store_epoch(&base, 7).unwrap();
+        assert_eq!(load_epoch(&base), 7);
+        assert_eq!(epoch_path(&base), dir.join("log.epoch"));
+        std::fs::write(epoch_path(&base), b"garbage").unwrap();
+        assert_eq!(load_epoch(&base), 0, "corrupt sidecar is epoch 0");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

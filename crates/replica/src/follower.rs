@@ -1,0 +1,195 @@
+//! Follower-side connection: handshake, epoch-checked frame stream,
+//! and the ack channel.
+//!
+//! [`FollowerClient`] owns only the socket and the session epoch; the
+//! server's follower loop owns everything stateful (applying frames
+//! through its shard threads, persisting epochs, deciding when to
+//! promote). The client enforces the fencing protocol at the
+//! connection boundary: a handshake with a stale leader fails loudly,
+//! and every data frame's epoch must match the session's — a mismatch
+//! mid-stream means leadership moved while we were connected, and the
+//! only safe reaction is to tear down and re-handshake.
+
+use crate::now_us;
+use fenestra_base::error::{Error, Result};
+use fenestra_wire::repl::{ReplFrame, ShardPosition, MAX_FRAME};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+/// The write half of a follower connection, cloned off so the apply
+/// loop can send acks without blocking the frame reader.
+#[derive(Debug)]
+pub struct AckSender {
+    stream: TcpStream,
+}
+
+impl AckSender {
+    /// Report `position` as applied *and durable* locally, echoing the
+    /// `sent_at_us` of the batch it covers (0 for snapshot acks).
+    pub fn send(&mut self, position: ShardPosition, echo_us: u64) -> Result<()> {
+        ReplFrame::Ack { position, echo_us }.write_to(&mut self.stream)?;
+        self.stream.flush().map_err(Error::from)
+    }
+}
+
+/// A live replication session with a leader, post-handshake.
+#[derive(Debug)]
+pub struct FollowerClient {
+    stream: TcpStream,
+    /// The session epoch — the leader's, which the handshake guarantees
+    /// is ≥ ours. The server adopts and persists it when higher.
+    pub epoch: u64,
+    /// The leader's shard count (validated equal to ours).
+    pub shards: u32,
+}
+
+impl FollowerClient {
+    /// Connect and handshake. `resume` carries our per-shard positions
+    /// (empty forces a bootstrap); `my_epoch` is our persisted fencing
+    /// epoch. `tick` bounds how long [`recv`](Self::recv) blocks before
+    /// returning `Ok(None)` so the caller can check liveness deadlines
+    /// and stop flags.
+    pub fn connect(
+        addr: &str,
+        my_epoch: u64,
+        shards: u32,
+        resume: Vec<ShardPosition>,
+        tick: Duration,
+    ) -> Result<FollowerClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        ReplFrame::Hello {
+            epoch: my_epoch,
+            shards,
+            resume,
+        }
+        .write_to(&mut &stream)?;
+        let reply = ReplFrame::read_from(&mut &stream)?;
+        let client = match reply {
+            Some(ReplFrame::Welcome {
+                epoch,
+                shards: leader_shards,
+            }) => {
+                if leader_shards != shards {
+                    return Err(Error::Invalid(format!(
+                        "leader runs {leader_shards} shards, we run {shards}"
+                    )));
+                }
+                if epoch < my_epoch {
+                    // The leader should have fenced us; refuse from our
+                    // side too rather than follow a stale epoch.
+                    return Err(Error::Invalid(format!(
+                        "leader epoch {epoch} is below ours ({my_epoch}): stale leader"
+                    )));
+                }
+                FollowerClient {
+                    stream,
+                    epoch,
+                    shards,
+                }
+            }
+            Some(ReplFrame::Fenced { epoch }) => {
+                return Err(Error::Invalid(format!(
+                    "fenced: leader at epoch {epoch} refuses us at epoch {my_epoch} \
+                     (it believes itself superseded)"
+                )))
+            }
+            Some(other) => return Err(Error::Invalid(format!("expected Welcome, got {other:?}"))),
+            None => {
+                return Err(Error::Io(
+                    "leader closed during handshake (shard-count mismatch?)".into(),
+                ))
+            }
+        };
+        client.stream.set_read_timeout(Some(tick))?;
+        Ok(client)
+    }
+
+    /// Clone the write half for acks.
+    pub fn ack_sender(&self) -> Result<AckSender> {
+        Ok(AckSender {
+            stream: self.stream.try_clone()?,
+        })
+    }
+
+    /// Receive the next frame. `Ok(None)` is a quiet tick (nothing
+    /// arrived within the configured timeout — check deadlines and call
+    /// again); errors mean the session is dead (leader closed, I/O
+    /// failure, or a fencing violation) and the caller should tear down
+    /// and reconnect.
+    pub fn recv(&mut self) -> Result<Option<ReplFrame>> {
+        // First byte separately: a timeout here consumed nothing, so
+        // frame alignment is intact and we can report a quiet tick. A
+        // timeout *inside* a frame is a real error (the leader stalled
+        // mid-write or died) and tears the session down.
+        let mut first = [0u8; 1];
+        loop {
+            match (&self.stream).read(&mut first) {
+                Ok(0) => {
+                    return Err(Error::Io("leader closed the replication stream".into()));
+                }
+                Ok(_) => break,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::from(e)),
+            }
+        }
+        let mut rest = [0u8; 3];
+        (&self.stream)
+            .read_exact(&mut rest)
+            .map_err(|e| Error::Io(format!("mid-frame: {e}")))?;
+        let len = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]);
+        if len == 0 || len > MAX_FRAME {
+            return Err(Error::Corrupt(format!(
+                "replication frame length {len} out of range"
+            )));
+        }
+        let mut framed = vec![0u8; 4 + len as usize];
+        framed[..4].copy_from_slice(&len.to_be_bytes());
+        (&self.stream)
+            .read_exact(&mut framed[4..])
+            .map_err(|e| Error::Io(format!("mid-frame: {e}")))?;
+        let frame = ReplFrame::read_from(&mut &framed[..])?
+            .expect("complete frame bytes decode to a frame");
+        if let Some(frame_epoch) = data_frame_epoch(&frame) {
+            if frame_epoch != self.epoch {
+                return Err(Error::Invalid(format!(
+                    "fenced mid-stream: frame epoch {frame_epoch} ≠ session epoch {}",
+                    self.epoch
+                )));
+            }
+        }
+        if let ReplFrame::Fenced { epoch } = frame {
+            return Err(Error::Invalid(format!(
+                "fenced mid-stream by epoch {epoch}"
+            )));
+        }
+        Ok(Some(frame))
+    }
+
+    /// Tear the connection down (unblocks any concurrent reader).
+    pub fn shutdown(&self) {
+        self.stream.shutdown(Shutdown::Both).ok();
+    }
+}
+
+/// The epoch a leader→follower data frame carries, if it is one.
+fn data_frame_epoch(frame: &ReplFrame) -> Option<u64> {
+    match frame {
+        ReplFrame::Snapshot { epoch, .. }
+        | ReplFrame::Frames { epoch, .. }
+        | ReplFrame::Rotate { epoch, .. }
+        | ReplFrame::Heartbeat { epoch, .. } => Some(*epoch),
+        _ => None,
+    }
+}
+
+/// Convenience for lag math: micros elapsed since a shipped
+/// `sent_at_us`, clamped at zero against clock skew.
+pub fn lag_since_us(sent_at_us: u64) -> u64 {
+    now_us().saturating_sub(sent_at_us)
+}

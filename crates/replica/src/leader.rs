@@ -1,0 +1,432 @@
+//! Leader-side shipping: one [`serve_follower`] session per connected
+//! follower.
+//!
+//! The shipper is a *file tailer*, deliberately decoupled from the
+//! shard threads: it opens the same segment files the shard loops
+//! append to and streams whatever complete CRC-framed bytes it finds.
+//! That costs a poll interval of latency but buys three properties the
+//! in-line alternative can't offer:
+//!
+//! * ingest never blocks on a slow follower (no channel from the hot
+//!   path into a socket write),
+//! * a torn read (the writer mid-append) fails the CRC scan and is
+//!   simply re-read next poll — [`SegmentReader`] only ever advances
+//!   past complete frames,
+//! * rotation needs no coordination: the open handle keeps serving the
+//!   unlinked old segment's residue, and the *committed* switch is
+//!   observed the same way recovery observes it — the covering
+//!   snapshot's `wal_gen` advancing.
+//!
+//! When a follower is too far behind to catch up from files still on
+//! disk (the segment it needs was rotated away), the session falls back
+//! to shipping the current snapshot wholesale and resumes framing from
+//! the generation it covers.
+
+use crate::now_us;
+use fenestra_base::error::{Error, Result};
+use fenestra_obs::ReplObs;
+use fenestra_temporal::persist;
+use fenestra_temporal::wal_file::{
+    list_segment_gens, segment_path, shard_segment_path, shard_snapshot_path, SegmentReader,
+};
+use fenestra_wire::repl::{ReplFrame, ShardPosition};
+use std::collections::HashMap;
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bytes of segment tail shipped per `Frames` message — small enough
+/// for per-batch lag measurements, large enough to drain a backlog in
+/// few round trips.
+const SHIP_CHUNK: usize = 256 * 1024;
+
+/// How the leader's state files are named: mirrors the server's layout
+/// rule (one shard ⇒ legacy flat names, N shards ⇒ shard-addressed
+/// names), so followers reproduce the leader's directory byte for byte.
+#[derive(Debug, Clone)]
+pub struct ReplPaths {
+    /// WAL segment base path (the server's `--wal`).
+    pub wal_base: PathBuf,
+    /// Snapshot path (the server's `--snapshot`), when durable
+    /// checkpoints are configured.
+    pub snapshot: Option<PathBuf>,
+    /// Shard count.
+    pub shards: u32,
+}
+
+impl ReplPaths {
+    fn legacy(&self) -> bool {
+        self.shards == 1
+    }
+
+    /// The segment file for `(shard, gen)`.
+    pub fn segment(&self, shard: u32, gen: u64) -> PathBuf {
+        if self.legacy() {
+            segment_path(&self.wal_base, gen)
+        } else {
+            shard_segment_path(&self.wal_base, shard, gen)
+        }
+    }
+
+    /// The snapshot file for `shard`, if snapshots are configured.
+    pub fn snapshot(&self, shard: u32) -> Option<PathBuf> {
+        self.snapshot.as_ref().map(|p| {
+            if self.legacy() {
+                p.clone()
+            } else {
+                shard_snapshot_path(p, shard)
+            }
+        })
+    }
+
+    /// Segment generations on disk for `shard`, ascending.
+    pub fn gens(&self, shard: u32) -> Vec<u64> {
+        let shard = if self.legacy() { None } else { Some(shard) };
+        list_segment_gens(&self.wal_base, shard)
+    }
+}
+
+/// Everything a shipping session needs from the server.
+#[derive(Clone)]
+pub struct LeaderConfig {
+    /// File layout of the state directory being shipped.
+    pub paths: ReplPaths,
+    /// The node's live fencing epoch. Sessions capture it at handshake
+    /// and terminate if it moves (the follower reconnects and
+    /// re-handshakes at the new epoch).
+    pub epoch: Arc<AtomicU64>,
+    /// Replication counters (`followers`, `ship_*`, `ack_lag_us`, …).
+    pub obs: Arc<ReplObs>,
+    /// Server shutdown flag; sessions exit promptly when set.
+    pub shutdown: Arc<AtomicBool>,
+    /// Segment poll interval while idle.
+    pub poll: Duration,
+    /// Heartbeat cadence (liveness + the follower's lag reference).
+    pub heartbeat: Duration,
+}
+
+/// One shard's shipping cursor.
+struct ShardShip {
+    shard: u32,
+    gen: u64,
+    offset: u64,
+    reader: Option<SegmentReader>,
+    /// `(mtime, len)` of the snapshot when last parsed — gates
+    /// re-parsing, not the rotation decision itself.
+    snap_stamp: Option<(Option<std::time::SystemTime>, u64)>,
+    /// `wal_gen` from the last parsed snapshot header.
+    snap_gen: u64,
+}
+
+/// Run one follower session to completion. Returns when the follower
+/// disconnects, the server shuts down, the epoch moves, or I/O fails;
+/// the error (if any) is the reason, for the server's log line.
+pub fn serve_follower(stream: TcpStream, cfg: LeaderConfig) -> Result<()> {
+    stream.set_nodelay(true).ok();
+
+    // Handshake, bounded so a silent client can't pin the thread.
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let hello = match ReplFrame::read_from(&mut &stream)? {
+        Some(f) => f,
+        None => return Err(Error::Io("follower closed before Hello".into())),
+    };
+    let ReplFrame::Hello {
+        epoch: hello_epoch,
+        shards: hello_shards,
+        resume,
+    } = hello
+    else {
+        return Err(Error::Invalid(format!("expected Hello, got {hello:?}")));
+    };
+    let epoch = cfg.epoch.load(Ordering::SeqCst);
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    if hello_epoch > epoch {
+        ReplFrame::Fenced { epoch }.write_to(&mut writer)?;
+        writer.flush()?;
+        cfg.obs.fenced.fetch_add(1, Ordering::Relaxed);
+        return Err(Error::Invalid(format!(
+            "fenced: follower is at epoch {hello_epoch}, we are a stale leader at {epoch}"
+        )));
+    }
+    if hello_shards != cfg.paths.shards {
+        // No refusal frame in the protocol: drop the connection; the
+        // follower logs "leader closed during handshake".
+        return Err(Error::Invalid(format!(
+            "follower runs {hello_shards} shards, leader runs {}; refusing to ship",
+            cfg.paths.shards
+        )));
+    }
+    ReplFrame::Welcome {
+        epoch,
+        shards: cfg.paths.shards,
+    }
+    .write_to(&mut writer)?;
+
+    // Per-shard start positions: resume where the follower already
+    // holds our bytes (same epoch and the segment is still on disk),
+    // bootstrap from a snapshot otherwise.
+    let resume: HashMap<u32, ShardPosition> = if hello_epoch == epoch {
+        resume.into_iter().map(|p| (p.shard, p)).collect()
+    } else {
+        HashMap::new()
+    };
+    let mut ships = Vec::with_capacity(cfg.paths.shards as usize);
+    for shard in 0..cfg.paths.shards {
+        let ship = match resume.get(&shard) {
+            Some(p) if segment_len(&cfg, shard, p.gen).is_some_and(|len| len >= p.offset) => {
+                ShardShip {
+                    shard,
+                    gen: p.gen,
+                    offset: p.offset,
+                    reader: None,
+                    snap_stamp: None,
+                    snap_gen: 0,
+                }
+            }
+            _ => bootstrap(&cfg, shard, epoch, &mut writer)?,
+        };
+        ships.push(ship);
+    }
+    writer.flush()?;
+
+    cfg.obs.followers.fetch_add(1, Ordering::Relaxed);
+    let _count = Decrement(&cfg.obs.followers);
+
+    // Acks arrive asynchronously; a dedicated reader feeds the lag
+    // histogram and flags disconnection. No read timeout: the writer
+    // half shuts the socket down on exit, which unblocks the read.
+    stream.set_read_timeout(None)?;
+    let conn_done = Arc::new(AtomicBool::new(false));
+    let acker = {
+        let stream = stream.try_clone()?;
+        let done = Arc::clone(&conn_done);
+        let obs = Arc::clone(&cfg.obs);
+        std::thread::spawn(move || {
+            read_acks(stream, &obs);
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let result = ship_loop(&cfg, epoch, &mut ships, &mut writer, &conn_done);
+    stream.shutdown(Shutdown::Both).ok();
+    acker.join().ok();
+    result
+}
+
+/// Decrement an atomic counter on drop (follower-count bookkeeping
+/// survives every exit path).
+struct Decrement<'a>(&'a AtomicU64);
+
+impl Drop for Decrement<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn segment_len(cfg: &LeaderConfig, shard: u32, gen: u64) -> Option<u64> {
+    std::fs::metadata(cfg.paths.segment(shard, gen))
+        .ok()
+        .map(|m| m.len())
+}
+
+/// Ship a wholesale bootstrap for one shard: the current snapshot when
+/// one exists (the follower replaces its shard state and mirrors the
+/// file), an empty snapshot otherwise (the follower starts the shard
+/// empty at the oldest on-disk generation).
+fn bootstrap(
+    cfg: &LeaderConfig,
+    shard: u32,
+    epoch: u64,
+    writer: &mut impl Write,
+) -> Result<ShardShip> {
+    let snap = cfg.paths.snapshot(shard).filter(|p| p.exists());
+    let (gen, bytes) = match snap {
+        Some(path) => {
+            let bytes = std::fs::read(&path)?;
+            let text = std::str::from_utf8(&bytes)
+                .map_err(|_| Error::Corrupt("snapshot is not UTF-8".into()))?;
+            let meta = persist::meta_from_json(text)?;
+            (meta.wal_gen, bytes)
+        }
+        None => (
+            cfg.paths.gens(shard).first().copied().unwrap_or(0),
+            Vec::new(),
+        ),
+    };
+    ReplFrame::Snapshot {
+        shard,
+        gen,
+        epoch,
+        bytes,
+    }
+    .write_to(writer)?;
+    cfg.obs.snapshots_shipped.fetch_add(1, Ordering::Relaxed);
+    Ok(ShardShip {
+        shard,
+        gen,
+        offset: 0,
+        reader: None,
+        snap_stamp: None,
+        snap_gen: 0,
+    })
+}
+
+fn read_acks(mut stream: TcpStream, obs: &ReplObs) {
+    while let Ok(Some(frame)) = ReplFrame::read_from(&mut stream) {
+        if let ReplFrame::Ack { echo_us, .. } = frame {
+            let now = now_us();
+            if echo_us > 0 && now >= echo_us {
+                obs.ack_lag_us.record(now - echo_us);
+            }
+        }
+    }
+}
+
+fn ship_loop(
+    cfg: &LeaderConfig,
+    epoch: u64,
+    ships: &mut [ShardShip],
+    writer: &mut BufWriter<TcpStream>,
+    conn_done: &AtomicBool,
+) -> Result<()> {
+    let mut last_heartbeat = Instant::now();
+    loop {
+        if cfg.shutdown.load(Ordering::SeqCst) || conn_done.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if cfg.epoch.load(Ordering::SeqCst) != epoch {
+            return Err(Error::Invalid(
+                "epoch moved mid-session; follower must re-handshake".into(),
+            ));
+        }
+        let mut sent = false;
+        for ship in ships.iter_mut() {
+            sent |= pump(cfg, epoch, ship, writer)?;
+        }
+        if last_heartbeat.elapsed() >= cfg.heartbeat {
+            last_heartbeat = Instant::now();
+            let positions = ships
+                .iter()
+                .map(|s| ShardPosition {
+                    shard: s.shard,
+                    gen: s.gen,
+                    offset: segment_len(cfg, s.shard, s.gen).unwrap_or(s.offset),
+                })
+                .collect();
+            ReplFrame::Heartbeat { epoch, positions }.write_to(writer)?;
+            sent = true;
+        }
+        if sent {
+            writer.flush()?;
+        } else {
+            std::thread::sleep(cfg.poll);
+        }
+    }
+}
+
+/// Advance one shard's cursor: ship new frames if the segment grew,
+/// otherwise look for a committed rotation (or, when the follower's
+/// segment was rotated out from under the session, re-bootstrap).
+/// Returns whether anything was written.
+fn pump(
+    cfg: &LeaderConfig,
+    epoch: u64,
+    ship: &mut ShardShip,
+    writer: &mut impl Write,
+) -> Result<bool> {
+    if ship.reader.is_none() {
+        // The segment may briefly not exist (rotated away before we
+        // caught up); that case falls through to the rotation check.
+        if let Ok(r) = SegmentReader::open(&cfg.paths.segment(ship.shard, ship.gen), ship.offset) {
+            ship.reader = Some(r);
+        }
+    }
+    if ship_growth(cfg, epoch, ship, writer)? {
+        return Ok(true);
+    }
+
+    // Segment idle. Rotation commits when the covering snapshot's
+    // wal_gen advances past our gen — the new segment file existing is
+    // NOT the commit point (it is created before the snapshot lands).
+    let Some(snap) = cfg.paths.snapshot(ship.shard) else {
+        return Ok(false);
+    };
+    let stamp = std::fs::metadata(&snap)
+        .ok()
+        .map(|m| (m.modified().ok(), m.len()));
+    if stamp != ship.snap_stamp {
+        ship.snap_stamp = stamp;
+        if let Ok(meta) = persist::peek_meta(&snap) {
+            ship.snap_gen = meta.wal_gen;
+        }
+    }
+    if ship.snap_gen <= ship.gen {
+        return Ok(false);
+    }
+    // Rotation committed past us: the writer has closed the old
+    // segment for good, so one more empty read through the (possibly
+    // unlinked) open handle proves the follower has every byte of it.
+    if ship.reader.is_none() {
+        // Never opened it and the file is gone — its tail is
+        // unreachable, so resync wholesale.
+        *ship = bootstrap(cfg, ship.shard, epoch, writer)?;
+        return Ok(true);
+    }
+    if ship_growth(cfg, epoch, ship, writer)? {
+        return Ok(true);
+    }
+    if ship.snap_gen == ship.gen + 1 || cfg.paths.segment(ship.shard, ship.gen + 1).exists() {
+        ship.gen += 1;
+        ship.offset = 0;
+        ship.reader = None;
+        ship.snap_stamp = None;
+        ReplFrame::Rotate {
+            shard: ship.shard,
+            new_gen: ship.gen,
+            epoch,
+        }
+        .write_to(writer)?;
+        Ok(true)
+    } else {
+        // The generations between us and the snapshot are gone —
+        // re-bootstrap wholesale.
+        *ship = bootstrap(cfg, ship.shard, epoch, writer)?;
+        Ok(true)
+    }
+}
+
+/// Ship whatever complete frames sit past the cursor; returns whether
+/// any were written.
+fn ship_growth(
+    cfg: &LeaderConfig,
+    epoch: u64,
+    ship: &mut ShardShip,
+    writer: &mut impl Write,
+) -> Result<bool> {
+    let Some(reader) = &mut ship.reader else {
+        return Ok(false);
+    };
+    let bytes = reader.read_frames(SHIP_CHUNK)?;
+    if bytes.is_empty() {
+        return Ok(false);
+    }
+    let offset = ship.offset;
+    ship.offset = reader.offset();
+    cfg.obs.ship_frames.fetch_add(1, Ordering::Relaxed);
+    cfg.obs
+        .ship_bytes
+        .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    ReplFrame::Frames {
+        shard: ship.shard,
+        gen: ship.gen,
+        offset,
+        epoch,
+        sent_at_us: now_us(),
+        bytes,
+    }
+    .write_to(writer)?;
+    Ok(true)
+}

@@ -1,0 +1,50 @@
+//! # fenestra-replica — WAL shipping to warm followers
+//!
+//! The replication subsystem: a leader streams its committed per-shard
+//! WAL segments (and bootstrap snapshots) to followers over the
+//! [`fenestra_wire::repl`] frame protocol; followers mirror the
+//! leader's on-disk layout byte for byte, serve reads, and can be
+//! promoted behind a fencing epoch when the leader dies.
+//!
+//! Three pieces, glued together by `fenestrad`:
+//!
+//! * [`leader`] — one [`serve_follower`] session per connected
+//!   follower. It tails the segment *files* (not the shard threads), so
+//!   shipping never blocks ingest: an open file handle keeps serving
+//!   residual bytes even after rotation unlinks the segment, partial
+//!   frames fail CRC and are simply re-read, and rotation is detected
+//!   from the snapshot header's `wal_gen` advancing — the same commit
+//!   point recovery trusts.
+//! * [`follower`] — [`FollowerClient`], the connection half of follower
+//!   mode: handshake with resume positions, epoch checks on every data
+//!   frame, and an [`AckSender`] for applied-and-durable positions.
+//! * [`epoch`] — the fencing epoch's sidecar file
+//!   (`<wal_base>.epoch`). Promotion bumps the epoch and persists it
+//!   *before* the promoted node accepts writes; a demoted ex-leader's
+//!   frames then fail the epoch check on both ends.
+//!
+//! The crate is deliberately server-agnostic: it sees paths, sockets,
+//! and observability handles, never the engine. `fenestrad` owns the
+//! apply side (feeding shipped frames through its shard loops) and the
+//! promotion state machine.
+
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod follower;
+pub mod leader;
+
+pub use epoch::{epoch_path, load_epoch, store_epoch};
+pub use follower::{AckSender, FollowerClient};
+pub use leader::{serve_follower, LeaderConfig, ReplPaths};
+
+/// Wall-clock microseconds since the Unix epoch — the timestamp shipped
+/// in `Frames.sent_at_us` and echoed back in acks. Leader and follower
+/// clocks both feed the same-machine lag histograms in the bench
+/// harness; across real machines the skew is the operator's to bound.
+pub fn now_us() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}

@@ -1,0 +1,397 @@
+//! End-to-end shipping over a real socket and real WAL files: a
+//! leader session serving a [`FollowerClient`], without a server on
+//! either side. The server integration tests (tests/replication.rs at
+//! the workspace root) cover the full daemon; these pin the crate's
+//! own contract — bootstrap, tailing, rotation, re-bootstrap, and
+//! fencing.
+
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::{EntityId, Value};
+use fenestra_obs::ReplObs;
+use fenestra_replica::{serve_follower, FollowerClient, LeaderConfig, ReplPaths};
+use fenestra_temporal::persist;
+use fenestra_temporal::wal_file::{scan_frames, segment_path, FsyncPolicy, WalWriter};
+use fenestra_temporal::{Provenance, TemporalStore, WalOp};
+use fenestra_wire::repl::{ReplFrame, ShardPosition};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fenestra-replica-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ops(range: std::ops::Range<u64>) -> Vec<WalOp> {
+    range
+        .map(|i| WalOp::Assert {
+            entity: EntityId(i),
+            attr: Symbol::intern("x"),
+            value: Value::Int(i as i64),
+            t: Timestamp::new(i),
+            provenance: Provenance::External,
+        })
+        .collect()
+}
+
+struct Leader {
+    addr: String,
+    epoch: Arc<AtomicU64>,
+    obs: Arc<ReplObs>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Leader {
+    /// Bind a listener and serve every connection with
+    /// `serve_follower` until shut down.
+    fn start(wal_base: PathBuf, snapshot: Option<PathBuf>, epoch0: u64) -> Leader {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let epoch = Arc::new(AtomicU64::new(epoch0));
+        let obs = Arc::new(ReplObs::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let cfg = LeaderConfig {
+            paths: ReplPaths {
+                wal_base,
+                snapshot,
+                shards: 1,
+            },
+            epoch: Arc::clone(&epoch),
+            obs: Arc::clone(&obs),
+            shutdown: Arc::clone(&shutdown),
+            poll: Duration::from_millis(2),
+            heartbeat: Duration::from_millis(50),
+        };
+        let stop = Arc::clone(&shutdown);
+        let accept = std::thread::spawn(move || {
+            listener.set_nonblocking(true).unwrap();
+            let mut sessions = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let cfg = cfg.clone();
+                        sessions.push(std::thread::spawn(move || {
+                            let _ = serve_follower(stream, cfg);
+                        }));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            for s in sessions {
+                let _ = s.join();
+            }
+        });
+        Leader {
+            addr,
+            epoch,
+            obs,
+            shutdown,
+            accept: Some(accept),
+        }
+    }
+}
+
+impl Drop for Leader {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Pull frames until `pred` accepts one, failing after 5 seconds.
+fn next_matching(
+    client: &mut FollowerClient,
+    what: &str,
+    mut pred: impl FnMut(&ReplFrame) -> bool,
+) -> ReplFrame {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if let Some(f) = client.recv().unwrap() {
+            if pred(&f) {
+                return f;
+            }
+        }
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn bootstraps_tails_and_rotates() {
+    let dir = tmp_dir("ship");
+    let base = dir.join("log");
+    let snap = dir.join("state.json");
+
+    // Leader state: ops 0..3 snapshotted (gen already rotated to 1),
+    // ops 3..6 in segment 1.
+    let mut store = TemporalStore::new();
+    for op in ops(0..3) {
+        store.apply(&op).unwrap();
+    }
+    persist::save_compact(&store, &snap, 1).unwrap();
+    let mut w = WalWriter::create(&segment_path(&base, 1), FsyncPolicy::Always).unwrap();
+    w.append(&ops(3..6)).unwrap();
+
+    let leader = Leader::start(base.clone(), Some(snap.clone()), 0);
+    let mut client =
+        FollowerClient::connect(&leader.addr, 0, 1, vec![], Duration::from_millis(20)).unwrap();
+    assert_eq!(client.epoch, 0);
+
+    // Bootstrap snapshot first: gen 1, parseable, 3 ops.
+    let f = next_matching(&mut client, "Snapshot", |f| {
+        matches!(f, ReplFrame::Snapshot { .. })
+    });
+    let ReplFrame::Snapshot { gen, bytes, .. } = f else {
+        unreachable!()
+    };
+    assert_eq!(gen, 1);
+    let loaded = persist::from_json_with_meta(std::str::from_utf8(&bytes).unwrap()).unwrap();
+    assert_eq!(loaded.op_count, 3);
+
+    // Then the segment tail, as verbatim frames from offset 0.
+    let f = next_matching(&mut client, "Frames", |f| {
+        matches!(f, ReplFrame::Frames { .. })
+    });
+    let ReplFrame::Frames {
+        gen, offset, bytes, ..
+    } = f
+    else {
+        unreachable!()
+    };
+    assert_eq!((gen, offset), (1, 0));
+    let tail = scan_frames(&bytes);
+    assert_eq!(tail.discarded_bytes, 0);
+    assert_eq!(tail.ops, ops(3..6));
+    let mut acks = client.ack_sender().unwrap();
+    acks.send(
+        ShardPosition {
+            shard: 0,
+            gen: 1,
+            offset: bytes.len() as u64,
+        },
+        fenestra_replica::now_us().saturating_sub(1),
+    )
+    .unwrap();
+
+    // Live tailing: new appends arrive without reconnecting.
+    w.append(&ops(6..8)).unwrap();
+    let f = next_matching(&mut client, "tailed Frames", |f| {
+        matches!(f, ReplFrame::Frames { .. })
+    });
+    let ReplFrame::Frames { offset, bytes, .. } = f else {
+        unreachable!()
+    };
+    assert!(offset > 0, "tail continues past the first batch");
+    assert_eq!(scan_frames(&bytes).ops, ops(6..8));
+
+    // Rotation: create segment 2, land a snapshot covering gen 2, then
+    // unlink segment 1 — the leader must ship Rotate{new_gen: 2} and
+    // follow the new segment.
+    for op in ops(3..8) {
+        store.apply(&op).unwrap();
+    }
+    let mut w2 = WalWriter::create(&segment_path(&base, 2), FsyncPolicy::Always).unwrap();
+    persist::save_compact(&store, &snap, 2).unwrap();
+    std::fs::remove_file(segment_path(&base, 1)).unwrap();
+    let f = next_matching(&mut client, "Rotate", |f| {
+        matches!(f, ReplFrame::Rotate { .. })
+    });
+    assert_eq!(
+        f,
+        ReplFrame::Rotate {
+            shard: 0,
+            new_gen: 2,
+            epoch: 0
+        }
+    );
+    w2.append(&ops(8..10)).unwrap();
+    let f = next_matching(&mut client, "post-rotation Frames", |f| {
+        matches!(f, ReplFrame::Frames { .. })
+    });
+    let ReplFrame::Frames { gen, bytes, .. } = f else {
+        unreachable!()
+    };
+    assert_eq!(gen, 2);
+    assert_eq!(scan_frames(&bytes).ops, ops(8..10));
+
+    // Heartbeats flow throughout.
+    next_matching(&mut client, "Heartbeat", |f| {
+        matches!(f, ReplFrame::Heartbeat { .. })
+    });
+
+    // The ack sent above reached the lag histogram.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while leader.obs.ack_lag_us.snapshot().count == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(leader.obs.ack_lag_us.snapshot().count, 1);
+    assert_eq!(leader.obs.snapshots_shipped.load(Ordering::Relaxed), 1);
+    assert!(leader.obs.ship_frames.load(Ordering::Relaxed) >= 3);
+    drop(client);
+    drop(leader);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_skips_bootstrap_and_ships_only_new_bytes() {
+    let dir = tmp_dir("resume");
+    let base = dir.join("log");
+    let mut w = WalWriter::create(&segment_path(&base, 0), FsyncPolicy::Always).unwrap();
+    w.append(&ops(0..4)).unwrap();
+    let held = w.segment_len();
+    w.append(&ops(4..6)).unwrap();
+
+    let leader = Leader::start(base.clone(), None, 0);
+    let resume = vec![ShardPosition {
+        shard: 0,
+        gen: 0,
+        offset: held,
+    }];
+    let mut client =
+        FollowerClient::connect(&leader.addr, 0, 1, resume, Duration::from_millis(20)).unwrap();
+    let f = next_matching(&mut client, "resumed Frames", |f| {
+        !matches!(f, ReplFrame::Heartbeat { .. })
+    });
+    let ReplFrame::Frames {
+        gen, offset, bytes, ..
+    } = f
+    else {
+        panic!("expected Frames first (no bootstrap on resume), got {f:?}");
+    };
+    assert_eq!((gen, offset), (0, held));
+    assert_eq!(scan_frames(&bytes).ops, ops(4..6));
+    drop(client);
+    drop(leader);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn without_snapshots_a_fresh_follower_gets_an_empty_bootstrap() {
+    let dir = tmp_dir("nosnap");
+    let base = dir.join("log");
+    let mut w = WalWriter::create(&segment_path(&base, 0), FsyncPolicy::Always).unwrap();
+    w.append(&ops(0..2)).unwrap();
+
+    let leader = Leader::start(base.clone(), None, 0);
+    let mut client =
+        FollowerClient::connect(&leader.addr, 0, 1, vec![], Duration::from_millis(20)).unwrap();
+    let f = next_matching(&mut client, "empty Snapshot", |f| {
+        matches!(f, ReplFrame::Snapshot { .. })
+    });
+    let ReplFrame::Snapshot { gen, bytes, .. } = f else {
+        unreachable!()
+    };
+    assert_eq!(gen, 0);
+    assert!(bytes.is_empty(), "no snapshot configured ⇒ start empty");
+    let f = next_matching(&mut client, "Frames", |f| {
+        matches!(f, ReplFrame::Frames { .. })
+    });
+    let ReplFrame::Frames { bytes, .. } = f else {
+        unreachable!()
+    };
+    assert_eq!(scan_frames(&bytes).ops, ops(0..2));
+    drop(client);
+    drop(leader);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn higher_epoch_follower_is_fenced_and_stale_leader_is_refused() {
+    let dir = tmp_dir("fence");
+    let base = dir.join("log");
+    WalWriter::create(&segment_path(&base, 0), FsyncPolicy::Always).unwrap();
+    let leader = Leader::start(base.clone(), None, 2);
+
+    // A promoted node (epoch 5) greeting the old leader (epoch 2) gets
+    // Fenced back — the demoted side learns it has been superseded.
+    let err =
+        FollowerClient::connect(&leader.addr, 5, 1, vec![], Duration::from_millis(20)).unwrap_err();
+    assert!(err.to_string().contains("fenced"), "got: {err}");
+    assert_eq!(leader.obs.fenced.load(Ordering::Relaxed), 1);
+
+    // Equal-or-lower epochs handshake fine, and the session carries
+    // the leader's epoch for the follower to adopt.
+    let client =
+        FollowerClient::connect(&leader.addr, 0, 1, vec![], Duration::from_millis(20)).unwrap();
+    assert_eq!(client.epoch, 2);
+
+    // Shard-count mismatch: the leader drops the connection during the
+    // handshake rather than shipping a mispartitioned stream.
+    let err =
+        FollowerClient::connect(&leader.addr, 0, 4, vec![], Duration::from_millis(20)).unwrap_err();
+    assert!(err.to_string().contains("handshake"), "got: {err}");
+
+    // An epoch move on the leader (it was itself promoted, or adopted
+    // a new epoch) terminates live sessions: stale sessions must not
+    // keep shipping under the old epoch.
+    let mut client = client;
+    leader.epoch.store(6, Ordering::SeqCst);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let err = loop {
+        assert!(Instant::now() < deadline, "session outlived the epoch move");
+        match client.recv() {
+            Ok(_) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert!(
+        err.to_string().contains("closed") || err.to_string().contains("mid-frame"),
+        "got: {err}"
+    );
+    drop(client);
+    drop(leader);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn frames_with_wrong_epoch_tear_the_session_down() {
+    // A fake leader that welcomes at epoch 3 but then ships a frame
+    // stamped epoch 2 (a demoted node's buffered write): the client
+    // must refuse it rather than apply it.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let fake = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        let hello = ReplFrame::read_from(&mut s).unwrap();
+        assert!(matches!(hello, Some(ReplFrame::Hello { .. })));
+        ReplFrame::Welcome {
+            epoch: 3,
+            shards: 1,
+        }
+        .write_to(&mut s)
+        .unwrap();
+        ReplFrame::Frames {
+            shard: 0,
+            gen: 0,
+            offset: 0,
+            epoch: 2,
+            sent_at_us: 0,
+            bytes: vec![],
+        }
+        .write_to(&mut s)
+        .unwrap();
+        // Hold the socket open so the error comes from the epoch
+        // check, not EOF.
+        std::thread::sleep(Duration::from_millis(200));
+        drop(s);
+    });
+    let mut client =
+        FollowerClient::connect(&addr, 1, 1, vec![], Duration::from_millis(20)).unwrap();
+    assert_eq!(client.epoch, 3);
+    let err = loop {
+        match client.recv() {
+            Ok(Some(_)) => panic!("mismatched-epoch frame must not be delivered"),
+            Ok(None) => continue,
+            Err(e) => break e,
+        }
+    };
+    assert!(err.to_string().contains("fenced mid-stream"), "got: {err}");
+    fake.join().unwrap();
+}

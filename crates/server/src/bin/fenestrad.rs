@@ -50,6 +50,19 @@ OPTIONS:
                             second listener (plain HTTP GET /metrics);
                             scrapes read atomics only and never touch
                             the ingest path    [default: off]
+    --replicate HOST:PORT   serve committed WAL segments to followers
+                            on a second listener (needs --wal); each
+                            follower streams frames as group commits
+                            land                [default: off]
+    --follow HOST:PORT      run as a warm follower of the leader's
+                            --replicate listener (needs --wal and
+                            --snapshot): mirror its WAL, serve queries
+                            and watches, redirect ingest. Promote with
+                            {\"cmd\":\"promote\"} or --promote-after-ms.
+    --promote-after-ms N    with --follow: self-promote after N ms of
+                            leader silence (once synced at least once).
+                            Opt-in — without an external fencing story
+                            a network partition can yield two leaders.
     --slow-ms N             log any shard ingest command slower than
                             N ms (apply + WAL commit) as one JSON line
                             on stderr          [default: off]
@@ -62,6 +75,8 @@ PROTOCOL (line-delimited JSON on one socket):
     {\"cmd\":\"watch\",\"name\":\"w\",\"q\":\"select ...\"}   push view diffs
     {\"cmd\":\"stats\"}                    counters, gauges, stage histograms
     {\"cmd\":\"sync\"}                     processing barrier -> {\"ok\":true,\"synced\":true}
+    {\"cmd\":\"promote\"}                  follower only: fence the old leader and
+                                        take writes -> {\"ok\":true,\"epoch\":N}
     {\"cmd\":\"shutdown\"}                 drain, snapshot, exit
 ";
 
@@ -121,6 +136,10 @@ fn main() -> ExitCode {
                 other => Err(format!("unknown semantics `{other}`")),
             }),
             "--metrics-addr" => value("--metrics-addr").map(|v| config.metrics_addr = Some(v)),
+            "--replicate" => value("--replicate").map(|v| config.replicate_addr = Some(v)),
+            "--follow" => value("--follow").map(|v| config.follow = Some(v)),
+            "--promote-after-ms" => parse_num(value("--promote-after-ms"), "--promote-after-ms")
+                .map(|n| config.promote_after = Some(Duration::millis(n))),
             "--slow-ms" => {
                 parse_num(value("--slow-ms"), "--slow-ms").map(|n| config.slow_ms = Some(n))
             }
@@ -148,6 +167,7 @@ fn main() -> ExitCode {
     }
 
     sig::install();
+    let following = config.follow.clone();
     let mut handle = match Server::start(config) {
         Ok(h) => h,
         Err(e) => {
@@ -158,6 +178,12 @@ fn main() -> ExitCode {
     eprintln!("fenestrad: listening on {}", handle.local_addr());
     if let Some(maddr) = handle.metrics_addr() {
         eprintln!("fenestrad: serving Prometheus metrics on http://{maddr}/metrics");
+    }
+    if let Some(raddr) = handle.replicate_addr() {
+        eprintln!("fenestrad: serving replication to followers on {raddr}");
+    }
+    if let Some(leader) = following {
+        eprintln!("fenestrad: following leader at {leader} (read-only until promoted)");
     }
 
     loop {

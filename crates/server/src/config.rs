@@ -88,6 +88,25 @@ pub struct ServerConfig {
     /// JSONL line on stderr (`{"slow_op":…}`), for tail-latency
     /// forensics without a debugger attached.
     pub slow_ms: Option<u64>,
+    /// If set, a replication listener on this address streams committed
+    /// WAL segments (and bootstrap snapshots) to warm followers.
+    /// Requires [`ServerConfig::wal_path`]: followers tail the on-disk
+    /// segments, so there must be some.
+    pub replicate_addr: Option<String>,
+    /// If set, this server boots as a warm follower of the leader at
+    /// this address (`HOST:PORT` of the leader's
+    /// [`ServerConfig::replicate_addr`] listener). Followers serve
+    /// queries and watches but reject ingest with a redirect error;
+    /// promotion (`{"cmd":"promote"}` or
+    /// [`ServerConfig::promote_after`]) turns one into a leader.
+    /// Requires both [`ServerConfig::wal_path`] and
+    /// [`ServerConfig::snapshot_path`].
+    pub follow: Option<String>,
+    /// If set on a follower, losing contact with the leader for this
+    /// long triggers automatic promotion (fenced failover). Off by
+    /// default: unattended promotion can split-brain a partitioned
+    /// leader, so it is strictly opt-in.
+    pub promote_after: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +126,9 @@ impl Default for ServerConfig {
             gc_horizon: None,
             metrics_addr: None,
             slow_ms: None,
+            replicate_addr: None,
+            follow: None,
+            promote_after: None,
         }
     }
 }
@@ -201,6 +223,27 @@ impl ServerConfig {
         self.slow_ms = Some(ms);
         self
     }
+
+    /// Stream committed WAL segments to followers connecting on `addr`
+    /// (requires [`ServerConfig::wal_path`]).
+    pub fn replicate_addr(mut self, addr: impl Into<String>) -> ServerConfig {
+        self.replicate_addr = Some(addr.into());
+        self
+    }
+
+    /// Boot as a warm follower of the leader replicating on `addr`
+    /// (requires [`ServerConfig::wal_path`] and
+    /// [`ServerConfig::snapshot_path`]).
+    pub fn follow(mut self, addr: impl Into<String>) -> ServerConfig {
+        self.follow = Some(addr.into());
+        self
+    }
+
+    /// Auto-promote a follower after `timeout` without leader contact.
+    pub fn promote_after(mut self, timeout: Duration) -> ServerConfig {
+        self.promote_after = Some(timeout);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -220,10 +263,16 @@ mod tests {
             .shards(0)
             .gc_horizon(Duration::secs(60))
             .metrics_addr("127.0.0.1:0")
-            .slow_ms(25);
+            .slow_ms(25)
+            .replicate_addr("127.0.0.1:0")
+            .follow("127.0.0.1:9999")
+            .promote_after(Duration::secs(5));
         assert_eq!(cfg.addr, "127.0.0.1:0");
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(cfg.slow_ms, Some(25));
+        assert_eq!(cfg.replicate_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.follow.as_deref(), Some("127.0.0.1:9999"));
+        assert_eq!(cfg.promote_after, Some(Duration::secs(5)));
         assert_eq!(cfg.shards, 1, "shard count clamps to at least 1");
         assert_eq!(cfg.gc_horizon, Some(Duration::secs(60)));
         assert_eq!(cfg.queue_capacity, 1, "capacity clamps to at least 1");
@@ -242,6 +291,9 @@ mod tests {
         assert!(cfg.gc_horizon.is_none(), "GC is opt-in");
         assert!(cfg.metrics_addr.is_none(), "metrics endpoint is opt-in");
         assert!(cfg.slow_ms.is_none(), "slow-op log is opt-in");
+        assert!(cfg.replicate_addr.is_none(), "replication is opt-in");
+        assert!(cfg.follow.is_none(), "follower mode is opt-in");
+        assert!(cfg.promote_after.is_none(), "auto-promotion is opt-in");
         assert_eq!(cfg.batch_max, 512, "group commit is on by default");
         assert_eq!(
             cfg.fsync,

@@ -134,6 +134,38 @@
 //! the ingest path — and may run slightly behind the shard loops.
 //! Under `every-N` / `on-snapshot` policies recovery truncates a torn
 //! WAL tail and reports it in `server.wal_discarded_bytes`.
+//!
+//! ## Replication and failover
+//!
+//! A leader started with `--replicate HOST:PORT` serves its committed
+//! per-shard WAL segments to followers over a second listener; a
+//! follower started with `--follow HOST:PORT` (plus `--wal` and
+//! `--snapshot`) mirrors them byte-for-byte into its own WAL, applies
+//! the ops to its own engine, and serves queries, history, and watches
+//! locally while redirecting ingest to the leader
+//! (`{"ok":false,"redirect":"host:port",…}`). Shipping reads what the
+//! group commits already made durable — it never touches the leader's
+//! ingest path. A follower that cannot resume from its current
+//! `(generation, offset)` (first contact, missed rotations, position
+//! skew) is re-bootstrapped from the leader's snapshot wholesale; every
+//! session failure self-heals by reconnecting with fresh resume
+//! positions.
+//!
+//! Failover is **fenced by an epoch**: `{"cmd":"promote"}` on the
+//! follower (or `--promote-after-ms` of leader silence, once synced)
+//! durably bumps the epoch (a `<wal>.epoch` sidecar, re-stamped into
+//! every later snapshot), flips the node to leader, and checkpoints
+//! every shard under the new epoch — starting a fresh segment lineage.
+//! A demoted ex-leader's replication traffic is refused on epoch
+//! mismatch from then on. The guarantee: an event acked durable on the
+//! old leader **and shipped+acked by the follower** before the crash is
+//! queryable on the promoted follower. The ship ack is asynchronous —
+//! a leader crash can lose the last instants of acked-but-unshipped
+//! events (bounded by `repl_lag_bytes`), and follower-side crash
+//! durability of applied frames still requires the follower to run
+//! `--fsync always`. The follower's `setup` hook (`--rules`) must only
+//! declare attributes and rules; entity-allocating setups would skew
+//! entity-id alignment against the shipped stream.
 
 pub mod config;
 pub mod metrics;

@@ -25,6 +25,7 @@ pub fn render_prometheus(metrics: &ServerMetrics, obs: &PipelineObs) -> String {
     server_metrics(&mut out, metrics);
     shard_gauges(&mut out, obs);
     engine_counters(&mut out, obs);
+    repl_metrics(&mut out, obs);
     histogram(
         &mut out,
         "fenestra_stage_admit_us",
@@ -291,7 +292,7 @@ type ShardFamily<T> = (&'static str, &'static str, fn(&T) -> u64);
 
 /// Per-shard pipeline gauges, one family per gauge, `shard` labeled.
 fn shard_gauges(out: &mut String, obs: &PipelineObs) {
-    let families: [ShardFamily<fenestra_obs::ShardObs>; 7] = [
+    let families: [ShardFamily<fenestra_obs::ShardObs>; 11] = [
         (
             "fenestra_shard_queue_depth",
             "Current ingest-queue depth",
@@ -327,6 +328,26 @@ fn shard_gauges(out: &mut String, obs: &PipelineObs) {
             "Currently-open facts in the shard's store",
             |s| s.state_facts.load(Ordering::Relaxed),
         ),
+        (
+            "fenestra_shard_wal_gen",
+            "Current WAL segment generation",
+            |s| s.wal_gen.load(Ordering::Relaxed),
+        ),
+        (
+            "fenestra_shard_wal_oldest_gen",
+            "Oldest WAL segment generation still on disk",
+            |s| s.wal_oldest_gen.load(Ordering::Relaxed),
+        ),
+        (
+            "fenestra_shard_wal_segments",
+            "WAL segment files on disk for this shard",
+            |s| s.wal_segments.load(Ordering::Relaxed),
+        ),
+        (
+            "fenestra_shard_repl_lag_bytes",
+            "Follower only: bytes behind the leader's write position",
+            |s| s.repl_lag_bytes.load(Ordering::Relaxed),
+        ),
     ];
     for (name, help, get) in families {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -335,6 +356,110 @@ fn shard_gauges(out: &mut String, obs: &PipelineObs) {
             let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {}", get(sh));
         }
     }
+}
+
+/// Replication counters and gauges (quiet zeros when not replicating),
+/// plus the leader's ack-lag and the follower's apply-latency
+/// histograms.
+fn repl_metrics(out: &mut String, obs: &PipelineObs) {
+    let r = &obs.repl;
+    let v = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    family(
+        out,
+        "fenestra_repl_epoch",
+        "gauge",
+        "Current fencing epoch",
+        v(&r.epoch),
+    );
+    family(
+        out,
+        "fenestra_repl_following",
+        "gauge",
+        "1 while this node is a read-only follower, 0 while leading",
+        v(&r.following),
+    );
+    family(
+        out,
+        "fenestra_repl_followers",
+        "gauge",
+        "Leader: follower connections currently served",
+        v(&r.followers),
+    );
+    family(
+        out,
+        "fenestra_repl_ship_frames_total",
+        "counter",
+        "Leader: WAL frames shipped to followers",
+        v(&r.ship_frames),
+    );
+    family(
+        out,
+        "fenestra_repl_ship_bytes_total",
+        "counter",
+        "Leader: WAL segment bytes shipped to followers",
+        v(&r.ship_bytes),
+    );
+    family(
+        out,
+        "fenestra_repl_snapshots_shipped_total",
+        "counter",
+        "Leader: bootstrap snapshots shipped to followers",
+        v(&r.snapshots_shipped),
+    );
+    family(
+        out,
+        "fenestra_repl_fenced_total",
+        "counter",
+        "Replication messages refused by epoch fencing",
+        v(&r.fenced),
+    );
+    family(
+        out,
+        "fenestra_repl_applied_frames_total",
+        "counter",
+        "Follower: shipped WAL frames applied locally",
+        v(&r.applied_frames),
+    );
+    family(
+        out,
+        "fenestra_repl_applied_ops_total",
+        "counter",
+        "Follower: ops applied from shipped frames",
+        v(&r.applied_ops),
+    );
+    family(
+        out,
+        "fenestra_repl_applied_bytes_total",
+        "counter",
+        "Follower: shipped segment bytes applied locally",
+        v(&r.applied_bytes),
+    );
+    family(
+        out,
+        "fenestra_repl_reconnects_total",
+        "counter",
+        "Follower: reconnects to the leader",
+        v(&r.reconnects),
+    );
+    family(
+        out,
+        "fenestra_repl_last_leader_contact_ms",
+        "gauge",
+        "Follower: unix millis of the last frame or heartbeat from the leader",
+        v(&r.last_leader_contact_ms),
+    );
+    histogram(
+        out,
+        "fenestra_repl_ack_lag_us",
+        "Leader: ship to applied-and-durable-on-follower ack latency (microseconds)",
+        &[(None, r.ack_lag_us.snapshot())],
+    );
+    histogram(
+        out,
+        "fenestra_repl_apply_us",
+        "Follower: time to apply one shipped batch, local WAL append + fsync + store apply (microseconds)",
+        &[(None, r.apply_us.snapshot())],
+    );
 }
 
 /// Per-shard engine counters, `shard` labeled, `_total` suffixed.

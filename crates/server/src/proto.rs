@@ -51,6 +51,10 @@ pub enum Request {
     Sync,
     /// `{"cmd":"shutdown"}` — drain, snapshot, exit.
     Shutdown,
+    /// `{"cmd":"promote"}` — on a follower, stop following, bump the
+    /// fencing epoch, and start serving ingest as the new leader.
+    /// Errors on a server that is not following anyone.
+    Promote,
 }
 
 /// Parse one request line. Objects carrying a `"cmd"` key are
@@ -95,8 +99,9 @@ pub fn parse_request(line: &str) -> Result<Request> {
         "stats" => Ok(Request::Stats),
         "sync" => Ok(Request::Sync),
         "shutdown" => Ok(Request::Shutdown),
+        "promote" => Ok(Request::Promote),
         other => Err(Error::Invalid(format!(
-            "unknown command `{other}` (expected query, watch, stats, sync, or shutdown)"
+            "unknown command `{other}` (expected query, watch, stats, sync, promote, or shutdown)"
         ))),
     }
 }
@@ -304,6 +309,10 @@ mod tests {
         assert!(matches!(
             parse_request(r#"{"cmd":"sync"}"#).unwrap(),
             Request::Sync
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"promote"}"#).unwrap(),
+            Request::Promote
         ));
         let Request::Query { text } =
             parse_request(r#"{"cmd":"query","q":"select ?v where { ?v a 1 }"}"#).unwrap()

@@ -37,16 +37,20 @@ use fenestra_core::shard::{merge_rows, partial_select};
 use fenestra_core::{Engine, EngineMetrics, QueryResult, ShardRouter, Watch};
 use fenestra_obs::{EngineCounters, PipelineObs, ShardObs};
 use fenestra_query::{Bindings, Query, QueryOptions};
-use fenestra_temporal::wal_file::{
-    recover_shards, segment_path, shard_segment_path, shard_snapshot_path,
+use fenestra_replica::{
+    load_epoch, now_us, serve_follower, store_epoch, FollowerClient, LeaderConfig, ReplPaths,
 };
-use fenestra_temporal::{FsyncPolicy, Provenance, WalWriter, WalWriterStats};
+use fenestra_temporal::wal_file::{
+    list_segment_gens, recover_shards, segment_path, shard_segment_path, shard_snapshot_path,
+};
+use fenestra_temporal::{FsyncPolicy, Provenance, TemporalStore, WalWriter, WalWriterStats};
+use fenestra_wire::repl::{redirect_line, ReplFrame, ShardPosition};
 use serde_json::{Map, Value as Json};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
@@ -239,10 +243,73 @@ enum ShardCmd {
     Snapshot,
     /// Horizon GC pass (`--gc-horizon-ms`), on the snapshot cadence.
     Gc,
+    /// Follower: append leader-shipped raw WAL frames expected at
+    /// exactly `(gen, offset)` of this shard's local segment, apply the
+    /// contained ops to the store, and reply the new durable offset
+    /// (plus frame/op counts for the replication counters). The local
+    /// WAL stays a byte mirror of the leader's.
+    ReplicaApply {
+        gen: u64,
+        offset: u64,
+        bytes: Vec<u8>,
+        reply: Sender<Result<(u64, u64, u64)>>,
+    },
+    /// Follower: wholesale re-bootstrap from a leader snapshot (empty
+    /// bytes = start this shard empty), restarting the local WAL with a
+    /// fresh segment at `gen`.
+    ReplicaBootstrap {
+        gen: u64,
+        bytes: Vec<u8>,
+        reply: Sender<Result<()>>,
+    },
+    /// Follower: mirror the leader's rotation — checkpoint into a fresh
+    /// segment at exactly `new_gen` (which must be the successor of the
+    /// local generation; frames arrive in order, so the old segment is
+    /// fully applied by now).
+    ReplicaRotate {
+        new_gen: u64,
+        reply: Sender<Result<()>>,
+    },
+    /// Replication: this shard's durable position — current segment
+    /// generation and byte length. `(0, 0)` without a WAL.
+    ReplicaPosition {
+        reply: Sender<(u64, u64)>,
+    },
     /// Drain, flush, persist, vote every held ack, then confirm.
     Shutdown {
         done: Sender<()>,
     },
+}
+
+// ----- replication role -----------------------------------------------------
+
+/// Replication role state, shared by the connection threads, the shard
+/// threads, and the follower loop. Present only when `--follow` or
+/// `--replicate` is configured; a plain server carries `None` and pays
+/// nothing.
+struct ReplState {
+    /// The node's fencing epoch. Bumped (and persisted) at promotion;
+    /// the replication listener fences sessions against it.
+    epoch: Arc<AtomicU64>,
+    /// True while this node is a read-only follower: ingest is
+    /// redirected, local checkpoints and GC are suppressed (the
+    /// leader's stream drives both), and `{"cmd":"promote"}` is legal.
+    following: AtomicBool,
+    /// The leader's replication address (`--follow`), echoed in ingest
+    /// redirect errors.
+    leader: Option<String>,
+    /// Promotion request latch, set by `{"cmd":"promote"}`; the
+    /// follower loop observes it within one tick.
+    promote: AtomicBool,
+    /// Promotion completion latch: the epoch is persisted and every
+    /// shard has checkpointed under it.
+    promoted: AtomicBool,
+}
+
+impl ReplState {
+    fn is_following(&self) -> bool {
+        self.following.load(Ordering::SeqCst)
+    }
 }
 
 /// Shared context for connection threads.
@@ -257,6 +324,7 @@ struct ConnCtx {
     durable_acks: bool,
     metrics: Arc<ServerMetrics>,
     obs: Arc<PipelineObs>,
+    repl: Option<Arc<ReplState>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -267,6 +335,7 @@ pub struct Server;
 pub struct ServerHandle {
     addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
+    replicate_addr: Option<SocketAddr>,
     metrics: Arc<ServerMetrics>,
     obs: Arc<PipelineObs>,
     shutdown: Arc<AtomicBool>,
@@ -274,6 +343,8 @@ pub struct ServerHandle {
     shard_threads: Vec<JoinHandle<()>>,
     listener_thread: Option<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<()>>,
+    repl_thread: Option<JoinHandle<()>>,
+    follower_thread: Option<JoinHandle<()>>,
 }
 
 /// Coordinates the one graceful shutdown: broadcast `Shutdown` to all
@@ -287,6 +358,7 @@ struct ShutdownCoord {
     started: AtomicBool,
     addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
+    replicate_addr: Option<SocketAddr>,
 }
 
 impl ShutdownCoord {
@@ -318,6 +390,9 @@ impl ShutdownCoord {
         if let Some(maddr) = self.metrics_addr {
             let _ = TcpStream::connect(maddr);
         }
+        if let Some(raddr) = self.replicate_addr {
+            let _ = TcpStream::connect(raddr);
+        }
     }
 }
 
@@ -341,9 +416,24 @@ impl Server {
             gc_horizon,
             metrics_addr,
             slow_ms,
+            replicate_addr,
+            follow,
+            promote_after,
         } = config;
         let shards = shards.max(1);
         let durable_acks = wal_path.is_some() && fsync == FsyncPolicy::Always;
+        if follow.is_some() && (wal_path.is_none() || snapshot_path.is_none()) {
+            return Err(Error::Invalid(
+                "--follow needs --wal and --snapshot: a follower mirrors the leader's \
+                 on-disk layout"
+                    .into(),
+            ));
+        }
+        if replicate_addr.is_some() && wal_path.is_none() {
+            return Err(Error::Invalid(
+                "--replicate needs --wal: followers are shipped the on-disk segments".into(),
+            ));
+        }
         let listener = TcpListener::bind(&addr)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(ServerMetrics::default());
@@ -353,6 +443,14 @@ impl Server {
             None => None,
         };
         let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let repl_listener = match &replicate_addr {
+            Some(raddr) => Some(TcpListener::bind(raddr)?),
+            None => None,
+        };
+        let replicate_addr = match &repl_listener {
             Some(l) => Some(l.local_addr()?),
             None => None,
         };
@@ -367,7 +465,12 @@ impl Server {
         // hook's declarations land on top of the recovered state. A
         // `--shards` value contradicting the on-disk layout is
         // rejected here, before anything is written.
+        // The fencing epoch survives a crash two ways: the sidecar
+        // written at promotion, and the stamp in every later snapshot.
+        // Boot takes the max — whichever persisted first.
+        let mut boot_epoch = wal_path.as_deref().map_or(0, load_epoch);
         let mut durabilities: Vec<Option<Durability>> = Vec::with_capacity(shards as usize);
+        let epoch = Arc::new(AtomicU64::new(0));
         match &wal_path {
             Some(base) => {
                 let t0 = std::time::Instant::now();
@@ -379,6 +482,7 @@ impl Server {
                     ops += rec.snapshot_ops + rec.wal_ops;
                     discarded_bytes += rec.discarded_bytes;
                     discarded_ops += rec.discarded_ops;
+                    boot_epoch = boot_epoch.max(rec.epoch);
                     let resumed = rec.resumed();
                     engines[i].restore_state(rec.store)?;
                     let seg = if shards == 1 {
@@ -402,6 +506,7 @@ impl Server {
                         boot_resumed: resumed,
                         shard: i as u32,
                         shards_total: shards,
+                        epoch: epoch.clone(),
                     }));
                 }
                 metrics.recovered_ops.store(ops, Ordering::Relaxed);
@@ -417,6 +522,22 @@ impl Server {
             }
             None => durabilities.extend((0..shards).map(|_| None)),
         }
+        epoch.store(boot_epoch, Ordering::SeqCst);
+        obs.repl.epoch.store(boot_epoch, Ordering::Relaxed);
+        let repl = if follow.is_some() || replicate_addr.is_some() {
+            obs.repl
+                .following
+                .store(u64::from(follow.is_some()), Ordering::Relaxed);
+            Some(Arc::new(ReplState {
+                epoch: epoch.clone(),
+                following: AtomicBool::new(follow.is_some()),
+                leader: follow.clone(),
+                promote: AtomicBool::new(false),
+                promoted: AtomicBool::new(false),
+            }))
+        } else {
+            None
+        };
         if let Some(setup) = &setup {
             for engine in &mut engines {
                 setup(engine);
@@ -452,6 +573,7 @@ impl Server {
                 obs: obs.shards[i].clone(),
                 slow_ms,
                 ack_table: ack_table.clone(),
+                repl: repl.clone(),
             };
             shard_threads.push(
                 thread::Builder::new()
@@ -467,6 +589,7 @@ impl Server {
             started: AtomicBool::new(false),
             addr,
             metrics_addr,
+            replicate_addr,
         });
 
         let listener_thread = {
@@ -479,6 +602,7 @@ impl Server {
                 durable_acks,
                 metrics: metrics.clone(),
                 obs: obs.clone(),
+                repl: repl.clone(),
                 shutdown: shutdown.clone(),
             });
             thread::Builder::new()
@@ -498,6 +622,74 @@ impl Server {
                     thread::Builder::new()
                         .name("fenestra-metrics".into())
                         .spawn(move || metrics_loop(l, metrics, obs, stop))?,
+                )
+            }
+            None => None,
+        };
+
+        // Replication listener: each accepted follower gets its own
+        // shipping session streaming committed segment bytes off disk
+        // (see `fenestra_replica::serve_follower`). Shipping never
+        // touches the shard threads — it reads what the group commits
+        // already made durable.
+        let repl_thread = match repl_listener {
+            Some(l) => {
+                let cfg = LeaderConfig {
+                    paths: ReplPaths {
+                        wal_base: wal_path.clone().expect("--replicate requires --wal"),
+                        snapshot: snapshot_path.clone(),
+                        shards,
+                    },
+                    epoch: epoch.clone(),
+                    obs: obs.repl.clone(),
+                    shutdown: shutdown.clone(),
+                    poll: std::time::Duration::from_millis(20),
+                    heartbeat: std::time::Duration::from_millis(500),
+                };
+                let stop = shutdown.clone();
+                Some(
+                    thread::Builder::new()
+                        .name("fenestra-repl".into())
+                        .spawn(move || {
+                            for stream in l.incoming() {
+                                if stop.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                let Ok(stream) = stream else { continue };
+                                let cfg = cfg.clone();
+                                let _ = thread::Builder::new().name("fenestra-ship".into()).spawn(
+                                    move || {
+                                        if let Err(e) = serve_follower(stream, cfg) {
+                                            eprintln!("fenestrad: replication session ended: {e}");
+                                        }
+                                    },
+                                );
+                            }
+                        })?,
+                )
+            }
+            None => None,
+        };
+
+        // Follower loop: connect to the leader, stream frames into the
+        // shard threads, reconnect (with resume positions) on any
+        // session failure, and handle promotion.
+        let follower_thread = match &follow {
+            Some(leader) => {
+                let rt = FollowerRuntime {
+                    leader: leader.clone(),
+                    shards,
+                    shard_txs: shard_txs.clone(),
+                    repl: repl.clone().expect("--follow implies replication state"),
+                    obs: obs.clone(),
+                    shutdown: shutdown.clone(),
+                    wal_base: wal_path.clone().expect("--follow requires --wal"),
+                    promote_after,
+                };
+                Some(
+                    thread::Builder::new()
+                        .name("fenestra-follow".into())
+                        .spawn(move || follower_loop(rt))?,
                 )
             }
             None => None,
@@ -536,6 +728,7 @@ impl Server {
         Ok(ServerHandle {
             addr,
             metrics_addr,
+            replicate_addr,
             metrics,
             obs,
             shutdown,
@@ -543,6 +736,8 @@ impl Server {
             shard_threads,
             listener_thread: Some(listener_thread),
             metrics_thread,
+            repl_thread,
+            follower_thread,
         })
     }
 }
@@ -558,6 +753,13 @@ impl ServerHandle {
     /// port `0` to the real port).
     pub fn metrics_addr(&self) -> Option<SocketAddr> {
         self.metrics_addr
+    }
+
+    /// The bound replication listener address, when
+    /// [`crate::ServerConfig::replicate_addr`] was configured (resolves
+    /// port `0` to the real port). Followers point `--follow` here.
+    pub fn replicate_addr(&self) -> Option<SocketAddr> {
+        self.replicate_addr
     }
 
     /// Live server counters.
@@ -599,6 +801,12 @@ impl ServerHandle {
         if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.repl_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.follower_thread.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -632,6 +840,9 @@ struct Durability {
     boot_resumed: bool,
     shard: u32,
     shards_total: u32,
+    /// The node's fencing epoch, stamped into every checkpoint snapshot
+    /// so recovery can restore it even if the sidecar file is lost.
+    epoch: Arc<AtomicU64>,
 }
 
 impl Durability {
@@ -641,6 +852,32 @@ impl Durability {
         } else {
             shard_segment_path(&self.base, self.shard, gen)
         }
+    }
+
+    /// This shard's snapshot file, honoring the legacy single-shard
+    /// layout (bare path, no `.shard{i}` suffix).
+    fn snapshot_file(&self) -> Option<PathBuf> {
+        let snap = self.snapshot_path.as_ref()?;
+        Some(if self.shards_total == 1 {
+            snap.clone()
+        } else {
+            shard_snapshot_path(snap, self.shard)
+        })
+    }
+
+    /// Refresh the segment-inventory gauges from the directory listing:
+    /// current generation, oldest retained generation, and how many
+    /// segment files this shard still holds on disk.
+    fn refresh_wal_inventory(&self) {
+        let shard = (self.shards_total > 1).then_some(self.shard);
+        let gens = list_segment_gens(&self.base, shard);
+        self.obs.wal_gen.store(self.gen, Ordering::Relaxed);
+        self.obs
+            .wal_oldest_gen
+            .store(gens.first().copied().unwrap_or(self.gen), Ordering::Relaxed);
+        self.obs
+            .wal_segments
+            .store((gens.len() as u64).max(1), Ordering::Relaxed);
     }
 
     /// Fold this writer's counter growth into the shared metrics.
@@ -723,17 +960,17 @@ impl Durability {
                 return committed;
             }
         };
-        let saved = if self.shards_total == 1 {
-            engine.save_state_compact(&snap, next_gen)
-        } else {
-            fenestra_temporal::persist::save_compact_sharded(
-                &engine.store(),
-                shard_snapshot_path(&snap, self.shard),
-                next_gen,
-                self.shard,
-                self.shards_total,
-            )
-        };
+        let saved = fenestra_temporal::persist::save_compact_stamped(
+            &engine.store(),
+            if self.shards_total == 1 {
+                snap.clone()
+            } else {
+                shard_snapshot_path(&snap, self.shard)
+            },
+            next_gen,
+            (self.shards_total > 1).then_some((self.shard, self.shards_total)),
+            self.epoch.load(Ordering::SeqCst),
+        );
         if let Err(e) = saved {
             // The snapshot still names the old generation; keep
             // appending to the old segment and retry next checkpoint.
@@ -752,6 +989,7 @@ impl Durability {
                 old_path.display()
             );
         }
+        self.refresh_wal_inventory();
         committed
     }
 }
@@ -770,6 +1008,11 @@ struct ShardCtx {
     obs: Arc<ShardObs>,
     slow_ms: Option<u64>,
     ack_table: Arc<AckTable>,
+    /// Replication role, when replication is configured at all. While
+    /// `repl.is_following()` the shard is a mirror: its WAL and
+    /// snapshots are driven by shipped leader frames, so local drains,
+    /// checkpoints, and GC are suppressed.
+    repl: Option<Arc<ReplState>>,
 }
 
 fn shard_loop(ctx: ShardCtx) {
@@ -786,16 +1029,28 @@ fn shard_loop(ctx: ShardCtx) {
         obs,
         slow_ms,
         ack_table,
+        repl,
     } = ctx;
+    let is_following = || repl.as_ref().is_some_and(|r| r.is_following());
     if let Some(d) = durability.as_mut() {
-        if d.boot_resumed {
+        if is_following() {
+            // A follower's WAL is a byte mirror of the leader's: the
+            // local journal from `setup`/recovery is discarded (the
+            // shipped stream is the only writer), and no checkpoint is
+            // taken — rotating locally would fork the generation
+            // lineage the leader's `Rotate` frames advance.
+            let _ = engine.take_journal();
+            d.refresh_wal_inventory();
+        } else if d.boot_resumed {
             // Fold the replayed tail into a fresh snapshot so the next
             // boot recovers from there, not from the same tail again.
             let _ = d.checkpoint(&mut engine);
+            d.refresh_wal_inventory();
         } else {
             // First boot: persist whatever `setup` journaled (schema,
             // rule side effects) before the first event.
             let _ = d.drain(&mut engine);
+            d.refresh_wal_inventory();
         }
     }
     let mut watches: Vec<(Watch, Sender<String>)> = Vec::new();
@@ -965,21 +1220,29 @@ fn shard_loop(ctx: ShardCtx) {
                 // by the time we reply.
                 let _ = done.send(());
             }
-            ShardCmd::Snapshot => match durability.as_mut() {
-                Some(d) => {
-                    if d.checkpoint(&mut engine) {
-                        release_covered(&mut pending, &engine, &ack_table, &obs);
-                    } else {
-                        for p in pending.drain(..) {
-                            ack_table.vote(&p.frame, false);
+            ShardCmd::Snapshot => {
+                if is_following() {
+                    // A follower's snapshots/rotations are driven by the
+                    // leader's `Rotate` frames; a locally-initiated
+                    // checkpoint would fork the generation lineage.
+                } else {
+                    match durability.as_mut() {
+                        Some(d) => {
+                            if d.checkpoint(&mut engine) {
+                                release_covered(&mut pending, &engine, &ack_table, &obs);
+                            } else {
+                                for p in pending.drain(..) {
+                                    ack_table.vote(&p.frame, false);
+                                }
+                            }
                         }
+                        None => snapshot(&engine, &snapshot_path, id, shards_total),
                     }
                 }
-                None => snapshot(&engine, &snapshot_path, id, shards_total),
-            },
+            }
             ShardCmd::Gc => {
                 if let Some(horizon) = gc_horizon {
-                    if last_ts > horizon.as_millis() {
+                    if !is_following() && last_ts > horizon.as_millis() {
                         let removed = engine.gc(Timestamp::new(last_ts - horizon.as_millis()));
                         if removed > 0 {
                             metrics
@@ -989,17 +1252,61 @@ fn shard_loop(ctx: ShardCtx) {
                     }
                 }
             }
+            ShardCmd::ReplicaApply {
+                gen,
+                offset,
+                bytes,
+                reply,
+            } => {
+                let res = replica_apply(&mut engine, durability.as_mut(), gen, offset, &bytes);
+                if matches!(&res, Ok((_, _, ops)) if *ops > 0) {
+                    poll = true;
+                    obs.state_facts
+                        .store(engine.store().open_fact_count() as u64, Ordering::Relaxed);
+                }
+                let _ = reply.send(res);
+            }
+            ShardCmd::ReplicaBootstrap { gen, bytes, reply } => {
+                let res = replica_bootstrap(&mut engine, durability.as_mut(), gen, &bytes);
+                if res.is_ok() {
+                    poll = true;
+                    obs.state_facts
+                        .store(engine.store().open_fact_count() as u64, Ordering::Relaxed);
+                }
+                let _ = reply.send(res);
+            }
+            ShardCmd::ReplicaRotate { new_gen, reply } => {
+                let _ = reply.send(replica_rotate(&mut engine, durability.as_mut(), new_gen));
+            }
+            ShardCmd::ReplicaPosition { reply } => {
+                let pos = durability
+                    .as_ref()
+                    .map_or((0, 0), |d| (d.gen, d.writer.segment_len()));
+                let _ = reply.send(pos);
+            }
             ShardCmd::Shutdown { done } => {
                 // FIFO queue: every part admitted before this command
                 // has already been applied. Flush and persist —
                 // `finish` drains the reorder buffer, so every still-
                 // held ack part is coverable by the final checkpoint.
                 engine.finish();
-                let committed = match durability.as_mut() {
-                    Some(d) => d.checkpoint(&mut engine),
-                    None => {
-                        snapshot(&engine, &snapshot_path, id, shards_total);
-                        true
+                let committed = if is_following() {
+                    // Mirror discipline holds through shutdown: sync the
+                    // shipped bytes, but take no checkpoint — a snapshot
+                    // stamped mid-segment would double-replay the
+                    // shipped frames (they recover from offset 0).
+                    let _ = engine.take_journal();
+                    match durability.as_mut() {
+                        Some(d) => d.writer.sync().is_ok(),
+                        None => true,
+                    }
+                } else {
+                    match durability.as_mut() {
+                        Some(d) => d.checkpoint(&mut engine),
+                        None => {
+                            snapshot(&engine, &snapshot_path, id, shards_total);
+                            true
+                        }
                     }
                 };
                 if committed {
@@ -1065,6 +1372,494 @@ fn release_covered(
         }
         !covered
     });
+}
+
+// ----- follower apply path --------------------------------------------------
+//
+// The follower's WAL is a *byte mirror* of the leader's: shipped raw
+// frames are the only thing ever appended, at exactly the offset the
+// leader said they sit at. Any mismatch (gen skew, offset skew, failed
+// op) is returned as an error; the follower loop then tears the
+// session down and reconnects with fresh resume positions — the leader
+// re-bootstraps whatever cannot be resumed, so every failure mode
+// self-heals at the cost of a snapshot ship.
+
+/// Append a run of leader-shipped raw WAL frames and apply the decoded
+/// ops. Returns `(new_offset, frames, ops)` for the resume position and
+/// the replication counters.
+fn replica_apply(
+    engine: &mut Engine,
+    durability: Option<&mut Durability>,
+    gen: u64,
+    offset: u64,
+    bytes: &[u8],
+) -> Result<(u64, u64, u64)> {
+    let d = durability.ok_or_else(|| Error::Invalid("replica apply needs a WAL".into()))?;
+    if gen != d.gen {
+        return Err(Error::Invalid(format!(
+            "shipped frames for gen {gen} but the local segment is gen {}",
+            d.gen
+        )));
+    }
+    let local = d.writer.segment_len();
+    if offset != local {
+        return Err(Error::Invalid(format!(
+            "shipped frames at offset {offset} but the local segment holds {local} bytes"
+        )));
+    }
+    // `append_raw` refuses anything that is not a clean run of
+    // CRC-valid frames, fsyncs per policy, and hands back the decoded
+    // ops — the disk write and the apply see the same bytes.
+    let tail = d.writer.append_raw(bytes)?;
+    let apply_res = {
+        let store = engine.shared_store();
+        let mut guard = store.write().expect("store lock");
+        tail.ops.iter().try_for_each(|op| guard.apply(op))
+    };
+    // `apply` re-journals every op (it drives the same mutations ingest
+    // does); the shipped bytes are already in the local segment, so the
+    // journal copy is discarded to keep the byte mirror exact.
+    let _ = engine.take_journal();
+    apply_res?;
+    d.publish_stats();
+    Ok((d.writer.segment_len(), tail.frames, tail.ops.len() as u64))
+}
+
+/// Wholesale re-bootstrap from a leader snapshot: mirror the snapshot
+/// bytes (empty = start this shard empty), install the state, and
+/// restart the local WAL with a fresh, empty segment at `gen`.
+fn replica_bootstrap(
+    engine: &mut Engine,
+    durability: Option<&mut Durability>,
+    gen: u64,
+    bytes: &[u8],
+) -> Result<()> {
+    let d = durability.ok_or_else(|| Error::Invalid("replica bootstrap needs a WAL".into()))?;
+    let snap = d.snapshot_file();
+    let store = if bytes.is_empty() {
+        if let Some(p) = &snap {
+            let _ = std::fs::remove_file(p);
+        }
+        TemporalStore::new()
+    } else {
+        let p = snap
+            .as_ref()
+            .ok_or_else(|| Error::Invalid("bootstrap snapshot needs --snapshot".into()))?;
+        // Keep the leader's serialization verbatim on disk, then load
+        // it — a crash right after this point recovers exactly like the
+        // leader would.
+        fenestra_temporal::persist::write_atomic(p, bytes)?;
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| Error::Corrupt("bootstrap snapshot is not UTF-8".into()))?;
+        fenestra_temporal::persist::from_json_with_meta(text)?.store
+    };
+    engine.restore_state(store)?;
+    let _ = engine.take_journal();
+    // Replace the local segment lineage with the leader's: every local
+    // segment goes, and a fresh one starts at the shipped generation.
+    let shard = (d.shards_total > 1).then_some(d.shard);
+    for old_gen in list_segment_gens(&d.base, shard) {
+        let _ = std::fs::remove_file(d.segment(old_gen));
+    }
+    let path = d.segment(gen);
+    let mut writer = WalWriter::create(&path, d.writer.policy())?;
+    writer.set_obs(d.obs.wal.clone());
+    // Fold the replaced writer's counters into the rotated totals so
+    // `publish_stats`' delta subtraction never underflows.
+    let s = d.writer.stats();
+    d.rotated_stats.appends += s.appends;
+    d.rotated_stats.bytes += s.bytes;
+    d.rotated_stats.fsyncs += s.fsyncs;
+    d.writer = writer;
+    d.gen = gen;
+    d.publish_stats();
+    d.refresh_wal_inventory();
+    Ok(())
+}
+
+/// Mirror the leader's segment rotation: sync the finished segment,
+/// start the successor, write a local checkpoint snapshot stamped with
+/// the new generation (the follower's own serialization — semantically
+/// equal to the leader's), and delete the finished segment.
+fn replica_rotate(
+    engine: &mut Engine,
+    durability: Option<&mut Durability>,
+    new_gen: u64,
+) -> Result<()> {
+    let d = durability.ok_or_else(|| Error::Invalid("replica rotate needs a WAL".into()))?;
+    if new_gen != d.gen + 1 {
+        return Err(Error::Invalid(format!(
+            "rotation to gen {new_gen} but the local segment is gen {} (want its successor)",
+            d.gen
+        )));
+    }
+    let _ = engine.take_journal();
+    d.writer.sync()?;
+    let next_path = d.segment(new_gen);
+    let mut next_writer = WalWriter::create(&next_path, d.writer.policy())?;
+    next_writer.set_obs(d.obs.wal.clone());
+    if let Some(p) = d.snapshot_file() {
+        fenestra_temporal::persist::save_compact_stamped(
+            &engine.store(),
+            p,
+            new_gen,
+            (d.shards_total > 1).then_some((d.shard, d.shards_total)),
+            d.epoch.load(Ordering::SeqCst),
+        )?;
+    }
+    let old_path = d.segment(d.gen);
+    let s = d.writer.stats();
+    d.rotated_stats.appends += s.appends;
+    d.rotated_stats.bytes += s.bytes;
+    d.rotated_stats.fsyncs += s.fsyncs;
+    d.writer = next_writer;
+    d.gen = new_gen;
+    let _ = std::fs::remove_file(&old_path);
+    d.publish_stats();
+    d.refresh_wal_inventory();
+    Ok(())
+}
+
+// ----- follower loop --------------------------------------------------------
+
+/// Everything the follower thread owns: the leader address, the shard
+/// queues it feeds shipped frames into, and the shared role state.
+struct FollowerRuntime {
+    leader: String,
+    shards: u32,
+    shard_txs: Vec<Sender<ShardCmd>>,
+    repl: Arc<ReplState>,
+    obs: Arc<PipelineObs>,
+    shutdown: Arc<AtomicBool>,
+    wal_base: PathBuf,
+    promote_after: Option<Duration>,
+}
+
+/// Each shard's durable position (current generation, segment length),
+/// fresh from the shard threads — the resume positions a reconnect
+/// offers the leader. `None` when a shard thread is gone (shutdown).
+fn shard_positions(rt: &FollowerRuntime) -> Option<Vec<ShardPosition>> {
+    let mut rxs = Vec::with_capacity(rt.shard_txs.len());
+    for tx in &rt.shard_txs {
+        let (reply, rx) = channel::bounded(1);
+        if tx.send(ShardCmd::ReplicaPosition { reply }).is_err() {
+            return None;
+        }
+        rxs.push(rx);
+    }
+    let mut out = Vec::with_capacity(rxs.len());
+    for (i, rx) in rxs.into_iter().enumerate() {
+        let (gen, offset) = rx.recv().ok()?;
+        out.push(ShardPosition {
+            shard: i as u32,
+            gen,
+            offset,
+        });
+    }
+    Some(out)
+}
+
+/// The follower thread: connect to the leader, dispatch shipped frames
+/// to the shard threads, ack applied-and-durable positions, and
+/// reconnect with fresh resume positions on any session failure. Exits
+/// for good at shutdown or promotion.
+fn follower_loop(rt: FollowerRuntime) {
+    let robs = rt.obs.repl.clone();
+    // Auto-promotion (`--promote-after-ms`) arms only once the leader
+    // has been heard from: promoting a follower that never synced would
+    // serve whatever partial state it booted with.
+    let mut last_contact: Option<Instant> = None;
+    let mut backoff_ms = 50u64;
+    while !rt.shutdown.load(Ordering::SeqCst) {
+        if rt.repl.promote.load(Ordering::SeqCst) {
+            promote(&rt);
+            return;
+        }
+        if let (Some(after), Some(t)) = (rt.promote_after, last_contact) {
+            if t.elapsed() >= std::time::Duration::from_millis(after.as_millis()) {
+                eprintln!(
+                    "fenestrad: no leader contact for {}ms; promoting",
+                    after.as_millis()
+                );
+                promote(&rt);
+                return;
+            }
+        }
+        let Some(resume) = shard_positions(&rt) else {
+            return;
+        };
+        let my_epoch = rt.repl.epoch.load(Ordering::SeqCst);
+        let mut client = match FollowerClient::connect(
+            &rt.leader,
+            my_epoch,
+            rt.shards,
+            resume,
+            std::time::Duration::from_millis(100),
+        ) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "fenestrad: connecting to leader {} failed: {e} (retrying in {backoff_ms}ms)",
+                    rt.leader
+                );
+                sleep_checked(&rt, backoff_ms);
+                backoff_ms = (backoff_ms * 2).min(2000);
+                continue;
+            }
+        };
+        // The handshake guarantees the leader's epoch is ≥ ours; adopt
+        // (and persist) a higher one so our next Hello survives a
+        // leader restart.
+        if client.epoch > my_epoch {
+            if let Err(e) = store_epoch(&rt.wal_base, client.epoch) {
+                eprintln!(
+                    "fenestrad: persisting adopted epoch {} failed: {e}",
+                    client.epoch
+                );
+            }
+            rt.repl.epoch.store(client.epoch, Ordering::SeqCst);
+            robs.epoch.store(client.epoch, Ordering::Relaxed);
+        }
+        let Ok(mut acks) = client.ack_sender() else {
+            robs.reconnects.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        last_contact = Some(Instant::now());
+        backoff_ms = 50;
+        // One session: frames dispatch to shard threads in arrival
+        // order; any error breaks out and reconnects.
+        loop {
+            if rt.shutdown.load(Ordering::SeqCst) {
+                client.shutdown();
+                return;
+            }
+            if rt.repl.promote.load(Ordering::SeqCst) {
+                client.shutdown();
+                promote(&rt);
+                return;
+            }
+            if let (Some(after), Some(t)) = (rt.promote_after, last_contact) {
+                if t.elapsed() >= std::time::Duration::from_millis(after.as_millis()) {
+                    client.shutdown();
+                    eprintln!(
+                        "fenestrad: no leader contact for {}ms; promoting",
+                        after.as_millis()
+                    );
+                    promote(&rt);
+                    return;
+                }
+            }
+            let frame = match client.recv() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => continue, // quiet tick; loop re-checks the flags
+                Err(e) => {
+                    eprintln!("fenestrad: replication session to {} ended: {e}", rt.leader);
+                    break;
+                }
+            };
+            last_contact = Some(Instant::now());
+            robs.last_leader_contact_ms
+                .store(now_us() / 1000, Ordering::Relaxed);
+            match frame {
+                ReplFrame::Frames {
+                    shard,
+                    gen,
+                    offset,
+                    epoch: _,
+                    sent_at_us,
+                    bytes,
+                } => {
+                    let t0 = Instant::now();
+                    let nbytes = bytes.len() as u64;
+                    let (reply, rx) = channel::bounded(1);
+                    let sent = rt.shard_txs.get(shard as usize).is_some_and(|tx| {
+                        tx.send(ShardCmd::ReplicaApply {
+                            gen,
+                            offset,
+                            bytes,
+                            reply,
+                        })
+                        .is_ok()
+                    });
+                    if !sent {
+                        return; // shard threads are gone: shutdown
+                    }
+                    match rx.recv() {
+                        Ok(Ok((new_offset, frames, ops))) => {
+                            robs.applied_frames.fetch_add(frames, Ordering::Relaxed);
+                            robs.applied_ops.fetch_add(ops, Ordering::Relaxed);
+                            robs.applied_bytes.fetch_add(nbytes, Ordering::Relaxed);
+                            robs.apply_us.record(t0.elapsed().as_micros() as u64);
+                            let pos = ShardPosition {
+                                shard,
+                                gen,
+                                offset: new_offset,
+                            };
+                            if acks.send(pos, sent_at_us).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(Err(e)) => {
+                            // Position skew or a failed op: resync via
+                            // reconnect (the leader re-bootstraps what
+                            // cannot resume).
+                            eprintln!("fenestrad: replica apply failed: {e}; resyncing");
+                            break;
+                        }
+                        Err(_) => return,
+                    }
+                }
+                ReplFrame::Snapshot {
+                    shard,
+                    gen,
+                    epoch: _,
+                    bytes,
+                } => {
+                    let (reply, rx) = channel::bounded(1);
+                    let sent = rt.shard_txs.get(shard as usize).is_some_and(|tx| {
+                        tx.send(ShardCmd::ReplicaBootstrap { gen, bytes, reply })
+                            .is_ok()
+                    });
+                    if !sent {
+                        return;
+                    }
+                    match rx.recv() {
+                        Ok(Ok(())) => {
+                            let pos = ShardPosition {
+                                shard,
+                                gen,
+                                offset: 0,
+                            };
+                            if acks.send(pos, 0).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(Err(e)) => {
+                            eprintln!("fenestrad: replica bootstrap failed: {e}; resyncing");
+                            break;
+                        }
+                        Err(_) => return,
+                    }
+                }
+                ReplFrame::Rotate {
+                    shard,
+                    new_gen,
+                    epoch: _,
+                } => {
+                    let (reply, rx) = channel::bounded(1);
+                    let sent = rt.shard_txs.get(shard as usize).is_some_and(|tx| {
+                        tx.send(ShardCmd::ReplicaRotate { new_gen, reply }).is_ok()
+                    });
+                    if !sent {
+                        return;
+                    }
+                    match rx.recv() {
+                        Ok(Ok(())) => {
+                            let pos = ShardPosition {
+                                shard,
+                                gen: new_gen,
+                                offset: 0,
+                            };
+                            if acks.send(pos, 0).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(Err(e)) => {
+                            eprintln!("fenestrad: replica rotation failed: {e}; resyncing");
+                            break;
+                        }
+                        Err(_) => return,
+                    }
+                }
+                ReplFrame::Heartbeat {
+                    epoch: _,
+                    positions,
+                } => {
+                    // The leader's write positions against ours: the
+                    // per-shard byte-lag gauges. Cross-generation lag
+                    // approximates to the leader's in-segment offset
+                    // (the old segment's residue ships imminently).
+                    let Some(local) = shard_positions(&rt) else {
+                        return;
+                    };
+                    for p in positions {
+                        let Some(l) = local.get(p.shard as usize) else {
+                            continue;
+                        };
+                        let lag = if p.gen == l.gen {
+                            p.offset.saturating_sub(l.offset)
+                        } else {
+                            p.offset
+                        };
+                        if let Some(s) = rt.obs.shards.get(p.shard as usize) {
+                            s.repl_lag_bytes.store(lag, Ordering::Relaxed);
+                        }
+                    }
+                }
+                other => {
+                    eprintln!("fenestrad: unexpected replication frame: {other:?}");
+                    break;
+                }
+            }
+        }
+        robs.reconnects.fetch_add(1, Ordering::Relaxed);
+        sleep_checked(&rt, backoff_ms);
+        backoff_ms = (backoff_ms * 2).min(2000);
+    }
+}
+
+/// Sleep `ms`, waking early at shutdown or promotion.
+fn sleep_checked(rt: &FollowerRuntime, ms: u64) {
+    let deadline = Instant::now() + std::time::Duration::from_millis(ms);
+    while Instant::now() < deadline {
+        if rt.shutdown.load(Ordering::SeqCst) || rt.repl.promote.load(Ordering::SeqCst) {
+            return;
+        }
+        thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+/// Fenced failover. Ordering is the point:
+///
+/// 1. **Persist the bumped epoch** (the sidecar write is the durable
+///    fence — after it, a restart of this node still outranks the old
+///    leader).
+/// 2. Publish it in memory.
+/// 3. **Leave follower mode** — the shard threads' checkpoint arms are
+///    gated on `is_following`, so this must precede step 4.
+/// 4. Checkpoint every shard: each snapshot is stamped with the new
+///    epoch and rotation starts a fresh generation — a new lineage the
+///    demoted leader's frames can never splice into.
+fn promote(rt: &FollowerRuntime) {
+    let robs = rt.obs.repl.clone();
+    let new_epoch = rt.repl.epoch.load(Ordering::SeqCst) + 1;
+    if let Err(e) = store_epoch(&rt.wal_base, new_epoch) {
+        eprintln!(
+            "fenestrad: persisting promotion epoch {new_epoch} failed: {e} \
+             (continuing; the first checkpoint stamps it)"
+        );
+    }
+    rt.repl.epoch.store(new_epoch, Ordering::SeqCst);
+    robs.epoch.store(new_epoch, Ordering::Relaxed);
+    rt.repl.following.store(false, Ordering::SeqCst);
+    robs.following.store(0, Ordering::Relaxed);
+    for tx in &rt.shard_txs {
+        let _ = tx.send(ShardCmd::Snapshot);
+    }
+    // Barrier: promotion reports complete only once every shard has
+    // checkpointed under the new epoch.
+    let mut dones = Vec::new();
+    for tx in &rt.shard_txs {
+        let (done, rx) = channel::bounded(1);
+        if tx.send(ShardCmd::Sync { done }).is_ok() {
+            dones.push(rx);
+        }
+    }
+    for rx in dones {
+        let _ = rx.recv();
+    }
+    rt.repl.promoted.store(true, Ordering::SeqCst);
+    eprintln!("fenestrad: promoted to leader at epoch {new_epoch}");
 }
 
 fn parse_select(text: &str) -> Result<Query> {
@@ -1155,6 +1950,16 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64) {
                 continue;
             }
         };
+        // A follower is read-only: ingest is redirected to the leader
+        // (queries, watches, and stats all serve locally). Checked per
+        // line, not per connection — the answer flips at promotion.
+        if matches!(req, Request::Event(_) | Request::Batch(_)) {
+            if let Some(r) = ctx.repl.as_ref().filter(|r| r.is_following()) {
+                let leader = r.leader.as_deref().unwrap_or("");
+                let _ = out_tx.send(redirect_line(leader).trim_end().to_string());
+                continue;
+            }
+        }
         match req {
             Request::Event(ev) => {
                 seq += 1;
@@ -1217,6 +2022,38 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64) {
                     let _ = out_tx.send(proto::error(&e.to_string()));
                 }
             },
+            Request::Promote => {
+                let line = match &ctx.repl {
+                    None => proto::error("not a follower: replication is not configured"),
+                    Some(r) if !r.is_following() => {
+                        proto::error("not a follower: this node is already the leader")
+                    }
+                    Some(r) => {
+                        // Latch the request; the follower thread
+                        // observes it within one tick and runs the
+                        // fenced promotion sequence.
+                        r.promote.store(true, Ordering::SeqCst);
+                        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+                        loop {
+                            if r.promoted.load(Ordering::SeqCst) {
+                                let mut m = Map::new();
+                                m.insert("ok".into(), Json::Bool(true));
+                                m.insert("promoted".into(), Json::Bool(true));
+                                m.insert(
+                                    "epoch".into(),
+                                    Json::from(r.epoch.load(Ordering::SeqCst)),
+                                );
+                                break Json::Object(m).to_string();
+                            }
+                            if Instant::now() >= deadline || ctx.shutdown.load(Ordering::SeqCst) {
+                                break proto::error("promotion did not complete");
+                            }
+                            thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                    }
+                };
+                let _ = out_tx.send(line);
+            }
             Request::Shutdown => {
                 // Drains every shard (all parts admitted before this
                 // line on this connection are covered by FIFO shard
@@ -1365,6 +2202,11 @@ fn build_stats(ctx: &ConnCtx) -> String {
     obj.insert("server".into(), ctx.metrics.json_value());
     obj.insert("stages".into(), ctx.obs.merged_stages_json());
     obj.insert("shards".into(), Json::Array(per_shard));
+    // Present only when replication is configured, so a plain server's
+    // stats schema is unchanged.
+    if ctx.repl.is_some() {
+        obj.insert("replication".into(), ctx.obs.repl.json());
+    }
     Json::Object(obj).to_string()
 }
 

@@ -40,7 +40,7 @@ const FORMAT_VERSION: u64 = 1;
 /// durable log is in play; the field is always written so checkpoint
 /// provenance is inspectable).
 pub fn ops_to_json(ops: &[WalOp], wal_gen: u64) -> String {
-    ops_to_json_inner(ops, wal_gen, None)
+    ops_to_json_inner(ops, wal_gen, None, 0)
 }
 
 /// [`ops_to_json`] for one shard of a sharded deployment: the header
@@ -48,16 +48,19 @@ pub fn ops_to_json(ops: &[WalOp], wal_gen: u64) -> String {
 /// `"shards"` (the deployment's shard count), so recovery can reject a
 /// restart whose `--shards` does not match the files on disk.
 pub fn ops_to_json_sharded(ops: &[WalOp], wal_gen: u64, shard: u32, shards: u32) -> String {
-    ops_to_json_inner(ops, wal_gen, Some((shard, shards)))
+    ops_to_json_inner(ops, wal_gen, Some((shard, shards)), 0)
 }
 
-fn ops_to_json_inner(ops: &[WalOp], wal_gen: u64, shard: Option<(u32, u32)>) -> String {
+fn ops_to_json_inner(ops: &[WalOp], wal_gen: u64, shard: Option<(u32, u32)>, epoch: u64) -> String {
     let mut root = Map::new();
     root.insert("version".into(), Json::from(FORMAT_VERSION));
     root.insert("wal_gen".into(), Json::from(wal_gen));
     if let Some((shard, shards)) = shard {
         root.insert("shard".into(), Json::from(shard));
         root.insert("shards".into(), Json::from(shards));
+    }
+    if epoch > 0 {
+        root.insert("epoch".into(), Json::from(epoch));
     }
     root.insert(
         "ops".into(),
@@ -91,6 +94,67 @@ pub struct LoadedSnapshot {
     pub shard: Option<u32>,
     /// The shard count of the deployment that wrote the snapshot.
     pub shard_count: Option<u32>,
+    /// The replication fencing epoch this snapshot was written under
+    /// (0 when the snapshot predates replication or the deployment
+    /// never promoted — epoch 0 is the unfenced default and is not
+    /// written to the header).
+    pub epoch: u64,
+}
+
+/// The header of a snapshot, without the replayed store: what a
+/// replication leader needs to detect a committed rotation (the
+/// snapshot's `wal_gen` is the commit point of segment rotation — the
+/// new segment *file* may exist before the snapshot covering the old
+/// one landed) and what promotion needs to learn the persisted epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// The WAL generation continuing this snapshot.
+    pub wal_gen: u64,
+    /// Shard id, when the snapshot is shard-stamped.
+    pub shard: Option<u32>,
+    /// Shard count, when the snapshot is shard-stamped.
+    pub shard_count: Option<u32>,
+    /// Replication fencing epoch (0 when absent).
+    pub epoch: u64,
+    /// Ops in the snapshot (counted, not replayed).
+    pub op_count: u64,
+}
+
+/// Read only the metadata header of the snapshot at `path` — parses
+/// the JSON but does not replay the ops into a store. A missing file
+/// surfaces as the underlying I/O error (callers treating "no snapshot
+/// yet" as benign should check existence or match on it).
+pub fn peek_meta(path: impl AsRef<Path>) -> Result<SnapshotMeta> {
+    let json = fs::read_to_string(path)?;
+    meta_from_json(&json)
+}
+
+/// [`peek_meta`] over bytes already in hand — a replication leader
+/// reads the snapshot file once and parses gen/epoch from the *same*
+/// bytes it ships, so a concurrent checkpoint can't desynchronize the
+/// label from the payload.
+pub fn meta_from_json(json: &str) -> Result<SnapshotMeta> {
+    let root: Json = serde_json::from_str(json).map_err(|e| Error::Corrupt(e.to_string()))?;
+    let version = root
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| corrupt("snapshot missing version"))?;
+    if version != FORMAT_VERSION {
+        return Err(Error::Corrupt(format!(
+            "snapshot version {version} unsupported (expected {FORMAT_VERSION})"
+        )));
+    }
+    Ok(SnapshotMeta {
+        wal_gen: root.get("wal_gen").and_then(Json::as_u64).unwrap_or(0),
+        shard: root.get("shard").and_then(Json::as_u64).map(|s| s as u32),
+        shard_count: root.get("shards").and_then(Json::as_u64).map(|s| s as u32),
+        epoch: root.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+        op_count: root
+            .get("ops")
+            .and_then(Json::as_array)
+            .map(|a| a.len() as u64)
+            .unwrap_or(0),
+    })
 }
 
 /// Rebuild a store from snapshot JSON, keeping the metadata.
@@ -121,6 +185,7 @@ pub fn from_json_with_meta(json: &str) -> Result<LoadedSnapshot> {
         op_count: ops.len() as u64,
         shard,
         shard_count,
+        epoch: root.get("epoch").and_then(Json::as_u64).unwrap_or(0),
     })
 }
 
@@ -131,8 +196,9 @@ pub fn from_json(json: &str) -> Result<TemporalStore> {
 
 /// Write `bytes` to `path` atomically: temp file in the same
 /// directory, fsync, rename. The previous file (if any) survives any
-/// crash before the rename commits.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+/// crash before the rename commits. Public because replication reuses
+/// it for shipped snapshot copies and the epoch sidecar file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
     let file_name = path
         .file_name()
         .ok_or_else(|| Error::Invalid(format!("bad snapshot path {}", path.display())))?;
@@ -189,6 +255,24 @@ pub fn save_compact_sharded(
     write_atomic(
         path.as_ref(),
         ops_to_json_sharded(&store.compact_ops(), wal_gen, shard, shards).as_bytes(),
+    )
+}
+
+/// The general compact-checkpoint writer: [`save_compact`] /
+/// [`save_compact_sharded`] with the replication fencing `epoch`
+/// stamped into the header (omitted when 0, so deployments that never
+/// replicate keep byte-identical snapshots). A promoted follower
+/// checkpoints through this so its new epoch survives restarts.
+pub fn save_compact_stamped(
+    store: &TemporalStore,
+    path: impl AsRef<Path>,
+    wal_gen: u64,
+    shard: Option<(u32, u32)>,
+    epoch: u64,
+) -> Result<()> {
+    write_atomic(
+        path.as_ref(),
+        ops_to_json_inner(&store.compact_ops(), wal_gen, shard, epoch).as_bytes(),
     )
 }
 

@@ -386,6 +386,193 @@ impl WalWriter {
     pub fn policy(&self) -> FsyncPolicy {
         self.policy
     }
+
+    /// Append pre-framed bytes verbatim — a run of complete
+    /// `[len][crc][payload]` frames, e.g. shipped from a replication
+    /// leader. The run is validated end-to-end first (every byte must
+    /// belong to a CRC-valid frame); damaged input is refused without
+    /// writing anything. Returns the decoded tail so the caller can
+    /// apply the contained ops without scanning twice. Each contained
+    /// frame counts as one append in the writer stats — a follower's
+    /// counters mirror the leader's — and the fsync policy treats each
+    /// as one batch.
+    pub fn append_raw(&mut self, frames: &[u8]) -> Result<LogTail> {
+        if frames.is_empty() {
+            return Ok(LogTail::default());
+        }
+        let tail = scan_frames(frames);
+        if tail.discarded_bytes > 0 {
+            return Err(Error::Corrupt(format!(
+                "raw append refused: {} of {} bytes are not valid frames",
+                tail.discarded_bytes,
+                frames.len()
+            )));
+        }
+        let started = self.obs.is_some().then(std::time::Instant::now);
+        self.file.write_all(frames)?;
+        if let (Some(obs), Some(t0)) = (&self.obs, started) {
+            obs.append_us.record(t0.elapsed().as_micros() as u64);
+        }
+        self.dirty = true;
+        self.unsynced_batches = self
+            .unsynced_batches
+            .saturating_add(tail.frames.min(u32::MAX as u64) as u32);
+        self.stats.appends += tail.frames;
+        self.stats.bytes += frames.len() as u64;
+        self.len += frames.len() as u64;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced_batches >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::OnSnapshot => {}
+        }
+        Ok(tail)
+    }
+}
+
+// ----- segment reading (replication shipping + inventory) -------------------
+
+/// Incrementally reads complete, CRC-valid frames out of one segment
+/// file from a byte offset — the replication leader's shipping read
+/// path. A torn or still-growing tail is not an error: those bytes are
+/// simply not returned until the writer completes the frame (a
+/// partially flushed frame fails the length or CRC check and is
+/// re-read whole on a later call). Because the reader holds the file
+/// open, it can finish draining a segment even after rotation unlinks
+/// it (POSIX open-handle semantics).
+pub struct SegmentReader {
+    file: File,
+    offset: u64,
+}
+
+impl SegmentReader {
+    /// Open `path` positioned at `offset` (bytes of complete frames
+    /// already consumed by a previous reader). The file must exist.
+    pub fn open(path: &Path, offset: u64) -> Result<SegmentReader> {
+        Ok(SegmentReader {
+            file: File::open(path)?,
+            offset,
+        })
+    }
+
+    /// Bytes of complete frames consumed so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read the next run of complete frames, up to roughly
+    /// `max_bytes`, and advance past them. Returns the raw frame bytes
+    /// — empty when nothing new has fully landed yet. A single frame
+    /// larger than `max_bytes` is returned whole rather than starving.
+    pub fn read_frames(&mut self, max_bytes: usize) -> Result<Vec<u8>> {
+        let mut buf = self.read_at(self.offset, max_bytes.max(FRAME_HEADER))?;
+        let mut tail = scan_frames(&buf);
+        if tail.valid_len == 0 && buf.len() >= FRAME_HEADER {
+            // Possibly one frame bigger than the chunk: read its
+            // declared length and rescan once. (If the frame is torn
+            // or corrupt instead, the rescan still yields nothing.)
+            let len = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+            if let Some(whole) = FRAME_HEADER.checked_add(len).filter(|&w| w > buf.len()) {
+                buf = self.read_at(self.offset, whole)?;
+                tail = scan_frames(&buf);
+            }
+        }
+        buf.truncate(tail.valid_len as usize);
+        self.offset += tail.valid_len;
+        Ok(buf)
+    }
+
+    fn read_at(&mut self, offset: u64, cap: usize) -> Result<Vec<u8>> {
+        use std::io::Read;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; cap];
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.file.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::from(e)),
+            }
+        }
+        buf.truncate(filled);
+        Ok(buf)
+    }
+}
+
+/// Replay a run of segment files in generation order — e.g. the
+/// segments a follower accumulated before its snapshot caught up. Torn
+/// or garbage tail bytes are tolerated only in the **last** segment
+/// (the only one that can have been mid-write at a crash); discarded
+/// bytes in any earlier segment mean mid-stream corruption — every
+/// frame after the damage would be silently unreachable — and are
+/// refused with [`Error::Corrupt`].
+pub fn read_segments(paths: &[PathBuf]) -> Result<LogTail> {
+    let mut all = LogTail::default();
+    for (i, path) in paths.iter().enumerate() {
+        let mut tail = read_log(path)?;
+        if tail.discarded_bytes > 0 && i + 1 != paths.len() {
+            return Err(Error::Corrupt(format!(
+                "segment {} carries {} damaged bytes mid-stream ({} frames readable); \
+                 only the newest segment may have a torn tail",
+                path.display(),
+                tail.discarded_bytes,
+                tail.frames
+            )));
+        }
+        all.ops.append(&mut tail.ops);
+        all.frames += tail.frames;
+        all.valid_len += tail.valid_len;
+        all.discarded_bytes += tail.discarded_bytes;
+    }
+    Ok(all)
+}
+
+/// The on-disk segment generations for the log at `base`, sorted
+/// ascending: shard-addressed names (`base-<shard>-<gen>.seg`, see
+/// [`shard_segment_path`]) when `shard` is `Some`, legacy names
+/// (`base.<gen>`, see [`segment_path`]) otherwise. A missing directory
+/// lists as empty — the log simply has no segments yet. Steady state
+/// is one generation per shard (rotation deletes the old segment once
+/// the covering snapshot commits); more than one means a rotation is
+/// in flight or a past delete failed.
+pub fn list_segment_gens(base: &Path, shard: Option<u32>) -> Vec<u64> {
+    let dir = match base.parent().filter(|d| !d.as_os_str().is_empty()) {
+        Some(d) => d,
+        None => Path::new("."),
+    };
+    let Some(stem) = base.file_name().and_then(|s| s.to_str()) else {
+        return Vec::new();
+    };
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut gens: Vec<u64> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        let gen = match shard {
+            Some(s) => name
+                .strip_prefix(stem)
+                .and_then(|r| r.strip_prefix(&format!("-{s}-")))
+                .and_then(|r| r.strip_suffix(".seg"))
+                .and_then(|g| g.parse().ok()),
+            None => name
+                .strip_prefix(stem)
+                .and_then(|r| r.strip_prefix('.'))
+                .and_then(|g| g.parse().ok()),
+        };
+        if let Some(g) = gen {
+            gens.push(g);
+        }
+    }
+    gens.sort_unstable();
+    gens
 }
 
 // ----- recovery -------------------------------------------------------------
@@ -409,6 +596,9 @@ pub struct Recovery {
     /// Ops decoded from valid frames but discarded because they no
     /// longer applied cleanly (replay stops at the first such op).
     pub discarded_ops: u64,
+    /// Replication fencing epoch stamped into the snapshot (0 when the
+    /// snapshot predates replication or there was no snapshot).
+    pub epoch: u64,
 }
 
 impl Recovery {
@@ -441,7 +631,7 @@ fn recover_one(
     wal_base: Option<&Path>,
     expect: Option<(u32, u32)>,
 ) -> Result<Recovery> {
-    let (mut store, wal_gen, snapshot_ops) = match snapshot {
+    let (mut store, wal_gen, snapshot_ops, epoch) = match snapshot {
         Some(p) if p.exists() => {
             let loaded = persist::load_with_meta(p)?;
             if let Some((shard, shards)) = expect {
@@ -458,9 +648,9 @@ fn recover_one(
                     )));
                 }
             }
-            (loaded.store, loaded.wal_gen, loaded.op_count)
+            (loaded.store, loaded.wal_gen, loaded.op_count, loaded.epoch)
         }
-        _ => (TemporalStore::new(), 0, 0),
+        _ => (TemporalStore::new(), 0, 0, 0),
     };
     let mut wal_ops = 0u64;
     let mut discarded_bytes = 0u64;
@@ -494,6 +684,7 @@ fn recover_one(
         wal_ops,
         discarded_bytes,
         discarded_ops,
+        epoch,
     })
 }
 
@@ -1015,5 +1206,265 @@ mod tests {
         for d in [dir, dir2, dir3] {
             let _ = fs::remove_dir_all(&d);
         }
+    }
+}
+
+#[cfg(test)]
+mod segment_reader_tests {
+    use super::*;
+    use fenestra_base::time::Timestamp;
+    use fenestra_base::value::Value;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fenestra-segread-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_ops(range: std::ops::Range<u64>) -> Vec<WalOp> {
+        range
+            .map(|i| WalOp::Assert {
+                entity: fenestra_base::value::EntityId(i),
+                attr: fenestra_base::symbol::Symbol::intern("x"),
+                value: Value::Int(i as i64),
+                t: Timestamp::new(i),
+                provenance: crate::fact::Provenance::External,
+            })
+            .collect()
+    }
+
+    /// The shipping read path: complete frames come out incrementally,
+    /// a partial (still-being-written) tail frame is withheld until it
+    /// completes, and an unlinked segment can still be drained through
+    /// the open handle — the rotation-delete race the leader relies on.
+    #[test]
+    fn segment_reader_tails_incrementally_and_survives_unlink() {
+        let dir = tmp_dir("tail");
+        let p = dir.join("log.0");
+        let ops = sample_ops(0..6);
+        let (mut w, _) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+        w.append(&ops[..2]).unwrap();
+
+        let mut r = SegmentReader::open(&p, 0).unwrap();
+        let chunk = r.read_frames(1 << 20).unwrap();
+        assert_eq!(scan_frames(&chunk).ops, ops[..2]);
+        assert_eq!(r.offset(), w.segment_len());
+        assert!(r.read_frames(1 << 20).unwrap().is_empty(), "caught up");
+
+        // A torn tail (half a frame) yields nothing until completed.
+        let full = {
+            let payload = WalCodec::encode(&ops[2..4]);
+            let mut f = Vec::new();
+            f.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            f.extend_from_slice(&crc32(&payload).to_be_bytes());
+            f.extend_from_slice(&payload);
+            f
+        };
+        use std::io::Write as _;
+        let mut raw = OpenOptions::new().append(true).open(&p).unwrap();
+        raw.write_all(&full[..full.len() / 2]).unwrap();
+        raw.flush().unwrap();
+        assert!(
+            r.read_frames(1 << 20).unwrap().is_empty(),
+            "partial frame withheld"
+        );
+        raw.write_all(&full[full.len() / 2..]).unwrap();
+        drop(raw);
+        let chunk = r.read_frames(1 << 20).unwrap();
+        assert_eq!(scan_frames(&chunk).ops, ops[2..4]);
+
+        // A frame larger than the read chunk still comes out whole.
+        let pos = r.offset();
+        let mut w2 = {
+            let (w2, _) = WalWriter::open(&p, FsyncPolicy::Always).unwrap();
+            w2
+        };
+        w2.append(&ops[4..]).unwrap();
+        let chunk = r.read_frames(1).unwrap();
+        assert_eq!(scan_frames(&chunk).ops, ops[4..]);
+        assert!(r.offset() > pos);
+
+        // Unlink, then keep reading through the open handle.
+        fs::remove_file(&p).unwrap();
+        assert!(r.read_frames(1 << 20).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: replay across a rotation boundary — two consecutive
+    /// generations replay as one op stream in order.
+    #[test]
+    fn read_segments_replays_across_rotation_boundary() {
+        let dir = tmp_dir("boundary");
+        let base = dir.join("log");
+        let ops = sample_ops(0..8);
+        let mut w0 = WalWriter::create(&segment_path(&base, 0), FsyncPolicy::Always).unwrap();
+        w0.append(&ops[..3]).unwrap();
+        w0.append(&ops[3..5]).unwrap();
+        let mut w1 = WalWriter::create(&segment_path(&base, 1), FsyncPolicy::Always).unwrap();
+        w1.append(&ops[5..]).unwrap();
+
+        let gens = list_segment_gens(&base, None);
+        assert_eq!(gens, vec![0, 1]);
+        let paths: Vec<PathBuf> = gens.iter().map(|&g| segment_path(&base, g)).collect();
+        let tail = read_segments(&paths).unwrap();
+        assert_eq!(tail.ops, ops);
+        assert_eq!(tail.frames, 3);
+        assert_eq!(tail.discarded_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: a torn tail is tolerated in the newest segment only
+    /// — the same bytes mid-run are refused outright.
+    #[test]
+    fn read_segments_tolerates_torn_tail_in_newest_segment_only() {
+        let dir = tmp_dir("torn");
+        let base = dir.join("log");
+        let ops = sample_ops(0..4);
+        for gen in [0u64, 1] {
+            let mut w = WalWriter::create(&segment_path(&base, gen), FsyncPolicy::Always).unwrap();
+            w.append(&ops[..2]).unwrap();
+        }
+        // Tear the newest segment: half a frame of garbage at the end.
+        use std::io::Write as _;
+        let newest = segment_path(&base, 1);
+        let mut raw = OpenOptions::new().append(true).open(&newest).unwrap();
+        raw.write_all(&[0xAB; 7]).unwrap();
+        drop(raw);
+
+        let paths = [segment_path(&base, 0), segment_path(&base, 1)];
+        let tail = read_segments(&paths).unwrap();
+        assert_eq!(tail.frames, 2);
+        assert_eq!(tail.discarded_bytes, 7, "newest tail damage is reported");
+
+        // The same damage in the *older* segment is mid-stream: refuse.
+        let older = segment_path(&base, 0);
+        let mut raw = OpenOptions::new().append(true).open(&older).unwrap();
+        raw.write_all(&[0xAB; 7]).unwrap();
+        drop(raw);
+        let err = read_segments(&paths).unwrap_err();
+        assert!(
+            err.to_string().contains("mid-stream"),
+            "refused with the mid-stream diagnosis: {err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: a CRC-corrupt frame in the middle of an old segment
+    /// (bit flip inside a committed frame, not a torn tail) is refused
+    /// — everything after it would silently vanish otherwise.
+    #[test]
+    fn read_segments_refuses_crc_corrupt_midstream_frame() {
+        let dir = tmp_dir("corrupt");
+        let base = dir.join("log");
+        let ops = sample_ops(0..6);
+        let mut w0 = WalWriter::create(&segment_path(&base, 0), FsyncPolicy::Always).unwrap();
+        w0.append(&ops[..2]).unwrap();
+        let first_frame_len = w0.segment_len();
+        w0.append(&ops[2..4]).unwrap();
+        drop(w0);
+        let mut w1 = WalWriter::create(&segment_path(&base, 1), FsyncPolicy::Always).unwrap();
+        w1.append(&ops[4..]).unwrap();
+        drop(w1);
+
+        // Flip one payload byte inside the *first* frame of gen 0.
+        let p0 = segment_path(&base, 0);
+        let mut bytes = fs::read(&p0).unwrap();
+        let victim = FRAME_HEADER + (first_frame_len as usize - FRAME_HEADER) / 2;
+        bytes[victim] ^= 0x40;
+        fs::write(&p0, &bytes).unwrap();
+
+        let paths = [p0.clone(), segment_path(&base, 1)];
+        let err = read_segments(&paths).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "refused: {err}");
+        // And even alone, the scan never yields frames past the damage.
+        let tail = read_log(&p0).unwrap();
+        assert_eq!(tail.frames, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Raw (pre-framed) appends mirror the source byte-for-byte and
+    /// refuse damaged input without writing.
+    #[test]
+    fn append_raw_mirrors_frames_and_refuses_damage() {
+        let dir = tmp_dir("raw");
+        let src = dir.join("leader.0");
+        let dst = dir.join("follower.0");
+        let ops = sample_ops(0..5);
+        let mut w = WalWriter::create(&src, FsyncPolicy::Always).unwrap();
+        w.append(&ops[..2]).unwrap();
+        w.append(&ops[2..]).unwrap();
+        drop(w);
+        let bytes = fs::read(&src).unwrap();
+
+        let mut f = WalWriter::create(&dst, FsyncPolicy::Always).unwrap();
+        let tail = f.append_raw(&bytes).unwrap();
+        assert_eq!(tail.ops, ops);
+        assert_eq!(tail.frames, 2);
+        assert_eq!(f.stats().appends, 2, "follower counters mirror the leader");
+        assert_eq!(f.segment_len(), bytes.len() as u64);
+
+        let mut damaged = bytes.clone();
+        let last = damaged.len() - 1;
+        damaged[last] ^= 0xFF;
+        let err = f.append_raw(&damaged).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err}");
+        assert_eq!(
+            fs::read(&dst).unwrap(),
+            bytes,
+            "refused input wrote nothing"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Inventory listing parses both naming layouts and ignores
+    /// everything else in the directory.
+    #[test]
+    fn list_segment_gens_parses_both_layouts() {
+        let dir = tmp_dir("list");
+        let base = dir.join("log");
+        for name in [
+            "log.0",
+            "log.3",
+            "log-0-1.seg",
+            "log-0-2.seg",
+            "log-1-7.seg",
+            "log.epoch",
+            "state.json",
+            "log-0-x.seg",
+        ] {
+            fs::write(dir.join(name), b"").unwrap();
+        }
+        assert_eq!(list_segment_gens(&base, None), vec![0, 3]);
+        assert_eq!(list_segment_gens(&base, Some(0)), vec![1, 2]);
+        assert_eq!(list_segment_gens(&base, Some(1)), vec![7]);
+        assert!(list_segment_gens(&base, Some(2)).is_empty());
+        assert!(list_segment_gens(&dir.join("missing/log"), None).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Epoch stamping round-trips through the compact snapshot header
+    /// and the cheap meta peek; epoch 0 keeps the legacy byte shape.
+    #[test]
+    fn snapshot_epoch_stamping_round_trips() {
+        let dir = tmp_dir("epoch");
+        let p = dir.join("state.json");
+        let store = TemporalStore::replay(&sample_ops(0..3)).unwrap();
+        persist::save_compact_stamped(&store, &p, 4, Some((1, 2)), 9).unwrap();
+        let meta = persist::peek_meta(&p).unwrap();
+        assert_eq!(meta.wal_gen, 4);
+        assert_eq!(meta.shard, Some(1));
+        assert_eq!(meta.shard_count, Some(2));
+        assert_eq!(meta.epoch, 9);
+        let loaded = persist::load_with_meta(&p).unwrap();
+        assert_eq!(loaded.epoch, 9);
+        assert_eq!(loaded.wal_gen, 4);
+
+        persist::save_compact_stamped(&store, &p, 4, Some((1, 2)), 0).unwrap();
+        let json = fs::read_to_string(&p).unwrap();
+        assert!(!json.contains("epoch"), "epoch 0 is not written: {json}");
+        assert_eq!(persist::peek_meta(&p).unwrap().epoch, 0);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

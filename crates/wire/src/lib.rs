@@ -30,6 +30,7 @@ use fenestra_base::value::Value;
 use serde_json::Value as Json;
 
 pub mod metrics;
+pub mod repl;
 
 /// Parse one JSONL line into an event.
 pub fn event_from_json(line: &str) -> Result<Event> {

@@ -1,0 +1,516 @@
+//! The replication wire protocol: length-prefixed binary frames
+//! shipped from a leader's per-shard WAL segments to warm followers.
+//!
+//! Framing is `[len: u32 BE][kind: u8][body: len-1 bytes]` on a plain
+//! TCP stream, one conversation per follower:
+//!
+//! ```text
+//! follower                          leader
+//!    | -- Hello{epoch, shards, resume} -> |
+//!    | <- Welcome{epoch, shards} -------- |   (or Fenced{epoch})
+//!    | <- Snapshot{shard, gen, bytes} --- |   (per shard needing bootstrap)
+//!    | <- Frames{shard, gen, offset, ...} |   (raw CRC-framed WAL bytes)
+//!    | <- Rotate{shard, new_gen} -------- |   (segment rotation committed)
+//!    | <- Heartbeat{epoch, positions} --- |   (liveness + lag reference)
+//!    | -- Ack{shard, gen, offset} ------> |   (applied-and-durable position)
+//! ```
+//!
+//! `Frames` bodies are the leader's segment bytes **verbatim** — the
+//! same `[len][crc][payload]` frames the leader's own recovery replays
+//! — so a follower appends them to identically-named local segments
+//! and its restart is indistinguishable from a leader restart.
+//!
+//! Every leader→follower data frame carries the leader's fencing
+//! `epoch`. Promotion bumps the epoch (persisted on the promoted node
+//! before it accepts writes), and both ends refuse the stale side: a
+//! follower disconnects from a leader whose epoch is *below* its own
+//! (the demoted ex-leader), and a leader answers a Hello from a
+//! higher-epoch node with `Fenced` — the signal that it has itself
+//! been superseded.
+
+use fenestra_base::error::{Error, Result};
+use std::io::{Read, Write};
+
+/// Cap on a single replication frame (the bootstrap snapshot is the
+/// only large one). Refusing oversized lengths keeps a corrupt or
+/// hostile peer from forcing a giant allocation.
+pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// A follower's resume position for one shard: it already holds the
+/// leader's segment `gen` up to byte `offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPosition {
+    /// Shard index.
+    pub shard: u32,
+    /// Segment generation the follower is on.
+    pub gen: u64,
+    /// Bytes of that segment the follower holds (valid frames).
+    pub offset: u64,
+}
+
+/// One replication protocol frame. See the module docs for the
+/// conversation shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplFrame {
+    /// Follower → leader greeting: its persisted epoch, its configured
+    /// shard count, and per-shard resume positions (empty on first
+    /// contact or after a local wipe — the leader then bootstraps).
+    Hello {
+        /// The follower's persisted fencing epoch.
+        epoch: u64,
+        /// The follower's shard count (must match the leader's).
+        shards: u32,
+        /// Per-shard resume positions.
+        resume: Vec<ShardPosition>,
+    },
+    /// Leader → follower: handshake accepted.
+    Welcome {
+        /// The leader's fencing epoch. A follower whose own epoch is
+        /// higher must disconnect (the leader is stale); one whose
+        /// epoch is lower adopts this value and re-bootstraps.
+        epoch: u64,
+        /// The leader's shard count.
+        shards: u32,
+    },
+    /// Either direction: the receiver's epoch proves the sender stale.
+    /// A leader sends it in place of `Welcome`; carrying the refusing
+    /// side's epoch lets the stale node log how far behind it is.
+    Fenced {
+        /// The refusing side's (higher) epoch.
+        epoch: u64,
+    },
+    /// Leader → follower: a bootstrap snapshot for one shard. The
+    /// follower replaces that shard's state wholesale and starts a
+    /// fresh segment at `gen`.
+    Snapshot {
+        /// Shard index.
+        shard: u32,
+        /// The WAL generation continuing this snapshot.
+        gen: u64,
+        /// The leader's epoch.
+        epoch: u64,
+        /// The snapshot file bytes, verbatim.
+        bytes: Vec<u8>,
+    },
+    /// Leader → follower: raw committed WAL frames for one shard,
+    /// starting at byte `offset` of segment `gen`.
+    Frames {
+        /// Shard index.
+        shard: u32,
+        /// Segment generation.
+        gen: u64,
+        /// Byte offset these frames start at.
+        offset: u64,
+        /// The leader's epoch.
+        epoch: u64,
+        /// Leader wall-clock micros at ship time, echoed in the ack —
+        /// the leader's ship→apply lag histogram feeds on it.
+        sent_at_us: u64,
+        /// Raw `[len][crc][payload]` segment bytes.
+        bytes: Vec<u8>,
+    },
+    /// Leader → follower: segment rotation committed on the leader
+    /// (the covering snapshot landed). The follower checkpoints its
+    /// own shard and switches to segment `new_gen`.
+    Rotate {
+        /// Shard index.
+        shard: u32,
+        /// The new segment generation.
+        new_gen: u64,
+        /// The leader's epoch.
+        epoch: u64,
+    },
+    /// Leader → follower: liveness plus the leader's current per-shard
+    /// write positions, the reference for the follower's lag gauges.
+    Heartbeat {
+        /// The leader's epoch.
+        epoch: u64,
+        /// The leader's current (shard, gen, segment length) triples.
+        positions: Vec<ShardPosition>,
+    },
+    /// Follower → leader: this shard is applied *and durable* locally
+    /// through byte `offset` of segment `gen`.
+    Ack {
+        /// The acknowledged position.
+        position: ShardPosition,
+        /// The `sent_at_us` of the Frames batch this ack covers (0
+        /// when acking a snapshot bootstrap).
+        echo_us: u64,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_WELCOME: u8 = 2;
+const KIND_FENCED: u8 = 3;
+const KIND_SNAPSHOT: u8 = 4;
+const KIND_FRAMES: u8 = 5;
+const KIND_ROTATE: u8 = 6;
+const KIND_HEARTBEAT: u8 = 7;
+const KIND_ACK: u8 = 8;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_positions(buf: &mut Vec<u8>, positions: &[ShardPosition]) {
+    put_u32(buf, positions.len() as u32);
+    for p in positions {
+        put_u32(buf, p.shard);
+        put_u64(buf, p.gen);
+        put_u64(buf, p.offset);
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.data.len() - self.pos < n {
+            return Err(Error::Corrupt("replication frame body truncated".into()));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn positions(&mut self) -> Result<Vec<ShardPosition>> {
+        let n = self.u32()?;
+        if n as usize > self.data.len() / 20 + 1 {
+            return Err(Error::Corrupt(format!(
+                "replication frame claims {n} positions in a {}-byte body",
+                self.data.len()
+            )));
+        }
+        (0..n)
+            .map(|_| {
+                Ok(ShardPosition {
+                    shard: self.u32()?,
+                    gen: self.u64()?,
+                    offset: self.u64()?,
+                })
+            })
+            .collect()
+    }
+
+    fn rest(&mut self) -> Vec<u8> {
+        let s = self.data[self.pos..].to_vec();
+        self.pos = self.data.len();
+        s
+    }
+}
+
+impl ReplFrame {
+    /// Serialize to the wire shape (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let kind = match self {
+            ReplFrame::Hello {
+                epoch,
+                shards,
+                resume,
+            } => {
+                put_u64(&mut body, *epoch);
+                put_u32(&mut body, *shards);
+                put_positions(&mut body, resume);
+                KIND_HELLO
+            }
+            ReplFrame::Welcome { epoch, shards } => {
+                put_u64(&mut body, *epoch);
+                put_u32(&mut body, *shards);
+                KIND_WELCOME
+            }
+            ReplFrame::Fenced { epoch } => {
+                put_u64(&mut body, *epoch);
+                KIND_FENCED
+            }
+            ReplFrame::Snapshot {
+                shard,
+                gen,
+                epoch,
+                bytes,
+            } => {
+                put_u32(&mut body, *shard);
+                put_u64(&mut body, *gen);
+                put_u64(&mut body, *epoch);
+                body.extend_from_slice(bytes);
+                KIND_SNAPSHOT
+            }
+            ReplFrame::Frames {
+                shard,
+                gen,
+                offset,
+                epoch,
+                sent_at_us,
+                bytes,
+            } => {
+                put_u32(&mut body, *shard);
+                put_u64(&mut body, *gen);
+                put_u64(&mut body, *offset);
+                put_u64(&mut body, *epoch);
+                put_u64(&mut body, *sent_at_us);
+                body.extend_from_slice(bytes);
+                KIND_FRAMES
+            }
+            ReplFrame::Rotate {
+                shard,
+                new_gen,
+                epoch,
+            } => {
+                put_u32(&mut body, *shard);
+                put_u64(&mut body, *new_gen);
+                put_u64(&mut body, *epoch);
+                KIND_ROTATE
+            }
+            ReplFrame::Heartbeat { epoch, positions } => {
+                put_u64(&mut body, *epoch);
+                put_positions(&mut body, positions);
+                KIND_HEARTBEAT
+            }
+            ReplFrame::Ack { position, echo_us } => {
+                put_u32(&mut body, position.shard);
+                put_u64(&mut body, position.gen);
+                put_u64(&mut body, position.offset);
+                put_u64(&mut body, *echo_us);
+                KIND_ACK
+            }
+        };
+        let mut out = Vec::with_capacity(5 + body.len());
+        put_u32(&mut out, body.len() as u32 + 1);
+        out.push(kind);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parse a frame from `kind` + `body` (the bytes after the length
+    /// prefix).
+    fn decode(kind: u8, body: &[u8]) -> Result<ReplFrame> {
+        let mut c = Cursor { data: body, pos: 0 };
+        let frame = match kind {
+            KIND_HELLO => ReplFrame::Hello {
+                epoch: c.u64()?,
+                shards: c.u32()?,
+                resume: c.positions()?,
+            },
+            KIND_WELCOME => ReplFrame::Welcome {
+                epoch: c.u64()?,
+                shards: c.u32()?,
+            },
+            KIND_FENCED => ReplFrame::Fenced { epoch: c.u64()? },
+            KIND_SNAPSHOT => ReplFrame::Snapshot {
+                shard: c.u32()?,
+                gen: c.u64()?,
+                epoch: c.u64()?,
+                bytes: c.rest(),
+            },
+            KIND_FRAMES => ReplFrame::Frames {
+                shard: c.u32()?,
+                gen: c.u64()?,
+                offset: c.u64()?,
+                epoch: c.u64()?,
+                sent_at_us: c.u64()?,
+                bytes: c.rest(),
+            },
+            KIND_ROTATE => ReplFrame::Rotate {
+                shard: c.u32()?,
+                new_gen: c.u64()?,
+                epoch: c.u64()?,
+            },
+            KIND_HEARTBEAT => ReplFrame::Heartbeat {
+                epoch: c.u64()?,
+                positions: c.positions()?,
+            },
+            KIND_ACK => ReplFrame::Ack {
+                position: ShardPosition {
+                    shard: c.u32()?,
+                    gen: c.u64()?,
+                    offset: c.u64()?,
+                },
+                echo_us: c.u64()?,
+            },
+            other => {
+                return Err(Error::Corrupt(format!(
+                    "unknown replication frame kind {other}"
+                )))
+            }
+        };
+        if c.pos != body.len() {
+            return Err(Error::Corrupt(format!(
+                "replication frame kind {kind} carries {} trailing bytes",
+                body.len() - c.pos
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Write one frame to `w` (buffered writers should flush after a
+    /// logical batch; the codec does not).
+    pub fn write_to(&self, w: &mut impl Write) -> Result<()> {
+        w.write_all(&self.encode()).map_err(Error::from)
+    }
+
+    /// Read one frame from `r`. `Ok(None)` is a clean EOF at a frame
+    /// boundary (the peer closed the stream); EOF mid-frame is an
+    /// error.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<ReplFrame>> {
+        let mut len = [0u8; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            match r.read(&mut len[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(Error::Corrupt("EOF inside replication frame".into())),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::from(e)),
+            }
+        }
+        let len = u32::from_be_bytes(len);
+        if len == 0 || len > MAX_FRAME {
+            return Err(Error::Corrupt(format!(
+                "replication frame length {len} out of range"
+            )));
+        }
+        let mut buf = vec![0u8; len as usize];
+        r.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                Error::Corrupt("EOF inside replication frame".into())
+            } else {
+                Error::from(e)
+            }
+        })?;
+        ReplFrame::decode(buf[0], &buf[1..]).map(Some)
+    }
+}
+
+/// The reply a read-only follower sends to an ingest attempt: an error
+/// line carrying a `redirect` hint naming where writes go. Lives here
+/// (not in the server's proto module) so client libraries can match on
+/// one canonical shape.
+pub fn redirect_line(leader: &str) -> String {
+    let mut m = serde_json::Map::new();
+    m.insert("ok".into(), serde_json::Value::Bool(false));
+    m.insert(
+        "error".into(),
+        serde_json::Value::String("follower is read-only: ingest is served by the leader".into()),
+    );
+    m.insert(
+        "redirect".into(),
+        serde_json::Value::String(leader.to_string()),
+    );
+    let mut s = serde_json::Value::Object(m).to_string();
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: ReplFrame) {
+        let bytes = f.encode();
+        let mut r = &bytes[..];
+        let back = ReplFrame::read_from(&mut r).unwrap().unwrap();
+        assert_eq!(back, f);
+        assert!(ReplFrame::read_from(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn all_frames_round_trip() {
+        let pos = |shard, gen, offset| ShardPosition { shard, gen, offset };
+        round_trip(ReplFrame::Hello {
+            epoch: 3,
+            shards: 4,
+            resume: vec![pos(0, 1, 128), pos(3, 2, 0)],
+        });
+        round_trip(ReplFrame::Hello {
+            epoch: 0,
+            shards: 1,
+            resume: vec![],
+        });
+        round_trip(ReplFrame::Welcome {
+            epoch: 7,
+            shards: 2,
+        });
+        round_trip(ReplFrame::Fenced { epoch: 9 });
+        round_trip(ReplFrame::Snapshot {
+            shard: 1,
+            gen: 5,
+            epoch: 2,
+            bytes: b"{\"version\":1}".to_vec(),
+        });
+        round_trip(ReplFrame::Frames {
+            shard: 0,
+            gen: 4,
+            offset: 4096,
+            epoch: 1,
+            sent_at_us: 17,
+            bytes: vec![0xAB; 64],
+        });
+        round_trip(ReplFrame::Rotate {
+            shard: 2,
+            new_gen: 6,
+            epoch: 1,
+        });
+        round_trip(ReplFrame::Heartbeat {
+            epoch: 1,
+            positions: vec![pos(0, 4, 9000), pos(1, 4, 12)],
+        });
+        round_trip(ReplFrame::Ack {
+            position: pos(0, 4, 4160),
+            echo_us: 99,
+        });
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_refused() {
+        let bytes = ReplFrame::Fenced { epoch: 1 }.encode();
+        let mut torn = &bytes[..bytes.len() - 2];
+        assert!(ReplFrame::read_from(&mut torn).is_err(), "EOF mid-frame");
+
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        oversized.push(KIND_FENCED);
+        let mut r = &oversized[..];
+        assert!(ReplFrame::read_from(&mut r).is_err(), "length out of range");
+
+        let mut unknown = Vec::new();
+        unknown.extend_from_slice(&2u32.to_be_bytes());
+        unknown.extend_from_slice(&[200, 0]);
+        let mut r = &unknown[..];
+        assert!(ReplFrame::read_from(&mut r).is_err(), "unknown kind");
+
+        // Trailing garbage inside a fixed-shape body is refused too.
+        let mut padded = Vec::new();
+        padded.extend_from_slice(&10u32.to_be_bytes());
+        padded.push(KIND_FENCED);
+        padded.extend_from_slice(&[0; 9]);
+        let mut r = &padded[..];
+        assert!(ReplFrame::read_from(&mut r).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn redirect_line_is_parseable_json_with_hint() {
+        let line = redirect_line("10.0.0.5:7171");
+        let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+        assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(false));
+        assert_eq!(
+            v.get("redirect").and_then(|s| s.as_str()),
+            Some("10.0.0.5:7171")
+        );
+        assert!(v.get("error").and_then(|s| s.as_str()).is_some());
+    }
+}
