@@ -24,6 +24,15 @@
 //! comparison against the committed numbers printed to stderr
 //! (tolerant of missing or differently-shaped committed files).
 //!
+//! A second, smaller drill then runs in sync-ack mode
+//! (`--sync-replicas 1`): every durable ack additionally waits for the
+//! follower to confirm it applied and fsynced the covering WAL bytes.
+//! The leader is killed the instant the last ack lands — no
+//! convergence wait — and the promoted follower must still hold every
+//! acked event. Its throughput and `sync_wait_us` summary land under
+//! the `"sync"` key of the same JSON file, quantifying what the
+//! stronger ack costs.
+//!
 //! ```text
 //! cargo run -p fenestra-bench --release --bin repl_smoke [-- EVENTS] \
 //!     [--fenestrad PATH]
@@ -240,6 +249,24 @@ fn ingest_acked(daemon: &Daemon, n: u64) -> Duration {
     t0.elapsed()
 }
 
+/// Poll the leader's stats until a follower shipping session is live,
+/// so sync-mode ingest never races session setup into a timeout.
+fn wait_followers(daemon: &Daemon) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut c = daemon.connect();
+        let s = c.call(r#"{"cmd":"stats"}"#);
+        if stat_u64(repl_section(&s), "followers") >= 1 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no follower session registered: {s}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
 fn repl_section(stats: &Json) -> &Json {
     stats
         .get("replication")
@@ -368,6 +395,82 @@ fn main() {
         frepl.get("apply_us").cloned().unwrap_or(Json::Null),
     );
 
+    follower.shutdown();
+
+    // ----- sync-ack drill: every ack carries follower coverage ------
+    //
+    // Smaller event count: each commit waits a network+fsync round
+    // trip, so this measures per-ack latency, not bulk throughput.
+    let sync_events = (events / 10).max(100);
+    let sldir = base.join("sync-leader");
+    let sfdir = base.join("sync-follower");
+    std::fs::create_dir_all(&sldir).expect("sync leader dir");
+    std::fs::create_dir_all(&sfdir).expect("sync follower dir");
+    let leader = Daemon::spawn(
+        &bin,
+        &sldir,
+        &[
+            "--replicate",
+            "127.0.0.1:0",
+            "--snapshot-every-ms",
+            "200",
+            "--sync-replicas",
+            "1",
+            "--sync-timeout-ms",
+            "5000",
+        ],
+    );
+    let repl = leader.repl_addr.clone().unwrap();
+    let follower = Daemon::spawn(&bin, &sfdir, &["--follow", &repl]);
+    wait_followers(&leader);
+
+    let sync_ingest = ingest_acked(&leader, sync_events);
+    let sync_events_per_sec = sync_events as f64 / sync_ingest.as_secs_f64();
+    let mut lc = leader.connect();
+    let ls = lc.call(r#"{"cmd":"stats"}"#);
+    let srepl = repl_section(&ls).clone();
+    drop(lc);
+    assert!(stat_u64(&srepl, "sync_acks_ok") > 0, "{srepl}");
+    assert_eq!(stat_u64(&srepl, "sync_acks_timeout"), 0, "{srepl}");
+
+    // Kill with zero grace: no convergence wait, no sync barrier on
+    // the follower. Sync acks are the only thing standing between the
+    // client and data loss here.
+    leader.kill9();
+    let mut fc = follower.connect();
+    let t_promote = Instant::now();
+    let v = fc.call(r#"{"cmd":"promote"}"#);
+    let sync_promote = t_promote.elapsed();
+    assert!(ok(&v), "sync-mode promotion: {v}");
+    let rows = occupied_rooms(&mut fc);
+    assert_eq!(
+        rows, sync_events as usize,
+        "sync-mode failover lost acked events: {rows} of {sync_events} rows survive"
+    );
+    eprintln!(
+        "sync mode: {sync_events} events at {sync_events_per_sec:.1} events/s \
+         ({:.1}ms), immediate kill -9, all acked events survive promotion \
+         ({:.1}ms)",
+        sync_ingest.as_secs_f64() * 1e3,
+        sync_promote.as_secs_f64() * 1e3,
+    );
+
+    let mut sync_out = Map::new();
+    sync_out.insert("events".into(), Json::from(sync_events));
+    sync_out.insert("ingest_elapsed_ms".into(), ms(sync_ingest));
+    sync_out.insert(
+        "events_per_sec".into(),
+        Json::Number(Number::from_f64((sync_events_per_sec * 10.0).round() / 10.0).unwrap()),
+    );
+    sync_out.insert("promote_ms".into(), ms(sync_promote));
+    for key in ["sync_acks_ok", "sync_acks_timeout", "sync_acks_fallback"] {
+        sync_out.insert(key.into(), Json::from(stat_u64(&srepl, key)));
+    }
+    sync_out.insert(
+        "sync_wait_us".into(),
+        srepl.get("sync_wait_us").cloned().unwrap_or(Json::Null),
+    );
+
     let mut root = Map::new();
     root.insert("benchmark".into(), Json::from("repl_smoke"));
     root.insert("events".into(), Json::from(events));
@@ -380,6 +483,7 @@ fn main() {
     root.insert("promote_ms".into(), ms(promote_elapsed));
     root.insert("leader".into(), Json::Object(leader_out));
     root.insert("follower".into(), Json::Object(follower_out));
+    root.insert("sync".into(), Json::Object(sync_out));
 
     let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -399,6 +503,27 @@ fn main() {
                     eprintln!("{key:<16} {w:>10.1} -> {n:>10.1}  ({:.2}x)", n / w);
                 }
                 _ => eprintln!("{key:<16} no committed baseline"),
+            }
+        }
+        let old_sync = old.get("sync").cloned().unwrap_or(Json::Null);
+        let new_sync = root.get("sync").cloned().unwrap_or(Json::Null);
+        for (label, path) in [
+            ("sync events_per_sec", vec!["events_per_sec"]),
+            ("sync promote_ms", vec!["promote_ms"]),
+            ("sync_wait_us p50", vec!["sync_wait_us", "p50"]),
+            ("sync_wait_us p99", vec!["sync_wait_us", "p99"]),
+        ] {
+            let dig = |mut v: &Json| {
+                for p in &path {
+                    v = v.get(p)?;
+                }
+                v.as_f64()
+            };
+            match (dig(&old_sync), dig(&new_sync)) {
+                (Some(w), Some(n)) if w > 0.0 => {
+                    eprintln!("{label:<20} {w:>10.1} -> {n:>10.1}  ({:.2}x)", n / w);
+                }
+                _ => eprintln!("{label:<20} no committed baseline"),
             }
         }
     }

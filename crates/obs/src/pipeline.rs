@@ -302,6 +302,22 @@ pub struct ReplObs {
     pub apply_us: Histogram,
     /// Follower: reconnects to the leader (counter).
     pub reconnects: AtomicU64,
+    /// Leader, sync mode: extra wait between local group-commit fsync
+    /// and replica coverage for each released sync ack batch (µs).
+    pub sync_wait_us: Histogram,
+    /// Leader, sync mode: ack parts released because ≥N followers
+    /// covered their WAL bytes (counter).
+    pub sync_acks_ok: AtomicU64,
+    /// Leader, sync mode: ack parts failed because coverage did not
+    /// arrive within `--sync-timeout-ms` (counter).
+    pub sync_acks_timeout: AtomicU64,
+    /// Leader, sync mode: ack parts released on local durability alone
+    /// after the sync timeout, because `--sync-fallback` is set
+    /// (counter).
+    pub sync_acks_fallback: AtomicU64,
+    /// Leader, sync mode: ack parts currently parked awaiting replica
+    /// coverage (gauge).
+    pub sync_waiting: AtomicU64,
     /// Both roles: the current fencing epoch.
     pub epoch: AtomicU64,
     /// 1 while following (read-only), 0 while leading. Flips at
@@ -342,6 +358,14 @@ impl ReplObs {
         obj.insert("applied_bytes".into(), g(&self.applied_bytes));
         obj.insert("apply_us".into(), self.apply_us.snapshot().json_summary());
         obj.insert("reconnects".into(), g(&self.reconnects));
+        obj.insert(
+            "sync_wait_us".into(),
+            self.sync_wait_us.snapshot().json_summary(),
+        );
+        obj.insert("sync_acks_ok".into(), g(&self.sync_acks_ok));
+        obj.insert("sync_acks_timeout".into(), g(&self.sync_acks_timeout));
+        obj.insert("sync_acks_fallback".into(), g(&self.sync_acks_fallback));
+        obj.insert("sync_waiting".into(), g(&self.sync_waiting));
         obj.insert(
             "last_leader_contact_ms".into(),
             g(&self.last_leader_contact_ms),
@@ -479,12 +503,24 @@ mod tests {
         r.epoch.store(3, Ordering::Relaxed);
         r.ship_bytes.store(1024, Ordering::Relaxed);
         r.ack_lag_us.record(500);
+        r.sync_acks_ok.store(4, Ordering::Relaxed);
+        r.sync_wait_us.record(250);
         let j = r.json();
         assert_eq!(j.get("role").and_then(|v| v.as_str()), Some("follower"));
         assert_eq!(j.get("epoch").and_then(|v| v.as_u64()), Some(3));
         assert_eq!(j.get("ship_bytes").and_then(|v| v.as_u64()), Some(1024));
         assert_eq!(
             j.get("ack_lag_us")
+                .and_then(|v| v.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert_eq!(j.get("sync_acks_ok").and_then(|v| v.as_u64()), Some(4));
+        for key in ["sync_acks_timeout", "sync_acks_fallback", "sync_waiting"] {
+            assert_eq!(j.get(key).and_then(|v| v.as_u64()), Some(0), "{key}");
+        }
+        assert_eq!(
+            j.get("sync_wait_us")
                 .and_then(|v| v.get("count"))
                 .and_then(|v| v.as_u64()),
             Some(1)

@@ -1,0 +1,153 @@
+//! Follower coverage tracking for synchronous ack mode.
+//!
+//! Every shipping session registers itself with the node-wide
+//! [`AckTracker`] and feeds it the follower's
+//! [`Covered`](fenestra_wire::repl::ReplFrame::Covered) claims — "this
+//! shard is applied **and fsynced** on my disk through byte `offset` of
+//! segment `gen`". The server's sync-ack gate then asks the inverse
+//! question: *how many currently-connected followers durably hold shard
+//! S at least through `(gen, offset)`?* A held durable ack under
+//! `--sync-replicas N` is released only when that count reaches N for
+//! every shard the frame touched.
+//!
+//! Positions compare generation-first: a follower past the target's
+//! generation holds everything the target's segment ever contained
+//! (rotation only commits once the covering snapshot lands), so
+//! `(gen', _)` with `gen' > gen` covers `(gen, offset)` for any offset.
+//!
+//! Sessions are ephemeral on purpose. A disconnected follower's
+//! coverage vanishes with its session — the gate must not count bytes
+//! on a node that may never come back — and a session that resumes
+//! (same epoch, positions validated against the on-disk segments)
+//! seeds its coverage from the resume positions, because those bytes
+//! are already fsynced on the follower's disk from the previous
+//! session.
+
+use fenestra_wire::repl::ShardPosition;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Node-wide registry of per-follower durable coverage, shared between
+/// the shipping sessions (writers) and the server's sync-ack gate
+/// (reader). Plain mutex-guarded maps: updates are a few dozen bytes
+/// per shipped batch, reads a handful per gate poll.
+#[derive(Debug, Default)]
+pub struct AckTracker {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    next_session: u64,
+    /// session id → (shard → covered (gen, offset)).
+    sessions: HashMap<u64, HashMap<u32, (u64, u64)>>,
+}
+
+impl AckTracker {
+    /// A fresh tracker with no sessions.
+    pub fn new() -> AckTracker {
+        AckTracker::default()
+    }
+
+    /// Register a shipping session. `initial` carries the follower's
+    /// validated resume positions (shards the leader accepted as
+    /// already held, byte for byte, on the follower's disk) — they
+    /// count as covered from the first instant; bootstrapped shards
+    /// start uncovered until the follower acks the snapshot.
+    pub fn begin_session(&self, initial: &[ShardPosition]) -> u64 {
+        let mut inner = self.inner.lock().expect("ack tracker poisoned");
+        inner.next_session += 1;
+        let id = inner.next_session;
+        let covered = initial
+            .iter()
+            .map(|p| (p.shard, (p.gen, p.offset)))
+            .collect();
+        inner.sessions.insert(id, covered);
+        id
+    }
+
+    /// Record a follower's covered-position claim. Positions only move
+    /// forward (a stale or reordered claim is ignored); claims for an
+    /// ended session are dropped.
+    pub fn record(&self, session: u64, pos: ShardPosition) {
+        let mut inner = self.inner.lock().expect("ack tracker poisoned");
+        if let Some(covered) = inner.sessions.get_mut(&session) {
+            let entry = covered.entry(pos.shard).or_insert((0, 0));
+            if (pos.gen, pos.offset) > *entry {
+                *entry = (pos.gen, pos.offset);
+            }
+        }
+    }
+
+    /// Drop a session's coverage (the follower disconnected).
+    pub fn end_session(&self, session: u64) {
+        let mut inner = self.inner.lock().expect("ack tracker poisoned");
+        inner.sessions.remove(&session);
+    }
+
+    /// How many live sessions durably cover shard `shard` through byte
+    /// `offset` of segment `gen`.
+    pub fn covering(&self, shard: u32, gen: u64, offset: u64) -> u32 {
+        let inner = self.inner.lock().expect("ack tracker poisoned");
+        inner
+            .sessions
+            .values()
+            .filter(|covered| {
+                covered
+                    .get(&shard)
+                    .is_some_and(|&(g, o)| g > gen || (g == gen && o >= offset))
+            })
+            .count() as u32
+    }
+
+    /// Live session count (diagnostics).
+    pub fn sessions(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("ack tracker poisoned")
+            .sessions
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(shard: u32, gen: u64, offset: u64) -> ShardPosition {
+        ShardPosition { shard, gen, offset }
+    }
+
+    #[test]
+    fn coverage_counts_generation_first_and_dies_with_the_session() {
+        let t = AckTracker::new();
+        assert_eq!(t.covering(0, 1, 0), 0, "no sessions, no coverage");
+
+        let a = t.begin_session(&[]);
+        assert_eq!(t.covering(0, 1, 0), 0, "bootstrap starts uncovered");
+        t.record(a, pos(0, 1, 100));
+        assert_eq!(t.covering(0, 1, 100), 1);
+        assert_eq!(t.covering(0, 1, 101), 0, "one byte past the claim");
+        assert_eq!(t.covering(0, 0, 999_999), 1, "earlier gen always covered");
+        assert_eq!(t.covering(1, 1, 0), 0, "other shard untouched");
+
+        // Stale claims do not move the position backwards.
+        t.record(a, pos(0, 1, 50));
+        assert_eq!(t.covering(0, 1, 100), 1);
+
+        // A later generation covers every offset of earlier ones.
+        t.record(a, pos(0, 2, 0));
+        assert_eq!(t.covering(0, 1, u64::MAX), 1);
+
+        let b = t.begin_session(&[pos(0, 2, 10)]);
+        assert_eq!(t.covering(0, 2, 0), 2, "resume positions seed coverage");
+        assert_eq!(t.sessions(), 2);
+
+        t.end_session(a);
+        assert_eq!(t.covering(0, 2, 0), 1, "coverage dies with the session");
+        t.record(a, pos(0, 9, 9));
+        assert_eq!(t.covering(0, 9, 9), 0, "ended sessions drop claims");
+        t.end_session(b);
+        assert_eq!(t.sessions(), 0);
+    }
+}

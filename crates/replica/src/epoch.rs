@@ -6,9 +6,19 @@
 //! dead leader's epoch. The sidecar (`<wal_base>.epoch`, a one-line
 //! JSON object) is written atomically first; boot takes the max of the
 //! sidecar and every recovered snapshot's stamped epoch.
+//!
+//! [`store_epoch`] is deliberately stricter than the generic
+//! atomic-write helper: after the rename it fsyncs the parent
+//! directory and treats *any* failure as an error. A snapshot that
+//! loses its rename to a power cut is merely stale; an epoch bump that
+//! silently evaporates un-fences a demoted leader — the promoted node
+//! would reboot at the old epoch and happily accept the ex-leader's
+//! frames. Promotion therefore refuses to flip roles until the bump is
+//! provably on disk.
 
-use fenestra_base::error::Result;
+use fenestra_base::error::{Error, Result};
 use fenestra_temporal::persist;
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 
 /// The sidecar path for a WAL base: `<wal_base>.epoch`.
@@ -18,24 +28,70 @@ pub fn epoch_path(wal_base: &Path) -> PathBuf {
     PathBuf::from(s)
 }
 
-/// Read the persisted epoch. Missing or unreadable sidecars are epoch
-/// 0 — a node that has never been promoted — never an error: fencing
-/// only needs the *promoted* side's bump to be durable, and
-/// [`store_epoch`] writes atomically.
-pub fn load_epoch(wal_base: &Path) -> u64 {
-    let Ok(text) = std::fs::read_to_string(epoch_path(wal_base)) else {
-        return 0;
+/// Read the persisted epoch, distinguishing the three cases: a node
+/// that was never promoted (`Ok(None)`), a valid sidecar
+/// (`Ok(Some(epoch))`), and a sidecar that exists but cannot be read
+/// or parsed (`Err` — the caller decides whether that degrades or
+/// aborts).
+pub fn read_epoch(wal_base: &Path) -> Result<Option<u64>> {
+    let path = epoch_path(wal_base);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(Error::Io(format!("read {}: {e}", path.display()))),
     };
-    serde_json::from_str(&text)
-        .ok()
-        .and_then(|v| v.get("epoch").and_then(|e| e.as_u64()))
-        .unwrap_or(0)
+    let value: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| Error::Corrupt(format!("epoch sidecar {}: not JSON: {e}", path.display())))?;
+    value
+        .get("epoch")
+        .and_then(|e| e.as_u64())
+        .map(Some)
+        .ok_or_else(|| {
+            Error::Corrupt(format!(
+                "epoch sidecar {}: no integer `epoch` field",
+                path.display()
+            ))
+        })
 }
 
-/// Persist the epoch (atomic write-then-rename, fsynced).
+/// Boot-time read: missing sidecars are epoch 0 (a node that was never
+/// promoted), and a corrupt sidecar degrades to 0 with a warning
+/// rather than refusing to boot — the recovered snapshots' stamped
+/// epochs supply the real value when it is higher, and fencing only
+/// needs the *promoted* side's bump to be durable.
+pub fn load_epoch(wal_base: &Path) -> u64 {
+    match read_epoch(wal_base) {
+        Ok(Some(epoch)) => epoch,
+        Ok(None) => 0,
+        Err(e) => {
+            eprintln!(
+                "fenestra-replica: {e}; booting at epoch 0 (snapshot stamps override if higher)"
+            );
+            0
+        }
+    }
+}
+
+/// Persist the epoch durably: atomic write-then-rename (file fsynced)
+/// *plus* a mandatory fsync of the parent directory, so the rename
+/// itself survives power loss. Errors — including the directory fsync
+/// failing — must stop a promotion: an epoch bump that is not provably
+/// on disk can resurrect the old epoch on reboot and un-fence the
+/// demoted leader.
 pub fn store_epoch(wal_base: &Path, epoch: u64) -> Result<()> {
+    let path = epoch_path(wal_base);
     let bytes = format!("{{\"epoch\":{epoch}}}\n");
-    persist::write_atomic(&epoch_path(wal_base), bytes.as_bytes())
+    persist::write_atomic(&path, bytes.as_bytes())?;
+    // write_atomic's own parent-directory sync is best-effort; redo it
+    // strictly here. `.` covers a bare relative filename.
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let d = std::fs::File::open(&dir)
+        .map_err(|e| Error::Io(format!("open {} for fsync: {e}", dir.display())))?;
+    d.sync_all()
+        .map_err(|e| Error::Io(format!("fsync {}: {e}", dir.display())))
 }
 
 #[cfg(test)]
@@ -48,13 +104,26 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let base = dir.join("log");
         assert_eq!(load_epoch(&base), 0, "missing sidecar is epoch 0");
+        assert_eq!(read_epoch(&base).unwrap(), None, "missing is None, not 0");
         store_epoch(&base, 3).unwrap();
         assert_eq!(load_epoch(&base), 3);
+        assert_eq!(read_epoch(&base).unwrap(), Some(3));
         store_epoch(&base, 7).unwrap();
         assert_eq!(load_epoch(&base), 7);
         assert_eq!(epoch_path(&base), dir.join("log.epoch"));
-        std::fs::write(epoch_path(&base), b"garbage").unwrap();
-        assert_eq!(load_epoch(&base), 0, "corrupt sidecar is epoch 0");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_an_error_strictly_and_zero_leniently() {
+        let dir = std::env::temp_dir().join(format!("fenestra-epoch-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("log");
+        for garbage in [&b"garbage"[..], b"{\"epoch\":\"three\"}", b"{}"] {
+            std::fs::write(epoch_path(&base), garbage).unwrap();
+            assert!(read_epoch(&base).is_err(), "strict read refuses corruption");
+            assert_eq!(load_epoch(&base), 0, "boot degrades corruption to 0");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

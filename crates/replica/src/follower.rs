@@ -31,6 +31,15 @@ impl AckSender {
         ReplFrame::Ack { position, echo_us }.write_to(&mut self.stream)?;
         self.stream.flush().map_err(Error::from)
     }
+
+    /// Claim `position` as applied *and fsynced* on local disk — the
+    /// coverage claim the leader's synchronous ack mode
+    /// (`--sync-replicas N`) votes against. Only send this when the
+    /// local fsync policy actually made the applied bytes durable.
+    pub fn send_covered(&mut self, position: ShardPosition, echo_us: u64) -> Result<()> {
+        ReplFrame::Covered { position, echo_us }.write_to(&mut self.stream)?;
+        self.stream.flush().map_err(Error::from)
+    }
 }
 
 /// A live replication session with a leader, post-handshake.
@@ -153,8 +162,18 @@ impl FollowerClient {
         (&self.stream)
             .read_exact(&mut framed[4..])
             .map_err(|e| Error::Io(format!("mid-frame: {e}")))?;
-        let frame = ReplFrame::read_from(&mut &framed[..])?
-            .expect("complete frame bytes decode to a frame");
+        // The buffer holds exactly one length-prefixed frame, so a
+        // `None` here would mean the codec saw EOF where bytes exist —
+        // degrade to a corrupt-session error (tear down, reconnect,
+        // possibly re-bootstrap) rather than panicking the follower.
+        let frame = match ReplFrame::read_from(&mut &framed[..])? {
+            Some(frame) => frame,
+            None => {
+                return Err(Error::Corrupt(
+                    "replication frame bytes did not decode to a frame".into(),
+                ))
+            }
+        };
         if let Some(frame_epoch) = data_frame_epoch(&frame) {
             if frame_epoch != self.epoch {
                 return Err(Error::Invalid(format!(

@@ -22,6 +22,7 @@
 //! to shipping the current snapshot wholesale and resumes framing from
 //! the generation it covers.
 
+use crate::acks::AckTracker;
 use crate::now_us;
 use fenestra_base::error::{Error, Result};
 use fenestra_obs::ReplObs;
@@ -100,6 +101,10 @@ pub struct LeaderConfig {
     pub epoch: Arc<AtomicU64>,
     /// Replication counters (`followers`, `ship_*`, `ack_lag_us`, …).
     pub obs: Arc<ReplObs>,
+    /// Per-session follower durable coverage, fed by `Covered` frames;
+    /// the server's sync-ack gate reads it. Always wired up — it costs
+    /// a map insert per session when no one reads it.
+    pub acks: Arc<AckTracker>,
     /// Server shutdown flag; sessions exit promptly when set.
     pub shutdown: Arc<AtomicBool>,
     /// Segment poll interval while idle.
@@ -174,9 +179,14 @@ pub fn serve_follower(stream: TcpStream, cfg: LeaderConfig) -> Result<()> {
         HashMap::new()
     };
     let mut ships = Vec::with_capacity(cfg.paths.shards as usize);
+    let mut resumed = Vec::new();
     for shard in 0..cfg.paths.shards {
         let ship = match resume.get(&shard) {
             Some(p) if segment_len(&cfg, shard, p.gen).is_some_and(|len| len >= p.offset) => {
+                // The follower durably holds our bytes through this
+                // position from its previous session — it counts as
+                // covered before a single new frame ships.
+                resumed.push(*p);
                 ShardShip {
                     shard,
                     gen: p.gen,
@@ -194,18 +204,22 @@ pub fn serve_follower(stream: TcpStream, cfg: LeaderConfig) -> Result<()> {
 
     cfg.obs.followers.fetch_add(1, Ordering::Relaxed);
     let _count = Decrement(&cfg.obs.followers);
+    let session = cfg.acks.begin_session(&resumed);
+    let _session = EndSession(&cfg.acks, session);
 
     // Acks arrive asynchronously; a dedicated reader feeds the lag
-    // histogram and flags disconnection. No read timeout: the writer
-    // half shuts the socket down on exit, which unblocks the read.
+    // histogram and the coverage tracker, and flags disconnection. No
+    // read timeout: the writer half shuts the socket down on exit,
+    // which unblocks the read.
     stream.set_read_timeout(None)?;
     let conn_done = Arc::new(AtomicBool::new(false));
     let acker = {
         let stream = stream.try_clone()?;
         let done = Arc::clone(&conn_done);
         let obs = Arc::clone(&cfg.obs);
+        let acks = Arc::clone(&cfg.acks);
         std::thread::spawn(move || {
-            read_acks(stream, &obs);
+            read_acks(stream, &obs, &acks, session);
             done.store(true, Ordering::SeqCst);
         })
     };
@@ -223,6 +237,16 @@ struct Decrement<'a>(&'a AtomicU64);
 impl Drop for Decrement<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// End a coverage session on drop: a disconnected follower must stop
+/// counting toward `--sync-replicas N` on every exit path.
+struct EndSession<'a>(&'a AckTracker, u64);
+
+impl Drop for EndSession<'_> {
+    fn drop(&mut self) {
+        self.0.end_session(self.1);
     }
 }
 
@@ -274,13 +298,17 @@ fn bootstrap(
     })
 }
 
-fn read_acks(mut stream: TcpStream, obs: &ReplObs) {
+fn read_acks(mut stream: TcpStream, obs: &ReplObs, acks: &AckTracker, session: u64) {
     while let Ok(Some(frame)) = ReplFrame::read_from(&mut stream) {
-        if let ReplFrame::Ack { echo_us, .. } = frame {
-            let now = now_us();
-            if echo_us > 0 && now >= echo_us {
-                obs.ack_lag_us.record(now - echo_us);
+        match frame {
+            ReplFrame::Ack { echo_us, .. } => {
+                let now = now_us();
+                if echo_us > 0 && now >= echo_us {
+                    obs.ack_lag_us.record(now - echo_us);
+                }
             }
+            ReplFrame::Covered { position, .. } => acks.record(session, position),
+            _ => {}
         }
     }
 }

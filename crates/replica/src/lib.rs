@@ -22,6 +22,9 @@
 //!   (`<wal_base>.epoch`). Promotion bumps the epoch and persists it
 //!   *before* the promoted node accepts writes; a demoted ex-leader's
 //!   frames then fail the epoch check on both ends.
+//! * [`acks`] — [`AckTracker`], the per-session registry of follower
+//!   durable coverage that synchronous ack mode (`--sync-replicas N`)
+//!   votes against.
 //!
 //! The crate is deliberately server-agnostic: it sees paths, sockets,
 //! and observability handles, never the engine. `fenestrad` owns the
@@ -30,13 +33,27 @@
 
 #![warn(missing_docs)]
 
+pub mod acks;
 pub mod epoch;
 pub mod follower;
 pub mod leader;
 
-pub use epoch::{epoch_path, load_epoch, store_epoch};
+pub use acks::AckTracker;
+pub use epoch::{epoch_path, load_epoch, read_epoch, store_epoch};
 pub use follower::{AckSender, FollowerClient};
 pub use leader::{serve_follower, LeaderConfig, ReplPaths};
+
+/// Leader heartbeat cadence, in milliseconds. Shared so the follower's
+/// dead-session deadline ([`DEAD_SESSION_HEARTBEATS`]) is keyed off the
+/// interval the leader actually ships at.
+pub const HEARTBEAT_MS: u64 = 500;
+
+/// A follower tears a session down after this many silent heartbeat
+/// intervals: a live leader sends *something* (data or heartbeat) every
+/// [`HEARTBEAT_MS`], so this much silence means the connection is dead
+/// — often half-open TCP after the leader's machine vanished — and the
+/// follower must reconnect rather than block forever.
+pub const DEAD_SESSION_HEARTBEATS: u64 = 6;
 
 /// Wall-clock microseconds since the Unix epoch — the timestamp shipped
 /// in `Frames.sent_at_us` and echoed back in acks. Leader and follower

@@ -9,7 +9,7 @@ use fenestra_base::symbol::Symbol;
 use fenestra_base::time::Timestamp;
 use fenestra_base::value::{EntityId, Value};
 use fenestra_obs::ReplObs;
-use fenestra_replica::{serve_follower, FollowerClient, LeaderConfig, ReplPaths};
+use fenestra_replica::{serve_follower, AckTracker, FollowerClient, LeaderConfig, ReplPaths};
 use fenestra_temporal::persist;
 use fenestra_temporal::wal_file::{scan_frames, segment_path, FsyncPolicy, WalWriter};
 use fenestra_temporal::{Provenance, TemporalStore, WalOp};
@@ -43,6 +43,7 @@ struct Leader {
     addr: String,
     epoch: Arc<AtomicU64>,
     obs: Arc<ReplObs>,
+    acks: Arc<AckTracker>,
     shutdown: Arc<AtomicBool>,
     accept: Option<std::thread::JoinHandle<()>>,
 }
@@ -55,6 +56,7 @@ impl Leader {
         let addr = listener.local_addr().unwrap().to_string();
         let epoch = Arc::new(AtomicU64::new(epoch0));
         let obs = Arc::new(ReplObs::default());
+        let acks = Arc::new(AckTracker::new());
         let shutdown = Arc::new(AtomicBool::new(false));
         let cfg = LeaderConfig {
             paths: ReplPaths {
@@ -64,6 +66,7 @@ impl Leader {
             },
             epoch: Arc::clone(&epoch),
             obs: Arc::clone(&obs),
+            acks: Arc::clone(&acks),
             shutdown: Arc::clone(&shutdown),
             poll: Duration::from_millis(2),
             heartbeat: Duration::from_millis(50),
@@ -91,6 +94,7 @@ impl Leader {
             addr,
             epoch,
             obs,
+            acks,
             shutdown,
             accept: Some(accept),
         }
@@ -170,15 +174,23 @@ fn bootstraps_tails_and_rotates() {
     assert_eq!(tail.discarded_bytes, 0);
     assert_eq!(tail.ops, ops(3..6));
     let mut acks = client.ack_sender().unwrap();
-    acks.send(
-        ShardPosition {
-            shard: 0,
-            gen: 1,
-            offset: bytes.len() as u64,
-        },
-        fenestra_replica::now_us().saturating_sub(1),
-    )
-    .unwrap();
+    let applied = ShardPosition {
+        shard: 0,
+        gen: 1,
+        offset: bytes.len() as u64,
+    };
+    acks.send(applied, fenestra_replica::now_us().saturating_sub(1))
+        .unwrap();
+    // A durable-coverage claim lands in the leader's tracker: this
+    // session now covers the position (and everything before it), but
+    // nothing past it.
+    acks.send_covered(applied, 0).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while leader.acks.covering(0, 1, applied.offset) == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(leader.acks.covering(0, 1, applied.offset), 1);
+    assert_eq!(leader.acks.covering(0, 1, applied.offset + 1), 0);
 
     // Live tailing: new appends arrive without reconnecting.
     w.append(&ops(6..8)).unwrap();

@@ -63,6 +63,19 @@ OPTIONS:
                             leader silence (once synced at least once).
                             Opt-in — without an external fencing story
                             a network partition can yield two leaders.
+    --sync-replicas N       hold each durable ack until N followers
+                            confirm they have applied AND fsynced the
+                            covering WAL bytes (needs --replicate and
+                            --fsync always). 0 = async: acks release
+                            after the local fsync only  [default: 0]
+    --sync-timeout-ms N     with --sync-replicas: max time an ack waits
+                            for follower coverage before it fails (or
+                            falls back, see --sync-fallback)
+                            [default: 1000]
+    --sync-fallback         with --sync-replicas: on coverage timeout,
+                            release the ack anyway (async durability)
+                            and count it in `sync_acks_fallback`
+                            instead of failing the batch
     --slow-ms N             log any shard ingest command slower than
                             N ms (apply + WAL commit) as one JSON line
                             on stderr          [default: off]
@@ -140,6 +153,14 @@ fn main() -> ExitCode {
             "--follow" => value("--follow").map(|v| config.follow = Some(v)),
             "--promote-after-ms" => parse_num(value("--promote-after-ms"), "--promote-after-ms")
                 .map(|n| config.promote_after = Some(Duration::millis(n))),
+            "--sync-replicas" => parse_num(value("--sync-replicas"), "--sync-replicas")
+                .map(|n| config.sync_replicas = n as u32),
+            "--sync-timeout-ms" => parse_num(value("--sync-timeout-ms"), "--sync-timeout-ms")
+                .map(|n| config.sync_timeout = Duration::millis(n)),
+            "--sync-fallback" => {
+                config.sync_fallback = true;
+                Ok(())
+            }
             "--slow-ms" => {
                 parse_num(value("--slow-ms"), "--slow-ms").map(|n| config.slow_ms = Some(n))
             }

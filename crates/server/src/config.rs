@@ -107,6 +107,25 @@ pub struct ServerConfig {
     /// default: unattended promotion can split-brain a partitioned
     /// leader, so it is strictly opt-in.
     pub promote_after: Option<Duration>,
+    /// Synchronous ack mode: a held durable ack is released only after
+    /// the local group-commit fsync **and** at least this many
+    /// followers have acked (applied + fsynced) the covering per-shard
+    /// WAL bytes. `0` (the default) is today's asynchronous behavior —
+    /// an ack means "fsynced on the leader". Requires
+    /// [`ServerConfig::replicate_addr`], [`ServerConfig::wal_path`],
+    /// and `--fsync always` (durable acks must be on for there to be a
+    /// held ack to gate).
+    pub sync_replicas: u32,
+    /// How long a sync-mode ack may wait for replica coverage before
+    /// degrading (see [`ServerConfig::sync_fallback`]).
+    pub sync_timeout: Duration,
+    /// What a sync-mode ack does when [`ServerConfig::sync_timeout`]
+    /// expires without coverage: `false` (default) fails the ack with a
+    /// distinct error (the events are durable locally but the client
+    /// knows replication did not confirm), `true` releases it on local
+    /// durability alone and counts the degradation in
+    /// `sync_acks_fallback`.
+    pub sync_fallback: bool,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +148,9 @@ impl Default for ServerConfig {
             replicate_addr: None,
             follow: None,
             promote_after: None,
+            sync_replicas: 0,
+            sync_timeout: Duration::millis(1000),
+            sync_fallback: false,
         }
     }
 }
@@ -244,6 +266,27 @@ impl ServerConfig {
         self.promote_after = Some(timeout);
         self
     }
+
+    /// Hold durable acks until `n` followers have acked the covering
+    /// WAL bytes (requires [`ServerConfig::replicate_addr`], a WAL,
+    /// and `--fsync always`).
+    pub fn sync_replicas(mut self, n: u32) -> ServerConfig {
+        self.sync_replicas = n;
+        self
+    }
+
+    /// Bound how long a sync-mode ack waits for replica coverage.
+    pub fn sync_timeout(mut self, timeout: Duration) -> ServerConfig {
+        self.sync_timeout = timeout;
+        self
+    }
+
+    /// On sync timeout, release the ack on local durability alone
+    /// (counted) instead of failing it.
+    pub fn sync_fallback(mut self) -> ServerConfig {
+        self.sync_fallback = true;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -266,8 +309,14 @@ mod tests {
             .slow_ms(25)
             .replicate_addr("127.0.0.1:0")
             .follow("127.0.0.1:9999")
-            .promote_after(Duration::secs(5));
+            .promote_after(Duration::secs(5))
+            .sync_replicas(2)
+            .sync_timeout(Duration::millis(250))
+            .sync_fallback();
         assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.sync_replicas, 2);
+        assert_eq!(cfg.sync_timeout, Duration::millis(250));
+        assert!(cfg.sync_fallback);
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(cfg.slow_ms, Some(25));
         assert_eq!(cfg.replicate_addr.as_deref(), Some("127.0.0.1:0"));
@@ -294,6 +343,9 @@ mod tests {
         assert!(cfg.replicate_addr.is_none(), "replication is opt-in");
         assert!(cfg.follow.is_none(), "follower mode is opt-in");
         assert!(cfg.promote_after.is_none(), "auto-promotion is opt-in");
+        assert_eq!(cfg.sync_replicas, 0, "sync acks are opt-in (async default)");
+        assert_eq!(cfg.sync_timeout, Duration::millis(1000));
+        assert!(!cfg.sync_fallback, "sync timeout fails the ack by default");
         assert_eq!(cfg.batch_max, 512, "group commit is on by default");
         assert_eq!(
             cfg.fsync,

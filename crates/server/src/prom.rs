@@ -448,6 +448,40 @@ fn repl_metrics(out: &mut String, obs: &PipelineObs) {
         "Follower: unix millis of the last frame or heartbeat from the leader",
         v(&r.last_leader_contact_ms),
     );
+    family(
+        out,
+        "fenestra_repl_sync_acks_ok_total",
+        "counter",
+        "Leader: held acks released by follower durable coverage (--sync-replicas)",
+        v(&r.sync_acks_ok),
+    );
+    family(
+        out,
+        "fenestra_repl_sync_acks_timeout_total",
+        "counter",
+        "Leader: held acks failed because follower coverage missed --sync-timeout-ms",
+        v(&r.sync_acks_timeout),
+    );
+    family(
+        out,
+        "fenestra_repl_sync_acks_fallback_total",
+        "counter",
+        "Leader: held acks released locally-durable-only after a sync timeout (--sync-fallback)",
+        v(&r.sync_acks_fallback),
+    );
+    family(
+        out,
+        "fenestra_repl_sync_waiting",
+        "gauge",
+        "Leader: ack parts currently parked awaiting follower coverage",
+        v(&r.sync_waiting),
+    );
+    histogram(
+        out,
+        "fenestra_repl_sync_wait_us",
+        "Leader: time a locally-durable ack waited for follower coverage (microseconds)",
+        &[(None, r.sync_wait_us.snapshot())],
+    );
     histogram(
         out,
         "fenestra_repl_ack_lag_us",

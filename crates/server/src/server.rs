@@ -38,7 +38,8 @@ use fenestra_core::{Engine, EngineMetrics, QueryResult, ShardRouter, Watch};
 use fenestra_obs::{EngineCounters, PipelineObs, ShardObs};
 use fenestra_query::{Bindings, Query, QueryOptions};
 use fenestra_replica::{
-    load_epoch, now_us, serve_follower, store_epoch, FollowerClient, LeaderConfig, ReplPaths,
+    load_epoch, now_us, serve_follower, store_epoch, AckTracker, FollowerClient, LeaderConfig,
+    ReplPaths, DEAD_SESSION_HEARTBEATS, HEARTBEAT_MS,
 };
 use fenestra_temporal::wal_file::{
     list_segment_gens, recover_shards, segment_path, shard_segment_path, shard_snapshot_path,
@@ -74,6 +75,11 @@ struct FrameAck {
     /// Set by any shard whose WAL append/sync failed: the frame is not
     /// durable, so completion sends an error instead of the ack.
     failed: AtomicBool,
+    /// Set by the sync-replica gate when the frame was locally durable
+    /// but not confirmed by enough followers within `--sync-timeout-ms`
+    /// (and `--sync-fallback` was off). Distinguishes the error line:
+    /// the events *are* on the leader's disk, just not replicated.
+    sync_failed: AtomicBool,
     /// Completion latch, read by the per-connection FIFO drain.
     done: AtomicBool,
 }
@@ -151,7 +157,12 @@ impl AckTable {
         let Some(q) = map.get_mut(&conn) else { return };
         while q.front().is_some_and(|f| f.done.load(Ordering::Acquire)) {
             let f = q.pop_front().expect("checked front");
-            let line = if f.failed.load(Ordering::Acquire) {
+            let line = if f.sync_failed.load(Ordering::Acquire) {
+                proto::error(
+                    "sync replication timed out; events durable locally but not \
+                     confirmed by enough replicas",
+                )
+            } else if f.failed.load(Ordering::Acquire) {
                 proto::error("WAL append failed; events not durable")
             } else {
                 f.line.clone()
@@ -174,6 +185,152 @@ impl AckTable {
             for f in q {
                 self.metrics.acks_released.fetch_add(1, Ordering::Relaxed);
                 let _ = f.sink.send(proto::error(msg));
+            }
+        }
+    }
+}
+
+// ----- sync-replica ack gate ------------------------------------------------
+
+/// One shard's hand-off to the sync gate: every ack part the shard's
+/// group commit just covered locally, plus the WAL position that commit
+/// reached. The parts are releasable once ≥ `--sync-replicas` follower
+/// sessions claim fsynced coverage of `(gen, offset)` — generation
+/// first, then byte offset (see [`AckTracker::covering`]).
+struct SyncWait {
+    shard: u32,
+    gen: u64,
+    offset: u64,
+    parts: Vec<AckPart>,
+    /// When the shard handed the wait over; the timeout and the
+    /// `sync_wait_us` histogram both measure from here.
+    since: Instant,
+}
+
+/// Commands consumed by the sync-gate thread.
+enum GateMsg {
+    /// Park these locally-durable parts until followers cover them.
+    Wait(SyncWait),
+    /// Shutdown barrier: resolve every parked wait (followers keep
+    /// acking during the drain — shipping is still running), confirm,
+    /// and exit. Terminal: no `Wait` is accepted after it, and none can
+    /// arrive — the shard threads have already drained.
+    Flush(Sender<()>),
+}
+
+/// Everything the sync-gate thread owns. One gate serves all shards:
+/// waits resolve in FIFO order per shard (coverage is monotone, so the
+/// front wait always resolves first), and a resolved wait votes its
+/// parts exactly like the async path would have.
+struct SyncGateCtx {
+    rx: Receiver<GateMsg>,
+    /// Follower coverage, fed by the leader's per-session ack readers.
+    tracker: Arc<AckTracker>,
+    /// `--sync-replicas`: how many sessions must cover a position.
+    replicas: u32,
+    /// `--sync-timeout-ms`: how long a wait may park before degrading.
+    timeout: std::time::Duration,
+    /// `--sync-fallback`: on timeout, ack anyway (counted) instead of
+    /// failing the frame.
+    fallback: bool,
+    table: Arc<AckTable>,
+    obs: Arc<PipelineObs>,
+}
+
+/// The sync-gate thread: park covered-locally parts, poll follower
+/// coverage, release (or time out) in per-shard FIFO order.
+fn sync_gate_loop(ctx: SyncGateCtx) {
+    let mut queues: Vec<VecDeque<SyncWait>> = Vec::new();
+    let mut open = true;
+    loop {
+        let busy = queues.iter().any(|q| !q.is_empty());
+        if !busy && !open {
+            return;
+        }
+        let msg = if !open {
+            // Channel gone but waits remain: poll coverage until the
+            // timeouts clear them.
+            thread::sleep(std::time::Duration::from_millis(2));
+            None
+        } else if busy {
+            match ctx.rx.recv_timeout(std::time::Duration::from_millis(2)) {
+                Ok(m) => Some(m),
+                Err(channel::RecvTimeoutError::Timeout) => None,
+                Err(channel::RecvTimeoutError::Disconnected) => {
+                    open = false;
+                    None
+                }
+            }
+        } else {
+            match ctx.rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => {
+                    open = false;
+                    continue;
+                }
+            }
+        };
+        match msg {
+            Some(GateMsg::Wait(w)) => {
+                if queues.len() <= w.shard as usize {
+                    queues.resize_with(w.shard as usize + 1, VecDeque::new);
+                }
+                ctx.obs
+                    .repl
+                    .sync_waiting
+                    .fetch_add(w.parts.len() as u64, Ordering::Relaxed);
+                queues[w.shard as usize].push_back(w);
+            }
+            Some(GateMsg::Flush(done)) => {
+                while queues.iter().any(|q| !q.is_empty()) {
+                    gate_pass(&ctx, &mut queues);
+                    thread::sleep(std::time::Duration::from_millis(2));
+                }
+                let _ = done.send(());
+                return;
+            }
+            None => {}
+        }
+        gate_pass(&ctx, &mut queues);
+    }
+}
+
+/// One resolution pass: release each shard queue's covered prefix,
+/// degrade (fallback-ack or fail) anything past its timeout.
+fn gate_pass(ctx: &SyncGateCtx, queues: &mut [VecDeque<SyncWait>]) {
+    let robs = &ctx.obs.repl;
+    for (shard, q) in queues.iter_mut().enumerate() {
+        while let Some(front) = q.front() {
+            let covered =
+                ctx.tracker.covering(shard as u32, front.gen, front.offset) >= ctx.replicas;
+            if !covered && front.since.elapsed() < ctx.timeout {
+                break; // FIFO: later waits target later positions.
+            }
+            let w = q.pop_front().expect("checked front");
+            let n = w.parts.len() as u64;
+            robs.sync_waiting.fetch_sub(n, Ordering::Relaxed);
+            robs.sync_wait_us
+                .record(w.since.elapsed().as_micros() as u64);
+            if covered || ctx.fallback {
+                if covered {
+                    robs.sync_acks_ok.fetch_add(n, Ordering::Relaxed);
+                } else {
+                    robs.sync_acks_fallback.fetch_add(n, Ordering::Relaxed);
+                }
+                let now = Instant::now();
+                for p in w.parts {
+                    if let Some(s) = ctx.obs.shards.get(shard) {
+                        s.ack_hold_us
+                            .record(now.saturating_duration_since(p.admitted).as_micros() as u64);
+                    }
+                    ctx.table.vote(&p.frame, true);
+                }
+            } else {
+                robs.sync_acks_timeout.fetch_add(n, Ordering::Relaxed);
+                for p in w.parts {
+                    p.frame.sync_failed.store(true, Ordering::Release);
+                    ctx.table.vote(&p.frame, false);
+                }
             }
         }
     }
@@ -245,14 +402,16 @@ enum ShardCmd {
     Gc,
     /// Follower: append leader-shipped raw WAL frames expected at
     /// exactly `(gen, offset)` of this shard's local segment, apply the
-    /// contained ops to the store, and reply the new durable offset
-    /// (plus frame/op counts for the replication counters). The local
+    /// contained ops to the store, and reply the new offset, frame/op
+    /// counts for the replication counters, and whether the append was
+    /// fsynced (policy `always`) — only then may the follower claim the
+    /// position as *covered* to the leader's sync-ack gate. The local
     /// WAL stays a byte mirror of the leader's.
     ReplicaApply {
         gen: u64,
         offset: u64,
         bytes: Vec<u8>,
-        reply: Sender<Result<(u64, u64, u64)>>,
+        reply: Sender<Result<(u64, u64, u64, bool)>>,
     },
     /// Follower: wholesale re-bootstrap from a leader snapshot (empty
     /// bytes = start this shard empty), restarting the local WAL with a
@@ -345,6 +504,7 @@ pub struct ServerHandle {
     metrics_thread: Option<JoinHandle<()>>,
     repl_thread: Option<JoinHandle<()>>,
     follower_thread: Option<JoinHandle<()>>,
+    sync_thread: Option<JoinHandle<()>>,
 }
 
 /// Coordinates the one graceful shutdown: broadcast `Shutdown` to all
@@ -354,6 +514,10 @@ pub struct ServerHandle {
 struct ShutdownCoord {
     shard_txs: Vec<Sender<ShardCmd>>,
     ack_table: Arc<AckTable>,
+    /// The sync gate's queue, when `--sync-replicas` is on: after the
+    /// shards drain, the gate is flushed (waits resolve by coverage or
+    /// timeout, with shipping still live) before leftovers are failed.
+    sync_tx: Option<Sender<GateMsg>>,
     shutdown: Arc<AtomicBool>,
     started: AtomicBool,
     addr: SocketAddr,
@@ -380,6 +544,15 @@ impl ShutdownCoord {
         }
         for d in dones {
             let _ = d.recv();
+        }
+        // Give parked sync waits their last chance to resolve — the
+        // replication listener is still shipping, so followers can
+        // still cover them — before anything is failed wholesale.
+        if let Some(tx) = &self.sync_tx {
+            let (dtx, drx) = channel::bounded(1);
+            if tx.send(GateMsg::Flush(dtx)).is_ok() {
+                let _ = drx.recv();
+            }
         }
         // Frames admitted behind the shutdown command were never
         // applied; resolve their acks explicitly rather than hanging.
@@ -419,9 +592,26 @@ impl Server {
             replicate_addr,
             follow,
             promote_after,
+            sync_replicas,
+            sync_timeout,
+            sync_fallback,
         } = config;
         let shards = shards.max(1);
         let durable_acks = wal_path.is_some() && fsync == FsyncPolicy::Always;
+        if sync_replicas > 0 && replicate_addr.is_none() {
+            return Err(Error::Invalid(
+                "--sync-replicas needs --replicate: follower coverage is measured on the \
+                 shipping sessions"
+                    .into(),
+            ));
+        }
+        if sync_replicas > 0 && !durable_acks {
+            return Err(Error::Invalid(
+                "--sync-replicas needs durable acks (--wal with --fsync always): a sync \
+                 ack strengthens the durable ack, it cannot replace it"
+                    .into(),
+            ));
+        }
         if follow.is_some() && (wal_path.is_none() || snapshot_path.is_none()) {
             return Err(Error::Invalid(
                 "--follow needs --wal and --snapshot: a follower mirrors the leader's \
@@ -554,6 +744,28 @@ impl Server {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let ack_table = Arc::new(AckTable::new(metrics.clone()));
+        // Follower durable-coverage registry, fed by the shipping
+        // sessions' ack readers. Cheap when idle; the gate below is the
+        // only reader.
+        let ack_tracker = Arc::new(AckTracker::new());
+        let (sync_tx, sync_thread) = if sync_replicas > 0 {
+            let (tx, rx) = channel::unbounded();
+            let gctx = SyncGateCtx {
+                rx,
+                tracker: ack_tracker.clone(),
+                replicas: sync_replicas,
+                timeout: std::time::Duration::from_millis(sync_timeout.as_millis().max(1)),
+                fallback: sync_fallback,
+                table: ack_table.clone(),
+                obs: obs.clone(),
+            };
+            let t = thread::Builder::new()
+                .name("fenestra-sync-gate".into())
+                .spawn(move || sync_gate_loop(gctx))?;
+            (Some(tx), Some(t))
+        } else {
+            (None, None)
+        };
         let per_shard_capacity = (queue_capacity / shards as usize).max(1);
         let mut shard_txs = Vec::with_capacity(shards as usize);
         let mut shard_threads = Vec::with_capacity(shards as usize);
@@ -574,6 +786,7 @@ impl Server {
                 slow_ms,
                 ack_table: ack_table.clone(),
                 repl: repl.clone(),
+                sync_tx: sync_tx.clone(),
             };
             shard_threads.push(
                 thread::Builder::new()
@@ -585,6 +798,7 @@ impl Server {
         let coord = Arc::new(ShutdownCoord {
             shard_txs: shard_txs.clone(),
             ack_table: ack_table.clone(),
+            sync_tx: sync_tx.clone(),
             shutdown: shutdown.clone(),
             started: AtomicBool::new(false),
             addr,
@@ -644,7 +858,8 @@ impl Server {
                     obs: obs.repl.clone(),
                     shutdown: shutdown.clone(),
                     poll: std::time::Duration::from_millis(20),
-                    heartbeat: std::time::Duration::from_millis(500),
+                    heartbeat: std::time::Duration::from_millis(HEARTBEAT_MS),
+                    acks: ack_tracker.clone(),
                 };
                 let stop = shutdown.clone();
                 Some(
@@ -738,6 +953,7 @@ impl Server {
             metrics_thread,
             repl_thread,
             follower_thread,
+            sync_thread,
         })
     }
 }
@@ -805,6 +1021,9 @@ impl ServerHandle {
             let _ = t.join();
         }
         if let Some(t) = self.follower_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.sync_thread.take() {
             let _ = t.join();
         }
     }
@@ -1013,6 +1232,10 @@ struct ShardCtx {
     /// snapshots are driven by shipped leader frames, so local drains,
     /// checkpoints, and GC are suppressed.
     repl: Option<Arc<ReplState>>,
+    /// `--sync-replicas` gate: locally-covered ack parts are handed
+    /// here (with the WAL position the covering commit reached) instead
+    /// of being voted directly.
+    sync_tx: Option<Sender<GateMsg>>,
 }
 
 fn shard_loop(ctx: ShardCtx) {
@@ -1030,6 +1253,7 @@ fn shard_loop(ctx: ShardCtx) {
         slow_ms,
         ack_table,
         repl,
+        sync_tx,
     } = ctx;
     let is_following = || repl.as_ref().is_some_and(|r| r.is_following());
     if let Some(d) = durability.as_mut() {
@@ -1137,7 +1361,8 @@ fn shard_loop(ctx: ShardCtx) {
                 // durability.
                 if committed {
                     pending.extend(acks);
-                    release_covered(&mut pending, &engine, &ack_table, &obs);
+                    let sync = sync_target(&sync_tx, id, durability.as_ref());
+                    release_covered(&mut pending, &engine, &ack_table, &obs, sync.as_ref());
                 } else {
                     for p in pending.drain(..).chain(acks) {
                         ack_table.vote(&p.frame, false);
@@ -1229,7 +1454,14 @@ fn shard_loop(ctx: ShardCtx) {
                     match durability.as_mut() {
                         Some(d) => {
                             if d.checkpoint(&mut engine) {
-                                release_covered(&mut pending, &engine, &ack_table, &obs);
+                                let sync = sync_target(&sync_tx, id, Some(&*d));
+                                release_covered(
+                                    &mut pending,
+                                    &engine,
+                                    &ack_table,
+                                    &obs,
+                                    sync.as_ref(),
+                                );
                             } else {
                                 for p in pending.drain(..) {
                                     ack_table.vote(&p.frame, false);
@@ -1259,7 +1491,7 @@ fn shard_loop(ctx: ShardCtx) {
                 reply,
             } => {
                 let res = replica_apply(&mut engine, durability.as_mut(), gen, offset, &bytes);
-                if matches!(&res, Ok((_, _, ops)) if *ops > 0) {
+                if matches!(&res, Ok((_, _, ops, _)) if *ops > 0) {
                     poll = true;
                     obs.state_facts
                         .store(engine.store().open_fact_count() as u64, Ordering::Relaxed);
@@ -1310,7 +1542,8 @@ fn shard_loop(ctx: ShardCtx) {
                     }
                 };
                 if committed {
-                    release_covered(&mut pending, &engine, &ack_table, &obs);
+                    let sync = sync_target(&sync_tx, id, durability.as_ref());
+                    release_covered(&mut pending, &engine, &ack_table, &obs, sync.as_ref());
                 }
                 obs.held_acks.store(0, Ordering::Relaxed);
                 // After `finish` the buffer is empty, so a successful
@@ -1342,36 +1575,85 @@ fn shard_loop(ctx: ShardCtx) {
     }
 }
 
-/// Vote success for every held part whose events have all drained out
-/// of this shard's reorder buffer (and were hence covered by the WAL
-/// commit that just succeeded) — including parts dropped entirely as
-/// late, which left nothing behind to persist. Votes can complete in
-/// any order here; the [`AckTable`] serializes each connection's ack
+/// The sync gate hand-off target for a shard's release pass: the WAL
+/// position its covering group commit just reached (current generation,
+/// committed byte length). `None` when the gate is off — startup
+/// validation guarantees a WAL exists whenever it is on.
+fn sync_target(
+    sync_tx: &Option<Sender<GateMsg>>,
+    shard: u32,
+    durability: Option<&Durability>,
+) -> Option<(Sender<GateMsg>, u32, u64, u64)> {
+    let tx = sync_tx.as_ref()?;
+    let d = durability?;
+    Some((tx.clone(), shard, d.gen, d.writer.segment_len()))
+}
+
+/// Release every held part whose events have all drained out of this
+/// shard's reorder buffer (and were hence covered by the WAL commit
+/// that just succeeded) — including parts dropped entirely as late,
+/// which left nothing behind to persist. Without a sync target the
+/// release is a success vote right here; with one (`--sync-replicas`),
+/// the locally-covered parts are parked at the gate until enough
+/// follower sessions durably cover `(gen, offset)`. Votes can complete
+/// in any order; the [`AckTable`] serializes each connection's ack
 /// lines into admission order. With `max_lateness == 0` the buffer is
-/// always empty after a push, so every held part votes immediately.
+/// always empty after a push, so every held part releases immediately.
 fn release_covered(
     pending: &mut VecDeque<AckPart>,
     engine: &Engine,
     table: &AckTable,
     obs: &ShardObs,
+    sync: Option<&(Sender<GateMsg>, u32, u64, u64)>,
 ) {
     if pending.is_empty() {
         return;
     }
     let low = engine.buffered_low_ts();
     let now = Instant::now();
-    pending.retain(|p| {
+    let mut covered_parts = Vec::new();
+    let mut keep = VecDeque::new();
+    for p in pending.drain(..) {
         let covered = match (p.max_ts, low) {
             (None, _) | (_, None) => true,
             (Some(max_ts), Some(low)) => max_ts < low,
         };
         if covered {
-            obs.ack_hold_us
-                .record(now.saturating_duration_since(p.admitted).as_micros() as u64);
-            table.vote(&p.frame, true);
+            covered_parts.push(p);
+        } else {
+            keep.push_back(p);
         }
-        !covered
-    });
+    }
+    *pending = keep;
+    if covered_parts.is_empty() {
+        return;
+    }
+    if let Some((tx, shard, gen, offset)) = sync {
+        let wait = SyncWait {
+            shard: *shard,
+            gen: *gen,
+            offset: *offset,
+            parts: covered_parts,
+            since: now,
+        };
+        match tx.send(GateMsg::Wait(wait)) {
+            Ok(()) => return,
+            Err(e) => {
+                // The gate is gone (shutdown already flushed it):
+                // degrade to the local release rather than hanging the
+                // connection's ack queue.
+                let GateMsg::Wait(w) = e.0 else {
+                    return;
+                };
+                covered_parts = w.parts;
+            }
+        }
+    }
+    for p in covered_parts {
+        obs.ack_hold_us
+            .record(now.saturating_duration_since(p.admitted).as_micros() as u64);
+        table.vote(&p.frame, true);
+    }
 }
 
 // ----- follower apply path --------------------------------------------------
@@ -1385,15 +1667,17 @@ fn release_covered(
 // self-heals at the cost of a snapshot ship.
 
 /// Append a run of leader-shipped raw WAL frames and apply the decoded
-/// ops. Returns `(new_offset, frames, ops)` for the resume position and
-/// the replication counters.
+/// ops. Returns `(new_offset, frames, ops, synced)` for the resume
+/// position, the replication counters, and the durable-coverage claim
+/// (`synced` is true only under `--fsync always`, where `append_raw`
+/// fsyncs before returning).
 fn replica_apply(
     engine: &mut Engine,
     durability: Option<&mut Durability>,
     gen: u64,
     offset: u64,
     bytes: &[u8],
-) -> Result<(u64, u64, u64)> {
+) -> Result<(u64, u64, u64, bool)> {
     let d = durability.ok_or_else(|| Error::Invalid("replica apply needs a WAL".into()))?;
     if gen != d.gen {
         return Err(Error::Invalid(format!(
@@ -1422,7 +1706,13 @@ fn replica_apply(
     let _ = engine.take_journal();
     apply_res?;
     d.publish_stats();
-    Ok((d.writer.segment_len(), tail.frames, tail.ops.len() as u64))
+    let synced = d.writer.policy() == FsyncPolicy::Always;
+    Ok((
+        d.writer.segment_len(),
+        tail.frames,
+        tail.ops.len() as u64,
+        synced,
+    ))
 }
 
 /// Wholesale re-bootstrap from a leader snapshot: mirror the snapshot
@@ -1572,8 +1862,14 @@ fn follower_loop(rt: FollowerRuntime) {
     let mut backoff_ms = 50u64;
     while !rt.shutdown.load(Ordering::SeqCst) {
         if rt.repl.promote.load(Ordering::SeqCst) {
-            promote(&rt);
-            return;
+            if promote(&rt) {
+                return;
+            }
+            // Plain sleep: `sleep_checked` returns immediately while
+            // the promote latch is set, and the retry cadence must not
+            // be a hot loop.
+            thread::sleep(std::time::Duration::from_millis(200));
+            continue;
         }
         if let (Some(after), Some(t)) = (rt.promote_after, last_contact) {
             if t.elapsed() >= std::time::Duration::from_millis(after.as_millis()) {
@@ -1581,8 +1877,11 @@ fn follower_loop(rt: FollowerRuntime) {
                     "fenestrad: no leader contact for {}ms; promoting",
                     after.as_millis()
                 );
-                promote(&rt);
-                return;
+                if promote(&rt) {
+                    return;
+                }
+                thread::sleep(std::time::Duration::from_millis(200));
+                continue;
             }
         }
         let Some(resume) = shard_positions(&rt) else {
@@ -1626,6 +1925,14 @@ fn follower_loop(rt: FollowerRuntime) {
         };
         last_contact = Some(Instant::now());
         backoff_ms = 50;
+        // Liveness deadline for the session itself: the leader
+        // heartbeats every `HEARTBEAT_MS` even when idle, so a socket
+        // this quiet for several intervals is half-open (leader power
+        // loss, a dropped route — nothing that produces a FIN). Tear it
+        // down and reconnect rather than trusting a dead TCP session.
+        let dead_after =
+            std::time::Duration::from_millis(HEARTBEAT_MS.saturating_mul(DEAD_SESSION_HEARTBEATS));
+        let mut last_frame = Instant::now();
         // One session: frames dispatch to shard threads in arrival
         // order; any error breaks out and reconnects.
         loop {
@@ -1635,8 +1942,12 @@ fn follower_loop(rt: FollowerRuntime) {
             }
             if rt.repl.promote.load(Ordering::SeqCst) {
                 client.shutdown();
-                promote(&rt);
-                return;
+                if promote(&rt) {
+                    return;
+                }
+                // Retry from the outer loop (its promote-latch check
+                // runs first and paces the retries).
+                break;
             }
             if let (Some(after), Some(t)) = (rt.promote_after, last_contact) {
                 if t.elapsed() >= std::time::Duration::from_millis(after.as_millis()) {
@@ -1645,18 +1956,36 @@ fn follower_loop(rt: FollowerRuntime) {
                         "fenestrad: no leader contact for {}ms; promoting",
                         after.as_millis()
                     );
-                    promote(&rt);
-                    return;
+                    if promote(&rt) {
+                        return;
+                    }
+                    break;
                 }
             }
             let frame = match client.recv() {
                 Ok(Some(frame)) => frame,
-                Ok(None) => continue, // quiet tick; loop re-checks the flags
+                Ok(None) => {
+                    // Quiet tick: re-check the flags, and give up on a
+                    // session that has out-quieted the heartbeat
+                    // cadence — it is half-open, not idle.
+                    if last_frame.elapsed() >= dead_after {
+                        eprintln!(
+                            "fenestrad: no leader traffic for {}ms (heartbeat every {}ms); \
+                             reconnecting",
+                            dead_after.as_millis(),
+                            HEARTBEAT_MS
+                        );
+                        client.shutdown();
+                        break;
+                    }
+                    continue;
+                }
                 Err(e) => {
                     eprintln!("fenestrad: replication session to {} ended: {e}", rt.leader);
                     break;
                 }
             };
+            last_frame = Instant::now();
             last_contact = Some(Instant::now());
             robs.last_leader_contact_ms
                 .store(now_us() / 1000, Ordering::Relaxed);
@@ -1685,7 +2014,7 @@ fn follower_loop(rt: FollowerRuntime) {
                         return; // shard threads are gone: shutdown
                     }
                     match rx.recv() {
-                        Ok(Ok((new_offset, frames, ops))) => {
+                        Ok(Ok((new_offset, frames, ops, synced))) => {
                             robs.applied_frames.fetch_add(frames, Ordering::Relaxed);
                             robs.applied_ops.fetch_add(ops, Ordering::Relaxed);
                             robs.applied_bytes.fetch_add(nbytes, Ordering::Relaxed);
@@ -1696,6 +2025,12 @@ fn follower_loop(rt: FollowerRuntime) {
                                 offset: new_offset,
                             };
                             if acks.send(pos, sent_at_us).is_err() {
+                                break;
+                            }
+                            // The coverage claim the leader's sync gate
+                            // votes on — only when the local append was
+                            // actually fsynced.
+                            if synced && acks.send_covered(pos, sent_at_us).is_err() {
                                 break;
                             }
                         }
@@ -1730,7 +2065,10 @@ fn follower_loop(rt: FollowerRuntime) {
                                 gen,
                                 offset: 0,
                             };
-                            if acks.send(pos, 0).is_err() {
+                            // Durable by construction: the snapshot was
+                            // written atomically (file fsynced) and the
+                            // fresh segment is empty.
+                            if acks.send(pos, 0).is_err() || acks.send_covered(pos, 0).is_err() {
                                 break;
                             }
                         }
@@ -1760,7 +2098,10 @@ fn follower_loop(rt: FollowerRuntime) {
                                 gen: new_gen,
                                 offset: 0,
                             };
-                            if acks.send(pos, 0).is_err() {
+                            // Durable by construction: rotation synced
+                            // the finished segment and checkpointed
+                            // before replying.
+                            if acks.send(pos, 0).is_err() || acks.send_covered(pos, 0).is_err() {
                                 break;
                             }
                         }
@@ -1821,23 +2162,28 @@ fn sleep_checked(rt: &FollowerRuntime, ms: u64) {
 
 /// Fenced failover. Ordering is the point:
 ///
-/// 1. **Persist the bumped epoch** (the sidecar write is the durable
-///    fence — after it, a restart of this node still outranks the old
-///    leader).
+/// 1. **Persist the bumped epoch** (the sidecar write — atomic rename
+///    plus parent-directory fsync — is the durable fence: after it, a
+///    restart of this node still outranks the old leader). If this
+///    fails, promotion **aborts with no role change**: flipping to
+///    leader on an epoch that could evaporate at the next power cut
+///    would let a rebooted pair resurrect the old epoch and un-fence
+///    the demoted leader. Returns `false`; the caller retries.
 /// 2. Publish it in memory.
 /// 3. **Leave follower mode** — the shard threads' checkpoint arms are
 ///    gated on `is_following`, so this must precede step 4.
 /// 4. Checkpoint every shard: each snapshot is stamped with the new
 ///    epoch and rotation starts a fresh generation — a new lineage the
 ///    demoted leader's frames can never splice into.
-fn promote(rt: &FollowerRuntime) {
+fn promote(rt: &FollowerRuntime) -> bool {
     let robs = rt.obs.repl.clone();
     let new_epoch = rt.repl.epoch.load(Ordering::SeqCst) + 1;
     if let Err(e) = store_epoch(&rt.wal_base, new_epoch) {
         eprintln!(
-            "fenestrad: persisting promotion epoch {new_epoch} failed: {e} \
-             (continuing; the first checkpoint stamps it)"
+            "fenestrad: persisting promotion epoch {new_epoch} failed: {e}; \
+             promotion aborted, still following (will retry)"
         );
+        return false;
     }
     rt.repl.epoch.store(new_epoch, Ordering::SeqCst);
     robs.epoch.store(new_epoch, Ordering::Relaxed);
@@ -1860,6 +2206,7 @@ fn promote(rt: &FollowerRuntime) {
     }
     rt.repl.promoted.store(true, Ordering::SeqCst);
     eprintln!("fenestrad: promoted to leader at epoch {new_epoch}");
+    true
 }
 
 fn parse_select(text: &str) -> Result<Query> {
@@ -2287,6 +2634,7 @@ fn ingest(
             line: ack_line.clone(),
             remaining: AtomicUsize::new(targets.len()),
             failed: AtomicBool::new(false),
+            sync_failed: AtomicBool::new(false),
             done: AtomicBool::new(false),
         });
         // Register before any part can be voted on; an empty frame

@@ -12,7 +12,8 @@
 //!    | <- Frames{shard, gen, offset, ...} |   (raw CRC-framed WAL bytes)
 //!    | <- Rotate{shard, new_gen} -------- |   (segment rotation committed)
 //!    | <- Heartbeat{epoch, positions} --- |   (liveness + lag reference)
-//!    | -- Ack{shard, gen, offset} ------> |   (applied-and-durable position)
+//!    | -- Ack{shard, gen, offset} ------> |   (applied position, lag echo)
+//!    | -- Covered{shard, gen, offset} --> |   (applied *and fsynced* position)
 //! ```
 //!
 //! `Frames` bodies are the leader's segment bytes **verbatim** — the
@@ -137,6 +138,22 @@ pub enum ReplFrame {
         /// when acking a snapshot bootstrap).
         echo_us: u64,
     },
+    /// Follower → leader: a *coverage claim* — every WAL byte of this
+    /// shard up to and including `offset` of segment `gen` (and all of
+    /// every earlier generation) is applied **and fsynced** on the
+    /// follower's disk. Synchronous ack mode (`--sync-replicas N`)
+    /// counts only these frames when deciding whether a held durable
+    /// ack is replica-covered; plain [`ReplFrame::Ack`] keeps feeding
+    /// the lag telemetry. A follower only emits `Covered` when its own
+    /// fsync policy makes the applied bytes durable (i.e. it runs
+    /// `--fsync always`, the follower-setup contract).
+    Covered {
+        /// The covered (applied-and-fsynced) position.
+        position: ShardPosition,
+        /// The `sent_at_us` of the Frames batch this claim follows (0
+        /// for snapshot bootstraps and rotations).
+        echo_us: u64,
+    },
 }
 
 const KIND_HELLO: u8 = 1;
@@ -147,6 +164,7 @@ const KIND_FRAMES: u8 = 5;
 const KIND_ROTATE: u8 = 6;
 const KIND_HEARTBEAT: u8 = 7;
 const KIND_ACK: u8 = 8;
+const KIND_COVERED: u8 = 9;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_be_bytes());
@@ -288,6 +306,13 @@ impl ReplFrame {
                 put_u64(&mut body, *echo_us);
                 KIND_ACK
             }
+            ReplFrame::Covered { position, echo_us } => {
+                put_u32(&mut body, position.shard);
+                put_u64(&mut body, position.gen);
+                put_u64(&mut body, position.offset);
+                put_u64(&mut body, *echo_us);
+                KIND_COVERED
+            }
         };
         let mut out = Vec::with_capacity(5 + body.len());
         put_u32(&mut out, body.len() as u32 + 1);
@@ -335,6 +360,14 @@ impl ReplFrame {
                 positions: c.positions()?,
             },
             KIND_ACK => ReplFrame::Ack {
+                position: ShardPosition {
+                    shard: c.u32()?,
+                    gen: c.u64()?,
+                    offset: c.u64()?,
+                },
+                echo_us: c.u64()?,
+            },
+            KIND_COVERED => ReplFrame::Covered {
                 position: ShardPosition {
                     shard: c.u32()?,
                     gen: c.u64()?,
@@ -472,6 +505,10 @@ mod tests {
         round_trip(ReplFrame::Ack {
             position: pos(0, 4, 4160),
             echo_us: 99,
+        });
+        round_trip(ReplFrame::Covered {
+            position: pos(1, 4, 4160),
+            echo_us: 0,
         });
     }
 

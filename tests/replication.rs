@@ -208,6 +208,30 @@ fn repl_stat(stats: &Json, key: &str) -> u64 {
         .unwrap_or_else(|| panic!("missing replication.{key} in {stats}"))
 }
 
+/// Ingest one event and return the raw ack line (ok or error).
+fn ingest_one(c: &mut Conn, ts: u64) -> Json {
+    c.call(&format!(
+        r#"{{"stream":"s","ts":{ts},"visitor":"v{ts}","room":"r{ts}"}}"#
+    ))
+}
+
+/// Poll the leader's stats until `replication.followers` reaches `n` —
+/// i.e. a shipping session is live and coverage claims can arrive.
+fn wait_followers(c: &mut Conn, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = c.call(r#"{"cmd":"stats"}"#);
+        if repl_stat(&s, "followers") >= n {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no follower session registered: {s}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
 /// A warm follower mirrors the leader's WAL, serves queries locally,
 /// redirects ingest to the leader, and reports its role in `stats`.
 #[test]
@@ -328,5 +352,187 @@ fn kill9_leader_failover_loses_no_acked_events() {
     );
 
     rejoined.shutdown();
+    follower.shutdown();
+}
+
+/// With `--sync-replicas 1` an ack is a two-node durability claim:
+/// while no follower is attached every ack times out with an error (the
+/// events stay durable locally), and once a follower covers the WAL
+/// bytes acks go back to `ok`.
+#[test]
+fn sync_acks_require_follower_coverage() {
+    let ldir = tmp_dir("sync-leader");
+    let fdir = tmp_dir("sync-follower");
+
+    let leader = Daemon::spawn(
+        &ldir,
+        &[
+            "--replicate",
+            "127.0.0.1:0",
+            "--sync-replicas",
+            "1",
+            "--sync-timeout-ms",
+            "300",
+        ],
+    );
+    let mut lc = leader.connect();
+
+    // No follower: the durable ack waits out the sync timeout and then
+    // fails, telling the client exactly what it still has.
+    let v = ingest_one(&mut lc, 1);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{v}");
+    let err = v.get("error").and_then(Json::as_str).unwrap_or_default();
+    assert!(
+        err.contains("sync replication timed out"),
+        "error names the sync timeout: {v}"
+    );
+
+    // Attach a follower; once its shipping session is live, new ingest
+    // is covered within the timeout and acks succeed again.
+    let repl = leader.repl_addr.clone().unwrap();
+    let follower = Daemon::spawn(&fdir, &["--follow", &repl]);
+    wait_followers(&mut lc, 1);
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut ts = 2;
+    loop {
+        let v = ingest_one(&mut lc, ts);
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "acks never recovered after the follower attached: {v}"
+        );
+        ts += 1;
+    }
+
+    let s = lc.call(r#"{"cmd":"stats"}"#);
+    assert!(repl_stat(&s, "sync_acks_timeout") >= 1, "{s}");
+    assert!(repl_stat(&s, "sync_acks_ok") >= 1, "{s}");
+    assert_eq!(repl_stat(&s, "sync_acks_fallback"), 0, "{s}");
+
+    follower.shutdown();
+    leader.shutdown();
+}
+
+/// `--sync-fallback` trades the hard failure for availability: with no
+/// follower the ack still waits out the timeout, then releases as a
+/// plain locally-durable ack and counts the degradation.
+#[test]
+fn sync_fallback_releases_acks_without_coverage() {
+    let dir = tmp_dir("sync-fallback");
+
+    let leader = Daemon::spawn(
+        &dir,
+        &[
+            "--replicate",
+            "127.0.0.1:0",
+            "--sync-replicas",
+            "1",
+            "--sync-timeout-ms",
+            "150",
+            "--sync-fallback",
+        ],
+    );
+    let mut lc = leader.connect();
+    ingest_acked(&mut lc, 5);
+
+    let s = lc.call(r#"{"cmd":"stats"}"#);
+    assert!(repl_stat(&s, "sync_acks_fallback") >= 1, "{s}");
+    assert_eq!(repl_stat(&s, "sync_acks_timeout"), 0, "{s}");
+
+    leader.shutdown();
+}
+
+/// The loss window this mode closes: `kill -9` the sync leader the
+/// instant the last ack lands — no convergence wait, no sync barrier on
+/// the follower — and every acked event must already be on the
+/// promoted follower. Under async replication this exact sequence can
+/// lose the tail (acked locally, killed before shipping); under
+/// `--sync-replicas 1` the ack itself proves follower coverage.
+#[test]
+fn kill9_sync_leader_immediately_after_acks_loses_nothing() {
+    let ldir = tmp_dir("sync-kill-leader");
+    let fdir = tmp_dir("sync-kill-follower");
+    const N: u64 = 30;
+
+    let leader = Daemon::spawn(
+        &ldir,
+        &[
+            "--replicate",
+            "127.0.0.1:0",
+            "--sync-replicas",
+            "1",
+            "--sync-timeout-ms",
+            "5000",
+            "--snapshot-every-ms",
+            "150",
+        ],
+    );
+    let repl = leader.repl_addr.clone().unwrap();
+    let follower = Daemon::spawn(&fdir, &["--follow", &repl]);
+
+    let mut lc = leader.connect();
+    wait_followers(&mut lc, 1);
+    ingest_acked(&mut lc, N);
+    // Every ack above carried follower coverage; kill the leader NOW,
+    // with zero grace for any still-unshipped bytes.
+    leader.kill9();
+
+    let mut fc = follower.connect();
+    let v = fc.call(r#"{"cmd":"promote"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    assert_eq!(
+        occupied_rooms(&mut fc),
+        N as usize,
+        "synchronously acked events survive an immediate kill -9"
+    );
+
+    follower.shutdown();
+}
+
+/// Promotion is idempotent and fenced exactly once: promoting an
+/// already-promoted node is a refused no-op (same epoch, no second
+/// lineage), and the node keeps serving reads and taking writes.
+#[test]
+fn promotion_is_idempotent_and_refused_on_a_leader() {
+    let ldir = tmp_dir("idem-leader");
+    let fdir = tmp_dir("idem-follower");
+    const N: u64 = 10;
+
+    let leader = Daemon::spawn(&ldir, &["--replicate", "127.0.0.1:0"]);
+    // A leader that never followed refuses promotion outright.
+    let mut lc = leader.connect();
+    let v = lc.call(r#"{"cmd":"promote"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{v}");
+
+    let repl = leader.repl_addr.clone().unwrap();
+    let follower = Daemon::spawn(&fdir, &["--follow", &repl]);
+    ingest_acked(&mut lc, N);
+    wait_rows(&follower, N as usize, "follower catches up");
+    leader.kill9();
+
+    let mut fc = follower.connect();
+    let v = fc.call(r#"{"cmd":"promote"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    let epoch = v.get("epoch").and_then(Json::as_u64).unwrap();
+
+    // Second promote: refused, and the epoch did not move again.
+    let v = fc.call(r#"{"cmd":"promote"}"#);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{v}");
+    assert_eq!(
+        v.get("error").and_then(Json::as_str),
+        Some("not a follower: this node is already the leader"),
+        "{v}"
+    );
+    let s = fc.call(r#"{"cmd":"stats"}"#);
+    assert_eq!(repl_stat(&s, "epoch"), epoch, "no double epoch bump: {s}");
+
+    // Still a functioning leader after the refused re-promotion.
+    assert_eq!(occupied_rooms(&mut fc), N as usize);
+    let ts = N + 1;
+    let v = ingest_one(&mut fc, ts);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+
     follower.shutdown();
 }
