@@ -14,7 +14,12 @@
 //!   always` with group commit disabled (`batch_max 1`): per-event
 //!   durability makes the disk's flush latency the throughput floor,
 //!   and per-shard WALs overlap those fsyncs — the one cost that
-//!   parallelizes regardless of core count.
+//!   parallelizes regardless of core count;
+//! * a wire-plane A/B at 256 pipelined connections under `fsync
+//!   always`: the identical batch workload through the JSONL plane and
+//!   the binary plane (`FNB1` length-prefixed CRC-framed batches) of
+//!   one listener — the throughput ratio isolates front-door parse +
+//!   route cost, since both planes pay the same engine/WAL/fsync bill.
 //!
 //! Each run reports throughput, ack-latency percentiles (p50/p99 —
 //! under `fsync always` an ack is released only after the covering
@@ -39,9 +44,12 @@
 //! exists to catch order-of-magnitude regressions and to document the
 //! relative cost of each configuration, not to be a rigorous harness.
 
+use fenestra_base::record::Event;
 use fenestra_base::time::Duration as EventDuration;
+use fenestra_base::value::Value;
 use fenestra_server::{Server, ServerConfig};
 use fenestra_temporal::{AttrSchema, FsyncPolicy};
+use fenestra_wire::binary;
 use serde_json::{Map, Number, Value as Json};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -111,6 +119,34 @@ fn event_json(i: u64) -> String {
         i + 1,
         i % 100,
         (i / 100) % 10
+    )
+}
+
+/// One event of the wire-plane A/B workload, as JSONL. All events
+/// share one timestamp and each carries a fresh visitor: with lateness
+/// 0 every event applies the moment it arrives (constant ts can never
+/// be late, distinct visitors can never conflict), so durable acks
+/// release continuously with the group-commit fsyncs and the timed
+/// window covers the whole live pipeline — no reorder dwell, no
+/// end-of-run flush.
+fn ab_event_json(i: u64) -> String {
+    format!(
+        r#"{{"stream":"s","ts":1,"visitor":"v{}","room":"r{}"}}"#,
+        i,
+        (i / 100) % 10
+    )
+}
+
+/// The same event as [`ab_event_json`], as the struct the binary codec
+/// encodes — the two planes carry an identical workload.
+fn ab_event_struct(i: u64) -> Event {
+    Event::from_pairs(
+        "s",
+        1u64,
+        [
+            ("visitor", Value::str(&format!("v{i}"))),
+            ("room", Value::str(&format!("r{}", (i / 100) % 10))),
+        ],
     )
 }
 
@@ -387,6 +423,202 @@ fn run(
     result
 }
 
+/// Which wire plane a [`run_plane`] worker speaks.
+#[derive(Clone, Copy, PartialEq)]
+enum Plane {
+    Jsonl,
+    Binary,
+}
+
+/// Wire-plane A/B at high connection counts: the same batch workload
+/// pushed through the JSONL plane and the binary plane (`FNB1` magic,
+/// length-prefixed CRC-framed batches) of one listener, under `fsync
+/// always`. The [`ab_event_json`] workload (constant timestamp, fresh
+/// visitor per event, lateness 0) applies every event on arrival, so
+/// the run is one continuous pipeline: frames stream in unpaced from
+/// every connection, shards apply and group-commit as they drain, and
+/// each frame's durable ack releases with the fsync that covers it.
+/// The timer runs from the moment every connection is armed until the
+/// last connection has read its last ack and its sync-barrier reply.
+/// Both planes pay identical engine/WAL/fsync costs on identical
+/// shard parallelism, so the throughput ratio isolates the front
+/// door: socket handling, frame parsing, routing, and ack writeback.
+fn run_plane(
+    label: &str,
+    plane: Plane,
+    conns: u64,
+    frames_per_conn: u64,
+    frame_size: u64,
+    shards: u32,
+    wal_dir: &Path,
+) -> RunResult {
+    let per_conn_events = frames_per_conn * frame_size;
+    let total = conns * per_conn_events;
+    // Queue capacity covers the whole run (every frame splits into up
+    // to `shards` parts): the two planes react to a full queue
+    // differently by design (connection threads block on the channel,
+    // the reactor parks the connection and retries on its tick), and
+    // either would measure backpressure scheduling, not the front
+    // door this sweep isolates.
+    let queue = (conns * frames_per_conn * shards as u64 * 2).max(4096) as usize;
+    let config = ServerConfig::new("127.0.0.1:0")
+        .queue_capacity(queue)
+        .batch_max(512)
+        .shards(shards)
+        .wal_path(wal_dir)
+        .fsync(FsyncPolicy::Always)
+        // Pin the pool size instead of `--reactors 0` (min(cores, 4)):
+        // on a 1-core runner auto picks a single reactor, whose CFS
+        // share against 8 shard threads — not the front door — becomes
+        // the bottleneck. Four is what auto picks on any 4+ core box.
+        .reactors(4)
+        .metrics_addr("127.0.0.1:0")
+        .setup(|engine| {
+            engine.declare_attr("room", AttrSchema::one());
+            engine
+                .add_rules_text("rule mv:\n on s\n replace $(visitor).room = room")
+                .unwrap();
+        });
+    let mut handle = Server::start(config).expect("start server");
+    let addr = handle.local_addr();
+
+    // Pre-encode every connection's wire bytes: client-side encoding
+    // is not the server's front door, so it stays off the clock.
+    // Connection `c` owns the disjoint event-index range
+    // [c*per_conn_events, (c+1)*per_conn_events) — a fresh visitor per
+    // event, one shared timestamp (see [`ab_event_json`]).
+    let payloads: Vec<Vec<Vec<u8>>> = (0..conns)
+        .map(|c| {
+            (0..frames_per_conn)
+                .map(|i| {
+                    let start = c * per_conn_events + i * frame_size;
+                    match plane {
+                        Plane::Jsonl => {
+                            let evs: Vec<String> =
+                                (start..start + frame_size).map(ab_event_json).collect();
+                            format!("{{\"op\":\"ingest\",\"events\":[{}]}}\n", evs.join(","))
+                                .into_bytes()
+                        }
+                        Plane::Binary => {
+                            let events: Vec<Event> =
+                                (start..start + frame_size).map(ab_event_struct).collect();
+                            binary::encode_batch("s", &events).expect("encode batch")
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // The timer opens once every connection is accepted and armed.
+    let start_gate = Arc::new(Barrier::new(conns as usize + 1));
+
+    let workers: Vec<_> = payloads
+        .into_iter()
+        .map(|frames| {
+            let start_gate = Arc::clone(&start_gate);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut input = stream.try_clone().expect("clone stream");
+                if plane == Plane::Binary {
+                    // Plane negotiation is handshake, not throughput.
+                    input.write_all(&binary::MAGIC).expect("send magic");
+                }
+                let reader = std::thread::spawn(move || {
+                    let mut recv_at = Vec::with_capacity(frames_per_conn as usize);
+                    let mut synced = false;
+                    match plane {
+                        Plane::Jsonl => {
+                            let mut lines = BufReader::new(stream).lines();
+                            while recv_at.len() < frames_per_conn as usize || !synced {
+                                let line = lines
+                                    .next()
+                                    .expect("connection closed early")
+                                    .expect("read reply");
+                                assert!(line.contains("\"ok\":true"), "rejected: {line}");
+                                if line.contains("\"synced\"") {
+                                    synced = true;
+                                } else {
+                                    recv_at.push(Instant::now());
+                                }
+                            }
+                        }
+                        Plane::Binary => {
+                            let mut r = BufReader::new(stream);
+                            while recv_at.len() < frames_per_conn as usize || !synced {
+                                let f = binary::read_frame(&mut r, binary::DEFAULT_MAX_FRAME)
+                                    .expect("read frame")
+                                    .expect("connection closed early");
+                                match f {
+                                    binary::Frame::Ack { .. } => recv_at.push(Instant::now()),
+                                    binary::Frame::Synced => synced = true,
+                                    other => panic!("unexpected reply frame: {other:?}"),
+                                }
+                            }
+                        }
+                    }
+                    recv_at
+                });
+                let mut sent_at = Vec::with_capacity(frames_per_conn as usize);
+                start_gate.wait();
+                for bytes in &frames {
+                    sent_at.push(Instant::now());
+                    input.write_all(bytes).expect("send frame");
+                }
+                match plane {
+                    Plane::Jsonl => writeln!(input, r#"{{"cmd":"sync"}}"#).expect("send sync"),
+                    Plane::Binary => input.write_all(&binary::encode_sync()).expect("send sync"),
+                }
+                let recv_at = reader.join().expect("reader thread");
+                sent_at
+                    .iter()
+                    .zip(&recv_at)
+                    .map(|(s, r)| *r - *s)
+                    .collect::<Vec<Duration>>()
+            })
+        })
+        .collect();
+    start_gate.wait();
+    let t0 = Instant::now();
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("worker thread"));
+    }
+    let elapsed = t0.elapsed();
+    latencies.sort();
+
+    if let Some(maddr) = handle.metrics_addr() {
+        scrape_metrics(maddr);
+    }
+    let m = handle.metrics();
+    let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let stages = handle.pipeline_obs().merged_stages_json();
+    let result = RunResult {
+        label: label.to_string(),
+        events: total,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        events_per_sec: total as f64 / elapsed.as_secs_f64(),
+        ack_p50_us: percentile_us(&latencies, 0.50),
+        ack_p99_us: percentile_us(&latencies, 0.99),
+        wal_appends: load(&m.wal_appends),
+        wal_bytes: load(&m.wal_bytes),
+        fsyncs: load(&m.fsyncs),
+        ingest_batches: load(&m.ingest_batches),
+        ingest_batch_max: load(&m.ingest_batch_max),
+        group_commits: load(&m.group_commits),
+        acks_deferred: load(&m.acks_deferred),
+        late_dropped: load(&m.late_dropped),
+        stages,
+    };
+    assert_eq!(
+        result.late_dropped, 0,
+        "{label}: a constant-timestamp workload can never be late"
+    );
+    handle.shutdown();
+    result
+}
+
 fn result_json(r: &RunResult) -> Json {
     let float = |f: f64| {
         Json::Number(Number::from_f64((f * 10.0).round() / 10.0).unwrap_or_else(|| 0.into()))
@@ -634,6 +866,54 @@ fn main() {
     for r in &shard_runs {
         print_run(r);
     }
+
+    // Wire-plane A/B at 256 pipelined connections: the same batch
+    // workload through the JSONL plane and the binary plane of one
+    // listener; the ratio isolates front-door (parse + route) cost.
+    const AB_CONNS: u64 = 256;
+    const AB_FRAMES: u64 = 20;
+    const AB_FRAME_SIZE: u64 = 16;
+    const AB_SHARDS: u32 = 8;
+    eprintln!("-- wire planes (256 connections, 16-event frames, 8 shards, fsync always) --");
+    // One run per plane is not a measurement on a shared disk:
+    // ambient fsync latency swings a single run by ±40%, easily
+    // drowning the front-door difference. Interleave three rounds
+    // per plane (J,B,J,B,J,B) so slow-disk minutes hit both planes
+    // alike, then score each plane by its median-throughput round.
+    const AB_ROUNDS: usize = 3;
+    let mut jsonl_rounds = Vec::with_capacity(AB_ROUNDS);
+    let mut binary_rounds = Vec::with_capacity(AB_ROUNDS);
+    for round in 0..AB_ROUNDS {
+        jsonl_rounds.push(run_plane(
+            "jsonl-conns-256",
+            Plane::Jsonl,
+            AB_CONNS,
+            AB_FRAMES,
+            AB_FRAME_SIZE,
+            AB_SHARDS,
+            &dir.join(format!("jsonl256-{round}")),
+        ));
+        binary_rounds.push(run_plane(
+            "binary-conns-256",
+            Plane::Binary,
+            AB_CONNS,
+            AB_FRAMES,
+            AB_FRAME_SIZE,
+            AB_SHARDS,
+            &dir.join(format!("bin256-{round}")),
+        ));
+    }
+    let median = |mut rounds: Vec<RunResult>| -> RunResult {
+        rounds.sort_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec));
+        rounds.remove(rounds.len() / 2)
+    };
+    let plane_runs = [median(jsonl_rounds), median(binary_rounds)];
+    for r in &plane_runs {
+        print_run(r);
+    }
+    eprintln!("binary-conns-256 decode/dispatch breakdown (µs):");
+    print_stages(&plane_runs[1]);
+    let plane_ratio = plane_runs[1].events_per_sec / plane_runs[0].events_per_sec;
     let _ = std::fs::remove_dir_all(&dir);
 
     let mut root = Map::new();
@@ -660,6 +940,17 @@ fn main() {
         shards_obj.insert(r.label.clone(), result_json(r));
     }
     sweeps.insert("shards".into(), Json::Object(shards_obj));
+    let mut planes = Map::new();
+    for r in &plane_runs {
+        planes.insert(r.label.clone(), result_json(r));
+    }
+    planes.insert(
+        "binary_vs_jsonl".into(),
+        Json::Number(
+            Number::from_f64((plane_ratio * 100.0).round() / 100.0).unwrap_or_else(|| 0.into()),
+        ),
+    );
+    sweeps.insert("planes".into(), Json::Object(planes));
     root.insert("sweeps".into(), Json::Object(sweeps));
 
     // Before/after against the committed numbers (CI surfaces this as
@@ -685,6 +976,7 @@ fn main() {
         "shards-4 runs at {:.2}x shards-1 under fsync always",
         s4 / s1
     );
+    eprintln!("binary plane runs at {plane_ratio:.2}x the JSONL plane at {AB_CONNS} connections");
 
     let mut text = Json::Object(root).to_string();
     text.push('\n');

@@ -253,6 +253,15 @@ impl Engine {
         if let Some(wm) = advanced {
             self.drain_until(wm);
             self.maybe_gc(wm);
+        } else if let Some(wm) = self.wm.current() {
+            // An event AT the watermark is admitted but advances
+            // nothing. Nothing that could still arrive may sort before
+            // it (anything earlier is late by definition), so drain it
+            // now — otherwise it sits buffered until some later event
+            // advances the watermark, which never happens if every
+            // event carries the same timestamp, and held durable acks
+            // would never release.
+            self.drain_until(wm);
         }
         self.publish_obs();
         late
@@ -837,6 +846,28 @@ mod tests {
         assert_eq!(eng.buffered_low_ts(), Some(Timestamp::new(50)));
         eng.finish();
         assert_eq!(eng.buffered_low_ts(), None, "finish drains the buffer");
+    }
+
+    #[test]
+    fn events_at_the_watermark_drain_without_a_further_advance() {
+        // Regression: an event whose timestamp equals the current
+        // watermark is admitted but advances nothing, and push_batch
+        // only drained on an advance — so with a constant-timestamp
+        // stream every event after the first sat in the reorder buffer
+        // forever (and durable acks gated on buffered_low_ts never
+        // released).
+        let mut eng = Engine::with_defaults(); // lateness 0
+        let ev = |n: i64| Event::from_pairs("s", 7u64, [("x", n)]);
+        for n in 0..5 {
+            eng.push(ev(n));
+            assert_eq!(
+                eng.buffered_low_ts(),
+                None,
+                "same-ts event {n} must apply immediately, not buffer"
+            );
+        }
+        assert_eq!(eng.metrics().events, 5);
+        assert_eq!(eng.metrics().late_dropped, 0);
     }
 
     #[test]

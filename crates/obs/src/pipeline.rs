@@ -381,6 +381,14 @@ pub struct PipelineObs {
     /// Time to parse, route, and enqueue one ingest frame on the
     /// connection thread (µs) — the "front door" before queue wait.
     pub admit_us: Histogram,
+    /// Binary plane: time to CRC-check and decode one frame out of a
+    /// connection's read buffer into events (µs), one sample per
+    /// frame. Quiet unless binary clients are connected.
+    pub decode_us: Histogram,
+    /// Binary plane: time one reactor readiness event took to handle —
+    /// read, decode, route, and enqueue everything it made available
+    /// (µs), one sample per dispatched readiness event.
+    pub reactor_dispatch_us: Histogram,
     /// Per-shard instrumentation, indexed by shard id.
     pub shards: Vec<Arc<ShardObs>>,
     /// Replication instrumentation (quiet when not replicating).
@@ -392,6 +400,8 @@ impl PipelineObs {
     pub fn new(shards: usize) -> PipelineObs {
         PipelineObs {
             admit_us: Histogram::new(),
+            decode_us: Histogram::new(),
+            reactor_dispatch_us: Histogram::new(),
             shards: (0..shards).map(|_| Arc::new(ShardObs::default())).collect(),
             repl: Arc::new(ReplObs::default()),
         }
@@ -406,11 +416,17 @@ impl PipelineObs {
         merged
     }
 
-    /// All stages merged across shards, plus `admit_us`, as
+    /// All stages merged across shards, plus the connection-plane
+    /// histograms (`admit_us`, `decode_us`, `reactor_dispatch_us`), as
     /// `{stage: {count, p50, …}}`.
     pub fn merged_stages_json(&self) -> Json {
         let mut obj = Map::new();
         obj.insert("admit_us".into(), self.admit_us.snapshot().json_summary());
+        obj.insert("decode_us".into(), self.decode_us.snapshot().json_summary());
+        obj.insert(
+            "reactor_dispatch_us".into(),
+            self.reactor_dispatch_us.snapshot().json_summary(),
+        );
         for stage in STAGES {
             obj.insert(stage.into(), self.merged_stage(stage).json_summary());
         }
@@ -448,6 +464,23 @@ mod tests {
                 "{stage}"
             );
         }
+    }
+
+    #[test]
+    fn merged_stages_json_includes_connection_plane() {
+        let p = PipelineObs::new(1);
+        p.decode_us.record(7);
+        p.reactor_dispatch_us.record(9);
+        let j = p.merged_stages_json();
+        for key in ["admit_us", "decode_us", "reactor_dispatch_us"] {
+            assert!(j.get(key).is_some(), "{key}");
+        }
+        assert_eq!(
+            j.get("decode_us")
+                .and_then(|v| v.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
     }
 
     #[test]

@@ -31,9 +31,19 @@ use std::sync::Mutex;
 /// the shipping sessions (writers) and the server's sync-ack gate
 /// (reader). Plain mutex-guarded maps: updates are a few dozen bytes
 /// per shipped batch, reads a handful per gate poll.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct AckTracker {
     inner: Mutex<Inner>,
+    /// Called after every coverage advance (see [`AckTracker::record`]).
+    notify: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for AckTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AckTracker")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -68,15 +78,38 @@ impl AckTracker {
 
     /// Record a follower's covered-position claim. Positions only move
     /// forward (a stale or reordered claim is ignored); claims for an
-    /// ended session are dropped.
+    /// ended session are dropped. When the claim advances coverage, the
+    /// hook installed via [`AckTracker::set_notify`] fires so the sync
+    /// gate re-checks its held acks immediately instead of on its next
+    /// timeout tick.
     pub fn record(&self, session: u64, pos: ShardPosition) {
-        let mut inner = self.inner.lock().expect("ack tracker poisoned");
-        if let Some(covered) = inner.sessions.get_mut(&session) {
-            let entry = covered.entry(pos.shard).or_insert((0, 0));
-            if (pos.gen, pos.offset) > *entry {
-                *entry = (pos.gen, pos.offset);
+        let advanced = {
+            let mut inner = self.inner.lock().expect("ack tracker poisoned");
+            match inner.sessions.get_mut(&session) {
+                Some(covered) => {
+                    let entry = covered.entry(pos.shard).or_insert((0, 0));
+                    if (pos.gen, pos.offset) > *entry {
+                        *entry = (pos.gen, pos.offset);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            }
+        };
+        if advanced {
+            if let Some(f) = self.notify.lock().expect("notify poisoned").as_ref() {
+                f();
             }
         }
+    }
+
+    /// Install the coverage-advance hook (at most one; later calls
+    /// replace it). The tracker calls it *outside* its coverage lock,
+    /// after any claim that moved a position forward.
+    pub fn set_notify(&self, f: impl Fn() + Send + Sync + 'static) {
+        *self.notify.lock().expect("notify poisoned") = Some(Box::new(f));
     }
 
     /// Drop a session's coverage (the follower disconnected).
@@ -149,5 +182,30 @@ mod tests {
         assert_eq!(t.covering(0, 9, 9), 0, "ended sessions drop claims");
         t.end_session(b);
         assert_eq!(t.sessions(), 0);
+    }
+
+    #[test]
+    fn notify_fires_only_on_coverage_advance() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let t = AckTracker::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&fired);
+        t.set_notify(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        let s = t.begin_session(&[]);
+        t.record(s, pos(0, 1, 100));
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "advance notifies");
+        t.record(s, pos(0, 1, 50));
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "stale claim is silent");
+        t.record(s, pos(0, 2, 0));
+        assert_eq!(fired.load(Ordering::Relaxed), 2, "gen bump notifies");
+        t.record(99, pos(0, 9, 9));
+        assert_eq!(
+            fired.load(Ordering::Relaxed),
+            2,
+            "unknown session is silent"
+        );
     }
 }

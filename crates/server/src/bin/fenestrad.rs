@@ -79,6 +79,11 @@ OPTIONS:
     --slow-ms N             log any shard ingest command slower than
                             N ms (apply + WAL commit) as one JSON line
                             on stderr          [default: off]
+    --max-frame-bytes N     reject any wire frame (one JSONL line, or
+                            one binary frame) larger than N bytes
+                            [default: 8388608]
+    --reactors N            event-loop threads for the binary ingest
+                            plane (0 = min(cores, 4)) [default: 0]
     -h, --help              print this help
 
 PROTOCOL (line-delimited JSON on one socket):
@@ -91,6 +96,10 @@ PROTOCOL (line-delimited JSON on one socket):
     {\"cmd\":\"promote\"}                  follower only: fence the old leader and
                                         take writes -> {\"ok\":true,\"epoch\":N}
     {\"cmd\":\"shutdown\"}                 drain, snapshot, exit
+
+A connection whose first four bytes are `FNB1` speaks the binary batch
+plane instead (length-prefixed CRC-framed record batches; see the
+fenestra-wire crate docs). Both planes share this one listener.
 ";
 
 fn main() -> ExitCode {
@@ -163,6 +172,11 @@ fn main() -> ExitCode {
             }
             "--slow-ms" => {
                 parse_num(value("--slow-ms"), "--slow-ms").map(|n| config.slow_ms = Some(n))
+            }
+            "--max-frame-bytes" => parse_num(value("--max-frame-bytes"), "--max-frame-bytes")
+                .map(|n| config.max_frame_bytes = (n as usize).max(1024)),
+            "--reactors" => {
+                parse_num(value("--reactors"), "--reactors").map(|n| config.reactors = n as usize)
             }
             other => Err(format!("unknown option `{other}` (try --help)")),
         };

@@ -126,6 +126,19 @@ pub struct ServerConfig {
     /// durability alone and counts the degradation in
     /// `sync_acks_fallback`.
     pub sync_fallback: bool,
+    /// Upper bound on a single wire frame (`--max-frame-bytes`,
+    /// default 8 MiB): the payload of a binary frame, or the length of
+    /// a JSONL request line. An oversized frame gets a structured wire
+    /// error instead of unbounded buffer growth — the binary plane
+    /// closes the connection (framing is lost past a refused length
+    /// prefix), the JSONL plane skips to the next newline and keeps
+    /// serving.
+    pub max_frame_bytes: usize,
+    /// Reactor (event-loop) threads multiplexing the accept path and
+    /// every binary-plane connection. `0` (default) auto-sizes to
+    /// `min(4, available cores)`. JSONL connections still get their
+    /// own thread after plane detection.
+    pub reactors: usize,
 }
 
 impl Default for ServerConfig {
@@ -151,6 +164,8 @@ impl Default for ServerConfig {
             sync_replicas: 0,
             sync_timeout: Duration::millis(1000),
             sync_fallback: false,
+            max_frame_bytes: fenestra_wire::binary::DEFAULT_MAX_FRAME,
+            reactors: 0,
         }
     }
 }
@@ -287,6 +302,20 @@ impl ServerConfig {
         self.sync_fallback = true;
         self
     }
+
+    /// Cap a single wire frame (binary payload or JSONL line) at
+    /// `bytes` (clamped to ≥ 1 KiB so replies still fit).
+    pub fn max_frame_bytes(mut self, bytes: usize) -> ServerConfig {
+        self.max_frame_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Use `n` reactor threads for the accept path and binary
+    /// connections (`0` = auto-size).
+    pub fn reactors(mut self, n: usize) -> ServerConfig {
+        self.reactors = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -312,8 +341,12 @@ mod tests {
             .promote_after(Duration::secs(5))
             .sync_replicas(2)
             .sync_timeout(Duration::millis(250))
-            .sync_fallback();
+            .sync_fallback()
+            .max_frame_bytes(0)
+            .reactors(2);
         assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.max_frame_bytes, 1024, "frame cap clamps to 1 KiB");
+        assert_eq!(cfg.reactors, 2);
         assert_eq!(cfg.sync_replicas, 2);
         assert_eq!(cfg.sync_timeout, Duration::millis(250));
         assert!(cfg.sync_fallback);
@@ -347,6 +380,8 @@ mod tests {
         assert_eq!(cfg.sync_timeout, Duration::millis(1000));
         assert!(!cfg.sync_fallback, "sync timeout fails the ack by default");
         assert_eq!(cfg.batch_max, 512, "group commit is on by default");
+        assert_eq!(cfg.max_frame_bytes, 8 * 1024 * 1024, "8 MiB frame cap");
+        assert_eq!(cfg.reactors, 0, "reactor pool auto-sizes by default");
         assert_eq!(
             cfg.fsync,
             FsyncPolicy::Always,

@@ -70,7 +70,19 @@
 //!
 //! ## Wire protocol
 //!
-//! Line-delimited JSON, one object per line, on a single listener.
+//! One listener, two planes, decided by the first four bytes of the
+//! connection: exactly [`fenestra_wire::binary::MAGIC`] (`FNB1`)
+//! selects the **binary plane** — length-prefixed, CRC-framed record
+//! batches served by an epoll reactor pool ([`ServerConfig::reactors`];
+//! see `src/reactor.rs`) that decodes frames in place and
+//! coalesces each socket drain into one hand-off per touched shard.
+//! Anything else is the **JSONL plane** (JSONL requests always start
+//! with `{`), handled by a classic per-connection thread. Both planes
+//! share the shard queues, the ack table, `--max-frame-bytes`, and the
+//! ack/durability semantics below; acks on the binary plane carry the
+//! same per-connection `seq`/`count` as the JSONL ack object.
+//!
+//! The JSONL plane is line-delimited JSON, one object per line.
 //! Objects with a `"cmd"` key are commands (`query`, `watch`,
 //! `stats`, `shutdown`); objects with `"op":"ingest"` and no
 //! `"stream"` key are batch frames; anything else must be an event
@@ -171,6 +183,7 @@ pub mod config;
 pub mod metrics;
 pub mod prom;
 pub mod proto;
+pub(crate) mod reactor;
 pub mod server;
 
 pub use config::{Backpressure, ServerConfig};

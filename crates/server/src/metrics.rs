@@ -13,6 +13,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct ServerMetrics {
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Connections currently open, either plane (gauge).
+    pub conns_open: AtomicU64,
+    /// Open connections that negotiated the binary plane via the
+    /// `FNB1` magic (gauge; subset of `conns_open`).
+    pub conns_binary: AtomicU64,
     /// Bytes read off sockets (including line terminators).
     pub bytes_in: AtomicU64,
     /// Bytes written to sockets (including line terminators).
@@ -92,6 +97,8 @@ impl ServerMetrics {
         let mut obj = Map::new();
         let get = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
         obj.insert("connections".into(), get(&self.connections));
+        obj.insert("conns_open".into(), get(&self.conns_open));
+        obj.insert("conns_binary".into(), get(&self.conns_binary));
         obj.insert("bytes_in".into(), get(&self.bytes_in));
         obj.insert("bytes_out".into(), get(&self.bytes_out));
         obj.insert("queue_hwm".into(), get(&self.queue_hwm));
@@ -169,6 +176,8 @@ mod tests {
         let v = m.json_value();
         for key in [
             "connections",
+            "conns_open",
+            "conns_binary",
             "bytes_in",
             "bytes_out",
             "queue_hwm",

@@ -32,6 +32,18 @@ pub fn render_prometheus(metrics: &ServerMetrics, obs: &PipelineObs) -> String {
         "Time to parse, route, and enqueue one ingest frame on the connection thread (microseconds)",
         &[(None, obs.admit_us.snapshot())],
     );
+    histogram(
+        &mut out,
+        "fenestra_stage_decode_us",
+        "Time decoding one binary-plane frame out of a connection's read buffer (microseconds)",
+        &[(None, obs.decode_us.snapshot())],
+    );
+    histogram(
+        &mut out,
+        "fenestra_stage_reactor_dispatch_us",
+        "Time one reactor spent servicing a single connection readiness event (microseconds)",
+        &[(None, obs.reactor_dispatch_us.snapshot())],
+    );
     for stage in STAGES {
         let series: Vec<(Option<usize>, HistogramSnapshot)> = obs
             .shards
@@ -152,6 +164,18 @@ fn server_metrics(out: &mut String, m: &ServerMetrics) {
         "fenestra_server_connections_total",
         "Connections accepted",
         &m.connections,
+    );
+    g(
+        out,
+        "fenestra_server_conns_open",
+        "Connections currently open, either wire plane",
+        &m.conns_open,
+    );
+    g(
+        out,
+        "fenestra_server_conns_binary",
+        "Open connections that negotiated the binary plane",
+        &m.conns_binary,
     );
     c(
         out,
@@ -670,6 +694,10 @@ fenestra_stage_queue_wait_us_count{shard=\"1\"} 0
             "fenestra_shard_queue_hwm{shard=\"1\"} 2",
             "fenestra_engine_events_total{shard=\"0\"} 0",
             "fenestra_stage_admit_us_count 1",
+            "fenestra_server_conns_open 0",
+            "fenestra_server_conns_binary 0",
+            "fenestra_stage_decode_us_count 0",
+            "fenestra_stage_reactor_dispatch_us_count 0",
             "fenestra_late_margin_ms_count{shard=\"0\"} 1",
             "fenestra_stage_fsync_us_bucket{shard=\"0\",le=\"+Inf\"} 2",
         ] {

@@ -48,7 +48,7 @@ use fenestra_temporal::{FsyncPolicy, Provenance, TemporalStore, WalWriter, WalWr
 use fenestra_wire::repl::{redirect_line, ReplFrame, ShardPosition};
 use serde_json::{Map, Value as Json};
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -58,17 +58,69 @@ use std::time::Instant;
 
 // ----- cross-shard acks -----------------------------------------------------
 
+/// Where (and how) a frame's acknowledgement is delivered. The two
+/// wire planes share one ack table — and therefore one FIFO, vote,
+/// and failure machinery — but render resolutions differently: the
+/// JSONL plane sends pre-built reply lines to its writer thread, the
+/// binary plane sends encoded `Ack`/`Err` frames to the reactor that
+/// owns the connection.
+pub(crate) enum AckSink {
+    /// JSONL: the connection writer's line channel, plus the ack line
+    /// built at admission.
+    Line {
+        /// The connection's outbound line channel.
+        tx: Sender<String>,
+        /// The success line (`{"ok":true,…}`), pre-rendered.
+        line: String,
+    },
+    /// Binary: the owning reactor's outbound byte lane, plus the ack
+    /// identity to encode on resolution.
+    Bin {
+        /// Queue-and-wake handle addressing the connection.
+        out: crate::reactor::OutHandle,
+        /// Per-connection sequence number of the frame's last event.
+        seq: u64,
+        /// Events in the frame.
+        count: u64,
+    },
+}
+
+impl AckSink {
+    /// Deliver the success acknowledgement.
+    fn send_ok(&self) {
+        match self {
+            AckSink::Line { tx, line } => {
+                let _ = tx.send(line.clone());
+            }
+            AckSink::Bin { out, seq, count } => {
+                out.send(fenestra_wire::binary::encode_ack(*seq, *count));
+            }
+        }
+    }
+
+    /// Deliver a failure resolution carrying `msg`.
+    fn send_err(&self, msg: &str) {
+        match self {
+            AckSink::Line { tx, .. } => {
+                let _ = tx.send(proto::error(msg));
+            }
+            AckSink::Bin { out, seq, .. } => {
+                out.send(fenestra_wire::binary::encode_err(*seq, msg));
+            }
+        }
+    }
+}
+
 /// One ingest frame's acknowledgement, shared by every shard the frame
 /// touched. Under durable acks (`--fsync always` with a WAL) the ack
 /// line is released only after each touched shard **votes**: its group
 /// commit covered the frame's part — with `--max-lateness-ms > 0`,
 /// only once the shard's watermark passed the part (see the crate docs,
 /// "Ack semantics and durability"; the PR-4 contract holds per shard).
-struct FrameAck {
+pub(crate) struct FrameAck {
     /// Connection the ack belongs to (release is FIFO per connection).
     conn: u64,
-    sink: Sender<String>,
-    line: String,
+    sink: AckSink,
     /// Touched shards that have not voted yet. At zero the frame is
     /// complete and its line can go out (in per-connection order).
     remaining: AtomicUsize,
@@ -84,12 +136,26 @@ struct FrameAck {
     done: AtomicBool,
 }
 
+impl FrameAck {
+    /// A fresh frame ack awaiting `remaining` shard votes.
+    pub(crate) fn new(conn: u64, sink: AckSink, remaining: usize) -> FrameAck {
+        FrameAck {
+            conn,
+            sink,
+            remaining: AtomicUsize::new(remaining),
+            failed: AtomicBool::new(false),
+            sync_failed: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+        }
+    }
+}
+
 /// Registry of in-flight durable acks, keyed by connection, in socket
 /// (admission) order. Shards vote from their own threads; the table
 /// sends each connection's ack lines strictly in admission order — a
 /// completed frame waits behind an earlier incomplete one, but one
 /// connection's stalled frame never holds up another connection.
-struct AckTable {
+pub(crate) struct AckTable {
     conns: Mutex<HashMap<u64, VecDeque<Arc<FrameAck>>>>,
     /// For the `acks_released` counter: every held line handed to a
     /// writer (ack or failure) counts as one resolved deferral.
@@ -104,9 +170,19 @@ impl AckTable {
         }
     }
 
+    /// Whether connection `conn` still has unresolved frames — the
+    /// reactor keeps an EOF'd binary connection alive until this says
+    /// no, so held acks outlive a client that stops sending.
+    pub(crate) fn has_conn(&self, conn: u64) -> bool {
+        self.conns
+            .lock()
+            .expect("ack table lock")
+            .contains_key(&conn)
+    }
+
     /// Register a frame in admission order. Must happen before any
     /// shard can vote on it (i.e. before the parts are enqueued).
-    fn register(&self, frame: Arc<FrameAck>) {
+    pub(crate) fn register(&self, frame: Arc<FrameAck>) {
         let empty = frame.remaining.load(Ordering::Acquire) == 0;
         if empty {
             frame.done.store(true, Ordering::Release);
@@ -126,7 +202,7 @@ impl AckTable {
     /// Remove a just-registered frame that was never admitted (shed).
     /// Only the registering connection thread calls this, and frames
     /// register sequentially per connection, so it is the back entry.
-    fn unregister_last(&self, frame: &Arc<FrameAck>) {
+    pub(crate) fn unregister_last(&self, frame: &Arc<FrameAck>) {
         let mut map = self.conns.lock().expect("ack table lock");
         if let Some(q) = map.get_mut(&frame.conn) {
             if q.back().is_some_and(|b| Arc::ptr_eq(b, frame)) {
@@ -157,18 +233,17 @@ impl AckTable {
         let Some(q) = map.get_mut(&conn) else { return };
         while q.front().is_some_and(|f| f.done.load(Ordering::Acquire)) {
             let f = q.pop_front().expect("checked front");
-            let line = if f.sync_failed.load(Ordering::Acquire) {
-                proto::error(
+            self.metrics.acks_released.fetch_add(1, Ordering::Relaxed);
+            if f.sync_failed.load(Ordering::Acquire) {
+                f.sink.send_err(
                     "sync replication timed out; events durable locally but not \
                      confirmed by enough replicas",
-                )
+                );
             } else if f.failed.load(Ordering::Acquire) {
-                proto::error("WAL append failed; events not durable")
+                f.sink.send_err("WAL append failed; events not durable");
             } else {
-                f.line.clone()
-            };
-            self.metrics.acks_released.fetch_add(1, Ordering::Relaxed);
-            let _ = f.sink.send(line);
+                f.sink.send_ok();
+            }
         }
         if q.is_empty() {
             map.remove(&conn);
@@ -184,7 +259,7 @@ impl AckTable {
         for (_, q) in map.drain() {
             for f in q {
                 self.metrics.acks_released.fetch_add(1, Ordering::Relaxed);
-                let _ = f.sink.send(proto::error(msg));
+                f.sink.send_err(msg);
             }
         }
     }
@@ -211,6 +286,12 @@ struct SyncWait {
 enum GateMsg {
     /// Park these locally-durable parts until followers cover them.
     Wait(SyncWait),
+    /// A follower's coverage advanced (sent by the [`AckTracker`]
+    /// notify hook): re-check the parked waits now instead of on the
+    /// next timeout tick. This is what makes the gate event-driven —
+    /// without it, every sync-replicated ack ate up to a full polling
+    /// interval of pure wakeup latency.
+    Poke,
     /// Shutdown barrier: resolve every parked wait (followers keep
     /// acking during the drain — shipping is still running), confirm,
     /// and exit. Terminal: no `Wait` is accepted after it, and none can
@@ -237,8 +318,12 @@ struct SyncGateCtx {
     obs: Arc<PipelineObs>,
 }
 
-/// The sync-gate thread: park covered-locally parts, poll follower
-/// coverage, release (or time out) in per-shard FIFO order.
+/// The sync-gate thread: park covered-locally parts and release (or
+/// time out) in per-shard FIFO order. Event-driven: coverage advances
+/// arrive as [`GateMsg::Poke`] from the ack tracker's notify hook, so
+/// the only timed wake-up left is each front wait's *own* timeout
+/// deadline — an idle gate sleeps, a busy gate wakes exactly when a
+/// follower acks or a wait expires.
 fn sync_gate_loop(ctx: SyncGateCtx) {
     let mut queues: Vec<VecDeque<SyncWait>> = Vec::new();
     let mut open = true;
@@ -249,11 +334,20 @@ fn sync_gate_loop(ctx: SyncGateCtx) {
         }
         let msg = if !open {
             // Channel gone but waits remain: poll coverage until the
-            // timeouts clear them.
+            // timeouts clear them. (Unreachable in practice — the
+            // notify hook keeps a sender alive — but harmless.)
             thread::sleep(std::time::Duration::from_millis(2));
             None
         } else if busy {
-            match ctx.rx.recv_timeout(std::time::Duration::from_millis(2)) {
+            // Sleep until the earliest front-wait deadline; a Poke or
+            // a new Wait cuts the sleep short.
+            let next_deadline = queues
+                .iter()
+                .filter_map(|q| q.front())
+                .map(|w| (w.since + ctx.timeout).saturating_duration_since(Instant::now()))
+                .min()
+                .unwrap_or(std::time::Duration::from_millis(1));
+            match ctx.rx.recv_timeout(next_deadline) {
                 Ok(m) => Some(m),
                 Err(channel::RecvTimeoutError::Timeout) => None,
                 Err(channel::RecvTimeoutError::Disconnected) => {
@@ -271,6 +365,7 @@ fn sync_gate_loop(ctx: SyncGateCtx) {
             }
         };
         match msg {
+            Some(GateMsg::Poke) => {}
             Some(GateMsg::Wait(w)) => {
                 if queues.len() <= w.shard as usize {
                     queues.resize_with(w.shard as usize + 1, VecDeque::new);
@@ -339,29 +434,33 @@ fn gate_pass(ctx: &SyncGateCtx, queues: &mut [VecDeque<SyncWait>]) {
 // ----- shard commands -------------------------------------------------------
 
 /// A frame part's ack bookkeeping, carried with the part to its shard.
-struct AckPart {
-    frame: Arc<FrameAck>,
+pub(crate) struct AckPart {
+    pub(crate) frame: Arc<FrameAck>,
     /// Highest event timestamp in *this shard's part* (`None` never
     /// occurs for sent parts — empty parts are not sent — but a frame
     /// dropped entirely as late still yields a covered vote).
-    max_ts: Option<Timestamp>,
+    pub(crate) max_ts: Option<Timestamp>,
     /// When the connection thread admitted the frame; the `ack_hold_us`
     /// stage measures from here to the covering vote.
-    admitted: Instant,
+    pub(crate) admitted: Instant,
 }
 
 /// One shard's history span list, ids already resolved.
 type HistorySpans = Vec<(Interval, Value, Provenance)>;
 
 /// Commands consumed by a shard thread.
-enum ShardCmd {
-    /// This shard's part of an ingest frame. The shard greedily
-    /// coalesces consecutive parts into one group commit and votes the
-    /// attached acks once its WAL fsync covers them. `enqueued` is when
-    /// the connection thread sent the part (the `queue_wait_us` stage).
+pub(crate) enum ShardCmd {
+    /// This shard's part of one or more ingest frames. The shard
+    /// greedily coalesces consecutive parts into one group commit and
+    /// votes the attached acks once its WAL fsync covers them. The
+    /// JSONL plane sends one part per frame; the reactor coalesces
+    /// every frame it decoded from one socket drain into a single part
+    /// carrying one [`AckPart`] per frame (bigger group commits from
+    /// the same queue depth). `enqueued` is when the front door sent
+    /// the part (the `queue_wait_us` stage).
     Ingest {
         evs: Vec<Event>,
-        ack: Option<AckPart>,
+        acks: Vec<AckPart>,
         enqueued: Instant,
     },
     /// Single-shard deployments: the full legacy query path, returning
@@ -471,20 +570,22 @@ impl ReplState {
     }
 }
 
-/// Shared context for connection threads.
-struct ConnCtx {
-    shard_txs: Vec<Sender<ShardCmd>>,
-    router: Arc<ShardRouter>,
-    ack_table: Arc<AckTable>,
+/// Shared context for connection threads and the reactor pool.
+pub(crate) struct ConnCtx {
+    pub(crate) shard_txs: Vec<Sender<ShardCmd>>,
+    pub(crate) router: Arc<ShardRouter>,
+    pub(crate) ack_table: Arc<AckTable>,
     coord: Arc<ShutdownCoord>,
-    backpressure: Backpressure,
+    pub(crate) backpressure: Backpressure,
     /// `--fsync always` with a WAL: acks are deferred until every
     /// touched shard's group commit covers the frame.
-    durable_acks: bool,
-    metrics: Arc<ServerMetrics>,
-    obs: Arc<PipelineObs>,
+    pub(crate) durable_acks: bool,
+    /// Cap on one frame's payload (binary) or one line (JSONL).
+    pub(crate) max_frame_bytes: usize,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) obs: Arc<PipelineObs>,
     repl: Option<Arc<ReplState>>,
-    shutdown: Arc<AtomicBool>,
+    pub(crate) shutdown: Arc<AtomicBool>,
 }
 
 /// The server entry point; see [`Server::start`].
@@ -500,7 +601,7 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     coord: Arc<ShutdownCoord>,
     shard_threads: Vec<JoinHandle<()>>,
-    listener_thread: Option<JoinHandle<()>>,
+    reactor_threads: Vec<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<()>>,
     repl_thread: Option<JoinHandle<()>>,
     follower_thread: Option<JoinHandle<()>>,
@@ -595,6 +696,8 @@ impl Server {
             sync_replicas,
             sync_timeout,
             sync_fallback,
+            max_frame_bytes,
+            reactors,
         } = config;
         let shards = shards.max(1);
         let durable_acks = wal_path.is_some() && fsync == FsyncPolicy::Always;
@@ -750,6 +853,12 @@ impl Server {
         let ack_tracker = Arc::new(AckTracker::new());
         let (sync_tx, sync_thread) = if sync_replicas > 0 {
             let (tx, rx) = channel::unbounded();
+            // Event-driven gate: follower coverage advances poke the
+            // gate awake instead of it polling on a fixed tick.
+            let poke = tx.clone();
+            ack_tracker.set_notify(move || {
+                let _ = poke.send(GateMsg::Poke);
+            });
             let gctx = SyncGateCtx {
                 rx,
                 tracker: ack_tracker.clone(),
@@ -806,7 +915,12 @@ impl Server {
             replicate_addr,
         });
 
-        let listener_thread = {
+        // The front door: an epoll reactor pool replaces the old
+        // accept thread. Reactor 0 owns the listener; connections are
+        // classified by their first bytes — binary-magic connections
+        // stay on the reactors, anything else gets the classic
+        // thread-per-connection JSONL loop (see [`crate::reactor`]).
+        let reactor_pool = {
             let ctx = Arc::new(ConnCtx {
                 shard_txs: shard_txs.clone(),
                 router,
@@ -814,14 +928,13 @@ impl Server {
                 coord: coord.clone(),
                 backpressure,
                 durable_acks,
+                max_frame_bytes,
                 metrics: metrics.clone(),
                 obs: obs.clone(),
                 repl: repl.clone(),
                 shutdown: shutdown.clone(),
             });
-            thread::Builder::new()
-                .name("fenestra-accept".into())
-                .spawn(move || accept_loop(listener, ctx))?
+            crate::reactor::start(listener, ctx, crate::reactor::auto_reactors(reactors))?
         };
 
         // Prometheus exposition listener: plain HTTP, one thread,
@@ -949,7 +1062,7 @@ impl Server {
             shutdown,
             coord,
             shard_threads,
-            listener_thread: Some(listener_thread),
+            reactor_threads: reactor_pool.threads,
             metrics_thread,
             repl_thread,
             follower_thread,
@@ -1005,13 +1118,13 @@ impl ServerHandle {
         self.join();
     }
 
-    /// Wait for the shard and listener threads to exit (e.g. after a
+    /// Wait for the shard and reactor threads to exit (e.g. after a
     /// client issued the `shutdown` command).
     pub fn join(&mut self) {
         for t in self.shard_threads.drain(..) {
             let _ = t.join();
         }
-        if let Some(t) = self.listener_thread.take() {
+        for t in self.reactor_threads.drain(..) {
             let _ = t.join();
         }
         if let Some(t) = self.metrics_thread.take() {
@@ -1301,7 +1414,11 @@ fn shard_loop(ctx: ShardCtx) {
         // standing watches are not re-polled on their account.
         let mut poll = false;
         match cmd {
-            ShardCmd::Ingest { evs, ack, enqueued } => {
+            ShardCmd::Ingest {
+                evs,
+                acks: ack,
+                enqueued,
+            } => {
                 let dequeued = Instant::now();
                 obs.queue_wait_us
                     .record(dequeued.saturating_duration_since(enqueued).as_micros() as u64);
@@ -1313,7 +1430,11 @@ fn shard_loop(ctx: ShardCtx) {
                 let mut acks: VecDeque<AckPart> = ack.into_iter().collect();
                 while batch.len() < batch_max {
                     match rx.try_recv() {
-                        Ok(ShardCmd::Ingest { evs, ack, enqueued }) => {
+                        Ok(ShardCmd::Ingest {
+                            evs,
+                            acks: ack,
+                            enqueued,
+                        }) => {
                             obs.queue_wait_us.record(
                                 dequeued.saturating_duration_since(enqueued).as_micros() as u64,
                             );
@@ -2240,49 +2361,157 @@ fn snapshot(engine: &Engine, path: &Option<PathBuf>, shard: u32, shards_total: u
 
 // ----- connection threads ---------------------------------------------------
 
-fn accept_loop(listener: TcpListener, ctx: Arc<ConnCtx>) {
-    for stream in listener.incoming() {
-        if ctx.shutdown.load(Ordering::SeqCst) {
-            break;
+/// Outcome of one capped line read.
+enum LineRead {
+    /// Clean end of stream (a trailing unterminated line is yielded
+    /// first, matching `BufRead::lines`).
+    Eof,
+    /// One line is in the buffer (terminator stripped).
+    Line,
+    /// The line exceeded `--max-frame-bytes`; it was consumed and
+    /// discarded through its terminator, so the stream stays in sync.
+    TooLong,
+}
+
+/// Read one `\n`-terminated line into `out` without ever buffering
+/// more than `cap` bytes of it — the JSONL half of the
+/// `--max-frame-bytes` guard. Unlike the binary plane (where an
+/// oversize declared length poisons the framing), a too-long line has
+/// a self-evident resynchronization point: the next newline.
+fn read_line_capped<R: BufRead>(
+    r: &mut R,
+    out: &mut Vec<u8>,
+    cap: usize,
+) -> std::io::Result<LineRead> {
+    out.clear();
+    loop {
+        let (found, used) = {
+            let buf = r.fill_buf()?;
+            if buf.is_empty() {
+                return Ok(if out.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                });
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if out.len() + pos > cap {
+                        (Some(LineRead::TooLong), pos + 1)
+                    } else {
+                        out.extend_from_slice(&buf[..pos]);
+                        (Some(LineRead::Line), pos + 1)
+                    }
+                }
+                None => {
+                    if out.len() + buf.len() > cap {
+                        out.clear();
+                        // Oversize: skip the rest of the line.
+                        let skipped = skip_to_newline(r)?;
+                        return Ok(if skipped {
+                            LineRead::TooLong
+                        } else {
+                            LineRead::Eof
+                        });
+                    }
+                    out.extend_from_slice(buf);
+                    (None, buf.len())
+                }
+            }
+        };
+        r.consume(used);
+        if let Some(res) = found {
+            return Ok(res);
         }
-        let Ok(stream) = stream else { continue };
-        // The connection counter doubles as the connection id held
-        // acks are keyed by (see [`FrameAck::conn`]).
-        let conn_id = ctx.metrics.connections.fetch_add(1, Ordering::Relaxed);
-        let ctx = ctx.clone();
-        let _ = thread::Builder::new()
-            .name("fenestra-conn".into())
-            .spawn(move || handle_conn(stream, ctx, conn_id));
     }
 }
 
-fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64) {
+/// Discard bytes through the next `\n`. Returns false on EOF.
+fn skip_to_newline<R: BufRead>(r: &mut R) -> std::io::Result<bool> {
+    loop {
+        let (end, used) = {
+            let buf = r.fill_buf()?;
+            if buf.is_empty() {
+                return Ok(false);
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => (true, pos + 1),
+                None => (false, buf.len()),
+            }
+        };
+        r.consume(used);
+        if end {
+            return Ok(true);
+        }
+    }
+}
+
+/// The classic JSONL connection loop, fed by the reactor once a
+/// connection's first bytes rule out the binary magic. `prefix` is
+/// whatever the reactor already read during detection; it is replayed
+/// ahead of the socket so no byte is lost.
+pub(crate) fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64, prefix: Vec<u8>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     // All outbound lines — acks, replies, watch deltas — funnel
     // through one channel so a single writer owns the socket and the
-    // per-connection ordering is explicit.
+    // per-connection ordering is explicit. The writer coalesces: one
+    // blocking recv, then a greedy sweep of whatever else is queued,
+    // one write + flush for the lot — under held-ack bursts (a group
+    // commit releasing dozens of acks at once) that is one syscall
+    // pair instead of one per line.
     let (out_tx, out_rx) = channel::unbounded::<String>();
     let writer = {
         let metrics = ctx.metrics.clone();
         thread::spawn(move || {
             let mut w = BufWriter::new(write_half);
-            for line in out_rx.iter() {
+            let mut batch = String::new();
+            while let Ok(first) = out_rx.recv() {
+                batch.clear();
+                batch.push_str(&first);
+                batch.push('\n');
+                while batch.len() < 1 << 20 {
+                    match out_rx.try_recv() {
+                        Ok(line) => {
+                            batch.push_str(&line);
+                            batch.push('\n');
+                        }
+                        Err(_) => break,
+                    }
+                }
                 metrics
                     .bytes_out
-                    .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
-                if writeln!(w, "{line}").and_then(|()| w.flush()).is_err() {
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                if w.write_all(batch.as_bytes())
+                    .and_then(|()| w.flush())
+                    .is_err()
+                {
                     break;
                 }
             }
         })
     };
 
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(std::io::Cursor::new(prefix).chain(stream));
+    let mut raw = Vec::new();
     let mut seq = 0u64;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    loop {
+        let line = match read_line_capped(&mut reader, &mut raw, ctx.max_frame_bytes) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                let _ = out_tx.send(proto::error(&format!(
+                    "frame too large: line exceeds max-frame-bytes {}; line discarded",
+                    ctx.max_frame_bytes
+                )));
+                continue;
+            }
+            Ok(LineRead::Line) => match std::str::from_utf8(&raw) {
+                Ok(s) => s,
+                Err(_) => break,
+            },
+            Err(_) => break,
+        };
         ctx.metrics
             .bytes_in
             .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
@@ -2628,15 +2857,14 @@ fn ingest(
     let targets: Vec<usize> = (0..shards).filter(|&i| !parts[i].is_empty()).collect();
 
     let frame_ack = if ctx.durable_acks {
-        let f = Arc::new(FrameAck {
-            conn: conn_id,
-            sink: out_tx.clone(),
-            line: ack_line.clone(),
-            remaining: AtomicUsize::new(targets.len()),
-            failed: AtomicBool::new(false),
-            sync_failed: AtomicBool::new(false),
-            done: AtomicBool::new(false),
-        });
+        let f = Arc::new(FrameAck::new(
+            conn_id,
+            AckSink::Line {
+                tx: out_tx.clone(),
+                line: ack_line.clone(),
+            },
+            targets.len(),
+        ));
         // Register before any part can be voted on; an empty frame
         // completes immediately (but still queues behind earlier
         // frames' acks).
@@ -2672,7 +2900,7 @@ fn ingest(
                 });
                 let cmd = ShardCmd::Ingest {
                     evs: part,
-                    ack,
+                    acks: ack.into_iter().collect(),
                     enqueued: t_admit,
                 };
                 let sent = match ctx.backpressure {

@@ -1,0 +1,711 @@
+//! Binary ingest plane: length-prefixed, CRC32-framed record batches.
+//!
+//! A connection opts into this plane by sending the 4-byte magic
+//! [`MAGIC`] (`FNB1`) as its very first bytes; anything else falls
+//! back to the JSONL plane, so existing clients keep working
+//! unmodified. The `FNB` prefix is reserved for future frame-format
+//! revisions (`FNB2`, …) — a JSONL request can never start with it
+//! because JSONL requests start with `{`.
+//!
+//! After the magic, the stream is a sequence of frames reusing the
+//! WAL's framing discipline (`fenestra_temporal::wal_file`):
+//!
+//! ```text
+//! [len: u32 BE][crc32: u32 BE][payload: len bytes]
+//! ```
+//!
+//! `crc32` covers the payload only (same polynomial and bit order as
+//! the WAL segments). The first payload byte is the frame kind:
+//!
+//! | kind | dir | body |
+//! |------|-----|------|
+//! | 0x01 `Batch`  | c→s | `stream: str16`, `dict: u16 × str16`, `n: u32`, then per event `ts: u64`, `nf: u16`, and per field `attr: u16` (dict index), `tag: u8`, value bytes |
+//! | 0x02 `Sync`   | c→s | empty — a processing barrier, answered by `Synced` |
+//! | 0x81 `Ack`    | s→c | `seq: u64`, `count: u32` — same admitted-vs-durable semantics as the JSONL ack |
+//! | 0x82 `Err`    | s→c | `seq: u64` (0 when not frame-specific), `msg: str16` |
+//! | 0x83 `Synced` | s→c | empty |
+//!
+//! `str16` is `[len: u16 BE][utf8 bytes]`. All integers are
+//! big-endian. Value tags: 0 null, 1 false, 2 true, 3 int (`i64`),
+//! 4 float (`f64` bits), 5 string (`u16` dict index), 6 entity id
+//! (`u64`), 7 timestamp (`u64`).
+//!
+//! The dictionary holds every attribute name and string value of the
+//! batch exactly once, so the per-event encoding is a packed tuple
+//! stream — and the decoder interns each dict entry once per frame,
+//! touching no per-field allocation on the hot path.
+
+use fenestra_base::error::{Error, Result};
+use fenestra_base::record::{Event, Record};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::{EntityId, Value};
+use fenestra_temporal::wal_file::crc32;
+use std::io::Read;
+
+/// First bytes of a binary-plane connection. The `FNB` prefix is
+/// reserved; the trailing digit versions the frame format.
+pub const MAGIC: [u8; 4] = *b"FNB1";
+
+/// Bytes before the payload: `[len: u32][crc32: u32]`.
+pub const HEADER_LEN: usize = 8;
+
+/// Default cap on a single frame's payload (`--max-frame-bytes`).
+pub const DEFAULT_MAX_FRAME: usize = 8 * 1024 * 1024;
+
+// Frame kinds (first payload byte).
+const KIND_BATCH: u8 = 0x01;
+const KIND_SYNC: u8 = 0x02;
+const KIND_ACK: u8 = 0x81;
+const KIND_ERR: u8 = 0x82;
+const KIND_SYNCED: u8 = 0x83;
+
+// Value tags inside a batch.
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_ID: u8 = 6;
+const TAG_TIME: u8 = 7;
+
+/// One decoded frame, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A batch of events for one stream (client → server).
+    Batch {
+        /// The stream every event in the batch belongs to.
+        stream: Symbol,
+        /// The events, in arrival order.
+        events: Vec<Event>,
+    },
+    /// Processing barrier (client → server); answered by [`Frame::Synced`].
+    Sync,
+    /// Frame acknowledged (server → client); `seq` is the running
+    /// per-connection event sequence number of the batch's last event.
+    Ack {
+        /// Sequence number of the last event covered by this ack.
+        seq: u64,
+        /// Number of events in the acked frame.
+        count: u64,
+    },
+    /// Request failed (server → client); `seq` 0 means the error is
+    /// not tied to a specific ingest frame.
+    Err {
+        /// Sequence number of the failed frame's last event, or 0.
+        seq: u64,
+        /// Human-readable reason.
+        msg: String,
+    },
+    /// Barrier reply: everything admitted before the matching
+    /// [`Frame::Sync`] on this connection has been processed.
+    Synced,
+}
+
+/// Result of probing a read buffer for the next frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameStatus {
+    /// Not enough bytes buffered; retry once at least `need` total
+    /// bytes are available.
+    NeedMore {
+        /// Minimum total buffered bytes before the next probe can
+        /// make progress.
+        need: usize,
+    },
+    /// A CRC-valid frame occupies `buf[..end]`; its payload is
+    /// `buf[HEADER_LEN..end]`.
+    Ready {
+        /// One past the frame's last byte in the buffer.
+        end: usize,
+    },
+}
+
+/// Probe `buf` for a complete frame without copying. Enforces
+/// `max_frame` on the declared payload length *before* buffering it
+/// (a hostile length prefix cannot make the server allocate), and
+/// verifies the CRC once the payload is complete.
+pub fn check_frame(buf: &[u8], max_frame: usize) -> Result<FrameStatus> {
+    if buf.len() < HEADER_LEN {
+        return Ok(FrameStatus::NeedMore { need: HEADER_LEN });
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > max_frame {
+        return Err(Error::Invalid(format!(
+            "frame too large: {len} bytes exceeds max-frame-bytes {max_frame}"
+        )));
+    }
+    let end = HEADER_LEN + len;
+    if buf.len() < end {
+        return Ok(FrameStatus::NeedMore { need: end });
+    }
+    let want = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let got = crc32(&buf[HEADER_LEN..end]);
+    if want != got {
+        return Err(Error::Invalid(format!(
+            "frame CRC mismatch: header {want:#010x}, payload {got:#010x}"
+        )));
+    }
+    Ok(FrameStatus::Ready { end })
+}
+
+/// Decode one CRC-verified payload (the `buf[HEADER_LEN..end]` slice
+/// a [`FrameStatus::Ready`] points at).
+pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8()?;
+    let frame = match kind {
+        KIND_BATCH => decode_batch(&mut c)?,
+        KIND_SYNC => Frame::Sync,
+        KIND_ACK => Frame::Ack {
+            seq: c.u64()?,
+            count: u64::from(c.u32()?),
+        },
+        KIND_ERR => Frame::Err {
+            seq: c.u64()?,
+            msg: c.str16()?.to_string(),
+        },
+        KIND_SYNCED => Frame::Synced,
+        other => {
+            return Err(Error::Invalid(format!("unknown frame kind {other:#04x}")));
+        }
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+fn decode_batch(c: &mut Cursor<'_>) -> Result<Frame> {
+    let stream = Symbol::intern(c.str16()?);
+    let dict_len = c.u16()? as usize;
+    // Interned once per frame; per-field decoding below is a table
+    // lookup, not a string allocation.
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict.push(Symbol::intern(c.str16()?));
+    }
+    let sym = |i: u16| -> Result<Symbol> {
+        dict.get(i as usize)
+            .copied()
+            .ok_or_else(|| Error::Invalid(format!("dict index {i} out of range (len {dict_len})")))
+    };
+    let n = c.u32()? as usize;
+    // Guard the event-count prefix the same way the frame length is
+    // guarded: each event costs at least 10 payload bytes, so a count
+    // that cannot fit in the remaining payload is rejected before any
+    // allocation.
+    if n > c.remaining() / 10 {
+        return Err(Error::Invalid(format!(
+            "batch claims {n} events but only {} payload bytes remain",
+            c.remaining()
+        )));
+    }
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ts = Timestamp::new(c.u64()?);
+        let nf = c.u16()? as usize;
+        let mut record = Record::new();
+        for _ in 0..nf {
+            let attr = sym(c.u16()?)?;
+            let value = match c.u8()? {
+                TAG_NULL => Value::Null,
+                TAG_FALSE => Value::Bool(false),
+                TAG_TRUE => Value::Bool(true),
+                TAG_INT => Value::Int(c.u64()? as i64),
+                TAG_FLOAT => Value::Float(f64::from_bits(c.u64()?)),
+                TAG_STR => Value::Str(sym(c.u16()?)?),
+                TAG_ID => Value::Id(EntityId(c.u64()?)),
+                TAG_TIME => Value::Time(Timestamp::new(c.u64()?)),
+                t => return Err(Error::Invalid(format!("unknown value tag {t}"))),
+            };
+            record.set(attr, value);
+        }
+        events.push(Event::new(stream, ts, record));
+    }
+    Ok(Frame::Batch { stream, events })
+}
+
+// ----- encoding -------------------------------------------------------------
+
+/// Encode a batch frame (header included). Fails only on format
+/// limits: > 65535 distinct strings, > 65535 fields in one event, or
+/// > `u32::MAX` events.
+pub fn encode_batch(stream: &str, events: &[Event]) -> Result<Vec<u8>> {
+    let mut dict: Vec<Symbol> = Vec::new();
+    let index = |s: Symbol, dict: &mut Vec<Symbol>| -> Result<u16> {
+        let i = match dict.iter().position(|&d| d == s) {
+            Some(i) => i,
+            None => {
+                dict.push(s);
+                dict.len() - 1
+            }
+        };
+        u16::try_from(i)
+            .map_err(|_| Error::Invalid("batch dictionary exceeds 65535 strings".into()))
+    };
+    // First pass: build the dictionary in first-use order. One encoded
+    // event is its timestamp plus `(attr index, value tag, value bits)`
+    // per field.
+    type EncodedEvent = (u64, Vec<(u16, u8, u64)>);
+    let mut tuples: Vec<EncodedEvent> = Vec::with_capacity(events.len());
+    for ev in events {
+        let mut fields = Vec::with_capacity(ev.record.len());
+        for (attr, v) in ev.record.iter() {
+            let ai = index(attr, &mut dict)?;
+            let (tag, bits) = match v {
+                Value::Null => (TAG_NULL, 0),
+                Value::Bool(false) => (TAG_FALSE, 0),
+                Value::Bool(true) => (TAG_TRUE, 0),
+                Value::Int(i) => (TAG_INT, *i as u64),
+                Value::Float(f) => (TAG_FLOAT, f.to_bits()),
+                Value::Str(s) => (TAG_STR, u64::from(index(*s, &mut dict)?)),
+                Value::Id(e) => (TAG_ID, e.0),
+                Value::Time(t) => (TAG_TIME, t.millis()),
+            };
+            fields.push((ai, tag, bits));
+        }
+        if u16::try_from(fields.len()).is_err() {
+            return Err(Error::Invalid("event exceeds 65535 fields".into()));
+        }
+        tuples.push((ev.ts.millis(), fields));
+    }
+    let n = u32::try_from(events.len())
+        .map_err(|_| Error::Invalid("batch exceeds u32::MAX events".into()))?;
+
+    let mut p = Payload::new(KIND_BATCH);
+    p.str16(stream)?;
+    p.u16(dict.len() as u16);
+    for s in &dict {
+        p.str16(s.as_str())?;
+    }
+    p.u32(n);
+    for (ts, fields) in &tuples {
+        p.u64(*ts);
+        p.u16(fields.len() as u16);
+        for (attr, tag, bits) in fields {
+            p.u16(*attr);
+            p.u8(*tag);
+            match *tag {
+                TAG_NULL | TAG_FALSE | TAG_TRUE => {}
+                TAG_STR => p.u16(*bits as u16),
+                _ => p.u64(*bits),
+            }
+        }
+    }
+    Ok(p.frame())
+}
+
+/// Encode a `Sync` barrier frame.
+pub fn encode_sync() -> Vec<u8> {
+    Payload::new(KIND_SYNC).frame()
+}
+
+/// Encode an `Ack` reply frame.
+pub fn encode_ack(seq: u64, count: u64) -> Vec<u8> {
+    let mut p = Payload::new(KIND_ACK);
+    p.u64(seq);
+    p.u32(count.min(u64::from(u32::MAX)) as u32);
+    p.frame()
+}
+
+/// Encode an `Err` reply frame (`seq` 0 when not frame-specific). The
+/// message is truncated to the `str16` limit rather than failing —
+/// an error about an error helps nobody.
+pub fn encode_err(seq: u64, msg: &str) -> Vec<u8> {
+    let mut truncated = msg;
+    while truncated.len() > u16::MAX as usize {
+        let cut = truncated
+            .char_indices()
+            .map(|(i, _)| i)
+            .take_while(|&i| i <= u16::MAX as usize)
+            .last()
+            .unwrap_or(0);
+        truncated = &truncated[..cut];
+    }
+    let mut p = Payload::new(KIND_ERR);
+    p.u64(seq);
+    p.str16(truncated).expect("length capped above");
+    p.frame()
+}
+
+/// Encode a `Synced` reply frame.
+pub fn encode_synced() -> Vec<u8> {
+    Payload::new(KIND_SYNCED).frame()
+}
+
+/// Blocking read of exactly one frame — the client half for tests,
+/// benches, and simple integrations. Returns `None` on clean EOF at a
+/// frame boundary.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(Error::Invalid("connection closed mid-frame".into())),
+            Ok(k) => got += k,
+            Err(e) => return Err(Error::Invalid(format!("read failed: {e}"))),
+        }
+    }
+    let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if len > max_frame {
+        return Err(Error::Invalid(format!(
+            "frame too large: {len} bytes exceeds max-frame-bytes {max_frame}"
+        )));
+    }
+    let mut buf = vec![0u8; HEADER_LEN + len];
+    buf[..HEADER_LEN].copy_from_slice(&header);
+    let mut at = HEADER_LEN;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) => return Err(Error::Invalid("connection closed mid-frame".into())),
+            Ok(k) => at += k,
+            Err(e) => return Err(Error::Invalid(format!("read failed: {e}"))),
+        }
+    }
+    match check_frame(&buf, max_frame)? {
+        FrameStatus::Ready { end } => decode_payload(&buf[HEADER_LEN..end]).map(Some),
+        FrameStatus::NeedMore { .. } => unreachable!("whole frame was read"),
+    }
+}
+
+// ----- internals ------------------------------------------------------------
+
+/// Bounds-checked big-endian reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, at: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Invalid(format!(
+                "truncated frame payload: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str16(&mut self) -> Result<&'a str> {
+        let n = self.u16()? as usize;
+        std::str::from_utf8(self.take(n)?)
+            .map_err(|_| Error::Invalid("string field is not valid UTF-8".into()))
+    }
+
+    /// A well-formed payload is consumed exactly; trailing bytes mean
+    /// a framing bug on the peer, not something to ignore.
+    fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(Error::Invalid(format!(
+                "{} trailing bytes after frame payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Payload builder that finishes into a framed `[len][crc][payload]`.
+struct Payload {
+    // The payload is built in place after a header-sized hole so
+    // `frame()` never copies.
+    buf: Vec<u8>,
+}
+
+impl Payload {
+    fn new(kind: u8) -> Payload {
+        let mut buf = vec![0u8; HEADER_LEN];
+        buf.push(kind);
+        Payload { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn str16(&mut self, s: &str) -> Result<()> {
+        let n = u16::try_from(s.len()).map_err(|_| {
+            Error::Invalid(format!("string exceeds 65535 bytes: {} bytes", s.len()))
+        })?;
+        self.u16(n);
+        self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+
+    fn frame(mut self) -> Vec<u8> {
+        let len = (self.buf.len() - HEADER_LEN) as u32;
+        let crc = crc32(&self.buf[HEADER_LEN..]);
+        self.buf[..4].copy_from_slice(&len.to_be_bytes());
+        self.buf[4..8].copy_from_slice(&crc.to_be_bytes());
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ev(stream: &str, ts: u64, pairs: &[(&str, Value)]) -> Event {
+        Event::from_pairs(stream, ts, pairs.iter().map(|(n, v)| (*n, *v)))
+    }
+
+    fn round_trip(stream: &str, events: Vec<Event>) -> (Symbol, Vec<Event>) {
+        let frame = encode_batch(stream, &events).unwrap();
+        let FrameStatus::Ready { end } = check_frame(&frame, DEFAULT_MAX_FRAME).unwrap() else {
+            panic!("whole frame must be ready");
+        };
+        assert_eq!(end, frame.len());
+        match decode_payload(&frame[HEADER_LEN..end]).unwrap() {
+            Frame::Batch { stream, events } => (stream, events),
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_round_trips_every_value_kind() {
+        let events = vec![
+            ev(
+                "s",
+                1,
+                &[
+                    ("null", Value::Null),
+                    ("no", Value::Bool(false)),
+                    ("yes", Value::Bool(true)),
+                    ("int", Value::Int(-42)),
+                    ("float", Value::Float(2.5)),
+                    ("str", Value::str("hello")),
+                    ("id", Value::Id(EntityId(7))),
+                    ("time", Value::Time(Timestamp::new(123))),
+                ],
+            ),
+            ev("s", u64::MAX, &[("int", Value::Int(i64::MIN))]),
+            ev("s", 0, &[]),
+        ];
+        let (stream, decoded) = round_trip("s", events.clone());
+        assert_eq!(stream, Symbol::intern("s"));
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn dict_is_shared_across_events_and_attrs() {
+        // 100 events with the same attrs/values: the dictionary should
+        // pay for each string once, so the frame stays far below the
+        // naive repeated-strings size.
+        let events: Vec<Event> = (0..100)
+            .map(|i| {
+                ev(
+                    "metrics",
+                    i,
+                    &[("host", Value::str("web-1")), ("status", Value::str("ok"))],
+                )
+            })
+            .collect();
+        let frame = encode_batch("metrics", &events).unwrap();
+        // Per event: ts(8) + nf(2) + 2×(attr 2 + tag 1 + idx 2) = 20.
+        assert!(frame.len() < HEADER_LEN + 64 + 100 * 21, "{}", frame.len());
+        let (_, decoded) = round_trip("metrics", events.clone());
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        for (bytes, want) in [
+            (encode_sync(), Frame::Sync),
+            (encode_ack(9, 4), Frame::Ack { seq: 9, count: 4 }),
+            (
+                encode_err(0, "shed: ingest queue full"),
+                Frame::Err {
+                    seq: 0,
+                    msg: "shed: ingest queue full".into(),
+                },
+            ),
+            (encode_synced(), Frame::Synced),
+        ] {
+            let FrameStatus::Ready { end } = check_frame(&bytes, 1024).unwrap() else {
+                panic!("ready");
+            };
+            assert_eq!(decode_payload(&bytes[HEADER_LEN..end]).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more() {
+        let frame = encode_batch("s", &[ev("s", 1, &[("x", Value::Int(1))])]).unwrap();
+        for cut in 0..frame.len() {
+            match check_frame(&frame[..cut], DEFAULT_MAX_FRAME).unwrap() {
+                FrameStatus::NeedMore { need } => {
+                    assert!(need > cut, "need {need} must exceed the {cut} buffered");
+                    assert!(need <= frame.len());
+                }
+                FrameStatus::Ready { .. } => panic!("cut {cut} cannot be a whole frame"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let frame = encode_batch("s", &[ev("s", 1, &[("x", Value::Int(1))])]).unwrap();
+        // Flip one payload byte: CRC must catch it.
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let err = check_frame(&bad, DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(err.to_string().contains("CRC"), "{err}");
+        // Oversize length prefix is rejected before buffering.
+        let err = check_frame(&frame, frame.len() - HEADER_LEN - 1).unwrap_err();
+        assert!(err.to_string().contains("max-frame-bytes"), "{err}");
+        // A bogus kind byte fails decode.
+        let mut p = frame.clone();
+        p[HEADER_LEN] = 0x7f;
+        let fixed = {
+            let crc = crc32(&p[HEADER_LEN..]);
+            p[4..8].copy_from_slice(&crc.to_be_bytes());
+            p
+        };
+        let FrameStatus::Ready { end } = check_frame(&fixed, DEFAULT_MAX_FRAME).unwrap() else {
+            panic!("ready");
+        };
+        assert!(decode_payload(&fixed[HEADER_LEN..end]).is_err());
+    }
+
+    #[test]
+    fn hostile_event_count_is_rejected_without_allocation() {
+        // A tiny payload claiming u32::MAX events must fail on the
+        // count check, not attempt a huge Vec::with_capacity.
+        let mut p = Payload::new(KIND_BATCH);
+        p.str16("s").unwrap();
+        p.u16(0); // empty dict
+        p.u32(u32::MAX);
+        let frame = p.frame();
+        let FrameStatus::Ready { end } = check_frame(&frame, DEFAULT_MAX_FRAME).unwrap() else {
+            panic!("ready");
+        };
+        let err = decode_payload(&frame[HEADER_LEN..end]).unwrap_err();
+        assert!(err.to_string().contains("claims"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_framing_error() {
+        let mut p = Payload::new(KIND_SYNC);
+        p.u8(0xaa);
+        let frame = p.frame();
+        let FrameStatus::Ready { end } = check_frame(&frame, 1024).unwrap() else {
+            panic!("ready");
+        };
+        let err = decode_payload(&frame[HEADER_LEN..end]).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn read_frame_pulls_one_frame_from_a_stream() {
+        let mut bytes = encode_ack(1, 1);
+        bytes.extend_from_slice(&encode_synced());
+        let mut r = &bytes[..];
+        assert_eq!(
+            read_frame(&mut r, 1024).unwrap(),
+            Some(Frame::Ack { seq: 1, count: 1 })
+        );
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), Some(Frame::Synced));
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), None, "clean EOF");
+        // EOF mid-frame is an error, not a silent None.
+        let cut = &bytes[..5];
+        let mut r = cut;
+        assert!(read_frame(&mut r, 1024).is_err());
+    }
+
+    // Property: encode → check → decode is the identity on any batch
+    // the encoder accepts (floats generated non-NaN so Event equality
+    // is meaningful).
+    proptest! {
+        #[test]
+        fn prop_batch_round_trip(
+            stream_i in 0u32..8,
+            raw in proptest::collection::vec(
+                (
+                    proptest::collection::vec(
+                        (0u32..16, 0u32..2, -1.0e12f64..1.0e12),
+                        0..8,
+                    ),
+                    0u64..1_000_000,
+                ),
+                0..32,
+            ),
+        ) {
+            let stream = format!("stream-{stream_i}");
+            let events: Vec<Event> = raw
+                .iter()
+                .map(|(fields, ts)| {
+                    let mut r = Record::new();
+                    for (k, which, f) in fields {
+                        let name = format!("attr-{k}");
+                        if *which == 0 {
+                            r.set(name.as_str(), Value::Float(*f));
+                        } else {
+                            r.set(name.as_str(), Value::Int(i64::from(*k)));
+                        }
+                    }
+                    Event::new(stream.as_str(), *ts, r)
+                })
+                .collect();
+            let frame = encode_batch(&stream, &events).unwrap();
+            let FrameStatus::Ready { end } =
+                check_frame(&frame, DEFAULT_MAX_FRAME).unwrap()
+            else {
+                panic!("whole frame must be ready");
+            };
+            prop_assert_eq!(end, frame.len());
+            let Frame::Batch { stream: s, events: got } =
+                decode_payload(&frame[HEADER_LEN..end]).unwrap()
+            else {
+                panic!("expected batch");
+            };
+            prop_assert_eq!(s, Symbol::intern(&stream));
+            prop_assert_eq!(got, events);
+        }
+    }
+}

@@ -23,12 +23,23 @@
 //!
 //! Also home to the [`metrics`] serializer shared by
 //! `fenestra run --metrics-json` and the server's `stats` command.
+//!
+//! # The binary plane and reserved magic
+//!
+//! `fenestrad` serves a second, binary ingest plane on the same port
+//! (see [`binary`]): a connection whose **first four bytes** are the
+//! magic `FNB1` speaks length-prefixed CRC32-framed record batches;
+//! any other first bytes select this JSONL plane. The three-byte
+//! prefix `FNB` is **reserved** for future binary frame-format
+//! revisions (`FNB2`, …) — no JSONL request can collide with it
+//! because JSONL requests always start with `{`.
 
 use fenestra_base::error::{Error, Result};
 use fenestra_base::record::{Event, Record};
 use fenestra_base::value::Value;
 use serde_json::Value as Json;
 
+pub mod binary;
 pub mod metrics;
 pub mod repl;
 

@@ -566,6 +566,78 @@ mod crash {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// The binary plane under `--fsync always`: acks are held until
+    /// the covering WAL fsync, so the moment the client has read a
+    /// batch's `Ack` frame, `kill -9` cannot lose those events — the
+    /// same durability contract as JSONL, through the reactor path.
+    #[test]
+    fn kill9_after_binary_acks_loses_nothing() {
+        use fenestra::prelude::{Event, Value};
+        use fenestra::wire::binary::{self, Frame};
+        use std::io::Write as _;
+
+        let dir = tmp_dir("binary");
+        const BATCHES: u64 = 10;
+        const PER: u64 = 25;
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let mut b = TcpStream::connect(&daemon.addr).expect("connect binary");
+        b.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        b.write_all(&binary::MAGIC).unwrap();
+        // Pipeline all batch frames so the shards can group-commit
+        // across them, then read the (deferred) acks.
+        for batch in 0..BATCHES {
+            let events: Vec<Event> = (1..=PER)
+                .map(|i| {
+                    let n = batch * PER + i;
+                    Event::from_pairs(
+                        "s",
+                        n,
+                        [
+                            ("visitor", Value::str(&format!("v{n}"))),
+                            ("room", Value::str(&format!("r{n}"))),
+                        ],
+                    )
+                })
+                .collect();
+            b.write_all(&binary::encode_batch("s", &events).unwrap())
+                .unwrap();
+        }
+        for batch in 1..=BATCHES {
+            let f = binary::read_frame(&mut b, binary::DEFAULT_MAX_FRAME)
+                .unwrap()
+                .unwrap_or_else(|| panic!("EOF before ack {batch}"));
+            assert_eq!(
+                f,
+                Frame::Ack {
+                    seq: batch * PER,
+                    count: PER
+                },
+                "acks release in admission order"
+            );
+        }
+        // Kill the instant the last ack is read — reading the ack *is*
+        // the durability barrier.
+        daemon.kill9();
+
+        let daemon = Daemon::spawn(&dir, &["--fsync", "always"]);
+        let mut c = daemon.connect();
+        assert_eq!(
+            occupied_rooms(&mut c),
+            (BATCHES * PER) as usize,
+            "every binary-acked event survives kill -9"
+        );
+        let stats = c.call(r#"{"cmd":"stats"}"#);
+        assert!(
+            counter(&stats, "recovered_ops") > 0,
+            "boot replayed the WAL: {stats}"
+        );
+        assert_eq!(counter(&stats, "wal_discarded_bytes"), 0);
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// Under `--fsync on-snapshot`, a kill -9 may lose recent events
     /// but recovery still yields a consistent prefix of acked state.
     #[test]

@@ -681,6 +681,184 @@ fn skewed_connection_drops_attributed_with_lateness_margins() {
     handle.shutdown();
 }
 
+/// The binary plane shares the JSONL listener: a connection whose
+/// first four bytes are the `FNB1` magic speaks length-prefixed
+/// CRC-framed record batches, everything else falls through to JSONL
+/// untouched. Both planes' events land in one store, binary acks
+/// carry event-counting sequence numbers exactly like JSONL `seq`,
+/// and the binary `Sync` barrier round-trips.
+#[test]
+fn binary_and_jsonl_planes_share_one_listener() {
+    use fenestra::prelude::{Event, Value};
+    use fenestra::wire::binary::{self, Frame};
+
+    let config = ServerConfig::new("127.0.0.1:0")
+        .engine(EngineConfig {
+            max_lateness: Duration::hours(1),
+            ..EngineConfig::default()
+        })
+        .setup(|engine| {
+            engine.declare_attr("room", AttrSchema::one());
+            engine
+                .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+                .unwrap();
+        });
+    let mut handle = Server::start(config).expect("start server");
+    let addr = handle.local_addr();
+
+    // A JSONL client, deliberately concurrent with the binary one.
+    let mut j = Client::connect(addr);
+
+    // The binary client: magic first, then pipelined batches.
+    let mut b = TcpStream::connect(addr).expect("connect binary");
+    b.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    b.write_all(&binary::MAGIC).unwrap();
+    let mk = |lo: u64, n: usize| -> Vec<Event> {
+        (0..n)
+            .map(|i| {
+                Event::from_pairs(
+                    "sensors",
+                    lo + i as u64,
+                    [
+                        ("visitor", Value::str(&format!("bin{i}"))),
+                        ("room", Value::str("vault")),
+                    ],
+                )
+            })
+            .collect()
+    };
+    b.write_all(&binary::encode_batch("sensors", &mk(1_000, 8)).unwrap())
+        .unwrap();
+    b.write_all(&binary::encode_batch("sensors", &mk(2_000, 8)).unwrap())
+        .unwrap();
+
+    // JSONL ingest interleaves on the same listener, unaffected.
+    for i in 0..8u64 {
+        let v = j.call(&event(1_500 + i, &format!("jso{i}"), "vault"));
+        assert!(ok(&v), "{v}");
+    }
+
+    // Binary acks count events (not frames), like the JSONL `seq`.
+    let ack = binary::read_frame(&mut b, binary::DEFAULT_MAX_FRAME)
+        .unwrap()
+        .expect("first ack");
+    assert_eq!(ack, Frame::Ack { seq: 8, count: 8 });
+    let ack = binary::read_frame(&mut b, binary::DEFAULT_MAX_FRAME)
+        .unwrap()
+        .expect("second ack");
+    assert_eq!(ack, Frame::Ack { seq: 16, count: 8 });
+
+    // The binary barrier: Sync → Synced proves both batches applied.
+    b.write_all(&binary::encode_sync()).unwrap();
+    let f = binary::read_frame(&mut b, binary::DEFAULT_MAX_FRAME)
+        .unwrap()
+        .expect("synced");
+    assert_eq!(f, Frame::Synced);
+
+    // The plane gauges see one connection per plane (plus client `j`).
+    let v = j.call(r#"{"cmd":"stats"}"#);
+    assert!(ok(&v), "{v}");
+    let server = v.get("server").unwrap();
+    assert_eq!(
+        server.get("conns_binary").and_then(Json::as_u64),
+        Some(1),
+        "{server}"
+    );
+    assert_eq!(
+        server.get("conns_open").and_then(Json::as_u64),
+        Some(2),
+        "{server}"
+    );
+
+    // State equivalence across planes, observed through JSONL: one
+    // store holds both planes' visitors.
+    let v = j.call(&event(4_000_000, "drain", "attic"));
+    assert!(ok(&v));
+    let v = j.call(r#"{"cmd":"sync"}"#);
+    assert_eq!(v.get("synced").and_then(Json::as_bool), Some(true), "{v}");
+    let v = j.call(r#"{"cmd":"query","q":"select ?v where { ?v room \"vault\" }"}"#);
+    assert!(ok(&v), "{v}");
+    assert_eq!(
+        v.get("rows").and_then(Json::as_array).unwrap().len(),
+        16,
+        "8 binary + 8 JSONL visitors in one store: {v}"
+    );
+
+    handle.shutdown();
+}
+
+/// A binary frame whose declared length exceeds `--max-frame-bytes`
+/// is answered with a structured `Err` frame and the connection is
+/// closed — after an oversize or corrupt header the frame boundary is
+/// unknowable, so resync is impossible by design.
+#[test]
+fn binary_oversize_frame_gets_structured_error_then_close() {
+    use fenestra::wire::binary::{self, Frame};
+    use std::io::Write as _;
+
+    let config = ServerConfig::new("127.0.0.1:0").max_frame_bytes(1024);
+    let mut handle = Server::start(config).expect("start server");
+
+    let mut b = TcpStream::connect(handle.local_addr()).expect("connect binary");
+    b.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    b.write_all(&binary::MAGIC).unwrap();
+    // A hand-built header declaring a 2 MiB payload; the server must
+    // reject it from the length prefix alone, before buffering it.
+    let mut hdr = Vec::new();
+    hdr.extend_from_slice(&(2u32 * 1024 * 1024).to_be_bytes());
+    hdr.extend_from_slice(&0u32.to_be_bytes());
+    b.write_all(&hdr).unwrap();
+
+    let f = binary::read_frame(&mut b, binary::DEFAULT_MAX_FRAME)
+        .unwrap()
+        .expect("error frame before close");
+    match f {
+        Frame::Err { seq: 0, ref msg } => {
+            assert!(msg.contains("frame too large"), "{msg}")
+        }
+        other => panic!("expected Err frame, got {other:?}"),
+    }
+    assert!(
+        binary::read_frame(&mut b, binary::DEFAULT_MAX_FRAME)
+            .unwrap()
+            .is_none(),
+        "server closes a connection whose framing is lost"
+    );
+    handle.shutdown();
+}
+
+/// A JSONL line beyond `--max-frame-bytes` is discarded with an error
+/// line — but JSONL framing survives oversize input (the newline is
+/// the resync point), so the connection keeps working.
+#[test]
+fn jsonl_overlong_line_discarded_connection_survives() {
+    let config = ServerConfig::new("127.0.0.1:0").max_frame_bytes(1024);
+    let mut handle = Server::start(config).expect("start server");
+    let mut c = Client::connect(handle.local_addr());
+
+    let big = format!(
+        r#"{{"stream":"sensors","ts":1,"visitor":"x","pad":"{}"}}"#,
+        "x".repeat(4096)
+    );
+    c.send(&big);
+    let v = c.recv();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{v}");
+    assert!(
+        v.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("frame too large"),
+        "{v}"
+    );
+    // Resynced at the newline: the next line is handled normally.
+    let v = c.call(&event(10, "a", "hall"));
+    assert!(ok(&v), "{v}");
+    assert_eq!(v.get("seq").and_then(Json::as_u64), Some(1), "{v}");
+    handle.shutdown();
+}
+
 #[test]
 fn watch_rejects_history_queries() {
     let mut handle = Server::start(ServerConfig::new("127.0.0.1:0")).unwrap();
