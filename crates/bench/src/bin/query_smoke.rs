@@ -1,0 +1,290 @@
+//! Query-plane smoke benchmark: what compiling a statement costs,
+//! what the plan cache saves, and what shared watch subplans buy.
+//!
+//! Three measurements, all in-process:
+//!
+//! 1. **Compile vs cached dispatch** — compile N distinct SQL
+//!    statements cold through a [`PlanCache`], then look one of them
+//!    up M times hot. The cached lookup must be ≥ 10× faster than a
+//!    cold compile; the run fails otherwise (that ratio is the whole
+//!    point of the cache).
+//! 2. **Server-driven cache traffic** — an embedded `fenestrad`
+//!    answers the same statement over JSONL repeatedly; the
+//!    plan-cache hit/miss counters are read back off the Prometheus
+//!    listener (`fenestra_plan_cache_*`), proving the cache is
+//!    visible where operators will look for it.
+//! 3. **Watch subplan sharing** — register 1k watches of one
+//!    identical statement versus 1k watches of distinct statements on
+//!    two fresh servers, comparing registration time and the
+//!    resulting cache entry counts (1 vs 1000).
+//!
+//! Results go to `BENCH_query.json` at the repository root, with a
+//! before/after comparison against the committed numbers printed to
+//! stderr (non-gating; CI surfaces the same diff).
+//!
+//! ```text
+//! cargo run -p fenestra-bench --release --bin query_smoke
+//! ```
+
+use fenestra_core::EngineConfig;
+use fenestra_query::PlanCache;
+use fenestra_server::{Server, ServerConfig, ServerHandle};
+use fenestra_temporal::AttrSchema;
+use serde_json::{Map, Value as Json};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn num(v: f64) -> Json {
+    serde_json::Number::from_f64(v)
+        .map(Json::Number)
+        .unwrap_or(Json::Null)
+}
+
+/// One JSONL client with a read timeout.
+struct Client {
+    out: TcpStream,
+    lines: std::io::Lines<BufReader<TcpStream>>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let out = TcpStream::connect(addr).expect("connect");
+        out.set_nodelay(true).unwrap();
+        out.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+            .unwrap();
+        let lines = BufReader::new(out.try_clone().unwrap()).lines();
+        Client { out, lines }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.out, "{line}").expect("send");
+    }
+
+    fn recv(&mut self) -> Json {
+        let line = self.lines.next().expect("closed").expect("read");
+        serde_json::from_str(&line).unwrap_or_else(|e| panic!("bad reply `{line}`: {e}"))
+    }
+
+    fn call(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+/// An embedded server with the visitor→room rule and a handful of
+/// facts, so queries return rows rather than exercising empty scans.
+fn server() -> ServerHandle {
+    let config = ServerConfig::new("127.0.0.1:0")
+        .metrics_addr("127.0.0.1:0")
+        .engine(EngineConfig::default())
+        .setup(|engine| {
+            engine.declare_attr("room", AttrSchema::one());
+            engine
+                .add_rules_text("rule mv:\n on sensors\n replace $(visitor).room = room")
+                .unwrap();
+        });
+    let handle = Server::start(config).expect("start server");
+    let mut c = Client::connect(handle.local_addr());
+    for i in 0..32u64 {
+        let room = if i % 2 == 0 { "lab" } else { "lobby" };
+        let v = c.call(&format!(
+            r#"{{"stream":"sensors","ts":{},"visitor":"v{i}","room":"{room}"}}"#,
+            1000 + i
+        ));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    }
+    let v = c.call(r#"{"cmd":"sync"}"#);
+    assert_eq!(v.get("synced").and_then(Json::as_bool), Some(true), "{v}");
+    handle
+}
+
+/// Scrape one Prometheus sample off the metrics listener.
+fn scrape(addr: std::net::SocketAddr, name: &str) -> u64 {
+    let mut m = TcpStream::connect(addr).expect("connect metrics");
+    m.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    write!(m, "GET /metrics HTTP/1.1\r\nHost: fenestra\r\n\r\n").unwrap();
+    let mut response = String::new();
+    m.read_to_string(&mut response).expect("read response");
+    let body = response.split_once("\r\n\r\n").expect("http body").1;
+    body.lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing {name} in:\n{body}"))
+}
+
+/// Register `stmts` as watches (empty views: nothing matches the
+/// rooms they name) and return the elapsed milliseconds plus the
+/// server's plan-cache entry count afterwards.
+fn register_watches(stmts: &[String]) -> (f64, u64) {
+    let mut handle = server();
+    let mut c = Client::connect(handle.local_addr());
+    let t0 = Instant::now();
+    for (i, stmt) in stmts.iter().enumerate() {
+        c.send(&format!(r#"{{"cmd":"watch","name":"w{i}","q":"{stmt}"}}"#));
+    }
+    for _ in stmts {
+        let v = c.recv();
+        assert!(v.get("watch").is_some(), "watch rejected: {v}");
+    }
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = c.call(r#"{"cmd":"stats"}"#);
+    let entries = stats
+        .get("plans")
+        .and_then(|p| p.get("cache"))
+        .and_then(|c| c.get("entries"))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("no plans.cache.entries in {stats}"));
+    handle.shutdown();
+    (elapsed_ms, entries)
+}
+
+fn main() {
+    // ----- 1. compile vs cached dispatch, planner only ----------------------
+    const COLD: usize = 512;
+    const HOT: usize = 100_000;
+    let cache = PlanCache::new(COLD * 2);
+    let stmts: Vec<String> = (0..COLD)
+        .map(|i| {
+            format!(
+                "SELECT entity FROM state WHERE room = \"room-{i}\" LIMIT {}",
+                i + 1
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    for s in &stmts {
+        cache.get_or_compile(s).expect("compile");
+    }
+    let per_compile_us = t0.elapsed().as_secs_f64() * 1e6 / COLD as f64;
+    let t0 = Instant::now();
+    for _ in 0..HOT {
+        cache.get_or_compile(&stmts[0]).expect("cached");
+    }
+    let per_lookup_us = t0.elapsed().as_secs_f64() * 1e6 / HOT as f64;
+    let speedup = per_compile_us / per_lookup_us.max(1e-3);
+    eprintln!("compile {per_compile_us:.2}us  cached {per_lookup_us:.3}us  speedup {speedup:.0}x");
+    assert!(
+        speedup >= 10.0,
+        "cached dispatch must be >= 10x faster than cold compile, got {speedup:.1}x"
+    );
+
+    // ----- 2. server-driven traffic with /metrics-visible counters ----------
+    const QUERIES: usize = 2_000;
+    let mut handle = server();
+    let maddr = handle.metrics_addr().expect("metrics listener");
+    let mut c = Client::connect(handle.local_addr());
+    let stmt = r#"{"cmd":"query","q":"select ?v where { ?v room \"lab\" }"}"#;
+    let t0 = Instant::now();
+    for _ in 0..QUERIES {
+        let v = c.call(stmt);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let hits = scrape(maddr, "fenestra_plan_cache_hits_total");
+    let misses = scrape(maddr, "fenestra_plan_cache_misses_total");
+    let exec_count = scrape(maddr, "fenestra_plan_exec_us_count");
+    eprintln!(
+        "server: {QUERIES} queries in {:.1}ms ({:.0}/s), cache {hits} hits / {misses} misses",
+        elapsed * 1e3,
+        QUERIES as f64 / elapsed
+    );
+    assert!(
+        hits >= QUERIES as u64 - 1,
+        "repeat queries must hit the cache"
+    );
+    assert!(
+        exec_count >= QUERIES as u64,
+        "every dispatch records exec_us"
+    );
+    handle.shutdown();
+
+    // ----- 3. watch subplan sharing: 1k identical vs 1k distinct ------------
+    const WATCHES: usize = 1_000;
+    let identical: Vec<String> = (0..WATCHES)
+        .map(|_| r#"select ?v where { ?v room \"nowhere\" }"#.to_string())
+        .collect();
+    let distinct: Vec<String> = (0..WATCHES)
+        .map(|i| format!(r#"select ?v where {{ ?v room \"nowhere-{i}\" }}"#))
+        .collect();
+    let (identical_ms, identical_entries) = register_watches(&identical);
+    let (distinct_ms, distinct_entries) = register_watches(&distinct);
+    eprintln!(
+        "watches: {WATCHES} identical {identical_ms:.1}ms ({identical_entries} plans), \
+         {WATCHES} distinct {distinct_ms:.1}ms ({distinct_entries} plans)"
+    );
+    assert_eq!(identical_entries, 1, "identical watches share one subplan");
+    assert_eq!(
+        distinct_entries, WATCHES as u64,
+        "distinct watches each compile"
+    );
+
+    // ----- report -----------------------------------------------------------
+    let mut compile = Map::new();
+    compile.insert("statements".into(), Json::from(COLD as u64));
+    compile.insert("per_compile_us".into(), num(per_compile_us));
+    let mut cached = Map::new();
+    cached.insert("lookups".into(), Json::from(HOT as u64));
+    cached.insert("per_lookup_us".into(), num(per_lookup_us));
+    cached.insert("speedup".into(), num(speedup));
+    let mut srv = Map::new();
+    srv.insert("queries".into(), Json::from(QUERIES as u64));
+    srv.insert("queries_per_sec".into(), num(QUERIES as f64 / elapsed));
+    srv.insert("cache_hits".into(), Json::from(hits));
+    srv.insert("cache_misses".into(), Json::from(misses));
+    let mut watches = Map::new();
+    watches.insert("count".into(), Json::from(WATCHES as u64));
+    watches.insert("identical_ms".into(), num(identical_ms));
+    watches.insert(
+        "identical_plan_entries".into(),
+        Json::from(identical_entries),
+    );
+    watches.insert("distinct_ms".into(), num(distinct_ms));
+    watches.insert("distinct_plan_entries".into(), Json::from(distinct_entries));
+    let mut root = Map::new();
+    root.insert("benchmark".into(), Json::from("query_smoke"));
+    root.insert("compile".into(), Json::Object(compile));
+    root.insert("cached".into(), Json::Object(cached));
+    root.insert("server".into(), Json::Object(srv));
+    root.insert("watches".into(), Json::Object(watches));
+    let root = Json::Object(root);
+
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_query.json");
+    // Before/after against the committed numbers (CI surfaces this as
+    // a non-gating signal).
+    if let Some(old) = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+    {
+        eprintln!("-- before/after vs committed BENCH_query.json --");
+        for (label, path) in [
+            ("per_compile_us", ["compile", "per_compile_us"]),
+            ("per_lookup_us", ["cached", "per_lookup_us"]),
+            ("speedup", ["cached", "speedup"]),
+            ("queries_per_sec", ["server", "queries_per_sec"]),
+            ("identical_ms", ["watches", "identical_ms"]),
+            ("distinct_ms", ["watches", "distinct_ms"]),
+        ] {
+            let dig = |mut v: &Json| {
+                for p in &path {
+                    v = v.get(p)?;
+                }
+                v.as_f64()
+            };
+            match (dig(&old), dig(&root)) {
+                (Some(w), Some(n)) if w > 0.0 => {
+                    eprintln!("{label:<16} {w:>10.2} -> {n:>10.2}  ({:.2}x)", n / w);
+                }
+                _ => eprintln!("{label:<16} no committed baseline"),
+            }
+        }
+    }
+    let text = root.to_string();
+    println!("{text}");
+    std::fs::write(&out, text).expect("write BENCH_query.json");
+}

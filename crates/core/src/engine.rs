@@ -8,7 +8,7 @@ use fenestra_base::symbol::Symbol;
 use fenestra_base::time::{Duration, Interval, Timestamp};
 use fenestra_base::value::Value;
 use fenestra_obs::{EngineCounters, ShardObs};
-use fenestra_query::{ParsedQuery, QueryOptions};
+use fenestra_query::QueryOptions;
 use fenestra_reason::store_sync::sync_store;
 use fenestra_reason::Ontology;
 use fenestra_rules::{RuleEngine, StateRule};
@@ -161,16 +161,28 @@ impl Engine {
         query_text: &str,
         stream: impl Into<Symbol>,
     ) -> Result<()> {
-        match fenestra_query::parse_query(query_text)? {
-            ParsedQuery::Select(q) => {
-                self.watches
-                    .push((crate::watch::Watch::new(name, q), stream.into()));
-                Ok(())
-            }
-            ParsedQuery::History { .. } => Err(Error::Invalid(
+        let plan = std::sync::Arc::new(fenestra_query::compile(query_text)?);
+        self.watch_plan(name, plan, stream)
+    }
+
+    /// Register a standing query from an already-compiled plan (the
+    /// server's plan cache hands the same `Arc` to every watch of the
+    /// same statement). History plans are rejected — they have no row
+    /// view to diff.
+    pub fn watch_plan(
+        &mut self,
+        name: impl Into<Symbol>,
+        plan: std::sync::Arc<fenestra_query::CachedPlan>,
+        stream: impl Into<Symbol>,
+    ) -> Result<()> {
+        if !plan.is_watchable() {
+            return Err(Error::Invalid(
                 "history queries cannot be watched; watch a select query".into(),
-            )),
+            ));
         }
+        self.watches
+            .push((crate::watch::Watch::from_plan(name, plan), stream.into()));
+        Ok(())
     }
 
     /// Republish every applied state transition as an event on
@@ -589,22 +601,24 @@ impl Engine {
         self.query_with(src, QueryOptions::default())
     }
 
-    /// Execute a textual query with options.
+    /// Execute a textual query with options. The statement — either
+    /// dialect — compiles to a plan and runs through
+    /// [`Engine::execute_plan`]: plans are the only query path.
     pub fn query_with(&self, src: &str, opts: QueryOptions) -> Result<QueryResult> {
-        match fenestra_query::parse_query(src)? {
-            ParsedQuery::Select(q) => {
-                let store = self.store();
-                Ok(QueryResult::Rows(fenestra_query::exec::execute_with(
-                    &store, &q, opts,
-                )?))
-            }
-            ParsedQuery::History { entity, attr } => {
-                let store = self.store();
-                let Some(e) = store.lookup_entity(entity) else {
-                    return Err(Error::Invalid(format!("unknown entity `{entity}`")));
-                };
-                Ok(QueryResult::History(store.history(e, attr)))
-            }
+        let plan = fenestra_query::compile(src)?;
+        self.execute_plan(&plan, opts)
+    }
+
+    /// Execute a compiled plan against this engine's store.
+    pub fn execute_plan(
+        &self,
+        plan: &fenestra_query::CachedPlan,
+        opts: QueryOptions,
+    ) -> Result<QueryResult> {
+        let store = self.store();
+        match plan.execute(&store, opts)? {
+            fenestra_query::PlanOutput::Rows(rows) => Ok(QueryResult::Rows(rows)),
+            fenestra_query::PlanOutput::History(spans) => Ok(QueryResult::History(spans)),
         }
     }
 

@@ -24,7 +24,7 @@ use fenestra_base::record::{Event, StreamId};
 use fenestra_base::symbol::Symbol;
 use fenestra_base::time::Timestamp;
 use fenestra_base::value::Value;
-use fenestra_query::{ParsedQuery, Query, QueryOptions};
+use fenestra_query::{PhysicalPlan, Query, QueryOptions};
 use fenestra_rules::rule::{Action, EntityRef, Guard, Trigger};
 use fenestra_rules::StateRule;
 use fenestra_temporal::AttrSchema;
@@ -436,32 +436,60 @@ impl ShardedEngine {
         self.query_with(src, QueryOptions::default())
     }
 
-    /// Execute a textual query with options.
+    /// Execute a textual query with options: compile to a plan, then
+    /// run it through [`ShardedEngine::execute_plan`] — plans are the
+    /// only query path.
+    pub fn query_with(&self, src: &str, opts: QueryOptions) -> Result<QueryResult> {
+        let plan = fenestra_query::compile(src)?;
+        self.execute_plan(&plan, opts)
+    }
+
+    /// Execute a compiled plan across the shards.
     ///
     /// With one shard this is a plain delegation (byte-identical
-    /// results). With N, select queries run on every shard with
+    /// results). With N, select plans run on every shard with
     /// `limit`/`count` stripped, entity ids are resolved to names
     /// (ids are shard-local and would collide), and the merged rows
     /// are re-sorted, deduplicated, and re-limited/counted; history
-    /// queries return the one shard's timeline that knows the entity.
-    pub fn query_with(&self, src: &str, opts: QueryOptions) -> Result<QueryResult> {
+    /// plans merge every shard's spans for the entity name by
+    /// `(validity start, shard, seq)` (see [`merge_history`]); window
+    /// plans collect facts per shard and aggregate the merged batch.
+    pub fn execute_plan(
+        &self,
+        plan: &fenestra_query::CachedPlan,
+        opts: QueryOptions,
+    ) -> Result<QueryResult> {
         if self.shards.len() == 1 {
-            return self.shards[0].query_with(src, opts);
+            return self.shards[0].execute_plan(plan, opts);
         }
-        match fenestra_query::parse_query(src)? {
-            ParsedQuery::Select(q) => Ok(QueryResult::Rows(merge_select(
-                &q,
+        match &plan.physical {
+            PhysicalPlan::Select { query } => Ok(QueryResult::Rows(merge_select(
+                query,
                 opts,
                 self.shards.iter().map(|s| s.store()),
             )?)),
-            ParsedQuery::History { entity, attr } => {
+            PhysicalPlan::History { entity, attr } => {
+                let mut parts = Vec::new();
                 for s in &self.shards {
                     let store = s.store();
-                    if let Some(e) = store.lookup_entity(entity) {
-                        return Ok(QueryResult::History(store.history(e, attr)));
+                    if let Some(e) = store.lookup_entity(*entity) {
+                        parts.push(store.history(e, *attr));
                     }
                 }
-                Err(Error::Invalid(format!("unknown entity `{entity}`")))
+                if parts.is_empty() {
+                    return Err(Error::Invalid(format!("unknown entity `{entity}`")));
+                }
+                Ok(QueryResult::History(merge_history(parts)))
+            }
+            PhysicalPlan::WindowAgg(w) => {
+                let batches = self
+                    .shards
+                    .iter()
+                    .map(|s| w.collect_facts(&s.store()))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(QueryResult::Rows(w.aggregate(
+                    fenestra_query::WindowPhys::merge_fact_batches(batches),
+                )?))
             }
         }
     }
@@ -533,6 +561,30 @@ pub fn merge_rows(
         )]];
     }
     rows
+}
+
+/// Merge per-shard history timelines for one `(entity, attribute)`
+/// into a single timeline ordered by validity start, with a
+/// deterministic tiebreak: spans starting at the same instant keep
+/// `(shard id, per-shard seq)` order. The sort is stable and `parts`
+/// arrives in shard order with each shard's spans already in validity
+/// order, so stability *is* the tiebreak.
+pub fn merge_history(
+    parts: Vec<
+        Vec<(
+            fenestra_base::time::Interval,
+            Value,
+            fenestra_temporal::Provenance,
+        )>,
+    >,
+) -> Vec<(
+    fenestra_base::time::Interval,
+    Value,
+    fenestra_temporal::Provenance,
+)> {
+    let mut all: Vec<_> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|(interval, _, _)| interval.start);
+    all
 }
 
 /// Run a select on every shard's store and merge.
@@ -633,6 +685,35 @@ mod tests {
         assert_eq!(h1, h4);
         assert_eq!(one.metrics().events, four.metrics().events);
         assert_eq!(one.metrics().transitions, four.metrics().transitions);
+    }
+
+    #[test]
+    fn merge_history_orders_by_start_with_shard_seq_tiebreak() {
+        use fenestra_base::time::Interval;
+        use fenestra_temporal::Provenance;
+        let span = |start: u64, end: Option<u64>, v: &str| {
+            (
+                Interval {
+                    start: Timestamp::new(start),
+                    end: end.map(Timestamp::new),
+                },
+                Value::str(v),
+                Provenance::External,
+            )
+        };
+        // Shard 0 and shard 1 both hold spans; starts interleave and
+        // collide at t=20.
+        let shard0 = vec![span(10, Some(20), "a"), span(20, Some(40), "b")];
+        let shard1 = vec![span(5, Some(20), "x"), span(20, None, "y")];
+        let merged = merge_history(vec![shard0, shard1]);
+        let starts: Vec<u64> = merged.iter().map(|(iv, _, _)| iv.start.millis()).collect();
+        assert_eq!(starts, vec![5, 10, 20, 20], "global validity order");
+        // Equal starts keep (shard, seq) order: shard 0's span first.
+        assert_eq!(merged[2].1, Value::str("b"));
+        assert_eq!(merged[3].1, Value::str("y"));
+        // Merging a single shard's timeline is the identity.
+        let solo = vec![span(1, Some(2), "p"), span(2, None, "q")];
+        assert_eq!(merge_history(vec![solo.clone()]), solo);
     }
 
     #[test]

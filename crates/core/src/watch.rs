@@ -16,17 +16,21 @@
 use fenestra_base::record::Record;
 use fenestra_base::symbol::Symbol;
 use fenestra_base::value::Value;
-use fenestra_query::{Bindings, Query};
+use fenestra_query::{Bindings, CachedPlan, PlanOutput, Query, QueryOptions};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-/// A registered standing query.
+/// A registered standing query: a long-lived compiled plan plus the
+/// view rows of its last evaluation. Watches of the same statement
+/// share one [`CachedPlan`] (the plan cache hands out `Arc`s), so a
+/// thousand identical subscriptions compile once and carry one plan.
 pub struct Watch {
     /// Subscription name; published events carry it in the `watch`
     /// field and arrive on the engine's watch stream.
     pub name: Symbol,
-    /// The query (its temporal qualifier is evaluated as written, so
-    /// `current` queries track the live state).
-    pub query: Query,
+    /// The compiled plan (its temporal qualifier is evaluated as
+    /// written, so `current` queries track the live state).
+    pub plan: Arc<CachedPlan>,
     /// Store revision at the last evaluation.
     pub last_revision: u64,
     /// Rows at the last evaluation.
@@ -45,11 +49,20 @@ pub struct WatchDelta {
 }
 
 impl Watch {
-    /// Create a watch over `query`.
+    /// Create a watch over a programmatic `query` (compiles it into a
+    /// private plan).
     pub fn new(name: impl Into<Symbol>, query: Query) -> Watch {
+        Watch::from_plan(name, Arc::new(CachedPlan::from_query(query)))
+    }
+
+    /// Create a watch sharing an already-compiled plan. The plan must
+    /// be watchable ([`CachedPlan::is_watchable`]); history plans have
+    /// no row view to diff.
+    pub fn from_plan(name: impl Into<Symbol>, plan: Arc<CachedPlan>) -> Watch {
+        debug_assert!(plan.is_watchable(), "history plans cannot be watched");
         Watch {
             name: name.into(),
-            query,
+            plan,
             last_revision: u64::MAX, // force first evaluation
             last_rows: BTreeSet::new(),
         }
@@ -63,11 +76,12 @@ impl Watch {
             return Vec::new();
         }
         self.last_revision = rev;
-        let rows: BTreeSet<Bindings> = match fenestra_query::execute(store, &self.query) {
-            Ok(rows) => rows.into_iter().collect(),
+        let rows: BTreeSet<Bindings> = match self.plan.execute(store, QueryOptions::default()) {
+            Ok(PlanOutput::Rows(rows)) => rows.into_iter().collect(),
             // Query errors (e.g. type errors against evolving data)
-            // leave the view unchanged.
-            Err(_) => return Vec::new(),
+            // leave the view unchanged; history output can't happen
+            // (rejected at registration).
+            Ok(PlanOutput::History(_)) | Err(_) => return Vec::new(),
         };
         let mut out = Vec::new();
         for gone in self.last_rows.difference(&rows) {

@@ -37,4 +37,6 @@ mod histogram;
 mod pipeline;
 
 pub use histogram::{bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
-pub use pipeline::{EngineCounters, EngineGauges, PipelineObs, ReplObs, ShardObs, WalObs, STAGES};
+pub use pipeline::{
+    EngineCounters, EngineGauges, PipelineObs, PlanObs, ReplObs, ShardObs, WalObs, STAGES,
+};

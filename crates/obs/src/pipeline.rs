@@ -374,6 +374,33 @@ impl ReplObs {
     }
 }
 
+/// Query-planner instrumentation: compile and execution latency of
+/// cached plans. Compiles are sampled on plan-cache misses only (hits
+/// skip compilation entirely); executions are sampled once per query
+/// dispatch, covering shard fan-out and merge.
+#[derive(Debug, Default)]
+pub struct PlanObs {
+    /// Time to parse + plan + lower one statement (µs), one sample per
+    /// plan-cache miss.
+    pub compile_us: Histogram,
+    /// Time to execute one compiled plan end to end (µs), one sample
+    /// per query dispatch (fan-out + merge included).
+    pub exec_us: Histogram,
+}
+
+impl PlanObs {
+    /// Both histograms as `{compile_us: {...}, exec_us: {...}}`.
+    pub fn json(&self) -> Json {
+        let mut obj = Map::new();
+        obj.insert(
+            "compile_us".into(),
+            self.compile_us.snapshot().json_summary(),
+        );
+        obj.insert("exec_us".into(), self.exec_us.snapshot().json_summary());
+        Json::Object(obj)
+    }
+}
+
 /// Observability for the whole pipeline: one server-level admission
 /// histogram plus one [`ShardObs`] per shard.
 #[derive(Debug)]
@@ -393,6 +420,8 @@ pub struct PipelineObs {
     pub shards: Vec<Arc<ShardObs>>,
     /// Replication instrumentation (quiet when not replicating).
     pub repl: Arc<ReplObs>,
+    /// Query-planner instrumentation (compile + exec latency).
+    pub plan: Arc<PlanObs>,
 }
 
 impl PipelineObs {
@@ -404,6 +433,7 @@ impl PipelineObs {
             reactor_dispatch_us: Histogram::new(),
             shards: (0..shards).map(|_| Arc::new(ShardObs::default())).collect(),
             repl: Arc::new(ReplObs::default()),
+            plan: Arc::new(PlanObs::default()),
         }
     }
 

@@ -1,0 +1,139 @@
+//! The shared plan cache.
+//!
+//! Compilation (parse → build → rewrite → lower) is pure, so compiled
+//! plans are keyed by their trimmed statement text and shared across
+//! every consumer: repeated queries skip the planner entirely, and a
+//! thousand watches of the same statement hold one [`CachedPlan`]
+//! between them. Errors are *not* cached — a failing statement re-runs
+//! the compiler (they're rare, and caching them would pin arbitrary
+//! garbage keys).
+
+use crate::plan::{compile, CachedPlan};
+use fenestra_base::error::Result;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on distinct cached statements.
+pub const DEFAULT_CACHE_CAP: usize = 1024;
+
+/// Counters a cache exposes to stats and Prometheus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled.
+    pub misses: u64,
+    /// Statements currently cached.
+    pub entries: u64,
+}
+
+/// A statement-keyed, bounded plan cache. Cheap to clone behind an
+/// `Arc`; all methods take `&self`.
+#[derive(Debug)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<String, Arc<CachedPlan>>>,
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_CACHE_CAP)
+    }
+}
+
+impl PlanCache {
+    /// A cache bounded to `cap` distinct statements.
+    pub fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            plans: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `src` (trimmed), compiling on miss. Returns the shared
+    /// plan and whether this was a cache hit.
+    pub fn get_or_compile(&self, src: &str) -> Result<(Arc<CachedPlan>, bool)> {
+        let key = src.trim();
+        if let Some(plan) = self.plans.lock().unwrap().get(key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((plan, true));
+        }
+        // Compile outside the lock: misses are the slow path and must
+        // not serialize behind each other (or block hits).
+        let plan = Arc::new(compile(key)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut plans = self.plans.lock().unwrap();
+        if let Some(existing) = plans.get(key) {
+            // A racing thread beat us; share its plan.
+            return Ok((existing.clone(), false));
+        }
+        if plans.len() >= self.cap {
+            // Bounded: evict an arbitrary entry. The cache is a
+            // dedup, not an LRU — any eviction policy is correct, and
+            // arbitrary keeps the hot path free of bookkeeping.
+            if let Some(k) = plans.keys().next().cloned() {
+                plans.remove(&k);
+            }
+        }
+        plans.insert(key.to_string(), plan.clone());
+        Ok((plan, false))
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.plans.lock().unwrap().len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: &str = "select ?v where { ?v room ?r }";
+
+    #[test]
+    fn hit_shares_the_same_plan() {
+        let cache = PlanCache::default();
+        let (a, hit_a) = cache.get_or_compile(Q).unwrap();
+        let (b, hit_b) = cache.get_or_compile(&format!("  {Q}  ")).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b, "trimmed text must key the same entry");
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = PlanCache::default();
+        assert!(cache.get_or_compile("select nothing sensible").is_err());
+        assert!(cache.get_or_compile("select nothing sensible").is_err());
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.misses, 0, "failed compiles count as neither hit nor miss");
+    }
+
+    #[test]
+    fn cap_bounds_entries() {
+        let cache = PlanCache::new(4);
+        for i in 0..10 {
+            let src = format!("select ?v where {{ ?v attr{i} ?x }}");
+            cache.get_or_compile(&src).unwrap();
+        }
+        assert!(cache.stats().entries <= 4);
+        // The cache still works after evictions.
+        let (_, hit) = cache.get_or_compile(Q).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_compile(Q).unwrap();
+        assert!(hit);
+    }
+}

@@ -28,9 +28,18 @@
 //! results to asserted facts.
 
 pub mod ast;
+pub mod cache;
 pub mod exec;
 pub mod parser;
+pub mod plan;
+pub mod sql;
 
 pub use ast::{Query, Term, TimeSpec, TriplePattern};
+pub use cache::{CacheStats, PlanCache};
 pub use exec::{execute, Bindings, QueryOptions};
 pub use parser::{parse_query, ParsedQuery};
+pub use plan::{
+    compile, parse_statement, physical_kind, render_explain, strip_explain, CachedPlan,
+    LogicalPlan, PhysicalPlan, PlanOutput, Statement, WindowPhys,
+};
+pub use sql::{parse_select_stmt, SelectStmt, WindowKind};

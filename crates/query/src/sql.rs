@@ -1,0 +1,488 @@
+//! The streaming SQL dialect.
+//!
+//! ```text
+//! stmt      := SELECT item ("," item)* FROM ident
+//!              [WHERE expr]
+//!              [GROUP BY group_item ("," group_item)*]
+//!              [AS OF instant | DURING instant TO instant]
+//!              [LIMIT INT]
+//! item      := COUNT "(" "*" ")" [AS ident]
+//!            | agg "(" ident ")" [AS ident]        # sum/avg/min/max
+//!            | ident
+//! group_item:= TUMBLING "(" dur ")"
+//!            | SLIDING "(" dur "," dur ")"
+//!            | SESSION "(" dur ")"
+//!            | ident
+//! instant   := INT | DURATION                      # millis
+//! dur       := INT | DURATION                      # millis, > 0
+//! ```
+//!
+//! Keywords and function names are case-insensitive; column names are
+//! case-sensitive attribute names from the state store, plus the
+//! pseudo-columns `entity` (the entity an attribute belongs to) and —
+//! under a window — `window_start`/`window_end`. `WHERE` uses the
+//! shared expression grammar (`=` and `==` both mean equality).
+//!
+//! Statements display in a canonical form that re-parses to the same
+//! AST (property-tested), which is also the plan-cache key shape.
+
+use crate::ast::TimeSpec;
+use fenestra_base::error::{Error, Result};
+use fenestra_base::expr::Expr;
+use fenestra_base::parse::{lex, Cursor, Tok};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use std::fmt;
+
+/// Aggregate functions the dialect accepts. All are order-insensitive,
+/// so distributed fact collection needs no per-shard ordering beyond
+/// the deterministic merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    /// `count(*)` — rows per group.
+    Count,
+    /// `sum(col)`.
+    Sum,
+    /// `avg(col)`.
+    Avg,
+    /// `min(col)`.
+    Min,
+    /// `max(col)`.
+    Max,
+}
+
+impl AggName {
+    /// Canonical (lowercase) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggName::Count => "count",
+            AggName::Sum => "sum",
+            AggName::Avg => "avg",
+            AggName::Min => "min",
+            AggName::Max => "max",
+        }
+    }
+
+    /// Case-insensitive lookup.
+    pub fn by_name(name: &str) -> Option<AggName> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggName::Count,
+            "sum" => AggName::Sum,
+            "avg" => AggName::Avg,
+            "min" => AggName::Min,
+            "max" => AggName::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// One projected item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A plain column (attribute, `entity`, or window pseudo-column).
+    Column(Symbol),
+    /// An aggregate: `func(column)` (`column` is `None` for
+    /// `count(*)`), optionally `AS alias`.
+    Agg {
+        /// The function.
+        func: AggName,
+        /// Input column; `None` means `count(*)`.
+        column: Option<Symbol>,
+        /// Output name override.
+        alias: Option<Symbol>,
+    },
+}
+
+impl SelectItem {
+    /// The name this item gets in output rows: the column name, the
+    /// alias, or `func` / `func_col` for unaliased aggregates.
+    pub fn output_name(&self) -> Symbol {
+        match self {
+            SelectItem::Column(c) => *c,
+            SelectItem::Agg { alias: Some(a), .. } => *a,
+            SelectItem::Agg {
+                func,
+                column: Some(c),
+                ..
+            } => Symbol::intern(&format!("{}_{c}", func.name())),
+            SelectItem::Agg { func, .. } => Symbol::intern(func.name()),
+        }
+    }
+}
+
+/// A window function from the GROUP BY list. Durations are stored in
+/// milliseconds (the canonical display unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// `tumbling(size)`.
+    Tumbling {
+        /// Window size, ms.
+        size_ms: u64,
+    },
+    /// `sliding(size, hop)`.
+    Sliding {
+        /// Window size, ms.
+        size_ms: u64,
+        /// Hop between window starts, ms.
+        hop_ms: u64,
+    },
+    /// `session(gap)`.
+    Session {
+        /// Inactivity gap that closes a session, ms.
+        gap_ms: u64,
+    },
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projected items, in order.
+    pub items: Vec<SelectItem>,
+    /// The FROM source (`state` is the only queryable source).
+    pub source: Symbol,
+    /// WHERE predicate, if any.
+    pub where_clause: Option<Expr>,
+    /// Non-window GROUP BY columns, in order.
+    pub keys: Vec<Symbol>,
+    /// The window function, if any appeared in GROUP BY.
+    pub window: Option<WindowKind>,
+    /// Temporal qualifier (`AS OF` / `DURING … TO …`).
+    pub time: TimeSpec,
+    /// LIMIT, if any.
+    pub limit: Option<usize>,
+}
+
+fn eat_kw_ci(c: &mut Cursor<'_>, kw: &str) -> bool {
+    matches!(c.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw)) && {
+        c.next();
+        true
+    }
+}
+
+fn expect_kw_ci(c: &mut Cursor<'_>, kw: &str) -> Result<()> {
+    if eat_kw_ci(c, kw) {
+        Ok(())
+    } else {
+        Err(c.error(format!("expected `{}`, found {:?}", kw, c.peek())))
+    }
+}
+
+fn parse_instant(c: &mut Cursor<'_>) -> Result<Timestamp> {
+    match c.next() {
+        Some(Tok::Int(i)) if *i >= 0 => Ok(Timestamp::new(*i as u64)),
+        Some(Tok::Duration(ms)) => Ok(Timestamp::new(*ms)),
+        other => Err(c.error(format!("expected instant, found {other:?}"))),
+    }
+}
+
+fn parse_dur_ms(c: &mut Cursor<'_>) -> Result<u64> {
+    let ms = match c.next() {
+        Some(Tok::Int(i)) if *i >= 0 => *i as u64,
+        Some(Tok::Duration(ms)) => *ms,
+        other => return Err(c.error(format!("expected duration, found {other:?}"))),
+    };
+    if ms == 0 {
+        return Err(Error::Invalid("window durations must be positive".into()));
+    }
+    Ok(ms)
+}
+
+fn parse_item(c: &mut Cursor<'_>) -> Result<SelectItem> {
+    let name = c.expect_ident()?;
+    if !c.eat_punct("(") {
+        return Ok(SelectItem::Column(Symbol::intern(&name)));
+    }
+    let Some(func) = AggName::by_name(&name) else {
+        return Err(c.error(format!(
+            "unknown aggregate `{name}` (expected count, sum, avg, min, max)"
+        )));
+    };
+    let column = if func == AggName::Count && c.eat_punct("*") {
+        None
+    } else {
+        Some(Symbol::intern(&c.expect_ident()?))
+    };
+    c.expect_punct(")")?;
+    let alias = if eat_kw_ci(c, "as") {
+        Some(Symbol::intern(&c.expect_ident()?))
+    } else {
+        None
+    };
+    Ok(SelectItem::Agg {
+        func,
+        column,
+        alias,
+    })
+}
+
+const WINDOW_FNS: [&str; 3] = ["tumbling", "sliding", "session"];
+
+/// Parse one SQL statement. The leading `SELECT` must already be known
+/// to be SQL-dialect (see [`crate::plan::parse_statement`] for the
+/// dialect split); this parser re-checks it anyway.
+pub fn parse_select_stmt(src: &str) -> Result<SelectStmt> {
+    let toks = lex(src)?;
+    let mut c = Cursor::new(&toks);
+    expect_kw_ci(&mut c, "select")?;
+    let mut items = vec![parse_item(&mut c)?];
+    while c.eat_punct(",") {
+        items.push(parse_item(&mut c)?);
+    }
+    expect_kw_ci(&mut c, "from")?;
+    let source = Symbol::intern(&c.expect_ident()?);
+    let where_clause = if eat_kw_ci(&mut c, "where") {
+        Some(c.expression()?)
+    } else {
+        None
+    };
+    let mut keys = Vec::new();
+    let mut window = None;
+    if eat_kw_ci(&mut c, "group") {
+        expect_kw_ci(&mut c, "by")?;
+        loop {
+            let name = c.expect_ident()?;
+            let lower = name.to_ascii_lowercase();
+            if WINDOW_FNS.contains(&lower.as_str()) && matches!(c.peek(), Some(Tok::Punct("("))) {
+                if window.is_some() {
+                    return Err(c.error("GROUP BY allows at most one window function"));
+                }
+                c.expect_punct("(")?;
+                window = Some(match lower.as_str() {
+                    "tumbling" => WindowKind::Tumbling {
+                        size_ms: parse_dur_ms(&mut c)?,
+                    },
+                    "sliding" => {
+                        let size_ms = parse_dur_ms(&mut c)?;
+                        c.expect_punct(",")?;
+                        WindowKind::Sliding {
+                            size_ms,
+                            hop_ms: parse_dur_ms(&mut c)?,
+                        }
+                    }
+                    _ => WindowKind::Session {
+                        gap_ms: parse_dur_ms(&mut c)?,
+                    },
+                });
+                c.expect_punct(")")?;
+            } else {
+                keys.push(Symbol::intern(&name));
+            }
+            if !c.eat_punct(",") {
+                break;
+            }
+        }
+    }
+    let time = if eat_kw_ci(&mut c, "as") {
+        expect_kw_ci(&mut c, "of")?;
+        TimeSpec::AsOf(parse_instant(&mut c)?)
+    } else if eat_kw_ci(&mut c, "during") {
+        let from = parse_instant(&mut c)?;
+        expect_kw_ci(&mut c, "to")?;
+        let to = parse_instant(&mut c)?;
+        if to <= from {
+            return Err(Error::Invalid("DURING range is empty".into()));
+        }
+        TimeSpec::During(from, to)
+    } else {
+        TimeSpec::Current
+    };
+    let limit = if eat_kw_ci(&mut c, "limit") {
+        match c.next() {
+            Some(Tok::Int(n)) if *n > 0 => Some(*n as usize),
+            other => return Err(c.error(format!("expected positive limit, found {other:?}"))),
+        }
+    } else {
+        None
+    };
+    if !c.at_end() {
+        return Err(c.error("trailing input after statement"));
+    }
+    Ok(SelectStmt {
+        items,
+        source,
+        where_clause,
+        keys,
+        window,
+        time,
+        limit,
+    })
+}
+
+impl fmt::Display for WindowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowKind::Tumbling { size_ms } => write!(f, "tumbling({size_ms})"),
+            WindowKind::Sliding { size_ms, hop_ms } => write!(f, "sliding({size_ms}, {hop_ms})"),
+            WindowKind::Session { gap_ms } => write!(f, "session({gap_ms})"),
+        }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Agg {
+                func,
+                column,
+                alias,
+            } => {
+                match column {
+                    Some(c) => write!(f, "{}({c})", func.name())?,
+                    None => write!(f, "{}(*)", func.name())?,
+                }
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " FROM {}", self.source)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if self.window.is_some() || !self.keys.is_empty() {
+            write!(f, " GROUP BY ")?;
+            let mut first = true;
+            if let Some(w) = &self.window {
+                write!(f, "{w}")?;
+                first = false;
+            }
+            for k in &self.keys {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{k}")?;
+                first = false;
+            }
+        }
+        match self.time {
+            TimeSpec::Current => {}
+            TimeSpec::AsOf(t) => write!(f, " AS OF {}", t.millis())?,
+            TimeSpec::During(a, b) => write!(f, " DURING {} TO {}", a.millis(), b.millis())?,
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fenestra_base::value::Value;
+
+    fn roundtrip(src: &str) -> SelectStmt {
+        let stmt = parse_select_stmt(src).unwrap();
+        let printed = stmt.to_string();
+        let again = parse_select_stmt(&printed)
+            .unwrap_or_else(|e| panic!("display `{printed}` did not re-parse: {e}"));
+        assert_eq!(stmt, again, "round-trip via `{printed}`");
+        stmt
+    }
+
+    #[test]
+    fn parses_plain_select() {
+        let stmt = roundtrip("SELECT entity, room FROM state WHERE room != \"lobby\" LIMIT 3");
+        assert_eq!(stmt.items.len(), 2);
+        assert_eq!(stmt.source.as_str(), "state");
+        assert!(stmt.where_clause.is_some());
+        assert_eq!(stmt.limit, Some(3));
+        assert_eq!(stmt.time, TimeSpec::Current);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let a = parse_select_stmt("select entity from state").unwrap();
+        let b = parse_select_stmt("SELECT entity FROM state").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_equals_is_equality() {
+        let stmt = parse_select_stmt("SELECT entity FROM state WHERE room = \"lab\"").unwrap();
+        let w = stmt.where_clause.unwrap();
+        assert_eq!(
+            w,
+            Expr::Binary(
+                fenestra_base::expr::BinOp::Eq,
+                Box::new(Expr::name("room")),
+                Box::new(Expr::Lit(Value::str("lab"))),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_windowed_group_by() {
+        let stmt = roundtrip(
+            "SELECT window_start, room, count(*) AS n FROM state \
+             GROUP BY tumbling(10s), room DURING 0 TO 1m",
+        );
+        assert_eq!(stmt.window, Some(WindowKind::Tumbling { size_ms: 10_000 }));
+        assert_eq!(stmt.keys, vec![Symbol::intern("room")]);
+        assert_eq!(
+            stmt.time,
+            TimeSpec::During(Timestamp::new(0), Timestamp::new(60_000))
+        );
+    }
+
+    #[test]
+    fn window_position_in_group_by_is_free() {
+        let a =
+            parse_select_stmt("SELECT room, count(*) FROM state GROUP BY room, sliding(10s, 5s)")
+                .unwrap();
+        let b =
+            parse_select_stmt("SELECT room, count(*) FROM state GROUP BY sliding(10s, 5s), room")
+                .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn as_of_parses() {
+        let stmt = roundtrip("SELECT entity FROM state AS OF 1500");
+        assert_eq!(stmt.time, TimeSpec::AsOf(Timestamp::new(1500)));
+    }
+
+    #[test]
+    fn output_names() {
+        let stmt = parse_select_stmt(
+            "SELECT count(*), sum(x), avg(x) AS mean FROM state GROUP BY tumbling(1s)",
+        )
+        .unwrap();
+        let names: Vec<&str> = stmt
+            .items
+            .iter()
+            .map(|i| i.output_name().as_str())
+            .collect();
+        assert_eq!(names, vec!["count", "sum_x", "mean"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "SELECT FROM state",                                      // no items
+            "SELECT x state",                                         // missing FROM
+            "SELECT frobnicate(x) FROM state",                        // unknown aggregate
+            "SELECT x FROM state GROUP BY tumbling(0)",               // zero window
+            "SELECT x FROM state GROUP BY tumbling(1s), session(1s)", // two windows
+            "SELECT x FROM state DURING 5 TO 5",                      // empty range
+            "SELECT x FROM state LIMIT 0",                            // bad limit
+            "SELECT x FROM state garbage",                            // trailing
+        ] {
+            assert!(parse_select_stmt(bad).is_err(), "should fail: {bad}");
+        }
+    }
+}

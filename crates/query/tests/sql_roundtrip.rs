@@ -1,0 +1,155 @@
+//! Property test: the SQL dialect's `Display` is canonical — parsing
+//! what a statement prints yields the same statement
+//! (parse → display → parse is the identity on the AST).
+//!
+//! Golden `EXPLAIN` tests for the rewrite rules (predicate pushdown,
+//! window normalization) live next to the planner in
+//! `crates/query/src/plan.rs`.
+
+use fenestra_base::expr::{BinOp, Expr};
+use fenestra_base::symbol::Symbol;
+use fenestra_base::time::Timestamp;
+use fenestra_base::value::Value;
+use fenestra_query::sql::{AggName, SelectItem};
+use fenestra_query::{parse_select_stmt, SelectStmt, TimeSpec, WindowKind};
+use proptest::prelude::*;
+
+/// Safe column names: no dialect keywords, no window-function names.
+const COLS: [&str; 5] = ["room", "badge", "heat", "speed", "zone"];
+
+fn col(i: u8) -> Symbol {
+    Symbol::intern(COLS[i as usize % COLS.len()])
+}
+
+fn item_strategy() -> BoxedStrategy<SelectItem> {
+    prop_oneof![
+        (0..5u8).prop_map(|c| SelectItem::Column(col(c))),
+        (0..5u8, 0..6u8, 0..6u8).prop_map(|(f, c, a)| {
+            let func = [
+                AggName::Count,
+                AggName::Sum,
+                AggName::Avg,
+                AggName::Min,
+                AggName::Max,
+            ][f as usize];
+            // Only count takes `*`; everything else needs a column.
+            let column = if func == AggName::Count && c == 5 {
+                None
+            } else {
+                Some(col(c))
+            };
+            let alias = if a == 5 { None } else { Some(col(a)) };
+            SelectItem::Agg {
+                func,
+                column,
+                alias,
+            }
+        }),
+    ]
+    .boxed()
+}
+
+fn leaf_pred(c: u8, op: u8, v: u8) -> Expr {
+    let op = [
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ][op as usize % 6];
+    let lit = match v % 3 {
+        0 => Value::Int(i64::from(v)),
+        1 => Value::str(COLS[v as usize % COLS.len()]),
+        _ => Value::Bool(v.is_multiple_of(2)),
+    };
+    Expr::Binary(op, Box::new(Expr::Name(col(c))), Box::new(Expr::Lit(lit)))
+}
+
+fn where_strategy() -> BoxedStrategy<Expr> {
+    prop_oneof![
+        (0..5u8, 0..6u8, 0..9u8).prop_map(|(c, op, v)| leaf_pred(c, op, v)),
+        ((0..5u8, 0..6u8, 0..9u8), (0..5u8, 0..6u8, 0..9u8), 0..2u8).prop_map(
+            |((c1, o1, v1), (c2, o2, v2), conj)| {
+                let a = leaf_pred(c1, o1, v1);
+                let b = leaf_pred(c2, o2, v2);
+                if conj == 0 {
+                    a.and(b)
+                } else {
+                    a.or(b)
+                }
+            }
+        ),
+    ]
+    .boxed()
+}
+
+fn window_strategy() -> BoxedStrategy<Option<WindowKind>> {
+    prop_oneof![
+        Just(None),
+        (1..10_000u64).prop_map(|size_ms| Some(WindowKind::Tumbling { size_ms })),
+        (1..10_000u64, 1..10_000u64)
+            .prop_map(|(size_ms, hop_ms)| Some(WindowKind::Sliding { size_ms, hop_ms })),
+        (1..10_000u64).prop_map(|gap_ms| Some(WindowKind::Session { gap_ms })),
+    ]
+    .boxed()
+}
+
+fn time_strategy() -> BoxedStrategy<TimeSpec> {
+    prop_oneof![
+        Just(TimeSpec::Current),
+        (0..100_000u64).prop_map(|t| TimeSpec::AsOf(Timestamp::new(t))),
+        (0..50_000u64, 1..50_000u64)
+            .prop_map(|(a, gap)| TimeSpec::During(Timestamp::new(a), Timestamp::new(a + gap))),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse(display(stmt)) == stmt for arbitrary statements.
+    #[test]
+    fn display_reparses_to_same_ast(
+        items in prop::collection::vec(item_strategy(), 1..4),
+        where_clause in prop_oneof![Just(None), where_strategy().prop_map(Some)],
+        keys in prop::collection::vec((0..5u8).prop_map(col), 0..3),
+        window in window_strategy(),
+        time in time_strategy(),
+        limit in prop_oneof![Just(None), (1..1000usize).prop_map(Some)],
+    ) {
+        let stmt = SelectStmt {
+            items,
+            source: Symbol::intern("state"),
+            where_clause,
+            keys,
+            window,
+            time,
+            limit,
+        };
+        let printed = stmt.to_string();
+        let reparsed = parse_select_stmt(&printed);
+        prop_assert!(reparsed.is_ok(), "`{}` failed to re-parse: {:?}", printed, reparsed.err());
+        prop_assert_eq!(&stmt, &reparsed.unwrap(), "round-trip via `{}`", printed);
+    }
+
+    /// Parsed statements survive a display round-trip too (the other
+    /// direction: text → AST → text → AST).
+    #[test]
+    fn parsed_text_roundtrips(
+        c in 0..5u8,
+        v in 0..5u8,
+        size in 1..5_000u64,
+        n in 1..100usize,
+    ) {
+        let src = format!(
+            "SELECT {col}, count(*) AS total FROM state WHERE {col} != \"{val}\" \
+             GROUP BY tumbling({size}), {col} LIMIT {n}",
+            col = col(c),
+            val = COLS[v as usize],
+        );
+        let stmt = parse_select_stmt(&src).unwrap();
+        let again = parse_select_stmt(&stmt.to_string()).unwrap();
+        prop_assert_eq!(stmt, again);
+    }
+}

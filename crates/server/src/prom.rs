@@ -16,16 +16,18 @@
 
 use crate::metrics::ServerMetrics;
 use fenestra_obs::{bucket_upper_bound, HistogramSnapshot, PipelineObs, BUCKETS, STAGES};
+use fenestra_query::CacheStats;
 use std::fmt::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Render the complete `/metrics` body.
-pub fn render_prometheus(metrics: &ServerMetrics, obs: &PipelineObs) -> String {
+pub fn render_prometheus(metrics: &ServerMetrics, obs: &PipelineObs, plans: &CacheStats) -> String {
     let mut out = String::with_capacity(16 * 1024);
     server_metrics(&mut out, metrics);
     shard_gauges(&mut out, obs);
     engine_counters(&mut out, obs);
     repl_metrics(&mut out, obs);
+    plan_metrics(&mut out, obs, plans);
     histogram(
         &mut out,
         "fenestra_stage_admit_us",
@@ -141,6 +143,46 @@ fn histogram(
         let _ = writeln!(out, "{name}_sum{} {}", label(None), snap.sum);
         let _ = writeln!(out, "{name}_count{} {}", label(None), snap.count);
     }
+}
+
+/// Plan-cache counters and planner latency histograms: how often
+/// query compilation is skipped (`fenestra_plan_cache_*`) and what
+/// compiling versus dispatching a plan costs
+/// (`fenestra_plan_compile_us` / `fenestra_plan_exec_us`).
+fn plan_metrics(out: &mut String, obs: &PipelineObs, plans: &CacheStats) {
+    family(
+        out,
+        "fenestra_plan_cache_hits_total",
+        "counter",
+        "Query statements served by an already-compiled plan",
+        plans.hits,
+    );
+    family(
+        out,
+        "fenestra_plan_cache_misses_total",
+        "counter",
+        "Query statements that ran the planner (parse, rewrite, lower)",
+        plans.misses,
+    );
+    family(
+        out,
+        "fenestra_plan_cache_entries",
+        "gauge",
+        "Distinct statements currently held in the plan cache",
+        plans.entries,
+    );
+    histogram(
+        out,
+        "fenestra_plan_compile_us",
+        "Time compiling one statement into a physical plan, recorded on cache misses (microseconds)",
+        &[(None, obs.plan.compile_us.snapshot())],
+    );
+    histogram(
+        out,
+        "fenestra_plan_exec_us",
+        "Time executing one compiled plan end to end, fan-out and merge included (microseconds)",
+        &[(None, obs.plan.exec_us.snapshot())],
+    );
 }
 
 /// One unlabeled counter or gauge family with a single sample.
@@ -648,7 +690,14 @@ fenestra_stage_queue_wait_us_count{shard=\"1\"} 0
             // le="18446744073709551615".
             sh.wal.fsync_us.record(u64::MAX);
         }
-        let body = render_prometheus(&m, &obs);
+        obs.plan.compile_us.record(40);
+        obs.plan.exec_us.record(9);
+        let plans = CacheStats {
+            hits: 5,
+            misses: 2,
+            entries: 2,
+        };
+        let body = render_prometheus(&m, &obs, &plans);
         assert!(!body.contains("18446744073709551615"));
         let mut counts: std::collections::HashMap<String, u64> = Default::default();
         let mut infs: std::collections::HashMap<String, u64> = Default::default();
@@ -700,9 +749,56 @@ fenestra_stage_queue_wait_us_count{shard=\"1\"} 0
             "fenestra_stage_reactor_dispatch_us_count 0",
             "fenestra_late_margin_ms_count{shard=\"0\"} 1",
             "fenestra_stage_fsync_us_bucket{shard=\"0\",le=\"+Inf\"} 2",
+            "fenestra_plan_cache_hits_total 5",
+            "fenestra_plan_cache_misses_total 2",
+            "fenestra_plan_cache_entries 2",
+            "fenestra_plan_compile_us_count 1",
+            "fenestra_plan_exec_us_count 1",
+            "fenestra_plan_exec_us_sum 9",
         ] {
             assert!(body.contains(fam), "missing `{fam}` in:\n{body}");
         }
+    }
+
+    /// Golden: the plan-cache family block, pinning names, types, and
+    /// the histogram shape of the planner latency series.
+    #[test]
+    fn plan_metrics_exposition_matches_golden() {
+        let obs = PipelineObs::new(1);
+        // values 0 and 1 → buckets le="0" and le="1", cumulative.
+        obs.plan.exec_us.record(0);
+        obs.plan.exec_us.record(1);
+        let plans = CacheStats {
+            hits: 7,
+            misses: 3,
+            entries: 3,
+        };
+        let mut out = String::new();
+        plan_metrics(&mut out, &obs, &plans);
+        let golden = "\
+# HELP fenestra_plan_cache_hits_total Query statements served by an already-compiled plan
+# TYPE fenestra_plan_cache_hits_total counter
+fenestra_plan_cache_hits_total 7
+# HELP fenestra_plan_cache_misses_total Query statements that ran the planner (parse, rewrite, lower)
+# TYPE fenestra_plan_cache_misses_total counter
+fenestra_plan_cache_misses_total 3
+# HELP fenestra_plan_cache_entries Distinct statements currently held in the plan cache
+# TYPE fenestra_plan_cache_entries gauge
+fenestra_plan_cache_entries 3
+# HELP fenestra_plan_compile_us Time compiling one statement into a physical plan, recorded on cache misses (microseconds)
+# TYPE fenestra_plan_compile_us histogram
+fenestra_plan_compile_us_bucket{le=\"+Inf\"} 0
+fenestra_plan_compile_us_sum 0
+fenestra_plan_compile_us_count 0
+# HELP fenestra_plan_exec_us Time executing one compiled plan end to end, fan-out and merge included (microseconds)
+# TYPE fenestra_plan_exec_us histogram
+fenestra_plan_exec_us_bucket{le=\"0\"} 1
+fenestra_plan_exec_us_bucket{le=\"1\"} 2
+fenestra_plan_exec_us_bucket{le=\"+Inf\"} 2
+fenestra_plan_exec_us_sum 1
+fenestra_plan_exec_us_count 2
+";
+        assert_eq!(out, golden);
     }
 
     /// Strip the `le` label so bucket series pair with their family's

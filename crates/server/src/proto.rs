@@ -77,6 +77,7 @@ pub fn parse_request(line: &str) -> Result<Request> {
     let text_field = |json: &Json| -> Result<String> {
         json.get("q")
             .or_else(|| json.get("query"))
+            .or_else(|| json.get("sql"))
             .and_then(Json::as_str)
             .map(str::to_owned)
             .ok_or_else(|| Error::Invalid(format!("`{cmd}` needs a `q` field with query text")))
@@ -104,6 +105,52 @@ pub fn parse_request(line: &str) -> Result<Request> {
             "unknown command `{other}` (expected query, watch, stats, sync, promote, or shutdown)"
         ))),
     }
+}
+
+/// The commands the JSONL plane understands (`"cmd"` values).
+pub const SUPPORTED_COMMANDS: [&str; 6] =
+    ["query", "watch", "stats", "sync", "promote", "shutdown"];
+
+/// The frame-level operations (`"op"` values on stream-less objects).
+pub const SUPPORTED_OPS: [&str; 1] = ["ingest"];
+
+/// If `line` is a request with an unrecognized `cmd` (or a stream-less
+/// object with an unrecognized `op`), build the structured error reply
+/// `{"ok":false,"error":"unknown command \`x\`","supported":[…]}` so
+/// clients can discover the protocol from the rejection itself.
+/// Returns `None` for every other kind of bad line (the caller falls
+/// back to the plain [`error`] reply).
+pub fn unknown_reply(line: &str) -> Option<String> {
+    let json: Json = serde_json::from_str(line).ok()?;
+    let (label, value, supported): (&str, &str, &[&str]) = match json.get("cmd") {
+        Some(cmd) => {
+            let cmd = cmd.as_str()?;
+            if SUPPORTED_COMMANDS.contains(&cmd) {
+                return None;
+            }
+            ("command", cmd, &SUPPORTED_COMMANDS)
+        }
+        None => {
+            let op = json.get("op")?.as_str()?;
+            if SUPPORTED_OPS.contains(&op) || json.get("stream").is_some() {
+                // `op` is a legitimate event field once `stream` is
+                // present; only stream-less frames have a frame op.
+                return None;
+            }
+            ("op", op, &SUPPORTED_OPS)
+        }
+    };
+    let mut obj = Map::new();
+    obj.insert("ok".into(), Json::Bool(false));
+    obj.insert(
+        "error".into(),
+        Json::from(format!("unknown {label} `{value}`")),
+    );
+    obj.insert(
+        "supported".into(),
+        Json::Array(supported.iter().map(|s| Json::from(*s)).collect()),
+    );
+    Some(Json::Object(obj).to_string())
 }
 
 /// Parse a `{"op":"ingest","events":[…]}` batch frame. Errors name the
@@ -276,6 +323,25 @@ pub fn delta_line(d: &WatchDelta, store: Option<&TemporalStore>) -> String {
     Json::Object(obj).to_string()
 }
 
+/// `EXPLAIN` reply: the logical and physical plan trees as rendered
+/// (newline-separated, two-space indent per level), plus which rewrite
+/// rules fired and which dialect parsed the statement:
+/// `{"ok":true,"explain":{"dialect":…,"logical":…,"physical":…,"rules":[…]}}`.
+pub fn explain_reply(dialect: &str, logical: &str, physical: &str, rules: &[&str]) -> String {
+    let mut explain = Map::new();
+    explain.insert("dialect".into(), Json::from(dialect));
+    explain.insert("logical".into(), Json::from(logical));
+    explain.insert("physical".into(), Json::from(physical));
+    explain.insert(
+        "rules".into(),
+        Json::Array(rules.iter().map(|r| Json::from(*r)).collect()),
+    );
+    let mut obj = Map::new();
+    obj.insert("ok".into(), Json::Bool(true));
+    obj.insert("explain".into(), Json::Object(explain));
+    Json::Object(obj).to_string()
+}
+
 /// `{"ok":true,"engine":{…},"server":{…}}`.
 pub fn stats_reply(engine: Json, server: Json) -> String {
     let mut obj = Map::new();
@@ -376,6 +442,47 @@ mod tests {
             parse_request(r#"{"op":"ingest","events":7}"#).is_err(),
             "events must be an array"
         );
+    }
+
+    #[test]
+    fn sql_is_an_alias_for_q() {
+        let Request::Query { text } =
+            parse_request(r#"{"cmd":"query","sql":"SELECT entity FROM state"}"#).unwrap()
+        else {
+            panic!("expected query");
+        };
+        assert_eq!(text, "SELECT entity FROM state");
+    }
+
+    #[test]
+    fn unknown_cmd_and_op_replies_are_structured() {
+        let line = unknown_reply(r#"{"cmd":"frobnicate"}"#).expect("unknown cmd gets a reply");
+        let v: Json = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        let msg = v.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("unknown command `frobnicate`"), "{msg}");
+        let supported = v.get("supported").and_then(Json::as_array).unwrap();
+        assert!(supported.iter().any(|s| s.as_str() == Some("query")));
+        assert_eq!(supported.len(), SUPPORTED_COMMANDS.len());
+
+        let line = unknown_reply(r#"{"op":"frobnicate"}"#).expect("unknown op gets a reply");
+        let v: Json = serde_json::from_str(&line).unwrap();
+        let msg = v.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("unknown op `frobnicate`"), "{msg}");
+        assert_eq!(
+            v.get("supported").and_then(Json::as_array).unwrap().len(),
+            SUPPORTED_OPS.len()
+        );
+
+        // Everything else falls back to the plain error reply.
+        assert!(unknown_reply(r#"{"cmd":"query"}"#).is_none(), "known cmd");
+        assert!(unknown_reply(r#"{"op":"ingest"}"#).is_none(), "known op");
+        assert!(
+            unknown_reply(r#"{"stream":"s","op":"assert"}"#).is_none(),
+            "event-field op"
+        );
+        assert!(unknown_reply("nope").is_none(), "not json");
+        assert!(unknown_reply(r#"{"cmd":1}"#).is_none(), "non-string cmd");
     }
 
     #[test]

@@ -36,7 +36,9 @@ use fenestra_base::value::Value;
 use fenestra_core::shard::{merge_rows, partial_select};
 use fenestra_core::{Engine, EngineMetrics, QueryResult, ShardRouter, Watch};
 use fenestra_obs::{EngineCounters, PipelineObs, ShardObs};
-use fenestra_query::{Bindings, Query, QueryOptions};
+use fenestra_query::{
+    Bindings, CacheStats, CachedPlan, PhysicalPlan, PlanCache, Query, QueryOptions, WindowPhys,
+};
 use fenestra_replica::{
     load_epoch, now_us, serve_follower, store_epoch, AckTracker, FollowerClient, LeaderConfig,
     ReplPaths, DEAD_SESSION_HEARTBEATS, HEARTBEAT_MS,
@@ -463,10 +465,12 @@ pub(crate) enum ShardCmd {
         acks: Vec<AckPart>,
         enqueued: Instant,
     },
-    /// Single-shard deployments: the full legacy query path, returning
-    /// the exact reply line (byte-identical to the unsharded server).
-    QueryLine {
-        text: String,
+    /// Single-shard deployments: execute the compiled plan through the
+    /// full legacy path, returning the exact reply line
+    /// (byte-identical to the unsharded server). The plan arrives
+    /// pre-compiled from the connection thread's shared [`PlanCache`].
+    QueryPlan {
+        plan: Arc<CachedPlan>,
         reply: Sender<String>,
     },
     /// Fan-out select: run with `limit`/`count` stripped and entity
@@ -475,18 +479,27 @@ pub(crate) enum ShardCmd {
         q: Arc<Query>,
         reply: Sender<std::result::Result<Vec<Bindings>, String>>,
     },
-    /// Fan-out history: the one shard that knows the entity replies
-    /// `Some`.
+    /// Fan-out history: every shard that knows the entity replies
+    /// `Some`; the connection thread merges the timelines by span
+    /// start (ties broken by shard id, then in-shard order).
     QueryHistory {
         entity: Symbol,
         attr: Symbol,
         reply: Sender<Option<HistorySpans>>,
     },
+    /// Fan-out windowed aggregation: this shard's slice of the fact
+    /// stream a [`WindowPhys`] scans, ts-ordered; the connection
+    /// thread merges the slices and runs the window operator once.
+    QueryFacts {
+        w: Arc<WindowPhys>,
+        reply: Sender<std::result::Result<Vec<Event>, String>>,
+    },
     /// Register a standing query on this shard; deltas for this
-    /// shard's partition of the rows go to `sink`.
+    /// shard's partition of the rows go to `sink`. Watches of the
+    /// same statement share one plan (the cache hands out `Arc`s).
     Watch {
         name: String,
-        q: Query,
+        plan: Arc<CachedPlan>,
         sink: Sender<String>,
     },
     /// Processing barrier: replies once every command admitted before
@@ -584,6 +597,10 @@ pub(crate) struct ConnCtx {
     pub(crate) max_frame_bytes: usize,
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) obs: Arc<PipelineObs>,
+    /// Statement-keyed compiled-plan cache, shared by every connection
+    /// (and every plane): queries, watches, and `EXPLAIN` all go
+    /// through it, so repeated statements compile once.
+    pub(crate) plans: Arc<PlanCache>,
     repl: Option<Arc<ReplState>>,
     pub(crate) shutdown: Arc<AtomicBool>,
 }
@@ -920,6 +937,7 @@ impl Server {
         // classified by their first bytes — binary-magic connections
         // stay on the reactors, anything else gets the classic
         // thread-per-connection JSONL loop (see [`crate::reactor`]).
+        let plans = Arc::new(PlanCache::default());
         let reactor_pool = {
             let ctx = Arc::new(ConnCtx {
                 shard_txs: shard_txs.clone(),
@@ -931,6 +949,7 @@ impl Server {
                 max_frame_bytes,
                 metrics: metrics.clone(),
                 obs: obs.clone(),
+                plans: plans.clone(),
                 repl: repl.clone(),
                 shutdown: shutdown.clone(),
             });
@@ -944,11 +963,12 @@ impl Server {
             Some(l) => {
                 let metrics = metrics.clone();
                 let obs = obs.clone();
+                let plans = plans.clone();
                 let stop = shutdown.clone();
                 Some(
                     thread::Builder::new()
                         .name("fenestra-metrics".into())
-                        .spawn(move || metrics_loop(l, metrics, obs, stop))?,
+                        .spawn(move || metrics_loop(l, metrics, obs, plans, stop))?,
                 )
             }
             None => None,
@@ -1519,8 +1539,8 @@ fn shard_loop(ctx: ShardCtx) {
                 }
                 poll = n > late;
             }
-            ShardCmd::QueryLine { text, reply } => {
-                let line = match engine.query(&text) {
+            ShardCmd::QueryPlan { plan, reply } => {
+                let line = match engine.execute_plan(&plan, QueryOptions::default()) {
                     Ok(res) => proto::query_reply(&res, Some(&engine.store())),
                     Err(e) => proto::error(&e.to_string()),
                 };
@@ -1529,6 +1549,10 @@ fn shard_loop(ctx: ShardCtx) {
             ShardCmd::QueryRows { q, reply } => {
                 let res = partial_select(&engine.store(), &q, QueryOptions::default())
                     .map_err(|e| e.to_string());
+                let _ = reply.send(res);
+            }
+            ShardCmd::QueryFacts { w, reply } => {
+                let res = w.collect_facts(&engine.store()).map_err(|e| e.to_string());
                 let _ = reply.send(res);
             }
             ShardCmd::QueryHistory {
@@ -1555,8 +1579,8 @@ fn shard_loop(ctx: ShardCtx) {
                 });
                 let _ = reply.send(spans);
             }
-            ShardCmd::Watch { name, q, sink } => {
-                watches.push((Watch::new(name.as_str(), q), sink));
+            ShardCmd::Watch { name, plan, sink } => {
+                watches.push((Watch::from_plan(name.as_str(), plan), sink));
                 // Poll so the new watch delivers its initial rows.
                 poll = true;
             }
@@ -2330,15 +2354,6 @@ fn promote(rt: &FollowerRuntime) -> bool {
     true
 }
 
-fn parse_select(text: &str) -> Result<Query> {
-    match fenestra_query::parse_query(text)? {
-        fenestra_query::ParsedQuery::Select(q) => Ok(q),
-        fenestra_query::ParsedQuery::History { .. } => Err(Error::Invalid(
-            "history queries cannot be watched; watch a select query".into(),
-        )),
-    }
-}
-
 /// Non-durable snapshot write: the legacy single file with one shard,
 /// shard-stamped `path.shard{i}` files with N.
 fn snapshot(engine: &Engine, path: &Option<PathBuf>, shard: u32, shards_total: u32) {
@@ -2522,7 +2537,12 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64, pr
         let req = match proto::parse_request(line) {
             Ok(r) => r,
             Err(e) => {
-                let _ = out_tx.send(proto::error(&e.to_string()));
+                // Unknown `cmd`/`op` values get the structured reply
+                // (error + `supported` list); everything else the
+                // plain error line.
+                let reply =
+                    proto::unknown_reply(line).unwrap_or_else(|| proto::error(&e.to_string()));
+                let _ = out_tx.send(reply);
                 continue;
             }
         };
@@ -2560,14 +2580,7 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64, pr
             }
             Request::Query { text } => {
                 ctx.metrics.queries.fetch_add(1, Ordering::Relaxed);
-                if ctx.shard_txs.len() == 1 {
-                    request_reply(&ctx.shard_txs[0], &out_tx, |reply| ShardCmd::QueryLine {
-                        text,
-                        reply,
-                    });
-                } else {
-                    fan_out_query(&ctx, &out_tx, &text);
-                }
+                handle_query(&ctx, &out_tx, &text);
             }
             Request::Stats => {
                 // Lock-light: built here, on the connection thread,
@@ -2578,14 +2591,19 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64, pr
             Request::Sync => {
                 fan_out_sync(&ctx, &out_tx);
             }
-            Request::Watch { name, text } => match parse_select(&text) {
-                Ok(q) => {
+            Request::Watch { name, text } => match compile_cached(&ctx, &text) {
+                Ok(plan) if !plan.is_watchable() => {
+                    let _ = out_tx.send(proto::error(
+                        "history queries cannot be watched; watch a select query",
+                    ));
+                }
+                Ok(plan) => {
                     ctx.metrics.watches.fetch_add(1, Ordering::Relaxed);
                     let _ = out_tx.send(proto::watch_ack(&name));
                     for tx in &ctx.shard_txs {
                         let cmd = ShardCmd::Watch {
                             name: name.clone(),
-                            q: q.clone(),
+                            plan: plan.clone(),
                             sink: out_tx.clone(),
                         };
                         if tx.send(cmd).is_err() {
@@ -2644,86 +2662,166 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: Arc<ConnCtx>, conn_id: u64, pr
     let _ = writer.join();
 }
 
-/// Fan a query out to every shard and merge (N > 1 only; one shard
-/// uses the legacy byte-identical path). The text is parsed once here;
-/// selects merge via [`merge_rows`], history returns the one shard's
-/// timeline that knows the entity.
-fn fan_out_query(ctx: &ConnCtx, out_tx: &Sender<String>, text: &str) {
-    match fenestra_query::parse_query(text) {
+/// Compile `text` through the shared plan cache, recording compile
+/// latency into the plan histograms on a miss.
+fn compile_cached(ctx: &ConnCtx, text: &str) -> Result<Arc<CachedPlan>> {
+    let (plan, hit) = ctx.plans.get_or_compile(text)?;
+    if !hit {
+        ctx.obs.plan.compile_us.record(plan.compile_us);
+    }
+    Ok(plan)
+}
+
+/// One `query` request end to end: strip the `EXPLAIN` prefix, compile
+/// through the shared plan cache (the cache key is the inner
+/// statement, so explaining a query warms its plan), then either
+/// render the plan trees or execute — a single shard through the
+/// byte-identical legacy path, N shards by physical-operator fan-out.
+fn handle_query(ctx: &ConnCtx, out_tx: &Sender<String>, text: &str) {
+    let (explain, stmt) = fenestra_query::strip_explain(text);
+    let plan = match compile_cached(ctx, stmt) {
+        Ok(plan) => plan,
         Err(e) => {
             let _ = out_tx.send(proto::error(&e.to_string()));
+            return;
         }
-        Ok(fenestra_query::ParsedQuery::Select(q)) => {
-            let q = Arc::new(q);
-            let mut replies = Vec::with_capacity(ctx.shard_txs.len());
-            for tx in &ctx.shard_txs {
-                let (rtx, rrx) = channel::bounded(1);
-                if tx
-                    .send(ShardCmd::QueryRows {
-                        q: q.clone(),
-                        reply: rtx,
-                    })
-                    .is_err()
-                {
-                    let _ = out_tx.send(proto::error("server shutting down"));
-                    return;
-                }
-                replies.push(rrx);
-            }
-            let mut parts = Vec::with_capacity(replies.len());
-            for rrx in replies {
-                match rrx.recv() {
-                    Ok(Ok(rows)) => parts.push(rows),
-                    Ok(Err(msg)) => {
-                        let _ = out_tx.send(proto::error(&msg));
-                        return;
-                    }
-                    Err(_) => {
-                        let _ = out_tx.send(proto::error("server shutting down"));
-                        return;
-                    }
-                }
-            }
-            let rows = merge_rows(&q, parts);
-            let _ = out_tx.send(proto::query_reply(&QueryResult::Rows(rows), None));
+    };
+    let line = if explain {
+        let (logical, physical) = fenestra_query::render_explain(&plan, ctx.shard_txs.len());
+        proto::explain_reply(plan.dialect, &logical, &physical, &plan.rules)
+    } else {
+        let t0 = Instant::now();
+        let line = dispatch_plan(ctx, &plan);
+        ctx.obs.plan.exec_us.record(t0.elapsed().as_micros() as u64);
+        line
+    };
+    let _ = out_tx.send(line);
+}
+
+/// Execute a compiled plan and build the reply line. One shard uses
+/// the legacy in-shard path (byte-identical to the unsharded server);
+/// N shards fan out by the plan's physical operator.
+fn dispatch_plan(ctx: &ConnCtx, plan: &Arc<CachedPlan>) -> String {
+    if ctx.shard_txs.len() == 1 {
+        let (rtx, rrx) = channel::bounded(1);
+        if ctx.shard_txs[0]
+            .send(ShardCmd::QueryPlan {
+                plan: plan.clone(),
+                reply: rtx,
+            })
+            .is_err()
+        {
+            return proto::error("server shutting down");
         }
-        Ok(fenestra_query::ParsedQuery::History { entity, attr }) => {
-            let mut replies = Vec::with_capacity(ctx.shard_txs.len());
-            for tx in &ctx.shard_txs {
-                let (rtx, rrx) = channel::bounded(1);
-                if tx
-                    .send(ShardCmd::QueryHistory {
-                        entity,
-                        attr,
-                        reply: rtx,
-                    })
-                    .is_err()
-                {
-                    let _ = out_tx.send(proto::error("server shutting down"));
-                    return;
-                }
-                replies.push(rrx);
-            }
-            let mut found: Option<HistorySpans> = None;
-            for rrx in replies {
-                match rrx.recv() {
-                    Ok(Some(spans)) if found.is_none() => found = Some(spans),
-                    Ok(_) => {}
-                    Err(_) => {
-                        let _ = out_tx.send(proto::error("server shutting down"));
-                        return;
-                    }
-                }
-            }
-            let line = match found {
-                // Ids were resolved shard-side; no store needed here.
-                Some(spans) => proto::query_reply(&QueryResult::History(spans), None),
-                None => {
-                    proto::error(&Error::Invalid(format!("unknown entity `{entity}`")).to_string())
-                }
-            };
-            let _ = out_tx.send(line);
+        return rrx
+            .recv()
+            .unwrap_or_else(|_| proto::error("server shutting down"));
+    }
+    match &plan.physical {
+        PhysicalPlan::Select { query } => fan_out_rows(ctx, query),
+        PhysicalPlan::History { entity, attr } => fan_out_history(ctx, *entity, *attr),
+        PhysicalPlan::WindowAgg(w) => fan_out_window(ctx, w),
+    }
+}
+
+/// Fan a select out to every shard and merge via [`merge_rows`].
+fn fan_out_rows(ctx: &ConnCtx, q: &Arc<Query>) -> String {
+    let mut replies = Vec::with_capacity(ctx.shard_txs.len());
+    for tx in &ctx.shard_txs {
+        let (rtx, rrx) = channel::bounded(1);
+        if tx
+            .send(ShardCmd::QueryRows {
+                q: q.clone(),
+                reply: rtx,
+            })
+            .is_err()
+        {
+            return proto::error("server shutting down");
         }
+        replies.push(rrx);
+    }
+    let mut parts = Vec::with_capacity(replies.len());
+    for rrx in replies {
+        match rrx.recv() {
+            Ok(Ok(rows)) => parts.push(rows),
+            Ok(Err(msg)) => return proto::error(&msg),
+            Err(_) => return proto::error("server shutting down"),
+        }
+    }
+    let rows = merge_rows(q, parts);
+    proto::query_reply(&QueryResult::Rows(rows), None)
+}
+
+/// Fan a history query out to every shard and merge every timeline
+/// that knows the entity, ordered by span start with ties broken by
+/// shard id then in-shard order (see
+/// [`fenestra_core::shard::merge_history`]).
+fn fan_out_history(ctx: &ConnCtx, entity: Symbol, attr: Symbol) -> String {
+    let mut replies = Vec::with_capacity(ctx.shard_txs.len());
+    for tx in &ctx.shard_txs {
+        let (rtx, rrx) = channel::bounded(1);
+        if tx
+            .send(ShardCmd::QueryHistory {
+                entity,
+                attr,
+                reply: rtx,
+            })
+            .is_err()
+        {
+            return proto::error("server shutting down");
+        }
+        replies.push(rrx);
+    }
+    let mut parts: Vec<HistorySpans> = Vec::new();
+    let mut known = false;
+    for rrx in replies {
+        match rrx.recv() {
+            Ok(Some(spans)) => {
+                known = true;
+                parts.push(spans);
+            }
+            Ok(None) => {}
+            Err(_) => return proto::error("server shutting down"),
+        }
+    }
+    if !known {
+        return proto::error(&Error::Invalid(format!("unknown entity `{entity}`")).to_string());
+    }
+    // Ids were resolved shard-side; no store needed here.
+    let spans = fenestra_core::shard::merge_history(parts);
+    proto::query_reply(&QueryResult::History(spans), None)
+}
+
+/// Fan a windowed aggregation out: every shard scans its slice of the
+/// fact stream (ts-ordered), the slices merge into one ordered stream
+/// (shard id then in-shard order break ts ties), and the window
+/// operator runs once over the merged stream.
+fn fan_out_window(ctx: &ConnCtx, w: &Arc<WindowPhys>) -> String {
+    let mut replies = Vec::with_capacity(ctx.shard_txs.len());
+    for tx in &ctx.shard_txs {
+        let (rtx, rrx) = channel::bounded(1);
+        if tx
+            .send(ShardCmd::QueryFacts {
+                w: w.clone(),
+                reply: rtx,
+            })
+            .is_err()
+        {
+            return proto::error("server shutting down");
+        }
+        replies.push(rrx);
+    }
+    let mut batches = Vec::with_capacity(replies.len());
+    for rrx in replies {
+        match rrx.recv() {
+            Ok(Ok(evs)) => batches.push(evs),
+            Ok(Err(msg)) => return proto::error(&msg),
+            Err(_) => return proto::error("server shutting down"),
+        }
+    }
+    match w.aggregate(WindowPhys::merge_fact_batches(batches)) {
+        Ok(rows) => proto::query_reply(&QueryResult::Rows(rows), None),
+        Err(e) => proto::error(&e.to_string()),
     }
 }
 
@@ -2777,6 +2875,7 @@ fn build_stats(ctx: &ConnCtx) -> String {
     );
     obj.insert("server".into(), ctx.metrics.json_value());
     obj.insert("stages".into(), ctx.obs.merged_stages_json());
+    obj.insert("plans".into(), plans_json(ctx));
     obj.insert("shards".into(), Json::Array(per_shard));
     // Present only when replication is configured, so a plain server's
     // stats schema is unchanged.
@@ -2784,6 +2883,25 @@ fn build_stats(ctx: &ConnCtx) -> String {
         obj.insert("replication".into(), ctx.obs.repl.json());
     }
     Json::Object(obj).to_string()
+}
+
+/// The `plans` stats section: plan-cache counters plus compile/exec
+/// latency summaries —
+/// `{"cache":{"hits":…,"misses":…,"entries":…},"compile_us":{…},"exec_us":{…}}`.
+fn plans_json(ctx: &ConnCtx) -> Json {
+    let cs = ctx.plans.stats();
+    let mut cache = Map::new();
+    cache.insert("hits".into(), Json::from(cs.hits));
+    cache.insert("misses".into(), Json::from(cs.misses));
+    cache.insert("entries".into(), Json::from(cs.entries));
+    let mut obj = Map::new();
+    obj.insert("cache".into(), Json::Object(cache));
+    if let Json::Object(hists) = ctx.obs.plan.json() {
+        for (k, v) in hists {
+            obj.insert(k, v);
+        }
+    }
+    Json::Object(obj)
 }
 
 /// Fan the `sync` barrier out to every shard and confirm once each has
@@ -2968,24 +3086,6 @@ fn ingest(
     true
 }
 
-/// Send a command carrying a one-shot reply channel and forward the
-/// reply (or a shutdown notice) to the connection's writer.
-fn request_reply(
-    tx: &Sender<ShardCmd>,
-    out_tx: &Sender<String>,
-    make: impl FnOnce(Sender<String>) -> ShardCmd,
-) {
-    let (rtx, rrx) = channel::bounded(1);
-    if tx.send(make(rtx)).is_err() {
-        let _ = out_tx.send(proto::error("server shutting down"));
-        return;
-    }
-    let line = rrx
-        .recv()
-        .unwrap_or_else(|_| proto::error("server shutting down"));
-    let _ = out_tx.send(line);
-}
-
 // ----- Prometheus listener --------------------------------------------------
 
 /// Accept loop for the `--metrics-addr` listener. Scrapes are served
@@ -2996,6 +3096,7 @@ fn metrics_loop(
     listener: TcpListener,
     metrics: Arc<ServerMetrics>,
     obs: Arc<PipelineObs>,
+    plans: Arc<PlanCache>,
     shutdown: Arc<AtomicBool>,
 ) {
     for stream in listener.incoming() {
@@ -3003,7 +3104,7 @@ fn metrics_loop(
             break;
         }
         let Ok(stream) = stream else { continue };
-        serve_metrics_conn(stream, &metrics, &obs);
+        serve_metrics_conn(stream, &metrics, &obs, &plans.stats());
     }
 }
 
@@ -3011,7 +3112,12 @@ fn metrics_loop(
 /// text exposition, anything else a 404. Hand-rolled on purpose — no
 /// HTTP dependency for one GET route. A read timeout bounds how long a
 /// wedged scraper can hold the (single) metrics thread.
-fn serve_metrics_conn(stream: TcpStream, metrics: &ServerMetrics, obs: &PipelineObs) {
+fn serve_metrics_conn(
+    stream: TcpStream,
+    metrics: &ServerMetrics,
+    obs: &PipelineObs,
+    plans: &CacheStats,
+) {
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -3036,7 +3142,7 @@ fn serve_metrics_conn(stream: TcpStream, metrics: &ServerMetrics, obs: &Pipeline
     let path = parts.next().unwrap_or("");
     let mut w = BufWriter::new(stream);
     if method == "GET" && path.trim_end_matches('/') == "/metrics" {
-        let body = crate::prom::render_prometheus(metrics, obs);
+        let body = crate::prom::render_prometheus(metrics, obs, plans);
         let _ = write!(
             w,
             "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",

@@ -48,6 +48,7 @@ pub mod aggregate;
 pub mod executor;
 pub mod graph;
 pub mod metrics;
+pub mod oneshot;
 pub mod operator;
 pub mod ops;
 pub mod parallel;

@@ -176,20 +176,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
     let store = persist::load(&state_path).map_err(|e| format!("{state_path}: {e}"))?;
     let q = &args[0];
-    match fenestra::query::parse_query(q).map_err(|e| e.to_string())? {
-        fenestra::query::ParsedQuery::Select(query) => {
-            let rows = fenestra::query::execute(&store, &query).map_err(|e| e.to_string())?;
+    let plan = fenestra::query::compile(q).map_err(|e| e.to_string())?;
+    let out = plan
+        .execute(&store, fenestra::query::QueryOptions::default())
+        .map_err(|e| e.to_string())?;
+    match out {
+        fenestra::query::PlanOutput::Rows(rows) => {
             print_result(q, QueryResult::Rows(rows), Some(&store));
         }
-        fenestra::query::ParsedQuery::History { entity, attr } => {
-            let e = store
-                .lookup_entity(entity)
-                .ok_or_else(|| format!("unknown entity `{entity}`"))?;
-            print_result(
-                q,
-                QueryResult::History(store.history(e, attr)),
-                Some(&store),
-            );
+        fenestra::query::PlanOutput::History(spans) => {
+            print_result(q, QueryResult::History(spans), Some(&store));
         }
     }
     Ok(())
